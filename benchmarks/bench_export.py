@@ -1,0 +1,73 @@
+"""E2 + E3: semantics-preserving exports from legacy databases.
+
+- E2 (person/dept, §2.4 D_o): OODB -> XML with L_id constraints; we
+  measure export + full validation at growing store sizes and assert
+  that consistency carries over exactly.
+- E3 (publisher/editor, §1): relational -> XML with L constraints over
+  sub-elements; same shape.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    assert_subquadratic, measure_series, print_series,
+)
+from repro.dtd import validate
+from repro.oodb import export_store
+from repro.relational import export_database
+from repro.workloads import (
+    person_dept_store, publisher_constraints, publisher_instance,
+)
+
+
+@pytest.mark.benchmark(group="E2-oodb-export")
+@pytest.mark.parametrize("n_depts", [5, 20, 80])
+def test_oodb_export_and_validate(benchmark, n_depts):
+    store = person_dept_store(n_depts=n_depts, people_per_dept=5)
+
+    def work():
+        dtd, tree = export_store(store)
+        return validate(tree, dtd)
+
+    report = benchmark(work)
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="E3-relational-export")
+@pytest.mark.parametrize("n_publishers", [10, 50, 200])
+def test_relational_export_and_validate(benchmark, n_publishers):
+    instance = publisher_instance(n_publishers=n_publishers,
+                                  editors_per_publisher=3)
+    constraints = publisher_constraints()
+
+    def work():
+        dtd, tree = export_database(instance, constraints)
+        return validate(tree, dtd)
+
+    report = benchmark(work)
+    assert report.ok
+
+
+def test_e2_shape():
+    rows = measure_series(
+        [5, 20, 80],
+        lambda n: person_dept_store(n_depts=n, people_per_dept=5),
+        lambda store: validate(*reversed(export_store(store))))
+    sized = [(n * 6, t) for n, t in rows]
+    print_series("E2: OODB export+validate vs objects", sized,
+                 header="objects")
+    assert_subquadratic(sized, factor=5.0)
+
+
+def test_e3_shape():
+    constraints = publisher_constraints()
+    rows = measure_series(
+        [10, 40, 160],
+        lambda n: publisher_instance(n_publishers=n,
+                                     editors_per_publisher=3),
+        lambda inst: validate(*reversed(
+            export_database(inst, constraints))))
+    sized = [(n * 4, t) for n, t in rows]
+    print_series("E3: relational export+validate vs tuples", sized,
+                 header="tuples")
+    assert_subquadratic(sized, factor=5.0)

@@ -1,0 +1,97 @@
+"""EX1-EX3: benchmarks for the beyond-the-paper extensions.
+
+- EX1: constraint propagation (rename/merge/project + verification)
+  scales with schema size;
+- EX2: DTD^C consistency analysis scales with schema size;
+- EX3: path *evaluation* (nodes/ext with IDREF dereferencing) scales
+  with document size on the school workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    assert_subquadratic, measure_series, print_series,
+)
+from repro.constraints.parser import parse_constraints
+from repro.dtd import DTDC, DTDStructure
+from repro.dtd.consistency import consistency_report
+from repro.paths import parse_path
+from repro.paths.evaluate import PathEvaluator
+from repro.transform import merge, project, rename_elements, verify_propagation
+from repro.workloads import school_document, school_dtdc
+
+
+def wide_schema(n: int) -> DTDC:
+    """n types in an FK chain — the schema-scaling workload."""
+    s = DTDStructure("root")
+    s.define_element("root", "(" + ", ".join(
+        f"t{i}*" for i in range(n)) + ")")
+    lines = []
+    for i in range(n):
+        s.define_element(f"t{i}", "EMPTY")
+        s.define_attribute(f"t{i}", "k")
+        lines.append(f"t{i}.k -> t{i}")
+    for i in range(n - 1):
+        s.define_attribute(f"t{i}", "r")
+        lines.append(f"t{i}.r sub t{i + 1}.k")
+    return DTDC(s, parse_constraints("\n".join(lines), s))
+
+
+@pytest.mark.benchmark(group="EX1-transform")
+@pytest.mark.parametrize("n", [10, 40, 160])
+def test_rename_and_verify(benchmark, n):
+    dtd = wide_schema(n)
+    mapping = {f"t{i}": f"x{i}" for i in range(n)}
+
+    def work():
+        renamed = rename_elements(dtd, mapping)
+        return verify_propagation(dtd, renamed, elem_map=mapping)
+
+    report = benchmark(work)
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="EX2-consistency")
+@pytest.mark.parametrize("n", [10, 40, 160])
+def test_consistency_analysis(benchmark, n):
+    dtd = wide_schema(n)
+    report = benchmark(lambda: consistency_report(dtd))
+    assert report.consistent
+
+
+@pytest.mark.benchmark(group="EX3-path-eval")
+@pytest.mark.parametrize("n", [20, 80, 320])
+def test_path_evaluation(benchmark, n):
+    dtd = school_dtdc()
+    doc = school_document(n_students=n, n_teachers=n // 2,
+                          n_courses=n, density=6.0 / n, seed=1)
+    path = parse_path("taking.taught_by")
+
+    def work():
+        evaluator = PathEvaluator(dtd, doc)
+        return evaluator.ext_of("student", path)
+
+    benchmark(work)
+
+
+def test_ex1_shape():
+    rows = measure_series(
+        [20, 80, 320], wide_schema,
+        lambda dtd: project(dtd, "t0"))
+    print_series("EX1: project + dependent-drop vs schema size", rows)
+
+
+def test_ex3_shape():
+    dtd = school_dtdc()
+
+    def setup(n):
+        return school_document(n_students=n, n_teachers=n // 2,
+                               n_courses=n, density=6.0 / n, seed=1)
+
+    rows = measure_series(
+        [40, 160, 640], setup,
+        lambda doc: PathEvaluator(dtd, doc).ext_of(
+            "student", parse_path("taking.taught_by")))
+    print_series("EX3: two-hop dereferencing path eval vs #students",
+                 rows)
+    assert_subquadratic(rows, factor=8.0)

@@ -1,0 +1,78 @@
+"""E7: general L keys/foreign keys (Theorem 3.6 / Corollary 3.7).
+
+There is no decider to benchmark — the problem is undecidable.  What we
+measure and exhibit:
+
+- the sound rule prover and the chase on decidable-in-practice
+  instances (cost grows with chain length);
+- the FD+IND ⇄ L translations are cheap (linear);
+- the canonical gap instance: finitely valid, unprovable by the sound
+  rules, chase diverges → honest UNKNOWN at any budget.
+"""
+
+import pytest
+
+from benchmarks.conftest import measure_series, print_series
+from repro.constraints import ForeignKey, Key
+from repro.implication.l_general import LGeneralEngine, l_to_fd_ind
+from repro.relational.chase import ChaseOutcome
+
+
+def fk_chain(n: int):
+    sigma = [Key(f"r{i}", ("k",)) for i in range(n + 1)]
+    for i in range(n):
+        sigma.append(ForeignKey(f"r{i}", ("k",), f"r{i + 1}", ("k",)))
+    phi = ForeignKey("r0", ("k",), f"r{n}", ("k",))
+    return sigma, phi
+
+
+@pytest.mark.benchmark(group="E7-prove")
+@pytest.mark.parametrize("n", [5, 15, 40])
+def test_sound_prover_chain(benchmark, n):
+    sigma, phi = fk_chain(n)
+    assert benchmark(lambda: LGeneralEngine(sigma).prove(phi))
+
+
+@pytest.mark.benchmark(group="E7-chase")
+@pytest.mark.parametrize("n", [3, 6, 12])
+def test_chase_chain(benchmark, n):
+    sigma, phi = fk_chain(n)
+    engine = LGeneralEngine(sigma)
+    result = benchmark(lambda: engine.refute(phi, max_steps=200,
+                                             max_rows=2000))
+    assert result.outcome is ChaseOutcome.IMPLIED
+
+
+@pytest.mark.benchmark(group="E7-translate")
+def test_translation_cost(benchmark):
+    sigma, phi = fk_chain(200)
+    database, fds, inds = benchmark(
+        lambda: l_to_fd_ind(sigma, scope=(phi,)))
+    assert len(fds) == 2 * 201  # vid FDs + key FDs
+    assert len(inds) == 200
+
+
+def test_e7_undecidability_exhibit():
+    """The operational content of Theorem 3.6 on the gap instance."""
+    sigma = [Key("tau", ("a",)), Key("tau", ("b",)),
+             ForeignKey("tau", ("a",), "tau", ("b",))]
+    phi = ForeignKey("tau", ("b",), "tau", ("a",))
+    engine = LGeneralEngine(sigma)
+    assert not engine.prove(phi)
+    rows = []
+    for budget in (50, 200, 800):
+        result = engine.refute(phi, max_steps=budget, max_rows=10 * budget)
+        rows.append((budget, result.outcome.value, result.steps))
+    print("\nE7: chase on the finitely-valid gap instance")
+    print(f"{'budget':>10}  {'outcome':>12}  {'steps':>8}")
+    for budget, outcome, steps in rows:
+        print(f"{budget:>10}  {outcome:>12}  {steps:>8}")
+    assert all(outcome == "unknown" for _b, outcome, _s in rows)
+
+
+def test_e7_chase_growth():
+    rows = measure_series(
+        [3, 6, 12], fk_chain,
+        lambda inst: LGeneralEngine(inst[0]).refute(
+            inst[1], max_steps=400, max_rows=4000))
+    print_series("E7: chase cost vs foreign-key chain length", rows)

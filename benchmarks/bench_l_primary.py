@@ -1,0 +1,52 @@
+"""E8: multi-attribute primary keys/foreign keys (Theorem 3.8).
+
+Workload: chains of width-w foreign keys with rotating alignments.
+Expected shape: polynomial in chain length at fixed width; the paper's
+closing PSPACE remark shows up as growth in the key width w — the
+number of distinct alignments reachable per type pair is bounded by w!,
+and the stress series below makes that factorial corner visible.
+"""
+
+import pytest
+
+from benchmarks.conftest import measure_series, print_series
+from repro.implication.l_primary import LPrimaryEngine
+from repro.workloads.generators import scaled_primary_chain
+
+
+@pytest.mark.benchmark(group="E8-l-primary")
+@pytest.mark.parametrize("n", [5, 20, 60])
+def test_primary_chain(benchmark, n):
+    sigma, phi = scaled_primary_chain(n, width=3)
+    assert benchmark(lambda: LPrimaryEngine(sigma).implies(phi))
+
+
+@pytest.mark.benchmark(group="E8-width")
+@pytest.mark.parametrize("width", [2, 4, 6])
+def test_primary_width_stress(benchmark, width):
+    sigma, phi = scaled_primary_chain(8, width=width)
+    assert benchmark(lambda: LPrimaryEngine(sigma).implies(phi))
+
+
+def test_e8_chain_growth():
+    rows = measure_series(
+        [10, 30, 90],
+        lambda n: scaled_primary_chain(n, width=3),
+        lambda inst: LPrimaryEngine(inst[0]).implies(inst[1]))
+    print_series("E8: I_p closure vs chain length (width 3)", rows)
+    # Polynomial, not exponential: 9x the size within ~200x the time.
+    (n0, t0), (n1, t1) = rows[0], rows[-1]
+    assert t1 / max(t0, 1e-9) < 200 * (n1 / n0)
+
+
+def test_e8_width_growth_is_the_hard_direction():
+    """Fixing the chain, growing the width costs much more than fixing
+    the width and growing the chain — the PSPACE remark, visualized."""
+    width_rows = measure_series(
+        [2, 3, 4, 5],
+        lambda w: scaled_primary_chain(8, width=w),
+        lambda inst: LPrimaryEngine(inst[0]).implies(inst[1]))
+    print_series("E8: I_p closure vs key width (chain 8)", width_rows,
+                 header="width")
+    times = [t for _w, t in width_rows]
+    assert times[-1] > times[0]

@@ -1,0 +1,49 @@
+"""E4: L_id implication is linear time (Proposition 3.1).
+
+Workload: chains of ID constraints, IDREF foreign keys and inverses of
+growing length; measure engine construction (the I_id closure) plus a
+derivable query.  Expected shape: ~linear in |Σ|.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    assert_subquadratic, measure_series, print_series,
+)
+from repro.implication import LidEngine
+from repro.workloads.generators import scaled_lid_chain
+
+
+@pytest.mark.benchmark(group="E4-lid")
+@pytest.mark.parametrize("n", [10, 100, 1000])
+def test_lid_closure_and_query(benchmark, n):
+    sigma, phi = scaled_lid_chain(n)
+
+    def work():
+        engine = LidEngine(sigma)
+        return engine.implies(phi)
+
+    assert benchmark(work)
+
+
+def test_e4_linear_shape():
+    rows = measure_series(
+        sizes=[100, 400, 1600],
+        setup=scaled_lid_chain,
+        run=lambda inst: LidEngine(inst[0]).implies(inst[1]))
+    print_series("E4: L_id closure+query vs |Sigma| (chain length)",
+                 rows)
+    assert_subquadratic(rows)
+
+
+def test_e4_query_after_closure_is_constant_time():
+    """Once the closure is built, each query is a dictionary lookup."""
+    import time
+    sigma, phi = scaled_lid_chain(2000)
+    engine = LidEngine(sigma)
+    t0 = time.perf_counter()
+    for _i in range(1000):
+        engine.implies(phi)
+    per_query = (time.perf_counter() - t0) / 1000
+    print(f"\nE4: per-query time after closure: {per_query:.2e}s")
+    assert per_query < 1e-3

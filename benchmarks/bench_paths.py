@@ -1,0 +1,99 @@
+"""E9 + E10 + E11: path-constraint implication (Props 4.1, 4.2, 4.3).
+
+Claimed complexities: O(|phi| (|Sigma| + |P|)) for functional and
+inclusion constraints, O(|Sigma| |phi|) for inverse constraints.
+Workloads scale |phi| (path length) against chain-shaped DTDs, so the
+expected shape is ~linear in the path length.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    assert_subquadratic, measure_series, print_series,
+)
+from repro.constraints.parser import parse_constraints
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.paths import (
+    PathFunctional, PathImplicationEngine, PathInclusion, PathInverse,
+    parse_path,
+)
+from repro.workloads.generators import deep_chain_dtdc
+
+
+def inverse_chain_dtdc(n: int):
+    """n types in a chain of L_id inverses; returns (DTD^C, phi)."""
+    s = DTDStructure("root")
+    s.define_element("root", "(" + ", ".join(
+        f"c{i}*" for i in range(n + 1)) + ")")
+    lines = []
+    for i in range(n + 1):
+        s.define_element(f"c{i}", "EMPTY")
+        s.define_attribute(f"c{i}", "oid", kind="ID")
+        lines.append(f"c{i}.oid ->id c{i}")
+    for i in range(n):
+        s.define_attribute(f"c{i}", "fwd", set_valued=True, kind="IDREF")
+        s.define_attribute(f"c{i + 1}", "back", set_valued=True,
+                           kind="IDREF")
+        lines.append(f"c{i}.fwd inv c{i + 1}.back")
+    dtd = DTDC(s, parse_constraints("\n".join(lines), s))
+    rho = ".".join(["fwd"] * n)
+    varrho = ".".join(["back"] * n)
+    phi = PathInverse("c0", parse_path(rho), f"c{n}", parse_path(varrho))
+    return dtd, phi
+
+
+@pytest.mark.benchmark(group="E9-functional")
+@pytest.mark.parametrize("n", [5, 20, 80])
+def test_functional_decider(benchmark, n):
+    dtd, path_text = deep_chain_dtdc(n)
+    engine = PathImplicationEngine(dtd)
+    phi = PathFunctional("e0", parse_path(path_text), parse_path("e1"))
+    assert benchmark(lambda: engine.implies_functional(phi))
+
+
+@pytest.mark.benchmark(group="E10-inclusion")
+@pytest.mark.parametrize("n", [5, 20, 80])
+def test_inclusion_decider(benchmark, n):
+    dtd, path_text = deep_chain_dtdc(n)
+    engine = PathImplicationEngine(dtd)
+    half = n // 2
+    rho = parse_path(path_text)
+    suffix = parse_path(".".join(path_text.split(".")[half:]))
+    phi = PathInclusion("e0", rho, f"e{half}", suffix)
+    assert benchmark(lambda: engine.implies_inclusion(phi))
+
+
+@pytest.mark.benchmark(group="E11-inverse")
+@pytest.mark.parametrize("n", [4, 12, 36])
+def test_inverse_decider(benchmark, n):
+    dtd, phi = inverse_chain_dtdc(n)
+    engine = PathImplicationEngine(dtd)
+    assert benchmark(lambda: engine.implies_inverse(phi))
+
+
+def test_e9_shape():
+    def setup(n):
+        dtd, path_text = deep_chain_dtdc(n)
+        engine = PathImplicationEngine(dtd)
+        return engine, PathFunctional("e0", parse_path(path_text),
+                                      parse_path("e1"))
+
+    rows = measure_series([20, 80, 320], setup,
+                          lambda inst: inst[0].implies_functional(inst[1]))
+    print_series("E9: Prop 4.1 decider vs path length", rows)
+    assert_subquadratic(rows, factor=6.0)
+
+
+def test_e11_shape():
+    def setup(n):
+        dtd, phi = inverse_chain_dtdc(n)
+        return PathImplicationEngine(dtd), phi
+
+    rows = measure_series([8, 24, 72], setup,
+                          lambda inst: inst[0].implies_inverse(inst[1]))
+    print_series("E11: Prop 4.3 decider vs path length", rows)
+    # O(|Sigma| |phi|) with |Sigma| ~ n too: quadratic in n is allowed,
+    # but nothing worse.
+    (n0, t0), (n1, t1) = rows[0], rows[-1]
+    assert t1 / max(t0, 1e-9) <= 4 * (n1 / n0) ** 2

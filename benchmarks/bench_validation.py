@@ -1,0 +1,78 @@
+"""E1 + E13: validation of the book document at scale, and the
+indexed-vs-naive checker ablation.
+
+Paper artifact: Figure 2 / §2.4 (validity, Definition 2.4) and the
+linear-time constraint checking the complexity results presume.
+Expected shape: full validation scales ~linearly in document size; the
+indexed checker beats the naive quadratic evaluator by a growing factor.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    assert_subquadratic, measure_series, print_series,
+)
+from repro.constraints import check, check_naive
+from repro.dtd import validate
+from repro.workloads import book_dtdc
+from repro.workloads.book import scaled_book_document
+
+DTD = book_dtdc()
+
+
+@pytest.mark.benchmark(group="E1-validate")
+@pytest.mark.parametrize("n_sections", [10, 50, 200])
+def test_validate_book(benchmark, n_sections):
+    doc = scaled_book_document(n_sections, depth=2)
+    report = benchmark(lambda: validate(doc, DTD))
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="E13-checker")
+@pytest.mark.parametrize("checker", [check, check_naive],
+                         ids=["indexed", "naive"])
+def test_checker_ablation(benchmark, checker):
+    doc = scaled_book_document(60, depth=2)
+    report = benchmark(
+        lambda: checker(doc, DTD.constraints, DTD.structure))
+    assert report.ok
+
+
+def test_e1_linear_shape():
+    """Validation time is ~linear in document size."""
+    rows = measure_series(
+        sizes=[20, 80, 320],
+        setup=lambda n: scaled_book_document(n, depth=2),
+        run=lambda doc: validate(doc, DTD))
+    sized = [(scaled_book_document(n, depth=2).size(), t)
+             for (n, t) in rows]
+    print_series("E1: validate(book) vs document size", sized,
+                 header="vertices")
+    assert_subquadratic(sized)
+
+
+def test_e13_indexed_beats_naive():
+    """The indexed checker wins, by a factor that grows with size."""
+    import time
+
+    def timed(f):
+        t0 = time.perf_counter()
+        f()
+        return time.perf_counter() - t0
+
+    speedups = []
+    for n in (30, 120):
+        doc = scaled_book_document(n, depth=2)
+        fast = min(timed(lambda: check(doc, DTD.constraints,
+                                       DTD.structure))
+                   for _i in range(3))
+        slow = min(timed(lambda: check_naive(doc, DTD.constraints,
+                                             DTD.structure))
+                   for _i in range(3))
+        speedups.append((doc.size(), slow / max(fast, 1e-9)))
+    print_series("E13: naive/indexed speedup", speedups,
+                 unit="x", header="vertices")
+    # The naive checker is quadratic in ext sizes: the speedup at the
+    # larger size must exceed the speedup at the smaller one.
+    assert speedups[-1][1] > speedups[0][1]
+    assert speedups[-1][1] > 2.0

@@ -1,0 +1,55 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every file here regenerates one experiment of EXPERIMENTS.md (E1-E14).
+The paper has no numeric tables — its evaluation is a set of theorems —
+so each benchmark (a) measures the decider/checker on a scaling series,
+(b) prints the series in a table, and (c) asserts the *shape* the paper
+claims (linear / polynomial growth, who-wins orderings, divergences).
+"""
+
+import time
+
+import pytest
+
+
+def measure_series(sizes, setup, run, repeat: int = 3):
+    """Best-of-``repeat`` wall time of ``run(setup(n))`` per size."""
+    rows = []
+    for n in sizes:
+        payload = setup(n)
+        best = min(_timed(run, payload) for _i in range(repeat))
+        rows.append((n, best))
+    return rows
+
+
+def _timed(run, payload) -> float:
+    start = time.perf_counter()
+    run(payload)
+    return time.perf_counter() - start
+
+
+def print_series(title: str, rows, unit: str = "s",
+                 header: str = "n"):
+    print(f"\n== {title} ==")
+    print(f"{header:>10}  {'time (' + unit + ')':>14}  {'per n':>12}")
+    for n, t in rows:
+        print(f"{n:>10}  {t:>14.6f}  {t / max(n, 1):>12.2e}")
+
+
+def assert_subquadratic(rows, factor: float = 3.0):
+    """The growth from the first to the last size must stay well under
+    quadratic: time ratio <= factor * size ratio.
+
+    Wall-clock noise on small inputs is absorbed by ``factor``.
+    """
+    (n0, t0), (n1, t1) = rows[0], rows[-1]
+    size_ratio = n1 / n0
+    time_ratio = t1 / max(t0, 1e-9)
+    assert time_ratio <= factor * size_ratio, (
+        f"superlinear blowup: sizes x{size_ratio:.1f} but time "
+        f"x{time_ratio:.1f}")
+
+
+@pytest.fixture
+def series_printer():
+    return print_series

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Regenerate the measured side of EXPERIMENTS.md in one run.
+
+Executes every experiment series (the same code the benchmark shape
+tests run) and prints a self-contained markdown report, so the numbers
+in EXPERIMENTS.md can be refreshed on any machine with::
+
+    python benchmarks/make_report.py > experiment_report.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import measure_series  # noqa: E402
+from repro.dtd import validate
+from repro.implication import LidEngine, LPrimaryEngine, LuEngine
+from repro.implication.counterexample import divergence_witness
+from repro.workloads import book_dtdc
+from repro.workloads.book import scaled_book_document
+from repro.workloads.generators import (
+    scaled_lid_chain, scaled_lu_chain, scaled_primary_chain,
+)
+
+
+def table(title: str, header: str, rows) -> None:
+    print(f"\n### {title}\n")
+    print(f"| {header} | time (s) | per unit |")
+    print("|---:|---:|---:|")
+    for n, t in rows:
+        print(f"| {n} | {t:.6f} | {t / max(n, 1):.2e} |")
+
+
+def main() -> None:
+    print("# Experiment report")
+    print(f"\nGenerated on Python {platform.python_version()}, "
+          f"{platform.machine()}, at "
+          f"{time.strftime('%Y-%m-%d %H:%M:%S')}.")
+
+    dtd = book_dtdc()
+    rows = measure_series(
+        [20, 80, 320],
+        lambda n: scaled_book_document(n, depth=2),
+        lambda doc: validate(doc, dtd))
+    table("E1: validate(book) vs document size", "vertices",
+          [(scaled_book_document(n, depth=2).size(), t)
+           for (n, t) in rows])
+
+    rows = measure_series(
+        [100, 400, 1600], scaled_lid_chain,
+        lambda inst: LidEngine(inst[0]).implies(inst[1]))
+    table("E4: L_id closure+query vs |Sigma|", "n", rows)
+
+    unrest = measure_series(
+        [100, 400, 1600], scaled_lu_chain,
+        lambda inst: LuEngine(inst[0]).implies(inst[1]))
+    finite = measure_series(
+        [100, 400, 1600], scaled_lu_chain,
+        lambda inst: LuEngine(inst[0]).finitely_implies(inst[1]))
+    table("E5: I_u vs chain length", "n", unrest)
+    table("E5: I_u^f vs chain length", "n", finite)
+
+    sigma, phi, witness = divergence_witness()
+    engine = LuEngine(sigma)
+    print("\n### E5: divergence witness\n")
+    print(f"- `Sigma |= phi`: **{bool(engine.implies(phi))}**")
+    print(f"- `Sigma |=_f phi`: **{bool(engine.finitely_implies(phi))}**")
+    print(f"- infinite witness checks: **{witness.check(sigma, phi)}**")
+
+    rows = measure_series(
+        [10, 30, 90],
+        lambda n: scaled_primary_chain(n, width=3),
+        lambda inst: LPrimaryEngine(inst[0]).implies(inst[1]))
+    table("E8: I_p closure vs chain length (width 3)", "n", rows)
+
+    from repro.fo2 import figure_one_pair, two_pebble_equivalent
+    from repro.fo2.ef_game import _satisfies_key
+    g, gp = figure_one_pair()
+    print("\n### E12: Figure 1\n")
+    print(f"- `G |= key`: **{_satisfies_key(g)}**; "
+          f"`G' |= key`: **{_satisfies_key(gp)}**")
+    print(f"- FO2-equivalent: **{two_pebble_equivalent(g, gp)}**")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Legacy data, part 1: exporting an object database to XML (§1, §2.4).
+
+Builds the paper's person/dept ODL schema, populates a store, exports it
+to XML with ``L_id`` constraints (object identity, typed references,
+multiple keys, inverse relationships), and demonstrates that the export
+*preserves semantics*: corrupting the store produces exactly the
+corresponding constraint violations on the XML side — the information
+plain ID/IDREF would have lost.
+
+Run:  python examples/legacy_oodb_export.py
+"""
+
+from repro.dtd import validate
+from repro.oodb import export_store
+from repro.workloads import person_dept_schema, person_dept_store
+from repro.xmlio import serialize, serialize_dtdc
+
+
+def main() -> None:
+    schema = person_dept_schema()
+    print("The ODL schema (§1):")
+    print(schema)
+
+    store = person_dept_store(n_depts=2, people_per_dept=2)
+    print(f"\nStore consistency check: "
+          f"{store.check() or 'consistent'}")
+
+    dtd, tree = export_store(store)
+    print("\nThe exported DTD^C (D_o of §2.4, constraints in L_id):")
+    print(serialize_dtdc(dtd))
+    print("The exported document:")
+    print(serialize(tree))
+    print(f"Validation: {validate(tree, dtd)}")
+
+    # What plain ID/IDREF cannot express, L_id catches:
+    print("\n-- scenario 1: an in_dept reference to a *person* oid --")
+    broken = person_dept_store(2, 2)
+    broken.get("p0_0").references["in_dept"] = ("p1_0",)
+    dtd_b, tree_b = export_store(broken)
+    for violation in validate(tree_b, dtd_b):
+        print(f"  {violation}")
+
+    print("\n-- scenario 2: two people sharing a name (key, not ID) --")
+    broken = person_dept_store(2, 2)
+    broken.get("p0_0").attributes["name"] = "Person 0-1"
+    dtd_b, tree_b = export_store(broken)
+    for violation in validate(tree_b, dtd_b):
+        print(f"  {violation}")
+
+    print("\n-- scenario 3: inverse relationship broken one way --")
+    broken = person_dept_store(2, 2)
+    dept = broken.get("d0")
+    dept.references["has_staff"] = tuple(
+        o for o in dept.references["has_staff"] if o != "p0_0")
+    dtd_b, tree_b = export_store(broken)
+    for violation in validate(tree_b, dtd_b):
+        print(f"  {violation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Path constraints and query optimization (§4).
+
+Shows the three §4.2 deciders on the paper's own examples:
+
+- ``book.entry.isbn -> book.author`` (path functional, Prop 4.1):
+  the isbn determines the whole book, so a query that groups books by
+  isbn needs no duplicate elimination on authors;
+- ``book.ref.to ⊆ entry`` and ``book.ref.to.title ⊆ entry.title``
+  (path inclusion, Prop 4.2): references are *typed*, so navigating
+  ``ref.to.title`` can be answered from the entry index;
+- ``student.taking.taught_by ⇌ teacher.teaching.taken_by``
+  (path inverse, Prop 4.3): a two-hop navigation can be flipped.
+
+Run:  python examples/path_reasoning.py
+"""
+
+from repro.constraints.parser import parse_constraints
+from repro.dtd import DTDC, DTDStructure
+from repro.paths import (
+    PathFunctional, PathImplicationEngine, PathInclusion, PathInverse,
+    parse_path, type_of,
+)
+from repro.paths.evaluate import PathEvaluator
+from repro.workloads import book_document
+
+
+def lid_book() -> DTDC:
+    s = DTDStructure("book")
+    s.define_element("book", "(entry, author*, section*, ref)")
+    s.define_element("entry", "(title, publisher)")
+    s.define_element("section", "(title, (S + section)*)")
+    s.define_element("ref", "EMPTY")
+    for leaf in ("author", "title", "publisher"):
+        s.define_element(leaf, "S*")
+    s.define_attribute("entry", "isbn", kind="ID")
+    s.define_attribute("section", "sid")
+    s.define_attribute("ref", "to", set_valued=True, kind="IDREF")
+    return DTDC(s, parse_constraints("""
+        entry.isbn ->id entry
+        section.sid -> section
+        ref.to subS entry.id
+    """, s))
+
+
+def school() -> DTDC:
+    s = DTDStructure("school")
+    s.define_element("school", "(student*, teacher*, course*)")
+    for t in ("student", "teacher", "course"):
+        s.define_element(t, "EMPTY")
+        s.define_attribute(t, "oid", kind="ID")
+    s.define_attribute("student", "taking", set_valued=True, kind="IDREF")
+    s.define_attribute("teacher", "teaching", set_valued=True,
+                       kind="IDREF")
+    s.define_attribute("course", "taken_by", set_valued=True,
+                       kind="IDREF")
+    s.define_attribute("course", "taught_by", set_valued=True,
+                       kind="IDREF")
+    return DTDC(s, parse_constraints("""
+        student.oid ->id student
+        teacher.oid ->id teacher
+        course.oid ->id course
+        student.taking inv course.taken_by
+        teacher.teaching inv course.taught_by
+    """, s))
+
+
+def main() -> None:
+    dtd = lid_book()
+    engine = PathImplicationEngine(dtd)
+
+    print("Typing navigation paths (§4.1):")
+    for text in ("entry", "entry.isbn", "ref.to", "ref.to.title",
+                 "section.section.sid"):
+        print(f"  type(book.{text}) = "
+              f"{type_of(dtd, 'book', text)}")
+
+    print("\nEvaluating the dereferencing path on Figure 2's document:")
+    evaluator = PathEvaluator(dtd, book_document())
+    titles = evaluator.ext_of("book", parse_path("ref.to.title"))
+    print(f"  ext(book.ref.to.title) = "
+          f"{sorted(t.text for t in titles)}")
+
+    print("\nProp 4.1 — path functional constraints:")
+    for phi in (
+        PathFunctional("book", parse_path("entry.isbn"),
+                       parse_path("author")),
+        PathFunctional("book", parse_path("author"),
+                       parse_path("entry")),
+    ):
+        print(f"  {phi}: {engine.implies(phi).explain()}")
+
+    print("\nProp 4.2 — path inclusion constraints:")
+    for phi in (
+        PathInclusion("book", parse_path("ref.to"),
+                      "entry", parse_path("")),
+        PathInclusion("book", parse_path("ref.to.title"),
+                      "entry", parse_path("title")),
+        PathInclusion("book", parse_path("author"),
+                      "entry", parse_path("title")),
+    ):
+        print(f"  {phi}: {engine.implies(phi).explain()}")
+
+    print("\nProp 4.3 — path inverse constraints "
+          "(student/teacher/course):")
+    school_engine = PathImplicationEngine(school())
+    for phi in (
+        PathInverse("student", parse_path("taking"),
+                    "course", parse_path("taken_by")),
+        PathInverse("student", parse_path("taking.taught_by"),
+                    "teacher", parse_path("teaching.taken_by")),
+        PathInverse("student", parse_path("taking.taught_by"),
+                    "teacher", parse_path("teaching.taught_by")),
+    ):
+        print(f"  {phi}: {school_engine.implies(phi).explain()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro: a reproduction of "Integrity Constraints for XML"
+(Wenfei Fan and Jerome Simeon, PODS 2000).
+
+The package implements the paper end-to-end:
+
+- the XML data model and DTDs with constraints (§2):
+  :mod:`repro.datamodel`, :mod:`repro.xmlio`, :mod:`repro.regexlang`,
+  :mod:`repro.dtd`, :mod:`repro.constraints`;
+- implication and finite implication of the basic constraint languages
+  ``L``, ``L_u``, ``L_id`` (§3): :mod:`repro.implication`;
+- path constraints and their implication (§4): :mod:`repro.paths`;
+- the relational and object-database substrates the paper draws on,
+  with semantics-preserving exports to XML: :mod:`repro.relational`,
+  :mod:`repro.oodb`;
+- the FO2 expressiveness argument (§1, Figure 1): :mod:`repro.fo2`;
+- the paper's running examples and seeded workload generators:
+  :mod:`repro.workloads`.
+
+Quickstart::
+
+    from repro import book_dtdc, book_document, validate
+    report = validate(book_document(), book_dtdc())
+    assert report.ok
+
+    from repro import LuEngine, parse_constraint
+    sigma = [parse_constraint(s) for s in (
+        "tau.a -> tau", "tau.b -> tau", "tau.a sub tau.b")]
+    engine = LuEngine(sigma)
+    phi = parse_constraint("tau.b sub tau.a")
+    assert not engine.implies(phi)          # Cor 3.3: not implied ...
+    assert engine.finitely_implies(phi)     # ... but finitely implied.
+"""
+
+from repro.constraints import (
+    Constraint, Field, ForeignKey, IDConstraint, IDForeignKey, IDInverse,
+    IDSetValuedForeignKey, Inverse, Key, Language, SetValuedForeignKey,
+    UnaryForeignKey, UnaryKey, attr, check, check_constraint, elem,
+    parse_constraint, parse_constraints, well_formed,
+)
+from repro.datamodel import DataTree, TreeBuilder, Vertex
+from repro.dtd import DTDC, DTDStructure, ValidationReport, validate
+from repro.errors import ReproError
+from repro.implication import (
+    Derivation, ImplicationResult, LGeneralEngine, LidEngine,
+    LPrimaryEngine, LuEngine, LuPrimaryEngine,
+)
+from repro.paths import (
+    Path, PathFunctional, PathImplicationEngine, PathInclusion,
+    PathInverse, parse_path, type_of,
+)
+from repro.workloads import book_document, book_dtdc
+from repro.xmlio import parse_document, parse_dtd, parse_dtdc, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Constraint", "Field", "ForeignKey", "IDConstraint", "IDForeignKey",
+    "IDInverse", "IDSetValuedForeignKey", "Inverse", "Key", "Language",
+    "SetValuedForeignKey", "UnaryForeignKey", "UnaryKey", "attr", "check",
+    "check_constraint", "elem", "parse_constraint", "parse_constraints",
+    "well_formed",
+    "DataTree", "TreeBuilder", "Vertex",
+    "DTDC", "DTDStructure", "ValidationReport", "validate",
+    "ReproError",
+    "Derivation", "ImplicationResult", "LGeneralEngine", "LidEngine",
+    "LPrimaryEngine", "LuEngine", "LuPrimaryEngine",
+    "Path", "PathFunctional", "PathImplicationEngine", "PathInclusion",
+    "PathInverse", "parse_path", "type_of",
+    "book_document", "book_dtdc",
+    "parse_document", "parse_dtd", "parse_dtdc", "serialize",
+    "__version__",
+]

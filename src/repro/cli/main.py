@@ -1,0 +1,185 @@
+"""The ``repro-xic`` command-line tool.
+
+Subcommands::
+
+    repro-xic validate  DOC.xml SCHEMA.dtdc          # Definition 2.4
+    repro-xic describe  SCHEMA.dtdc                  # dump S and Sigma
+    repro-xic imply     SCHEMA.dtdc "CONSTRAINT"     # basic implication
+    repro-xic imply     --finite SCHEMA.dtdc "..."   # finite implication
+    repro-xic path-type SCHEMA.dtdc TAU PATH         # type(tau.path), §4.1
+    repro-xic path-imply SCHEMA.dtdc "t.p -> t.q"    # Props 4.1/4.2/4.3
+
+Exit status: 0 success / holds / implied, 1 violation / not implied,
+2 usage or input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path as FsPath
+
+from repro.constraints.parser import parse_constraint
+from repro.constraints.wellformed import language_of
+from repro.constraints.base import Language
+from repro.dtd.validate import validate
+from repro.errors import ReproError
+from repro.implication.lid import LidEngine
+from repro.implication.lu import LuEngine
+from repro.implication.l_primary import LPrimaryEngine
+from repro.paths.constraints import (
+    PathFunctional, PathInclusion, PathInverse,
+)
+from repro.paths.implication import PathImplicationEngine
+from repro.paths.path import parse_path, type_of
+from repro.xmlio.dtdparse import parse_dtdc
+from repro.xmlio.parser import parse_document
+
+
+def _load_dtdc(path: str, root: str | None):
+    return parse_dtdc(FsPath(path).read_text(), root=root)
+
+
+def _cmd_validate(args) -> int:
+    dtd = _load_dtdc(args.schema, args.root)
+    tree = parse_document(FsPath(args.document).read_text(), dtd.structure)
+    report = validate(tree, dtd)
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_describe(args) -> int:
+    from repro.dtd.validate import lint_structure
+
+    dtd = _load_dtdc(args.schema, args.root)
+    print(dtd.describe())
+    for warning in lint_structure(dtd.structure):
+        print(f"warning: {warning}")
+    return 0
+
+
+def _cmd_consistent(args) -> int:
+    from repro.dtd.consistency import consistency_report
+
+    report = consistency_report(_load_dtdc(args.schema, args.root))
+    print(report)
+    return 0 if report.consistent else 1
+
+
+def _pick_engine(sigma, phi):
+    """Choose the decider from the joint language of Σ ∪ {φ} — but
+    build it over Σ only."""
+    language = language_of(list(sigma) + [phi])
+    if language & Language.LID:
+        return LidEngine(sigma)
+    if language & Language.LU:
+        return LuEngine(sigma)
+    return LPrimaryEngine(sigma)
+
+
+def _cmd_imply(args) -> int:
+    dtd = _load_dtdc(args.schema, args.root)
+    phi = parse_constraint(args.constraint, dtd.structure)
+    sigma = list(dtd.constraints)
+    engine = _pick_engine(sigma, phi)
+    result = engine.finitely_implies(phi) if args.finite \
+        else engine.implies(phi)
+    print(result.explain())
+    return 0 if result else 1
+
+
+def _cmd_path_type(args) -> int:
+    dtd = _load_dtdc(args.schema, args.root)
+    print(type_of(dtd, args.element, parse_path(args.path)))
+    return 0
+
+
+def _parse_path_constraint(text: str):
+    for sep, cls in ((" inv ", PathInverse), (" sub ", PathInclusion),
+                     (" -> ", PathFunctional)):
+        if sep in text:
+            left, right = text.split(sep, 1)
+            lelem, _dot, lpath = left.strip().partition(".")
+            relem, _dot, rpath = right.strip().partition(".")
+            if cls is PathFunctional:
+                if lelem != relem:
+                    raise ReproError(
+                        "a path functional constraint uses one element "
+                        "type on both sides")
+                return PathFunctional(lelem, parse_path(lpath),
+                                      parse_path(rpath))
+            return cls(lelem, parse_path(lpath), relem, parse_path(rpath))
+    raise ReproError(f"cannot parse path constraint {text!r} "
+                     "(use '->', 'sub' or 'inv')")
+
+
+def _cmd_path_imply(args) -> int:
+    dtd = _load_dtdc(args.schema, args.root)
+    phi = _parse_path_constraint(args.constraint)
+    result = PathImplicationEngine(dtd).implies(phi)
+    print(result.explain())
+    return 0 if result else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-xic",
+        description="Integrity constraints for XML (Fan & Simeon, "
+        "PODS 2000): validation, implication, path reasoning.")
+    parser.add_argument("--root", default=None,
+                        help="root element type (default: first declared)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="validate a document (Def 2.4)")
+    p.add_argument("document")
+    p.add_argument("schema")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("describe", help="print the DTD^C")
+    p.add_argument("schema")
+    p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser("consistent",
+                       help="check the DTD^C for required-but-empty "
+                       "element types")
+    p.add_argument("schema")
+    p.set_defaults(func=_cmd_consistent)
+
+    p = sub.add_parser("imply", help="decide Sigma |= phi")
+    p.add_argument("--finite", action="store_true",
+                   help="decide finite implication instead")
+    p.add_argument("schema")
+    p.add_argument("constraint")
+    p.set_defaults(func=_cmd_imply)
+
+    p = sub.add_parser("path-type", help="type(tau.path), §4.1")
+    p.add_argument("schema")
+    p.add_argument("element")
+    p.add_argument("path")
+    p.set_defaults(func=_cmd_path_type)
+
+    p = sub.add_parser("path-imply",
+                       help="decide path-constraint implication (§4.2)")
+    p.add_argument("schema")
+    p.add_argument("constraint")
+    p.set_defaults(func=_cmd_path_imply)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

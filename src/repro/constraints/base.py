@@ -1,0 +1,113 @@
+"""Common machinery for constraint classes.
+
+A :class:`Field` names one component of a key / foreign key: either an
+attribute of the element type or — per the §3.4 extension — a *unique
+sub-element*, whose value on a vertex is the text content of its single
+child with that label.  Fields print as ``isbn`` (attribute) or
+``<name>`` (sub-element).
+
+Every concrete constraint derives from :class:`Constraint` and declares
+which languages it belongs to via :attr:`Constraint.languages`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.datamodel.tree import Vertex
+
+
+class Language(enum.Flag):
+    """The three basic constraint languages of the paper."""
+
+    L = enum.auto()
+    LU = enum.auto()
+    LID = enum.auto()
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """One key/foreign-key component: an attribute or a unique sub-element."""
+
+    name: str
+    is_element: bool = False
+
+    def __str__(self) -> str:
+        return f"<{self.name}>" if self.is_element else self.name
+
+    def values_on(self, vertex: Vertex) -> frozenset[str]:
+        """The value set of this field on ``vertex``.
+
+        For an attribute this is ``att(vertex, name)`` (empty when
+        undefined).  For a sub-element field it is the set of text
+        contents of the children labeled ``name`` — on a structurally
+        valid document where ``name`` is a unique sub-element this is a
+        singleton.
+        """
+        if not self.is_element:
+            return vertex.attr_or_empty(self.name)
+        return frozenset(child.text
+                         for child in vertex.children_labeled(self.name))
+
+    def single_on(self, vertex: Vertex) -> str | None:
+        """The single value of this field, or ``None`` when it does not
+        hold exactly one value on ``vertex``."""
+        values = self.values_on(vertex)
+        if len(values) != 1:
+            return None
+        return next(iter(values))
+
+
+def attr(name: str) -> Field:
+    """An attribute field."""
+    return Field(name, is_element=False)
+
+
+def elem(name: str) -> Field:
+    """A unique-sub-element field (§3.4)."""
+    return Field(name, is_element=True)
+
+
+def fields_tuple(fields) -> tuple[Field, ...]:
+    """Normalize a field specification to a tuple of :class:`Field`.
+
+    Accepts :class:`Field` objects or bare strings (interpreted as
+    attribute fields, with a ``<name>`` string form for sub-elements).
+    """
+    out: list[Field] = []
+    for f in fields:
+        if isinstance(f, Field):
+            out.append(f)
+        elif isinstance(f, str):
+            if f.startswith("<") and f.endswith(">"):
+                out.append(Field(f[1:-1], is_element=True))
+            else:
+                out.append(Field(f))
+        else:
+            raise TypeError(f"field must be Field or str, got {f!r}")
+    return tuple(out)
+
+
+def one_field(field) -> Field:
+    """Normalize a single field specification."""
+    (f,) = fields_tuple((field,))
+    return f
+
+
+class Constraint:
+    """Base class of all basic XML constraints.
+
+    Concrete subclasses are frozen dataclasses; they all expose
+
+    - :attr:`languages` — the :class:`Language` flags this syntactic form
+      belongs to,
+    - ``element`` — the element type the constraint ranges over,
+    - ``__str__`` — the paper's notation in ASCII.
+    """
+
+    languages: Language = Language(0)
+
+    def in_language(self, language: Language) -> bool:
+        """Whether the constraint's syntactic form belongs to ``language``."""
+        return bool(self.languages & language)

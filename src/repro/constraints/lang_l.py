@@ -1,0 +1,115 @@
+"""Language L: multi-attribute keys and foreign keys (§2.2).
+
+- ``Key(tau, X)``            asserts  ``∀ x,y ∈ ext(tau): x[X]=y[X] → x=y``.
+- ``ForeignKey(tau, X, tau', Y)`` asserts
+  ``∀ x ∈ ext(tau) ∃ y ∈ ext(tau'): x[X] = y[Y]`` — and is well-formed
+  only when ``tau'[Y] → tau'`` is among the stated constraints
+  (checked by :func:`repro.constraints.wellformed.well_formed`).
+
+``X`` in a key is a *set* of fields; in a foreign key ``X`` and ``Y`` are
+*sequences* of equal length (order aligns the components).  Unary
+constraints of L are the special case ``len(X) == 1``; the ``L_u``
+classes in :mod:`repro.constraints.lang_lu` are the preferred
+representation for those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.base import Constraint, Field, Language, fields_tuple
+
+
+@dataclass(frozen=True)
+class Key(Constraint):
+    """``tau[X] -> tau``: the field set ``X`` is a key for ``tau``."""
+
+    element: str
+    fields: tuple[Field, ...]
+
+    languages = Language.L
+
+    def __post_init__(self):
+        object.__setattr__(self, "fields", fields_tuple(self.fields))
+        if not self.fields:
+            raise ValueError("a key needs at least one field")
+        if len(set(self.fields)) != len(self.fields):
+            raise ValueError(f"duplicate fields in key for {self.element!r}")
+
+    @property
+    def field_set(self) -> frozenset[Field]:
+        """The key as a set (keys are order-insensitive)."""
+        return frozenset(self.fields)
+
+    def is_unary(self) -> bool:
+        """Whether the key has exactly one field (the L_u fragment)."""
+        return len(self.fields) == 1
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(f) for f in sorted(self.fields, key=str))
+        return f"{self.element}[{inner}] -> {self.element}"
+
+
+@dataclass(frozen=True)
+class ForeignKey(Constraint):
+    """``tau[X] ⊆ tau'[Y]``: ``X`` is a foreign key referencing the key
+    ``Y`` of ``tau'``."""
+
+    element: str
+    fields: tuple[Field, ...]
+    target: str
+    target_fields: tuple[Field, ...]
+
+    languages = Language.L
+
+    def __post_init__(self):
+        object.__setattr__(self, "fields", fields_tuple(self.fields))
+        object.__setattr__(self, "target_fields",
+                           fields_tuple(self.target_fields))
+        if not self.fields:
+            raise ValueError("a foreign key needs at least one field")
+        if len(self.fields) != len(self.target_fields):
+            raise ValueError(
+                f"foreign key arity mismatch: {len(self.fields)} vs "
+                f"{len(self.target_fields)}")
+        if len(set(self.fields)) != len(self.fields):
+            raise ValueError("duplicate source fields in foreign key")
+        if len(set(self.target_fields)) != len(self.target_fields):
+            raise ValueError("duplicate target fields in foreign key")
+
+    def is_unary(self) -> bool:
+        """Whether the foreign key has exactly one field."""
+        return len(self.fields) == 1
+
+    def implied_target_key(self) -> Key:
+        """The key ``tau'[Y] → tau'`` that well-formedness requires
+        (rule PFK-K derives it)."""
+        return Key(self.target, self.target_fields)
+
+    def permuted(self, order: tuple[int, ...]) -> "ForeignKey":
+        """Apply rule PFK-perm: permute both sides simultaneously."""
+        if sorted(order) != list(range(len(self.fields))):
+            raise ValueError(f"not a permutation of positions: {order!r}")
+        return ForeignKey(
+            self.element, tuple(self.fields[i] for i in order),
+            self.target, tuple(self.target_fields[i] for i in order))
+
+    def canonical(self) -> "ForeignKey":
+        """The permutation-normal form: positions sorted by source field.
+
+        Two foreign keys are perm-equivalent iff their canonical forms
+        are equal; the I_p closure works on canonical forms.
+        """
+        order = tuple(sorted(range(len(self.fields)),
+                             key=lambda i: (str(self.fields[i]),
+                                            str(self.target_fields[i]))))
+        return self.permuted(order)
+
+    def alignment(self) -> dict[Field, Field]:
+        """The source-field -> target-field mapping the sequence encodes."""
+        return dict(zip(self.fields, self.target_fields))
+
+    def __str__(self) -> str:
+        src = ", ".join(str(f) for f in self.fields)
+        dst = ", ".join(str(f) for f in self.target_fields)
+        return f"{self.element}[{src}] sub {self.target}[{dst}]"

@@ -1,0 +1,116 @@
+"""Language L_id: object-style references through document-wide IDs (§2.2).
+
+``L_id`` keeps XML's original ID semantics — an ID value identifies its
+element within the *whole document* — and adds typing/scoping to IDREF
+references, per-type unary keys, and inverse constraints.
+
+Because ``tau.id`` denotes *the* ID attribute of ``tau`` (the unique
+attribute with ``kind = ID``), the constraint objects below do not carry
+the ID attribute's name: it is resolved against the DTD structure when
+checking documents, and is irrelevant for implication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.base import Constraint, Field, Language, one_field
+
+
+@dataclass(frozen=True)
+class IDConstraint(Constraint):
+    """``tau.id →_id tau``: every ``tau``-element has an ID value that is
+    unique among *all* ID values in the document."""
+
+    element: str
+
+    languages = Language.LID
+
+    def __str__(self) -> str:
+        return f"{self.element}.id ->id {self.element}"
+
+
+@dataclass(frozen=True)
+class IDForeignKey(Constraint):
+    """``tau.l ⊆ tau'.id``: the single-valued IDREF attribute ``l`` of
+    every ``tau``-element holds the ID of some ``tau'``-element; requires
+    ``tau'.id →_id tau'``."""
+
+    element: str
+    field: Field
+    target: str
+
+    languages = Language.LID
+
+    def __post_init__(self):
+        object.__setattr__(self, "field", one_field(self.field))
+
+    def implied_id(self) -> IDConstraint:
+        """Rule FK-ID: the target's ID constraint."""
+        return IDConstraint(self.target)
+
+    def __str__(self) -> str:
+        return f"{self.element}.{self.field} sub {self.target}.id"
+
+
+@dataclass(frozen=True)
+class IDSetValuedForeignKey(Constraint):
+    """``tau.l ⊆_S tau'.id``: the set-valued IDREF(S) attribute ``l``
+    holds IDs of ``tau'``-elements only; requires ``tau'.id →_id tau'``."""
+
+    element: str
+    field: Field
+    target: str
+
+    languages = Language.LID
+
+    def __post_init__(self):
+        object.__setattr__(self, "field", one_field(self.field))
+
+    def implied_id(self) -> IDConstraint:
+        """Rule SFK-ID: the target's ID constraint."""
+        return IDConstraint(self.target)
+
+    def __str__(self) -> str:
+        return f"{self.element}.{self.field} subS {self.target}.id"
+
+
+@dataclass(frozen=True)
+class IDInverse(Constraint):
+    """``tau.l ⇌ tau'.l'``: inverse relationship between the set-valued
+    IDREF attributes ``l`` of ``tau`` and ``l'`` of ``tau'``; both types
+    must carry ID constraints.
+
+    Semantics: for all ``x ∈ ext(tau)``, ``y ∈ ext(tau')``::
+
+        x.id ∈ y.l'  →  y.id ∈ x.l
+        y.id ∈ x.l   →  x.id ∈ y.l'
+    """
+
+    element: str
+    field: Field
+    target: str
+    target_field: Field
+
+    languages = Language.LID
+
+    def __post_init__(self):
+        object.__setattr__(self, "field", one_field(self.field))
+        object.__setattr__(self, "target_field", one_field(self.target_field))
+
+    def flipped(self) -> "IDInverse":
+        """The same constraint written from the other side (symmetric)."""
+        return IDInverse(self.target, self.target_field,
+                         self.element, self.field)
+
+    def implied_foreign_keys(self) -> tuple[IDSetValuedForeignKey,
+                                            IDSetValuedForeignKey]:
+        """Rule Inv-SFK-ID: ``tau.l ⊆_S tau'.id`` and
+        ``tau'.l' ⊆_S tau.id``."""
+        return (IDSetValuedForeignKey(self.element, self.field, self.target),
+                IDSetValuedForeignKey(self.target, self.target_field,
+                                      self.element))
+
+    def __str__(self) -> str:
+        return (f"{self.element}.{self.field} inv "
+                f"{self.target}.{self.target_field}")

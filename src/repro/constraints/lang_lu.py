@@ -1,0 +1,143 @@
+"""Language L_u: unary keys/foreign keys, set-valued foreign keys, and
+inverse constraints (§2.2).
+
+``L_u`` is the paper's minimal extension of plain DTDs for native XML
+documents: keys are scoped per element type (not document-wide like ID),
+references may be set-valued (IDREFS-style), and inverse relationships
+are expressible.  Unary keys and unary foreign keys double as the unary
+fragment of ``L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.base import Constraint, Field, Language, one_field
+
+
+@dataclass(frozen=True)
+class UnaryKey(Constraint):
+    """``tau.l -> tau``: field ``l`` is a key for ``tau``-elements.
+
+    Belongs to L (unary case), L_u and L_id.
+    """
+
+    element: str
+    field: Field
+
+    languages = Language.L | Language.LU | Language.LID
+
+    def __post_init__(self):
+        object.__setattr__(self, "field", one_field(self.field))
+
+    def __str__(self) -> str:
+        return f"{self.element}.{self.field} -> {self.element}"
+
+
+@dataclass(frozen=True)
+class UnaryForeignKey(Constraint):
+    """``tau.l ⊆ tau'.l'``: single-valued foreign key; requires
+    ``tau'.l' -> tau'`` among the stated constraints."""
+
+    element: str
+    field: Field
+    target: str
+    target_field: Field
+
+    languages = Language.L | Language.LU
+
+    def __post_init__(self):
+        object.__setattr__(self, "field", one_field(self.field))
+        object.__setattr__(self, "target_field", one_field(self.target_field))
+
+    def implied_target_key(self) -> UnaryKey:
+        """The key that rule UFK-K derives."""
+        return UnaryKey(self.target, self.target_field)
+
+    def __str__(self) -> str:
+        return (f"{self.element}.{self.field} sub "
+                f"{self.target}.{self.target_field}")
+
+
+@dataclass(frozen=True)
+class SetValuedForeignKey(Constraint):
+    """``tau.l ⊆_S tau'.l'``: each value in the *set-valued* attribute
+    ``l`` of every ``tau``-element occurs as an ``l'`` value of some
+    ``tau'``-element; requires ``tau'.l' -> tau'``."""
+
+    element: str
+    field: Field
+    target: str
+    target_field: Field
+
+    languages = Language.LU
+
+    def __post_init__(self):
+        object.__setattr__(self, "field", one_field(self.field))
+        object.__setattr__(self, "target_field", one_field(self.target_field))
+
+    def implied_target_key(self) -> UnaryKey:
+        """The key that rule SFK-K derives."""
+        return UnaryKey(self.target, self.target_field)
+
+    def __str__(self) -> str:
+        return (f"{self.element}.{self.field} subS "
+                f"{self.target}.{self.target_field}")
+
+
+@dataclass(frozen=True)
+class Inverse(Constraint):
+    """``tau(l_k).l ⇌ tau'(l_k').l'``: inverse relationship between the
+    set-valued attributes ``l`` and ``l'``, mediated by the keys ``l_k``
+    of ``tau`` and ``l_k'`` of ``tau'``.
+
+    Semantics: for all ``x ∈ ext(tau)``, ``y ∈ ext(tau')``::
+
+        x.l_k  ∈ y.l'  →  y.l_k' ∈ x.l
+        y.l_k' ∈ x.l   →  x.l_k  ∈ y.l'
+
+    The designated key attributes must be stated keys (the Inv-SFK rule
+    takes them as premises).
+    """
+
+    element: str
+    key_field: Field
+    field: Field
+    target: str
+    target_key_field: Field
+    target_field: Field
+
+    languages = Language.LU
+
+    def __post_init__(self):
+        object.__setattr__(self, "key_field", one_field(self.key_field))
+        object.__setattr__(self, "field", one_field(self.field))
+        object.__setattr__(self, "target_key_field",
+                           one_field(self.target_key_field))
+        object.__setattr__(self, "target_field", one_field(self.target_field))
+
+    def flipped(self) -> "Inverse":
+        """The same constraint written from the other side (symmetric)."""
+        return Inverse(self.target, self.target_key_field, self.target_field,
+                       self.element, self.key_field, self.field)
+
+    def implied_foreign_keys(self) -> tuple[SetValuedForeignKey,
+                                            SetValuedForeignKey]:
+        """Rule Inv-SFK: the two set-valued foreign keys an inverse (plus
+        its designated keys) yields:
+        ``tau.l ⊆_S tau'.l_k'`` and ``tau'.l' ⊆_S tau.l_k``."""
+        return (
+            SetValuedForeignKey(self.element, self.field,
+                                self.target, self.target_key_field),
+            SetValuedForeignKey(self.target, self.target_field,
+                                self.element, self.key_field),
+        )
+
+    def required_keys(self) -> tuple[UnaryKey, UnaryKey]:
+        """The key premises of the Inv-SFK rule."""
+        return (UnaryKey(self.element, self.key_field),
+                UnaryKey(self.target, self.target_key_field))
+
+    def __str__(self) -> str:
+        return (f"{self.element}({self.key_field}).{self.field} inv "
+                f"{self.target}({self.target_key_field}).{self.target_field}")

@@ -1,0 +1,183 @@
+"""Textual syntax for basic XML constraints.
+
+The syntax follows the paper's notation, ASCII-fied::
+
+    entry.isbn -> entry                          unary key
+    person.<name> -> person                      unary key over a sub-element
+    publisher[pname, country] -> publisher       multi-attribute key (L)
+    editor[pname, country] sub publisher[pname, country]   foreign key (L)
+    book.ref sub entry.isbn                      unary foreign key (L_u)
+    ref.to subS entry.isbn                       set-valued foreign key (L_u)
+    dept(dname).has_staff inv person(name).in_dept         inverse (L_u)
+    person.oid ->id person                       ID constraint (L_id)
+    dept.manager sub person.id                   foreign key into an ID (L_id)
+    dept.has_staff subS person.id                set-valued FK into an ID (L_id)
+    dept.has_staff inv person.in_dept            inverse (L_id)
+
+Notes:
+
+- ``.id`` on the right-hand side of ``sub`` / ``subS`` is *notation* for
+  "the ID attribute of that type" (as in the paper), so those lines
+  produce ``L_id`` constraints.  ``<=`` and ``<=s`` are accepted as
+  synonyms of ``sub`` / ``subS``, and ``<->`` of ``inv``.
+- Bare field names denote attributes.  With a DTD structure supplied,
+  a name that is not a declared attribute but is a sub-element of the
+  type resolves to a sub-element field; ``<name>`` forces sub-element.
+- :func:`parse_constraints` reads multiple lines, ignoring blanks and
+  ``#`` comments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.errors import ConstraintSyntaxError
+
+if TYPE_CHECKING:  # layering: constraints must not import dtd at runtime
+    from repro.dtd.structure import DTDStructure
+
+_NAME = r"[A-Za-z_][\w.\-]*"
+_FIELD = rf"(?:<{_NAME}>|{_NAME})"
+
+_KEY_UNARY = re.compile(
+    rf"^({_NAME})\.({_FIELD})\s*->\s*({_NAME})$")
+_KEY_ID = re.compile(
+    rf"^({_NAME})\.({_FIELD})\s*->id\s*({_NAME})$")
+_KEY_MULTI = re.compile(
+    rf"^({_NAME})\s*\[([^\]]+)\]\s*->\s*({_NAME})$")
+_FK_MULTI = re.compile(
+    rf"^({_NAME})\s*\[([^\]]+)\]\s*(?:sub|<=)\s*({_NAME})\s*\[([^\]]+)\]$")
+_FK_UNARY = re.compile(
+    rf"^({_NAME})\.({_FIELD})\s*(?:subS|<=s)\s*({_NAME})\.({_FIELD})$"
+    rf"|^({_NAME})\.({_FIELD})\s*(?:sub|<=)\s*({_NAME})\.({_FIELD})$")
+_INV_LU = re.compile(
+    rf"^({_NAME})\(({_FIELD})\)\.({_FIELD})\s*(?:inv|<->)\s*"
+    rf"({_NAME})\(({_FIELD})\)\.({_FIELD})$")
+_INV_LID = re.compile(
+    rf"^({_NAME})\.({_FIELD})\s*(?:inv|<->)\s*({_NAME})\.({_FIELD})$")
+
+
+def _field(token: str, element: str,
+           structure: "DTDStructure | None") -> Field:
+    token = token.strip()
+    if token.startswith("<") and token.endswith(">"):
+        return Field(token[1:-1], is_element=True)
+    if structure is not None and structure.has_element(element) and \
+            not structure.has_attribute(element, token) and \
+            token in structure.subelements(element):
+        return Field(token, is_element=True)
+    return Field(token)
+
+
+def _fields(tokens: str, element: str,
+            structure: "DTDStructure | None") -> tuple[Field, ...]:
+    return tuple(_field(t, element, structure)
+                 for t in tokens.split(",") if t.strip())
+
+
+def parse_constraint(text: str,
+                     structure: "DTDStructure | None" = None) -> Constraint:
+    """Parse one constraint line; see the module docstring for syntax."""
+    line = text.strip()
+    if not line:
+        raise ConstraintSyntaxError("empty constraint")
+
+    m = _KEY_ID.match(line)
+    if m:
+        element, _attr, target = m.groups()
+        if element != target:
+            raise ConstraintSyntaxError(
+                f"ID constraint must mention the same type twice: {line!r}")
+        return IDConstraint(element)
+
+    m = _KEY_UNARY.match(line)
+    if m:
+        element, field, target = m.groups()
+        if element != target:
+            raise ConstraintSyntaxError(
+                f"key constraint must mention the same type twice: {line!r}")
+        return UnaryKey(element, _field(field, element, structure))
+
+    m = _KEY_MULTI.match(line)
+    if m:
+        element, fields, target = m.groups()
+        if element != target:
+            raise ConstraintSyntaxError(
+                f"key constraint must mention the same type twice: {line!r}")
+        parsed = _fields(fields, element, structure)
+        if len(parsed) == 1:
+            return UnaryKey(element, parsed[0])
+        return Key(element, parsed)
+
+    m = _FK_MULTI.match(line)
+    if m:
+        element, fields, target, target_fields = m.groups()
+        src = _fields(fields, element, structure)
+        dst = _fields(target_fields, target, structure)
+        if len(src) == 1 and len(dst) == 1:
+            return UnaryForeignKey(element, src[0], target, dst[0])
+        return ForeignKey(element, src, target, dst)
+
+    m = _FK_UNARY.match(line)
+    if m:
+        groups = m.groups()
+        if groups[0] is not None:  # subS branch
+            element, field, target, target_field = groups[:4]
+            set_valued = True
+        else:
+            element, field, target, target_field = groups[4:]
+            set_valued = False
+        src = _field(field, element, structure)
+        if target_field == "id":
+            if set_valued:
+                return IDSetValuedForeignKey(element, src, target)
+            return IDForeignKey(element, src, target)
+        dst = _field(target_field, target, structure)
+        if set_valued:
+            return SetValuedForeignKey(element, src, target, dst)
+        return UnaryForeignKey(element, src, target, dst)
+
+    m = _INV_LU.match(line)
+    if m:
+        element, key_field, field, target, target_key, target_field = \
+            m.groups()
+        return Inverse(element,
+                       _field(key_field, element, structure),
+                       _field(field, element, structure),
+                       target,
+                       _field(target_key, target, structure),
+                       _field(target_field, target, structure))
+
+    m = _INV_LID.match(line)
+    if m:
+        element, field, target, target_field = m.groups()
+        return IDInverse(element, _field(field, element, structure),
+                         target, _field(target_field, target, structure))
+
+    raise ConstraintSyntaxError(f"cannot parse constraint: {line!r}")
+
+
+def parse_constraints(text: str,
+                      structure: "DTDStructure | None" = None
+                      ) -> list[Constraint]:
+    """Parse a block of constraint lines (blank lines and ``#`` comments
+    are ignored)."""
+    out: list[Constraint] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            out.append(parse_constraint(line, structure))
+        except ConstraintSyntaxError as exc:
+            raise ConstraintSyntaxError(exc.message, line=lineno) from None
+    return out

@@ -1,0 +1,84 @@
+"""Violation reporting for constraint checking and validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datamodel.tree import Vertex
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One concrete constraint (or structural) violation.
+
+    Attributes
+    ----------
+    code:
+        A stable machine-readable identifier, e.g. ``"key"``,
+        ``"foreign-key"``, ``"id-clash"``, ``"content-model"``.
+    message:
+        Human-readable description.
+    constraint:
+        String form of the violated constraint, when applicable.
+    vertices:
+        ``vid``s of the offending vertices (possibly empty).
+    """
+
+    code: str
+    message: str
+    constraint: str = ""
+    vertices: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        where = f" (vertices {', '.join(map(str, self.vertices))})" \
+            if self.vertices else ""
+        which = f" [{self.constraint}]" if self.constraint else ""
+        return f"{self.code}: {self.message}{which}{where}"
+
+
+@dataclass
+class ViolationReport:
+    """The outcome of checking a document: a list of violations.
+
+    Truthiness follows success: ``bool(report)`` is ``True`` when the
+    document is clean.
+    """
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether no violation was recorded."""
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def add(self, code: str, message: str, constraint: str = "",
+            vertices: "tuple[Vertex, ...] | list[Vertex] | tuple[int, ...]" = ()
+            ) -> None:
+        """Record a violation; ``vertices`` may be Vertex objects or vids."""
+        vids = tuple(v.vid if isinstance(v, Vertex) else int(v)
+                     for v in vertices)
+        self.violations.append(Violation(code, message, constraint, vids))
+
+    def merge(self, other: "ViolationReport") -> None:
+        """Append all violations from ``other``."""
+        self.violations.extend(other.violations)
+
+    def by_code(self, code: str) -> list[Violation]:
+        """The violations with the given code."""
+        return [v for v in self.violations if v.code == code]
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self):
+        return iter(self.violations)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "OK (no violations)"
+        lines = [f"{len(self.violations)} violation(s):"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Well-formedness of constraint sets against a DTD structure.
+
+The constraint definitions in §2.2 carry side conditions — keys range
+over single-valued attributes (or unique sub-elements, §3.4), foreign-key
+targets must be stated keys, ``L_id`` references must be IDREF attributes
+pointing at types with ID constraints, and so on.  :func:`well_formed`
+verifies all of them and returns a list of problems (empty = ok);
+:func:`require_well_formed` raises :class:`ConstraintError` instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.constraints.base import Constraint, Field, Language
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.errors import ConstraintError
+
+if TYPE_CHECKING:  # layering: constraints must not import dtd at runtime
+    from repro.dtd.structure import DTDStructure
+
+
+def well_formed(constraints: Iterable[Constraint],
+                structure: "DTDStructure") -> list[str]:
+    """All well-formedness problems of Σ against the structure."""
+    sigma = list(constraints)
+    problems: list[str] = []
+    stated_keys = _stated_keys(sigma)
+    stated_ids = {c.element for c in sigma if isinstance(c, IDConstraint)}
+    for c in sigma:
+        problems.extend(_check_one(c, structure, stated_keys, stated_ids))
+    return problems
+
+
+def require_well_formed(constraints: Iterable[Constraint],
+                        structure: "DTDStructure") -> None:
+    """Raise :class:`ConstraintError` on the first well-formedness problem."""
+    problems = well_formed(constraints, structure)
+    if problems:
+        raise ConstraintError("; ".join(problems))
+
+
+def language_of(constraints: Iterable[Constraint]) -> Language:
+    """The largest language containing every constraint of Σ.
+
+    Raises :class:`ConstraintError` when Σ mixes languages (e.g. an
+    ``L_id`` ID constraint with an ``L`` multi-attribute key).
+    """
+    common = Language.L | Language.LU | Language.LID
+    for c in constraints:
+        common &= c.languages
+        if not common:
+            raise ConstraintError(
+                "constraint set mixes languages; no single language of "
+                "the paper contains all of them")
+    return common
+
+
+def _stated_keys(sigma: list[Constraint]) -> set[tuple[str, frozenset[Field]]]:
+    keys: set[tuple[str, frozenset[Field]]] = set()
+    for c in sigma:
+        if isinstance(c, Key):
+            keys.add((c.element, c.field_set))
+        elif isinstance(c, UnaryKey):
+            keys.add((c.element, frozenset((c.field,))))
+    return keys
+
+
+def _field_ok(structure: "DTDStructure", element: str, field: Field,
+              need_single: bool, need_set: bool = False) -> str | None:
+    """Check one field reference; return a problem string or ``None``."""
+    if not structure.has_element(element):
+        return f"undeclared element type {element!r}"
+    if field.is_element:
+        if need_set:
+            return (f"{element}.{field} must be a set-valued attribute, "
+                    "not a sub-element")
+        if field.name not in structure.unique_subelements(element):
+            return (f"{field.name!r} is not a unique sub-element of "
+                    f"{element!r} (§3.4 requires exactly one occurrence "
+                    "in every word of the content model)")
+        return None
+    if not structure.has_attribute(element, field.name):
+        return f"undeclared attribute {element}.{field.name}"
+    set_valued = structure.is_set_valued(element, field.name)
+    if need_single and set_valued:
+        return f"{element}.{field.name} must be single-valued"
+    if need_set and not set_valued:
+        return f"{element}.{field.name} must be set-valued"
+    return None
+
+
+def _check_one(c: Constraint, s: "DTDStructure",
+               stated_keys: set[tuple[str, frozenset[Field]]],
+               stated_ids: set[str]) -> list[str]:
+    problems: list[str] = []
+
+    def field(element: str, f: Field, *, single: bool = False,
+              setv: bool = False) -> None:
+        p = _field_ok(s, element, f, need_single=single, need_set=setv)
+        if p is not None:
+            problems.append(f"{c}: {p}")
+
+    def target_key(element: str, fs: frozenset[Field]) -> None:
+        if (element, fs) not in stated_keys:
+            inner = ", ".join(str(f) for f in sorted(fs, key=str))
+            problems.append(
+                f"{c}: referenced fields [{inner}] are not a stated key "
+                f"of {element!r}")
+
+    def target_id(element: str) -> None:
+        if element not in stated_ids:
+            problems.append(
+                f"{c}: target {element!r} has no stated ID constraint")
+        if s.has_element(element) and s.id_attribute(element) is None:
+            problems.append(
+                f"{c}: target {element!r} has no declared ID attribute")
+
+    if isinstance(c, Key):
+        for f in c.fields:
+            field(c.element, f, single=True)
+    elif isinstance(c, UnaryKey):
+        field(c.element, c.field, single=True)
+    elif isinstance(c, ForeignKey):
+        for f in c.fields:
+            field(c.element, f, single=True)
+        for f in c.target_fields:
+            field(c.target, f, single=True)
+        target_key(c.target, frozenset(c.target_fields))
+    elif isinstance(c, UnaryForeignKey):
+        field(c.element, c.field, single=True)
+        field(c.target, c.target_field, single=True)
+        target_key(c.target, frozenset((c.target_field,)))
+    elif isinstance(c, SetValuedForeignKey):
+        field(c.element, c.field, setv=True)
+        field(c.target, c.target_field, single=True)
+        target_key(c.target, frozenset((c.target_field,)))
+    elif isinstance(c, Inverse):
+        field(c.element, c.field, setv=True)
+        field(c.target, c.target_field, setv=True)
+        field(c.element, c.key_field, single=True)
+        field(c.target, c.target_key_field, single=True)
+        target_key(c.element, frozenset((c.key_field,)))
+        target_key(c.target, frozenset((c.target_key_field,)))
+    elif isinstance(c, IDConstraint):
+        if not s.has_element(c.element):
+            problems.append(f"{c}: undeclared element type {c.element!r}")
+        elif s.id_attribute(c.element) is None:
+            problems.append(
+                f"{c}: element type {c.element!r} has no attribute of "
+                "kind ID")
+    elif isinstance(c, IDForeignKey):
+        field(c.element, c.field, single=True)
+        _require_idref(s, c, c.element, c.field, problems)
+        target_id(c.target)
+    elif isinstance(c, IDSetValuedForeignKey):
+        field(c.element, c.field, setv=True)
+        _require_idref(s, c, c.element, c.field, problems)
+        target_id(c.target)
+    elif isinstance(c, IDInverse):
+        field(c.element, c.field, setv=True)
+        field(c.target, c.target_field, setv=True)
+        _require_idref(s, c, c.element, c.field, problems)
+        _require_idref(s, c, c.target, c.target_field, problems)
+        target_id(c.element)
+        target_id(c.target)
+    else:
+        raise ConstraintError(f"unknown constraint type {c!r}")
+    return problems
+
+
+def _require_idref(s: "DTDStructure", c: Constraint, element: str,
+                   field: Field, problems: list[str]) -> None:
+    # Deferred import keeps the constraints package independent of dtd
+    # at import time (dtd depends on constraints, not vice versa).
+    from repro.dtd.structure import AttributeKind
+
+    if field.is_element:
+        problems.append(f"{c}: L_id references must be attributes")
+        return
+    if s.has_element(element) and s.has_attribute(element, field.name) and \
+            s.kind(element, field.name) is not AttributeKind.IDREF:
+        problems.append(
+            f"{c}: kind({element}, {field.name}) must be IDREF")

@@ -1,0 +1,81 @@
+"""A fluent builder for data trees.
+
+Writing documents vertex-by-vertex is verbose; the :class:`TreeBuilder`
+offers a compact nested-call style used throughout the examples, tests
+and workload generators::
+
+    b = TreeBuilder("book")
+    with b.element("entry", isbn="1-55860-622-X"):
+        b.leaf("title", "Data on the Web")
+        b.leaf("publisher", "Morgan Kaufmann")
+    b.leaf("author", "Abiteboul")
+    tree = b.tree
+
+Attributes passed as keyword arguments may be strings (single-valued) or
+iterables of strings (set-valued, e.g. IDREFS).  Because Python keyword
+arguments cannot contain characters like ``-``, attributes can also be
+supplied via the ``attrs`` mapping parameter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from contextlib import contextmanager
+
+from repro.datamodel.tree import DataTree, Vertex
+
+
+class TreeBuilder:
+    """Incrementally build a :class:`~repro.datamodel.tree.DataTree`."""
+
+    def __init__(self, root_label: str,
+                 attrs: Mapping[str, "str | Iterable[str]"] | None = None,
+                 **kw_attrs: "str | Iterable[str]"):
+        self.tree = DataTree(root_label)
+        self._stack: list[Vertex] = [self.tree.root]
+        _set_attrs(self.tree.root, attrs, kw_attrs)
+
+    @property
+    def current(self) -> Vertex:
+        """The vertex new children are appended to."""
+        return self._stack[-1]
+
+    @contextmanager
+    def element(self, label: str,
+                attrs: Mapping[str, "str | Iterable[str]"] | None = None,
+                **kw_attrs: "str | Iterable[str]"):
+        """Open a child element; children added inside the ``with`` block
+        become its children.  Yields the new vertex."""
+        v = self.tree.create(label)
+        _set_attrs(v, attrs, kw_attrs)
+        self.current.append(v)
+        self._stack.append(v)
+        try:
+            yield v
+        finally:
+            self._stack.pop()
+
+    def leaf(self, label: str, text: str | None = None,
+             attrs: Mapping[str, "str | Iterable[str]"] | None = None,
+             **kw_attrs: "str | Iterable[str]") -> Vertex:
+        """Append a childless (or text-only) element and return it."""
+        v = self.tree.create(label)
+        _set_attrs(v, attrs, kw_attrs)
+        if text is not None:
+            v.append(text)
+        self.current.append(v)
+        return v
+
+    def text(self, value: str) -> None:
+        """Append a string child to the current element."""
+        self.current.append(value)
+
+
+def _set_attrs(vertex: Vertex,
+               attrs: Mapping[str, "str | Iterable[str]"] | None,
+               kw_attrs: Mapping[str, "str | Iterable[str]"]) -> None:
+    if attrs:
+        for name, values in attrs.items():
+            vertex.set_attribute(name, values)
+    for name, values in kw_attrs.items():
+        vertex.set_attribute(name, values)

@@ -1,0 +1,17 @@
+"""DTD structures and DTDs with constraints (Definitions 2.2-2.4).
+
+- :class:`DTDStructure` is the structural half ``S = (E, P, R, kind, r)``:
+  element types, content models, attribute types (single- or set-valued)
+  and the ``kind`` partial function marking ID / IDREF attributes.
+- :class:`DTDC` pairs a structure with a set Σ of basic XML constraints
+  (Definition 2.3).
+- :func:`validate` / :class:`ValidationReport` implement the validity
+  notion of Definition 2.4: structural conformance plus ``G ⊨ Σ``.
+"""
+
+from repro.dtd.structure import AttributeKind, DTDStructure
+from repro.dtd.dtdc import DTDC
+from repro.dtd.validate import ValidationReport, validate
+
+__all__ = ["AttributeKind", "DTDStructure", "DTDC", "ValidationReport",
+           "validate"]

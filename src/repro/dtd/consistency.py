@@ -1,0 +1,133 @@
+"""Consistency of a ``DTD^C``: does it admit any valid document?
+
+The paper treats implication assuming models exist; the interaction
+between structural requirements ("every book has exactly one entry")
+and constraints that force extensions to be empty is the degenerate
+corner documented in :mod:`repro.implication.lid` — and the question
+the authors' follow-up work (Fan & Libkin, PODS 2001) made central.
+This module implements the tractable part:
+
+- :func:`required_types` — element types with at least one mandatory
+  occurrence in every valid document (min-occurrence analysis of the
+  content models, propagated from the root);
+- :func:`vacuous_types` — element types whose extension is empty in
+  every model of Σ (from the ``L_id`` multi-target degeneracy, closed
+  under "a required child of an empty type is pointless" … the reverse
+  direction: a type whose *mandatory* attribute can never be satisfied
+  is itself empty, and emptiness propagates up through mandatory
+  containment);
+- :func:`consistency_report` — the conflict set: types that are both
+  required and vacuous.  A non-empty conflict set means **no valid
+  document exists**, so every implication statement about the schema is
+  vacuously true — the report is the guard rail around the §3 engines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.constraints.base import Language
+from repro.constraints.wellformed import language_of
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.implication.lid import LidEngine
+from repro.regexlang.properties import occurrence_bounds, symbols_of
+
+
+def required_types(structure: DTDStructure) -> set[str]:
+    """Types with ≥1 occurrence in *every* valid document.
+
+    A type is required when it lies on a chain of mandatory containment
+    from the root: the root is required, and a child type with a
+    positive minimum occurrence count in a required parent's content
+    model is required.
+    """
+    required = {structure.root}
+    queue = deque((structure.root,))
+    while queue:
+        t = queue.popleft()
+        content = structure.content(t)
+        for child in symbols_of(content):
+            if child == "S" or child in required:
+                continue
+            lo, _hi = occurrence_bounds(content, child)
+            if lo >= 1:
+                required.add(child)
+                queue.append(child)
+    return required
+
+
+def vacuous_types(dtd: DTDC) -> set[str]:
+    """Types whose extension must be empty in every model of Σ.
+
+    Seeds: the ``L_id`` multi-target degeneracy (one single-valued
+    IDREF attribute with foreign keys into two different types — the
+    target ID sets are disjoint, so no source element can exist).
+    Closure: if a type's content model *requires* a child of a vacuous
+    type, the parent is vacuous too (its mandatory child cannot exist).
+    """
+    try:
+        language = language_of(dtd.constraints) if dtd.constraints \
+            else Language.LID
+    except Exception:
+        return set()
+    if not language & Language.LID:
+        return set()
+    empty = set(LidEngine(dtd.constraints).vacuous_types())
+    structure = dtd.structure
+    changed = True
+    while changed:
+        changed = False
+        for t in structure.element_types:
+            if t in empty:
+                continue
+            content = structure.content(t)
+            for child in symbols_of(content):
+                if child in empty and \
+                        occurrence_bounds(content, child)[0] >= 1:
+                    empty.add(t)
+                    changed = True
+                    break
+    return empty
+
+
+@dataclass
+class ConsistencyReport:
+    """The outcome of a consistency check."""
+
+    required: set[str] = field(default_factory=set)
+    vacuous: set[str] = field(default_factory=set)
+
+    @property
+    def conflicts(self) -> set[str]:
+        """Types that must occur but cannot: the inconsistency witnesses."""
+        return self.required & self.vacuous
+
+    @property
+    def consistent(self) -> bool:
+        """Whether valid documents can exist (no conflict detected).
+
+        ``True`` is a *no conflict found* verdict from the tractable
+        analysis, not a completeness guarantee — full ``DTD^C``
+        satisfiability is beyond this paper (see Fan & Libkin 2001).
+        """
+        return not self.conflicts
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+    def __str__(self) -> str:
+        if self.consistent:
+            return ("consistent (no required type is constraint-forced "
+                    "to be empty)")
+        inner = ", ".join(sorted(self.conflicts))
+        return (f"INCONSISTENT: type(s) {{{inner}}} are required by the "
+                "content models but have necessarily empty extensions "
+                "under Sigma — no valid document exists")
+
+
+def consistency_report(dtd: DTDC) -> ConsistencyReport:
+    """Check the ``DTD^C`` for the detectable inconsistency pattern."""
+    return ConsistencyReport(required=required_types(dtd.structure),
+                             vacuous=vacuous_types(dtd))

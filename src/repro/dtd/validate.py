@@ -1,0 +1,121 @@
+"""Document validity (Definition 2.4).
+
+A data tree ``G`` is valid with respect to ``D = (S, Σ)`` iff
+
+1. the root's label is the root element type ``r``,
+2. every vertex's label is a declared element type and its child-label
+   word belongs to the language of its content model,
+3. ``att(v, l)`` is defined exactly for the declared attributes of the
+   vertex's type, and single-valued attributes hold singleton sets,
+4. ``G ⊨ Σ``.
+
+:func:`validate` returns a :class:`ValidationReport` combining the
+structural and constraint findings; :func:`validate_strict` raises
+:class:`~repro.errors.ValidationError` on any problem.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.checker import check as check_constraints
+from repro.constraints.violations import ViolationReport
+from repro.datamodel.tree import DataTree
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.errors import ValidationError
+from repro.regexlang.automaton import matcher_for
+
+
+class ValidationReport(ViolationReport):
+    """A :class:`ViolationReport` with structural/constraint breakdown."""
+
+    @property
+    def structural(self) -> list:
+        """Violations of points 1-3 of Definition 2.4."""
+        return [v for v in self.violations
+                if v.code in ("root", "element", "content-model",
+                              "attribute")]
+
+    @property
+    def constraint(self) -> list:
+        """Violations of ``G ⊨ Σ``."""
+        return [v for v in self.violations if v not in self.structural]
+
+
+def validate_structure(tree: DataTree,
+                       structure: DTDStructure) -> ValidationReport:
+    """Check points 1-3 of Definition 2.4 (no constraints)."""
+    report = ValidationReport()
+    if tree.root.label != structure.root:
+        report.add("root",
+                   f"root is {tree.root.label!r}, expected "
+                   f"{structure.root!r}", vertices=(tree.root,))
+    for v in tree.root.subtree():
+        if not structure.has_element(v.label):
+            report.add("element",
+                       f"undeclared element type {v.label!r}",
+                       vertices=(v,))
+            continue
+        word = v.child_labels
+        matcher = matcher_for(structure.content(v.label))
+        if not matcher.matches(word):
+            viable = matcher.prefix_length(word)
+            expected = sorted(matcher.expected_after(word[:viable]))
+            report.add(
+                "content-model",
+                f"children of {v.label!r} do not match its content model"
+                f" (stuck after {viable} child(ren); expected one of "
+                f"{expected})", vertices=(v,))
+        declared = structure.attributes(v.label)
+        for attr_name, values in v.attributes.items():
+            if attr_name not in declared:
+                report.add("attribute",
+                           f"undeclared attribute {v.label}.{attr_name}",
+                           vertices=(v,))
+            elif not structure.is_set_valued(v.label, attr_name) and \
+                    len(values) != 1:
+                report.add(
+                    "attribute",
+                    f"single-valued attribute {v.label}.{attr_name} holds "
+                    f"{len(values)} values", vertices=(v,))
+        for attr_name in declared:
+            if not v.has_attribute(attr_name):
+                report.add("attribute",
+                           f"missing attribute {v.label}.{attr_name}",
+                           vertices=(v,))
+    return report
+
+
+def validate(tree: DataTree, dtd: DTDC) -> ValidationReport:
+    """Full Definition 2.4 validity: structure plus ``G ⊨ Σ``."""
+    report = validate_structure(tree, dtd.structure)
+    report.merge(check_constraints(tree, dtd.constraints, dtd.structure))
+    return report
+
+
+def validate_strict(tree: DataTree, dtd: DTDC) -> None:
+    """Like :func:`validate` but raises on any violation."""
+    report = validate(tree, dtd)
+    if not report.ok:
+        raise ValidationError(report)
+
+
+def lint_structure(structure: DTDStructure) -> list[str]:
+    """Schema-quality warnings that are not Definition 2.4 violations.
+
+    Currently: non-deterministic (1-ambiguous) content models.  XML 1.0
+    requires DTD content models to be deterministic; the paper's grammar
+    does not, and this library validates either way — but a
+    non-deterministic model usually signals an authoring mistake, and
+    the Glushkov matcher runs slower on it (subset construction kicks
+    in).  The CLI surfaces these from ``describe``.
+    """
+    from repro.regexlang.glushkov import GlushkovNFA
+
+    warnings: list[str] = []
+    for tau in sorted(structure.element_types):
+        if not GlushkovNFA(structure.content(tau)).is_deterministic():
+            warnings.append(
+                f"content model of {tau!r} is not 1-unambiguous "
+                "(XML 1.0 would reject it; validation here is exact "
+                "but slower)")
+    return warnings

@@ -1,0 +1,140 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  The sub-hierarchy mirrors the
+package layout: parsing problems, schema (DTD) problems, constraint
+well-formedness problems, validation failures, and implication-engine
+problems each have their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Parsing (XML text, DTD text, constraint syntax, path syntax)
+# ---------------------------------------------------------------------------
+
+
+class ParseError(ReproError):
+    """A textual input could not be parsed.
+
+    Attributes
+    ----------
+    message:
+        Human-readable description of the problem.
+    line, column:
+        1-based position of the offending input, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        if line is not None:
+            where = f" at line {line}"
+            if column is not None:
+                where += f", column {column}"
+            message = message + where
+        super().__init__(message)
+
+
+class XMLSyntaxError(ParseError):
+    """The XML document text is not well-formed."""
+
+
+class DTDSyntaxError(ParseError):
+    """The DTD text (``<!ELEMENT ...>`` / ``<!ATTLIST ...>``) is malformed."""
+
+
+class ConstraintSyntaxError(ParseError):
+    """A textual constraint (e.g. ``entry.isbn -> entry``) is malformed."""
+
+
+class RegexSyntaxError(ParseError):
+    """A content-model regular expression could not be parsed."""
+
+
+class PathSyntaxError(ParseError):
+    """A navigation path expression could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# Data model
+# ---------------------------------------------------------------------------
+
+
+class DataModelError(ReproError):
+    """A data tree violates a structural invariant of Definition 2.1."""
+
+
+class DuplicateVertexError(DataModelError):
+    """A vertex was attached to more than one parent."""
+
+
+class UnknownVertexError(DataModelError):
+    """An operation referred to a vertex that is not part of the tree."""
+
+
+# ---------------------------------------------------------------------------
+# Schemas (DTD structures) and constraint well-formedness
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """A DTD structure (Definition 2.2) is internally inconsistent."""
+
+
+class ConstraintError(ReproError):
+    """A constraint is not well-formed with respect to a DTD structure.
+
+    Examples: a key over a set-valued attribute, a foreign key whose
+    target is not a key, an ``L_id`` foreign key whose attribute is not
+    of IDREF kind.
+    """
+
+
+class PrimaryKeyRestrictionError(ConstraintError):
+    """A constraint set violates the primary-key restriction of §3.2/§3.3."""
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+class ValidationError(ReproError):
+    """A document failed validation and the caller asked for an exception.
+
+    Most validation APIs return a report object instead of raising; this
+    is used by the strict entry points (and the CLI with ``--strict``).
+    """
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(str(report))
+
+
+# ---------------------------------------------------------------------------
+# Implication engines
+# ---------------------------------------------------------------------------
+
+
+class ImplicationError(ReproError):
+    """An implication query was malformed for the chosen engine."""
+
+
+class LanguageMismatchError(ImplicationError):
+    """A constraint of the wrong language was passed to a decider."""
+
+
+class UndecidableProblemError(ImplicationError):
+    """The exact question posed is undecidable (Theorem 3.6).
+
+    Raised by the general-``L`` engine when the caller requests an exact
+    answer without allowing the bounded (sound-but-incomplete) modes.
+    """

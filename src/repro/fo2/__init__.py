@@ -1,0 +1,35 @@
+"""Two-variable first-order logic: structures, formulas, the 2-pebble
+Ehrenfeucht–Fraïssé game (§1's expressiveness discussion, Figure 1).
+
+The paper shows that unary key constraints (among others) are *not*
+expressible in FO²: the structures ``G`` and ``G'`` of Figure 1 are
+FO²-equivalent (duplicator wins the 2-pebble game) yet the key
+constraint ``tau.l -> tau`` distinguishes them.  This package makes the
+argument executable:
+
+- :class:`Structure` — finite relational structures;
+- :mod:`repro.fo2.formulas` — an FO² AST with evaluation (and a
+  variable-count check);
+- :func:`two_pebble_equivalent` — the greatest-fixpoint winning-set
+  computation for the unbounded 2-pebble game, which on finite
+  structures coincides with FO² elementary equivalence;
+- :func:`figure_one_pair` — the reconstructed Figure 1 witness, and
+  :func:`search_indistinguishable_pair` to rediscover it by search.
+"""
+
+from repro.fo2.structures import Structure
+from repro.fo2.formulas import (
+    And, Atom, Eq, Exists, Forall, Implies, Not, Or, Var,
+    evaluate, key_constraint_formula, variables_used,
+)
+from repro.fo2.ef_game import (
+    figure_one_pair, search_indistinguishable_pair, two_pebble_equivalent,
+)
+
+__all__ = [
+    "Structure",
+    "And", "Atom", "Eq", "Exists", "Forall", "Implies", "Not", "Or",
+    "Var", "evaluate", "key_constraint_formula", "variables_used",
+    "figure_one_pair", "search_indistinguishable_pair",
+    "two_pebble_equivalent",
+]

@@ -1,0 +1,217 @@
+"""FO² formulas: AST, evaluation and the two-variable check.
+
+FO² is first-order logic restricted to two variable *names* (``x`` and
+``y``), which may be requantified.  :func:`variables_used` verifies that
+a formula stays within a given variable budget; :func:`evaluate` is a
+straightforward recursive evaluator over
+:class:`~repro.fo2.structures.Structure`.
+
+:func:`key_constraint_formula` builds the paper's witness formula
+
+    ``∀x ∀y ( ∃z (l(x,z) ∧ l(y,z)) → x = y )``
+
+which uses **three** variables — and §1 shows no two-variable equivalent
+exists (verified executably by experiment E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fo2.structures import Structure
+
+
+class Formula:
+    """Base class of FO formulas."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A variable occurrence."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Formula):
+    """``relation(args...)`` with 1 or 2 arguments."""
+
+    relation: str
+    args: tuple[Var, ...]
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True, slots=True)
+class Eq(Formula):
+    """``left = right``."""
+
+    left: Var
+    right: Var
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    inner: Formula
+
+    def __str__(self) -> str:
+        return f"¬({self.inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} → {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Formula):
+    var: Var
+    inner: Formula
+
+    def __str__(self) -> str:
+        return f"∃{self.var}.({self.inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class Forall(Formula):
+    var: Var
+    inner: Formula
+
+    def __str__(self) -> str:
+        return f"∀{self.var}.({self.inner})"
+
+
+def variables_used(formula: Formula) -> frozenset[str]:
+    """All variable *names* occurring in the formula — the resource FO²
+    bounds (requantification is free)."""
+    if isinstance(formula, Atom):
+        return frozenset(v.name for v in formula.args)
+    if isinstance(formula, Eq):
+        return frozenset((formula.left.name, formula.right.name))
+    if isinstance(formula, Not):
+        return variables_used(formula.inner)
+    if isinstance(formula, (And, Or, Implies)):
+        return variables_used(formula.left) | variables_used(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return variables_used(formula.inner) | {formula.var.name}
+    if isinstance(formula, ExistsAtLeast):
+        return variables_used(formula.inner) | {formula.var.name}
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def is_fo2(formula: Formula) -> bool:
+    """Whether the formula uses at most two variable names."""
+    return len(variables_used(formula)) <= 2
+
+
+def evaluate(structure: Structure, formula: Formula,
+             assignment: dict[str, object] | None = None) -> bool:
+    """Model checking by recursive evaluation."""
+    assignment = assignment or {}
+    if isinstance(formula, Atom):
+        values = tuple(assignment[v.name] for v in formula.args)
+        return structure.holds(formula.relation, *values)
+    if isinstance(formula, Eq):
+        return assignment[formula.left.name] == \
+            assignment[formula.right.name]
+    if isinstance(formula, Not):
+        return not evaluate(structure, formula.inner, assignment)
+    if isinstance(formula, And):
+        return evaluate(structure, formula.left, assignment) and \
+            evaluate(structure, formula.right, assignment)
+    if isinstance(formula, Or):
+        return evaluate(structure, formula.left, assignment) or \
+            evaluate(structure, formula.right, assignment)
+    if isinstance(formula, Implies):
+        return (not evaluate(structure, formula.left, assignment)) or \
+            evaluate(structure, formula.right, assignment)
+    if isinstance(formula, Exists):
+        for element in structure.universe:
+            inner = dict(assignment)
+            inner[formula.var.name] = element
+            if evaluate(structure, formula.inner, inner):
+                return True
+        return False
+    if isinstance(formula, Forall):
+        for element in structure.universe:
+            inner = dict(assignment)
+            inner[formula.var.name] = element
+            if not evaluate(structure, formula.inner, inner):
+                return False
+        return True
+    if isinstance(formula, ExistsAtLeast):
+        hits = 0
+        for element in structure.universe:
+            inner = dict(assignment)
+            inner[formula.var.name] = element
+            if evaluate(structure, formula.inner, inner):
+                hits += 1
+                if hits >= formula.count:
+                    return True
+        return False
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def key_constraint_formula(relation: str = "l") -> Formula:
+    """The paper's key-constraint sentence
+    ``∀x∀y(∃z(l(x,z) ∧ l(y,z)) → x = y)`` (three variables)."""
+    x, y, z = Var("x"), Var("y"), Var("z")
+    shared = Exists(z, And(Atom(relation, (x, z)), Atom(relation, (y, z))))
+    return Forall(x, Forall(y, Implies(shared, Eq(x, y))))
+
+
+@dataclass(frozen=True, slots=True)
+class ExistsAtLeast(Formula):
+    """Counting quantifier ``∃^{≥k} var . inner`` (C², not plain FO²).
+
+    §1 notes that keys ARE expressible once counting quantifiers are
+    added (description logics with ``at_least``/``at_most``): the key
+    constraint over ``l`` is ``∀x ¬∃^{≥2} y (l(y, x))`` — still two
+    variable names, but outside FO²'s game, which is the point of
+    Figure 1.
+    """
+
+    count: int
+    var: Var
+    inner: Formula
+
+    def __str__(self) -> str:
+        return f"∃≥{self.count}{self.var}.({self.inner})"
+
+
+def key_constraint_c2(relation: str = "l") -> Formula:
+    """The key constraint in C² (two variables + counting):
+    ``∀x ¬∃^{≥2} y l(y, x)``."""
+    x, y = Var("x"), Var("y")
+    return Forall(x, Not(ExistsAtLeast(2, y, Atom(relation, (y, x)))))

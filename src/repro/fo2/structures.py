@@ -1,0 +1,62 @@
+"""Finite relational structures over unary and binary relations."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Structure:
+    """A finite structure: a universe plus named relations.
+
+    Relations are sets of 1- or 2-tuples over the universe.  Structures
+    are immutable and hashable (used as search-space keys).
+    """
+
+    universe: frozenset
+    relations: tuple[tuple[str, frozenset], ...] = field(default=())
+
+    @staticmethod
+    def build(universe: Iterable,
+              **relations: Iterable[tuple]) -> "Structure":
+        """Convenience constructor::
+
+            Structure.build(range(4), l={(0, 1), (2, 3)})
+        """
+        uni = frozenset(universe)
+        rels = []
+        for name, tuples in sorted(relations.items()):
+            frozen = frozenset(tuple(t) if isinstance(t, (tuple, list))
+                               else (t,) for t in tuples)
+            for t in frozen:
+                if not all(e in uni for e in t):
+                    raise ValueError(
+                        f"relation {name!r} mentions elements outside "
+                        "the universe")
+                if len(t) not in (1, 2):
+                    raise ValueError(
+                        f"relation {name!r} must be unary or binary")
+            rels.append((name, frozen))
+        return Structure(uni, tuple(rels))
+
+    def relation(self, name: str) -> frozenset:
+        """The tuple set of the named relation (empty when undeclared)."""
+        for rel_name, tuples in self.relations:
+            if rel_name == name:
+                return tuples
+        return frozenset()
+
+    def relation_names(self) -> tuple[str, ...]:
+        """The declared relation names, in sorted declaration order."""
+        return tuple(name for name, _t in self.relations)
+
+    def holds(self, name: str, *args) -> bool:
+        """Whether ``name(args)`` holds."""
+        return tuple(args) in self.relation(name)
+
+    def __str__(self) -> str:
+        rels = "; ".join(
+            f"{name}={{{', '.join(map(str, sorted(t, key=str)))}}}"
+            for name, t in self.relations)
+        return (f"Structure(|U|={len(self.universe)}, {rels})")

@@ -1,0 +1,37 @@
+"""Implication and finite implication of basic XML constraints (§3).
+
+One engine per result of the paper:
+
+- :mod:`repro.implication.lid`       — Prop 3.1: the ``I_id`` system,
+  linear-time (finite) implication for ``L_id``.
+- :mod:`repro.implication.lu`        — Thm 3.2 / Cor 3.3: the ``I_u``
+  system for implication and the cycle-rule (``I_u^f``) decision
+  procedure for finite implication of ``L_u``; the two differ.
+- :mod:`repro.implication.lu_primary` — Thm 3.4: under the primary-key
+  restriction the two problems coincide.
+- :mod:`repro.implication.l_primary` — Thm 3.8: the ``I_p`` system for
+  multi-attribute primary keys and foreign keys.
+- :mod:`repro.implication.l_general` — Thm 3.6: general ``L`` is
+  undecidable; chase-based semi-decision, sound rule prover, bounded
+  counterexample search.
+- :mod:`repro.implication.counterexample` — witness construction for
+  non-implication.
+
+All deciders share the :class:`ImplicationResult` shape: a boolean plus
+either a :class:`Derivation` (why it is implied) or a witness /
+explanation (why it is not).
+"""
+
+from repro.implication.result import Derivation, ImplicationResult
+from repro.implication.proofcheck import check_derivation
+from repro.implication.lid import LidEngine, lid_closure
+from repro.implication.lu import LuEngine
+from repro.implication.lu_primary import LuPrimaryEngine
+from repro.implication.l_primary import LPrimaryEngine
+from repro.implication.l_general import LGeneralEngine
+
+__all__ = [
+    "Derivation", "ImplicationResult", "check_derivation",
+    "LidEngine", "lid_closure", "LuEngine", "LuPrimaryEngine",
+    "LPrimaryEngine", "LGeneralEngine",
+]

@@ -1,0 +1,418 @@
+"""Witness construction for non-implication of ``L_u`` constraints.
+
+Two constructions back the negative answers of the Theorem 3.2 /
+Corollary 3.3 experiments:
+
+- :func:`finite_counterexample` — when ``Σ ⊭_f φ``, build a concrete
+  finite model of Σ violating φ.  The construction follows the
+  completeness proof strategy (after Cosmadakis–Kanellakis–Vardi):
+  value-equality classes are the SCCs of the finitely-closed inclusion
+  graph; every class gets a base token plus the tokens of the classes
+  that flow into it; key attributes enumerate their class's value set,
+  so per-type cardinalities are equalized by forward-propagated padding;
+  inverses are realized through a maximal consistent pairing.  The
+  result is **always re-verified** with the independent evaluator before
+  being returned; instances outside the supported fragment (e.g. one
+  set-valued attribute shared by several inverse constraints) yield
+  ``None`` rather than an unverified witness, and the randomized /
+  exhaustive searchers in :mod:`repro.implication.search` cover those.
+- :class:`InfiniteWitness` — when ``Σ ⊨_f φ`` but ``Σ ⊭ φ`` (the
+  cycle-rule gap), no finite witness exists; the witness is an infinite
+  model presented finitely: each attribute in the refuting cycle is an
+  affine map on ℕ.  :meth:`InfiniteWitness.check` verifies Σ and ¬φ
+  symbolically on the presented family, and
+  :meth:`InfiniteWitness.prefix` materializes a finite prefix showing
+  how the violation of Σ shrinks to the boundary as the prefix grows
+  (the standard intuition for why only infinite models work).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.implication.lu import LuEngine, Node, _require_lu
+from repro.implication.models import AbstractElement, AbstractModel
+
+
+# ---------------------------------------------------------------------------
+# Finite counterexamples (CKV-style token construction)
+# ---------------------------------------------------------------------------
+
+
+class _Classes:
+    """Value-equality classes: SCCs of the finitely-closed inclusion
+    graph, plus the token sets V(C) induced by the quotient DAG."""
+
+    def __init__(self, engine: LuEngine, extra_nodes: Iterable[Node]):
+        self.engine = engine
+        nodes: set[Node] = set(engine.arities.single)
+        nodes |= engine.arities.set_valued
+        nodes |= set(engine.fin_keys)
+        nodes |= set(engine.fin_edges)
+        for out in engine.fin_edges.values():
+            nodes |= set(out)
+        nodes |= set(extra_nodes)
+        self.nodes = nodes
+        graph = {n: set(engine.fin_edges.get(n, {})) & nodes for n in nodes}
+        comp = engine._sccs(graph)
+        self.class_of: dict[Node, int] = {n: comp[n] for n in nodes}
+        # Quotient DAG edges.
+        self.succ: dict[int, set[int]] = {c: set() for c in
+                                          set(self.class_of.values())}
+        for n, out in graph.items():
+            for m in out:
+                a, b = self.class_of[n], self.class_of[m]
+                if a != b:
+                    self.succ[a].add(b)
+        # Token sets: V(C) = {t_C'} for all C' that reach C, plus t_C.
+        self.tokens: dict[int, set[str]] = {
+            c: {f"t{c}"} for c in self.succ}
+        order = self._topological()
+        for c in order:  # sources first; propagate forward
+            for d in self.succ[c]:
+                self.tokens[d] |= self.tokens[c]
+        self._pad_counter = itertools.count()
+
+    def _topological(self) -> list[int]:
+        indeg = {c: 0 for c in self.succ}
+        for c, outs in self.succ.items():
+            for d in outs:
+                indeg[d] += 1
+        order = [c for c, d in indeg.items() if d == 0]
+        i = 0
+        while i < len(order):
+            c = order[i]
+            i += 1
+            for d in self.succ[c]:
+                indeg[d] -= 1
+                if indeg[d] == 0:
+                    order.append(d)
+        return order
+
+    def pad(self, c: int, count: int) -> None:
+        """Add ``count`` fresh tokens to class ``c`` and propagate them
+        forward through the quotient DAG."""
+        fresh = {f"p{next(self._pad_counter)}" for _ in range(count)}
+        stack = [c]
+        seen = {c}
+        while stack:
+            d = stack.pop()
+            self.tokens[d] |= fresh
+            for e in self.succ[d]:
+                if e not in seen:
+                    seen.add(e)
+                    stack.append(e)
+
+    def values(self, n: Node) -> set[str]:
+        return self.tokens[self.class_of[n]]
+
+
+def finite_counterexample(sigma: Iterable[Constraint], phi: Constraint,
+                          verify: bool = True) -> AbstractModel | None:
+    """Build a finite model of Σ violating φ, or ``None``.
+
+    Precondition: the finite decider answers "not implied" — when
+    ``Σ ⊨_f φ`` no such model exists and the function returns ``None``.
+    """
+    sigma = list(_require_lu(sigma))
+    engine = LuEngine(sigma)
+    if engine.finitely_implies(phi):
+        return None
+    phi_nodes = _nodes_of(phi)
+    classes = _Classes(engine, phi_nodes)
+    builder = _ModelBuilder(engine, classes, sigma)
+    model = builder.build(phi)
+    if model is None:
+        return None
+    if verify and not (model.satisfies_all(sigma)
+                       and not model.satisfies(phi)):
+        return None
+    return model
+
+
+def _nodes_of(c: Constraint) -> list[Node]:
+    if isinstance(c, UnaryKey):
+        return [(c.element, c.field)]
+    if isinstance(c, (UnaryForeignKey, SetValuedForeignKey)):
+        return [(c.element, c.field), (c.target, c.target_field)]
+    if isinstance(c, Inverse):
+        return [(c.element, c.field), (c.element, c.key_field),
+                (c.target, c.target_field), (c.target, c.target_key_field)]
+    raise TypeError(f"not an L_u constraint: {c!r}")
+
+
+class _ModelBuilder:
+    """Materializes the token construction as an abstract model."""
+
+    #: Safety cap on the padding fixpoint (see DESIGN.md: termination is
+    #: guaranteed because cardinality cycles were collapsed by the finite
+    #: closure; the cap guards against implementation bugs).
+    MAX_ROUNDS = 200
+
+    def __init__(self, engine: LuEngine, classes: _Classes,
+                 sigma: list[Constraint]):
+        self.engine = engine
+        self.classes = classes
+        self.sigma = sigma
+        self.types = sorted({n[0] for n in classes.nodes})
+        self.fields: dict[str, set[Field]] = {t: set() for t in self.types}
+        for (t, f) in classes.nodes:
+            self.fields[t].add(f)
+        self.inverses = [c for c in sigma if isinstance(c, Inverse)]
+        # Nodes used by more than one inverse are outside the fragment.
+        used: dict[Node, int] = {}
+        for inv in self.inverses:
+            for n in ((inv.element, inv.field), (inv.target,
+                                                 inv.target_field)):
+                used[n] = used.get(n, 0) + 1
+        self.supported = all(v == 1 for v in used.values())
+
+    def key_nodes(self, t: str) -> list[Node]:
+        return [n for n in self.engine.fin_keys if n[0] == t
+                and n in self.classes.nodes]
+
+    def build(self, phi: Constraint) -> AbstractModel | None:
+        if not self.supported:
+            return None
+        want_two = isinstance(phi, UnaryKey)
+        weak_target: Node | None = None
+        witness_pad: Node | None = None
+        if isinstance(phi, (UnaryForeignKey, SetValuedForeignKey)):
+            target = (phi.target, phi.target_field)
+            source = (phi.element, phi.field)
+            if target not in self.engine.fin_keys:
+                # Assign the target a constant; pad the source class so
+                # it holds a token the constant can never equal.
+                weak_target = target
+                witness_pad = source
+        if isinstance(phi, Inverse):
+            # Inverse violations need bespoke handling; support the case
+            # where both value attributes are unconstrained by Sigma.
+            constrained = {n for inv in self.inverses
+                           for n in ((inv.element, inv.field),
+                                     (inv.target, inv.target_field))}
+            constrained |= {(c.element, c.field) for c in self.sigma
+                            if isinstance(c, SetValuedForeignKey)}
+            if (phi.element, phi.field) in constrained or \
+                    (phi.target, phi.target_field) in constrained:
+                return None
+        if witness_pad is not None:
+            self.classes.pad(self.classes.class_of[witness_pad], 1)
+
+        # Equalize per-type key cardinalities by forward padding.
+        sizes = self._equalize(want_two, phi)
+        if sizes is None:
+            return None
+
+        model = AbstractModel()
+        for t in self.types:
+            for f in self.fields[t]:
+                if (t, f) in self.engine.arities.set_valued:
+                    model.set_valued.add((t, f))
+
+        # Elements with key/single-valued assignments.
+        for t in self.types:
+            n_elems = sizes[t]
+            keys = self.key_nodes(t)
+            enumerations: dict[Field, list[str]] = {}
+            for n in keys:
+                values = sorted(self.classes.values(n))
+                if len(values) != n_elems:
+                    return None  # equalization failed; bail out honestly
+                enumerations[n[1]] = values
+            for i in range(n_elems):
+                e = AbstractElement()
+                for f in sorted(self.fields[t], key=str):
+                    node = (t, f)
+                    if node in self.engine.arities.set_valued:
+                        continue  # set-valued handled below
+                    if f in enumerations:
+                        e.values[f] = frozenset((enumerations[f][i],))
+                    elif weak_target == node:
+                        e.values[f] = frozenset((f"c{t}.{f}",))
+                    else:
+                        values = sorted(self.classes.values(node))
+                        # Constant assignment; for a pure witness token
+                        # prefer the padded/fresh one when present.
+                        pick = values[-1] if witness_pad == node else values[0]
+                        e.values[f] = frozenset((pick,))
+                model.elements.setdefault(t, []).append(e)
+            model.elements.setdefault(t, [])
+
+        # Set-valued attributes bound by an inverse: maximal pairing.
+        bound: set[Node] = set()
+        for inv in self.inverses:
+            self._realize_inverse(model, inv)
+            bound.add((inv.element, inv.field))
+            bound.add((inv.target, inv.target_field))
+        # Free set-valued attributes: first element takes the whole class.
+        for t in self.types:
+            for f in self.fields[t]:
+                node = (t, f)
+                if node not in self.engine.arities.set_valued or \
+                        node in bound:
+                    continue
+                elems = model.elements.get(t, [])
+                for i, e in enumerate(elems):
+                    e.values[f] = frozenset(
+                        self.classes.values(node)) if i == 0 \
+                        else frozenset()
+        if isinstance(phi, Inverse):
+            self._violate_inverse(model, phi)
+        return model
+
+    def _equalize(self, want_two: bool,
+                  phi: Constraint) -> dict[str, int] | None:
+        for _round in range(self.MAX_ROUNDS):
+            changed = False
+            sizes: dict[str, int] = {}
+            for t in self.types:
+                keys = self.key_nodes(t)
+                if not keys:
+                    sizes[t] = 2 if (want_two and t == phi.element) else 1
+                    continue
+                cards = {n: len(self.classes.values(n)) for n in keys}
+                target = max(cards.values())
+                if want_two and t == phi.element:
+                    target = max(target, 2)
+                for n, card in cards.items():
+                    if card < target:
+                        self.classes.pad(self.classes.class_of[n],
+                                         target - card)
+                        changed = True
+                sizes[t] = target
+            if not changed:
+                return sizes
+        return None
+
+    def _realize_inverse(self, model: AbstractModel, inv: Inverse) -> None:
+        """R = A x B pairing (see the completeness discussion in
+        DESIGN.md): pair every x whose key lies in V(C_l') with every y
+        whose key lies in V(C_l)."""
+        v_l = self.classes.values((inv.element, inv.field))
+        v_lp = self.classes.values((inv.target, inv.target_field))
+        xs = [x for x in model.ext(inv.element)
+              if x.single(inv.key_field) in v_lp]
+        ys = [y for y in model.ext(inv.target)
+              if y.single(inv.target_key_field) in v_l]
+        x_side = frozenset(y.single(inv.target_key_field) for y in ys)
+        y_side = frozenset(x.single(inv.key_field) for x in xs)
+        for x in model.ext(inv.element):
+            x.values[inv.field] = x_side if x in xs else frozenset()
+        for y in model.ext(inv.target):
+            y.values[inv.target_field] = y_side if y in ys else frozenset()
+
+    def _violate_inverse(self, model: AbstractModel, phi: Inverse) -> None:
+        """Make some y reference x's key without being referenced back."""
+        xs = model.ext(phi.element)
+        ys = model.ext(phi.target)
+        if not xs or not ys:
+            return
+        x, y = xs[0], ys[0]
+        xk = x.single(phi.key_field)
+        if xk is None:
+            return
+        y.values[phi.target_field] = frozenset((xk,))
+        x.values[phi.field] = frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Infinite witnesses (the cycle-rule gap of Corollary 3.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AffineAttribute:
+    """An attribute interpreted over ℕ as ``i -> i + shift``."""
+
+    field: Field
+    shift: int
+
+    def value(self, i: int) -> str:
+        return f"n{i + self.shift}"
+
+
+@dataclass
+class InfiniteWitness:
+    """A finitely-presented infinite model over one element type.
+
+    ``ext(element) = {e_0, e_1, ...}`` (all of ℕ) and every attribute is
+    an affine map.  This presents the classical separator for
+    implication vs finite implication: with ``Σ = {tau.a -> tau,
+    tau.b -> tau, tau.a ⊆ tau.b}`` take ``b(i) = i`` (shift 0) and
+    ``a(i) = i + 1``; then ``a`` and ``b`` are injective (keys), every
+    ``a``-value is a ``b``-value, but ``b``'s value ``n0`` is no
+    ``a``-value — ``tau.b ⊆ tau.a`` fails, so the finite-implication
+    consequence is *not* an unrestricted one.
+    """
+
+    element: str
+    attributes: tuple[AffineAttribute, ...]
+
+    def _attr(self, f: Field) -> AffineAttribute:
+        for a in self.attributes:
+            if a.field == f:
+                return a
+        raise KeyError(str(f))
+
+    def satisfies(self, c: Constraint) -> bool:
+        """Symbolic evaluation on the affine family (single type only)."""
+        if isinstance(c, UnaryKey):
+            # i + s is injective in i for every shift: always a key.
+            self._attr(c.field)
+            return True
+        if isinstance(c, UnaryForeignKey):
+            if c.element != self.element or c.target != self.element:
+                return False
+            src = self._attr(c.field)
+            dst = self._attr(c.target_field)
+            # {i + s1 : i in N} subseteq {i + s2 : i in N}  iff  s1 >= s2.
+            return src.shift >= dst.shift
+        raise TypeError(
+            "InfiniteWitness evaluates unary keys and foreign keys over "
+            f"its single element type, got {c!r}")
+
+    def check(self, sigma: Iterable[Constraint], phi: Constraint) -> bool:
+        """Whether this model witnesses ``Σ ⊭ φ``."""
+        return all(self.satisfies(c) for c in sigma) and \
+            not self.satisfies(phi)
+
+    def prefix(self, n: int) -> AbstractModel:
+        """The finite restriction to ``{e_0..e_{n-1}}``.
+
+        The prefix violates exactly the Σ-inclusions at the boundary —
+        materializing why no finite model exists: truncation always
+        clips the front of some shifted copy of ℕ.
+        """
+        model = AbstractModel()
+        for i in range(n):
+            e = AbstractElement()
+            for a in self.attributes:
+                e.values[a.field] = frozenset((a.value(i),))
+            model.elements.setdefault(self.element, []).append(e)
+        return model
+
+
+def divergence_witness(element: str = "tau", key_a: str = "a",
+                       key_b: str = "b") -> tuple[list[Constraint],
+                                                  Constraint,
+                                                  InfiniteWitness]:
+    """The canonical Corollary 3.3 separator, packaged: returns
+    ``(Σ, φ, witness)`` with ``Σ ⊨_f φ``, ``Σ ⊭ φ`` and a verified
+    infinite witness."""
+    fa, fb = Field(key_a), Field(key_b)
+    sigma: list[Constraint] = [
+        UnaryKey(element, fa),
+        UnaryKey(element, fb),
+        UnaryForeignKey(element, fa, element, fb),
+    ]
+    phi = UnaryForeignKey(element, fb, element, fa)
+    witness = InfiniteWitness(element, (AffineAttribute(fa, 1),
+                                        AffineAttribute(fb, 0)))
+    return sigma, phi, witness

@@ -1,0 +1,195 @@
+"""Implication of ``L`` constraints under the primary-key restriction
+(§3.3, Theorem 3.8, Corollary 3.9).
+
+The restriction: each element type has at most one (minimal) key set,
+and every foreign key into a type references that primary key.  Under
+it, the system ``I_p`` is sound and complete for both implication and
+finite implication (which therefore coincide)::
+
+    PK-FK:     tau[X] -> tau                      ⊢  tau[X] ⊆ tau[X]
+    PFK-K:     tau[X] ⊆ tau'[Y]                   ⊢  tau'[Y] -> tau'
+    PFK-perm:  simultaneous permutation of both sides of a foreign key
+    PFK-trans: tau1[X] ⊆ tau2[Y], tau2[Y] ⊆ tau3[Z] ⊢ tau1[X] ⊆ tau3[Z]
+
+Implementation: a foreign key ``tau[X] ⊆ tau'[Y]`` is, up to PFK-perm,
+exactly a *field alignment* — an injective map from the source fields
+onto the target's primary key.  PFK-trans composes alignments when the
+middle sequences coincide as sets (always the target's primary key under
+the restriction).  The closure is a saturation over canonical
+(sorted-source) alignments; the state space is bounded by
+``|E|² × (max key width)!`` — the paper's closing PSPACE remark — but on
+realistic schemas composition chains are short (exp E8 stresses the
+factorial corner explicitly with wide keys).
+
+Keys are implied only when equal *as sets* to a stated/derived key:
+``I_p`` has no augmentation rule, deliberately — a query that would make
+a second key for some type violates the restriction and is rejected with
+:class:`~repro.errors.PrimaryKeyRestrictionError` instead of answered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lu import UnaryForeignKey, UnaryKey
+from repro.errors import LanguageMismatchError, PrimaryKeyRestrictionError
+from repro.implication.result import Derivation, ImplicationResult, given
+
+
+def _normalize(constraints: Iterable[Constraint]) -> list[Constraint]:
+    """Accept L constraints; lift unary L_u forms into L classes."""
+    out: list[Constraint] = []
+    for c in constraints:
+        if isinstance(c, UnaryKey):
+            out.append(Key(c.element, (c.field,)))
+        elif isinstance(c, UnaryForeignKey):
+            out.append(ForeignKey(c.element, (c.field,), c.target,
+                                  (c.target_field,)))
+        elif isinstance(c, (Key, ForeignKey)):
+            out.append(c)
+        else:
+            raise LanguageMismatchError(f"{c} is not an L constraint")
+    return out
+
+
+class LPrimaryEngine:
+    """Decider for (finite) implication of primary keys and foreign keys."""
+
+    def __init__(self, sigma: Iterable[Constraint]):
+        self.sigma = _normalize(sigma)
+        self.primary: dict[str, frozenset[Field]] = {}
+        self._collect_keys()
+        self.closure: dict[ForeignKey, Derivation] = {}
+        self._saturate()
+
+    # -- restriction validation ---------------------------------------------------
+
+    def _collect_keys(self) -> None:
+        """Gather the primary key of each type; enforce the restriction."""
+        for c in self.sigma:
+            key_sets: list[tuple[str, frozenset[Field]]] = []
+            if isinstance(c, Key):
+                key_sets.append((c.element, c.field_set))
+            elif isinstance(c, ForeignKey):
+                key_sets.append((c.target, frozenset(c.target_fields)))
+            for element, fields in key_sets:
+                existing = self.primary.get(element)
+                if existing is None:
+                    self.primary[element] = fields
+                elif existing != fields:
+                    raise PrimaryKeyRestrictionError(
+                        f"element type {element!r} would have two key "
+                        f"sets: {{{_fmt(existing)}}} and {{{_fmt(fields)}}}")
+
+    # -- saturation ------------------------------------------------------------------
+
+    def _saturate(self) -> None:
+        """Close the stated foreign keys under PK-FK, PFK-perm and
+        PFK-trans (canonical forms only).
+
+        Composition candidates are indexed by source and target element
+        type, so each pop touches only the foreign keys it can actually
+        compose with — the closure is O(|closure| × out-degree) instead
+        of O(|closure|²).
+        """
+        queue: deque[ForeignKey] = deque()
+        by_element: dict[str, list[ForeignKey]] = {}
+        by_target: dict[str, list[ForeignKey]] = {}
+
+        def add(fk: ForeignKey, d: Derivation) -> None:
+            canon = fk.canonical()
+            if canon in self.closure:
+                return
+            self.closure[canon] = d
+            by_element.setdefault(canon.element, []).append(canon)
+            by_target.setdefault(canon.target, []).append(canon)
+            queue.append(canon)
+
+        for element, fields in self.primary.items():
+            ordered = tuple(sorted(fields, key=str))
+            refl = ForeignKey(element, ordered, element, ordered)
+            add(refl, Derivation(str(refl), "PK-FK",
+                                 (given(str(Key(element, ordered))),)))
+        for c in self.sigma:
+            if isinstance(c, ForeignKey):
+                add(c, given(c))
+
+        while queue:
+            fk = queue.popleft()
+            # fk : tau1 -> tau2 composed with g : tau2 -> tau3 ...
+            for g in list(by_element.get(fk.target, ())):
+                composed = _compose(fk, g)
+                if composed is not None:
+                    add(composed, Derivation(
+                        str(composed), "PFK-trans",
+                        (self.closure[fk], self.closure[g])))
+            # ... and g : tau0 -> tau1 composed with fk.
+            for g in list(by_target.get(fk.element, ())):
+                composed = _compose(g, fk)
+                if composed is not None:
+                    add(composed, Derivation(
+                        str(composed), "PFK-trans",
+                        (self.closure[g], self.closure[fk])))
+
+    # -- queries ----------------------------------------------------------------------
+
+    def implies(self, phi: Constraint) -> ImplicationResult:
+        """Decide ``Σ ⊨ φ`` (equivalently ``Σ ⊨_f φ``, Theorem 3.8)."""
+        (phi,) = _normalize((phi,))
+        if isinstance(phi, Key):
+            existing = self.primary.get(phi.element)
+            if existing is not None and existing != phi.field_set:
+                raise PrimaryKeyRestrictionError(
+                    f"query key {{{_fmt(phi.field_set)}}} conflicts with "
+                    f"the primary key {{{_fmt(existing)}}} of "
+                    f"{phi.element!r}")
+            if existing == phi.field_set:
+                return ImplicationResult(
+                    True, derivation=Derivation(str(phi), "primary-key"))
+            return ImplicationResult(
+                False, reason=f"{phi.element!r} has no derivable key")
+        if isinstance(phi, ForeignKey):
+            target_key = self.primary.get(phi.target)
+            if target_key is not None and \
+                    target_key != frozenset(phi.target_fields):
+                raise PrimaryKeyRestrictionError(
+                    f"query foreign key targets {{{_fmt(frozenset(phi.target_fields))}}} "
+                    f"but the primary key of {phi.target!r} is "
+                    f"{{{_fmt(target_key)}}}")
+            canon = phi.canonical()
+            d = self.closure.get(canon)
+            if d is not None:
+                if tuple(canon.fields) != tuple(phi.fields):
+                    d = Derivation(str(phi), "PFK-perm", (d,))
+                return ImplicationResult(True, derivation=d)
+            return ImplicationResult(
+                False, reason=f"{phi} is not derivable by I_p")
+        raise LanguageMismatchError(f"{phi} is not an L constraint")
+
+    def finitely_implies(self, phi: Constraint) -> ImplicationResult:
+        """Alias of :meth:`implies`: the problems coincide (Thm 3.8)."""
+        return self.implies(phi)
+
+    def derivable_foreign_keys(self) -> list[ForeignKey]:
+        """All canonical foreign keys in the ``I_p`` closure."""
+        return sorted(self.closure, key=str)
+
+
+def _fmt(fields: frozenset[Field]) -> str:
+    return ", ".join(sorted(str(f) for f in fields))
+
+
+def _compose(f: ForeignKey, g: ForeignKey) -> ForeignKey | None:
+    """PFK-trans with PFK-perm folded in: compose ``f : tau1 -> tau2``
+    with ``g : tau2 -> tau3`` when ``g``'s source fields are exactly the
+    fields ``f`` targets (as sets)."""
+    if f.target != g.element:
+        return None
+    if frozenset(f.target_fields) != frozenset(g.fields):
+        return None
+    align = g.alignment()
+    new_targets = tuple(align[t] for t in f.target_fields)
+    return ForeignKey(f.element, f.fields, g.target, new_targets)

@@ -1,0 +1,171 @@
+"""Implication of ``L_id`` constraints (§3.1, Proposition 3.1).
+
+The paper's axiomatization ``I_id``::
+
+    ID-FK:       tau.id ->id tau   ⊢   tau.id ⊆ tau.id
+    FK-ID:       tau.l ⊆ tau'.id   ⊢   tau'.id ->id tau'
+    SFK-ID:      tau.l ⊆_S tau'.id ⊢   tau'.id ->id tau'
+    Inv-SFK-ID:  tau.l ⇌ tau'.l'   ⊢   tau.l ⊆_S tau'.id ,
+                                       tau'.l' ⊆_S tau.id
+
+plus two derivations the printed rule list elides but Prop 3.1's
+completeness claim requires (see DESIGN.md):
+
+    ID-Key:      tau.id ->id tau   ⊢   tau.id -> tau
+                 (document-wide uniqueness implies per-type uniqueness)
+    Inv-flip:    tau.l ⇌ tau'.l'   ⊢   tau'.l' ⇌ tau.l  (symmetry)
+
+Because no rule chains (foreign keys always end at an ``.id``), the
+closure stabilizes after a constant number of passes and both
+implication and finite implication are decided in **linear time**; the
+two problems coincide for ``L_id``.
+
+A known degenerate corner, documented rather than "fixed": a Σ that
+forces ``ext(tau)`` to be empty in every model (e.g. one IDREF attribute
+with foreign keys into two *different* target types) makes every
+constraint on ``tau`` hold vacuously, which the purely syntactic system
+cannot see.  This consistency/implication interaction is the subject of
+the authors' follow-up work (Fan & Libkin, PODS 2001/JACM 2002); the
+engine reports the axiomatic answer, and
+:meth:`LidEngine.vacuous_types` surfaces the degenerate types so callers
+can detect the corner.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.constraints.lang_lu import UnaryKey
+from repro.errors import LanguageMismatchError
+from repro.implication.result import Derivation, ImplicationResult, given
+
+#: The reserved field denoting "the ID attribute of the type" in derived
+#: reflexive foreign keys (rule ID-FK).
+ID_FIELD = Field("id")
+
+_LID_TYPES = (UnaryKey, IDConstraint, IDForeignKey, IDSetValuedForeignKey,
+              IDInverse)
+
+
+def _require_lid(constraints: Iterable[Constraint]) -> list[Constraint]:
+    out = []
+    for c in constraints:
+        if not isinstance(c, _LID_TYPES):
+            raise LanguageMismatchError(
+                f"{c} is not an L_id constraint")
+        out.append(c)
+    return out
+
+
+def _canonical_inverse(c: IDInverse) -> IDInverse:
+    """Flip-normalize an inverse constraint (the relation is symmetric)."""
+    a = (c.element, str(c.field))
+    b = (c.target, str(c.target_field))
+    return c if a <= b else c.flipped()
+
+
+def lid_closure(sigma: Iterable[Constraint]
+                ) -> dict[Constraint, Derivation]:
+    """The ``I_id`` closure of Σ, with a derivation for each member.
+
+    Runs in time linear in ``|Σ|``: every rule fires at most once per
+    stated constraint and conclusions trigger only the ID rules, whose
+    conclusions are terminal.
+    """
+    sigma = _require_lid(sigma)
+    closure: dict[Constraint, Derivation] = {}
+
+    def add(c: Constraint, d: Derivation) -> bool:
+        if isinstance(c, IDInverse):
+            c = _canonical_inverse(c)
+        if c in closure:
+            return False
+        closure[c] = d
+        return True
+
+    work: list[Constraint] = []
+    for c in sigma:
+        if add(c, given(c)):
+            work.append(c if not isinstance(c, IDInverse)
+                        else _canonical_inverse(c))
+    while work:
+        c = work.pop()
+        d = closure[_canonical_inverse(c) if isinstance(c, IDInverse) else c]
+        new: list[tuple[Constraint, Derivation]] = []
+        if isinstance(c, IDInverse):
+            fk1, fk2 = c.implied_foreign_keys()
+            new.append((fk1, Derivation(str(fk1), "Inv-SFK-ID", (d,))))
+            new.append((fk2, Derivation(str(fk2), "Inv-SFK-ID", (d,))))
+        elif isinstance(c, IDForeignKey):
+            target = c.implied_id()
+            new.append((target, Derivation(str(target), "FK-ID", (d,))))
+        elif isinstance(c, IDSetValuedForeignKey):
+            target = c.implied_id()
+            new.append((target, Derivation(str(target), "SFK-ID", (d,))))
+        elif isinstance(c, IDConstraint):
+            refl = IDForeignKey(c.element, ID_FIELD, c.element)
+            new.append((refl, Derivation(str(refl), "ID-FK", (d,))))
+            key = UnaryKey(c.element, ID_FIELD)
+            new.append((key, Derivation(str(key), "ID-Key", (d,))))
+        for constraint, derivation in new:
+            if add(constraint, derivation):
+                work.append(constraint)
+    return closure
+
+
+class LidEngine:
+    """Decider for (finite) implication of ``L_id`` constraints.
+
+    For ``L_id`` the two problems coincide (Prop 3.1), so a single
+    :meth:`implies` answers both; :meth:`finitely_implies` is an alias
+    kept for interface symmetry with the other engines.
+    """
+
+    def __init__(self, sigma: Iterable[Constraint]):
+        self.sigma = _require_lid(sigma)
+        self.closure = lid_closure(self.sigma)
+
+    def implies(self, phi: Constraint) -> ImplicationResult:
+        """Decide ``Σ ⊨ φ`` (axiomatic, per ``I_id``)."""
+        (phi,) = _require_lid((phi,))
+        key = _canonical_inverse(phi) if isinstance(phi, IDInverse) else phi
+        derivation = self.closure.get(key)
+        if derivation is not None:
+            return ImplicationResult(True, derivation=derivation)
+        return ImplicationResult(
+            False, reason=f"{phi} is not in the I_id closure of Sigma")
+
+    def finitely_implies(self, phi: Constraint) -> ImplicationResult:
+        """Decide ``Σ ⊨_f φ`` — identical to :meth:`implies` for L_id."""
+        return self.implies(phi)
+
+    def derived_constraints(self) -> list[Constraint]:
+        """Every constraint in the closure (Σ plus derived), stable order."""
+        return sorted(self.closure, key=str)
+
+    def vacuous_types(self) -> set[str]:
+        """Element types whose extension is empty in *every* model of Σ.
+
+        These arise when a single single-valued IDREF attribute carries
+        foreign keys into two different target types: document-wide ID
+        uniqueness makes the targets' ID sets disjoint, so no element of
+        the source type can exist.  On such types the axiomatic answer
+        "not implied" may disagree with the (vacuously true) semantic
+        one; see the module docstring.
+        """
+        targets: dict[tuple[str, Field], set[str]] = defaultdict(set)
+        for c in self.closure:
+            if isinstance(c, IDForeignKey):
+                targets[(c.element, c.field)].add(c.target)
+        vacuous = {element for (element, _field), ts in targets.items()
+                   if len(ts) > 1}
+        # Emptiness propagates: a type whose mandatory reference can
+        # never be satisfied is itself empty only through structural
+        # reasoning (content models), which Σ alone does not determine;
+        # we therefore report only the directly-degenerate types.
+        return vacuous

@@ -1,0 +1,403 @@
+"""Implication of ``L_u`` constraints (§3.2, Theorem 3.2, Corollary 3.3).
+
+Unrestricted implication is decided with the ``I_u`` axioms::
+
+    UK-FK:      tau.l -> tau                         ⊢  tau.l ⊆ tau.l
+    UFK-K:      tau.l ⊆ tau'.l'                      ⊢  tau'.l' -> tau'
+    SFK-K:      tau.l ⊆_S tau'.l'                    ⊢  tau'.l' -> tau'
+    UFK-trans:  tau1.l1 ⊆ tau2.l2, tau2.l2 ⊆ tau3.l3 ⊢  tau1.l1 ⊆ tau3.l3
+    USFK-trans: tau1.l1 ⊆_S tau2.l2, tau2.l2 ⊆ tau3.l3 ⊢ tau1.l1 ⊆_S tau3.l3
+    Inv-SFK:    tau(lk).l ⇌ tau'(lk').l', keys of lk and lk'
+                ⊢  tau.l ⊆_S tau'.lk'  and  tau'.l' ⊆_S tau.lk
+
+operationally: key marks on attribute nodes plus reachability in the
+inclusion graph.
+
+Finite implication adds the **cycle rules** ``C_k``, whose statement is
+reconstructed from the Cosmadakis–Kanellakis–Vardi cardinality argument
+the paper follows (the rule bodies are lost in the available text; see
+DESIGN.md): in a finite model every constraint yields a cardinality
+inequality —
+
+- single-valued attribute node ``n = (tau, l)``:  ``|vals(n)| ≤ |ext(tau)|``,
+- key ``tau.l -> tau``:                           ``|ext(tau)| ≤ |vals(n)|``,
+- inclusion ``n ⊆ m`` or ``n ⊆_S m``:             ``|vals(n)| ≤ |vals(m)|``
+
+— and a cycle of inequalities forces equalities along it.  An equality
+``|vals(n)| = |vals(m)|`` across a stated inclusion ``vals(n) ⊆ vals(m)``
+(finite sets!) forces ``vals(n) = vals(m)``, i.e. the *reversed*
+inclusion; an equality ``|vals(n)| = |ext(tau)|`` for single-valued ``n``
+forces ``n`` to be a *key*.  The decision procedure therefore iterates
+SCC computation on the cardinality graph, adding reversed inclusions and
+new keys (and newly-enabled inverse expansions) until fixpoint.  Each
+iteration is linear and the number of iterations is bounded by the
+number of derivable facts, giving the paper's low polynomial behaviour
+(linear in practice; exp E5 benchmarks the curve).
+
+The two problems genuinely differ (Cor 3.3): with
+``Σ = {tau.a -> tau, tau.b -> tau, tau.a ⊆ tau.b}`` the finite engine
+derives ``tau.b ⊆ tau.a`` (cycle rule) while the unrestricted engine
+does not — an infinite model with ``b = identity`` and ``a = successor``
+separates them.  See :mod:`repro.implication.counterexample`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from collections.abc import Iterable
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.errors import ConstraintError, LanguageMismatchError
+from repro.implication.result import Derivation, ImplicationResult, given
+
+#: An attribute node: (element type, field).
+Node = tuple[str, Field]
+
+_LU_TYPES = (UnaryKey, UnaryForeignKey, SetValuedForeignKey, Inverse)
+
+
+def _require_lu(constraints: Iterable[Constraint]) -> list[Constraint]:
+    out = []
+    for c in constraints:
+        if not isinstance(c, _LU_TYPES):
+            raise LanguageMismatchError(f"{c} is not an L_u constraint")
+        out.append(c)
+    return out
+
+
+def _canonical_inverse(c: Inverse) -> Inverse:
+    a = (c.element, str(c.field), str(c.key_field))
+    b = (c.target, str(c.target_field), str(c.target_key_field))
+    return c if a <= b else c.flipped()
+
+
+def _node_str(n: Node) -> str:
+    return f"{n[0]}.{n[1]}"
+
+
+class _Arities:
+    """Infer single-/set-valuedness of attribute nodes from usage.
+
+    A node used both as a key (or unary-FK endpoint) and as a set-valued
+    FK source is contradictory and rejected, mirroring the DTD side
+    conditions of §2.2.
+    """
+
+    def __init__(self):
+        self.single: set[Node] = set()
+        self.set_valued: set[Node] = set()
+
+    def mark_single(self, n: Node) -> None:
+        if n in self.set_valued:
+            raise ConstraintError(
+                f"attribute {_node_str(n)} is used both single- and "
+                "set-valued")
+        self.single.add(n)
+
+    def mark_set(self, n: Node) -> None:
+        if n in self.single:
+            raise ConstraintError(
+                f"attribute {_node_str(n)} is used both single- and "
+                "set-valued")
+        self.set_valued.add(n)
+
+    def scan(self, constraints: Iterable[Constraint]) -> None:
+        for c in constraints:
+            if isinstance(c, UnaryKey):
+                self.mark_single((c.element, c.field))
+            elif isinstance(c, UnaryForeignKey):
+                self.mark_single((c.element, c.field))
+                self.mark_single((c.target, c.target_field))
+            elif isinstance(c, SetValuedForeignKey):
+                self.mark_set((c.element, c.field))
+                self.mark_single((c.target, c.target_field))
+            elif isinstance(c, Inverse):
+                self.mark_set((c.element, c.field))
+                self.mark_set((c.target, c.target_field))
+                self.mark_single((c.element, c.key_field))
+                self.mark_single((c.target, c.target_key_field))
+
+
+class LuEngine:
+    """Decider for implication and finite implication of ``L_u``."""
+
+    def __init__(self, sigma: Iterable[Constraint]):
+        self.sigma = _require_lu(sigma)
+        self.arities = _Arities()
+        self.arities.scan(self.sigma)
+
+        # --- unrestricted closure -------------------------------------------
+        self.keys: dict[Node, Derivation] = {}
+        self.edges: dict[Node, dict[Node, Derivation]] = defaultdict(dict)
+        self.inverses: dict[Inverse, Derivation] = {}
+        self._build_unrestricted()
+
+        # --- finite closure (adds reversed inclusions / cycle keys) ---------
+        self.fin_keys: dict[Node, Derivation] = dict(self.keys)
+        self.fin_edges: dict[Node, dict[Node, Derivation]] = {
+            n: dict(out) for n, out in self.edges.items()}
+        self._build_finite()
+
+    # -- closure construction ---------------------------------------------------
+
+    def _add_key(self, keys: dict[Node, Derivation], n: Node,
+                 d: Derivation) -> bool:
+        if n in keys:
+            return False
+        keys[n] = d
+        return True
+
+    def _add_edge(self, edges, n: Node, m: Node, d: Derivation) -> bool:
+        out = edges[n] if n in edges else edges.setdefault(n, {})
+        if m in out:
+            return False
+        out[m] = d
+        return True
+
+    def _build_unrestricted(self) -> None:
+        # Keys: stated, plus UFK-K / SFK-K on every stated foreign key.
+        for c in self.sigma:
+            if isinstance(c, UnaryKey):
+                self._add_key(self.keys, (c.element, c.field), given(c))
+            elif isinstance(c, (UnaryForeignKey, SetValuedForeignKey)):
+                target = (c.target, c.target_field)
+                rule = "UFK-K" if isinstance(c, UnaryForeignKey) else "SFK-K"
+                self._add_key(
+                    self.keys, target,
+                    Derivation(str(c.implied_target_key()), rule,
+                               (given(c),)))
+        # Direct inclusion edges.
+        for c in self.sigma:
+            if isinstance(c, (UnaryForeignKey, SetValuedForeignKey)):
+                self._add_edge(self.edges, (c.element, c.field),
+                               (c.target, c.target_field), given(c))
+            elif isinstance(c, Inverse):
+                self.inverses[_canonical_inverse(c)] = given(c)
+        # Inv-SFK: expand inverses whose designated keys are derivable.
+        self._expand_inverses(self.keys, self.edges)
+
+    def _expand_inverses(self, keys, edges) -> bool:
+        changed = False
+        for inv, d in self.inverses.items():
+            k1 = (inv.element, inv.key_field)
+            k2 = (inv.target, inv.target_key_field)
+            if k1 in keys and k2 in keys:
+                fk1, fk2 = inv.implied_foreign_keys()
+                prem = (d, keys[k1], keys[k2])
+                changed |= self._add_edge(
+                    edges, (fk1.element, fk1.field),
+                    (fk1.target, fk1.target_field),
+                    Derivation(str(fk1), "Inv-SFK", prem))
+                changed |= self._add_edge(
+                    edges, (fk2.element, fk2.field),
+                    (fk2.target, fk2.target_field),
+                    Derivation(str(fk2), "Inv-SFK", prem))
+        return changed
+
+    # -- finite closure -----------------------------------------------------------
+
+    def _cardinality_graph(self, keys, edges
+                           ) -> dict[object, set[object]]:
+        """Nodes: attribute nodes and type markers ``("type", tau)``.
+        Edge u -> v encodes ``|u| ≤ |v|``."""
+        graph: dict[object, set[object]] = defaultdict(set)
+        nodes = set(self.arities.single) | set(self.arities.set_valued)
+        nodes |= set(keys)
+        nodes |= {m for out in edges.values() for m in out}
+        nodes |= set(edges)
+        for n in nodes:
+            graph.setdefault(n, set())
+            tmark = ("type", n[0])
+            graph.setdefault(tmark, set())
+            if n in self.arities.single or n in keys:
+                graph[n].add(tmark)           # |vals(n)| <= |ext(tau)|
+            if n in keys:
+                graph[tmark].add(n)           # |ext(tau)| <= |vals(n)|
+        for n, out in edges.items():
+            for m in out:
+                graph[n].add(m)               # |vals(n)| <= |vals(m)|
+        return graph
+
+    @staticmethod
+    def _sccs(graph: dict[object, set[object]]) -> dict[object, int]:
+        """Tarjan's algorithm, iterative; returns node -> component id."""
+        index: dict[object, int] = {}
+        low: dict[object, int] = {}
+        on_stack: set[object] = set()
+        stack: list[object] = []
+        comp: dict[object, int] = {}
+        counter = 0
+        comp_id = 0
+        for root in graph:
+            if root in index:
+                continue
+            work = [(root, iter(graph[root]))]
+            index[root] = low[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter
+                        counter += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(graph[succ])))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp[w] = comp_id
+                        if w is node or w == node:
+                            break
+                    comp_id += 1
+        return comp
+
+    def _build_finite(self) -> None:
+        """Fixpoint of the cycle rules over the cardinality graph."""
+        while True:
+            changed = False
+            graph = self._cardinality_graph(self.fin_keys, self.fin_edges)
+            comp = self._sccs(graph)
+            # Reversed inclusions within an SCC.
+            for n, out in list(self.fin_edges.items()):
+                for m, d in list(out.items()):
+                    if comp.get(n) != comp.get(m):
+                        continue
+                    back = Derivation(
+                        f"{_node_str(m)} subseteq {_node_str(n)}",
+                        "cycle-rule", (d,))
+                    changed |= self._add_edge(self.fin_edges, m, n, back)
+            # Cycle keys: single-valued node equal in cardinality to its type.
+            for n in list(graph):
+                if isinstance(n, tuple) and len(n) == 2 and \
+                        isinstance(n[1], Field):
+                    if n in self.fin_keys:
+                        continue
+                    if n not in self.arities.single:
+                        continue
+                    if comp.get(n) == comp.get(("type", n[0])):
+                        d = Derivation(
+                            f"{_node_str(n)} -> {n[0]}", "cycle-rule", ())
+                        changed |= self._add_key(self.fin_keys, n, d)
+            # Newly derivable keys may enable inverse expansion.
+            changed |= self._expand_inverses(self.fin_keys, self.fin_edges)
+            if not changed:
+                break
+
+    # -- reachability --------------------------------------------------------------
+
+    def _reach(self, edges, source: Node, target: Node
+               ) -> list[Derivation] | None:
+        """BFS path from source to target; returns the edge derivations
+        along one shortest path, or None."""
+        if source == target:
+            return []
+        prev: dict[Node, tuple[Node, Derivation]] = {}
+        queue: deque[Node] = deque((source,))
+        seen = {source}
+        while queue:
+            n = queue.popleft()
+            for m, d in edges.get(n, {}).items():
+                if m in seen:
+                    continue
+                seen.add(m)
+                prev[m] = (n, d)
+                if m == target:
+                    path: list[Derivation] = []
+                    cur = m
+                    while cur != source:
+                        p, dd = prev[cur]
+                        path.append(dd)
+                        cur = p
+                    path.reverse()
+                    return path
+                queue.append(m)
+        return None
+
+    # -- queries ----------------------------------------------------------------------
+
+    def implies(self, phi: Constraint) -> ImplicationResult:
+        """Decide unrestricted implication ``Σ ⊨ φ`` (system ``I_u``)."""
+        return self._decide(phi, self.keys, self.edges, finite=False)
+
+    def finitely_implies(self, phi: Constraint) -> ImplicationResult:
+        """Decide finite implication ``Σ ⊨_f φ`` (system ``I_u^f``)."""
+        return self._decide(phi, self.fin_keys, self.fin_edges, finite=True)
+
+    def _decide(self, phi: Constraint, keys, edges,
+                finite: bool) -> ImplicationResult:
+        (phi,) = _require_lu((phi,))
+        mode = "I_u^f" if finite else "I_u"
+        if isinstance(phi, UnaryKey):
+            n = (phi.element, phi.field)
+            if n in keys:
+                return ImplicationResult(True, derivation=keys[n])
+            return ImplicationResult(
+                False, reason=f"{_node_str(n)} is not a derivable key "
+                f"under {mode}")
+        if isinstance(phi, (UnaryForeignKey, SetValuedForeignKey)):
+            n = (phi.element, phi.field)
+            m = (phi.target, phi.target_field)
+            if m not in keys:
+                return ImplicationResult(
+                    False, reason=f"target {_node_str(m)} is not a "
+                    f"derivable key under {mode} (an L_u foreign key "
+                    "must reference a key)")
+            if isinstance(phi, SetValuedForeignKey) and n == m:
+                return ImplicationResult(
+                    False, reason="a set-valued attribute cannot be a key")
+            path = self._reach(edges, n, m)
+            if path is None:
+                return ImplicationResult(
+                    False, reason=f"no inclusion chain from {_node_str(n)} "
+                    f"to {_node_str(m)} under {mode}")
+            if not path:  # n == m: UK-FK
+                return ImplicationResult(
+                    True, derivation=Derivation(str(phi), "UK-FK",
+                                                (keys[m],)))
+            rule = "USFK-trans" if isinstance(phi, SetValuedForeignKey) \
+                else "UFK-trans"
+            if len(path) == 1:
+                return ImplicationResult(True, derivation=path[0])
+            return ImplicationResult(
+                True, derivation=Derivation(str(phi), rule, tuple(path)))
+        if isinstance(phi, Inverse):
+            canon = _canonical_inverse(phi)
+            k1 = (phi.element, phi.key_field)
+            k2 = (phi.target, phi.target_key_field)
+            if canon in self.inverses and k1 in keys and k2 in keys:
+                return ImplicationResult(
+                    True, derivation=Derivation(
+                        str(phi), "given",
+                        (self.inverses[canon], keys[k1], keys[k2])))
+            return ImplicationResult(
+                False, reason="inverse constraints are implied only when "
+                "stated (with the same designated keys, both derivable)")
+        raise LanguageMismatchError(f"{phi} is not an L_u constraint")
+
+    # -- introspection -----------------------------------------------------------------
+
+    def derivable_keys(self, finite: bool = False) -> set[Node]:
+        """All attribute nodes that are derivable keys."""
+        return set(self.fin_keys if finite else self.keys)
+
+    def problems_coincide_on(self, phi: Constraint) -> bool:
+        """Whether the two implication problems agree on ``φ``."""
+        return bool(self.implies(phi)) == bool(self.finitely_implies(phi))

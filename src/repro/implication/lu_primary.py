@@ -1,0 +1,92 @@
+"""``L_u`` implication under the primary-key restriction (§3.2, Thm 3.4).
+
+The restriction (quoting the paper): for any element type ``tau`` there
+is at most one attribute ``l`` with ``tau.l -> tau``, elements of ``tau``
+may only be referred to through that attribute, and consequently one
+cannot have both ``tau1.l1 ⊆ tau.l`` and ``tau2.l2 ⊆ tau.l'`` with
+``l ≠ l'``.
+
+Under the restriction the cycle rules can never fire (a cycle would need
+two distinct key attributes on some type along the way), so ``I_u`` is
+complete for *both* implication and finite implication (Theorem 3.4) —
+a departure from the unrestricted situation of Cor 3.3, and the XML
+analogue of Corollary 3.5 for relational databases.
+
+:class:`LuPrimaryEngine` validates the restriction over Σ ∪ {φ} (raising
+:class:`~repro.errors.PrimaryKeyRestrictionError` when violated) and
+then delegates both questions to the unrestricted ``I_u`` decider.  The
+E6 experiment checks empirically that the finite (cycle-rule) decider
+agrees with ``I_u`` on every restriction-respecting instance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.errors import PrimaryKeyRestrictionError
+from repro.implication.lu import LuEngine, _require_lu
+from repro.implication.result import ImplicationResult
+
+
+def check_primary_restriction(constraints: Iterable[Constraint]) -> None:
+    """Raise unless the constraint set satisfies the primary-key
+    restriction of §3.2."""
+    constraints = _require_lu(constraints)
+    keys: dict[str, set[Field]] = defaultdict(set)
+    referenced: dict[str, set[Field]] = defaultdict(set)
+    for c in constraints:
+        if isinstance(c, UnaryKey):
+            keys[c.element].add(c.field)
+        elif isinstance(c, (UnaryForeignKey, SetValuedForeignKey)):
+            keys[c.target].add(c.target_field)
+            referenced[c.target].add(c.target_field)
+        elif isinstance(c, Inverse):
+            keys[c.element].add(c.key_field)
+            keys[c.target].add(c.target_key_field)
+            referenced[c.element].add(c.key_field)
+            referenced[c.target].add(c.target_key_field)
+    for element, fields in keys.items():
+        if len(fields) > 1:
+            names = ", ".join(sorted(str(f) for f in fields))
+            raise PrimaryKeyRestrictionError(
+                f"element type {element!r} has {len(fields)} key "
+                f"attributes ({names}); the primary-key restriction "
+                "allows at most one")
+    for element, fields in referenced.items():
+        if len(fields) > 1:
+            names = ", ".join(sorted(str(f) for f in fields))
+            raise PrimaryKeyRestrictionError(
+                f"element type {element!r} is referenced through "
+                f"multiple attributes ({names})")
+
+
+class LuPrimaryEngine:
+    """``L_u`` decider specialized to the primary-key restriction.
+
+    Implication and finite implication coincide here (Theorem 3.4), so
+    both methods return the ``I_u`` answer.  The underlying unrestricted
+    engine is exposed as :attr:`base` for cross-validation.
+    """
+
+    def __init__(self, sigma: Iterable[Constraint]):
+        self.sigma = _require_lu(sigma)
+        check_primary_restriction(self.sigma)
+        self.base = LuEngine(self.sigma)
+
+    def _check_query(self, phi: Constraint) -> None:
+        check_primary_restriction(self.sigma + [phi])
+
+    def implies(self, phi: Constraint) -> ImplicationResult:
+        """Decide ``Σ ⊨ φ``; raises if Σ ∪ {φ} breaks the restriction."""
+        self._check_query(phi)
+        return self.base.implies(phi)
+
+    def finitely_implies(self, phi: Constraint) -> ImplicationResult:
+        """Decide ``Σ ⊨_f φ`` — by Theorem 3.4 this equals ``Σ ⊨ φ``."""
+        self._check_query(phi)
+        return self.base.implies(phi)

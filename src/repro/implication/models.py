@@ -1,0 +1,191 @@
+"""Abstract flat models for constraint (non-)implication witnesses.
+
+An :class:`AbstractModel` is the semantic skeleton of a data tree: for
+each element type, a list of elements carrying field values.  It is the
+right level for implication counterexamples — the tree shape is
+irrelevant to the basic constraint languages — and it converts to a real
+document (``DTD^C`` plus data tree) with :func:`materialize`, so every
+witness can be re-verified with the production checker.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.datamodel.tree import DataTree
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.errors import ConstraintError
+
+
+@dataclass
+class AbstractElement:
+    """One element: field -> value set (singletons for single-valued)."""
+
+    values: dict[Field, frozenset[str]] = field(default_factory=dict)
+
+    def get(self, f: Field) -> frozenset[str]:
+        """The value set of field ``f`` (empty when absent)."""
+        return self.values.get(f, frozenset())
+
+    def single(self, f: Field) -> str | None:
+        """The single value of ``f``, or None when not a singleton."""
+        vs = self.get(f)
+        return next(iter(vs)) if len(vs) == 1 else None
+
+
+@dataclass
+class AbstractModel:
+    """Elements per type, plus which fields are set-valued."""
+
+    elements: dict[str, list[AbstractElement]] = \
+        field(default_factory=lambda: defaultdict(list))
+    set_valued: set[tuple[str, Field]] = field(default_factory=set)
+
+    def add(self, element_type: str,
+            **by_name: "str | Iterable[str]") -> AbstractElement:
+        """Append an element; bare strings are single values."""
+        e = AbstractElement()
+        for name, vs in by_name.items():
+            f = Field(name)
+            e.values[f] = frozenset((vs,)) if isinstance(vs, str) \
+                else frozenset(vs)
+        self.elements.setdefault(element_type, []).append(e)
+        return e
+
+    def ext(self, element_type: str) -> list[AbstractElement]:
+        """``ext(tau)``: the elements of the given type."""
+        return self.elements.get(element_type, [])
+
+    def values_of(self, element_type: str, f: Field) -> set[str]:
+        """The union of ``f`` values over the type's elements."""
+        out: set[str] = set()
+        for e in self.ext(element_type):
+            out |= e.get(f)
+        return out
+
+    # -- satisfaction of L / L_u constraints -----------------------------------
+
+    def satisfies(self, constraint: Constraint) -> bool:
+        """Direct evaluation of the defining formula on this model."""
+        c = constraint
+        if isinstance(c, UnaryKey):
+            return self._key(c.element, (c.field,))
+        if isinstance(c, Key):
+            return self._key(c.element, c.fields)
+        if isinstance(c, UnaryForeignKey):
+            targets = self.values_of(c.target, c.target_field)
+            return all(e.single(c.field) in targets
+                       for e in self.ext(c.element))
+        if isinstance(c, SetValuedForeignKey):
+            targets = self.values_of(c.target, c.target_field)
+            return all(e.get(c.field) <= targets
+                       for e in self.ext(c.element))
+        if isinstance(c, ForeignKey):
+            targets = {tuple(e.single(f) for f in c.target_fields)
+                       for e in self.ext(c.target)}
+            targets = {t for t in targets if None not in t}
+            return all(
+                tuple(e.single(f) for f in c.fields) in targets
+                for e in self.ext(c.element))
+        if isinstance(c, Inverse):
+            return self._inverse_direction(
+                c.element, c.key_field, c.field,
+                c.target, c.target_key_field, c.target_field) and \
+                self._inverse_direction(
+                    c.target, c.target_key_field, c.target_field,
+                    c.element, c.key_field, c.field)
+        raise ConstraintError(
+            f"abstract models evaluate L/L_u constraints only, got {c!r}")
+
+    def satisfies_all(self, constraints: Iterable[Constraint]) -> bool:
+        """Whether every constraint of the set holds on this model."""
+        return all(self.satisfies(c) for c in constraints)
+
+    def _key(self, element: str, fields: tuple[Field, ...]) -> bool:
+        seen: set[tuple] = set()
+        for e in self.ext(element):
+            row = tuple(e.get(f) for f in fields)
+            if any(len(vs) != 1 for vs in row):
+                continue
+            if row in seen:
+                return False
+            seen.add(row)
+        return True
+
+    def _inverse_direction(self, element, key_field, value_field,
+                           other, other_key, other_value) -> bool:
+        for x in self.ext(element):
+            xk = x.single(key_field)
+            if xk is None:
+                continue
+            for y in self.ext(other):
+                if xk in y.get(other_value):
+                    yk = y.single(other_key)
+                    if yk is None or yk not in x.get(value_field):
+                        return False
+        return True
+
+    # -- conversion ------------------------------------------------------------------
+
+    def fields_by_type(self) -> dict[str, set[Field]]:
+        """Every field used by each element type (incl. set-valued marks)."""
+        out: dict[str, set[Field]] = defaultdict(set)
+        for element_type, elements in self.elements.items():
+            out[element_type]  # ensure key
+            for e in elements:
+                out[element_type] |= set(e.values)
+        for (element_type, f) in self.set_valued:
+            out[element_type].add(f)
+        return dict(out)
+
+    def describe(self) -> str:
+        """A compact one-line-per-element rendering of the model."""
+        lines = []
+        for element_type in sorted(self.elements):
+            for i, e in enumerate(self.ext(element_type)):
+                vals = ", ".join(
+                    f"{f}={set(vs) if len(vs) != 1 else next(iter(vs))!r}"
+                    for f, vs in sorted(e.values.items(),
+                                        key=lambda kv: str(kv[0])))
+                lines.append(f"{element_type}#{i}: {vals}")
+        return "\n".join(lines) or "(empty model)"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def materialize(model: AbstractModel, root: str = "db"
+                ) -> tuple[DTDC, DataTree]:
+    """Turn an abstract model into a flat document plus matching DTD.
+
+    The DTD's root holds each element type under Kleene star; fields
+    become attributes (set-valued where the model says so).  The returned
+    ``DTD^C`` carries no constraints — callers pair the document with
+    whatever Σ the witness is about.
+    """
+    structure = DTDStructure(root)
+    fields = model.fields_by_type()
+    inner = ", ".join(f"{t}*" for t in sorted(fields))
+    structure.define_element(root, f"({inner})" if inner else "EMPTY")
+    for element_type in sorted(fields):
+        structure.define_element(element_type, "EMPTY")
+        for f in sorted(fields[element_type], key=str):
+            structure.define_attribute(
+                element_type, f.name,
+                set_valued=(element_type, f) in model.set_valued)
+    tree = DataTree(root)
+    for element_type in sorted(fields):
+        for e in model.ext(element_type):
+            v = tree.create(element_type)
+            tree.root.append(v)
+            for f in sorted(fields[element_type], key=str):
+                v.set_attribute(f.name, e.get(f))
+    return DTDC(structure, ()), tree

@@ -1,0 +1,323 @@
+"""Independent checking of derivation trees.
+
+Every implication engine returns a :class:`Derivation` when it answers
+"implied".  This module re-validates those proofs *without trusting the
+engines*: each rule application is checked syntactically against the
+paper's axiom schemas, leaves must be members of Σ (or instances of the
+reflexivity/definition axioms), and the root must conclude φ.  The test
+suite runs every engine over a corpus and asserts all emitted proofs
+check — a second, independent line of defense for the §3 results.
+
+Checked rule schemas (conclusions and premises are re-parsed from their
+string forms with the library's own constraint parser):
+
+=================  ==========================================================
+``given``          conclusion ∈ Σ
+``reflexivity``    trivially valid conclusions (``x ⊆ x``, ``ρ = ϱ``)
+``UK-FK``          key ``τ.l → τ``  ⊢  ``τ.l ⊆ τ.l``
+``UFK-K``/``SFK-K`` foreign key ⊢ its target key
+``UFK-trans``/``USFK-trans``  chains of inclusions compose end to end
+``Inv-SFK``        inverse + two keys ⊢ a derived set-valued foreign key
+``FK-ID``/``SFK-ID``  L_id foreign key ⊢ target ID constraint
+``Inv-SFK-ID``     L_id inverse ⊢ a derived set-valued foreign key
+``ID-FK``          ID constraint ⊢ ``τ.id ⊆ τ.id``
+``ID-Key``         ID constraint ⊢ ``τ.id → τ`` (documented completion)
+``cycle-rule``     conclusion is the reverse of the premise inclusion
+``PK-FK``          a key ⊢ its reflexive foreign key
+``PFK-K``          a foreign key ⊢ its target key
+``PFK-perm``       premise and conclusion are canonical-equal
+``PFK-trans``      alignments compose
+``primary-key``    conclusion's field set is stated or FK-induced in Σ
+``K-augment``      premise key's fields ⊆ conclusion key's fields
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.constraints.base import Constraint
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.constraints.parser import parse_constraint
+from repro.errors import ConstraintSyntaxError
+from repro.implication.result import Derivation
+
+
+def check_derivation(derivation: Derivation,
+                     sigma: Iterable[Constraint]) -> list[str]:
+    """All problems found in the proof tree (empty list = proof checks)."""
+    stated = {str(c) for c in sigma}
+    # Inverse constraints match up to flip.
+    for c in sigma:
+        if isinstance(c, (Inverse, IDInverse)):
+            stated.add(str(c.flipped()))
+    problems: list[str] = []
+    _check_node(derivation, stated, problems)
+    return problems
+
+
+def _parse(text: str):
+    try:
+        return parse_constraint(text)
+    except ConstraintSyntaxError:
+        return None
+
+
+def _check_node(node: Derivation, stated: set[str],
+                problems: list[str]) -> None:
+    for premise in node.premises:
+        _check_node(premise, stated, problems)
+    checker = _CHECKERS.get(node.rule)
+    if checker is None:
+        problems.append(f"unknown rule {node.rule!r} concluding "
+                        f"{node.conclusion!r}")
+        return
+    error = checker(node, stated)
+    if error:
+        problems.append(f"{node.rule}: {error} (concluding "
+                        f"{node.conclusion!r})")
+
+
+# -- rule handlers -----------------------------------------------------------
+
+
+def _rule_given(node: Derivation, stated: set[str]) -> str | None:
+    # Engines attach helper premises (e.g. key facts for an inverse);
+    # the conclusion itself must be stated.
+    if node.conclusion in stated:
+        return None
+    return "conclusion is not a member of Sigma"
+
+
+def _rule_reflexivity(node: Derivation, _stated) -> str | None:
+    c = _parse(node.conclusion)
+    if isinstance(c, UnaryForeignKey) and c.element == c.target and \
+            c.field == c.target_field:
+        return None
+    if isinstance(c, ForeignKey) and c.element == c.target and \
+            c.fields == c.target_fields:
+        return None
+    if c is None:
+        return None  # path-constraint reflexivity; textual by design
+    return "conclusion is not a reflexive inclusion"
+
+
+def _conclusion_and_single_premise(node: Derivation):
+    c = _parse(node.conclusion)
+    p = _parse(node.premises[0].conclusion) if node.premises else None
+    return c, p
+
+
+def _rule_uk_fk(node, _stated) -> str | None:
+    c, p = _conclusion_and_single_premise(node)
+    if isinstance(c, UnaryForeignKey) and isinstance(p, UnaryKey) and \
+            c.element == c.target == p.element and \
+            c.field == c.target_field == p.field:
+        return None
+    return "not an instance of UK-FK"
+
+
+def _rule_ufk_k(node, _stated) -> str | None:
+    c, p = _conclusion_and_single_premise(node)
+    if isinstance(c, UnaryKey) and \
+            isinstance(p, (UnaryForeignKey, SetValuedForeignKey)) and \
+            p.target == c.element and p.target_field == c.field:
+        return None
+    return "premise foreign key does not target the concluded key"
+
+
+def _rule_trans(node, _stated) -> str | None:
+    links = [_parse(p.conclusion) for p in node.premises]
+    c = _parse(node.conclusion)
+    if not links or c is None or None in links:
+        return "unparseable chain"
+    ok_types = (UnaryForeignKey, SetValuedForeignKey)
+    if not isinstance(c, ok_types) or \
+            not all(isinstance(l, ok_types) for l in links):
+        return "chain members must be unary inclusions"
+    if (links[0].element, links[0].field) != (c.element, c.field):
+        return "chain does not start at the conclusion's source"
+    if (links[-1].target, links[-1].target_field) != \
+            (c.target, c.target_field):
+        return "chain does not end at the conclusion's target"
+    for a, b in zip(links, links[1:]):
+        if (a.target, a.target_field) != (b.element, b.field):
+            return "adjacent chain links do not connect"
+    return None
+
+
+def _rule_inv_sfk(node, _stated) -> str | None:
+    c = _parse(node.conclusion)
+    premises = [_parse(p.conclusion) for p in node.premises]
+    inverse = next((p for p in premises if isinstance(p, Inverse)), None)
+    if not isinstance(c, SetValuedForeignKey) or inverse is None:
+        return "needs an inverse premise and an SFK conclusion"
+    for cand in (inverse, inverse.flipped()):
+        derived = cand.implied_foreign_keys()[0]
+        if derived == c:
+            return None
+    return "conclusion is not one of the inverse's derived foreign keys"
+
+
+def _rule_fk_id(node, _stated) -> str | None:
+    c, p = _conclusion_and_single_premise(node)
+    if isinstance(c, IDConstraint) and \
+            isinstance(p, (IDForeignKey, IDSetValuedForeignKey)) and \
+            p.target == c.element:
+        return None
+    return "premise does not target the concluded ID constraint"
+
+
+def _rule_inv_sfk_id(node, _stated) -> str | None:
+    c, p = _conclusion_and_single_premise(node)
+    if isinstance(c, IDSetValuedForeignKey) and isinstance(p, IDInverse):
+        for cand in (p, p.flipped()):
+            if cand.implied_foreign_keys()[0] == c:
+                return None
+    return "conclusion is not one of the inverse's derived foreign keys"
+
+
+def _rule_id_fk(node, _stated) -> str | None:
+    c, p = _conclusion_and_single_premise(node)
+    if isinstance(c, IDForeignKey) and isinstance(p, IDConstraint) and \
+            c.element == c.target == p.element and c.field.name == "id":
+        return None
+    return "not the reflexive id inclusion of the premise's type"
+
+
+def _rule_id_key(node, _stated) -> str | None:
+    c, p = _conclusion_and_single_premise(node)
+    if isinstance(c, UnaryKey) and isinstance(p, IDConstraint) and \
+            c.element == p.element and c.field.name == "id":
+        return None
+    return "not the id-key of the premise's type"
+
+
+def _rule_cycle(node, _stated) -> str | None:
+    if not node.premises:
+        return None  # cycle-derived keys carry no syntactic premise
+    c = _parse(node.conclusion.replace("subseteq", "sub"))
+    p = _parse(node.premises[0].conclusion.replace("subseteq", "sub"))
+    ok_types = (UnaryForeignKey, SetValuedForeignKey)
+    if isinstance(c, ok_types) and isinstance(p, ok_types) and \
+            (c.element, c.field) == (p.target, p.target_field) and \
+            (c.target, c.target_field) == (p.element, p.field):
+        return None
+    return "conclusion is not the reverse of the premise inclusion"
+
+
+def _rule_pk_fk(node, _stated) -> str | None:
+    c = _parse(node.conclusion)
+    if isinstance(c, (ForeignKey, UnaryForeignKey)) and \
+            c.element == c.target:
+        fields = c.fields if isinstance(c, ForeignKey) else (c.field,)
+        targets = c.target_fields if isinstance(c, ForeignKey) \
+            else (c.target_field,)
+        if fields == targets:
+            return None
+    return "conclusion is not a reflexive foreign key"
+
+
+def _rule_pfk_k(node, _stated) -> str | None:
+    c, p = _conclusion_and_single_premise(node)
+    key_fields = None
+    if isinstance(c, Key):
+        key_fields = c.field_set
+    elif isinstance(c, UnaryKey):
+        key_fields = frozenset((c.field,))
+    if key_fields is None:
+        return "conclusion is not a key"
+    if isinstance(p, ForeignKey) and p.target == c.element and \
+            frozenset(p.target_fields) == key_fields:
+        return None
+    if isinstance(p, UnaryForeignKey) and p.target == c.element and \
+            frozenset((p.target_field,)) == key_fields:
+        return None
+    return "premise foreign key does not target the concluded key"
+
+
+def _rule_pfk_perm(node, _stated) -> str | None:
+    c, p = _conclusion_and_single_premise(node)
+    if isinstance(c, ForeignKey) and isinstance(p, ForeignKey) and \
+            c.canonical() == p.canonical():
+        return None
+    return "premise and conclusion are not permutations of each other"
+
+
+def _rule_pfk_trans(node, _stated) -> str | None:
+    from repro.implication.l_primary import _compose
+
+    c = _parse(node.conclusion)
+    links = [_parse(p.conclusion) for p in node.premises]
+    if len(links) != 2 or not all(isinstance(l, ForeignKey)
+                                  for l in links) or \
+            not isinstance(c, ForeignKey):
+        return "needs two foreign-key premises"
+    composed = _compose(links[0], links[1])
+    if composed is not None and composed.canonical() == c.canonical():
+        return None
+    return "premises do not compose to the conclusion"
+
+
+def _rule_primary_key(node, stated) -> str | None:
+    c = _parse(node.conclusion)
+    if isinstance(c, UnaryKey):
+        c = Key(c.element, (c.field,))
+    if not isinstance(c, Key):
+        return "conclusion is not a key"
+    for text in stated:
+        s = _parse(text)
+        if isinstance(s, UnaryKey):
+            s = Key(s.element, (s.field,))
+        if isinstance(s, Key) and s.element == c.element and \
+                s.field_set == c.field_set:
+            return None
+        if isinstance(s, UnaryForeignKey) and s.target == c.element and \
+                frozenset((s.target_field,)) == c.field_set:
+            return None
+        if isinstance(s, ForeignKey) and s.target == c.element and \
+                frozenset(s.target_fields) == c.field_set:
+            return None
+    return "key is neither stated nor induced by a stated foreign key"
+
+
+def _rule_k_augment(node, _stated) -> str | None:
+    c, p = _conclusion_and_single_premise(node)
+    if isinstance(c, UnaryKey):
+        c = Key(c.element, (c.field,))
+    if isinstance(p, UnaryKey):
+        p = Key(p.element, (p.field,))
+    if isinstance(c, Key) and isinstance(p, Key) and \
+            p.element == c.element and p.field_set <= c.field_set:
+        return None
+    return "premise key is not a subset of the conclusion key"
+
+
+_CHECKERS = {
+    "given": _rule_given,
+    "reflexivity": _rule_reflexivity,
+    "UK-FK": _rule_uk_fk,
+    "UFK-K": _rule_ufk_k,
+    "SFK-K": _rule_ufk_k,
+    "UFK-trans": _rule_trans,
+    "USFK-trans": _rule_trans,
+    "Inv-SFK": _rule_inv_sfk,
+    "FK-ID": _rule_fk_id,
+    "SFK-ID": _rule_fk_id,
+    "Inv-SFK-ID": _rule_inv_sfk_id,
+    "ID-FK": _rule_id_fk,
+    "ID-Key": _rule_id_key,
+    "cycle-rule": _rule_cycle,
+    "PK-FK": _rule_pk_fk,
+    "PFK-K": _rule_pfk_k,
+    "PFK-perm": _rule_pfk_perm,
+    "PFK-trans": _rule_pfk_trans,
+    "primary-key": _rule_primary_key,
+    "K-augment": _rule_k_augment,
+}

@@ -1,0 +1,78 @@
+"""Shared result and derivation types for the implication engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.base import Constraint
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A proof tree: ``conclusion`` derived by ``rule`` from ``premises``.
+
+    ``rule`` names the axiom used (the paper's names: ``ID-FK``,
+    ``UFK-trans``, ``PFK-perm``, ...); the leaf rule ``"given"`` marks
+    members of Σ, and ``"reflexivity"``/``"definition"`` mark built-in
+    steps.
+    """
+
+    conclusion: str
+    rule: str
+    premises: tuple["Derivation", ...] = ()
+
+    def steps(self) -> list["Derivation"]:
+        """All derivation nodes, premises before conclusions."""
+        out: list[Derivation] = []
+        for p in self.premises:
+            out.extend(p.steps())
+        out.append(self)
+        return out
+
+    def pretty(self, indent: int = 0) -> str:
+        """Multi-line rendering of the proof tree."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.conclusion}   [{self.rule}]"]
+        for p in self.premises:
+            lines.append(p.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+def given(constraint: "Constraint | str") -> Derivation:
+    """A leaf derivation: the constraint is a member of Σ."""
+    return Derivation(str(constraint), "given")
+
+
+@dataclass
+class ImplicationResult:
+    """The answer to one implication query ``Σ ⊨ φ`` / ``Σ ⊨_f φ``.
+
+    ``bool(result)`` is the answer.  When implied, ``derivation`` (if the
+    engine produces proofs) explains why; otherwise ``reason`` carries a
+    short explanation and ``counterexample`` (when available) a witness
+    object — a finite data tree, a finitely-presented infinite model, or
+    a relational instance, depending on the engine.
+    """
+
+    implied: bool
+    derivation: Derivation | None = None
+    reason: str = ""
+    counterexample: object | None = None
+    details: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.implied
+
+    def explain(self) -> str:
+        """A human-readable explanation of the verdict."""
+        if self.implied:
+            if self.derivation is not None:
+                return f"implied:\n{self.derivation.pretty()}"
+            return f"implied ({self.reason or 'no proof recorded'})"
+        body = self.reason or "no derivation exists"
+        if self.counterexample is not None:
+            body += f"; counterexample: {self.counterexample}"
+        return f"not implied ({body})"

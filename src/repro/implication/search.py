@@ -1,0 +1,131 @@
+"""Model search for (non-)implication of ``L_u`` constraints.
+
+Two searchers over :class:`~repro.implication.models.AbstractModel`:
+
+- :func:`exhaustive_counterexample` — enumerate *all* models up to the
+  given bounds and return the first that satisfies Σ and violates φ.
+  Exponential, meant for tiny bounds; it is the ground truth the E14
+  ablation checks the cycle-rule decider against (finite implication
+  restricted to models within the bounds).
+- :func:`random_counterexample` — seeded random sampling, useful as a
+  cheap refutation pass on larger instances.
+
+Both return ``None`` when no counterexample is found within the budget —
+which for the exhaustive searcher means "Σ finitely implies φ over all
+models within the bounds", a sound *lower* bound on real finite
+implication.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey,
+)
+from repro.implication.lu import _Arities, _require_lu
+from repro.implication.models import AbstractElement, AbstractModel
+
+
+def _signature(constraints: Iterable[Constraint]
+               ) -> tuple[list[str], dict[str, list[Field]],
+                          dict[str, list[Field]]]:
+    """Types, single-valued fields and set-valued fields mentioned."""
+    constraints = _require_lu(constraints)
+    arities = _Arities()
+    arities.scan(constraints)
+    types: set[str] = set()
+    for c in constraints:
+        types.add(c.element)
+        if isinstance(c, (UnaryForeignKey, SetValuedForeignKey, Inverse)):
+            types.add(c.target)
+    single: dict[str, list[Field]] = {t: [] for t in types}
+    setv: dict[str, list[Field]] = {t: [] for t in types}
+    for (t, f) in sorted(arities.single, key=lambda n: (n[0], str(n[1]))):
+        single.setdefault(t, []).append(f)
+    for (t, f) in sorted(arities.set_valued,
+                         key=lambda n: (n[0], str(n[1]))):
+        setv.setdefault(t, []).append(f)
+    return sorted(types), single, setv
+
+
+def _element_configs(single: list[Field], setv: list[Field],
+                     domain: tuple[str, ...]):
+    """All value assignments for one element over the domain."""
+    subsets = list(
+        frozenset(c) for r in range(len(domain) + 1)
+        for c in itertools.combinations(domain, r))
+    for singles in itertools.product(domain, repeat=len(single)):
+        for sets in itertools.product(subsets, repeat=len(setv)):
+            e = AbstractElement()
+            for f, v in zip(single, singles):
+                e.values[f] = frozenset((v,))
+            for f, vs in zip(setv, sets):
+                e.values[f] = vs
+            yield e
+
+
+def exhaustive_counterexample(sigma: Iterable[Constraint],
+                              phi: Constraint,
+                              max_elements: int = 2,
+                              domain_size: int = 2
+                              ) -> AbstractModel | None:
+    """Exhaustively search for a finite model of Σ violating φ.
+
+    Bounds: at most ``max_elements`` elements per type, values drawn
+    from a domain of ``domain_size`` constants.  Keep both tiny — the
+    space is doubly exponential in the field counts.
+    """
+    sigma = list(_require_lu(sigma))
+    types, single, setv = _signature(sigma + [phi])
+    domain = tuple(f"v{i}" for i in range(domain_size))
+    per_type_options: list[list[list[AbstractElement]]] = []
+    for t in types:
+        configs = list(_element_configs(single.get(t, []),
+                                        setv.get(t, []), domain))
+        options: list[list[AbstractElement]] = [[]]
+        for n in range(1, max_elements + 1):
+            options.extend(
+                list(combo) for combo in
+                itertools.combinations_with_replacement(configs, n))
+        per_type_options.append(options)
+    set_marks = {(t, f) for t in types for f in setv.get(t, [])}
+    for assignment in itertools.product(*per_type_options):
+        model = AbstractModel()
+        model.set_valued |= set_marks
+        for t, elements in zip(types, assignment):
+            model.elements[t] = [AbstractElement(dict(e.values))
+                                 for e in elements]
+        if model.satisfies_all(sigma) and not model.satisfies(phi):
+            return model
+    return None
+
+
+def random_counterexample(sigma: Iterable[Constraint], phi: Constraint,
+                          trials: int = 2000, max_elements: int = 3,
+                          domain_size: int = 3,
+                          seed: int = 0) -> AbstractModel | None:
+    """Randomized counterexample search (seeded, reproducible)."""
+    sigma = list(_require_lu(sigma))
+    types, single, setv = _signature(sigma + [phi])
+    domain = tuple(f"v{i}" for i in range(domain_size))
+    rng = random.Random(seed)
+    set_marks = {(t, f) for t in types for f in setv.get(t, [])}
+    for _trial in range(trials):
+        model = AbstractModel()
+        model.set_valued |= set_marks
+        for t in types:
+            for _i in range(rng.randint(0, max_elements)):
+                e = AbstractElement()
+                for f in single.get(t, []):
+                    e.values[f] = frozenset((rng.choice(domain),))
+                for f in setv.get(t, []):
+                    e.values[f] = frozenset(
+                        v for v in domain if rng.random() < 0.4)
+                model.elements.setdefault(t, []).append(e)
+        if model.satisfies_all(sigma) and not model.satisfies(phi):
+            return model
+    return None

@@ -1,0 +1,21 @@
+"""Object-database substrate: ODL-style schemas, instances, XML export.
+
+The paper's second motivating example (§1) exports an object database
+(ODMG/ODL syntax) to XML, needing ``L_id`` to preserve object identity,
+typed references, multiple keys and inverse relationships.  This package
+models that pipeline end-to-end:
+
+- :mod:`repro.oodb.odl`      — class schemas: attributes, to-one /
+  to-many relationships with optional ``inverse`` declarations, keys;
+- :mod:`repro.oodb.instance` — object stores with referential checking;
+- :mod:`repro.oodb.export`   — schema → ``DTD^C`` with ``L_id``
+  constraints and store → document, reproducing the person/dept
+  ``D_o = (S_o, Σ_o)`` of §2.4.
+"""
+
+from repro.oodb.odl import OdlClass, OdlRelationship, OdlSchema
+from repro.oodb.instance import ObjectStore
+from repro.oodb.export import export_schema, export_store
+
+__all__ = ["OdlClass", "OdlRelationship", "OdlSchema", "ObjectStore",
+           "export_schema", "export_store"]

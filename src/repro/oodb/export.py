@@ -1,0 +1,121 @@
+"""OODB → XML export with ``L_id`` constraints (the §2.4 ``D_o``).
+
+The translation mirrors the paper's person/dept example exactly:
+
+- each class becomes an element type whose *attributes* become
+  sub-elements with string content (so that keys over them use the
+  §3.4 sub-element extension, as ``Σ_o`` does for ``name``/``dname``);
+- every class gets an ``oid`` attribute of kind ID plus an
+  ``tau.id ->id tau`` constraint (object identity);
+- to-one relationships become single-valued IDREF attributes with
+  ``tau.rel ⊆ target.id``; to-many become IDREFS attributes with
+  ``tau.rel ⊆_S target.id`` (typed, scoped references — what plain
+  IDREF cannot express);
+- declared keys become unary key constraints (several per class are
+  fine in ``L_id``);
+- inverse relationship pairs become ``L_id`` inverse constraints.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.constraints.lang_lu import UnaryKey
+from repro.datamodel.tree import DataTree
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.errors import SchemaError
+from repro.oodb.instance import ObjectStore
+from repro.oodb.odl import OdlSchema
+
+OID_ATTRIBUTE = "oid"
+
+
+def export_schema(schema: OdlSchema, root: str = "db") -> DTDC:
+    """Translate an ODL schema into a ``DTD^C`` with ``L_id`` Σ."""
+    schema.check()
+    structure = DTDStructure(root)
+    inner = ", ".join(f"{c.name}*" for c in schema.classes)
+    structure.define_element(root, f"({inner})" if inner else "EMPTY")
+    leaf_elements: set[str] = set()
+    for cls in schema.classes:
+        if cls.name == root:
+            raise SchemaError(
+                f"class name {cls.name!r} collides with the root element")
+        content = ", ".join(cls.attributes) if cls.attributes else "EMPTY"
+        structure.define_element(
+            cls.name, f"({content})" if cls.attributes else "EMPTY")
+        leaf_elements.update(cls.attributes)
+        structure.define_attribute(cls.name, OID_ATTRIBUTE, kind="ID")
+        for rel in cls.relationships:
+            structure.define_attribute(cls.name, rel.name,
+                                       set_valued=rel.many, kind="IDREF")
+    for leaf in sorted(leaf_elements):
+        structure.define_element(leaf, "(#PCDATA)")
+
+    constraints: list[Constraint] = []
+    for cls in schema.classes:
+        constraints.append(IDConstraint(cls.name))
+        for key in cls.keys:
+            if len(key) != 1:
+                raise SchemaError(
+                    f"class {cls.name!r}: L_id keys are unary; key "
+                    f"{sorted(key)} needs language L (use the relational "
+                    "exporter for composite keys)")
+            (attr,) = key
+            constraints.append(
+                UnaryKey(cls.name, Field(attr, is_element=True)))
+    inverse_fields: set[tuple[str, str]] = set()
+    for (c1, r1, c2, r2) in schema.inverse_pairs():
+        rel1 = schema.cls(c1).relationship(r1)
+        rel2 = schema.cls(c2).relationship(r2)
+        if rel1.many and rel2.many:
+            constraints.append(
+                IDInverse(c1, Field(r1), c2, Field(r2)))
+            inverse_fields.add((c1, r1))
+            inverse_fields.add((c2, r2))
+    for cls in schema.classes:
+        for rel in cls.relationships:
+            if rel.many:
+                constraints.append(
+                    IDSetValuedForeignKey(cls.name, Field(rel.name),
+                                          rel.target))
+            else:
+                constraints.append(
+                    IDForeignKey(cls.name, Field(rel.name), rel.target))
+    return DTDC(structure, constraints)
+
+
+def export_store(store: ObjectStore, root: str = "db"
+                 ) -> tuple[DTDC, DataTree]:
+    """Translate schema and data; returns ``(DTD^C, document)``.
+
+    The exported document is valid iff the store passed
+    :meth:`~repro.oodb.instance.ObjectStore.check` — the translation
+    preserves the original semantics, which is the point of ``L_id``.
+    """
+    dtd = export_schema(store.schema, root=root)
+    tree = DataTree(root)
+    for cls in store.schema.classes:
+        for obj in sorted(store.objects_of(cls.name), key=lambda o: o.oid):
+            v = tree.create(cls.name)
+            tree.root.append(v)
+            v.set_attribute(OID_ATTRIBUTE, obj.oid)
+            for attr in cls.attributes:
+                leaf = tree.create(attr)
+                leaf.append(obj.attributes.get(attr, ""))
+                v.append(leaf)
+            for rel in cls.relationships:
+                refs = obj.references.get(rel.name, ())
+                if rel.many:
+                    v.set_attribute(rel.name, frozenset(refs))
+                else:
+                    if len(refs) != 1:
+                        raise SchemaError(
+                            f"{obj.oid}: to-one relationship "
+                            f"{cls.name}.{rel.name} has {len(refs)} "
+                            "references; the DTD requires exactly one")
+                    v.set_attribute(rel.name, refs[0])
+    return dtd, tree

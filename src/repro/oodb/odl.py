@@ -1,0 +1,146 @@
+"""ODL-style object schemas.
+
+A schema is a set of classes; each class has string-valued attributes,
+keys (subsets of attributes — ODMG allows several), and relationships.
+A relationship is to-one or to-many (``many=True``) and may declare an
+``inverse`` — the name of the partner relationship on the target class,
+as in the paper's example::
+
+    interface Person (key name) {
+        attribute string name;
+        attribute string address;
+        relationship Set<Dept> in_dept inverse Dept::has_staff;
+    }
+    interface Dept (key dname) {
+        attribute string dname;
+        relationship Person manager;
+        relationship Set<Person> has_staff inverse Person::in_dept;
+    }
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class OdlRelationship:
+    """A relationship: target class, cardinality, optional inverse."""
+
+    name: str
+    target: str
+    many: bool = False
+    inverse: str | None = None  # partner relationship name on the target
+
+    def __str__(self) -> str:
+        card = f"Set<{self.target}>" if self.many else self.target
+        inv = f" inverse {self.target}::{self.inverse}" if self.inverse \
+            else ""
+        return f"relationship {card} {self.name}{inv}"
+
+
+@dataclass
+class OdlClass:
+    """One class: attributes, keys, relationships."""
+
+    name: str
+    attributes: tuple[str, ...] = ()
+    keys: tuple[frozenset[str], ...] = ()
+    relationships: tuple[OdlRelationship, ...] = ()
+
+    def __post_init__(self):
+        self.attributes = tuple(self.attributes)
+        self.keys = tuple(frozenset(k) if not isinstance(k, frozenset)
+                          else k for k in self.keys)
+        self.relationships = tuple(self.relationships)
+        for key in self.keys:
+            unknown = key - set(self.attributes)
+            if unknown:
+                raise SchemaError(
+                    f"class {self.name!r}: key uses undeclared "
+                    f"attributes {sorted(unknown)}")
+
+    def relationship(self, name: str) -> OdlRelationship:
+        """Look up a relationship by name (raises on unknown names)."""
+        for rel in self.relationships:
+            if rel.name == name:
+                return rel
+        raise SchemaError(
+            f"class {self.name!r} has no relationship {name!r}")
+
+    def __str__(self) -> str:
+        keys = " ".join(f"(key {', '.join(sorted(k))})" for k in self.keys)
+        lines = [f"interface {self.name} {keys} {{"]
+        lines.extend(f"    attribute string {a};" for a in self.attributes)
+        lines.extend(f"    {rel};" for rel in self.relationships)
+        lines.append("}")
+        return "\n".join(lines)
+
+
+class OdlSchema:
+    """A set of classes with validated cross-references."""
+
+    def __init__(self, classes: Iterable[OdlClass] = ()):
+        self._classes: dict[str, OdlClass] = {}
+        for cls in classes:
+            self.add(cls)
+
+    def add(self, cls: OdlClass) -> None:
+        """Add a class; duplicate names are rejected."""
+        if cls.name in self._classes:
+            raise SchemaError(f"duplicate class {cls.name!r}")
+        self._classes[cls.name] = cls
+
+    def cls(self, name: str) -> OdlClass:
+        """Look up a class by name (raises on unknown names)."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown class {name!r}") from None
+
+    @property
+    def classes(self) -> list[OdlClass]:
+        """The classes in declaration order."""
+        return list(self._classes.values())
+
+    def check(self) -> None:
+        """Validate relationship targets and inverse symmetry."""
+        for cls in self._classes.values():
+            for rel in cls.relationships:
+                if rel.target not in self._classes:
+                    raise SchemaError(
+                        f"{cls.name}.{rel.name} targets unknown class "
+                        f"{rel.target!r}")
+                if rel.inverse is not None:
+                    partner = self.cls(rel.target).relationship(rel.inverse)
+                    if partner.target != cls.name:
+                        raise SchemaError(
+                            f"inverse mismatch: {cls.name}.{rel.name} vs "
+                            f"{rel.target}.{rel.inverse}")
+                    if partner.inverse not in (None, rel.name):
+                        raise SchemaError(
+                            f"inverse of {rel.target}.{rel.inverse} is "
+                            f"{partner.inverse!r}, not {rel.name!r}")
+
+    def inverse_pairs(self) -> list[tuple[str, str, str, str]]:
+        """Deduplicated (class, relationship, class', relationship')
+        inverse pairs."""
+        seen: set[frozenset[tuple[str, str]]] = set()
+        out: list[tuple[str, str, str, str]] = []
+        for cls in self._classes.values():
+            for rel in cls.relationships:
+                if rel.inverse is None:
+                    continue
+                pair = frozenset(((cls.name, rel.name),
+                                  (rel.target, rel.inverse)))
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                out.append((cls.name, rel.name, rel.target, rel.inverse))
+        return out
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(c) for c in self._classes.values())

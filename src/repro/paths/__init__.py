@@ -1,0 +1,31 @@
+"""Navigation paths and path constraints (§4).
+
+- :mod:`repro.paths.path`        — paths, the ``type(tau.rho)`` typing
+  judgment of §4.1 (attribute steps dereference through ``L_id``
+  foreign keys into IDs);
+- :mod:`repro.paths.evaluate`    — ``nodes(x.rho)`` and ``ext(tau.rho)``
+  evaluation over data trees;
+- :mod:`repro.paths.constraints` — path functional / inclusion / inverse
+  constraints and their satisfaction on documents;
+- :mod:`repro.paths.implication` — the three deciders: Prop 4.1 (key
+  paths), Prop 4.2 (prefix decomposition), Prop 4.3 (inverse
+  composition).
+"""
+
+from repro.paths.path import Path, PathStep, parse_path, type_of
+from repro.paths.evaluate import ext_of_path, nodes_of
+from repro.paths.constraints import (
+    PathFunctional, PathInclusion, PathInverse, path_constraint_holds,
+)
+from repro.paths.implication import (
+    PathImplicationEngine, is_key_path,
+)
+from repro.paths.path_by_path import PathByPathProver
+
+__all__ = [
+    "Path", "PathStep", "parse_path", "type_of",
+    "ext_of_path", "nodes_of",
+    "PathFunctional", "PathInclusion", "PathInverse",
+    "path_constraint_holds",
+    "PathImplicationEngine", "is_key_path", "PathByPathProver",
+]

@@ -1,0 +1,129 @@
+"""Path constraints and their satisfaction on documents (§4.2).
+
+- :class:`PathFunctional`  ``tau.rho -> tau.varrho``:
+  ``∀x,y ∈ ext(tau): nodes(x.rho) = nodes(y.rho) →
+  nodes(x.varrho) = nodes(y.varrho)``.
+- :class:`PathInclusion`   ``tau1.rho1 ⊆ tau2.rho2``:
+  ``ext(tau1.rho1) ⊆ ext(tau2.rho2)``.
+- :class:`PathInverse`     ``tau1.rho1 ⇌ tau2.rho2``: mutual
+  back-reference between the two navigations.
+
+Satisfaction checking (:func:`path_constraint_holds`) is the executable
+specification the §4 implication deciders are validated against: the
+property tests assert that whatever the deciders call implied indeed
+holds on every generated valid document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datamodel.tree import DataTree, Vertex
+from repro.dtd.dtdc import DTDC
+from repro.paths.evaluate import PathEvaluator, node_key
+from repro.paths.path import Path, parse_path
+
+
+def _as_path(p: "Path | str") -> Path:
+    return parse_path(p) if isinstance(p, str) else p
+
+
+@dataclass(frozen=True)
+class PathFunctional:
+    """``element.rho -> element.varrho``."""
+
+    element: str
+    rho: Path
+    varrho: Path
+
+    def __post_init__(self):
+        object.__setattr__(self, "rho", _as_path(self.rho))
+        object.__setattr__(self, "varrho", _as_path(self.varrho))
+
+    def __str__(self) -> str:
+        return f"{self.element}.{self.rho} -> {self.element}.{self.varrho}"
+
+
+@dataclass(frozen=True)
+class PathInclusion:
+    """``element.rho ⊆ target.varrho``."""
+
+    element: str
+    rho: Path
+    target: str
+    varrho: Path
+
+    def __post_init__(self):
+        object.__setattr__(self, "rho", _as_path(self.rho))
+        object.__setattr__(self, "varrho", _as_path(self.varrho))
+
+    def __str__(self) -> str:
+        return f"{self.element}.{self.rho} sub {self.target}.{self.varrho}"
+
+
+@dataclass(frozen=True)
+class PathInverse:
+    """``element.rho ⇌ target.varrho``."""
+
+    element: str
+    rho: Path
+    target: str
+    varrho: Path
+
+    def __post_init__(self):
+        object.__setattr__(self, "rho", _as_path(self.rho))
+        object.__setattr__(self, "varrho", _as_path(self.varrho))
+
+    def flipped(self) -> "PathInverse":
+        """The same constraint written from the other side (symmetric)."""
+        return PathInverse(self.target, self.varrho, self.element, self.rho)
+
+    def __str__(self) -> str:
+        return f"{self.element}.{self.rho} inv {self.target}.{self.varrho}"
+
+
+PathConstraint = "PathFunctional | PathInclusion | PathInverse"
+
+
+def path_constraint_holds(dtd: DTDC, tree: DataTree,
+                          constraint) -> bool:
+    """Evaluate the defining formula of a path constraint on a document."""
+    ev = PathEvaluator(dtd, tree)
+    if isinstance(constraint, PathFunctional):
+        ext = ev.index.extension(constraint.element)
+        images: dict[frozenset, frozenset] = {}
+        for x in ext:
+            key = frozenset(map(node_key, ev.nodes_of(x, constraint.rho)))
+            value = frozenset(map(node_key,
+                                  ev.nodes_of(x, constraint.varrho)))
+            if key in images and images[key] != value:
+                return False
+            images.setdefault(key, value)
+        return True
+    if isinstance(constraint, PathInclusion):
+        left = {node_key(v)
+                for v in ev.ext_of(constraint.element, constraint.rho)}
+        right = {node_key(v)
+                 for v in ev.ext_of(constraint.target, constraint.varrho)}
+        return left <= right
+    if isinstance(constraint, PathInverse):
+        return _inverse_direction(ev, constraint.element, constraint.rho,
+                                  constraint.target, constraint.varrho) and \
+            _inverse_direction(ev, constraint.target, constraint.varrho,
+                               constraint.element, constraint.rho)
+    raise TypeError(f"not a path constraint: {constraint!r}")
+
+
+def _inverse_direction(ev: PathEvaluator, element: str, rho: Path,
+                       other: str, varrho: Path) -> bool:
+    """``∀x ∈ ext(element) ∀y ∈ ext(other):
+    y ∈ nodes(x.rho) → x ∈ nodes(y.varrho)``."""
+    others = set(map(id, ev.index.extension(other)))
+    for x in ev.index.extension(element):
+        for y in ev.nodes_of(x, rho):
+            if not isinstance(y, Vertex) or id(y) not in others:
+                continue
+            back = ev.nodes_of(y, varrho)
+            if not any(z is x for z in back if isinstance(z, Vertex)):
+                return False
+    return True

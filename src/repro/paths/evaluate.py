@@ -1,0 +1,91 @@
+"""Evaluation of paths over data trees: ``nodes(x.rho)`` and
+``ext(tau.rho)`` (§4.1).
+
+An element step collects the matching children of every current vertex.
+An attribute step either yields the attribute's *string values* (when
+its type is atomic) or **dereferences**: it yields the vertices of the
+target type whose ID matches the attribute's value(s), exactly as the
+paper treats ``book.ref.to.author`` — the ``to`` attribute hops from the
+``ref`` element to the referenced ``entry`` elements.
+
+Results are therefore mixed sets of vertices and strings; callers that
+need identity-based comparison (path functional constraints) compare
+vertices by object identity and strings by value, which
+:func:`node_key` encodes.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.indexes import AttributeIndex
+from repro.datamodel.tree import DataTree, Vertex
+from repro.dtd.dtdc import DTDC
+from repro.paths.path import Path, PathTyper
+from repro.regexlang.ast import ATOMIC
+
+
+class PathEvaluator:
+    """Evaluate resolved paths over one document (indexes cached)."""
+
+    def __init__(self, dtd: DTDC, tree: DataTree):
+        self.dtd = dtd
+        self.tree = tree
+        self.typer = PathTyper(dtd)
+        self.index = AttributeIndex(
+            tree, id_attributes=dtd.structure.id_attribute_map())
+
+    def nodes_of(self, x: Vertex, path: Path) -> "set[Vertex | str]":
+        """``nodes(x . path)``."""
+        current: set[Vertex | str] = {x}
+        current_type = x.label
+        for step in path.steps:
+            resolved, next_type = self.typer.resolve_step(current_type, step)
+            nxt: set[Vertex | str] = set()
+            if resolved.kind == "element":
+                for y in current:
+                    if isinstance(y, Vertex):
+                        if resolved.name == ATOMIC:
+                            nxt.update(c for c in y.children
+                                       if isinstance(c, str))
+                        else:
+                            nxt.update(y.children_labeled(resolved.name))
+            else:  # attribute step
+                if next_type == ATOMIC:
+                    for y in current:
+                        if isinstance(y, Vertex):
+                            nxt.update(y.attr_or_empty(resolved.name))
+                else:
+                    id_attr = self.dtd.structure.id_attribute(next_type)
+                    for y in current:
+                        if not isinstance(y, Vertex):
+                            continue
+                        for value in y.attr_or_empty(resolved.name):
+                            nxt.update(
+                                self.index.vertices_with_value(
+                                    next_type, id_attr, value))
+            current = nxt
+            current_type = next_type
+        return current
+
+    def ext_of(self, element: str, path: Path) -> "set[Vertex | str]":
+        """``ext(element . path)``: union over all ``element`` vertices."""
+        out: set[Vertex | str] = set()
+        for x in self.index.extension(element):
+            out |= self.nodes_of(x, path)
+        return out
+
+
+def nodes_of(dtd: DTDC, tree: DataTree, x: Vertex,
+             path: Path) -> "set[Vertex | str]":
+    """One-shot ``nodes(x.path)``."""
+    return PathEvaluator(dtd, tree).nodes_of(x, path)
+
+
+def ext_of_path(dtd: DTDC, tree: DataTree, element: str,
+                path: Path) -> "set[Vertex | str]":
+    """One-shot ``ext(element.path)``."""
+    return PathEvaluator(dtd, tree).ext_of(element, path)
+
+
+def node_key(item: "Vertex | str"):
+    """A hashable identity key: vertices by identity, strings by value."""
+    return ("v", id(item)) if isinstance(item, Vertex) else ("s", item)

@@ -1,0 +1,208 @@
+"""Implication of path constraints by ``L_id`` constraints (§4.2).
+
+Three deciders, each following the paper's characterization:
+
+- **Proposition 4.1** (path functional constraints):
+  ``Σ ⊨ tau.rho -> tau.varrho`` iff ``rho`` is a *key path* of ``tau``
+  — built from unique sub-elements (§3.4) and key/ID attributes — with
+  the trivially-sound extra case ``rho = varrho`` (reflexivity), which
+  the paper's iff elides.  Cost ``O(|φ| (|Σ| + |P|))``.
+- **Proposition 4.2** (path inclusion constraints):
+  ``Σ ⊨ tau1.rho1 ⊆ tau2.rho2`` iff ``rho1`` decomposes as
+  ``varrho . rho2`` with ``type(tau1.varrho) = tau2``.  Same cost.
+- **Proposition 4.3** (path inverse constraints): implied exactly when
+  the paths compose out of stated basic inverses via the rule
+  ``tau1.l1 ⇌ tau2.l2 , tau2.l2' ⇌ tau3.l3 ⊢ tau1.l1.l2' ⇌ tau3.l3.l2``
+  (each forward step's partner appears reversed on the other side).
+  Cost ``O(|Σ| |φ|)``.
+
+All three answers coincide for implication and finite implication, as
+the underlying ``L_id`` reasoning does (Prop 3.1).
+"""
+
+from __future__ import annotations
+
+from repro.constraints.base import Field
+from repro.constraints.lang_lid import IDConstraint, IDInverse
+from repro.constraints.lang_lu import UnaryKey
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import AttributeKind
+from repro.errors import PathSyntaxError
+from repro.implication.result import ImplicationResult
+from repro.paths.constraints import (
+    PathFunctional, PathInclusion, PathInverse,
+)
+from repro.paths.path import Path, PathTyper
+
+
+class PathImplicationEngine:
+    """Decides implication of path constraints by a ``DTD^C``'s Σ."""
+
+    def __init__(self, dtd: DTDC):
+        self.dtd = dtd
+        self.typer = PathTyper(dtd)
+        self.lid = self.typer.engine
+
+    # -- Proposition 4.1 ----------------------------------------------------------
+
+    def is_key_path(self, element: str, path: Path) -> bool:
+        """Whether ``path`` is a key path of ``element`` (§4.2)."""
+        current = element
+        for step in path.steps:
+            resolved, next_type = self.typer.resolve_step(current, step)
+            if resolved.kind == "element":
+                if resolved.name not in \
+                        self.dtd.structure.unique_subelements(current):
+                    return False
+            else:
+                if not self._is_key_attribute(current, resolved.name):
+                    return False
+            current = next_type
+        return True
+
+    def _is_key_attribute(self, element: str, attribute: str) -> bool:
+        """Key step test: ``Σ ⊨ element.attribute -> element`` or the
+        attribute has kind ID and ``Σ ⊨ element.id ->id element``."""
+        if self.lid.implies(UnaryKey(element, Field(attribute))):
+            return True
+        from repro.implication.lid import LidEngine
+        if isinstance(self.lid, LidEngine) and \
+                self.dtd.structure.kind(element, attribute) is \
+                AttributeKind.ID and \
+                self.lid.implies(IDConstraint(element)):
+            return True
+        return False
+
+    def implies_functional(self, phi: PathFunctional) -> ImplicationResult:
+        """Prop 4.1: ``Σ ⊨ tau.rho -> tau.varrho``."""
+        rho = self.typer.resolve(phi.element, phi.rho)
+        varrho = self.typer.resolve(phi.element, phi.varrho)
+        if rho == varrho:
+            return ImplicationResult(
+                True, reason="rho = varrho (reflexivity)")
+        if self.is_key_path(phi.element, rho):
+            return ImplicationResult(
+                True, reason=f"{rho} is a key path of {phi.element!r}: "
+                "it determines the element, hence every path from it")
+        return ImplicationResult(
+            False, reason=f"{rho} is not a key path of {phi.element!r}")
+
+    # -- Proposition 4.2 ----------------------------------------------------------
+
+    def implies_inclusion(self, phi: PathInclusion) -> ImplicationResult:
+        """Prop 4.2: ``Σ ⊨ tau1.rho1 ⊆ tau2.rho2``."""
+        rho1 = self.typer.resolve(phi.element, phi.rho)
+        try:
+            rho2 = self.typer.resolve(phi.target, phi.varrho)
+        except PathSyntaxError as exc:
+            return ImplicationResult(False, reason=str(exc))
+        n1, n2 = len(rho1), len(rho2)
+        if n2 > n1:
+            return ImplicationResult(
+                False, reason="rho2 is longer than rho1; no prefix "
+                "decomposition exists")
+        split = n1 - n2
+        if rho1.steps[split:] != rho2.steps:
+            return ImplicationResult(
+                False, reason=f"{rho2} is not a suffix of {rho1}")
+        prefix = rho1.prefix(split)
+        prefix_type = self.typer.type_of(phi.element, prefix)
+        if prefix_type != phi.target:
+            return ImplicationResult(
+                False, reason=f"type({phi.element}.{prefix}) = "
+                f"{prefix_type!r}, not {phi.target!r}")
+        return ImplicationResult(
+            True, reason=f"rho1 = {prefix} . {rho2} and "
+            f"type({phi.element}.{prefix}) = {phi.target!r}")
+
+    # -- Proposition 4.3 ----------------------------------------------------------
+
+    def _inverse_partner(self, element: str, attribute: str
+                         ) -> tuple[str, str] | None:
+        """The (target type, partner attribute) of a stated basic
+        inverse on ``element.attribute``, if any.
+
+        L_u inverses carry designated keys rather than IDs and do not
+        participate in §4's reference-path semantics, so only ``L_id``
+        inverses are considered.
+        """
+        for c in getattr(self.lid, "closure", ()):
+            if not isinstance(c, IDInverse):
+                continue
+            if c.element == element and c.field.name == attribute:
+                return c.target, c.target_field.name
+            if c.target == element and c.target_field.name == attribute:
+                return c.element, c.field.name
+        return None
+
+    def implies_inverse(self, phi: PathInverse) -> ImplicationResult:
+        """Prop 4.3: ``Σ ⊨ tau1.rho1 ⇌ tau2.rho2``."""
+        for candidate in (phi, phi.flipped()):
+            result = self._implies_inverse_oriented(candidate)
+            if result:
+                return result
+        return ImplicationResult(
+            False, reason="the paths do not compose out of stated basic "
+            "inverse constraints")
+
+    def _implies_inverse_oriented(self, phi: PathInverse
+                                  ) -> ImplicationResult:
+        try:
+            rho1 = self.typer.resolve(phi.element, phi.rho)
+            self.typer.resolve(phi.target, phi.varrho)
+        except PathSyntaxError as exc:
+            return ImplicationResult(False, reason=str(exc))
+        if not rho1 and not phi.varrho:
+            return ImplicationResult(
+                True, reason="both paths are empty (trivially inverse)")
+        if len(rho1) != len(phi.varrho):
+            return ImplicationResult(
+                False, reason="inverse paths must have equal length")
+        partners: list[str] = []
+        current = phi.element
+        for step in rho1.steps:
+            if step.kind != "attribute":
+                return ImplicationResult(
+                    False, reason="inverse paths are chains of reference "
+                    "attributes; element steps cannot be inverted")
+            partner = self._inverse_partner(current, step.name)
+            if partner is None:
+                return ImplicationResult(
+                    False, reason=f"no stated inverse covers "
+                    f"{current}.{step.name}")
+            current, back = partner
+            partners.append(back)
+        if current != phi.target:
+            return ImplicationResult(
+                False, reason=f"the chain ends at {current!r}, "
+                f"not {phi.target!r}")
+        expected = tuple(reversed(partners))
+        actual = tuple(s.name for s in phi.varrho.steps)
+        if expected != actual:
+            return ImplicationResult(
+                False, reason=f"expected return path "
+                f"{'.'.join(expected)}, got {'.'.join(actual)}")
+        return ImplicationResult(
+            True, reason="the paths compose from stated inverses via the "
+            "inverse composition rule")
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def implies(self, phi) -> ImplicationResult:
+        """Decide implication of any path constraint (both flavours)."""
+        if isinstance(phi, PathFunctional):
+            return self.implies_functional(phi)
+        if isinstance(phi, PathInclusion):
+            return self.implies_inclusion(phi)
+        if isinstance(phi, PathInverse):
+            return self.implies_inverse(phi)
+        raise TypeError(f"not a path constraint: {phi!r}")
+
+    def finitely_implies(self, phi) -> ImplicationResult:
+        """Finite implication — coincides with :meth:`implies` (§4)."""
+        return self.implies(phi)
+
+
+def is_key_path(dtd: DTDC, element: str, path: Path) -> bool:
+    """One-shot key-path test (Prop 4.1's engine)."""
+    return PathImplicationEngine(dtd).is_key_path(element, path)

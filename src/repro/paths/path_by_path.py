@@ -1,0 +1,192 @@
+"""Implication of path constraints *by path constraints* (§5, open).
+
+The paper leaves "implication of path constraints by path constraints"
+unsettled (it remains hard in general: path-inclusion implication alone
+is related to the semistructured path-constraint problems of
+Buneman–Fan–Weinstein, decidable only in fragments).  This module
+implements a **sound, explicitly incomplete** prover for the rules that
+are valid in every data tree, so downstream users get the safe half:
+
+- reflexivity        ``tau.rho ⊆ tau.rho``
+- suffixing          ``tau1.rho1 ⊆ tau2.rho2  ⊢  tau1.rho1.varrho ⊆ tau2.rho2.varrho``
+- transitivity       of path inclusions
+- prefix-of-functional: a key path functionally determines every
+  extension of itself — from ``tau.rho -> tau.ε`` (rho determines the
+  element) infer ``tau.rho -> tau.varrho`` for every varrho
+- functional right-weakening: ``tau.rho -> tau.varrho`` plus
+  ``varrho' = varrho.extension`` does **not** follow in general (the
+  image sets differ per element), so it is *not* included — see the
+  test exhibiting the counterexample.
+
+``prove`` returns an :class:`~repro.implication.result.ImplicationResult`
+whose ``False`` only means "no derivation found with the sound rules";
+callers needing refutations can search documents with the generators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.implication.result import Derivation, ImplicationResult, given
+from repro.paths.constraints import (
+    PathFunctional, PathInclusion, PathInverse,
+)
+from repro.paths.path import Path
+
+#: An inclusion endpoint: (element type, step-name tuple).
+_Node = tuple[str, tuple[str, ...]]
+
+
+def _names(path: Path) -> tuple[str, ...]:
+    return tuple(s.name for s in path.steps)
+
+
+class PathByPathProver:
+    """Sound, incomplete prover over a set of *path* constraints."""
+
+    def __init__(self, sigma: Iterable):
+        self.inclusions: list[PathInclusion] = []
+        self.functionals: list[PathFunctional] = []
+        self.inverses: list[PathInverse] = []
+        for c in sigma:
+            if isinstance(c, PathInclusion):
+                self.inclusions.append(c)
+            elif isinstance(c, PathFunctional):
+                self.functionals.append(c)
+            elif isinstance(c, PathInverse):
+                self.inverses.append(c)
+            else:
+                raise TypeError(f"not a path constraint: {c!r}")
+
+    # -- inclusions ------------------------------------------------------------
+
+    def _inclusion_successors(self, node: _Node):
+        """One suffix-closed application of each stated inclusion."""
+        element, names = node
+        for c in self.inclusions:
+            c_src = _names(c.rho)
+            if c.element == element and names[:len(c_src)] == c_src:
+                rest = names[len(c_src):]
+                yield ((c.target, _names(c.varrho) + rest), c)
+
+    def prove_inclusion(self, phi: PathInclusion) -> ImplicationResult:
+        """BFS over suffix-extended stated inclusions (sound)."""
+        start: _Node = (phi.element, _names(phi.rho))
+        goal: _Node = (phi.target, _names(phi.varrho))
+        if start == goal:
+            return ImplicationResult(
+                True, derivation=Derivation(str(phi), "reflexivity"))
+        seen = {start}
+        parents: dict[_Node, tuple[_Node, PathInclusion]] = {}
+        queue: deque[_Node] = deque((start,))
+        while queue:
+            node = queue.popleft()
+            for succ, used in self._inclusion_successors(node):
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                parents[succ] = (node, used)
+                if succ == goal:
+                    chain: list[Derivation] = []
+                    cur = succ
+                    while cur != start:
+                        prev, c = parents[cur]
+                        chain.append(given(c))
+                        cur = prev
+                    chain.reverse()
+                    rule = "suffix+trans" if len(chain) > 1 else "suffix"
+                    return ImplicationResult(
+                        True, derivation=Derivation(str(phi), rule,
+                                                    tuple(chain)))
+                queue.append(succ)
+        return ImplicationResult(
+            False, reason="no derivation with the sound rules "
+            "(reflexivity, suffixing, transitivity); the general "
+            "problem is open per §5")
+
+    # -- functionals -----------------------------------------------------------
+
+    def prove_functional(self, phi: PathFunctional) -> ImplicationResult:
+        """Sound cases: reflexivity, and element-determination — a
+        stated ``tau.rho -> tau.ε`` determines every target path."""
+        if _names(phi.rho) == _names(phi.varrho):
+            return ImplicationResult(
+                True, derivation=Derivation(str(phi), "reflexivity"))
+        for c in self.functionals:
+            if c.element != phi.element or \
+                    _names(c.rho) != _names(phi.rho):
+                continue
+            if not _names(c.varrho):  # rho determines the element itself
+                return ImplicationResult(
+                    True, derivation=Derivation(
+                        str(phi), "element-determination", (given(c),)))
+            if _names(c.varrho) == _names(phi.varrho):
+                return ImplicationResult(True, derivation=given(c))
+        return ImplicationResult(
+            False, reason="no derivation with the sound rules; the "
+            "general problem is open per §5")
+
+    # -- inverses ----------------------------------------------------------------
+
+    def prove_inverse(self, phi: PathInverse) -> ImplicationResult:
+        """Sound cases: a stated inverse (either orientation), and the
+        composition rule of Prop 4.3 applied over *stated path*
+        inverses of length one."""
+        for c in self.inverses:
+            for candidate in (c, c.flipped()):
+                if candidate.element == phi.element and \
+                        candidate.target == phi.target and \
+                        _names(candidate.rho) == _names(phi.rho) and \
+                        _names(candidate.varrho) == _names(phi.varrho):
+                    return ImplicationResult(True, derivation=given(c))
+        composed = self._compose_inverses(phi)
+        if composed is not None:
+            return composed
+        return ImplicationResult(
+            False, reason="no derivation with the sound rules; the "
+            "general problem is open per §5")
+
+    def _compose_inverses(self, phi: PathInverse
+                          ) -> ImplicationResult | None:
+        rho = _names(phi.rho)
+        varrho = _names(phi.varrho)
+        if len(rho) != len(varrho) or not rho:
+            return None
+        partners: list[PathInverse] = []
+        current = phi.element
+        for i, step in enumerate(rho):
+            found = None
+            for c in self.inverses:
+                for cand in (c, c.flipped()):
+                    if cand.element == current and \
+                            _names(cand.rho) == (step,) and \
+                            len(cand.varrho) == 1:
+                        back = varrho[len(rho) - 1 - i]
+                        if _names(cand.varrho) == (back,):
+                            found = (cand.target, c)
+                            break
+                if found:
+                    break
+            if not found:
+                return None
+            current, used = found
+            partners.append(used)
+        if current != phi.target:
+            return None
+        return ImplicationResult(
+            True, derivation=Derivation(
+                str(phi), "inverse-composition",
+                tuple(given(c) for c in partners)))
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def prove(self, phi) -> ImplicationResult:
+        """Sound proof search; ``False`` means *no proof found*."""
+        if isinstance(phi, PathInclusion):
+            return self.prove_inclusion(phi)
+        if isinstance(phi, PathFunctional):
+            return self.prove_functional(phi)
+        if isinstance(phi, PathInverse):
+            return self.prove_inverse(phi)
+        raise TypeError(f"not a path constraint: {phi!r}")

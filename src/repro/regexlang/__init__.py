@@ -1,0 +1,33 @@
+"""Regular expressions over element types (content models).
+
+Definition 2.2 defines element type definitions ``P(tau) = alpha`` where::
+
+    alpha ::= S | e | epsilon | alpha + alpha | alpha , alpha | alpha*
+
+with ``S`` the atomic (string) type, ``e`` an element type, ``+`` union,
+``,`` concatenation and ``*`` Kleene closure.  This package provides:
+
+- an immutable AST (:mod:`repro.regexlang.ast`),
+- a parser for both the paper's syntax and XML-DTD content-model syntax
+  (:mod:`repro.regexlang.parse`),
+- Glushkov NFA construction and a lazily-determinized matcher
+  (:mod:`repro.regexlang.glushkov`, :mod:`repro.regexlang.automaton`),
+- language-property analyses, notably the *unique sub-element* test of
+  §3.4 (:mod:`repro.regexlang.properties`).
+"""
+
+from repro.regexlang.ast import (
+    ATOMIC, Atom, Concat, Epsilon, Regex, Star, Union, concat, star, union,
+)
+from repro.regexlang.parse import parse_regex
+from repro.regexlang.glushkov import GlushkovNFA
+from repro.regexlang.automaton import Matcher
+from repro.regexlang.properties import (
+    occurrence_bounds, symbols_of, unique_subelements,
+)
+
+__all__ = [
+    "ATOMIC", "Atom", "Concat", "Epsilon", "Regex", "Star", "Union",
+    "concat", "star", "union", "parse_regex", "GlushkovNFA", "Matcher",
+    "occurrence_bounds", "symbols_of", "unique_subelements",
+]

@@ -1,0 +1,143 @@
+"""Immutable AST for content-model regular expressions.
+
+The alphabet is the set of element type names plus the reserved symbol
+``"S"`` (:data:`ATOMIC`) standing for an atomic string value.  The node
+types mirror the grammar of Definition 2.2; ``?`` and ``+`` postfix
+operators from DTD syntax are desugared by the smart constructors
+:func:`optional` and :func:`plus`.
+
+All nodes are hashable and compare structurally, so they can be used as
+dictionary keys (the automaton cache relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The reserved alphabet symbol for atomic (string) content, ``S`` in the
+#: paper and ``#PCDATA`` in DTD syntax.
+ATOMIC = "S"
+
+
+class Regex:
+    """Base class of all regular-expression nodes."""
+
+    __slots__ = ()
+
+    def to_string(self, paper_style: bool = False) -> str:
+        """Render the expression.
+
+        With ``paper_style=True``, union is written ``+`` as in the paper;
+        otherwise the DTD-flavored ``|`` is used.
+        """
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    """The empty word."""
+
+    def to_string(self, paper_style: bool = False) -> str:
+        return "()"
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Regex):
+    """A single alphabet symbol: an element type name or :data:`ATOMIC`."""
+
+    symbol: str
+
+    def __post_init__(self):
+        if not isinstance(self.symbol, str) or not self.symbol:
+            raise TypeError("Atom symbol must be a non-empty string")
+
+    def to_string(self, paper_style: bool = False) -> str:
+        if self.symbol == ATOMIC and not paper_style:
+            return "#PCDATA"
+        return self.symbol
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Regex):
+    """``left + right`` (choice)."""
+
+    left: Regex
+    right: Regex
+
+    def to_string(self, paper_style: bool = False) -> str:
+        op = " + " if paper_style else " | "
+        return ("(" + self.left.to_string(paper_style) + op
+                + self.right.to_string(paper_style) + ")")
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    """``left , right`` (sequence)."""
+
+    left: Regex
+    right: Regex
+
+    def to_string(self, paper_style: bool = False) -> str:
+        return ("(" + self.left.to_string(paper_style) + ", "
+                + self.right.to_string(paper_style) + ")")
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    """``inner*`` (Kleene closure)."""
+
+    inner: Regex
+
+    def to_string(self, paper_style: bool = False) -> str:
+        return self.inner.to_string(paper_style) + "*"
+
+
+EPSILON = Epsilon()
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def atom(symbol: str) -> Atom:
+    """An alphabet symbol."""
+    return Atom(symbol)
+
+
+def union(*parts: Regex) -> Regex:
+    """Right-nested union of one or more expressions."""
+    if not parts:
+        raise ValueError("union() needs at least one operand")
+    out = parts[-1]
+    for part in reversed(parts[:-1]):
+        out = Union(part, out)
+    return out
+
+
+def concat(*parts: Regex) -> Regex:
+    """Right-nested concatenation; zero operands give epsilon."""
+    if not parts:
+        return EPSILON
+    out = parts[-1]
+    for part in reversed(parts[:-1]):
+        out = Concat(part, out)
+    return out
+
+
+def star(inner: Regex) -> Star:
+    """Kleene closure."""
+    return Star(inner)
+
+
+def optional(inner: Regex) -> Regex:
+    """DTD ``alpha?``, desugared to ``alpha + epsilon``."""
+    return Union(inner, EPSILON)
+
+
+def plus(inner: Regex) -> Regex:
+    """DTD ``alpha+``, desugared to ``alpha, alpha*``."""
+    return Concat(inner, Star(inner))

@@ -1,0 +1,106 @@
+"""Lazily-determinized matcher over a Glushkov NFA.
+
+Validation checks one child-label word per element vertex, and a large
+document re-checks the same content model thousands of times, usually
+traversing the same few DFA states.  :class:`Matcher` memoizes the subset
+construction on demand, so the amortized per-symbol cost is a dictionary
+lookup.  A module-level cache keyed by the (hashable) regex AST means the
+DFA is shared across validations of the same DTD.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.regexlang.ast import Regex
+from repro.regexlang.glushkov import GlushkovNFA
+
+
+class Matcher:
+    """Membership testing for one content model, with lazy DFA states."""
+
+    def __init__(self, regex: Regex):
+        self.nfa = GlushkovNFA(regex)
+        initial = self.nfa.initial()
+        self._states: dict[frozenset[int], int] = {initial: 0}
+        self._state_list: list[frozenset[int]] = [initial]
+        self._accepting: list[bool] = [self.nfa.is_accepting(initial)]
+        self._trans: list[dict[str, int | None]] = [{}]
+
+    def _successor(self, dfa_state: int, symbol: str) -> int | None:
+        """The DFA successor of ``dfa_state`` on ``symbol``; ``None`` = dead."""
+        row = self._trans[dfa_state]
+        if symbol in row:
+            return row[symbol]
+        nxt = self.nfa.step(self._state_list[dfa_state], symbol)
+        if not nxt:
+            row[symbol] = None
+            return None
+        idx = self._states.get(nxt)
+        if idx is None:
+            idx = len(self._state_list)
+            self._states[nxt] = idx
+            self._state_list.append(nxt)
+            self._accepting.append(self.nfa.is_accepting(nxt))
+            self._trans.append({})
+        row[symbol] = idx
+        return idx
+
+    def matches(self, word: Sequence[str]) -> bool:
+        """Whether ``word`` (a sequence of labels) is in the language."""
+        state: int | None = 0
+        for symbol in word:
+            state = self._successor(state, symbol)
+            if state is None:
+                return False
+        return self._accepting[state]
+
+    def prefix_length(self, word: Sequence[str]) -> int:
+        """Length of the longest prefix of ``word`` that is still viable.
+
+        Used to produce helpful validation diagnostics ("child #k is
+        unexpected here").  Returns ``len(word)`` when the whole word can
+        be extended or accepted.
+        """
+        state: int | None = 0
+        for i, symbol in enumerate(word):
+            state = self._successor(state, symbol)
+            if state is None:
+                return i
+        return len(word)
+
+    def expected_after(self, word: Sequence[str]) -> set[str]:
+        """The labels that may legally follow the given (viable) prefix."""
+        state: int | None = 0
+        for symbol in word:
+            state = self._successor(state, symbol)
+            if state is None:
+                return set()
+        out: set[str] = set()
+        for sym in self.nfa.alphabet():
+            if self.nfa.step(self._state_list[state], sym):
+                out.add(sym)
+        return out
+
+
+_MATCHER_CACHE: dict[Regex, Matcher] = {}
+
+
+def matcher_for(regex: Regex) -> Matcher:
+    """A shared :class:`Matcher` for ``regex`` (AST-keyed memoization)."""
+    m = _MATCHER_CACHE.get(regex)
+    if m is None:
+        m = Matcher(regex)
+        _MATCHER_CACHE[regex] = m
+    return m
+
+
+def clear_matcher_cache() -> None:
+    """Drop all cached matchers (mainly for benchmarks that measure
+    cold-start construction costs)."""
+    _MATCHER_CACHE.clear()
+
+
+def accepts(regex: Regex, word: Iterable[str]) -> bool:
+    """Convenience wrapper: ``word in L(regex)`` using the shared cache."""
+    return matcher_for(regex).matches(tuple(word))

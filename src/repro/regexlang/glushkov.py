@@ -1,0 +1,159 @@
+"""Glushkov (position) automaton construction.
+
+The Glushkov construction turns a regular expression with ``n`` symbol
+occurrences into an NFA with ``n + 1`` states and no epsilon transitions.
+States are the *positions* (occurrences of alphabet symbols) plus a start
+state; there is a transition ``p --sym(q)--> q`` whenever position ``q``
+may follow position ``p`` in some word (the classic ``first`` / ``last`` /
+``follow`` sets).
+
+This is the standard automaton for validating XML content models; for
+*deterministic* (1-unambiguous) content models — which XML requires of
+DTDs — the Glushkov NFA is already deterministic, so validation runs in
+O(length) with no subset construction.  We nevertheless keep the general
+NFA semantics so the library also handles non-deterministic models the
+paper's grammar allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.regexlang.ast import Atom, Concat, Epsilon, Regex, Star, Union
+
+
+@dataclass
+class _Analysis:
+    """nullable / first / last / follow computed in one traversal."""
+
+    nullable: bool
+    first: frozenset[int]
+    last: frozenset[int]
+
+
+class GlushkovNFA:
+    """The position automaton of a regular expression.
+
+    Attributes
+    ----------
+    regex:
+        The source expression.
+    symbols:
+        ``symbols[p]`` is the alphabet symbol of position ``p`` (positions
+        are numbered 1..n; 0 is the start state).
+    first, last:
+        Position sets; a word is accepted iff a run ends in ``last`` (or
+        the word is empty and the expression is nullable).
+    follow:
+        ``follow[p]`` is the set of positions that may follow ``p``.
+    nullable:
+        Whether the empty word is in the language.
+    """
+
+    def __init__(self, regex: Regex):
+        self.regex = regex
+        self.symbols: dict[int, str] = {}
+        self.follow: dict[int, set[int]] = {}
+        self._counter = 0
+        analysis = self._analyze(regex)
+        self.nullable = analysis.nullable
+        self.first = analysis.first
+        self.last = analysis.last
+        # Transition table start state 0: delta[0][a] = {q in first | sym q == a}
+        self._delta: dict[int, dict[str, frozenset[int]]] = {}
+        self._delta[0] = self._group_by_symbol(self.first)
+        for p in self.symbols:
+            self._delta[p] = self._group_by_symbol(self.follow.get(p, set()))
+
+    # -- construction -------------------------------------------------------
+
+    def _new_position(self, symbol: str) -> int:
+        self._counter += 1
+        self.symbols[self._counter] = symbol
+        self.follow[self._counter] = set()
+        return self._counter
+
+    def _analyze(self, node: Regex) -> _Analysis:
+        if isinstance(node, Epsilon):
+            return _Analysis(True, frozenset(), frozenset())
+        if isinstance(node, Atom):
+            p = self._new_position(node.symbol)
+            fs = frozenset((p,))
+            return _Analysis(False, fs, fs)
+        if isinstance(node, Union):
+            a = self._analyze(node.left)
+            b = self._analyze(node.right)
+            return _Analysis(a.nullable or b.nullable,
+                             a.first | b.first, a.last | b.last)
+        if isinstance(node, Concat):
+            a = self._analyze(node.left)
+            b = self._analyze(node.right)
+            for p in a.last:
+                self.follow[p] |= b.first
+            first = a.first | b.first if a.nullable else a.first
+            last = a.last | b.last if b.nullable else b.last
+            return _Analysis(a.nullable and b.nullable, first, last)
+        if isinstance(node, Star):
+            a = self._analyze(node.inner)
+            for p in a.last:
+                self.follow[p] |= a.first
+            return _Analysis(True, a.first, a.last)
+        raise TypeError(f"unknown regex node {node!r}")
+
+    def _group_by_symbol(self, positions: set[int] | frozenset[int]
+                         ) -> dict[str, frozenset[int]]:
+        grouped: dict[str, set[int]] = {}
+        for p in positions:
+            grouped.setdefault(self.symbols[p], set()).add(p)
+        return {sym: frozenset(ps) for sym, ps in grouped.items()}
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def n_positions(self) -> int:
+        """Number of symbol occurrences in the expression."""
+        return self._counter
+
+    def alphabet(self) -> set[str]:
+        """The symbols occurring in the expression."""
+        return set(self.symbols.values())
+
+    def step(self, states: frozenset[int], symbol: str) -> frozenset[int]:
+        """One NFA step from a set of states on ``symbol``."""
+        out: set[int] = set()
+        for q in states:
+            out |= self._delta.get(q, {}).get(symbol, frozenset())
+        return frozenset(out)
+
+    def initial(self) -> frozenset[int]:
+        """The initial state set ``{0}``."""
+        return frozenset((0,))
+
+    def is_accepting(self, states: frozenset[int]) -> bool:
+        """Whether a state set contains an accepting state."""
+        if self.nullable and 0 in states:
+            return True
+        return any(q in self.last for q in states)
+
+    def accepts(self, word: "list[str] | tuple[str, ...]") -> bool:
+        """Direct NFA simulation (used by tests; the cached
+        :class:`~repro.regexlang.automaton.Matcher` is faster for repeated
+        membership queries)."""
+        states = self.initial()
+        for symbol in word:
+            states = self.step(states, symbol)
+            if not states:
+                return False
+        return self.is_accepting(states)
+
+    def is_deterministic(self) -> bool:
+        """Whether the content model is 1-unambiguous (XML-deterministic).
+
+        True iff no state has two successor positions with the same
+        symbol — the classical Brüggemann-Klein/Wood criterion.
+        """
+        for delta in self._delta.values():
+            for positions in delta.values():
+                if len(positions) > 1:
+                    return False
+        return True

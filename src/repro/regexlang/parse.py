@@ -1,0 +1,152 @@
+"""Parser for content-model regular expressions.
+
+Accepts both syntaxes used in the paper and in XML DTDs:
+
+- paper style: ``(entry, author*, section*, ref)``, ``(text + section)*``,
+  ``epsilon`` (or ``()``), ``S`` for atomic content;
+- DTD style:  ``(title, (text|section)*)``, ``EMPTY``, ``ANY`` is *not*
+  supported (the paper's grammar has no ANY), ``#PCDATA`` for atomic
+  content, and the postfix operators ``?`` and ``+``.
+
+Union may be written ``|`` or ``+`` (binary, between operands); the
+postfix one-or-more operator ``+`` binds to the preceding atom or group,
+so ``a+`` is one-or-more while ``a + b`` is a union — the tokenizer
+disambiguates by lookahead exactly as a human reader does.
+
+Grammar (precedence low to high)::
+
+    expr   := seq ( ('|' | '+') seq )*
+    seq    := unary ( ',' unary )*           # ',' optional between unaries? no: required
+    unary  := primary ('*' | '?' | '+')*
+    primary:= NAME | '#PCDATA' | 'S' | 'EMPTY' | 'epsilon' | '(' expr ')' | '()'
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import RegexSyntaxError
+from repro.regexlang.ast import (
+    ATOMIC, EPSILON, Atom, Regex, concat, optional, plus, star, union,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[#]?[A-Za-z_][\w.\-]*)|(?P<punct>[(),|*?+]))")
+
+_EPSILON_NAMES = {"epsilon", "EPSILON", "ε"}
+
+
+class _Tokens:
+    """A tiny token stream with single-token lookahead."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: list[str] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                rest = text[pos:].strip()
+                if not rest:
+                    break
+                raise RegexSyntaxError(
+                    f"unexpected character {rest[0]!r} in content model",
+                    column=pos + 1)
+            self.tokens.append(m.group("name") or m.group("punct"))
+            pos = m.end()
+        self.index = 0
+
+    def peek(self, ahead: int = 0) -> str | None:
+        i = self.index + ahead
+        return self.tokens[i] if i < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise RegexSyntaxError("unexpected end of content model")
+        self.index += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise RegexSyntaxError(
+                f"expected {tok!r} but found {got!r} in content model")
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a content-model expression into a :class:`Regex`."""
+    stripped = text.strip()
+    if stripped in ("EMPTY", ""):
+        return EPSILON
+    toks = _Tokens(stripped)
+    expr = _parse_expr(toks)
+    if not toks.at_end():
+        raise RegexSyntaxError(
+            f"trailing input {toks.peek()!r} in content model {text!r}")
+    return expr
+
+
+def _parse_expr(toks: _Tokens) -> Regex:
+    parts = [_parse_seq(toks)]
+    while toks.peek() in ("|", "+"):
+        # '+' here is a *binary* union only when followed by an operand;
+        # the postfix case was already consumed by _parse_unary.
+        toks.next()
+        parts.append(_parse_seq(toks))
+    return union(*parts)
+
+
+def _parse_seq(toks: _Tokens) -> Regex:
+    parts = [_parse_unary(toks)]
+    while toks.peek() == ",":
+        toks.next()
+        parts.append(_parse_unary(toks))
+    return concat(*parts)
+
+
+def _parse_unary(toks: _Tokens) -> Regex:
+    node = _parse_primary(toks)
+    while True:
+        tok = toks.peek()
+        if tok == "*":
+            toks.next()
+            node = star(node)
+        elif tok == "?":
+            toks.next()
+            node = optional(node)
+        elif tok == "+":
+            # Postfix one-or-more only when NOT followed by an operand
+            # (otherwise it is the paper's binary union handled above).
+            nxt = toks.peek(1)
+            if nxt is None or nxt in (")", ",", "|", "*", "?", "+"):
+                toks.next()
+                node = plus(node)
+            else:
+                break
+        else:
+            break
+    return node
+
+
+def _parse_primary(toks: _Tokens) -> Regex:
+    tok = toks.next()
+    if tok == "(":
+        if toks.peek() == ")":  # '()' is epsilon
+            toks.next()
+            return EPSILON
+        inner = _parse_expr(toks)
+        toks.expect(")")
+        return inner
+    if tok in ("|", ",", "*", "?", ")"):
+        raise RegexSyntaxError(f"unexpected {tok!r} in content model")
+    if tok in _EPSILON_NAMES:
+        return EPSILON
+    if tok in ("#PCDATA", "S"):
+        return Atom(ATOMIC)
+    if tok.startswith("#"):
+        raise RegexSyntaxError(f"unknown reserved token {tok!r}")
+    return Atom(tok)

@@ -1,0 +1,246 @@
+"""Language-property analyses of content models.
+
+The central property is the *unique sub-element* test of §3.4: an element
+type ``S`` is a unique sub-element of ``tau`` (with ``P(tau) = alpha``)
+iff **every** word of ``L(alpha)`` contains **exactly one** occurrence of
+``S``.  Only unique sub-elements may serve as (components of) keys, and
+they are the element steps allowed in *key paths* (Proposition 4.1).
+
+The test runs a product of the Glushkov NFA with a 3-valued occurrence
+counter (0, 1, "2 or more").  The counter is deterministic in the input
+word, so a symbol's occurrence count in an accepted word does not depend
+on which accepting run is chosen; reachability of an accepting state with
+counter 0 or 2+ therefore exactly characterizes failure of uniqueness.
+
+:func:`occurrence_bounds` generalizes this to (min, max) occurrence
+counts over the whole language, with ``max = None`` meaning unbounded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.regexlang.ast import Atom, Concat, Epsilon, Regex, Star, Union
+from repro.regexlang.glushkov import GlushkovNFA
+
+
+def symbols_of(regex: Regex) -> set[str]:
+    """The set of alphabet symbols occurring in ``regex``."""
+    out: set[str] = set()
+    stack = [regex]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            out.add(node.symbol)
+        elif isinstance(node, (Union, Concat)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, Star):
+            stack.append(node.inner)
+        elif not isinstance(node, Epsilon):
+            raise TypeError(f"unknown regex node {node!r}")
+    return out
+
+
+def _count_reachable(nfa: GlushkovNFA, symbol: str) -> set[int]:
+    """Occurrence-counter values (0, 1, 2=two-or-more) realizable at
+    acceptance for ``symbol`` over the NFA's language.
+
+    Explores the product (state, counter) graph; the language is nonempty
+    iff some accepting pair is reachable.
+    """
+    alphabet = nfa.alphabet() | {symbol}
+    start = (0, 0)
+    seen: set[tuple[int, int]] = {start}
+    queue: deque[tuple[int, int]] = deque((start,))
+    accepting_counts: set[int] = set()
+
+    def accepting_state(q: int) -> bool:
+        return (q == 0 and nfa.nullable) or q in nfa.last
+
+    if accepting_state(0):
+        accepting_counts.add(0)
+    while queue:
+        q, c = queue.popleft()
+        for sym in alphabet:
+            for q2 in nfa.step(frozenset((q,)), sym):
+                c2 = min(c + 1, 2) if sym == symbol else c
+                pair = (q2, c2)
+                if pair not in seen:
+                    seen.add(pair)
+                    queue.append(pair)
+                if accepting_state(q2):
+                    accepting_counts.add(c2)
+    return accepting_counts
+
+
+def is_unique_subelement(regex: Regex, symbol: str) -> bool:
+    """Whether every word of ``L(regex)`` contains exactly one ``symbol``."""
+    counts = _count_reachable(GlushkovNFA(regex), symbol)
+    return counts == {1}
+
+
+def unique_subelements(regex: Regex) -> set[str]:
+    """All symbols that are unique sub-elements of a content model.
+
+    This is the §3.4 syntactic-restriction check, evaluated exactly on
+    the language rather than by approximation.
+    """
+    nfa = GlushkovNFA(regex)
+    out: set[str] = set()
+    for symbol in symbols_of(regex):
+        if _count_reachable(nfa, symbol) == {1}:
+            out.add(symbol)
+    return out
+
+
+def occurrence_bounds(regex: Regex, symbol: str) -> tuple[int, int | None]:
+    """(min, max) number of ``symbol`` occurrences over ``L(regex)``.
+
+    ``max = None`` means unbounded.  Undefined (raises ``ValueError``)
+    when the language is empty — which cannot happen for the paper's
+    grammar, as it has no empty-language constructor.
+    """
+    lo, hi = _bounds(regex, symbol)
+    if lo is None:
+        raise ValueError("content model denotes the empty language")
+    return lo, hi
+
+
+def _bounds(node: Regex, symbol: str
+            ) -> tuple[int | None, int | None]:
+    """(min, max) occurrences; min None encodes empty language,
+    max None encodes unbounded."""
+    if isinstance(node, Epsilon):
+        return 0, 0
+    if isinstance(node, Atom):
+        n = 1 if node.symbol == symbol else 0
+        return n, n
+    if isinstance(node, Union):
+        alo, ahi = _bounds(node.left, symbol)
+        blo, bhi = _bounds(node.right, symbol)
+        if alo is None:
+            return blo, bhi
+        if blo is None:
+            return alo, ahi
+        lo = min(alo, blo)
+        hi = None if ahi is None or bhi is None else max(ahi, bhi)
+        return lo, hi
+    if isinstance(node, Concat):
+        alo, ahi = _bounds(node.left, symbol)
+        blo, bhi = _bounds(node.right, symbol)
+        if alo is None or blo is None:
+            return None, None
+        lo = alo + blo
+        hi = None if ahi is None or bhi is None else ahi + bhi
+        return lo, hi
+    if isinstance(node, Star):
+        ilo, ihi = _bounds(node.inner, symbol)
+        if ilo is None:
+            return 0, 0  # star of empty language is {epsilon}
+        if ihi == 0:
+            return 0, 0
+        return 0, None
+    raise TypeError(f"unknown regex node {node!r}")
+
+
+def language_is_finite(regex: Regex) -> bool:
+    """Whether ``L(regex)`` is a finite language.
+
+    True iff no symbol position lies under a ``*`` that can iterate a
+    symbol — computed via occurrence bounds of every symbol.
+    """
+    return all(occurrence_bounds(regex, s)[1] is not None
+               for s in symbols_of(regex))
+
+
+def shortest_word(regex: Regex) -> tuple[str, ...]:
+    """A shortest word of the language (used by document generators)."""
+    word = _shortest(regex)
+    if word is None:
+        raise ValueError("content model denotes the empty language")
+    return word
+
+
+def _shortest(node: Regex) -> tuple[str, ...] | None:
+    if isinstance(node, Epsilon):
+        return ()
+    if isinstance(node, Atom):
+        return (node.symbol,)
+    if isinstance(node, Union):
+        a = _shortest(node.left)
+        b = _shortest(node.right)
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if len(a) <= len(b) else b
+    if isinstance(node, Concat):
+        a = _shortest(node.left)
+        b = _shortest(node.right)
+        if a is None or b is None:
+            return None
+        return a + b
+    if isinstance(node, Star):
+        return ()
+    raise TypeError(f"unknown regex node {node!r}")
+
+
+def languages_intersect(r1: Regex, r2: Regex) -> bool:
+    """Whether ``L(r1) ∩ L(r2)`` is non-empty (product construction).
+
+    Used by schema tooling to test content-model compatibility — e.g.
+    whether two merged element declarations could accept a common child
+    word.  BFS over pairs of Glushkov state sets; cost is the product of
+    the two automata in the worst case.
+    """
+    nfa1, nfa2 = GlushkovNFA(r1), GlushkovNFA(r2)
+    alphabet = nfa1.alphabet() & nfa2.alphabet()
+    start = (nfa1.initial(), nfa2.initial())
+    if nfa1.is_accepting(start[0]) and nfa2.is_accepting(start[1]):
+        return True
+    seen = {start}
+    queue = deque((start,))
+    while queue:
+        s1, s2 = queue.popleft()
+        for symbol in alphabet:
+            n1 = nfa1.step(s1, symbol)
+            n2 = nfa2.step(s2, symbol)
+            if not n1 or not n2:
+                continue
+            pair = (n1, n2)
+            if pair in seen:
+                continue
+            if nfa1.is_accepting(n1) and nfa2.is_accepting(n2):
+                return True
+            seen.add(pair)
+            queue.append(pair)
+    return False
+
+
+def language_subset(r1: Regex, r2: Regex) -> bool:
+    """Whether ``L(r1) ⊆ L(r2)`` (subset construction on r2's complement
+    run in lockstep with r1).
+
+    Lets schema evolution check that a *widened* content model accepts
+    everything the old one did.
+    """
+    nfa1, nfa2 = GlushkovNFA(r1), GlushkovNFA(r2)
+    alphabet = nfa1.alphabet() | nfa2.alphabet()
+    start = (nfa1.initial(), nfa2.initial())
+    seen = {start}
+    queue = deque((start,))
+    while queue:
+        s1, s2 = queue.popleft()
+        if nfa1.is_accepting(s1) and not nfa2.is_accepting(s2):
+            return False
+        for symbol in alphabet:
+            n1 = nfa1.step(s1, symbol)
+            if not n1:
+                continue  # r1 cannot continue: nothing to check
+            n2 = nfa2.step(s2, symbol)
+            pair = (n1, n2)
+            if pair not in seen:
+                seen.add(pair)
+                queue.append(pair)
+    return True

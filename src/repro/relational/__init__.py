@@ -1,0 +1,46 @@
+"""Relational substrate: schemas, FDs, INDs, keys/foreign keys, the chase.
+
+The paper's results repeatedly project onto relational databases
+(Corollaries 3.5, 3.7, 3.9) and its undecidability proof (Theorem 3.6)
+reduces from implication of functional + inclusion dependencies.  This
+package implements that machinery from scratch:
+
+- :mod:`repro.relational.schema`   — relation schemas and instances;
+- :mod:`repro.relational.fd`       — functional dependencies, Armstrong
+  closure, linear-time implication;
+- :mod:`repro.relational.ind`      — inclusion dependencies and the
+  Casanova–Fagin–Papadimitriou axioms (reflexivity,
+  projection-and-permutation, transitivity);
+- :mod:`repro.relational.chase`    — the classical chase over tableaux
+  with labeled nulls, bounded for the (undecidable) FD+IND combination;
+- :mod:`repro.relational.unary`    — unary FDs + INDs with implication
+  and finite implication à la Cosmadakis–Kanellakis–Vardi, the result
+  §3.2's cycle rules are modeled on;
+- :mod:`repro.relational.keys`     — keys/foreign keys with the unary
+  (Cor 3.5), primary (Cor 3.9) and general (Cor 3.7) deciders, the
+  latter by delegation to the XML engines they mirror;
+- :mod:`repro.relational.export`   — relational → XML translation that
+  preserves keys and foreign keys as ``L`` constraints (§1's
+  publisher/editor example).
+"""
+
+from repro.relational.schema import Database, Instance, RelationSchema
+from repro.relational.fd import FD, fd_closure, fd_implies
+from repro.relational.ind import IND, ind_implies
+from repro.relational.chase import ChaseOutcome, ChaseResult, chase
+from repro.relational.keys import (
+    RelationalForeignKey, RelationalKey, RelationalKeyFKEngine,
+)
+from repro.relational.unary import (
+    UnaryDependencyEngine, UnaryFD, UnaryIND,
+)
+from repro.relational.export import export_database, export_schema
+
+__all__ = [
+    "Database", "Instance", "RelationSchema",
+    "FD", "fd_closure", "fd_implies", "IND", "ind_implies",
+    "ChaseOutcome", "ChaseResult", "chase",
+    "RelationalForeignKey", "RelationalKey", "RelationalKeyFKEngine",
+    "UnaryDependencyEngine", "UnaryFD", "UnaryIND",
+    "export_database", "export_schema",
+]

@@ -1,0 +1,306 @@
+"""The chase over tableaux with labeled nulls, for FDs + INDs.
+
+Implication of FDs and INDs *together* is undecidable (Mitchell;
+Chandra–Vardi) — this is the engine behind Theorem 3.6 / Corollary 3.7.
+The chase is the classical semi-decision procedure:
+
+- to test ``Σ ⊨ X → Y`` on ``R``: start from two rows of ``R`` that
+  agree (share labeled nulls) exactly on ``X``; chase with Σ; the FD is
+  implied iff the chase equates the two rows on all of ``Y``;
+- to test ``Σ ⊨ R[X] ⊆ S[Y]``: start from a single fresh row of ``R``;
+  the IND is implied iff the chase produces a matching ``S`` row.
+
+When the chase **terminates** without establishing the goal, the chased
+tableau is a finite model of Σ violating φ — a counterexample valid for
+both implication and finite implication.  Because FD+IND chases need not
+terminate, the engine takes step/row budgets and reports ``UNKNOWN``
+honestly when they are exhausted; that unavoidable third verdict *is*
+the undecidability of Theorem 3.6 made operational.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.relational.fd import FD
+from repro.relational.ind import IND
+from repro.relational.schema import Database, Instance
+
+
+class ChaseOutcome(enum.Enum):
+    """Verdict of a bounded chase run."""
+
+    IMPLIED = "implied"            # goal established; holds in all models
+    NOT_IMPLIED = "not-implied"    # chase terminated; finite counterexample
+    UNKNOWN = "unknown"            # budget exhausted (undecidable in general)
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of :func:`chase` plus diagnostics."""
+
+    outcome: ChaseOutcome
+    steps: int
+    model: Instance | None = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.outcome is ChaseOutcome.IMPLIED
+
+
+class _UnionFind:
+    """Union-find over integer value ids (labeled nulls)."""
+
+    def __init__(self):
+        self.parent: dict[int, int] = {}
+        self.counter = itertools.count()
+
+    def fresh(self) -> int:
+        v = next(self.counter)
+        self.parent[v] = v
+        return v
+
+    def find(self, v: int) -> int:
+        root = v
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[v] != root:
+            self.parent[v], v = root, self.parent[v]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[max(ra, rb)] = min(ra, rb)
+        return True
+
+
+class _Tableau:
+    """Rows of labeled nulls, one list per relation."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.uf = _UnionFind()
+        self.rows: dict[str, list[tuple[int, ...]]] = {
+            r.name: [] for r in database}
+
+    def fresh_row(self, relation: str,
+                  fixed: dict[str, int] | None = None) -> tuple[int, ...]:
+        schema = self.database.relation(relation)
+        fixed = fixed or {}
+        row = tuple(fixed.get(a, self.uf.fresh()) for a in schema.attributes)
+        self.rows[relation].append(row)
+        return row
+
+    def resolve(self, row: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(self.uf.find(v) for v in row)
+
+    def n_rows(self) -> int:
+        return sum(len(rs) for rs in self.rows.values())
+
+    def dedupe(self) -> None:
+        for relation, rs in self.rows.items():
+            seen: set[tuple[int, ...]] = set()
+            out: list[tuple[int, ...]] = []
+            for row in rs:
+                resolved = self.resolve(row)
+                if resolved not in seen:
+                    seen.add(resolved)
+                    out.append(row)
+            self.rows[relation] = out
+
+    def apply_fd(self, fd: FD) -> bool:
+        """One FD round: equate RHS values of rows agreeing on the LHS."""
+        schema = self.database.relation(fd.relation)
+        lhs_pos = schema.positions(sorted(fd.lhs))
+        rhs_pos = schema.positions(sorted(fd.rhs))
+        changed = False
+        groups: dict[tuple[int, ...], tuple[int, ...]] = {}
+        for row in self.rows.get(fd.relation, ()):
+            resolved = self.resolve(row)
+            key = tuple(resolved[p] for p in lhs_pos)
+            rep = groups.get(key)
+            if rep is None:
+                groups[key] = row
+                continue
+            rep_resolved = self.resolve(rep)
+            for p in rhs_pos:
+                changed |= self.uf.union(rep_resolved[p], resolved[p])
+        return changed
+
+    def apply_ind(self, ind: IND, max_rows: int) -> bool:
+        """One IND round: add target rows for unmatched projections."""
+        src = self.database.relation(ind.relation)
+        dst = self.database.relation(ind.target)
+        src_pos = src.positions(ind.attrs)
+        dst_pos = dst.positions(ind.target_attrs)
+        existing = {tuple(self.resolve(row)[p] for p in dst_pos)
+                    for row in self.rows.get(ind.target, ())}
+        changed = False
+        for row in list(self.rows.get(ind.relation, ())):
+            values = tuple(self.resolve(row)[p] for p in src_pos)
+            if values in existing:
+                continue
+            if self.n_rows() >= max_rows:
+                raise _Budget()
+            fixed = dict(zip(ind.target_attrs, values))
+            self.fresh_row(ind.target, fixed)
+            existing.add(values)
+            changed = True
+        return changed
+
+    def to_instance(self) -> Instance:
+        """Freeze the tableau into a concrete instance (nulls become
+        distinct constants)."""
+        instance = Instance(self.database)
+        for relation, rs in self.rows.items():
+            for row in rs:
+                instance.add_row(
+                    relation,
+                    tuple(f"v{v}" for v in self.resolve(row)))
+        return instance
+
+
+class _Budget(Exception):
+    """Internal: the row budget was hit mid-application."""
+
+
+def chase(database: Database, fds: Iterable[FD], inds: Iterable[IND],
+          phi: "FD | IND", max_steps: int = 10_000,
+          max_rows: int = 5_000) -> ChaseResult:
+    """Bounded chase test of ``Σ = fds ∪ inds ⊨ φ``.
+
+    See the module docstring for the three verdicts.  ``max_steps``
+    bounds full Σ-rounds; ``max_rows`` bounds tableau growth.
+    """
+    fds = list(fds)
+    inds = list(inds)
+    tableau = _Tableau(database)
+
+    if isinstance(phi, FD):
+        schema = database.relation(phi.relation)
+        shared = {a: tableau.uf.fresh() for a in phi.lhs}
+        row1 = tableau.fresh_row(phi.relation, dict(shared))
+        row2 = tableau.fresh_row(phi.relation, dict(shared))
+        rhs_pos = schema.positions(sorted(phi.rhs))
+
+        def goal() -> bool:
+            r1 = tableau.resolve(row1)
+            r2 = tableau.resolve(row2)
+            return all(r1[p] == r2[p] for p in rhs_pos)
+    else:
+        schema = database.relation(phi.relation)
+        row = tableau.fresh_row(phi.relation)
+        src_pos = schema.positions(phi.attrs)
+        dst_schema = database.relation(phi.target)
+        dst_pos = dst_schema.positions(phi.target_attrs)
+
+        def goal() -> bool:
+            wanted = tuple(tableau.resolve(row)[p] for p in src_pos)
+            return any(
+                tuple(tableau.resolve(r)[p] for p in dst_pos) == wanted
+                for r in tableau.rows.get(phi.target, ()))
+
+    steps = 0
+    try:
+        while steps < max_steps:
+            steps += 1
+            if goal():
+                return ChaseResult(ChaseOutcome.IMPLIED, steps,
+                                   reason="chase established the goal")
+            changed = False
+            for fd in fds:
+                changed |= tableau.apply_fd(fd)
+            for ind in inds:
+                changed |= tableau.apply_ind(ind, max_rows)
+            tableau.dedupe()
+            if not changed:
+                if goal():
+                    return ChaseResult(ChaseOutcome.IMPLIED, steps,
+                                       reason="chase established the goal")
+                return ChaseResult(
+                    ChaseOutcome.NOT_IMPLIED, steps,
+                    model=tableau.to_instance(),
+                    reason="chase terminated with a finite counterexample")
+    except _Budget:
+        return ChaseResult(
+            ChaseOutcome.UNKNOWN, steps,
+            reason=f"row budget ({max_rows}) exhausted — the FD+IND "
+            "chase need not terminate (Theorem 3.6)")
+    return ChaseResult(
+        ChaseOutcome.UNKNOWN, steps,
+        reason=f"step budget ({max_steps}) exhausted — the FD+IND chase "
+        "need not terminate (Theorem 3.6)")
+
+
+# ---------------------------------------------------------------------------
+# Termination analysis (weak acyclicity)
+# ---------------------------------------------------------------------------
+
+
+def dependency_position_graph(database: Database,
+                              inds: Iterable[IND]
+                              ) -> tuple[set, set]:
+    """The position graph of the IND set (Fagin et al.'s weak-acyclicity
+    construction, specialized to INDs).
+
+    Nodes are positions ``(relation, attribute)``.  For an IND
+    ``R[A1..An] ⊆ S[B1..Bn]`` there is a *copy* edge ``(R,Ai) → (S,Bi)``
+    for each i, and an *existential* edge ``(R,Ai) → (S,C)`` for every
+    attribute ``C`` of ``S`` outside the target list (those positions
+    receive fresh nulls when the IND fires).  Returns
+    ``(copy_edges, existential_edges)``.
+    """
+    copy_edges: set[tuple] = set()
+    existential_edges: set[tuple] = set()
+    for ind in inds:
+        dst = database.relation(ind.target)
+        fresh = [c for c in dst.attributes if c not in ind.target_attrs]
+        for a, b in zip(ind.attrs, ind.target_attrs):
+            copy_edges.add(((ind.relation, a), (ind.target, b)))
+            for c in fresh:
+                existential_edges.add(((ind.relation, a),
+                                       (ind.target, c)))
+    return copy_edges, existential_edges
+
+
+def chase_terminates(database: Database, inds: Iterable[IND]) -> bool:
+    """Whether the IND set is weakly acyclic, guaranteeing chase
+    termination on every input (FD steps only merge, so they never
+    break termination).
+
+    Weak acyclicity: no cycle in the position graph goes through an
+    existential edge.  When this returns ``True``,
+    :func:`chase` can never report ``UNKNOWN`` for sufficiently large
+    budgets; when ``False`` the chase *may* diverge — e.g. the Theorem
+    3.6 gap instance, whose single self-referential IND is exactly a
+    cycle through an existential edge.
+    """
+    copy_edges, existential_edges = dependency_position_graph(
+        database, list(inds))
+    nodes: set = set()
+    adjacency: dict = {}
+    for (u, v) in copy_edges | existential_edges:
+        nodes.add(u)
+        nodes.add(v)
+        adjacency.setdefault(u, set()).add(v)
+    # A cycle through an existential edge exists iff, for some
+    # existential edge u -> v, v reaches u.
+    def reaches(start, goal) -> bool:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    return not any(reaches(v, u) for (u, v) in existential_edges)

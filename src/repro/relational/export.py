@@ -1,0 +1,98 @@
+"""Relational → XML translation preserving keys and foreign keys.
+
+Follows the publisher/editor example of §1/§2.4: each relation ``R``
+becomes a container element ``Rs`` holding one ``R`` element per tuple;
+tuple fields become *sub-elements* with string content, and the original
+keys/foreign keys become ``L`` constraints over sub-element fields
+(the §3.4 extension)::
+
+    <!ELEMENT publishers (publisher*)>
+    <!ELEMENT publisher (pname, country, address)>
+    ...
+    publisher[pname, country] -> publisher
+    editor[pname, country] sub publisher[pname, country]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lu import UnaryForeignKey, UnaryKey
+from repro.datamodel.tree import DataTree
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.relational.keys import RelationalForeignKey, RelationalKey
+from repro.relational.schema import Database, Instance
+
+
+def container_name(relation: str) -> str:
+    """The container element for a relation (``publisher`` →
+    ``publishers``)."""
+    return relation + "s"
+
+
+def export_schema(database: Database,
+                  constraints: Iterable = (),
+                  root: str = "db") -> DTDC:
+    """Translate a database schema plus keys/foreign keys into a
+    ``DTD^C`` with ``L`` constraints over sub-elements."""
+    structure = DTDStructure(root)
+    containers = ", ".join(f"{container_name(r.name)}"
+                           for r in database)
+    structure.define_element(root, f"({containers})" if containers
+                             else "EMPTY")
+    field_elements: set[str] = set()
+    for relation in database:
+        structure.define_element(container_name(relation.name),
+                                 f"({relation.name})*")
+        structure.define_element(relation.name,
+                                 "(" + ", ".join(relation.attributes) + ")")
+        field_elements.update(relation.attributes)
+    for name in sorted(field_elements):
+        structure.define_element(name, "(#PCDATA)")
+    xml_constraints: list[Constraint] = []
+    for c in constraints:
+        xml_constraints.append(_translate_constraint(c))
+    return DTDC(structure, xml_constraints)
+
+
+def _translate_constraint(c) -> Constraint:
+    if isinstance(c, RelationalKey):
+        fields = tuple(Field(a, is_element=True) for a in sorted(c.attrs))
+        if len(fields) == 1:
+            return UnaryKey(c.relation, fields[0])
+        return Key(c.relation, fields)
+    if isinstance(c, RelationalForeignKey):
+        src = tuple(Field(a, is_element=True) for a in c.attrs)
+        dst = tuple(Field(a, is_element=True) for a in c.target_attrs)
+        if len(src) == 1:
+            return UnaryForeignKey(c.relation, src[0], c.target, dst[0])
+        return ForeignKey(c.relation, src, c.target, dst)
+    raise TypeError(f"not a relational constraint: {c!r}")
+
+
+def export_database(instance: Instance,
+                    constraints: Iterable = (),
+                    root: str = "db") -> tuple[DTDC, DataTree]:
+    """Translate a schema *and* its data; returns ``(DTD^C, data tree)``.
+
+    The exported document is valid with respect to the exported DTD
+    whenever the instance satisfied its constraints — preserving the
+    semantics of the legacy data, which is the §1 motivation for ``L``.
+    """
+    dtd = export_schema(instance.database, constraints, root=root)
+    tree = DataTree(root)
+    for relation in instance.database:
+        container = tree.create(container_name(relation.name))
+        tree.root.append(container)
+        for row in sorted(instance.relation_rows(relation.name),
+                          key=lambda r: tuple(map(str, r))):
+            element = tree.create(relation.name)
+            container.append(element)
+            for attr, value in zip(relation.attributes, row):
+                leaf = tree.create(attr)
+                leaf.append(str(value))
+                element.append(leaf)
+    return dtd, tree

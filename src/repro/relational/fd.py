@@ -1,0 +1,91 @@
+"""Functional dependencies and Armstrong-closure implication.
+
+Implication of FDs alone is the classic decidable case: ``Σ ⊨ X → Y``
+iff ``Y ⊆ X⁺`` where ``X⁺`` is the attribute closure of ``X`` under Σ.
+The closure is computed with the standard linear-time counting
+algorithm (Beeri–Bernstein).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``relation : lhs -> rhs``."""
+
+    relation: str
+    lhs: frozenset[str]
+    rhs: frozenset[str]
+
+    def __post_init__(self):
+        object.__setattr__(self, "lhs", frozenset(self.lhs))
+        object.__setattr__(self, "rhs", frozenset(self.rhs))
+        if not self.rhs:
+            raise ValueError("an FD needs a non-empty right-hand side")
+
+    def __str__(self) -> str:
+        lhs = ", ".join(sorted(self.lhs)) or "∅"
+        rhs = ", ".join(sorted(self.rhs))
+        return f"{self.relation}: {lhs} -> {rhs}"
+
+
+def fd_closure(attrs: Iterable[str], fds: Iterable[FD],
+               relation: str) -> frozenset[str]:
+    """The attribute closure ``attrs⁺`` under the FDs of ``relation``.
+
+    Linear in the total size of the FDs (counting algorithm).
+    """
+    relevant = [fd for fd in fds if fd.relation == relation]
+    closure = set(attrs)
+    missing: dict[int, int] = {}
+    by_attr: dict[str, list[int]] = defaultdict(list)
+    for i, fd in enumerate(relevant):
+        missing[i] = len(fd.lhs - closure)
+        for a in fd.lhs:
+            by_attr[a].append(i)
+    work = [i for i, m in missing.items() if m == 0]
+    fired = set(work)
+    while work:
+        i = work.pop()
+        for a in relevant[i].rhs:
+            if a in closure:
+                continue
+            closure.add(a)
+            for j in by_attr.get(a, ()):
+                missing[j] -= 1
+                if missing[j] == 0 and j not in fired:
+                    fired.add(j)
+                    work.append(j)
+    return frozenset(closure)
+
+
+def fd_implies(sigma: Iterable[FD], phi: FD) -> bool:
+    """Whether the FD set implies ``phi`` (Armstrong-complete)."""
+    sigma = list(sigma)
+    return phi.rhs <= fd_closure(phi.lhs, sigma, phi.relation)
+
+
+def minimal_keys(attributes: Iterable[str], fds: Iterable[FD],
+                 relation: str) -> list[frozenset[str]]:
+    """All minimal keys of a relation under its FDs (exponential in the
+    worst case; used on small schemas by the export tooling)."""
+    attributes = tuple(attributes)
+    fds = [fd for fd in fds if fd.relation == relation]
+    full = frozenset(attributes)
+    keys: list[frozenset[str]] = []
+    # Breadth-first over subset sizes guarantees minimality by pruning
+    # supersets of found keys.
+    from itertools import combinations
+
+    for size in range(1, len(attributes) + 1):
+        for combo in combinations(attributes, size):
+            candidate = frozenset(combo)
+            if any(k <= candidate for k in keys):
+                continue
+            if fd_closure(candidate, fds, relation) == full:
+                keys.append(candidate)
+    return keys

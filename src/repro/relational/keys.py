@@ -1,0 +1,211 @@
+"""Relational keys and foreign keys, and their implication problems.
+
+This module carries the relational projections of the paper's results:
+
+- **Corollary 3.5** — unary primary keys/foreign keys: implication and
+  finite implication coincide and are linear-time.  Decided by
+  delegation to :class:`~repro.implication.lu_primary.LuPrimaryEngine`
+  (relations become element types, attributes stay attributes).
+- **Corollary 3.9** — multi-attribute *primary* keys/foreign keys:
+  the problems coincide and are decidable, via
+  :class:`~repro.implication.l_primary.LPrimaryEngine`.
+- **Corollary 3.7** — *general* keys/foreign keys: undecidable.  The
+  engine translates keys to FDs (``X -> all attributes``) and foreign
+  keys to INDs and runs the bounded :func:`~repro.relational.chase.chase`,
+  reporting ``UNKNOWN`` when the budget runs out.
+
+The unary non-primary case (general unary keys/FKs) is decided by the
+cycle-rule machinery of :class:`~repro.implication.lu.LuEngine` — the
+Cosmadakis–Kanellakis–Vardi situation the paper builds on, where the two
+implication problems differ.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.constraints.base import Field
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lu import UnaryForeignKey, UnaryKey
+from repro.errors import ImplicationError
+from repro.implication.l_primary import LPrimaryEngine
+from repro.implication.lu import LuEngine
+from repro.implication.lu_primary import LuPrimaryEngine
+from repro.implication.result import ImplicationResult
+from repro.relational.chase import ChaseResult, chase
+from repro.relational.fd import FD
+from repro.relational.ind import IND
+from repro.relational.schema import Database
+
+
+@dataclass(frozen=True)
+class RelationalKey:
+    """``relation[attrs] -> relation`` (attrs is a set)."""
+
+    relation: str
+    attrs: frozenset[str]
+
+    def __post_init__(self):
+        object.__setattr__(self, "attrs", frozenset(self.attrs))
+
+    def __str__(self) -> str:
+        return f"{self.relation}[{', '.join(sorted(self.attrs))}] -> " \
+               f"{self.relation}"
+
+
+@dataclass(frozen=True)
+class RelationalForeignKey:
+    """``relation[attrs] ⊆ target[target_attrs]`` with the target a key."""
+
+    relation: str
+    attrs: tuple[str, ...]
+    target: str
+    target_attrs: tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "attrs", tuple(self.attrs))
+        object.__setattr__(self, "target_attrs", tuple(self.target_attrs))
+        if len(self.attrs) != len(self.target_attrs):
+            raise ValueError("foreign key arity mismatch")
+
+    def __str__(self) -> str:
+        return (f"{self.relation}[{', '.join(self.attrs)}] sub "
+                f"{self.target}[{', '.join(self.target_attrs)}]")
+
+
+RelationalConstraint = "RelationalKey | RelationalForeignKey"
+
+
+def _to_xml(c) -> "Key | ForeignKey":
+    """Relations as element types: the translation behind the corollaries."""
+    if isinstance(c, RelationalKey):
+        return Key(c.relation, tuple(Field(a) for a in sorted(c.attrs)))
+    if isinstance(c, RelationalForeignKey):
+        return ForeignKey(c.relation, tuple(Field(a) for a in c.attrs),
+                          c.target, tuple(Field(a) for a in c.target_attrs))
+    raise ImplicationError(f"not a relational key/foreign key: {c!r}")
+
+
+def _is_unary(constraints) -> bool:
+    return all(
+        (isinstance(c, RelationalKey) and len(c.attrs) == 1)
+        or (isinstance(c, RelationalForeignKey) and len(c.attrs) == 1)
+        for c in constraints)
+
+
+def _to_unary_xml(c) -> "UnaryKey | UnaryForeignKey":
+    if isinstance(c, RelationalKey):
+        (a,) = c.attrs
+        return UnaryKey(c.relation, Field(a))
+    (a,) = c.attrs
+    (b,) = c.target_attrs
+    return UnaryForeignKey(c.relation, Field(a), c.target, Field(b))
+
+
+class RelationalKeyFKEngine:
+    """Implication of relational keys/foreign keys in three regimes.
+
+    ``mode`` is one of:
+
+    - ``"unary"``          — general unary constraints (CKV-style; the
+      two implication problems may differ, Cor 3.3's relational twin);
+    - ``"unary-primary"``  — Corollary 3.5 (problems coincide);
+    - ``"primary"``        — Corollary 3.9 (multi-attribute primary);
+    - ``"general"``        — Corollary 3.7 (undecidable; bounded chase).
+    """
+
+    def __init__(self, database: Database, sigma: Iterable,
+                 mode: str = "general"):
+        self.database = database
+        self.sigma = list(sigma)
+        self.mode = mode
+        if mode == "unary":
+            if not _is_unary(self.sigma):
+                raise ImplicationError("mode 'unary' needs unary constraints")
+            self._engine = LuEngine([_to_unary_xml(c) for c in self.sigma])
+        elif mode == "unary-primary":
+            if not _is_unary(self.sigma):
+                raise ImplicationError(
+                    "mode 'unary-primary' needs unary constraints")
+            self._engine = LuPrimaryEngine(
+                [_to_unary_xml(c) for c in self.sigma])
+        elif mode == "primary":
+            self._engine = LPrimaryEngine([_to_xml(c) for c in self.sigma])
+        elif mode == "general":
+            self._engine = None
+        else:
+            raise ImplicationError(f"unknown mode {mode!r}")
+
+    # -- decidable modes -----------------------------------------------------------
+
+    def implies(self, phi) -> ImplicationResult:
+        """Unrestricted implication (decidable modes only)."""
+        if self.mode == "general":
+            raise ImplicationError(
+                "general keys/foreign keys are undecidable (Cor 3.7); "
+                "use chase_implies() for the bounded semi-decision")
+        if self.mode == "unary":
+            return self._engine.implies(_to_unary_xml(phi))
+        if self.mode == "unary-primary":
+            return self._engine.implies(_to_unary_xml(phi))
+        return self._engine.implies(_to_xml(phi))
+
+    def finitely_implies(self, phi) -> ImplicationResult:
+        """Finite implication (decidable modes only)."""
+        if self.mode == "general":
+            raise ImplicationError(
+                "general keys/foreign keys are undecidable (Cor 3.7); "
+                "use chase_implies() for the bounded semi-decision")
+        if self.mode == "unary":
+            return self._engine.finitely_implies(_to_unary_xml(phi))
+        if self.mode == "unary-primary":
+            return self._engine.finitely_implies(_to_unary_xml(phi))
+        return self._engine.finitely_implies(_to_xml(phi))
+
+    # -- the undecidable regime ------------------------------------------------------
+
+    def to_dependencies(self) -> tuple[list[FD], list[IND]]:
+        """Translate Σ into FDs + INDs (the Theorem 3.6 reduction's
+        target classes): a key becomes ``X -> all attributes``, a foreign
+        key becomes an IND (its target-key side condition becomes the
+        corresponding FD)."""
+        fds: list[FD] = []
+        inds: list[IND] = []
+        for c in self.sigma:
+            if isinstance(c, RelationalKey):
+                schema = self.database.relation(c.relation)
+                fds.append(FD(c.relation, c.attrs,
+                              frozenset(schema.attributes)))
+            elif isinstance(c, RelationalForeignKey):
+                inds.append(IND(c.relation, c.attrs, c.target,
+                                c.target_attrs))
+            else:
+                raise ImplicationError(f"not a relational constraint: {c!r}")
+        return fds, inds
+
+    def chase_implies(self, phi, max_steps: int = 10_000,
+                      max_rows: int = 5_000) -> ChaseResult:
+        """Bounded chase semi-decision for any mode (the only option in
+        ``general`` mode).  ``IMPLIED`` and ``NOT_IMPLIED`` verdicts are
+        sound for both implication flavours; ``UNKNOWN`` is the honest
+        face of Corollary 3.7."""
+        fds, inds = self.to_dependencies()
+        if isinstance(phi, RelationalKey):
+            schema = self.database.relation(phi.relation)
+            goal = FD(phi.relation, phi.attrs, frozenset(schema.attributes))
+        elif isinstance(phi, RelationalForeignKey):
+            goal = IND(phi.relation, phi.attrs, phi.target, phi.target_attrs)
+        else:
+            raise ImplicationError(f"not a relational constraint: {phi!r}")
+        return chase(self.database, fds, inds, goal,
+                     max_steps=max_steps, max_rows=max_rows)
+
+
+def coincide_under_primary(database: Database, sigma: Iterable,
+                           queries: Iterable) -> bool:
+    """Empirical check of Cor 3.5/3.9: implication == finite implication
+    on every query, in primary mode."""
+    engine = RelationalKeyFKEngine(database, sigma, mode="primary")
+    return all(bool(engine.implies(q)) == bool(engine.finitely_implies(q))
+               for q in queries)

@@ -1,0 +1,117 @@
+"""Relation schemas, database schemas and instances."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A named relation with an ordered tuple of attribute names."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"duplicate attribute names in relation {self.name!r}")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} has no attributes")
+
+    def positions(self, attrs: Iterable[str]) -> tuple[int, ...]:
+        """The positions of the given attribute names."""
+        index = {a: i for i, a in enumerate(self.attributes)}
+        try:
+            return tuple(index[a] for a in attrs)
+        except KeyError as exc:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {exc.args[0]!r}"
+            ) from None
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class Database:
+    """A database schema: a set of relation schemas addressed by name."""
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        self._relations: dict[str, RelationSchema] = {}
+        for r in relations:
+            self.add(r)
+
+    def add(self, relation: RelationSchema) -> None:
+        """Add a relation schema; duplicate names are rejected."""
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation by name (raises on unknown names)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        """Whether the schema declares the named relation."""
+        return name in self._relations
+
+    @property
+    def relations(self) -> list[RelationSchema]:
+        """The relation schemas in declaration order."""
+        return list(self._relations.values())
+
+    def __iter__(self):
+        return iter(self._relations.values())
+
+    def __str__(self) -> str:
+        return "; ".join(str(r) for r in self._relations.values())
+
+
+@dataclass
+class Instance:
+    """A database instance: relation name -> set of value tuples.
+
+    Tuples follow the attribute order of the relation schema.  Values
+    are arbitrary hashables (strings in all the XML-facing paths).
+    """
+
+    database: Database
+    rows: dict[str, set[tuple]] = field(default_factory=dict)
+
+    def add_row(self, relation: str, values: "tuple | Mapping[str, object]"
+                ) -> None:
+        """Insert one tuple, given positionally or by attribute name."""
+        schema = self.database.relation(relation)
+        if isinstance(values, Mapping):
+            values = tuple(values[a] for a in schema.attributes)
+        values = tuple(values)
+        if len(values) != len(schema.attributes):
+            raise SchemaError(
+                f"arity mismatch for {relation!r}: got {len(values)}, "
+                f"expected {len(schema.attributes)}")
+        self.rows.setdefault(relation, set()).add(values)
+
+    def relation_rows(self, relation: str) -> set[tuple]:
+        """The tuple set of one relation (empty when unpopulated)."""
+        self.database.relation(relation)  # validate the name
+        return self.rows.get(relation, set())
+
+    def project(self, relation: str, attrs: Iterable[str]) -> set[tuple]:
+        """The projection of a relation onto the given attributes."""
+        schema = self.database.relation(relation)
+        positions = schema.positions(attrs)
+        return {tuple(row[p] for p in positions)
+                for row in self.rows.get(relation, set())}
+
+    def size(self) -> int:
+        """Total number of tuples."""
+        return sum(len(r) for r in self.rows.values())

@@ -1,0 +1,182 @@
+"""Unary functional + inclusion dependencies, after Cosmadakis,
+Kanellakis and Vardi (JACM 1990) — the result §3.2 builds on.
+
+The paper's ``L_u`` analysis "borrows the idea of the proof" from CKV's
+theorem on *unary* FDs (``R: A -> B``) and INDs (``R[A] ⊆ S[B]``):
+
+- **unrestricted implication**: FDs and INDs do not interact; an FD is
+  implied iff derivable from the stated FDs alone (transitivity +
+  reflexivity suffice in the unary case) and an IND iff derivable from
+  the stated INDs alone (reflexivity + transitivity);
+- **finite implication**: they *do* interact, through cardinalities —
+  an FD ``A -> B`` forces ``|π_B| ≤ |π_A|`` and an IND ``R[A] ⊆ S[B]``
+  forces ``|π_A(R)| ≤ |π_B(S)|``; a cycle of such inequalities collapses
+  to equalities, turning the FDs along it into bijections (so their
+  *reverses* hold) and the INDs into equalities (so their reverses hold
+  too).  This is the "cycle rule for each odd positive integer" that
+  the paper cites, and no k-ary axiomatization exists.
+
+:class:`UnaryDependencyEngine` implements both deciders with the same
+SCC-fixpoint machinery as :class:`repro.implication.lu.LuEngine` — the
+two engines are sibling instantiations of one cardinality argument,
+which is exactly the relationship the paper asserts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import ImplicationError
+
+#: A column: (relation name, attribute name).
+Column = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class UnaryFD:
+    """``relation : lhs -> rhs`` with single attributes on both sides."""
+
+    relation: str
+    lhs: str
+    rhs: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}: {self.lhs} -> {self.rhs}"
+
+
+@dataclass(frozen=True)
+class UnaryIND:
+    """``relation[attr] ⊆ target[target_attr]``."""
+
+    relation: str
+    attr: str
+    target: str
+    target_attr: str
+
+    def __str__(self) -> str:
+        return (f"{self.relation}[{self.attr}] sub "
+                f"{self.target}[{self.target_attr}]")
+
+
+UnaryDependency = "UnaryFD | UnaryIND"
+
+
+class UnaryDependencyEngine:
+    """(Finite) implication of unary FDs + INDs, CKV-style."""
+
+    def __init__(self, sigma: Iterable):
+        self.fds: list[UnaryFD] = []
+        self.inds: list[UnaryIND] = []
+        for d in sigma:
+            if isinstance(d, UnaryFD):
+                self.fds.append(d)
+            elif isinstance(d, UnaryIND):
+                self.inds.append(d)
+            else:
+                raise ImplicationError(
+                    f"not a unary FD or IND: {d!r}")
+        # Unrestricted closures: plain reachability, no interaction.
+        self.fd_edges: dict[Column, set[Column]] = defaultdict(set)
+        self.ind_edges: dict[Column, set[Column]] = defaultdict(set)
+        for fd in self.fds:
+            self.fd_edges[(fd.relation, fd.lhs)].add(
+                (fd.relation, fd.rhs))
+        for ind in self.inds:
+            self.ind_edges[(ind.relation, ind.attr)].add(
+                (ind.target, ind.target_attr))
+        # Finite closures: augmented by the cycle rules.
+        self.fin_fd_edges = {k: set(v) for k, v in self.fd_edges.items()}
+        self.fin_ind_edges = {k: set(v) for k, v in self.ind_edges.items()}
+        self._close_finitely()
+
+    # -- finite closure (the cycle rules) ------------------------------------
+
+    def _cardinality_graph(self) -> dict[Column, set[Column]]:
+        """u -> v encodes ``|π_u| ≤ |π_v|``."""
+        graph: dict[Column, set[Column]] = defaultdict(set)
+        for a, outs in self.fin_fd_edges.items():
+            for b in outs:
+                graph[b].add(a)       # FD a->b: |π_b| <= |π_a|
+                graph.setdefault(a, set())
+        for a, outs in self.fin_ind_edges.items():
+            for b in outs:
+                graph[a].add(b)       # IND a ⊆ b: |π_a| <= |π_b|
+                graph.setdefault(b, set())
+        return graph
+
+    def _close_finitely(self) -> None:
+        from repro.implication.lu import LuEngine
+
+        while True:
+            graph = self._cardinality_graph()
+            comp = LuEngine._sccs(graph)
+            changed = False
+            for a, outs in list(self.fin_fd_edges.items()):
+                for b in list(outs):
+                    if comp.get(a) == comp.get(b) and \
+                            a not in self.fin_fd_edges.get(b, set()):
+                        # |π_a| = |π_b| makes the FD a bijection.
+                        self.fin_fd_edges.setdefault(b, set()).add(a)
+                        changed = True
+            for a, outs in list(self.fin_ind_edges.items()):
+                for b in list(outs):
+                    if comp.get(a) == comp.get(b) and \
+                            a not in self.fin_ind_edges.get(b, set()):
+                        # Equal finite cardinalities + containment:
+                        # the inclusion is an equality.
+                        self.fin_ind_edges.setdefault(b, set()).add(a)
+                        changed = True
+            if not changed:
+                return
+
+    # -- reachability ----------------------------------------------------------
+
+    @staticmethod
+    def _reachable(edges: dict[Column, set[Column]], source: Column,
+                   target: Column) -> bool:
+        if source == target:
+            return True
+        seen = {source}
+        queue: deque[Column] = deque((source,))
+        while queue:
+            node = queue.popleft()
+            for nxt in edges.get(node, ()):
+                if nxt == target:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    # -- queries ------------------------------------------------------------------
+
+    def implies(self, phi) -> bool:
+        """Unrestricted implication: FDs and INDs reason separately
+        (the CKV no-interaction theorem for the unrestricted case)."""
+        if isinstance(phi, UnaryFD):
+            return self._reachable(self.fd_edges,
+                                   (phi.relation, phi.lhs),
+                                   (phi.relation, phi.rhs))
+        if isinstance(phi, UnaryIND):
+            return self._reachable(self.ind_edges,
+                                   (phi.relation, phi.attr),
+                                   (phi.target, phi.target_attr))
+        raise ImplicationError(f"not a unary FD or IND: {phi!r}")
+
+    def finitely_implies(self, phi) -> bool:
+        """Finite implication: reachability over the cycle-closed graphs."""
+        if isinstance(phi, UnaryFD):
+            return self._reachable(self.fin_fd_edges,
+                                   (phi.relation, phi.lhs),
+                                   (phi.relation, phi.rhs))
+        if isinstance(phi, UnaryIND):
+            return self._reachable(self.fin_ind_edges,
+                                   (phi.relation, phi.attr),
+                                   (phi.target, phi.target_attr))
+        raise ImplicationError(f"not a unary FD or IND: {phi!r}")
+
+    def problems_coincide_on(self, phi) -> bool:
+        """Whether the two implication problems agree on ``phi``."""
+        return self.implies(phi) == self.finitely_implies(phi)

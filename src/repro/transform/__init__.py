@@ -1,0 +1,30 @@
+"""Constraint propagation through integration/transformation programs.
+
+The paper closes (§5) with the practical question it leaves open: *"how
+constraints propagate through integration programs, and how they can
+help in verifying their correctness?"*.  This package implements the
+three transformations that cover the common integration pipeline and
+makes their constraint propagation explicit and checkable:
+
+- :func:`rename_elements` / :func:`rename_attributes` — consistent
+  renaming of element types and attributes, rewriting Σ along;
+- :func:`merge` — disjoint union of two ``DTD^C`` s under a fresh root
+  (the "mediated schema" step), with collision detection and the
+  document-level merge;
+- :func:`project` — restriction of a ``DTD^C`` to the subtree reachable
+  from a new root type, keeping exactly the constraints whose types
+  survive (and reporting the ones that were *dropped*, since dropping a
+  constraint is where integration silently loses semantics);
+- :class:`PropagationReport` — for each transformation, which
+  constraints were preserved verbatim, rewritten, or dropped, plus an
+  implication-engine check that the preserved Σ' still implies the
+  images of selected source constraints.
+"""
+
+from repro.transform.rename import rename_attributes, rename_elements
+from repro.transform.merge import merge
+from repro.transform.project import project
+from repro.transform.report import PropagationReport, verify_propagation
+
+__all__ = ["rename_attributes", "rename_elements", "merge", "project",
+           "PropagationReport", "verify_propagation"]

@@ -1,0 +1,78 @@
+"""Merging two ``DTD^C`` s (the mediated-schema step of integration).
+
+The merge is the disjoint union of the two schemas under a fresh root
+whose content is ``(root1, root2)``.  Element-type collisions are
+rejected — the caller resolves them first with
+:func:`repro.transform.rename.rename_elements`, which is exactly how
+real integration pipelines disambiguate source vocabularies.
+
+Constraint propagation is the union: every source constraint survives
+verbatim.  For ``L_id`` there is a genuine semantic subtlety the report
+surfaces: ID uniqueness is *document-wide*, so two sources that were
+individually consistent can clash after the merge (the same ID value
+used by both) — constraint preservation at the schema level does not
+imply satisfaction at the instance level, and
+:func:`merge_documents` + validation is the check.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.wellformed import language_of
+from repro.datamodel.tree import DataTree, Vertex
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.errors import ConstraintError, SchemaError
+
+
+def merge(d1: DTDC, d2: DTDC, root: str = "merged") -> DTDC:
+    """The disjoint union of two ``DTD^C`` s under a fresh root."""
+    s1, s2 = d1.structure, d2.structure
+    collisions = s1.element_types & s2.element_types
+    if collisions:
+        raise SchemaError(
+            f"element types declared in both sources: "
+            f"{sorted(collisions)}; rename before merging")
+    if root in s1.element_types | s2.element_types:
+        raise SchemaError(f"fresh root {root!r} collides with a source "
+                          "element type")
+    out = DTDStructure(root)
+    out.define_element(root, f"({s1.root}, {s2.root})")
+    for s in (s1, s2):
+        for t in s.element_types:
+            out.define_element(t, s.content(t))
+        for t in s.element_types:
+            for a in s.attributes(t):
+                out.define_attribute(t, a,
+                                     set_valued=s.is_set_valued(t, a),
+                                     kind=s.kind(t, a))
+    constraints = list(d1.constraints) + list(d2.constraints)
+    try:
+        language_of(constraints)
+    except ConstraintError as exc:
+        raise ConstraintError(
+            "the merged constraint set mixes languages; translate one "
+            f"source first ({exc})") from exc
+    return DTDC(out, constraints)
+
+
+def copy_subtree(target: DataTree, source: Vertex) -> Vertex:
+    """A deep copy of ``source`` (labels, children, attributes) owned by
+    ``target``; the copy is returned detached."""
+    clone = target.create(source.label)
+    for name, values in source.attributes.items():
+        clone.set_attribute(name, values)
+    for child in source.children:
+        if isinstance(child, str):
+            clone.append(child)
+        else:
+            clone.append(copy_subtree(target, child))
+    return clone
+
+
+def merge_documents(tree1: DataTree, tree2: DataTree,
+                    root: str = "merged") -> DataTree:
+    """The document-level merge matching :func:`merge`'s schema."""
+    out = DataTree(root)
+    out.root.append(copy_subtree(out, tree1.root))
+    out.root.append(copy_subtree(out, tree2.root))
+    return out

@@ -1,0 +1,100 @@
+"""Projecting a ``DTD^C`` onto a subtree (the export/view step).
+
+``project(dtd, new_root)`` restricts the schema to the element types
+reachable from ``new_root`` through content models and through Σ's
+reference constraints are **not** followed — a reference out of the
+projected subtree is precisely a constraint that cannot survive.
+
+The function returns the projected ``DTD^C`` together with the list of
+*dropped* constraints.  Dropping is where integration loses semantics
+silently (the §1 motivation in reverse), so the caller is forced to see
+the list; ``strict=True`` turns any drop into an error.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.constraints.base import Constraint
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.errors import ConstraintError, SchemaError
+
+
+def reachable_types(structure: DTDStructure, root: str) -> set[str]:
+    """Element types reachable from ``root`` through content models."""
+    if not structure.has_element(root):
+        raise SchemaError(f"undeclared element type {root!r}")
+    seen = {root}
+    queue = deque((root,))
+    while queue:
+        t = queue.popleft()
+        for child in structure.subelements(t):
+            if child not in seen:
+                seen.add(child)
+                queue.append(child)
+    return seen
+
+
+def _mentioned_types(c: Constraint) -> set[str]:
+    if isinstance(c, (UnaryKey, Key, IDConstraint)):
+        return {c.element}
+    if isinstance(c, (UnaryForeignKey, SetValuedForeignKey, ForeignKey,
+                      Inverse, IDForeignKey, IDSetValuedForeignKey,
+                      IDInverse)):
+        return {c.element, c.target}
+    raise TypeError(f"unknown constraint type {c!r}")
+
+
+def project(dtd: DTDC, new_root: str, strict: bool = False
+            ) -> tuple[DTDC, list[Constraint]]:
+    """Restrict to the subtree under ``new_root``.
+
+    Returns ``(projected DTD^C, dropped constraints)``.  A constraint is
+    kept iff every element type it mentions survives the projection.
+    With ``strict=True``, any dropped constraint raises
+    :class:`~repro.errors.ConstraintError` instead.
+    """
+    s = dtd.structure
+    keep = reachable_types(s, new_root)
+    out = DTDStructure(new_root)
+    for t in sorted(keep):
+        out.define_element(t, s.content(t))
+    for t in sorted(keep):
+        for a in s.attributes(t):
+            out.define_attribute(t, a,
+                                 set_valued=s.is_set_valued(t, a),
+                                 kind=s.kind(t, a))
+    kept: list[Constraint] = []
+    dropped: list[Constraint] = []
+    for c in dtd.constraints:
+        (kept if _mentioned_types(c) <= keep else dropped).append(c)
+    # Keeping a foreign key whose *stated target key* was dropped would
+    # leave Σ' ill-formed, so drop dependents transitively until Σ' is
+    # well-formed again — every drop lands in the report.
+    from repro.constraints.wellformed import well_formed
+
+    while True:
+        problems = well_formed(kept, out)
+        if not problems:
+            break
+        bad = [c for c in kept
+               if any(p.startswith(f"{c}:") for p in problems)]
+        if not bad:  # pragma: no cover - defensive
+            raise ConstraintError("; ".join(problems))
+        for c in bad:
+            kept.remove(c)
+            dropped.append(c)
+    projected = DTDC(out, kept)
+    if strict and dropped:
+        raise ConstraintError(
+            "projection drops constraints: "
+            + "; ".join(str(c) for c in dropped))
+    return projected, dropped

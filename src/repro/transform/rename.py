@@ -1,0 +1,167 @@
+"""Renaming element types and attributes, with Σ rewritten along.
+
+Renaming is the simplest integration step and the one where constraint
+propagation is *lossless*: every constraint has an image and the image
+set is equivalent to the source set up to the renaming bijection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.errors import SchemaError
+from repro.regexlang.ast import Atom, Concat, Epsilon, Regex, Star, Union
+
+_EMPTY: dict = {}
+
+
+def map_symbols(regex: Regex, mapping: Mapping[str, str]) -> Regex:
+    """Rewrite the alphabet symbols of a content model."""
+    if isinstance(regex, Epsilon):
+        return regex
+    if isinstance(regex, Atom):
+        return Atom(mapping.get(regex.symbol, regex.symbol))
+    if isinstance(regex, Union):
+        return Union(map_symbols(regex.left, mapping),
+                     map_symbols(regex.right, mapping))
+    if isinstance(regex, Concat):
+        return Concat(map_symbols(regex.left, mapping),
+                      map_symbols(regex.right, mapping))
+    if isinstance(regex, Star):
+        return Star(map_symbols(regex.inner, mapping))
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def _map_field(field: Field, element: str,
+               elem_map: Mapping[str, str],
+               attr_map: Mapping[tuple[str, str], str]) -> Field:
+    """Rewrite one field *as referenced from* ``element`` (old name)."""
+    if field.is_element:
+        return Field(elem_map.get(field.name, field.name),
+                     is_element=True)
+    new_name = attr_map.get((element, field.name), field.name)
+    return Field(new_name)
+
+
+def rewrite_constraint(c: Constraint,
+                       elem_map: Mapping[str, str] = _EMPTY,
+                       attr_map: Mapping[tuple[str, str], str] = _EMPTY
+                       ) -> Constraint:
+    """The image of a constraint under element/attribute renaming.
+
+    ``elem_map`` maps old element type names to new ones; ``attr_map``
+    maps (old element type, old attribute) pairs to new attribute names.
+    """
+    def elem(name: str) -> str:
+        return elem_map.get(name, name)
+
+    def field(f: Field, owner: str) -> Field:
+        return _map_field(f, owner, elem_map, attr_map)
+
+    if isinstance(c, UnaryKey):
+        return UnaryKey(elem(c.element), field(c.field, c.element))
+    if isinstance(c, Key):
+        return Key(elem(c.element),
+                   tuple(field(f, c.element) for f in c.fields))
+    if isinstance(c, UnaryForeignKey):
+        return UnaryForeignKey(elem(c.element), field(c.field, c.element),
+                               elem(c.target),
+                               field(c.target_field, c.target))
+    if isinstance(c, SetValuedForeignKey):
+        return SetValuedForeignKey(elem(c.element),
+                                   field(c.field, c.element),
+                                   elem(c.target),
+                                   field(c.target_field, c.target))
+    if isinstance(c, ForeignKey):
+        return ForeignKey(elem(c.element),
+                          tuple(field(f, c.element) for f in c.fields),
+                          elem(c.target),
+                          tuple(field(f, c.target)
+                                for f in c.target_fields))
+    if isinstance(c, Inverse):
+        return Inverse(elem(c.element), field(c.key_field, c.element),
+                       field(c.field, c.element),
+                       elem(c.target),
+                       field(c.target_key_field, c.target),
+                       field(c.target_field, c.target))
+    if isinstance(c, IDConstraint):
+        return IDConstraint(elem(c.element))
+    if isinstance(c, IDForeignKey):
+        return IDForeignKey(elem(c.element), field(c.field, c.element),
+                            elem(c.target))
+    if isinstance(c, IDSetValuedForeignKey):
+        return IDSetValuedForeignKey(elem(c.element),
+                                     field(c.field, c.element),
+                                     elem(c.target))
+    if isinstance(c, IDInverse):
+        return IDInverse(elem(c.element), field(c.field, c.element),
+                         elem(c.target), field(c.target_field, c.target))
+    raise TypeError(f"unknown constraint type {c!r}")
+
+
+def rename_elements(dtd: DTDC, mapping: Mapping[str, str]) -> DTDC:
+    """A new ``DTD^C`` with element types renamed per ``mapping``.
+
+    The mapping must be injective on the declared element types and the
+    renamed names must not collide with unrenamed ones (a collision
+    would *merge* extensions and silently change constraint semantics).
+    """
+    s = dtd.structure
+    declared = s.element_types
+    images = {mapping.get(t, t) for t in declared}
+    if len(images) != len(declared):
+        raise SchemaError("element renaming is not injective on the "
+                          "declared element types")
+    for old in mapping:
+        if old not in declared:
+            raise SchemaError(f"cannot rename undeclared element {old!r}")
+    out = DTDStructure(mapping.get(s.root, s.root))
+    for t in declared:
+        out.define_element(mapping.get(t, t),
+                           map_symbols(s.content(t), mapping))
+    for t in declared:
+        for a in s.attributes(t):
+            out.define_attribute(mapping.get(t, t), a,
+                                 set_valued=s.is_set_valued(t, a),
+                                 kind=s.kind(t, a))
+    constraints = [rewrite_constraint(c, elem_map=mapping)
+                   for c in dtd.constraints]
+    return DTDC(out, constraints)
+
+
+def rename_attributes(dtd: DTDC, element: str,
+                      mapping: Mapping[str, str]) -> DTDC:
+    """A new ``DTD^C`` with attributes of ``element`` renamed."""
+    s = dtd.structure
+    if not s.has_element(element):
+        raise SchemaError(f"undeclared element type {element!r}")
+    for old in mapping:
+        if not s.has_attribute(element, old):
+            raise SchemaError(
+                f"cannot rename undeclared attribute {element}.{old}")
+    new_names = [mapping.get(a, a) for a in s.attributes(element)]
+    if len(set(new_names)) != len(new_names):
+        raise SchemaError("attribute renaming is not injective")
+    out = DTDStructure(s.root)
+    for t in s.element_types:
+        out.define_element(t, s.content(t))
+    for t in s.element_types:
+        for a in s.attributes(t):
+            name = mapping.get(a, a) if t == element else a
+            out.define_attribute(t, name,
+                                 set_valued=s.is_set_valued(t, a),
+                                 kind=s.kind(t, a))
+    attr_map = {(element, old): new for old, new in mapping.items()}
+    constraints = [rewrite_constraint(c, attr_map=attr_map)
+                   for c in dtd.constraints]
+    return DTDC(out, constraints)

@@ -1,0 +1,35 @@
+"""Workloads: the paper's running examples plus seeded random generators.
+
+- :mod:`repro.workloads.book`      — the book ``DTD^C`` (``L_u``) and
+  the Figure 2 document;
+- :mod:`repro.workloads.persondept` — the person/dept object database,
+  its ``L_id`` export ``D_o`` and a populated store;
+- :mod:`repro.workloads.publisher` — the publisher/editor relational
+  schema and its ``L`` constraints;
+- :mod:`repro.workloads.generators` — random DTD structures, random
+  valid documents (content models realized by automaton walks), random
+  constraint sets and implication-problem instances, all seeded for
+  reproducibility.
+"""
+
+from repro.workloads.book import book_document, book_dtdc, book_xml
+from repro.workloads.persondept import (
+    person_dept_schema, person_dept_store, person_dept_export,
+)
+from repro.workloads.publisher import (
+    publisher_constraints, publisher_database, publisher_instance,
+)
+from repro.workloads.school import school_document, school_dtdc
+from repro.workloads.generators import (
+    random_document, random_lu_implication_instance, random_lu_sigma,
+    random_primary_l_instance, random_structure, scaled_lu_chain,
+)
+
+__all__ = [
+    "book_document", "book_dtdc", "book_xml",
+    "person_dept_schema", "person_dept_store", "person_dept_export",
+    "publisher_constraints", "publisher_database", "publisher_instance",
+    "school_document", "school_dtdc",
+    "random_document", "random_lu_implication_instance", "random_lu_sigma",
+    "random_primary_l_instance", "random_structure", "scaled_lu_chain",
+]

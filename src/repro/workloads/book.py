@@ -1,0 +1,129 @@
+"""The book running example (§1, §2.4, Figure 2).
+
+``book_dtdc()`` is the ``DTD^C`` ``D = (S, Σ)`` of §2.4 with its three
+``L_u`` constraints; ``book_document()`` is the data tree of Figure 2;
+``book_xml()`` is the XML surface syntax from the introduction.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.builder import TreeBuilder
+from repro.datamodel.tree import DataTree
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.constraints.parser import parse_constraints
+
+BOOK_DTD_TEXT = """
+<!ELEMENT book    (entry, author*, section*, ref)>
+<!ELEMENT entry   (title, publisher)>
+<!ATTLIST entry   isbn CDATA #REQUIRED>
+<!ELEMENT section (title, (#PCDATA | section)*)>
+<!ATTLIST section sid ID #REQUIRED>
+<!ELEMENT ref     EMPTY>
+<!ATTLIST ref     to IDREFS #REQUIRED>
+<!ELEMENT author    (#PCDATA)>
+<!ELEMENT title     (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+"""
+
+BOOK_CONSTRAINTS_TEXT = """
+entry.isbn -> entry
+section.sid -> section
+ref.to subS entry.isbn
+"""
+
+
+def book_dtdc() -> DTDC:
+    """The §2.4 book ``DTD^C`` (constraints in ``L_u``).
+
+    Built programmatically — identically parseable from
+    :data:`BOOK_DTD_TEXT` via :func:`repro.xmlio.parse_dtd`, which the
+    integration tests assert.
+    """
+    s = DTDStructure("book")
+    s.define_element("book", "(entry, author*, section*, ref)")
+    s.define_element("entry", "(title, publisher)")
+    s.define_element("section", "(title, (S + section)*)")
+    s.define_element("ref", "EMPTY")
+    s.define_element("author", "S*")
+    s.define_element("title", "S*")
+    s.define_element("publisher", "S*")
+    s.define_attribute("entry", "isbn")
+    s.define_attribute("section", "sid", kind="ID")
+    s.define_attribute("ref", "to", set_valued=True, kind="IDREF")
+    constraints = parse_constraints(BOOK_CONSTRAINTS_TEXT, s)
+    return DTDC(s, constraints)
+
+
+def book_document() -> DataTree:
+    """The Figure 2 document: one book with nested sections and a
+    bibliography reference back to its own entry."""
+    b = TreeBuilder("book")
+    with b.element("entry", isbn="1-55860-622-X"):
+        b.leaf("title", "Data on the Web")
+        b.leaf("publisher", "Morgan Kaufmann")
+    b.leaf("author", "Serge Abiteboul")
+    b.leaf("author", "Peter Buneman")
+    b.leaf("author", "Dan Suciu")
+    with b.element("section", sid="intro"):
+        b.leaf("title", "Introduction")
+        b.text("Data exchange on the Web ...")
+        with b.element("section", sid="audience"):
+            b.leaf("title", "Audience")
+            b.text("Database researchers and practitioners.")
+    with b.element("section", sid="syntax"):
+        b.leaf("title", "A Syntax For Data")
+        b.text("XML is a concrete syntax for annotated trees.")
+    b.leaf("ref", to=["1-55860-622-X"])
+    return b.tree
+
+
+def book_xml() -> str:
+    """The introduction's XML document, as text."""
+    return """<book>
+  <entry isbn="1-55860-622-X">
+    <title>Data on the Web</title>
+    <publisher>Morgan Kaufmann</publisher>
+  </entry>
+  <author>Serge Abiteboul</author>
+  <author>Peter Buneman</author>
+  <author>Dan Suciu</author>
+  <section sid="intro">
+    <title>Introduction</title>Data exchange on the Web ...<section sid="audience"><title>Audience</title>Database researchers and practitioners.</section>
+  </section>
+  <section sid="syntax">
+    <title>A Syntax For Data</title>XML is a concrete syntax for annotated trees.
+  </section>
+  <ref to="1-55860-622-X"/>
+</book>
+"""
+
+
+def scaled_book_document(n_sections: int = 50, depth: int = 3,
+                         n_authors: int = 5) -> DataTree:
+    """A large, *constraint-valid* book document for the validation
+    benchmarks (E1/E13): ``n_sections`` top-level sections each nesting
+    ``depth`` sub-sections, with unique sids and a reference list that
+    points at the entry's isbn only."""
+    b = TreeBuilder("book")
+    isbn = "1-55860-622-X"
+    with b.element("entry", isbn=isbn):
+        b.leaf("title", "Data on the Web")
+        b.leaf("publisher", "Morgan Kaufmann")
+    for a in range(n_authors):
+        b.leaf("author", f"Author {a}")
+    counter = [0]
+
+    def section(level: int) -> None:
+        sid = f"s{counter[0]}"
+        counter[0] += 1
+        with b.element("section", sid=sid):
+            b.leaf("title", f"Section {sid}")
+            b.text(f"Content of {sid}.")
+            if level > 0:
+                section(level - 1)
+
+    for _i in range(n_sections):
+        section(depth)
+    b.leaf("ref", to=[isbn])
+    return b.tree

@@ -1,0 +1,339 @@
+"""Seeded random generators for structures, documents and constraint
+sets — the workload side of every benchmark.
+
+Everything takes an explicit ``seed`` (or ``random.Random``) so runs are
+reproducible; nothing here consults global randomness.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.datamodel.tree import DataTree, Vertex
+from repro.dtd.structure import DTDStructure
+from repro.regexlang.ast import (
+    ATOMIC, Atom, Concat, Epsilon, Regex, Star, Union,
+)
+from repro.regexlang.properties import shortest_word
+
+
+def _rng(seed: "int | random.Random") -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+# ---------------------------------------------------------------------------
+# Structures and documents
+# ---------------------------------------------------------------------------
+
+
+def random_structure(seed: "int | random.Random" = 0, n_types: int = 6,
+                     max_attrs: int = 3,
+                     recursion: bool = True) -> DTDStructure:
+    """A random DTD structure: a root whose content fans out over the
+    other types; each type gets text-or-children content and attributes."""
+    rng = _rng(seed)
+    names = [f"e{i}" for i in range(n_types)]
+    s = DTDStructure(names[0])
+    for i, name in enumerate(names):
+        children = [n for n in names[i + 1:i + 4]]
+        if recursion and rng.random() < 0.3 and i > 0:
+            children.append(name)  # recursive like the paper's section
+        parts: list[str] = []
+        for child in children:
+            parts.append(rng.choice([f"{child}*", f"{child}?", child])
+                         if child != name else f"{name}*")
+        if not parts or rng.random() < 0.5:
+            parts.append("#PCDATA*" if rng.random() < 0.5 else "#PCDATA?")
+        s.define_element(name, "(" + ", ".join(parts) + ")")
+    for name in names:
+        for a in range(rng.randint(0, max_attrs)):
+            s.define_attribute(name, f"a{a}",
+                               set_valued=rng.random() < 0.25)
+    s.check()
+    return s
+
+
+def _random_word(regex: Regex, rng: random.Random,
+                 budget: int) -> list[str]:
+    """A random word of ``L(regex)``, biased short when budget is low."""
+    if isinstance(regex, Epsilon):
+        return []
+    if isinstance(regex, Atom):
+        return [regex.symbol]
+    if isinstance(regex, Union):
+        if budget <= 0:
+            a = shortest_word(regex.left)
+            b = shortest_word(regex.right)
+            side = regex.left if len(a) <= len(b) else regex.right
+            return _random_word(side, rng, budget)
+        return _random_word(rng.choice((regex.left, regex.right)),
+                            rng, budget)
+    if isinstance(regex, Concat):
+        left = _random_word(regex.left, rng, budget)
+        return left + _random_word(regex.right, rng, budget - len(left))
+    if isinstance(regex, Star):
+        out: list[str] = []
+        while budget > len(out) and rng.random() < 0.6:
+            part = _random_word(regex.inner, rng, budget - len(out))
+            if not part:
+                break
+            out.extend(part)
+        return out
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def random_document(structure: DTDStructure,
+                    seed: "int | random.Random" = 0,
+                    size_budget: int = 200,
+                    max_depth: int = 12) -> DataTree:
+    """A structurally valid random document for ``structure``.
+
+    Every declared attribute is populated (Definition 2.4 requires it);
+    attribute values are drawn from small per-attribute pools, so key
+    constraints will usually be violated — by design: this generator
+    feeds the *checker* benchmarks, which need violations to find.
+    """
+    rng = _rng(seed)
+    tree = DataTree(structure.root)
+    counter = [0]
+
+    def fill(vertex: Vertex, depth: int) -> None:
+        for attr in sorted(structure.attributes(vertex.label)):
+            if structure.is_set_valued(vertex.label, attr):
+                vertex.set_attribute(attr, {
+                    f"{attr}-{rng.randint(0, 9)}"
+                    for _i in range(rng.randint(0, 3))})
+            else:
+                vertex.set_attribute(attr, f"{attr}-{rng.randint(0, 9)}")
+        budget = max(0, size_budget - counter[0])
+        word = _random_word(structure.content(vertex.label), rng, budget) \
+            if depth < max_depth \
+            else list(shortest_word(structure.content(vertex.label)))
+        for symbol in word:
+            if symbol == ATOMIC:
+                vertex.append(f"text-{counter[0]}")
+                counter[0] += 1
+                continue
+            child = tree.create(symbol)
+            vertex.append(child)
+            counter[0] += 1
+            fill(child, depth + 1)
+
+    fill(tree.root, 0)
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# L_u constraint sets and implication instances
+# ---------------------------------------------------------------------------
+
+
+def random_lu_sigma(seed: "int | random.Random" = 0, n_types: int = 5,
+                    n_attrs: int = 3, n_constraints: int = 8,
+                    primary: bool = False,
+                    with_inverses: bool = True) -> list[Constraint]:
+    """A well-formed random ``L_u`` Σ.
+
+    Keys come first; foreign keys and set-valued foreign keys target
+    stated keys; inverses designate stated keys.  With ``primary=True``
+    each type gets at most one key attribute and is referenced through
+    it only (the §3.2 restriction); single-/set-valued usage is kept
+    consistent so :class:`~repro.implication.lu.LuEngine` accepts Σ.
+    """
+    rng = _rng(seed)
+    types = [f"t{i}" for i in range(n_types)]
+    single = {(t, Field(f"a{j}")) for t in types for j in range(n_attrs)}
+    setv = {(t, Field(f"s{j}")) for t in types for j in range(2)}
+    keys: dict[str, list[Field]] = {t: [] for t in types}
+    sigma: list[Constraint] = []
+    for t in types:
+        n_keys = 1 if primary else rng.randint(1, 2)
+        fields = rng.sample(sorted(
+            [f for (tt, f) in single if tt == t], key=str), n_keys)
+        for f in fields:
+            keys[t].append(f)
+            sigma.append(UnaryKey(t, f))
+    while len(sigma) < n_constraints:
+        kind = rng.random()
+        src = rng.choice(types)
+        dst = rng.choice(types)
+        if primary:
+            dst_key = keys[dst][0]
+        else:
+            dst_key = rng.choice(keys[dst])
+        if kind < 0.45:
+            field = rng.choice(sorted(
+                [f for (tt, f) in single if tt == src], key=str))
+            sigma.append(UnaryForeignKey(src, field, dst, dst_key))
+        elif kind < 0.8 or not with_inverses:
+            field = rng.choice(sorted(
+                [f for (tt, f) in setv if tt == src], key=str))
+            sigma.append(SetValuedForeignKey(src, field, dst, dst_key))
+        else:
+            if src == dst:
+                continue
+            f1 = rng.choice(sorted(
+                [f for (tt, f) in setv if tt == src], key=str))
+            f2 = rng.choice(sorted(
+                [f for (tt, f) in setv if tt == dst], key=str))
+            sigma.append(Inverse(src, keys[src][0], f1,
+                                 dst, keys[dst][0], f2))
+    # Usage consistency: drop constraints that use a field both ways.
+    return _drop_arity_conflicts(sigma)
+
+
+def _drop_arity_conflicts(sigma: list[Constraint]) -> list[Constraint]:
+    from repro.implication.lu import _Arities
+
+    out: list[Constraint] = []
+    arities = _Arities()
+    for c in sigma:
+        try:
+            arities.scan([c])
+        except Exception:
+            continue
+        out.append(c)
+    return out
+
+
+def random_lu_implication_instance(seed: "int | random.Random" = 0,
+                                   **kw) -> tuple[list[Constraint],
+                                                  Constraint]:
+    """A (Σ, φ) pair; φ is sometimes derivable, sometimes not."""
+    rng = _rng(seed)
+    sigma = random_lu_sigma(rng, **kw)
+    keys = [c for c in sigma if isinstance(c, UnaryKey)]
+    fks = [c for c in sigma if isinstance(c, UnaryForeignKey)]
+    roll = rng.random()
+    if roll < 0.3 and fks:
+        base = rng.choice(fks)
+        phi: Constraint = UnaryForeignKey(base.element, base.field,
+                                          base.target, base.target_field)
+    elif roll < 0.6 and keys:
+        base_key = rng.choice(keys)
+        other = rng.choice(keys)
+        phi = UnaryForeignKey(base_key.element, base_key.field,
+                              other.element, other.field)
+    elif fks:
+        base = rng.choice(fks)
+        phi = UnaryForeignKey(base.target, base.target_field,
+                              base.element, base.field)
+    else:
+        base_key = rng.choice(keys)
+        phi = UnaryKey(base_key.element, base_key.field)
+    return sigma, phi
+
+
+def scaled_lu_chain(n: int) -> tuple[list[Constraint], Constraint]:
+    """The linear-scaling workload for E4/E5: a length-``n`` foreign-key
+    chain ``t0.f ⊆ t1.k ⊆ t2.k ⊆ ... ⊆ tn.k``; the query asks for the
+    end-to-end composition (derivable via n-1 UFK-trans steps)."""
+    sigma: list[Constraint] = []
+    k = Field("k")
+    for i in range(1, n + 1):
+        sigma.append(UnaryKey(f"t{i}", k))
+    sigma.append(UnaryForeignKey("t0", Field("f"), "t1", k))
+    for i in range(1, n):
+        sigma.append(UnaryForeignKey(f"t{i}", k, f"t{i + 1}", k))
+    phi = UnaryForeignKey("t0", Field("f"), f"t{n}", k)
+    return sigma, phi
+
+
+# ---------------------------------------------------------------------------
+# Primary L instances (multi-attribute)
+# ---------------------------------------------------------------------------
+
+
+def random_primary_l_instance(seed: "int | random.Random" = 0,
+                              n_types: int = 6, key_width: int = 3,
+                              n_fks: int = 8
+                              ) -> tuple[list[Constraint], Constraint]:
+    """A primary-key-restricted ``L`` instance: every type has one
+    ``key_width``-wide primary key; foreign keys target primary keys
+    through random alignments; the query composes a random chain."""
+    rng = _rng(seed)
+    types = [f"r{i}" for i in range(n_types)]
+    key_fields = {t: tuple(Field(f"k{j}") for j in range(key_width))
+                  for t in types}
+    sigma: list[Constraint] = [Key(t, key_fields[t]) for t in types]
+    chain = [types[0]]
+    for _i in range(n_fks):
+        src = rng.choice(types)
+        dst = rng.choice(types)
+        perm = rng.sample(range(key_width), key_width)
+        src_fields = tuple(Field(f"f{j}") for j in range(key_width)) \
+            if rng.random() < 0.5 else key_fields[src]
+        sigma.append(ForeignKey(
+            src, src_fields, dst,
+            tuple(key_fields[dst][p] for p in perm)))
+        chain.append(dst)
+    start = sigma[n_types]  # the first foreign key
+    phi = ForeignKey(start.element, start.fields, start.target,
+                     start.target_fields)
+    return sigma, phi
+
+
+def scaled_primary_chain(n: int, width: int = 3
+                         ) -> tuple[list[Constraint], Constraint]:
+    """A deterministic chain of ``n`` ``width``-ary foreign keys with a
+    rotating alignment; the query is the end-to-end composition."""
+    key_fields = tuple(Field(f"k{j}") for j in range(width))
+    sigma: list[Constraint] = [Key(f"r{i}", key_fields)
+                               for i in range(n + 1)]
+    for i in range(n):
+        rotated = key_fields[i % width:] + key_fields[:i % width]
+        sigma.append(ForeignKey(f"r{i}", key_fields, f"r{i + 1}", rotated))
+    total = sum(range(n)) % width
+    final = key_fields[total:] + key_fields[:total]
+    phi = ForeignKey("r0", key_fields, f"r{n}", final)
+    return sigma, phi
+
+
+# ---------------------------------------------------------------------------
+# L_id and path-constraint scaling workloads
+# ---------------------------------------------------------------------------
+
+
+def scaled_lid_chain(n: int):
+    """An ``L_id`` Σ of size Θ(n): n types with ID constraints, IDREF
+    links ``t_i.r ⊆ t_{i+1}.id`` and one inverse per adjacent pair.
+    Returns ``(Σ, φ)`` with φ a derivable set-valued foreign key
+    (Prop 3.1's linear-time closure is exercised end to end)."""
+    from repro.constraints.lang_lid import (
+        IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+    )
+
+    sigma = []
+    for i in range(n + 1):
+        sigma.append(IDConstraint(f"t{i}"))
+    for i in range(n):
+        sigma.append(IDForeignKey(f"t{i}", Field("r"), f"t{i + 1}"))
+        sigma.append(IDInverse(f"t{i}", Field("fwd"),
+                               f"t{i + 1}", Field("back")))
+    phi = IDSetValuedForeignKey(f"t{n - 1}", Field("fwd"), f"t{n}")
+    return sigma, phi
+
+
+def deep_chain_dtdc(n: int):
+    """A DTD^C with an n-deep chain of *unique* sub-elements
+    ``e0 > e1 > ... > en``, each carrying a key attribute — the §4
+    key-path workload.  Returns ``(DTD^C, path_text)`` where the path
+    navigates the full chain (a key path of e0)."""
+    from repro.constraints.lang_lu import UnaryKey
+    from repro.dtd.dtdc import DTDC
+    from repro.dtd.structure import DTDStructure
+
+    s = DTDStructure("e0")
+    constraints = []
+    for i in range(n + 1):
+        content = f"(e{i + 1})" if i < n else "(#PCDATA)*"
+        s.define_element(f"e{i}", content)
+        s.define_attribute(f"e{i}", "k")
+        constraints.append(UnaryKey(f"e{i}", Field("k")))
+    path_text = ".".join(f"e{i}" for i in range(1, n + 1)) + ".k"
+    return DTDC(s, constraints), path_text

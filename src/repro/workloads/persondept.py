@@ -1,0 +1,62 @@
+"""The person/dept object-database example (§1, §2.4 ``D_o``)."""
+
+from __future__ import annotations
+
+from repro.datamodel.tree import DataTree
+from repro.dtd.dtdc import DTDC
+from repro.oodb.export import export_store
+from repro.oodb.instance import ObjectStore
+from repro.oodb.odl import OdlClass, OdlRelationship, OdlSchema
+
+
+def person_dept_schema() -> OdlSchema:
+    """The ODL schema of §1: Person (key name) with ``in_dept`` inverse
+    to Dept.has_staff; Dept (key dname) with a ``manager``."""
+    return OdlSchema([
+        OdlClass(
+            name="person",
+            attributes=("name", "address"),
+            keys=(frozenset(("name",)),),
+            relationships=(
+                OdlRelationship("in_dept", "dept", many=True,
+                                inverse="has_staff"),
+            ),
+        ),
+        OdlClass(
+            name="dept",
+            attributes=("dname",),
+            keys=(frozenset(("dname",)),),
+            relationships=(
+                OdlRelationship("manager", "person"),
+                OdlRelationship("has_staff", "person", many=True,
+                                inverse="in_dept"),
+            ),
+        ),
+    ])
+
+
+def person_dept_store(n_depts: int = 2,
+                      people_per_dept: int = 3) -> ObjectStore:
+    """A consistent populated store (parameterized for benchmarks)."""
+    store = ObjectStore(person_dept_schema())
+    for d in range(n_depts):
+        store.create("dept", f"d{d}", {"dname": f"Department {d}"})
+    for d in range(n_depts):
+        for p in range(people_per_dept):
+            oid = f"p{d}_{p}"
+            store.create("person", oid, {
+                "name": f"Person {d}-{p}",
+                "address": f"{p} Example Street, City {d}",
+            })
+            store.link_inverse(oid, "in_dept", f"d{d}")
+    # Managers: the first person of each department.
+    for d in range(n_depts):
+        dept = store.get(f"d{d}")
+        dept.references["manager"] = (f"p{d}_0",)
+    return store
+
+
+def person_dept_export(n_depts: int = 2, people_per_dept: int = 3
+                       ) -> tuple[DTDC, DataTree]:
+    """The ``D_o`` export of §2.4 plus a conforming document."""
+    return export_store(person_dept_store(n_depts, people_per_dept))

@@ -1,0 +1,51 @@
+"""The publisher/editor relational example (§1, §2.4, language ``L``).
+
+``(pname, country)`` is a key of ``publisher``, ``name`` is a key of
+``editor``, and ``(pname, country)`` in ``editor`` is a foreign key
+referencing ``publisher`` — the paper's motivation for multi-attribute
+constraints over sub-elements.
+"""
+
+from __future__ import annotations
+
+from repro.relational.keys import RelationalForeignKey, RelationalKey
+from repro.relational.schema import Database, Instance, RelationSchema
+
+
+def publisher_database() -> Database:
+    """The publisher/editor database schema of §1."""
+    return Database([
+        RelationSchema("publisher", ("pname", "country", "address")),
+        RelationSchema("editor", ("name", "pname", "country")),
+    ])
+
+
+def publisher_constraints() -> list:
+    """Σ: the two keys and the composite foreign key."""
+    return [
+        RelationalKey("publisher", frozenset(("pname", "country"))),
+        RelationalKey("editor", frozenset(("name",))),
+        RelationalForeignKey("editor", ("pname", "country"),
+                             "publisher", ("pname", "country")),
+    ]
+
+
+def publisher_instance(n_publishers: int = 3,
+                       editors_per_publisher: int = 2) -> Instance:
+    """A consistent instance (parameterized for benchmarks)."""
+    instance = Instance(publisher_database())
+    countries = ("US", "UK", "FR", "DE", "JP")
+    for i in range(n_publishers):
+        country = countries[i % len(countries)]
+        instance.add_row("publisher", {
+            "pname": f"Publisher {i}",
+            "country": country,
+            "address": f"{i} Print House Road",
+        })
+        for j in range(editors_per_publisher):
+            instance.add_row("editor", {
+                "name": f"Editor {i}-{j}",
+                "pname": f"Publisher {i}",
+                "country": country,
+            })
+    return instance

@@ -1,0 +1,70 @@
+"""The student/teacher/course example of §4.2 (Prop 4.3), as a workload.
+
+Two basic ``L_id`` inverse constraints::
+
+    student.taking   ⇌ course.taken_by
+    teacher.teaching ⇌ course.taught_by
+
+imply the composed path inverse
+``student.taking.taught_by ⇌ teacher.teaching.taken_by``.
+:func:`school_document` generates inverse-consistent documents of any
+size (seeded), used by the §4 property tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.parser import parse_constraints
+from repro.datamodel.builder import TreeBuilder
+from repro.datamodel.tree import DataTree
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+
+
+def school_dtdc() -> DTDC:
+    """The school ``DTD^C`` with its two basic inverse constraints."""
+    s = DTDStructure("school")
+    s.define_element("school", "(student*, teacher*, course*)")
+    for t in ("student", "teacher", "course"):
+        s.define_element(t, "EMPTY")
+        s.define_attribute(t, "oid", kind="ID")
+    s.define_attribute("student", "taking", set_valued=True, kind="IDREF")
+    s.define_attribute("teacher", "teaching", set_valued=True,
+                       kind="IDREF")
+    s.define_attribute("course", "taken_by", set_valued=True,
+                       kind="IDREF")
+    s.define_attribute("course", "taught_by", set_valued=True,
+                       kind="IDREF")
+    return DTDC(s, parse_constraints("""
+        student.oid ->id student
+        teacher.oid ->id teacher
+        course.oid ->id course
+        student.taking inv course.taken_by
+        teacher.teaching inv course.taught_by
+    """, s))
+
+
+def school_document(n_students: int = 3, n_teachers: int = 2,
+                    n_courses: int = 3, density: float = 0.4,
+                    seed: "int | random.Random" = 0) -> DataTree:
+    """A random *valid* school document: enrollment and teaching
+    relations are generated as sets of pairs and written symmetrically,
+    so every inverse constraint holds by construction."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    taking = {(s, c) for s in range(n_students)
+              for c in range(n_courses) if rng.random() < density}
+    teaching = {(t, c) for t in range(n_teachers)
+                for c in range(n_courses) if rng.random() < density}
+    b = TreeBuilder("school")
+    for s in range(n_students):
+        b.leaf("student", oid=f"s{s}",
+               taking=[f"c{c}" for (ss, c) in taking if ss == s])
+    for t in range(n_teachers):
+        b.leaf("teacher", oid=f"t{t}",
+               teaching=[f"c{c}" for (tt, c) in teaching if tt == t])
+    for c in range(n_courses):
+        b.leaf("course", oid=f"c{c}",
+               taken_by=[f"s{s}" for (s, cc) in taking if cc == c],
+               taught_by=[f"t{t}" for (t, cc) in teaching if cc == c])
+    return b.tree

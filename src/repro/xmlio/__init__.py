@@ -1,0 +1,19 @@
+"""XML and DTD text processing, implemented from scratch.
+
+- :func:`parse_document` — XML text to a
+  :class:`~repro.datamodel.tree.DataTree` (with optional DTD-driven
+  splitting of set-valued attributes);
+- :func:`serialize` — data tree back to XML text;
+- :func:`parse_dtd` — DTD declarations to a
+  :class:`~repro.dtd.structure.DTDStructure`;
+- :func:`parse_dtdc` — the ``.dtdc`` format (DTD declarations plus
+  constraint lines) to a :class:`~repro.dtd.dtdc.DTDC`;
+- :func:`serialize_dtdc` — the reverse.
+"""
+
+from repro.xmlio.parser import parse_document, parse_document_with_dtd
+from repro.xmlio.serializer import serialize
+from repro.xmlio.dtdparse import parse_dtd, parse_dtdc, serialize_dtdc
+
+__all__ = ["parse_document", "parse_document_with_dtd", "serialize",
+           "parse_dtd", "parse_dtdc", "serialize_dtdc"]

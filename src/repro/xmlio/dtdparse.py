@@ -1,0 +1,157 @@
+"""Parsing DTD declarations and the ``.dtdc`` container format.
+
+:func:`parse_dtd` reads ``<!ELEMENT ...>`` and ``<!ATTLIST ...>``
+declarations and builds a :class:`~repro.dtd.structure.DTDStructure`.
+Attribute type mapping:
+
+===========  ======================================
+DTD type     structure
+===========  ======================================
+``ID``       single-valued, kind ID
+``IDREF``    single-valued, kind IDREF
+``IDREFS``   set-valued, kind IDREF
+``NMTOKENS`` set-valued, no kind
+``ENTITIES`` set-valued, no kind
+(others)     single-valued, no kind
+===========  ======================================
+
+Default specifications (``#REQUIRED``/``#IMPLIED``/``#FIXED``/literals)
+are accepted and ignored: Definition 2.2 has no attribute optionality —
+Definition 2.4 requires every declared attribute to be present.
+
+:func:`parse_dtdc` additionally collects *constraint lines*.  A ``.dtdc``
+file is a DTD where constraints appear either in comments of the form
+``<!-- constraints: ... -->`` (one constraint per line) or after a line
+containing only ``%% constraints``.  Example::
+
+    <!ELEMENT book (entry, author*, section*, ref)>
+    <!ELEMENT entry (title, publisher)>
+    <!ATTLIST entry isbn CDATA #REQUIRED>
+    ...
+    %% constraints
+    entry.isbn -> entry
+    section.sid -> section
+    ref.to subS entry.isbn
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.constraints.parser import parse_constraints
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import AttributeKind, DTDStructure
+from repro.errors import DTDSyntaxError
+
+_ELEMENT_RE = re.compile(
+    r"<!ELEMENT\s+([\w:.\-]+)\s+(.*?)>", re.DOTALL)
+_ATTLIST_RE = re.compile(
+    r"<!ATTLIST\s+([\w:.\-]+)\s+(.*?)>", re.DOTALL)
+_COMMENT_RE = re.compile(r"<!--(.*?)-->", re.DOTALL)
+_ATTDEF_RE = re.compile(
+    r"\s*([\w:.\-]+)\s+"                      # attribute name
+    r"(CDATA|IDREFS|IDREF|ID|NMTOKENS|NMTOKEN|ENTITIES|ENTITY|NOTATION"
+    r"|\([^)]*\))\s*"                         # type or enumeration (longest first)
+    r"(#REQUIRED|#IMPLIED|#FIXED\s+(?:\"[^\"]*\"|'[^']*')"
+    r"|\"[^\"]*\"|'[^']*')?", re.DOTALL)
+
+_SET_VALUED_TYPES = {"IDREFS", "NMTOKENS", "ENTITIES"}
+_KIND_BY_TYPE = {"ID": AttributeKind.ID, "IDREF": AttributeKind.IDREF,
+                 "IDREFS": AttributeKind.IDREF}
+
+
+def parse_dtd(text: str, root: str | None = None) -> DTDStructure:
+    """Parse DTD declarations into a structure.
+
+    ``root`` defaults to the first declared element type (the usual
+    convention when the DOCTYPE name is unavailable).
+    """
+    body = _COMMENT_RE.sub("", text)
+    elements = _ELEMENT_RE.findall(body)
+    if not elements:
+        raise DTDSyntaxError("no <!ELEMENT> declarations found")
+    structure = DTDStructure(root or elements[0][0])
+    for name, model in elements:
+        model = " ".join(model.split())
+        if model in ("(#PCDATA)", "( #PCDATA )"):
+            # Pure text content allows any number of character chunks.
+            model = "(#PCDATA)*"
+        if model == "ANY":
+            raise DTDSyntaxError(
+                f"element {name!r}: ANY content is outside the paper's "
+                "grammar (Definition 2.2)")
+        structure.define_element(name, model)
+    for name, attdefs in _ATTLIST_RE.findall(body):
+        if not structure.has_element(name):
+            # Permissive like real parsers: declare with EMPTY content.
+            structure.define_element(name, "EMPTY")
+        pos = 0
+        while pos < len(attdefs):
+            m = _ATTDEF_RE.match(attdefs, pos)
+            if m is None or not m.group(0).strip():
+                if attdefs[pos:].strip():
+                    raise DTDSyntaxError(
+                        f"malformed attribute definition for {name!r}: "
+                        f"{attdefs[pos:].strip()!r}")
+                break
+            attr, typ, _default = m.group(1), m.group(2), m.group(3)
+            structure.define_attribute(
+                name, attr,
+                set_valued=typ in _SET_VALUED_TYPES,
+                kind=_KIND_BY_TYPE.get(typ))
+            pos = m.end()
+    structure.check()
+    return structure
+
+
+_SECTION_RE = re.compile(r"^\s*%%\s*constraints\s*$", re.MULTILINE)
+
+
+def parse_dtdc(text: str, root: str | None = None) -> DTDC:
+    """Parse the ``.dtdc`` format: DTD declarations + constraint lines."""
+    constraint_lines: list[str] = []
+    section = _SECTION_RE.split(text)
+    dtd_text = section[0]
+    if len(section) > 1:
+        constraint_lines.extend(section[1].splitlines())
+    for comment in _COMMENT_RE.findall(dtd_text):
+        stripped = comment.strip()
+        if stripped.lower().startswith("constraints:"):
+            constraint_lines.extend(
+                stripped.split(":", 1)[1].splitlines())
+    structure = parse_dtd(dtd_text, root=root)
+    constraints = parse_constraints("\n".join(constraint_lines), structure)
+    return DTDC(structure, constraints)
+
+
+def serialize_dtdc(dtd: DTDC) -> str:
+    """Render a ``DTD^C`` in the ``.dtdc`` format (round-trips through
+    :func:`parse_dtdc` up to attribute-kind spellings)."""
+    s = dtd.structure
+    lines: list[str] = []
+    ordered = [s.root] + sorted(s.element_types - {s.root})
+    for tau in ordered:
+        content = s.content(tau).to_string()
+        if content == "()":
+            content = "EMPTY"
+        elif not content.startswith("("):
+            content = f"({content})"
+        lines.append(f"<!ELEMENT {tau} {content}>")
+        attrs = sorted(s.attributes(tau))
+        if attrs:
+            defs = []
+            for attr in attrs:
+                kind = s.kind(tau, attr)
+                if kind is AttributeKind.ID:
+                    typ = "ID"
+                elif kind is AttributeKind.IDREF:
+                    typ = "IDREFS" if s.is_set_valued(tau, attr) else "IDREF"
+                else:
+                    typ = "NMTOKENS" if s.is_set_valued(tau, attr) else "CDATA"
+                defs.append(f"  {attr} {typ} #REQUIRED")
+            lines.append(f"<!ATTLIST {tau}\n" + "\n".join(defs) + ">")
+    if dtd.constraints:
+        lines.append("")
+        lines.append("%% constraints")
+        lines.extend(str(c) for c in dtd.constraints)
+    return "\n".join(lines) + "\n"

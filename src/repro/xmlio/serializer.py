@@ -1,0 +1,58 @@
+"""Serialization of data trees back to XML text.
+
+Set-valued attributes are emitted as whitespace-joined token lists
+(IDREFS style, values sorted for determinism); elements without children
+use the empty-element form.  ``indent`` pretty-prints element-only
+content; elements with text children are emitted inline to keep the
+round-trip text-exact.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.tree import DataTree, Vertex
+from repro.xmlio.escape import escape_attribute, escape_text
+
+
+def serialize(tree: DataTree, indent: int | None = 2,
+              xml_declaration: bool = False) -> str:
+    """Render a data tree as XML text."""
+    parts: list[str] = []
+    if xml_declaration:
+        parts.append('<?xml version="1.0"?>\n')
+    _emit(tree.root, parts, 0, indent)
+    parts.append("\n")
+    return "".join(parts)
+
+
+def _attributes(vertex: Vertex) -> str:
+    chunks: list[str] = []
+    for name in sorted(vertex.attributes):
+        values = sorted(vertex.attr(name))
+        chunks.append(f' {name}="{escape_attribute(" ".join(values))}"')
+    return "".join(chunks)
+
+
+def _emit(vertex: Vertex, parts: list[str], depth: int,
+          indent: int | None) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    open_tag = f"{pad}<{vertex.label}{_attributes(vertex)}"
+    children = vertex.children
+    if not children:
+        parts.append(open_tag + "/>")
+        return
+    has_text = any(isinstance(c, str) for c in children)
+    if has_text or indent is None:
+        # Inline form: text content must not gain whitespace.
+        parts.append(open_tag + ">")
+        for child in children:
+            if isinstance(child, str):
+                parts.append(escape_text(child))
+            else:
+                _emit(child, parts, 0, None)
+        parts.append(f"</{vertex.label}>")
+        return
+    parts.append(open_tag + ">")
+    for child in children:
+        parts.append("\n")
+        _emit(child, parts, depth + 1, indent)
+    parts.append(f"\n{pad}</{vertex.label}>")

@@ -1,0 +1,273 @@
+"""Unit tests for constraint satisfaction checking (G |= Sigma)."""
+
+from repro.constraints import (
+    ForeignKey, IDConstraint, IDForeignKey, IDInverse,
+    IDSetValuedForeignKey, Inverse, Key, SetValuedForeignKey,
+    UnaryForeignKey, UnaryKey, attr, check, check_constraint, check_naive,
+    elem,
+)
+from repro.datamodel import TreeBuilder
+from repro.dtd import DTDStructure
+
+
+def people_tree(rows, depts=()):
+    """rows: (oid, name, in_dept set); depts: (oid, dname, staff set)."""
+    b = TreeBuilder("db")
+    for oid, name, in_dept in rows:
+        b.leaf("person", oid=oid, name=name, in_dept=in_dept)
+    for oid, dname, staff in depts:
+        b.leaf("dept", oid=oid, dname=dname, has_staff=staff)
+    return b.tree
+
+
+def id_structure() -> DTDStructure:
+    s = DTDStructure("db")
+    s.define_element("db", "(person*, dept*)")
+    s.define_element("person", "EMPTY")
+    s.define_element("dept", "EMPTY")
+    s.define_attribute("person", "oid", kind="ID")
+    s.define_attribute("person", "name")
+    s.define_attribute("person", "in_dept", set_valued=True, kind="IDREF")
+    s.define_attribute("dept", "oid", kind="ID")
+    s.define_attribute("dept", "dname")
+    s.define_attribute("dept", "has_staff", set_valued=True, kind="IDREF")
+    return s
+
+
+class TestKeys:
+    def test_unary_key_holds(self):
+        tree = people_tree([("p1", "a", ()), ("p2", "b", ())])
+        assert check_constraint(tree, UnaryKey("person", attr("name")))
+
+    def test_unary_key_violated(self):
+        tree = people_tree([("p1", "a", ()), ("p2", "a", ())])
+        report = check(tree, [UnaryKey("person", attr("name"))])
+        assert not report.ok
+        assert report.violations[0].code == "key"
+        assert len(report.violations[0].vertices) == 2
+
+    def test_multi_attribute_key(self):
+        b = TreeBuilder("db")
+        b.leaf("pub", pname="x", country="US")
+        b.leaf("pub", pname="x", country="UK")
+        key = Key("pub", (attr("pname"), attr("country")))
+        assert check_constraint(b.tree, key)
+        b.leaf("pub", pname="x", country="US")
+        assert not check_constraint(b.tree, key)
+
+    def test_subelement_key(self):
+        b = TreeBuilder("db")
+        with b.element("person"):
+            b.leaf("name", "ann")
+        with b.element("person"):
+            b.leaf("name", "ann")
+        assert not check_constraint(b.tree,
+                                    UnaryKey("person", elem("name")))
+
+    def test_key_skips_incomplete_vertices(self):
+        tree = people_tree([("p1", "a", ())])
+        extra = tree.create("person")  # no attributes at all
+        tree.root.append(extra)
+        assert check_constraint(tree, UnaryKey("person", attr("name")))
+
+
+class TestForeignKeys:
+    def test_unary_fk(self):
+        b = TreeBuilder("db")
+        b.leaf("e", isbn="1")
+        b.leaf("r", to="1")
+        assert check_constraint(
+            b.tree, UnaryForeignKey("r", attr("to"), "e", attr("isbn")))
+        b.leaf("r", to="2")
+        assert not check_constraint(
+            b.tree, UnaryForeignKey("r", attr("to"), "e", attr("isbn")))
+
+    def test_set_valued_fk(self):
+        b = TreeBuilder("db")
+        b.leaf("e", isbn="1")
+        b.leaf("e", isbn="2")
+        b.leaf("r", to=["1", "2"])
+        sfk = SetValuedForeignKey("r", attr("to"), "e", attr("isbn"))
+        assert check_constraint(b.tree, sfk)
+        b.leaf("r", to=["1", "3"])
+        report = check(b.tree, [sfk])
+        assert [v.code for v in report] == ["set-foreign-key"]
+
+    def test_empty_set_satisfies_sfk(self):
+        b = TreeBuilder("db")
+        b.leaf("r", to=[])
+        assert check_constraint(
+            b.tree, SetValuedForeignKey("r", attr("to"), "e", attr("k")))
+
+    def test_multi_attribute_fk(self):
+        b = TreeBuilder("db")
+        b.leaf("pub", pname="x", country="US")
+        b.leaf("ed", pname="x", country="US")
+        fk = ForeignKey("ed", ("pname", "country"),
+                        "pub", ("pname", "country"))
+        assert check_constraint(b.tree, fk)
+        b.leaf("ed", pname="x", country="FR")
+        assert not check_constraint(b.tree, fk)
+
+    def test_fk_order_matters(self):
+        b = TreeBuilder("db")
+        b.leaf("pub", a="1", b="2")
+        b.leaf("ed", x="2", y="1")
+        assert check_constraint(
+            b.tree, ForeignKey("ed", ("x", "y"), "pub", ("b", "a")))
+        assert not check_constraint(
+            b.tree, ForeignKey("ed", ("x", "y"), "pub", ("a", "b")))
+
+    def test_fk_missing_field_is_violation(self):
+        b = TreeBuilder("db")
+        b.leaf("ed")
+        assert not check_constraint(
+            b.tree, UnaryForeignKey("ed", attr("x"), "pub", attr("a")))
+
+
+class TestInverse:
+    def inverse(self):
+        return Inverse("dept", attr("dname"), attr("has_staff"),
+                       "person", attr("name"), attr("in_dept"))
+
+    def test_symmetric_pair_holds(self):
+        tree = people_tree([("p1", "ann", ["sales"])],
+                           [("d1", "sales", ["ann"])])
+        assert check_constraint(tree, self.inverse())
+
+    def test_forward_missing_backlink(self):
+        tree = people_tree([("p1", "ann", [])],
+                           [("d1", "sales", ["ann"])])
+        assert not check_constraint(tree, self.inverse())
+
+    def test_backward_missing_backlink(self):
+        tree = people_tree([("p1", "ann", ["sales"])],
+                           [("d1", "sales", [])])
+        assert not check_constraint(tree, self.inverse())
+
+    def test_unrelated_elements_ignored(self):
+        tree = people_tree([("p1", "ann", []), ("p2", "bob", [])],
+                           [("d1", "sales", [])])
+        assert check_constraint(tree, self.inverse())
+
+
+class TestLid:
+    def test_id_constraint(self):
+        s = id_structure()
+        tree = people_tree([("p1", "a", ())], [("d1", "x", ())])
+        assert check_constraint(tree, IDConstraint("person"), s)
+
+    def test_id_clash_across_types(self):
+        s = id_structure()
+        tree = people_tree([("p1", "a", ())], [("p1", "x", ())])
+        report = check(tree, [IDConstraint("person")], s)
+        assert any(v.code == "id-clash" for v in report)
+
+    def test_id_requires_structure(self):
+        tree = people_tree([("p1", "a", ())])
+        report = check(tree, [IDConstraint("person")])
+        assert not report.ok  # no declared ID attribute known
+
+    def test_id_fk(self):
+        s = id_structure()
+        b = TreeBuilder("db")
+        b.leaf("person", oid="p1", name="a", in_dept=["d1"])
+        b.leaf("dept", oid="d1", dname="x", has_staff=["p1"])
+        tree = b.tree
+        assert check_constraint(
+            tree, IDSetValuedForeignKey("person", attr("in_dept"),
+                                        "dept"), s)
+        assert not check_constraint(
+            tree, IDSetValuedForeignKey("dept", attr("has_staff"),
+                                        "dept"), s)
+
+    def test_id_single_fk(self):
+        s = id_structure()
+        s.define_attribute("dept", "manager", kind="IDREF")
+        b = TreeBuilder("db")
+        b.leaf("person", oid="p1", name="a", in_dept=[])
+        b.leaf("dept", oid="d1", dname="x", has_staff=[], manager="p1")
+        assert check_constraint(
+            b.tree, IDForeignKey("dept", attr("manager"), "person"), s)
+        b2 = TreeBuilder("db")
+        b2.leaf("dept", oid="d1", dname="x", has_staff=[], manager="p9")
+        assert not check_constraint(
+            b2.tree, IDForeignKey("dept", attr("manager"), "person"), s)
+
+    def test_id_inverse(self):
+        s = id_structure()
+        inv = IDInverse("dept", attr("has_staff"),
+                        "person", attr("in_dept"))
+        good = people_tree([("p1", "a", ["d1"])], [("d1", "x", ["p1"])])
+        assert check_constraint(good, inv, s)
+        bad = people_tree([("p1", "a", [])], [("d1", "x", ["p1"])])
+        assert not check_constraint(bad, inv, s)
+
+
+class TestNaiveAgreement:
+    def test_naive_agrees_on_examples(self):
+        s = id_structure()
+        trees = [
+            people_tree([("p1", "a", ["d1"])], [("d1", "x", ["p1"])]),
+            people_tree([("p1", "a", ()), ("p2", "a", ())]),
+            people_tree([("p1", "a", ["zz"])], [("d1", "x", [])]),
+        ]
+        constraints = [
+            UnaryKey("person", attr("name")),
+            IDConstraint("person"),
+            IDSetValuedForeignKey("person", attr("in_dept"), "dept"),
+            IDInverse("dept", attr("has_staff"), "person",
+                      attr("in_dept")),
+        ]
+        for tree in trees:
+            for c in constraints:
+                fast = check(tree, [c], s).ok
+                naive = check_naive(tree, [c], s).ok
+                assert fast == naive, f"{c} disagrees"
+
+
+class TestSubelementFields:
+    """The §3.4 extension: keys AND foreign keys over unique
+    sub-elements, on the data side."""
+
+    def build(self):
+        b = TreeBuilder("db")
+        with b.element("person"):
+            b.leaf("name", "ann")
+        with b.element("person"):
+            b.leaf("name", "bob")
+        with b.element("badge"):
+            b.leaf("owner", "ann")
+        return b.tree
+
+    def test_subelement_foreign_key_holds(self):
+        from repro.constraints import elem
+        tree = self.build()
+        fk = UnaryForeignKey("badge", elem("owner"),
+                             "person", elem("name"))
+        assert check_constraint(tree, fk)
+
+    def test_subelement_foreign_key_violated(self):
+        from repro.constraints import elem
+        tree = self.build()
+        extra = tree.create("badge")
+        owner = tree.create("owner")
+        owner.append("zoe")
+        extra.append(owner)
+        tree.root.append(extra)
+        fk = UnaryForeignKey("badge", elem("owner"),
+                             "person", elem("name"))
+        assert not check_constraint(tree, fk)
+
+    def test_mixed_attribute_and_subelement_key(self):
+        from repro.constraints import Key, elem
+        b = TreeBuilder("db")
+        with b.element("pub", country="US"):
+            b.leaf("pname", "X")
+        with b.element("pub", country="UK"):
+            b.leaf("pname", "X")
+        key = Key("pub", (attr("country"), elem("pname")))
+        assert check_constraint(b.tree, key)
+        with b.element("pub", country="US"):
+            b.leaf("pname", "X")
+        assert not check_constraint(b.tree, key)

@@ -1,0 +1,141 @@
+"""Unit tests for the constraint classes of L, L_u and L_id."""
+
+import pytest
+
+from repro.constraints import (
+    Field, ForeignKey, IDConstraint, IDForeignKey, IDInverse,
+    IDSetValuedForeignKey, Inverse, Key, Language, SetValuedForeignKey,
+    UnaryForeignKey, UnaryKey, attr, elem,
+)
+
+
+class TestField:
+    def test_str_forms(self):
+        assert str(attr("isbn")) == "isbn"
+        assert str(elem("name")) == "<name>"
+
+    def test_values_on_vertex(self):
+        from repro.datamodel import TreeBuilder
+        b = TreeBuilder("p")
+        b.leaf("name", "ann")
+        b.tree.root.set_attribute("oid", "p1")
+        assert attr("oid").values_on(b.tree.root) == frozenset({"p1"})
+        assert elem("name").values_on(b.tree.root) == frozenset({"ann"})
+        assert attr("zzz").values_on(b.tree.root) == frozenset()
+        assert elem("name").single_on(b.tree.root) == "ann"
+        assert attr("zzz").single_on(b.tree.root) is None
+
+    def test_string_coercion_in_constraints(self):
+        k = UnaryKey("p", "name")
+        assert k.field == attr("name")
+        k2 = UnaryKey("p", "<name>")
+        assert k2.field == elem("name")
+
+
+class TestKey:
+    def test_field_set_order_insensitive(self):
+        k1 = Key("r", (attr("a"), attr("b")))
+        k2 = Key("r", (attr("b"), attr("a")))
+        assert k1.field_set == k2.field_set
+        assert str(k1) == str(k2)
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Key("r", (attr("a"), attr("a")))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Key("r", ())
+
+    def test_unary_detection(self):
+        assert Key("r", (attr("a"),)).is_unary()
+        assert not Key("r", (attr("a"), attr("b"))).is_unary()
+
+    def test_language_tags(self):
+        assert Key("r", (attr("a"), attr("b"))).in_language(Language.L)
+        assert not Key("r", (attr("a"), attr("b"))).in_language(Language.LU)
+        assert UnaryKey("r", "a").in_language(Language.LU)
+        assert UnaryKey("r", "a").in_language(Language.LID)
+        assert UnaryKey("r", "a").in_language(Language.L)
+
+
+class TestForeignKey:
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            ForeignKey("a", ("x", "y"), "b", ("z",))
+
+    def test_implied_target_key(self):
+        fk = ForeignKey("a", ("x", "y"), "b", ("u", "v"))
+        assert fk.implied_target_key() == Key("b", ("u", "v"))
+
+    def test_permuted(self):
+        fk = ForeignKey("a", ("x", "y"), "b", ("u", "v"))
+        p = fk.permuted((1, 0))
+        assert p.fields == (attr("y"), attr("x"))
+        assert p.target_fields == (attr("v"), attr("u"))
+        with pytest.raises(ValueError):
+            fk.permuted((0, 0))
+
+    def test_canonical_identifies_permutations(self):
+        fk = ForeignKey("a", ("y", "x"), "b", ("v", "u"))
+        other = ForeignKey("a", ("x", "y"), "b", ("u", "v"))
+        assert fk.canonical() == other.canonical()
+        different = ForeignKey("a", ("x", "y"), "b", ("v", "u"))
+        assert different.canonical() != fk.canonical()
+
+    def test_alignment(self):
+        fk = ForeignKey("a", ("x", "y"), "b", ("u", "v"))
+        assert fk.alignment() == {attr("x"): attr("u"),
+                                  attr("y"): attr("v")}
+
+
+class TestLuForms:
+    def test_unary_fk_target_key(self):
+        fk = UnaryForeignKey("a", "x", "b", "k")
+        assert fk.implied_target_key() == UnaryKey("b", "k")
+
+    def test_sfk_str(self):
+        assert str(SetValuedForeignKey("ref", "to", "entry", "isbn")) == \
+            "ref.to subS entry.isbn"
+
+    def test_inverse_flip_is_symmetric(self):
+        inv = Inverse("dept", "dname", "has_staff",
+                      "person", "name", "in_dept")
+        assert inv.flipped().flipped() == inv
+
+    def test_inverse_implied_fks(self):
+        inv = Inverse("dept", "dname", "has_staff",
+                      "person", "name", "in_dept")
+        fk1, fk2 = inv.implied_foreign_keys()
+        assert str(fk1) == "dept.has_staff subS person.name"
+        assert str(fk2) == "person.in_dept subS dept.dname"
+
+    def test_inverse_required_keys(self):
+        inv = Inverse("dept", "dname", "has_staff",
+                      "person", "name", "in_dept")
+        assert inv.required_keys() == (UnaryKey("dept", "dname"),
+                                       UnaryKey("person", "name"))
+
+
+class TestLidForms:
+    def test_id_constraint_str(self):
+        assert str(IDConstraint("person")) == "person.id ->id person"
+
+    def test_fk_implied_id(self):
+        assert IDForeignKey("dept", "manager", "person").implied_id() == \
+            IDConstraint("person")
+        assert IDSetValuedForeignKey("dept", "staff",
+                                     "person").implied_id() == \
+            IDConstraint("person")
+
+    def test_id_inverse_flip_and_fks(self):
+        inv = IDInverse("dept", "has_staff", "person", "in_dept")
+        assert inv.flipped().flipped() == inv
+        fk1, fk2 = inv.implied_foreign_keys()
+        assert str(fk1) == "dept.has_staff subS person.id"
+        assert str(fk2) == "person.in_dept subS dept.id"
+
+    def test_languages(self):
+        assert IDConstraint("p").languages is Language.LID
+        assert Inverse("a", "k", "v", "b", "k2",
+                       "v2").languages is Language.LU

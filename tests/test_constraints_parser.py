@@ -1,0 +1,134 @@
+"""Unit tests for the textual constraint syntax."""
+
+import pytest
+
+from repro.constraints import (
+    ForeignKey, IDConstraint, IDForeignKey, IDInverse,
+    IDSetValuedForeignKey, Inverse, Key, SetValuedForeignKey,
+    UnaryForeignKey, UnaryKey, attr, elem, parse_constraint,
+    parse_constraints,
+)
+from repro.errors import ConstraintSyntaxError
+from repro.workloads import book_dtdc
+
+
+class TestBasicForms:
+    def test_unary_key(self):
+        c = parse_constraint("entry.isbn -> entry")
+        assert c == UnaryKey("entry", attr("isbn"))
+
+    def test_subelement_key(self):
+        c = parse_constraint("person.<name> -> person")
+        assert c == UnaryKey("person", elem("name"))
+
+    def test_multi_key(self):
+        c = parse_constraint("publisher[pname, country] -> publisher")
+        assert c == Key("publisher", (attr("pname"), attr("country")))
+
+    def test_singleton_bracket_key_becomes_unary(self):
+        assert parse_constraint("r[a] -> r") == UnaryKey("r", attr("a"))
+
+    def test_multi_fk(self):
+        c = parse_constraint(
+            "editor[pname, country] sub publisher[pname, country]")
+        assert c == ForeignKey("editor", ("pname", "country"),
+                               "publisher", ("pname", "country"))
+
+    def test_unary_fk(self):
+        c = parse_constraint("a.x sub b.y")
+        assert c == UnaryForeignKey("a", attr("x"), "b", attr("y"))
+        assert parse_constraint("a.x <= b.y") == c
+
+    def test_set_fk(self):
+        c = parse_constraint("ref.to subS entry.isbn")
+        assert c == SetValuedForeignKey("ref", attr("to"),
+                                        "entry", attr("isbn"))
+        assert parse_constraint("ref.to <=s entry.isbn") == c
+
+    def test_lu_inverse(self):
+        c = parse_constraint(
+            "dept(dname).has_staff inv person(name).in_dept")
+        assert c == Inverse("dept", attr("dname"), attr("has_staff"),
+                            "person", attr("name"), attr("in_dept"))
+
+
+class TestLidForms:
+    def test_id_constraint(self):
+        c = parse_constraint("person.oid ->id person")
+        assert c == IDConstraint("person")
+
+    def test_id_fk(self):
+        c = parse_constraint("dept.manager sub person.id")
+        assert c == IDForeignKey("dept", attr("manager"), "person")
+
+    def test_id_set_fk(self):
+        c = parse_constraint("dept.has_staff subS person.id")
+        assert c == IDSetValuedForeignKey("dept", attr("has_staff"),
+                                          "person")
+
+    def test_id_inverse(self):
+        c = parse_constraint("dept.has_staff inv person.in_dept")
+        assert c == IDInverse("dept", attr("has_staff"),
+                              "person", attr("in_dept"))
+        assert parse_constraint("dept.has_staff <-> person.in_dept") == c
+
+
+class TestStructureResolution:
+    def test_subelement_resolved_from_structure(self):
+        dtd = book_dtdc()
+        c = parse_constraint("section.title -> section", dtd.structure)
+        assert c == UnaryKey("section", elem("title"))
+
+    def test_attribute_wins_over_subelement(self):
+        dtd = book_dtdc()
+        c = parse_constraint("entry.isbn -> entry", dtd.structure)
+        assert c == UnaryKey("entry", attr("isbn"))
+
+
+class TestErrorsAndBlocks:
+    def test_mismatched_key_types(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("a.x -> b")
+
+    def test_garbage(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("this is not a constraint")
+
+    def test_empty(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("   ")
+
+    def test_block_with_comments(self):
+        block = """
+        # keys
+        entry.isbn -> entry   # trailing comment
+        section.sid -> section
+
+        ref.to subS entry.isbn
+        """
+        out = parse_constraints(block)
+        assert len(out) == 3
+
+    def test_block_reports_line_number(self):
+        with pytest.raises(ConstraintSyntaxError) as exc:
+            parse_constraints("entry.isbn -> entry\nbroken line here")
+        assert exc.value.line == 2
+
+    def test_roundtrip_via_str(self):
+        """str() of every form parses back to an equal constraint."""
+        samples = [
+            UnaryKey("entry", attr("isbn")),
+            UnaryKey("person", elem("name")),
+            Key("p", (attr("a"), attr("b"))),
+            ForeignKey("e", ("a", "b"), "p", ("c", "d")),
+            UnaryForeignKey("a", attr("x"), "b", attr("y")),
+            SetValuedForeignKey("r", attr("to"), "e", attr("k")),
+            Inverse("d", attr("dk"), attr("dv"), "p", attr("pk"),
+                    attr("pv")),
+            IDConstraint("person"),
+            IDForeignKey("d", attr("m"), "p"),
+            IDSetValuedForeignKey("d", attr("s"), "p"),
+            IDInverse("d", attr("s"), "p", attr("t")),
+        ]
+        for c in samples:
+            assert parse_constraint(str(c)) == c, str(c)

@@ -1,0 +1,144 @@
+"""Unit tests for constraint well-formedness against DTD structures."""
+
+import pytest
+
+from repro.constraints import (
+    ForeignKey, IDConstraint, IDForeignKey, IDInverse,
+    IDSetValuedForeignKey, Inverse, Key, Language, SetValuedForeignKey,
+    UnaryForeignKey, UnaryKey, attr, elem, well_formed,
+)
+from repro.constraints.wellformed import language_of, require_well_formed
+from repro.dtd import DTDStructure
+from repro.errors import ConstraintError
+
+
+def structure() -> DTDStructure:
+    s = DTDStructure("db")
+    s.define_element("db", "(person*, dept*)")
+    s.define_element("person", "(name, address)")
+    s.define_element("dept", "(dname)")
+    s.define_element("name", "(#PCDATA)")
+    s.define_element("address", "(#PCDATA)")
+    s.define_element("dname", "(#PCDATA)")
+    s.define_attribute("person", "oid", kind="ID")
+    s.define_attribute("person", "in_dept", set_valued=True, kind="IDREF")
+    s.define_attribute("person", "ssn")
+    s.define_attribute("dept", "oid", kind="ID")
+    s.define_attribute("dept", "manager", kind="IDREF")
+    s.define_attribute("dept", "has_staff", set_valued=True, kind="IDREF")
+    s.define_attribute("dept", "code")
+    return s
+
+
+def ok(constraints):
+    return well_formed(constraints, structure())
+
+
+class TestFieldChecks:
+    def test_valid_sigma_o(self):
+        sigma = [
+            IDConstraint("person"), IDConstraint("dept"),
+            UnaryKey("person", elem("name")),
+            UnaryKey("dept", elem("dname")),
+            IDSetValuedForeignKey("person", attr("in_dept"), "dept"),
+            IDForeignKey("dept", attr("manager"), "person"),
+            IDSetValuedForeignKey("dept", attr("has_staff"), "person"),
+            IDInverse("dept", attr("has_staff"), "person",
+                      attr("in_dept")),
+        ]
+        assert ok(sigma) == []
+
+    def test_undeclared_element(self):
+        assert ok([UnaryKey("ghost", attr("x"))])
+
+    def test_undeclared_attribute(self):
+        problems = ok([UnaryKey("person", attr("ghost"))])
+        assert any("undeclared attribute" in p for p in problems)
+
+    def test_key_over_set_valued_rejected(self):
+        problems = ok([UnaryKey("person", attr("in_dept"))])
+        assert any("single-valued" in p for p in problems)
+
+    def test_key_over_non_unique_subelement_rejected(self):
+        s = structure()
+        s.define_element("person", "(name*, address)")
+        problems = well_formed([UnaryKey("person", elem("name"))], s)
+        assert any("unique sub-element" in p for p in problems)
+
+    def test_sfk_needs_set_valued_source(self):
+        problems = ok([
+            UnaryKey("dept", attr("code")),
+            SetValuedForeignKey("person", attr("ssn"), "dept",
+                                attr("code"))])
+        assert any("set-valued" in p for p in problems)
+
+
+class TestTargetKeyRequirement:
+    def test_fk_without_stated_key(self):
+        problems = ok([UnaryForeignKey("person", attr("ssn"), "dept",
+                                       attr("code"))])
+        assert any("not a stated key" in p for p in problems)
+
+    def test_fk_with_stated_key(self):
+        assert ok([
+            UnaryKey("dept", attr("code")),
+            UnaryForeignKey("person", attr("ssn"), "dept",
+                            attr("code"))]) == []
+
+    def test_multi_fk_key_check_is_set_based(self):
+        s = DTDStructure("db")
+        s.define_element("db", "(a*, b*)")
+        s.define_element("a", "EMPTY")
+        s.define_element("b", "EMPTY")
+        for el in ("a", "b"):
+            s.define_attribute(el, "x")
+            s.define_attribute(el, "y")
+        sigma = [Key("b", (attr("x"), attr("y"))),
+                 ForeignKey("a", ("y", "x"), "b", ("y", "x"))]
+        assert well_formed(sigma, s) == []
+
+
+class TestLidSideConditions:
+    def test_id_needs_declared_id_attribute(self):
+        s = structure()
+        problems = well_formed([IDConstraint("name")], s)
+        assert problems  # 'name' element has no ID attribute
+
+    def test_fk_needs_idref_kind(self):
+        problems = ok([IDConstraint("dept"),
+                       IDForeignKey("person", attr("ssn"), "dept")])
+        assert any("IDREF" in p for p in problems)
+
+    def test_fk_needs_target_id_constraint(self):
+        problems = ok([IDForeignKey("dept", attr("manager"), "person")])
+        assert any("no stated ID constraint" in p for p in problems)
+
+    def test_inverse_needs_everything(self):
+        problems = ok([IDInverse("dept", attr("has_staff"), "person",
+                                 attr("in_dept"))])
+        assert len(problems) == 2  # two missing ID constraints
+
+    def test_require_raises(self):
+        with pytest.raises(ConstraintError):
+            require_well_formed([UnaryKey("person", attr("ghost"))],
+                                structure())
+
+
+class TestLanguageOf:
+    def test_pure_languages(self):
+        assert language_of([UnaryKey("a", attr("x"))]) == \
+            Language.L | Language.LU | Language.LID
+        assert language_of([Key("a", (attr("x"), attr("y")))]) == \
+            Language.L
+        assert language_of([IDConstraint("a")]) == Language.LID
+
+    def test_mixture_narrows(self):
+        lang = language_of([UnaryKey("a", attr("x")),
+                            SetValuedForeignKey("a", attr("s"), "b",
+                                                attr("k"))])
+        assert lang == Language.LU
+
+    def test_impossible_mixture_raises(self):
+        with pytest.raises(ConstraintError):
+            language_of([IDConstraint("a"),
+                         Key("b", (attr("x"), attr("y")))])

@@ -1,0 +1,67 @@
+"""Unit tests for the fluent tree builder."""
+
+import pytest
+
+from repro.datamodel import TreeBuilder
+
+
+def test_nested_structure():
+    b = TreeBuilder("book")
+    with b.element("entry", isbn="1"):
+        b.leaf("title", "T")
+        b.leaf("publisher", "P")
+    b.leaf("author", "A")
+    tree = b.tree
+    assert tree.root.label == "book"
+    entry = tree.root.first_child_labeled("entry")
+    assert entry.single("isbn") == "1"
+    assert [c.label for c in entry.child_vertices] == ["title", "publisher"]
+    assert entry.first_child_labeled("title").text == "T"
+
+
+def test_root_attributes():
+    b = TreeBuilder("r", lang="en")
+    assert b.tree.root.single("lang") == "en"
+
+
+def test_attrs_mapping_for_awkward_names():
+    b = TreeBuilder("r")
+    b.leaf("x", attrs={"data-id": "7"})
+    assert b.tree.root.first_child_labeled("x").single("data-id") == "7"
+
+
+def test_set_valued_attribute():
+    b = TreeBuilder("r")
+    b.leaf("ref", to=["a", "b"])
+    assert b.tree.root.first_child_labeled("ref").attr("to") == \
+        frozenset({"a", "b"})
+
+
+def test_text_inside_element():
+    b = TreeBuilder("r")
+    with b.element("s"):
+        b.text("hello ")
+        b.text("world")
+    assert b.tree.root.first_child_labeled("s").text == "hello world"
+
+
+def test_current_tracks_nesting():
+    b = TreeBuilder("r")
+    assert b.current is b.tree.root
+    with b.element("x") as x:
+        assert b.current is x
+    assert b.current is b.tree.root
+
+
+def test_stack_restored_on_exception():
+    b = TreeBuilder("r")
+    with pytest.raises(RuntimeError):
+        with b.element("x"):
+            raise RuntimeError("boom")
+    assert b.current is b.tree.root
+
+
+def test_leaf_without_text_is_empty():
+    b = TreeBuilder("r")
+    leaf = b.leaf("e")
+    assert leaf.children == ()

@@ -1,0 +1,73 @@
+"""Unit tests for the attribute index."""
+
+from repro.datamodel import AttributeIndex, DataTree, TreeBuilder
+
+
+def build() -> DataTree:
+    b = TreeBuilder("db")
+    b.leaf("p", oid="p1", name="ann")
+    b.leaf("p", oid="p2", name="bob")
+    b.leaf("p", oid="p3", name="ann")
+    b.leaf("d", oid="d1", staff=["p1", "p2"])
+    return b.tree
+
+
+def test_extension_in_document_order():
+    index = AttributeIndex(build())
+    assert [v.single("oid") for v in index.extension("p")] == \
+        ["p1", "p2", "p3"]
+    assert index.extension("missing") == []
+
+
+def test_value_set():
+    index = AttributeIndex(build())
+    assert index.value_set("p", "name") == {"ann", "bob"}
+    assert index.value_set("d", "staff") == {"p1", "p2"}
+    assert index.value_set("p", "zzz") == set()
+
+
+def test_vertices_with_value():
+    index = AttributeIndex(build())
+    anns = index.vertices_with_value("p", "name", "ann")
+    assert [v.single("oid") for v in anns] == ["p1", "p3"]
+    assert index.vertices_with_value("p", "name", "zoe") == []
+    # Set-valued membership counts each owner.
+    assert len(index.vertices_with_value("d", "staff", "p1")) == 1
+
+
+def test_duplicate_groups():
+    index = AttributeIndex(build())
+    groups = index.duplicate_groups("p", ["name"])
+    assert len(groups) == 1
+    assert {v.single("oid") for v in groups[0]} == {"p1", "p3"}
+    assert index.duplicate_groups("p", ["oid"]) == []
+
+
+def test_duplicate_groups_skips_multivalued():
+    tree = build()
+    index = AttributeIndex(tree)
+    # 'staff' is set-valued on d; key grouping over it skips the vertex.
+    assert index.duplicate_groups("d", ["staff"]) == []
+
+
+def test_id_owners_and_clashes():
+    tree = build()
+    index = AttributeIndex(tree, id_attributes={"p": "oid", "d": "oid"})
+    assert len(index.id_owners["p1"]) == 1
+    assert index.id_clashes() == []
+    # Introduce a clash across types.
+    clash = tree.create("d")
+    tree.root.append(clash)
+    clash.set_attribute("oid", "p1")
+    index2 = AttributeIndex(tree, id_attributes={"p": "oid", "d": "oid"})
+    clashes = dict(index2.id_clashes())
+    assert set(clashes) == {"p1"}
+    assert len(clashes["p1"]) == 2
+
+
+def test_staleness():
+    tree = build()
+    index = AttributeIndex(tree)
+    assert not index.is_stale()
+    tree.root.first_child_labeled("p").set_attribute("name", "zoe")
+    assert index.is_stale()

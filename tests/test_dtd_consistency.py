@@ -1,0 +1,97 @@
+"""Tests for DTD^C consistency analysis (the degenerate L_id corner)."""
+
+from repro.constraints import IDConstraint, IDForeignKey, attr
+from repro.dtd import DTDC, DTDStructure
+from repro.dtd.consistency import (
+    consistency_report, required_types, vacuous_types,
+)
+from repro.workloads import book_dtdc, person_dept_export
+
+
+def degenerate_dtdc(a_required: bool) -> DTDC:
+    """Type ``a`` has one IDREF attribute FK'd into both ``b`` and ``c``
+    — ext(a) is empty in every model.  ``a_required`` controls whether
+    the root's content model demands an ``a``."""
+    s = DTDStructure("db")
+    s.define_element("db", "(a, b*, c*)" if a_required else
+                     "(a*, b*, c*)")
+    s.define_element("a", "EMPTY")
+    s.define_element("b", "EMPTY")
+    s.define_element("c", "EMPTY")
+    s.define_attribute("a", "r", kind="IDREF")
+    s.define_attribute("b", "oid", kind="ID")
+    s.define_attribute("c", "oid", kind="ID")
+    sigma = [IDConstraint("b"), IDConstraint("c"),
+             IDForeignKey("a", attr("r"), "b"),
+             IDForeignKey("a", attr("r"), "c")]
+    return DTDC(s, sigma)
+
+
+class TestRequiredTypes:
+    def test_book(self):
+        req = required_types(book_dtdc().structure)
+        # entry, ref, title, publisher are mandatory; author/section not.
+        assert {"book", "entry", "ref", "title", "publisher"} <= req
+        assert "author" not in req
+        assert "section" not in req
+
+    def test_mandatory_chain(self):
+        s = DTDStructure("a")
+        s.define_element("a", "(b)")
+        s.define_element("b", "(c, c)")
+        s.define_element("c", "EMPTY")
+        assert required_types(s) == {"a", "b", "c"}
+
+    def test_optional_via_union(self):
+        s = DTDStructure("a")
+        s.define_element("a", "(b | c)")
+        s.define_element("b", "EMPTY")
+        s.define_element("c", "EMPTY")
+        assert required_types(s) == {"a"}
+
+
+class TestVacuousTypes:
+    def test_multi_target_degeneracy(self):
+        dtd = degenerate_dtdc(a_required=False)
+        assert vacuous_types(dtd) == {"a"}
+
+    def test_emptiness_propagates_up(self):
+        s = DTDStructure("db")
+        s.define_element("db", "(w*, b*, c*)")
+        s.define_element("w", "(a)")       # w REQUIRES an a child
+        s.define_element("a", "EMPTY")
+        s.define_element("b", "EMPTY")
+        s.define_element("c", "EMPTY")
+        s.define_attribute("a", "r", kind="IDREF")
+        s.define_attribute("b", "oid", kind="ID")
+        s.define_attribute("c", "oid", kind="ID")
+        sigma = [IDConstraint("b"), IDConstraint("c"),
+                 IDForeignKey("a", attr("r"), "b"),
+                 IDForeignKey("a", attr("r"), "c")]
+        dtd = DTDC(s, sigma)
+        assert vacuous_types(dtd) == {"a", "w"}
+
+    def test_clean_schemas_have_none(self, persondept):
+        dtd, _doc = persondept
+        assert vacuous_types(dtd) == set()
+        assert vacuous_types(book_dtdc()) == set()
+
+
+class TestConsistencyReport:
+    def test_consistent_when_vacuous_type_is_optional(self):
+        report = consistency_report(degenerate_dtdc(a_required=False))
+        assert report.consistent
+        assert bool(report)
+        assert "a" in report.vacuous
+
+    def test_inconsistent_when_required(self):
+        report = consistency_report(degenerate_dtdc(a_required=True))
+        assert not report.consistent
+        # 'a' cannot exist, and the root requires one — both conflict.
+        assert report.conflicts == {"a", "db"}
+        assert "INCONSISTENT" in str(report)
+
+    def test_paper_examples_consistent(self, persondept):
+        dtd, _doc = persondept
+        assert consistency_report(dtd).consistent
+        assert consistency_report(book_dtdc()).consistent

@@ -1,0 +1,110 @@
+"""Unit tests for DTD structures (Definition 2.2)."""
+
+import pytest
+
+from repro.dtd import AttributeKind, DTDStructure
+from repro.errors import SchemaError
+from repro.regexlang import parse_regex
+
+
+def make() -> DTDStructure:
+    s = DTDStructure("r")
+    s.define_element("r", "(a*, b)")
+    s.define_element("a", "(#PCDATA)*")
+    s.define_element("b", "EMPTY")
+    s.define_attribute("a", "oid", kind="ID")
+    s.define_attribute("a", "refs", set_valued=True, kind="IDREF")
+    s.define_attribute("b", "x")
+    return s
+
+
+class TestDeclarations:
+    def test_element_types(self):
+        assert make().element_types == {"r", "a", "b"}
+
+    def test_content_accepts_string_or_ast(self):
+        s = DTDStructure("r")
+        s.define_element("r", parse_regex("(x)"))
+        assert s.content("r") == parse_regex("x")
+
+    def test_attributes(self):
+        s = make()
+        assert s.attributes("a") == {"oid", "refs"}
+        assert s.attributes("r") == frozenset()
+        assert s.is_set_valued("a", "refs")
+        assert not s.is_set_valued("a", "oid")
+
+    def test_kind(self):
+        s = make()
+        assert s.kind("a", "oid") is AttributeKind.ID
+        assert s.kind("a", "refs") is AttributeKind.IDREF
+        assert s.kind("b", "x") is None
+
+    def test_id_attribute_lookup(self):
+        s = make()
+        assert s.id_attribute("a") == "oid"
+        assert s.id_attribute("b") is None
+        assert s.id_attribute_map() == {"a": "oid"}
+        assert s.idref_attributes("a") == ["refs"]
+
+    def test_undeclared_element_errors(self):
+        s = make()
+        with pytest.raises(SchemaError):
+            s.content("zzz")
+        with pytest.raises(SchemaError):
+            s.define_attribute("zzz", "x")
+        with pytest.raises(SchemaError):
+            s.is_set_valued("a", "nope")
+
+
+class TestSideConditions:
+    def test_one_id_per_element(self):
+        s = make()
+        with pytest.raises(SchemaError):
+            s.define_attribute("a", "oid2", kind="ID")
+
+    def test_id_must_be_single_valued(self):
+        s = make()
+        with pytest.raises(SchemaError):
+            s.define_attribute("b", "bid", set_valued=True, kind="ID")
+
+    def test_redefining_same_id_ok(self):
+        s = make()
+        s.define_attribute("a", "oid", kind=AttributeKind.ID)
+        assert s.id_attribute("a") == "oid"
+
+    def test_check_detects_dangling_content(self):
+        s = DTDStructure("r")
+        s.define_element("r", "(ghost)")
+        with pytest.raises(SchemaError):
+            s.check()
+
+    def test_check_detects_missing_root(self):
+        s = DTDStructure("r")
+        s.define_element("x", "EMPTY")
+        with pytest.raises(SchemaError):
+            s.check()
+
+
+class TestDerived:
+    def test_subelements(self):
+        s = make()
+        assert s.subelements("r") == {"a", "b"}
+        assert s.subelements("b") == frozenset()
+
+    def test_allows_text(self):
+        s = make()
+        assert s.allows_text("a")
+        assert not s.allows_text("r")
+
+    def test_unique_subelements_cached_and_invalidates(self):
+        s = make()
+        assert s.unique_subelements("r") == {"b"}
+        s.define_element("r", "(a*, b, b)")
+        assert s.unique_subelements("r") == frozenset()
+
+    def test_describe_mentions_everything(self):
+        text = make().describe()
+        assert "P(r)" in text
+        assert "R(a, oid) = S [ID]" in text
+        assert "R(a, refs) = S* [IDREF]" in text

@@ -1,0 +1,151 @@
+"""Unit tests for document validity (Definition 2.4)."""
+
+import pytest
+
+from repro.datamodel import TreeBuilder
+from repro.dtd import DTDC, validate
+from repro.dtd.validate import validate_strict, validate_structure
+from repro.errors import ValidationError
+from repro.workloads import book_document, book_dtdc
+
+
+def break_tree(mutator):
+    """Apply a mutator to a fresh book document and return the report."""
+    dtd = book_dtdc()
+    doc = book_document()
+    mutator(doc)
+    return validate(doc, dtd)
+
+
+class TestStructural:
+    def test_valid_book(self, book):
+        dtd, doc = book
+        report = validate(doc, dtd)
+        assert report.ok
+        assert bool(report)
+
+    def test_wrong_root(self, book_schema):
+        b = TreeBuilder("entry")
+        report = validate_structure(b.tree, book_schema.structure)
+        assert any(v.code == "root" for v in report)
+
+    def test_undeclared_element(self):
+        def mutate(doc):
+            doc.root.append(doc.create("alien"))
+        report = break_tree(mutate)
+        assert any(v.code == "element" for v in report)
+
+    def test_content_model_violation(self):
+        def mutate(doc):
+            # A second entry violates (entry, author*, section*, ref).
+            extra = doc.create("entry")
+            extra.set_attribute("isbn", "x")
+            doc.root.append(extra)
+        report = break_tree(mutate)
+        assert any(v.code == "content-model" for v in report)
+
+    def test_content_model_diagnostics(self):
+        def mutate(doc):
+            doc.root.append(doc.create("author"))  # author after ref
+        report = break_tree(mutate)
+        msgs = [v.message for v in report.by_code("content-model")]
+        assert msgs and "stuck after" in msgs[0]
+
+    def test_missing_attribute(self):
+        def mutate(doc):
+            doc.ext("entry")[0].del_attribute("isbn")
+        report = break_tree(mutate)
+        assert any("missing attribute" in v.message for v in report)
+
+    def test_undeclared_attribute(self):
+        def mutate(doc):
+            doc.ext("entry")[0].set_attribute("extra", "x")
+        report = break_tree(mutate)
+        assert any("undeclared attribute" in v.message for v in report)
+
+    def test_single_valued_arity(self):
+        def mutate(doc):
+            doc.ext("entry")[0].set_attribute("isbn", ["a", "b"])
+        report = break_tree(mutate)
+        assert any("holds 2 values" in v.message for v in report)
+
+
+class TestConstraintsDuringValidation:
+    def test_key_violation_reported(self):
+        def mutate(doc):
+            sections = doc.ext("section")
+            sections[1].set_attribute("sid", sections[0].single("sid"))
+        report = break_tree(mutate)
+        assert any(v.code == "key" for v in report)
+
+    def test_set_fk_violation_reported(self):
+        def mutate(doc):
+            doc.ext("ref")[0].set_attribute("to", ["nowhere"])
+        report = break_tree(mutate)
+        assert any(v.code == "set-foreign-key" for v in report)
+
+    def test_breakdown_properties(self):
+        def mutate(doc):
+            doc.ext("ref")[0].set_attribute("to", ["nowhere"])
+            doc.ext("entry")[0].del_attribute("isbn")
+        report = break_tree(mutate)
+        assert report.structural
+        assert report.constraint
+
+
+class TestStrict:
+    def test_strict_passes_silently(self, book):
+        dtd, doc = book
+        validate_strict(doc, dtd)
+
+    def test_strict_raises_with_report(self):
+        dtd = book_dtdc()
+        doc = book_document()
+        doc.ext("ref")[0].set_attribute("to", ["nowhere"])
+        with pytest.raises(ValidationError) as exc:
+            validate_strict(doc, dtd)
+        assert not exc.value.report.ok
+
+
+class TestDtdcClass:
+    def test_language_detection(self, book_schema, persondept):
+        from repro.constraints import Language
+        assert book_schema.language is Language.LU
+        dtd, _doc = persondept
+        assert dtd.language is Language.LID
+
+    def test_with_constraints_rechecks(self, book_schema):
+        from repro.constraints import UnaryKey, attr
+        from repro.errors import ConstraintError
+        with pytest.raises(ConstraintError):
+            book_schema.with_constraints(
+                [UnaryKey("entry", attr("ghost"))])
+
+    def test_add_constraint_text(self, book_schema):
+        richer = book_schema.add_constraint_text(
+            "section.<title> -> section")
+        assert len(richer.constraints) == \
+            len(book_schema.constraints) + 1
+
+    def test_describe(self, book_schema):
+        text = book_schema.describe()
+        assert "entry.isbn -> entry" in text
+        assert "P(book)" in text
+
+
+class TestLint:
+    def test_deterministic_models_clean(self, book_schema):
+        from repro.dtd.validate import lint_structure
+        assert lint_structure(book_schema.structure) == []
+
+    def test_ambiguous_model_flagged(self):
+        from repro.dtd import DTDStructure
+        from repro.dtd.validate import lint_structure
+        s = DTDStructure("r")
+        s.define_element("r", "((a, b) | (a, c))")
+        s.define_element("a", "EMPTY")
+        s.define_element("b", "EMPTY")
+        s.define_element("c", "EMPTY")
+        warnings = lint_structure(s)
+        assert len(warnings) == 1
+        assert "'r'" in warnings[0]

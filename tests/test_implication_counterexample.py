@@ -1,0 +1,195 @@
+"""Tests for counterexample construction and model search."""
+
+import pytest
+
+from repro.constraints import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey, attr, check,
+)
+from repro.implication.counterexample import (
+    AffineAttribute, InfiniteWitness, divergence_witness,
+    finite_counterexample,
+)
+from repro.implication.lu import LuEngine
+from repro.implication.models import AbstractModel, materialize
+from repro.implication.search import (
+    exhaustive_counterexample, random_counterexample,
+)
+
+
+def uk(t, f):
+    return UnaryKey(t, attr(f))
+
+
+def ufk(t, f, t2, f2):
+    return UnaryForeignKey(t, attr(f), t2, attr(f2))
+
+
+def sfk(t, f, t2, f2):
+    return SetValuedForeignKey(t, attr(f), t2, attr(f2))
+
+
+class TestAbstractModel:
+    def test_satisfaction_matches_definitions(self):
+        m = AbstractModel()
+        m.add("t", k="1", f="a")
+        m.add("t", k="2", f="a")
+        assert m.satisfies(uk("t", "k"))
+        assert not m.satisfies(uk("t", "f"))
+
+    def test_fk_satisfaction(self):
+        m = AbstractModel()
+        m.add("a", x="1")
+        m.add("b", k="1")
+        assert m.satisfies(ufk("a", "x", "b", "k"))
+        m.add("a", x="9")
+        assert not m.satisfies(ufk("a", "x", "b", "k"))
+
+    def test_inverse_satisfaction(self):
+        m = AbstractModel()
+        m.set_valued |= {("d", attr("staff")), ("p", attr("depts"))}
+        m.add("d", dk="d1", staff=["p1"])
+        m.add("p", pk="p1", depts=["d1"])
+        inv = Inverse("d", attr("dk"), attr("staff"),
+                      "p", attr("pk"), attr("depts"))
+        assert m.satisfies(inv)
+        m.add("p", pk="p2", depts=["d1"])  # d1 not linking back to p2
+        assert not m.satisfies(inv)
+
+    def test_materialize_roundtrip(self):
+        m = AbstractModel()
+        m.set_valued.add(("a", attr("s")))
+        m.add("a", k="1", s=["x", "y"])
+        m.add("b", k="x")
+        dtd, tree = materialize(m)
+        # The document checker agrees with the abstract evaluation.
+        constraints = [uk("a", "k"), sfk("a", "s", "b", "k")]
+        doc_ok = check(tree, constraints, dtd.structure).ok
+        abs_ok = m.satisfies_all(constraints)
+        assert doc_ok == abs_ok == False  # noqa: E712  ('y' dangles)
+
+
+class TestConstructiveBuilder:
+    def cases(self):
+        chain = [uk("t2", "k"), uk("t3", "k"),
+                 ufk("t1", "f", "t2", "k"), ufk("t2", "k", "t3", "k")]
+        inv = Inverse("d", attr("dk"), attr("staff"),
+                      "p", attr("pk"), attr("depts"))
+        inv_sigma = [uk("d", "dk"), uk("p", "pk"), inv]
+        return [
+            (chain, uk("t1", "f")),                       # key violation
+            (chain, ufk("t3", "k", "t2", "k")),           # reversed FK
+            (chain, ufk("t3", "k", "t1", "f")),           # FK to non-key
+            (inv_sigma, sfk("d", "staff", "p", "depts")), # sv target
+            (inv_sigma, uk("p", "depts")),                # set-valued key
+            ([], uk("x", "a")),                           # empty Sigma
+        ]
+
+    def test_builder_produces_verified_witnesses(self):
+        built = 0
+        for sigma, phi in self.cases():
+            engine = LuEngine(sigma)
+            assert not engine.finitely_implies(phi), str(phi)
+            model = finite_counterexample(sigma, phi)
+            if model is not None:
+                assert model.satisfies_all(sigma)
+                assert not model.satisfies(phi)
+                built += 1
+        assert built >= 4  # most cases are inside the supported fragment
+
+    def test_builder_refuses_implied(self):
+        sigma = [uk("b", "k"), ufk("a", "f", "b", "k")]
+        assert finite_counterexample(sigma, uk("b", "k")) is None
+        assert finite_counterexample(sigma,
+                                     ufk("a", "f", "b", "k")) is None
+
+    def test_builder_on_divergence_finite_consequence(self):
+        """Σ ⊨_f φ: no finite model can witness non-implication."""
+        sigma, phi, _w = divergence_witness()
+        assert finite_counterexample(sigma, phi) is None
+
+
+class TestSearchers:
+    def test_exhaustive_agrees_with_decider_tiny(self):
+        """E14 ground truth: on tiny bounds, exhaustive search finds a
+        model exactly when the finite decider says 'not implied' (for
+        instances whose witnesses fit the bounds)."""
+        cases = [
+            ([uk("b", "k"), ufk("a", "f", "b", "k")],
+             ufk("b", "k", "a", "f"), True),
+            ([uk("b", "k"), ufk("a", "f", "b", "k")],
+             ufk("a", "f", "b", "k"), False),
+            ([uk("t", "a"), uk("t", "b"), ufk("t", "a", "t", "b")],
+             ufk("t", "b", "t", "a"), False),  # finitely implied!
+        ]
+        for sigma, phi, expect_model in cases:
+            model = exhaustive_counterexample(sigma, phi,
+                                              max_elements=2,
+                                              domain_size=2)
+            assert (model is not None) == expect_model, str(phi)
+            if model is not None:
+                assert model.satisfies_all(sigma)
+                assert not model.satisfies(phi)
+
+    def test_random_search_seeded(self):
+        sigma = [uk("b", "k"), ufk("a", "f", "b", "k")]
+        phi = uk("a", "f")
+        m1 = random_counterexample(sigma, phi, seed=7)
+        m2 = random_counterexample(sigma, phi, seed=7)
+        assert m1 is not None
+        assert m1.describe() == m2.describe()
+
+
+class TestInfiniteWitness:
+    def test_divergence_witness_checks(self):
+        sigma, phi, witness = divergence_witness()
+        assert witness.check(sigma, phi)
+
+    def test_prefix_shows_boundary_violation(self):
+        sigma, _phi, witness = divergence_witness()
+        prefix = witness.prefix(5)
+        # The truncation breaks exactly the inclusion at the boundary:
+        # a-values include n5, which is no b-value of the prefix.
+        fk = sigma[2]
+        assert not prefix.satisfies(fk)
+        # ... while both keys still hold on the prefix.
+        assert prefix.satisfies(sigma[0])
+        assert prefix.satisfies(sigma[1])
+
+    def test_affine_semantics(self):
+        w = InfiniteWitness("t", (AffineAttribute(attr("a"), 2),
+                                  AffineAttribute(attr("b"), 0)))
+        assert w.satisfies(ufk("t", "a", "t", "b"))
+        assert not w.satisfies(ufk("t", "b", "t", "a"))
+        with pytest.raises(TypeError):
+            w.satisfies(sfk("t", "s", "t", "b"))
+
+
+class TestExhaustiveWithSetValued:
+    """E14b: the decider/search cross-validation extended to Σ with
+    set-valued foreign keys (tiny bounds)."""
+
+    def test_sfk_instances(self):
+        cases = [
+            # (sigma, phi, expect_counterexample_within_bounds)
+            ([uk("b", "k"), sfk("a", "s", "b", "k")],
+             sfk("a", "s", "b", "k"), False),          # stated
+            ([uk("b", "k"), uk("c", "k"), sfk("a", "s", "b", "k"),
+              ufk("b", "k", "c", "k")],
+             sfk("a", "s", "c", "k"), False),          # USFK-trans
+            ([uk("b", "k"), sfk("a", "s", "b", "k")],
+             sfk("a", "s2", "b", "k"), True),          # unrelated field
+            ([uk("b", "k"), uk("c", "k"), sfk("a", "s", "b", "k")],
+             sfk("a", "s", "c", "k"), True),           # wrong target
+        ]
+        for sigma, phi, expect_model in cases:
+            engine = LuEngine(sigma)
+            decided = bool(engine.finitely_implies(phi))
+            model = exhaustive_counterexample(sigma, phi,
+                                              max_elements=2,
+                                              domain_size=2)
+            assert (model is not None) == expect_model, str(phi)
+            # Exact agreement on this corpus: implied iff no model.
+            assert decided == (model is None), str(phi)
+            if model is not None:
+                assert model.satisfies_all(sigma)
+                assert not model.satisfies(phi)

@@ -1,0 +1,125 @@
+"""Tests for general L: undecidability machinery (§3.3, Thm 3.6,
+Cor 3.7) — sound prover, chase refuter, honest UNKNOWN."""
+
+import pytest
+
+from repro.constraints import ForeignKey, Key, UnaryKey, attr
+from repro.errors import UndecidableProblemError
+from repro.implication.l_general import (
+    LGeneralEngine, VID, fd_ind_to_l, l_to_fd_ind,
+)
+from repro.relational.chase import ChaseOutcome
+from repro.relational.fd import FD
+from repro.relational.ind import IND
+
+
+def lifted_divergence():
+    """The Cor 3.3 separator lifted to L: two keys + one FK on one type."""
+    sigma = [Key("tau", ("a",)), Key("tau", ("b",)),
+             ForeignKey("tau", ("a",), "tau", ("b",))]
+    phi = ForeignKey("tau", ("b",), "tau", ("a",))
+    return sigma, phi
+
+
+class TestSoundProver:
+    def test_proves_given_and_trans(self):
+        sigma = [Key("b", ("k",)), Key("c", ("m",)),
+                 ForeignKey("a", ("x",), "b", ("k",)),
+                 ForeignKey("b", ("k",), "c", ("m",))]
+        engine = LGeneralEngine(sigma)
+        assert engine.prove(ForeignKey("a", ("x",), "c", ("m",)))
+        assert engine.prove(Key("c", ("m",)))
+
+    def test_multiple_keys_per_type_allowed(self):
+        sigma, _phi = lifted_divergence()
+        engine = LGeneralEngine(sigma)  # no restriction error
+        assert engine.prove(Key("tau", ("a",)))
+        assert engine.prove(Key("tau", ("b",)))
+
+    def test_key_augmentation(self):
+        engine = LGeneralEngine([Key("r", ("a",))])
+        assert engine.prove(Key("r", ("a", "b")))
+
+    def test_incompleteness_exhibit(self):
+        """Σ ⊨_f φ (cycle argument) but the sound rules cannot derive φ
+        — the reason no I_p-style axiomatization covers general L."""
+        sigma, phi = lifted_divergence()
+        engine = LGeneralEngine(sigma)
+        assert not engine.prove(phi)
+
+
+class TestChase:
+    def test_refutes_with_finite_model(self):
+        sigma = [Key("b", ("k",)), ForeignKey("a", ("x",), "b", ("k",))]
+        engine = LGeneralEngine(sigma)
+        result = engine.refute(ForeignKey("b", ("k",), "a", ("x",)))
+        assert result.outcome is ChaseOutcome.NOT_IMPLIED
+        assert result.model is not None
+        # The counterexample is a genuine relational instance.
+        assert result.model.size() >= 1
+
+    def test_establishes_goal(self):
+        sigma = [Key("b", ("k",)), Key("c", ("m",)),
+                 ForeignKey("a", ("x",), "b", ("k",)),
+                 ForeignKey("b", ("k",), "c", ("m",))]
+        engine = LGeneralEngine(sigma)
+        result = engine.refute(ForeignKey("a", ("x",), "c", ("m",)))
+        assert result.outcome is ChaseOutcome.IMPLIED
+
+    def test_key_goal_via_fd_chase(self):
+        # X -> vid composition: key(a over x) given key propagation:
+        # a[x] sub b[k], b.k key, plus a.x key stated elsewhere.
+        sigma = [Key("a", ("x",))]
+        engine = LGeneralEngine(sigma)
+        assert engine.refute(Key("a", ("x",))).outcome is \
+            ChaseOutcome.IMPLIED
+        result = engine.refute(Key("a", ("y",)))
+        assert result.outcome is ChaseOutcome.NOT_IMPLIED
+
+    def test_divergent_instance_hits_budget(self):
+        """The lifted divergence makes the chase run forever: the honest
+        outcome is UNKNOWN (Theorem 3.6 operationally)."""
+        sigma, phi = lifted_divergence()
+        engine = LGeneralEngine(sigma)
+        result = engine.refute(phi, max_steps=60, max_rows=500)
+        assert result.outcome is ChaseOutcome.UNKNOWN
+
+    def test_decide_modes(self):
+        sigma, phi = lifted_divergence()
+        engine = LGeneralEngine(sigma)
+        soft = engine.decide(phi, max_steps=40, max_rows=300)
+        assert not soft
+        assert soft.details.get("outcome") == "unknown"
+        with pytest.raises(UndecidableProblemError):
+            engine.decide(phi, max_steps=40, max_rows=300, strict=True)
+
+
+class TestTranslations:
+    def test_l_to_fd_ind_shapes(self):
+        sigma, phi = lifted_divergence()
+        database, fds, inds = l_to_fd_ind(sigma, scope=(phi,))
+        rel = database.relation("tau")
+        assert VID in rel.attributes
+        assert {"a", "b"} <= set(rel.attributes)
+        # vid -> all, a -> vid, b -> vid.
+        assert len(fds) == 3
+        assert len(inds) == 1
+
+    def test_fd_ind_to_l_roundtrip(self):
+        fds = [FD("b", frozenset(("k",)), frozenset(("k", "z")))]
+        inds = [IND("a", ("x",), "b", ("k",))]
+        out = fd_ind_to_l(fds, inds, {"b": ("k", "z"), "a": ("x",)})
+        assert Key("b", ("k",)) in out
+        assert ForeignKey("a", ("x",), "b", ("k",)) in out
+
+    def test_fd_ind_to_l_rejects_non_keys(self):
+        fds = [FD("b", frozenset(("k",)), frozenset(("z",)))]
+        with pytest.raises(ValueError):
+            fd_ind_to_l(fds, [], {"b": ("k", "z", "w")})
+        inds = [IND("a", ("x",), "b", ("z",))]
+        with pytest.raises(ValueError):
+            fd_ind_to_l([], inds, {"b": ("k", "z"), "a": ("x",)})
+
+    def test_unary_lifting(self):
+        engine = LGeneralEngine([UnaryKey("a", attr("x"))])
+        assert engine.prove(Key("a", ("x",)))

@@ -1,0 +1,156 @@
+"""Tests for I_p: multi-attribute primary keys/foreign keys (§3.3,
+Theorem 3.8, Corollary 3.9)."""
+
+import pytest
+
+from repro.constraints import ForeignKey, Key, UnaryKey, attr
+from repro.errors import LanguageMismatchError, PrimaryKeyRestrictionError
+from repro.implication.l_primary import LPrimaryEngine
+from repro.workloads.generators import scaled_primary_chain
+
+
+def publisher_sigma():
+    return [
+        Key("publisher", ("pname", "country")),
+        Key("editor", ("name",)),
+        ForeignKey("editor", ("pname", "country"),
+                   "publisher", ("pname", "country")),
+    ]
+
+
+class TestRestriction:
+    def test_two_keys_rejected(self):
+        with pytest.raises(PrimaryKeyRestrictionError):
+            LPrimaryEngine([Key("r", ("a",)), Key("r", ("b",))])
+
+    def test_fk_target_must_match_primary(self):
+        with pytest.raises(PrimaryKeyRestrictionError):
+            LPrimaryEngine([
+                Key("p", ("a", "b")),
+                ForeignKey("e", ("x",), "p", ("a",)),
+            ])
+
+    def test_fk_can_introduce_the_primary(self):
+        engine = LPrimaryEngine([ForeignKey("e", ("x",), "p", ("a",))])
+        assert engine.implies(Key("p", ("a",)))
+
+    def test_query_key_conflict_rejected(self):
+        engine = LPrimaryEngine(publisher_sigma())
+        with pytest.raises(PrimaryKeyRestrictionError):
+            engine.implies(Key("publisher", ("pname",)))
+
+    def test_query_fk_conflict_rejected(self):
+        engine = LPrimaryEngine(publisher_sigma())
+        with pytest.raises(PrimaryKeyRestrictionError):
+            engine.implies(
+                ForeignKey("editor", ("name",), "publisher", ("pname",)))
+
+
+class TestAxioms:
+    def test_keys_as_sets(self):
+        engine = LPrimaryEngine(publisher_sigma())
+        assert engine.implies(Key("publisher", ("country", "pname")))
+        assert engine.implies(Key("editor", ("name",)))
+        assert not engine.implies(Key("ghost", ("x",)))
+
+    def test_pfk_k_derives_target_key(self):
+        engine = LPrimaryEngine(
+            [ForeignKey("e", ("x", "y"), "p", ("a", "b"))])
+        assert engine.implies(Key("p", ("b", "a")))
+
+    def test_pk_fk_reflexivity(self):
+        engine = LPrimaryEngine([Key("p", ("a", "b"))])
+        assert engine.implies(ForeignKey("p", ("a", "b"),
+                                         "p", ("a", "b")))
+        assert engine.implies(ForeignKey("p", ("b", "a"),
+                                         "p", ("b", "a")))
+
+    def test_pfk_perm(self):
+        engine = LPrimaryEngine(publisher_sigma())
+        assert engine.implies(
+            ForeignKey("editor", ("country", "pname"),
+                       "publisher", ("country", "pname")))
+        # The *misaligned* permutation is NOT implied.
+        assert not engine.implies(
+            ForeignKey("editor", ("pname", "country"),
+                       "publisher", ("country", "pname")))
+
+    def test_pfk_trans(self):
+        sigma = [
+            Key("b", ("u", "v")), Key("c", ("s", "t")),
+            ForeignKey("a", ("x", "y"), "b", ("u", "v")),
+            ForeignKey("b", ("u", "v"), "c", ("s", "t")),
+        ]
+        engine = LPrimaryEngine(sigma)
+        assert engine.implies(ForeignKey("a", ("x", "y"),
+                                         "c", ("s", "t")))
+
+    def test_trans_with_permuted_middle(self):
+        sigma = [
+            Key("b", ("u", "v")), Key("c", ("s", "t")),
+            ForeignKey("a", ("x", "y"), "b", ("u", "v")),
+            # Middle FK presented in the other order.
+            ForeignKey("b", ("v", "u"), "c", ("t", "s")),
+        ]
+        engine = LPrimaryEngine(sigma)
+        assert engine.implies(ForeignKey("a", ("x", "y"),
+                                         "c", ("s", "t")))
+
+    def test_trans_needs_key_shaped_middle(self):
+        sigma = [
+            Key("b", ("u", "v")), Key("c", ("s",)),
+            ForeignKey("a", ("x", "y"), "b", ("u", "v")),
+            ForeignKey("b", ("w",), "c", ("s",)),  # source not the key
+        ]
+        engine = LPrimaryEngine(sigma)
+        assert not engine.implies(ForeignKey("a", ("x",), "c", ("s",)))
+
+    def test_rotation_chain_composes(self):
+        sigma, phi = scaled_primary_chain(7, width=3)
+        engine = LPrimaryEngine(sigma)
+        assert engine.implies(phi)
+        # A wrong final alignment must not be implied.
+        wrong = ForeignKey(phi.element, phi.fields, phi.target,
+                           tuple(reversed(phi.target_fields)))
+        if tuple(reversed(phi.target_fields)) != phi.target_fields:
+            assert not engine.implies(wrong)
+
+    def test_finite_coincides(self):
+        engine = LPrimaryEngine(publisher_sigma())
+        queries = [
+            Key("publisher", ("country", "pname")),
+            ForeignKey("editor", ("country", "pname"),
+                       "publisher", ("country", "pname")),
+            ForeignKey("publisher", ("pname", "country"),
+                       "editor", ("pname", "country")),
+        ]
+        for phi in queries:
+            try:
+                assert bool(engine.implies(phi)) == \
+                    bool(engine.finitely_implies(phi))
+            except PrimaryKeyRestrictionError:
+                pass
+
+    def test_unary_lifting(self):
+        engine = LPrimaryEngine([UnaryKey("p", attr("k"))])
+        assert engine.implies(Key("p", ("k",)))
+        assert engine.implies(UnaryKey("p", attr("k")))
+
+    def test_rejects_lid(self):
+        from repro.constraints import IDConstraint
+        with pytest.raises(LanguageMismatchError):
+            LPrimaryEngine([IDConstraint("a")])
+
+    def test_derivation_output(self):
+        engine = LPrimaryEngine(publisher_sigma())
+        result = engine.implies(
+            ForeignKey("editor", ("country", "pname"),
+                       "publisher", ("country", "pname")))
+        assert "PFK-perm" in result.derivation.pretty() or \
+            "given" in result.derivation.pretty()
+
+    def test_derivable_foreign_keys_listing(self):
+        engine = LPrimaryEngine(publisher_sigma())
+        fks = engine.derivable_foreign_keys()
+        assert any(fk.element == "editor" and fk.target == "publisher"
+                   for fk in fks)

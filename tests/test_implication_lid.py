@@ -1,0 +1,145 @@
+"""Tests for L_id implication (§3.1, Proposition 3.1)."""
+
+import pytest
+
+from repro.constraints import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey, Key,
+    UnaryKey, attr,
+)
+from repro.errors import LanguageMismatchError
+from repro.implication.lid import ID_FIELD, LidEngine, lid_closure
+
+
+def sigma_o():
+    """The Σ_o of §2.4 (attribute spellings per the paper)."""
+    return [
+        IDConstraint("person"),
+        IDConstraint("dept"),
+        UnaryKey("person", attr("name")),
+        UnaryKey("dept", attr("dname")),
+        IDSetValuedForeignKey("person", attr("in_dept"), "dept"),
+        IDForeignKey("dept", attr("manager"), "person"),
+        IDSetValuedForeignKey("dept", attr("has_staff"), "person"),
+        IDInverse("dept", attr("has_staff"), "person", attr("in_dept")),
+    ]
+
+
+class TestAxioms:
+    def test_given_constraints_implied(self):
+        engine = LidEngine(sigma_o())
+        for c in sigma_o():
+            result = engine.implies(c)
+            assert result, str(c)
+            assert result.derivation is not None
+
+    def test_fk_id_rule(self):
+        engine = LidEngine([IDForeignKey("a", attr("r"), "b")])
+        result = engine.implies(IDConstraint("b"))
+        assert result
+        assert result.derivation.rule == "FK-ID"
+
+    def test_sfk_id_rule(self):
+        engine = LidEngine([IDSetValuedForeignKey("a", attr("r"), "b")])
+        assert engine.implies(IDConstraint("b")).derivation.rule == \
+            "SFK-ID"
+
+    def test_inv_sfk_id_rule(self):
+        engine = LidEngine([IDInverse("a", attr("x"), "b", attr("y"))])
+        assert engine.implies(IDSetValuedForeignKey("a", attr("x"), "b"))
+        assert engine.implies(IDSetValuedForeignKey("b", attr("y"), "a"))
+        # ... and transitively the ID constraints via SFK-ID.
+        assert engine.implies(IDConstraint("a"))
+        assert engine.implies(IDConstraint("b"))
+
+    def test_id_fk_rule_reflexive(self):
+        engine = LidEngine([IDConstraint("a")])
+        assert engine.implies(IDForeignKey("a", ID_FIELD, "a"))
+
+    def test_id_key_completion(self):
+        # Documented completion: tau.id ->id tau |= tau.id -> tau.
+        engine = LidEngine([IDConstraint("a")])
+        assert engine.implies(UnaryKey("a", ID_FIELD))
+
+    def test_inverse_flip_normalization(self):
+        inv = IDInverse("a", attr("x"), "b", attr("y"))
+        engine = LidEngine([inv])
+        assert engine.implies(inv.flipped())
+
+
+class TestNonImplication:
+    def test_unrelated_key_not_implied(self):
+        engine = LidEngine(sigma_o())
+        assert not engine.implies(UnaryKey("person", attr("address")))
+
+    def test_fk_to_wrong_target_not_implied(self):
+        engine = LidEngine(sigma_o())
+        assert not engine.implies(
+            IDForeignKey("dept", attr("manager"), "dept"))
+
+    def test_inverse_not_invented(self):
+        engine = LidEngine(sigma_o())
+        assert not engine.implies(
+            IDInverse("dept", attr("manager"), "person", attr("in_dept")))
+
+    def test_empty_sigma(self):
+        engine = LidEngine([])
+        assert not engine.implies(IDConstraint("a"))
+        assert not engine.implies(UnaryKey("a", attr("x")))
+
+
+class TestEngineBehaviour:
+    def test_finite_equals_unrestricted(self):
+        engine = LidEngine(sigma_o())
+        queries = sigma_o() + [
+            IDConstraint("person"),
+            UnaryKey("person", attr("address")),
+            IDForeignKey("dept", attr("manager"), "dept"),
+        ]
+        for phi in queries:
+            assert bool(engine.implies(phi)) == \
+                bool(engine.finitely_implies(phi))
+
+    def test_closure_linear_content(self):
+        closure = lid_closure(sigma_o())
+        # Σ_o (8, one inverse collapses under flip-normalization to the
+        # same object) + derived: 2 reflexive FKs + 2 id-keys; the
+        # inverse's SFKs are already stated.
+        strs = set(map(str, closure))
+        assert "person.id sub person.id" in strs
+        assert "dept.id sub dept.id" in strs
+        assert "person.id -> person" in strs
+
+    def test_rejects_foreign_language(self):
+        with pytest.raises(LanguageMismatchError):
+            LidEngine([Key("a", (attr("x"), attr("y")))])
+        engine = LidEngine([])
+        with pytest.raises(LanguageMismatchError):
+            engine.implies(Key("a", (attr("x"), attr("y"))))
+
+    def test_derivation_is_printable(self):
+        engine = LidEngine([IDInverse("a", attr("x"), "b", attr("y"))])
+        result = engine.implies(IDConstraint("b"))
+        text = result.derivation.pretty()
+        assert "SFK-ID" in text and "Inv-SFK-ID" in text
+
+    def test_vacuous_type_detection(self):
+        # One single-valued IDREF with FKs into two different targets
+        # forces ext(a) to be empty in every model (see module docs).
+        sigma = [IDForeignKey("a", attr("r"), "b"),
+                 IDForeignKey("a", attr("r"), "c")]
+        engine = LidEngine(sigma)
+        assert engine.vacuous_types() == {"a"}
+        assert LidEngine(sigma_o()).vacuous_types() == set()
+
+
+class TestSoundnessOnDocuments:
+    def test_derived_constraints_hold_on_persondept(self, persondept):
+        """Every closure member holds on a valid document (soundness)."""
+        from repro.constraints import check
+        dtd, doc = persondept
+        engine = LidEngine(dtd.constraints)
+        derived = [c for c in engine.derived_constraints()
+                   if ID_FIELD not in
+                   (getattr(c, "field", None),)]
+        report = check(doc, derived, dtd.structure)
+        assert report.ok, str(report)

@@ -1,0 +1,216 @@
+"""Tests for L_u implication and finite implication (§3.2, Thm 3.2,
+Cor 3.3): axioms, cycle rules, and the divergence of the two problems."""
+
+import pytest
+
+from repro.constraints import (
+    IDConstraint, Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+    attr,
+)
+from repro.errors import ConstraintError, LanguageMismatchError
+from repro.implication.counterexample import divergence_witness
+from repro.implication.lu import LuEngine
+
+
+def uk(t, f):
+    return UnaryKey(t, attr(f))
+
+
+def ufk(t, f, t2, f2):
+    return UnaryForeignKey(t, attr(f), t2, attr(f2))
+
+
+def sfk(t, f, t2, f2):
+    return SetValuedForeignKey(t, attr(f), t2, attr(f2))
+
+
+class TestUnrestrictedAxioms:
+    def test_given_implied(self):
+        sigma = [uk("a", "k"), ufk("b", "f", "a", "k")]
+        engine = LuEngine(sigma)
+        for c in sigma:
+            assert engine.implies(c)
+
+    def test_ufk_k(self):
+        engine = LuEngine([ufk("b", "f", "a", "k")])
+        result = engine.implies(uk("a", "k"))
+        assert result and result.derivation.rule == "UFK-K"
+
+    def test_sfk_k(self):
+        engine = LuEngine([sfk("b", "s", "a", "k")])
+        assert engine.implies(uk("a", "k")).derivation.rule == "SFK-K"
+
+    def test_uk_fk_reflexivity(self):
+        engine = LuEngine([uk("a", "k")])
+        assert engine.implies(ufk("a", "k", "a", "k"))
+        # Without the key, the reflexive query is not well-formed/implied.
+        engine2 = LuEngine([])
+        assert not engine2.implies(ufk("a", "k", "a", "k"))
+
+    def test_ufk_trans(self):
+        sigma = [uk("b", "k"), uk("c", "k"),
+                 ufk("a", "f", "b", "k"), ufk("b", "k", "c", "k")]
+        engine = LuEngine(sigma)
+        result = engine.implies(ufk("a", "f", "c", "k"))
+        assert result and result.derivation.rule == "UFK-trans"
+
+    def test_usfk_trans(self):
+        sigma = [uk("b", "k"), uk("c", "k"),
+                 sfk("a", "s", "b", "k"), ufk("b", "k", "c", "k")]
+        engine = LuEngine(sigma)
+        assert engine.implies(sfk("a", "s", "c", "k"))
+
+    def test_no_sfk_after_ufk(self):
+        """The paper notes the missing rule: UFK then SFK cannot chain,
+        because key attributes are never set-valued — such a Σ is
+        rejected outright as arity-inconsistent."""
+        with pytest.raises(ConstraintError):
+            LuEngine([uk("b", "k"), uk("c", "k"),
+                      ufk("a", "f", "b", "k"), sfk("b", "k", "c", "k")])
+
+    def test_inv_sfk(self):
+        inv = Inverse("d", attr("dk"), attr("staff"),
+                      "p", attr("pk"), attr("depts"))
+        sigma = [uk("d", "dk"), uk("p", "pk"), inv]
+        engine = LuEngine(sigma)
+        assert engine.implies(sfk("d", "staff", "p", "pk"))
+        assert engine.implies(sfk("p", "depts", "d", "dk"))
+
+    def test_inverse_needs_derivable_keys(self):
+        inv = Inverse("d", attr("dk"), attr("staff"),
+                      "p", attr("pk"), attr("depts"))
+        engine = LuEngine([inv])  # keys not stated
+        assert not engine.implies(sfk("d", "staff", "p", "pk"))
+        assert not engine.implies(inv)
+
+    def test_inverse_flip(self):
+        inv = Inverse("d", attr("dk"), attr("staff"),
+                      "p", attr("pk"), attr("depts"))
+        engine = LuEngine([uk("d", "dk"), uk("p", "pk"), inv])
+        assert engine.implies(inv.flipped())
+
+    def test_inverse_with_other_keys_not_implied(self):
+        inv = Inverse("d", attr("dk"), attr("staff"),
+                      "p", attr("pk"), attr("depts"))
+        engine = LuEngine([uk("d", "dk"), uk("p", "pk"),
+                           uk("d", "dk2"), inv])
+        other = Inverse("d", attr("dk2"), attr("staff"),
+                        "p", attr("pk"), attr("depts"))
+        assert not engine.implies(other)
+
+    def test_fk_requires_target_key(self):
+        engine = LuEngine([uk("b", "k"), ufk("a", "f", "b", "k")])
+        # a.f includes b.k, but nothing makes a.f a key, so b.k sub a.f
+        # is not even well-formed — reported as not implied.
+        assert not engine.implies(ufk("b", "k", "a", "f"))
+
+
+class TestFiniteImplication:
+    def test_divergence_example(self):
+        sigma, phi, witness = divergence_witness()
+        engine = LuEngine(sigma)
+        assert not engine.implies(phi)
+        assert engine.finitely_implies(phi)
+        assert witness.check(sigma, phi)
+
+    def test_cycle_derives_key(self):
+        # a key, a sub b  ==>  finitely, b is also a key of tau
+        # (|vals(b)| >= |vals(a)| = |ext|, but |vals(b)| <= |ext|).
+        sigma = [uk("t", "a"), uk("t", "b"),
+                 ufk("t", "a", "t", "b")]
+        engine = LuEngine(sigma)
+        # Here both keys are stated; check the derived reverse inclusion
+        # and also a longer cycle through two types.
+        assert engine.finitely_implies(ufk("t", "b", "t", "a"))
+
+    def test_two_type_cycle(self):
+        sigma = [uk("t1", "a"), uk("t1", "b"),
+                 uk("t2", "c"), uk("t2", "d"),
+                 ufk("t1", "a", "t2", "c"), ufk("t2", "d", "t1", "b")]
+        engine = LuEngine(sigma)
+        phi = ufk("t2", "c", "t1", "a")
+        assert not engine.implies(phi)
+        assert engine.finitely_implies(phi)
+        phi2 = ufk("t1", "b", "t2", "d")
+        assert not engine.implies(phi2)
+        assert engine.finitely_implies(phi2)
+
+    def test_cycle_keys_already_follow_from_ufk_k(self):
+        # In L_u every inclusion target is a key by UFK-K/SFK-K, so the
+        # cycle rules can only ever add *reversed inclusions* — a key
+        # conclusion like t1.b -> t1 is derivable even unrestrictedly.
+        sigma = [uk("t1", "a"), uk("t2", "c"),
+                 ufk("t1", "a", "t2", "c"), ufk("t2", "c", "t1", "b")]
+        engine = LuEngine(sigma)
+        phi = uk("t1", "b")
+        assert engine.implies(phi)
+        assert engine.finitely_implies(phi)
+        # The reversed inclusions along the cycle are finite-only.
+        rev = ufk("t1", "b", "t2", "c")
+        assert not engine.implies(rev)
+        assert engine.finitely_implies(rev)
+
+    def test_no_cycle_no_divergence(self):
+        sigma = [uk("b", "k"), ufk("a", "f", "b", "k")]
+        engine = LuEngine(sigma)
+        for phi in (uk("a", "f"), ufk("b", "k", "a", "f"),
+                    ufk("a", "f", "b", "k")):
+            assert engine.problems_coincide_on(phi)
+
+    def test_unrestricted_implies_finite(self):
+        """Monotonicity: Σ ⊨ φ entails Σ ⊨_f φ (fewer models)."""
+        from repro.workloads import random_lu_implication_instance
+        for seed in range(40):
+            sigma, phi = random_lu_implication_instance(seed)
+            engine = LuEngine(sigma)
+            if engine.implies(phi):
+                assert engine.finitely_implies(phi), \
+                    f"seed {seed}: {phi} unrestricted but not finite"
+
+    def test_set_valued_cycle_derives_no_false_keys(self):
+        # A cycle through a set-valued edge gives cardinality equality
+        # but must not mark the set-valued node as a key.
+        sigma = [uk("t", "k"), sfk("t", "s", "t", "k")]
+        engine = LuEngine(sigma)
+        assert not engine.finitely_implies(uk("t", "s"))
+
+
+class TestEngineHygiene:
+    def test_rejects_other_languages(self):
+        with pytest.raises(LanguageMismatchError):
+            LuEngine([IDConstraint("a")])
+
+    def test_arity_conflict_rejected(self):
+        with pytest.raises(ConstraintError):
+            LuEngine([uk("a", "x"), sfk("a", "x", "b", "k")])
+
+    def test_derivable_keys_sets(self):
+        sigma, phi, _w = divergence_witness()
+        engine = LuEngine(sigma)
+        assert engine.derivable_keys() == \
+            {("tau", attr("a")), ("tau", attr("b"))}
+
+
+class TestSubelementFields:
+    """§3.4 on the implication side: the engines treat sub-element
+    fields exactly like attribute fields (they are opaque keys)."""
+
+    def test_chain_through_subelements(self):
+        from repro.constraints import elem
+        sigma = [UnaryKey("person", elem("name")),
+                 UnaryKey("employee", elem("ename")),
+                 UnaryForeignKey("badge", elem("owner"),
+                                 "person", elem("name")),
+                 UnaryForeignKey("person", elem("name"),
+                                 "employee", elem("ename"))]
+        engine = LuEngine(sigma)
+        assert engine.implies(
+            UnaryForeignKey("badge", elem("owner"),
+                            "employee", elem("ename")))
+
+    def test_attribute_and_subelement_are_distinct_fields(self):
+        from repro.constraints import elem
+        sigma = [UnaryKey("person", elem("name"))]
+        engine = LuEngine(sigma)
+        assert engine.implies(UnaryKey("person", elem("name")))
+        assert not engine.implies(UnaryKey("person", attr("name")))

@@ -1,0 +1,99 @@
+"""Tests for the primary-key restriction on L_u (§3.2, Thm 3.4,
+Cor 3.5): the restriction check, and the coincidence of the two
+implication problems."""
+
+import pytest
+
+from repro.constraints import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey, attr,
+)
+from repro.errors import PrimaryKeyRestrictionError
+from repro.implication.lu import LuEngine
+from repro.implication.lu_primary import (
+    LuPrimaryEngine, check_primary_restriction,
+)
+from repro.workloads import random_lu_implication_instance
+
+
+def uk(t, f):
+    return UnaryKey(t, attr(f))
+
+
+def ufk(t, f, t2, f2):
+    return UnaryForeignKey(t, attr(f), t2, attr(f2))
+
+
+class TestRestrictionCheck:
+    def test_accepts_single_key_per_type(self):
+        check_primary_restriction(
+            [uk("a", "k"), uk("b", "k"), ufk("a", "f", "b", "k")])
+
+    def test_rejects_two_keys(self):
+        with pytest.raises(PrimaryKeyRestrictionError):
+            check_primary_restriction([uk("a", "k1"), uk("a", "k2")])
+
+    def test_rejects_two_reference_attributes(self):
+        with pytest.raises(PrimaryKeyRestrictionError):
+            check_primary_restriction(
+                [ufk("x", "f", "a", "k1"), ufk("y", "g", "a", "k2")])
+
+    def test_counts_fk_targets_as_keys(self):
+        with pytest.raises(PrimaryKeyRestrictionError):
+            check_primary_restriction(
+                [uk("a", "k1"), ufk("x", "f", "a", "k2")])
+
+    def test_counts_inverse_designated_keys(self):
+        inv = Inverse("a", attr("k1"), attr("s"),
+                      "b", attr("k"), attr("t"))
+        with pytest.raises(PrimaryKeyRestrictionError):
+            check_primary_restriction([uk("a", "k2"), inv])
+
+
+class TestEngine:
+    def test_query_checked_too(self):
+        engine = LuPrimaryEngine([uk("a", "k")])
+        with pytest.raises(PrimaryKeyRestrictionError):
+            engine.implies(uk("a", "other"))
+
+    def test_divergence_instance_rejected(self):
+        from repro.implication.counterexample import divergence_witness
+        sigma, _phi, _w = divergence_witness()
+        with pytest.raises(PrimaryKeyRestrictionError):
+            LuPrimaryEngine(sigma)
+
+    def test_basic_queries(self):
+        sigma = [uk("b", "k"), uk("c", "k"),
+                 ufk("a", "f", "b", "k"), ufk("b", "k", "c", "k")]
+        engine = LuPrimaryEngine(sigma)
+        assert engine.implies(ufk("a", "f", "c", "k"))
+        assert engine.finitely_implies(ufk("a", "f", "c", "k"))
+        assert not engine.implies(ufk("c", "k", "b", "k"))
+
+    def test_problems_coincide_thm_3_4(self):
+        """Theorem 3.4 empirically: on every primary-restricted random
+        instance, the cycle-rule finite decider agrees with I_u."""
+        checked = 0
+        for seed in range(150):
+            sigma, phi = random_lu_implication_instance(
+                seed, primary=True, n_types=4, n_constraints=7)
+            try:
+                check_primary_restriction(sigma + [phi])
+            except PrimaryKeyRestrictionError:
+                continue
+            engine = LuEngine(sigma)
+            assert bool(engine.implies(phi)) == \
+                bool(engine.finitely_implies(phi)), f"seed {seed}"
+            checked += 1
+        assert checked >= 50  # the generator mostly respects the restriction
+
+    def test_cycles_still_coincide_under_restriction(self):
+        """A cyclic chain with one key per type: the cardinality cycle
+        exists but every reversal is already derivable (or nothing new
+        is derivable) — Thm 3.4's content."""
+        sigma = [uk("a", "k"), uk("b", "k"),
+                 ufk("a", "k", "b", "k"), ufk("b", "k", "a", "k")]
+        engine = LuPrimaryEngine(sigma)
+        for phi in (ufk("a", "k", "b", "k"), ufk("b", "k", "a", "k"),
+                    uk("a", "k"), uk("b", "k")):
+            assert engine.implies(phi)
+            assert engine.finitely_implies(phi)

@@ -1,0 +1,135 @@
+"""Tests for cross-cutting infrastructure: errors, derivations,
+violation reports, matcher cache, CLI path-constraint parsing."""
+
+import pytest
+
+from repro.errors import (
+    ConstraintError, ConstraintSyntaxError, DataModelError, ParseError,
+    ReproError, SchemaError, ValidationError, XMLSyntaxError,
+)
+from repro.implication.result import Derivation, ImplicationResult, given
+
+
+class TestErrorHierarchy:
+    def test_everything_is_reproerror(self):
+        for exc_type in (ParseError, XMLSyntaxError, ConstraintSyntaxError,
+                         DataModelError, SchemaError, ConstraintError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_parse_error_position_rendering(self):
+        exc = ParseError("bad thing", line=3, column=7)
+        assert "line 3" in str(exc)
+        assert "column 7" in str(exc)
+        assert exc.line == 3
+
+    def test_one_catch_all(self):
+        with pytest.raises(ReproError):
+            raise XMLSyntaxError("boom")
+
+    def test_validation_error_carries_report(self):
+        from repro.constraints.violations import ViolationReport
+        report = ViolationReport()
+        report.add("key", "oops")
+        exc = ValidationError(report)
+        assert exc.report is report
+
+
+class TestDerivations:
+    def tree(self):
+        leaf1 = given("a sub b")
+        leaf2 = given("b sub c")
+        return Derivation("a sub c", "UFK-trans", (leaf1, leaf2))
+
+    def test_steps_order(self):
+        d = self.tree()
+        steps = d.steps()
+        assert [s.rule for s in steps] == ["given", "given", "UFK-trans"]
+        assert steps[-1] is d
+
+    def test_pretty_indentation(self):
+        text = self.tree().pretty()
+        lines = text.splitlines()
+        assert lines[0].startswith("a sub c")
+        assert lines[1].startswith("  ")
+
+    def test_result_explain(self):
+        yes = ImplicationResult(True, derivation=self.tree())
+        assert "UFK-trans" in yes.explain()
+        no = ImplicationResult(False, reason="no path",
+                               counterexample="M")
+        assert "no path" in no.explain()
+        assert "M" in no.explain()
+        assert bool(yes) and not bool(no)
+
+
+class TestViolationReports:
+    def test_merge_and_by_code(self):
+        from repro.constraints.violations import ViolationReport
+        a = ViolationReport()
+        a.add("key", "dup", "k1", ())
+        b = ViolationReport()
+        b.add("foreign-key", "dangle", "f1", ())
+        a.merge(b)
+        assert len(a) == 2
+        assert len(a.by_code("key")) == 1
+        assert not a.ok
+        assert "2 violation(s)" in str(a)
+
+    def test_vertices_accept_objects_and_ints(self):
+        from repro.constraints.violations import ViolationReport
+        from repro.datamodel import DataTree
+        tree = DataTree("r")
+        report = ViolationReport()
+        report.add("x", "m", vertices=(tree.root, 7))
+        assert report.violations[0].vertices == (tree.root.vid, 7)
+
+
+class TestMatcherCache:
+    def test_clear(self):
+        from repro.regexlang import parse_regex
+        from repro.regexlang.automaton import (
+            clear_matcher_cache, matcher_for,
+        )
+        r = parse_regex("(a, b)")
+        m1 = matcher_for(r)
+        clear_matcher_cache()
+        m2 = matcher_for(r)
+        assert m1 is not m2
+
+
+class TestCliPathParsing:
+    def test_parse_path_constraint_forms(self):
+        from repro.cli.main import _parse_path_constraint
+        from repro.paths import PathFunctional, PathInclusion, PathInverse
+        f = _parse_path_constraint("book.entry.isbn -> book.author")
+        assert isinstance(f, PathFunctional)
+        i = _parse_path_constraint("book.ref.to sub entry.ε")
+        assert isinstance(i, PathInclusion)
+        v = _parse_path_constraint("a.x inv b.y")
+        assert isinstance(v, PathInverse)
+
+    def test_functional_needs_one_element(self):
+        from repro.cli.main import _parse_path_constraint
+        with pytest.raises(ReproError):
+            _parse_path_constraint("a.x -> b.y")
+
+    def test_unparseable(self):
+        from repro.cli.main import _parse_path_constraint
+        with pytest.raises(ReproError):
+            _parse_path_constraint("gibberish")
+
+
+class TestPackageSurface:
+    def test_all_exports_resolve(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+        assert repro.__version__.count(".") == 2
+
+    def test_transform_surface(self):
+        from repro import transform
+        for name in transform.__all__:
+            assert hasattr(transform, name), name

@@ -1,0 +1,146 @@
+"""Tests for the OODB substrate and its L_id export (the D_o example)."""
+
+import pytest
+
+from repro.constraints import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey, UnaryKey,
+)
+from repro.dtd import validate
+from repro.errors import DataModelError, SchemaError
+from repro.oodb import (
+    ObjectStore, OdlClass, OdlRelationship, OdlSchema, export_schema,
+    export_store,
+)
+from repro.workloads import person_dept_schema, person_dept_store
+
+
+class TestSchema:
+    def test_paper_schema_checks(self, persondept_schema):
+        persondept_schema.check()
+        assert persondept_schema.inverse_pairs() == \
+            [("person", "in_dept", "dept", "has_staff")]
+
+    def test_key_over_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            OdlClass("c", attributes=("a",), keys=(frozenset(("b",)),))
+
+    def test_dangling_relationship_target(self):
+        schema = OdlSchema([OdlClass(
+            "c", relationships=(OdlRelationship("r", "ghost"),))])
+        with pytest.raises(SchemaError):
+            schema.check()
+
+    def test_asymmetric_inverse_rejected(self):
+        schema = OdlSchema([
+            OdlClass("a", relationships=(
+                OdlRelationship("to_b", "b", many=True,
+                                inverse="to_c"),)),
+            OdlClass("b", relationships=(
+                OdlRelationship("to_c", "c", many=True),)),
+            OdlClass("c"),
+        ])
+        with pytest.raises(SchemaError):
+            schema.check()
+
+    def test_odl_rendering(self, persondept_schema):
+        text = str(persondept_schema)
+        assert "interface person" in text
+        assert "inverse dept::has_staff" in text
+
+
+class TestStore:
+    def test_consistent_store(self, persondept_store):
+        assert persondept_store.check() == []
+
+    def test_duplicate_oid(self, persondept_store):
+        with pytest.raises(DataModelError):
+            persondept_store.create("person", "p0_0")
+
+    def test_dangling_reference_detected(self, persondept_store):
+        persondept_store.get("d0").references["manager"] = ("ghost",)
+        assert any("dangles" in p for p in persondept_store.check())
+
+    def test_ill_typed_reference_detected(self, persondept_store):
+        persondept_store.get("d0").references["manager"] = ("d1",)
+        assert any("expected person" in p
+                   for p in persondept_store.check())
+
+    def test_key_clash_detected(self, persondept_store):
+        persondept_store.get("p0_0").attributes["name"] = "Person 0-1"
+        assert any("clashes" in p for p in persondept_store.check())
+
+    def test_broken_inverse_detected(self, persondept_store):
+        person = persondept_store.get("p0_0")
+        person.references["in_dept"] = ()
+        assert any("inverse broken" in p
+                   for p in persondept_store.check())
+
+    def test_to_one_arity(self, persondept_store):
+        with pytest.raises(DataModelError):
+            persondept_store.create("dept", "dX", {"dname": "X"},
+                                    manager=["p0_0", "p0_1"])
+
+
+class TestExport:
+    def test_sigma_o_shape(self, persondept_schema):
+        dtd = export_schema(persondept_schema)
+        by_type = {}
+        for c in dtd.constraints:
+            by_type.setdefault(type(c), []).append(c)
+        assert len(by_type[IDConstraint]) == 2
+        assert len(by_type[UnaryKey]) == 2           # name, dname
+        assert len(by_type[IDSetValuedForeignKey]) == 2
+        assert len(by_type[IDForeignKey]) == 1       # manager
+        assert len(by_type[IDInverse]) == 1
+
+    def test_structure_kinds(self, persondept_schema):
+        from repro.dtd import AttributeKind
+        s = export_schema(persondept_schema).structure
+        assert s.kind("person", "oid") is AttributeKind.ID
+        assert s.kind("person", "in_dept") is AttributeKind.IDREF
+        assert s.is_set_valued("person", "in_dept")
+        assert not s.is_set_valued("dept", "manager")
+        assert s.subelements("person") == {"name", "address"}
+
+    def test_export_is_valid(self, persondept):
+        dtd, tree = persondept
+        report = validate(tree, dtd)
+        assert report.ok, str(report)
+
+    def test_semantics_preserved_violations_carry_over(self):
+        store = person_dept_store()
+        # Break the inverse in the store; the exported document must
+        # violate the exported L_id inverse constraint.
+        store.get("p0_0").references["in_dept"] = ()
+        dtd, tree = export_store(store)
+        report = validate(tree, dtd)
+        assert any(v.code == "inverse" for v in report)
+
+    def test_key_violations_carry_over(self):
+        store = person_dept_store()
+        store.get("p0_0").attributes["name"] = "Person 0-1"
+        dtd, tree = export_store(store)
+        assert any(v.code == "key" for v in validate(tree, dtd))
+
+    def test_composite_keys_rejected_in_lid(self):
+        schema = OdlSchema([OdlClass(
+            "c", attributes=("a", "b"),
+            keys=(frozenset(("a", "b")),))])
+        with pytest.raises(SchemaError):
+            export_schema(schema)
+
+    def test_roundtrip_through_xml_text(self, persondept):
+        from repro.xmlio import parse_document, serialize
+        dtd, tree = persondept
+        again = parse_document(serialize(tree), dtd.structure)
+        assert validate(again, dtd).ok
+
+
+class TestToOneArity:
+    def test_link_inverse_overflow_detected(self, persondept_store):
+        """link_inverse can over-fill a to-one relationship; check()
+        must flag it."""
+        persondept_store.link_inverse("d0", "manager", "p0_1")
+        persondept_store.link_inverse("d0", "manager", "p1_0")
+        problems = persondept_store.check()
+        assert any("to-one relationship" in p for p in problems)

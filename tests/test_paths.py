@@ -1,0 +1,330 @@
+"""Tests for §4: paths, typing, evaluation, and the three implication
+deciders (Props 4.1, 4.2, 4.3)."""
+
+import pytest
+
+from repro.datamodel import TreeBuilder
+from repro.dtd import DTDC, DTDStructure
+from repro.constraints.parser import parse_constraints
+from repro.errors import PathSyntaxError
+from repro.paths import (
+    Path, PathFunctional, PathImplicationEngine, PathInclusion,
+    PathInverse, parse_path, path_constraint_holds, type_of,
+)
+from repro.paths.evaluate import PathEvaluator
+from repro.workloads import book_document, book_dtdc
+
+
+def lid_book() -> DTDC:
+    """The book DTD re-equipped with L_id constraints so IDREF
+    dereferencing (§4.1) applies to ref.to."""
+    s = DTDStructure("book")
+    s.define_element("book", "(entry, author*, section*, ref)")
+    s.define_element("entry", "(title, publisher)")
+    s.define_element("section", "(title, (S + section)*)")
+    s.define_element("ref", "EMPTY")
+    s.define_element("author", "S*")
+    s.define_element("title", "S*")
+    s.define_element("publisher", "S*")
+    s.define_attribute("entry", "isbn", kind="ID")
+    s.define_attribute("section", "sid")
+    s.define_attribute("ref", "to", set_valued=True, kind="IDREF")
+    constraints = parse_constraints("""
+        entry.isbn ->id entry
+        section.sid -> section
+        ref.to subS entry.id
+    """, s)
+    return DTDC(s, constraints)
+
+
+def course_dtdc() -> DTDC:
+    """The student/teacher/course example of Prop 4.3."""
+    s = DTDStructure("school")
+    s.define_element(
+        "school", "(student*, teacher*, course*)")
+    for t in ("student", "teacher", "course"):
+        s.define_element(t, "EMPTY")
+        s.define_attribute(t, "oid", kind="ID")
+    s.define_attribute("student", "taking", set_valued=True, kind="IDREF")
+    s.define_attribute("teacher", "teaching", set_valued=True,
+                       kind="IDREF")
+    s.define_attribute("course", "taken_by", set_valued=True,
+                       kind="IDREF")
+    s.define_attribute("course", "taught_by", set_valued=True,
+                       kind="IDREF")
+    constraints = parse_constraints("""
+        student.oid ->id student
+        teacher.oid ->id teacher
+        course.oid ->id course
+        student.taking inv course.taken_by
+        teacher.teaching inv course.taught_by
+    """, s)
+    return DTDC(s, constraints)
+
+
+class TestPathParsing:
+    def test_basic(self):
+        p = parse_path("book.entry.isbn")
+        assert len(p) == 3
+        assert str(p) == "book.entry.isbn"
+
+    def test_epsilon(self):
+        assert len(parse_path("")) == 0
+        assert str(parse_path("ε")) == "ε"
+
+    def test_forced_kinds(self):
+        p = parse_path("@sid.<title>")
+        assert p.steps[0].kind == "attribute"
+        assert p.steps[1].kind == "element"
+
+    def test_affixes(self):
+        p = parse_path("a.b")
+        q = parse_path("c")
+        assert str(p.concat(q)) == "a.b.c"
+        assert str(p.prefix(1)) == "a"
+        assert str(p.suffix(1)) == "b"
+
+
+class TestTyping:
+    def test_element_steps(self):
+        dtd = lid_book()
+        assert type_of(dtd, "book", "entry") == "entry"
+        assert type_of(dtd, "book", "entry.title") == "title"
+        assert type_of(dtd, "book", "section.section") == "section"
+
+    def test_atomic_attribute(self):
+        dtd = lid_book()
+        assert type_of(dtd, "book", "section.sid") == "S"
+
+    def test_dereferencing_attribute(self):
+        """The paper's point: ref.to hops to entry via the L_id FK."""
+        dtd = lid_book()
+        assert type_of(dtd, "book", "ref.to") == "entry"
+        assert type_of(dtd, "book", "ref.to.title") == "title"
+
+    def test_no_navigation_past_atomic(self):
+        dtd = lid_book()
+        with pytest.raises(PathSyntaxError):
+            type_of(dtd, "book", "section.sid.zzz")
+
+    def test_unknown_step(self):
+        dtd = lid_book()
+        with pytest.raises(PathSyntaxError):
+            type_of(dtd, "book", "entry.ghost")
+
+
+class TestEvaluation:
+    def make(self):
+        dtd = lid_book()
+        doc = book_document()
+        return dtd, doc, PathEvaluator(dtd, doc)
+
+    def test_element_navigation(self):
+        dtd, doc, ev = self.make()
+        titles = ev.ext_of("book", parse_path("section.title"))
+        assert {t.text for t in titles} == \
+            {"Introduction", "A Syntax For Data"}
+
+    def test_attribute_values(self):
+        dtd, doc, ev = self.make()
+        sids = ev.ext_of("section", parse_path("sid"))
+        assert sids == {"intro", "audience", "syntax"}
+
+    def test_dereference(self):
+        dtd, doc, ev = self.make()
+        entries = ev.ext_of("book", parse_path("ref.to"))
+        assert {e.label for e in entries} == {"entry"}
+        titles = ev.ext_of("book", parse_path("ref.to.title"))
+        assert {t.text for t in titles} == {"Data on the Web"}
+
+    def test_nodes_of_single_vertex(self):
+        dtd, doc, ev = self.make()
+        (ref,) = [v for v in doc.root.subtree() if v.label == "ref"]
+        assert len(ev.nodes_of(ref, parse_path("to"))) == 1
+
+    def test_recursive_descent_one_level(self):
+        dtd, doc, ev = self.make()
+        nested = ev.ext_of("book", parse_path("section.section"))
+        assert {v.single("sid") for v in nested} == {"audience"}
+
+
+class TestSatisfaction:
+    def test_inclusion_holds(self):
+        dtd = lid_book()
+        doc = book_document()
+        phi = PathInclusion("book", parse_path("ref.to"),
+                            "entry", parse_path(""))
+        assert path_constraint_holds(dtd, doc, phi)
+
+    def test_functional_holds(self):
+        dtd = lid_book()
+        doc = book_document()
+        phi = PathFunctional("book", parse_path("entry.isbn"),
+                             parse_path("author"))
+        assert path_constraint_holds(dtd, doc, phi)
+
+
+class TestProp41Functional:
+    def test_key_path_via_unique_subelement_and_key(self):
+        dtd = lid_book()
+        engine = PathImplicationEngine(dtd)
+        # entry is a unique sub-element of book, isbn its ID.
+        assert engine.is_key_path("book", parse_path("entry.isbn"))
+        assert engine.is_key_path("book", parse_path("entry"))
+        assert engine.is_key_path("book", parse_path(""))
+
+    def test_non_key_paths(self):
+        dtd = lid_book()
+        engine = PathImplicationEngine(dtd)
+        # author is starred: not unique.
+        assert not engine.is_key_path("book", parse_path("author"))
+        # section is starred too.
+        assert not engine.is_key_path("book", parse_path("section.sid"))
+
+    def test_paper_example(self):
+        """φ = book.entry.isbn -> book.author (the §4.2 example)."""
+        dtd = lid_book()
+        engine = PathImplicationEngine(dtd)
+        phi = PathFunctional("book", parse_path("entry.isbn"),
+                             parse_path("author"))
+        assert engine.implies_functional(phi)
+
+    def test_reflexivity_case(self):
+        dtd = lid_book()
+        engine = PathImplicationEngine(dtd)
+        phi = PathFunctional("book", parse_path("author"),
+                             parse_path("author"))
+        assert engine.implies_functional(phi)
+
+    def test_not_implied(self):
+        dtd = lid_book()
+        engine = PathImplicationEngine(dtd)
+        phi = PathFunctional("book", parse_path("author"),
+                             parse_path("entry"))
+        assert not engine.implies_functional(phi)
+
+    def test_key_attribute_step_inside_path(self):
+        dtd = lid_book()
+        engine = PathImplicationEngine(dtd)
+        # ref is unique; its 'to' attribute is NOT a key of ref.
+        assert not engine.is_key_path("book", parse_path("ref.to"))
+
+
+class TestProp42Inclusion:
+    def test_paper_examples(self):
+        dtd = lid_book()
+        engine = PathImplicationEngine(dtd)
+        assert engine.implies_inclusion(PathInclusion(
+            "book", parse_path("ref.to"), "entry", parse_path("")))
+        assert engine.implies_inclusion(PathInclusion(
+            "book", parse_path("ref.to.title"),
+            "entry", parse_path("title")))
+
+    def test_typing_information_form(self):
+        dtd = lid_book()
+        engine = PathImplicationEngine(dtd)
+        assert engine.implies_inclusion(PathInclusion(
+            "book", parse_path("section.section"),
+            "section", parse_path("")))
+
+    def test_not_implied_wrong_type(self):
+        dtd = lid_book()
+        engine = PathImplicationEngine(dtd)
+        assert not engine.implies_inclusion(PathInclusion(
+            "book", parse_path("ref.to"), "section", parse_path("")))
+
+    def test_not_implied_not_suffix(self):
+        dtd = lid_book()
+        engine = PathImplicationEngine(dtd)
+        assert not engine.implies_inclusion(PathInclusion(
+            "book", parse_path("entry.title"),
+            "entry", parse_path("publisher")))
+
+    def test_soundness_on_document(self):
+        """Everything the decider calls implied must hold on the valid
+        Figure 2 document."""
+        dtd = lid_book()
+        doc = book_document()
+        engine = PathImplicationEngine(dtd)
+        candidates = [
+            PathInclusion("book", parse_path("ref.to"),
+                          "entry", parse_path("")),
+            PathInclusion("book", parse_path("ref.to.title"),
+                          "entry", parse_path("title")),
+            PathInclusion("book", parse_path("section.section"),
+                          "section", parse_path("")),
+            PathInclusion("book", parse_path("entry.title"),
+                          "entry", parse_path("publisher")),
+        ]
+        for phi in candidates:
+            if engine.implies_inclusion(phi):
+                assert path_constraint_holds(dtd, doc, phi), str(phi)
+
+
+class TestProp43Inverse:
+    def test_basic_inverse_implied(self):
+        dtd = course_dtdc()
+        engine = PathImplicationEngine(dtd)
+        phi = PathInverse("student", parse_path("taking"),
+                          "course", parse_path("taken_by"))
+        assert engine.implies_inverse(phi)
+        assert engine.implies_inverse(phi.flipped())
+
+    def test_paper_composition(self):
+        """student.taking.taught_by ⇌ teacher.teaching.taken_by."""
+        dtd = course_dtdc()
+        engine = PathImplicationEngine(dtd)
+        phi = PathInverse("student", parse_path("taking.taught_by"),
+                          "teacher", parse_path("teaching.taken_by"))
+        assert engine.implies_inverse(phi)
+
+    def test_wrong_return_path(self):
+        dtd = course_dtdc()
+        engine = PathImplicationEngine(dtd)
+        # Well-typed but not the inverse composition.
+        phi = PathInverse("student", parse_path("taking.taught_by"),
+                          "teacher", parse_path("teaching.taught_by"))
+        assert not engine.implies_inverse(phi)
+        # Ill-typed return paths are reported as not implied, not raised.
+        bad = PathInverse("student", parse_path("taking.taught_by"),
+                          "teacher", parse_path("taken_by.teaching"))
+        assert not engine.implies_inverse(bad)
+
+    def test_uncovered_step(self):
+        dtd = course_dtdc()
+        engine = PathImplicationEngine(dtd)
+        phi = PathInverse("course", parse_path("taught_by"),
+                          "student", parse_path("taking"))
+        assert not engine.implies_inverse(phi)
+
+    def test_length_mismatch(self):
+        dtd = course_dtdc()
+        engine = PathImplicationEngine(dtd)
+        phi = PathInverse("student", parse_path("taking.taught_by"),
+                          "teacher", parse_path("teaching"))
+        assert not engine.implies_inverse(phi)
+
+    def test_soundness_on_document(self):
+        dtd = course_dtdc()
+        b = TreeBuilder("school")
+        b.leaf("student", oid="s1", taking=["c1"])
+        b.leaf("teacher", oid="t1", teaching=["c1"])
+        b.leaf("course", oid="c1", taken_by=["s1"], taught_by=["t1"])
+        doc = b.tree
+        from repro.dtd import validate
+        assert validate(doc, dtd).ok
+        engine = PathImplicationEngine(dtd)
+        phi = PathInverse("student", parse_path("taking.taught_by"),
+                          "teacher", parse_path("teaching.taken_by"))
+        assert engine.implies_inverse(phi)
+        assert path_constraint_holds(dtd, doc, phi)
+
+    def test_dispatch(self):
+        dtd = course_dtdc()
+        engine = PathImplicationEngine(dtd)
+        phi = PathInverse("student", parse_path("taking"),
+                          "course", parse_path("taken_by"))
+        assert engine.implies(phi)
+        assert engine.finitely_implies(phi)
+        with pytest.raises(TypeError):
+            engine.implies("nonsense")

@@ -1,0 +1,121 @@
+"""Tests for the sound path-by-path prover (§5's open problem #2,
+implemented as an explicitly incomplete engine)."""
+
+import pytest
+
+from repro.paths import (
+    PathFunctional, PathInclusion, PathInverse, parse_path,
+    path_constraint_holds,
+)
+from repro.paths.path_by_path import PathByPathProver
+
+
+def inc(e, r, t, v):
+    return PathInclusion(e, parse_path(r), t, parse_path(v))
+
+
+def fun(e, r, v):
+    return PathFunctional(e, parse_path(r), parse_path(v))
+
+
+def inv(e, r, t, v):
+    return PathInverse(e, parse_path(r), t, parse_path(v))
+
+
+class TestInclusions:
+    def test_reflexivity(self):
+        prover = PathByPathProver([])
+        assert prover.prove(inc("a", "x.y", "a", "x.y"))
+
+    def test_stated(self):
+        prover = PathByPathProver([inc("book", "ref.to", "entry", "")])
+        assert prover.prove(inc("book", "ref.to", "entry", ""))
+
+    def test_suffixing(self):
+        prover = PathByPathProver([inc("book", "ref.to", "entry", "")])
+        assert prover.prove(
+            inc("book", "ref.to.title", "entry", "title"))
+
+    def test_transitivity_with_suffixes(self):
+        sigma = [inc("a", "p", "b", "q"), inc("b", "q.r", "c", "s")]
+        prover = PathByPathProver(sigma)
+        assert prover.prove(inc("a", "p.r", "c", "s"))
+        assert prover.prove(inc("a", "p.r.z", "c", "s.z"))
+
+    def test_not_proved(self):
+        prover = PathByPathProver([inc("a", "p", "b", "q")])
+        assert not prover.prove(inc("b", "q", "a", "p"))
+        assert not prover.prove(inc("a", "z", "b", "q"))
+
+    def test_soundness_on_documents(self):
+        """Proved inclusions hold on every valid document (spot-check
+        with the lid book of the §4 tests)."""
+        from repro.workloads import book_document
+        from tests.test_paths import lid_book
+        dtd = lid_book()
+        doc = book_document()
+        sigma = [inc("book", "ref.to", "entry", "")]
+        prover = PathByPathProver(sigma)
+        phi = inc("book", "ref.to.title", "entry", "title")
+        assert prover.prove(phi)
+        assert path_constraint_holds(dtd, doc, sigma[0])
+        assert path_constraint_holds(dtd, doc, phi)
+
+
+class TestFunctionals:
+    def test_reflexivity_and_stated(self):
+        prover = PathByPathProver([fun("b", "k", "v")])
+        assert prover.prove(fun("b", "k", "k"))
+        assert prover.prove(fun("b", "k", "v"))
+
+    def test_element_determination(self):
+        # k determines the element itself => determines every path.
+        prover = PathByPathProver([fun("b", "k", "")])
+        assert prover.prove(fun("b", "k", "anything.at.all"))
+
+    def test_right_weakening_not_assumed(self):
+        """``k -> v`` does NOT entail ``k -> v.w`` in general: two
+        elements may share their v-children's identity... they cannot —
+        nodes() equality is identity-based, so equal v-sets DO give
+        equal v.w-sets.  The rule is actually sound for *node* paths,
+        but not when v is a value (string) step: equal string values do
+        not determine the elements they came from.  The prover stays
+        conservative and refuses."""
+        prover = PathByPathProver([fun("b", "k", "v")])
+        assert not prover.prove(fun("b", "k", "v.w"))
+
+    def test_unrelated(self):
+        prover = PathByPathProver([fun("b", "k", "v")])
+        assert not prover.prove(fun("b", "x", "v"))
+
+
+class TestInverses:
+    def test_stated_and_flipped(self):
+        base = inv("student", "taking", "course", "taken_by")
+        prover = PathByPathProver([base])
+        assert prover.prove(base)
+        assert prover.prove(base.flipped())
+
+    def test_composition(self):
+        sigma = [inv("student", "taking", "course", "taken_by"),
+                 inv("teacher", "teaching", "course", "taught_by")]
+        prover = PathByPathProver(sigma)
+        phi = inv("student", "taking.taught_by",
+                  "teacher", "teaching.taken_by")
+        assert prover.prove(phi)
+        assert "inverse-composition" in \
+            prover.prove(phi).derivation.pretty()
+
+    def test_wrong_composition(self):
+        sigma = [inv("student", "taking", "course", "taken_by"),
+                 inv("teacher", "teaching", "course", "taught_by")]
+        prover = PathByPathProver(sigma)
+        assert not prover.prove(
+            inv("student", "taking.taught_by",
+                "teacher", "taken_by.teaching"))
+
+    def test_rejects_non_path_constraints(self):
+        with pytest.raises(TypeError):
+            PathByPathProver(["nonsense"])
+        with pytest.raises(TypeError):
+            PathByPathProver([]).prove("nonsense")

@@ -1,0 +1,146 @@
+"""Tests for the independent derivation checker: every proof the
+engines emit must re-validate, and corrupted proofs must not."""
+
+from repro.constraints import (
+    ForeignKey, IDConstraint, IDForeignKey, IDInverse, Inverse, Key,
+    SetValuedForeignKey, UnaryForeignKey, UnaryKey, attr,
+)
+from repro.implication import (
+    LGeneralEngine, LidEngine, LPrimaryEngine, LuEngine,
+)
+from repro.implication.proofcheck import check_derivation
+from repro.implication.result import Derivation, given
+from repro.workloads import random_lu_implication_instance
+
+
+class TestEngineProofsCheck:
+    def test_lid_proofs(self):
+        sigma = [IDInverse("a", attr("x"), "b", attr("y")),
+                 IDForeignKey("c", attr("r"), "a"),
+                 UnaryKey("a", attr("k"))]
+        engine = LidEngine(sigma)
+        for phi in engine.derived_constraints():
+            result = engine.implies(phi)
+            assert result
+            assert check_derivation(result.derivation, sigma) == [], \
+                result.derivation.pretty()
+
+    def test_lu_proofs_on_random_corpus(self):
+        checked = 0
+        for seed in range(60):
+            sigma, phi = random_lu_implication_instance(
+                seed, n_types=4, n_constraints=8)
+            engine = LuEngine(sigma)
+            result = engine.implies(phi)
+            if result and result.derivation is not None:
+                problems = check_derivation(result.derivation, sigma)
+                assert problems == [], (
+                    f"seed {seed}:\n{result.derivation.pretty()}"
+                    f"\n{problems}")
+                checked += 1
+        assert checked >= 15
+
+    def test_lu_finite_proofs(self):
+        sigma = [UnaryKey("t", attr("a")), UnaryKey("t", attr("b")),
+                 UnaryForeignKey("t", attr("a"), "t", attr("b"))]
+        engine = LuEngine(sigma)
+        phi = UnaryForeignKey("t", attr("b"), "t", attr("a"))
+        result = engine.finitely_implies(phi)
+        assert check_derivation(result.derivation, sigma) == []
+
+    def test_lu_inverse_proofs(self):
+        inv = Inverse("d", attr("dk"), attr("staff"),
+                      "p", attr("pk"), attr("depts"))
+        sigma = [UnaryKey("d", attr("dk")), UnaryKey("p", attr("pk")),
+                 inv]
+        engine = LuEngine(sigma)
+        result = engine.implies(
+            SetValuedForeignKey("d", attr("staff"), "p", attr("pk")))
+        assert check_derivation(result.derivation, sigma) == []
+
+    def test_l_primary_proofs(self):
+        sigma = [Key("publisher", ("pname", "country")),
+                 ForeignKey("editor", ("pname", "country"),
+                            "publisher", ("pname", "country")),
+                 ForeignKey("publisher", ("pname", "country"),
+                            "archive", ("pid", "cid"))]
+        engine = LPrimaryEngine(sigma)
+        queries = [
+            Key("publisher", ("country", "pname")),
+            ForeignKey("editor", ("country", "pname"),
+                       "publisher", ("country", "pname")),
+            ForeignKey("editor", ("pname", "country"),
+                       "archive", ("pid", "cid")),
+        ]
+        for phi in queries:
+            result = engine.implies(phi)
+            assert result, str(phi)
+            assert check_derivation(result.derivation, sigma) == [], \
+                result.derivation.pretty()
+
+    def test_l_general_proofs(self):
+        sigma = [Key("tau", ("a",)), Key("tau", ("a", "b"))]
+        # K-augment fires only when the exact key is absent:
+        engine = LGeneralEngine([Key("tau", ("a",))])
+        result = engine.prove(Key("tau", ("a", "c")))
+        assert result.derivation.rule == "K-augment"
+        assert check_derivation(result.derivation,
+                                [Key("tau", ("a",))]) == []
+        del sigma
+
+
+class TestCorruptedProofsFail:
+    def test_unknown_rule(self):
+        bad = Derivation("anything", "made-up-rule")
+        assert check_derivation(bad, []) != []
+
+    def test_given_must_be_stated(self):
+        bad = given(UnaryKey("a", attr("k")))
+        assert check_derivation(bad, []) != []
+        assert check_derivation(bad, [UnaryKey("a", attr("k"))]) == []
+
+    def test_broken_transitivity_chain(self):
+        sigma = [UnaryKey("b", attr("k")), UnaryKey("c", attr("k")),
+                 UnaryForeignKey("a", attr("f"), "b", attr("k")),
+                 UnaryForeignKey("b", attr("k"), "c", attr("k"))]
+        bad = Derivation(
+            "a.f sub c.k", "UFK-trans",
+            (given(sigma[2]), given(sigma[2])))  # repeated first link
+        assert check_derivation(bad, sigma) != []
+
+    def test_wrong_target_in_ufk_k(self):
+        sigma = [UnaryForeignKey("a", attr("f"), "b", attr("k"))]
+        bad = Derivation("c.k -> c", "UFK-K", (given(sigma[0]),))
+        assert check_derivation(bad, sigma) != []
+
+    def test_fake_cycle_reverse(self):
+        sigma = [UnaryKey("b", attr("k")),
+                 UnaryForeignKey("a", attr("f"), "b", attr("k"))]
+        bad = Derivation("a.f subseteq b.k", "cycle-rule",
+                         (given(sigma[1]),))  # not a reversal
+        assert check_derivation(bad, sigma) != []
+
+    def test_fake_primary_key(self):
+        bad = Derivation("r[x] -> r", "primary-key")
+        assert check_derivation(bad, [Key("r", ("y",))]) != []
+
+    def test_nested_problem_surfaces(self):
+        sigma = [UnaryForeignKey("a", attr("f"), "b", attr("k"))]
+        inner_bad = given(UnaryKey("z", attr("z")))  # not stated
+        outer = Derivation("b.k -> b", "UFK-K", (inner_bad,))
+        problems = check_derivation(outer, sigma)
+        assert any("not a member" in p for p in problems)
+
+
+class TestIdRuleChecks:
+    def test_id_rules(self):
+        sigma = [IDConstraint("a")]
+        engine = LidEngine(sigma)
+        for phi in engine.derived_constraints():
+            result = engine.implies(phi)
+            assert check_derivation(result.derivation, sigma) == []
+
+    def test_wrong_id_key(self):
+        bad = Derivation("b.id -> b", "ID-Key",
+                         (given(IDConstraint("a")),))
+        assert check_derivation(bad, [IDConstraint("a")]) != []

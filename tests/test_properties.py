@@ -1,0 +1,485 @@
+"""Property-based tests (hypothesis) on core invariants:
+
+- Glushkov matcher vs direct NFA simulation vs word sampling;
+- occurrence bounds vs actual counts on sampled words;
+- indexed constraint checker vs the naive executable specification;
+- soundness of the L_u implication deciders against random models;
+- exhaustive model search never contradicts the finite decider;
+- FD implication (Armstrong closure) vs the chase;
+- serializer/parser round-trip on random trees.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (
+    SetValuedForeignKey, UnaryForeignKey, UnaryKey, attr, check,
+    check_naive,
+)
+from repro.implication.lu import LuEngine
+from repro.implication.models import AbstractModel, materialize
+from repro.implication.search import random_counterexample
+from repro.regexlang.ast import Atom, Concat, Epsilon, Star, Union
+from repro.regexlang.automaton import Matcher
+from repro.regexlang.glushkov import GlushkovNFA
+from repro.regexlang.properties import occurrence_bounds
+from repro.workloads.generators import (
+    _random_word, random_lu_implication_instance,
+)
+
+ALPHABET = ("a", "b", "c")
+
+
+def regexes(depth=4):
+    leaf = st.one_of(
+        st.just(Epsilon()),
+        st.sampled_from([Atom(s) for s in ALPHABET]),
+    )
+    return st.recursive(
+        leaf,
+        lambda inner: st.one_of(
+            st.builds(Union, inner, inner),
+            st.builds(Concat, inner, inner),
+            st.builds(Star, inner),
+        ),
+        max_leaves=8)
+
+
+words = st.lists(st.sampled_from(ALPHABET), max_size=6)
+
+
+class TestRegexProperties:
+    @given(regexes(), words)
+    @settings(max_examples=200, deadline=None)
+    def test_matcher_agrees_with_nfa(self, regex, word):
+        assert Matcher(regex).matches(word) == \
+            GlushkovNFA(regex).accepts(word)
+
+    @given(regexes(), st.integers(0, 2**31))
+    @settings(max_examples=150, deadline=None)
+    def test_sampled_words_are_members(self, regex, seed):
+        word = _random_word(regex, random.Random(seed), budget=10)
+        assert Matcher(regex).matches(word)
+
+    @given(regexes(), st.sampled_from(ALPHABET), st.integers(0, 2**31))
+    @settings(max_examples=150, deadline=None)
+    def test_occurrence_bounds_hold_on_samples(self, regex, symbol, seed):
+        lo, hi = occurrence_bounds(regex, symbol)
+        word = _random_word(regex, random.Random(seed), budget=10)
+        count = word.count(symbol)
+        assert count >= lo
+        if hi is not None:
+            assert count <= hi
+
+
+def abstract_models():
+    """Random tiny abstract models over two types with fixed fields."""
+    values = st.sampled_from(["u", "v", "w"])
+    single = st.fixed_dictionaries({"k": values, "f": values})
+    setv = st.frozensets(values, max_size=3)
+
+    def build(t_rows, s_rows):
+        m = AbstractModel()
+        m.set_valued.add(("t", attr("s")))
+        m.set_valued.add(("u", attr("s")))
+        for row in t_rows:
+            m.add("t", k=row["k"], f=row["f"])
+        for row, ss in s_rows:
+            e = m.add("u", k=row["k"], f=row["f"])
+            e.values[attr("s")] = ss
+        return m
+
+    rows_t = st.lists(single, max_size=3)
+    rows_s = st.lists(st.tuples(single, setv), max_size=3)
+    return st.builds(build, rows_t, rows_s)
+
+
+CONSTRAINTS = [
+    UnaryKey("t", attr("k")),
+    UnaryKey("u", attr("k")),
+    UnaryForeignKey("t", attr("f"), "u", attr("k")),
+    UnaryForeignKey("u", attr("f"), "t", attr("k")),
+]
+
+
+class TestCheckerProperties:
+    @given(abstract_models())
+    @settings(max_examples=100, deadline=None)
+    def test_indexed_equals_naive_on_documents(self, model):
+        dtd, tree = materialize(model)
+        for constraint in CONSTRAINTS:
+            fast = check(tree, [constraint], dtd.structure).ok
+            naive = check_naive(tree, [constraint], dtd.structure).ok
+            assert fast == naive, str(constraint)
+
+    @given(abstract_models())
+    @settings(max_examples=100, deadline=None)
+    def test_abstract_evaluation_matches_document_checker(self, model):
+        dtd, tree = materialize(model)
+        for constraint in CONSTRAINTS:
+            assert model.satisfies(constraint) == \
+                check(tree, [constraint], dtd.structure).ok, \
+                str(constraint)
+
+
+class TestImplicationSoundness:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_finite_decider_sound_on_random_models(self, seed):
+        """If Σ ⊨_f φ per the decider, no sampled finite model of Σ may
+        violate φ — i.e. the randomized counterexample search must fail."""
+        sigma, phi = random_lu_implication_instance(
+            seed, n_types=3, n_constraints=6)
+        engine = LuEngine(sigma)
+        if engine.finitely_implies(phi):
+            witness = random_counterexample(sigma, phi, trials=150,
+                                            max_elements=2,
+                                            domain_size=2, seed=seed)
+            assert witness is None, (
+                f"decider says implied but found model:\n{witness}")
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_found_models_refute_honestly(self, seed):
+        """Any model the search returns really is a counterexample, so
+        the decider must agree it is not finitely implied."""
+        sigma, phi = random_lu_implication_instance(
+            seed, n_types=3, n_constraints=6)
+        witness = random_counterexample(sigma, phi, trials=60,
+                                        max_elements=2, domain_size=2,
+                                        seed=seed)
+        if witness is not None:
+            engine = LuEngine(sigma)
+            assert not engine.finitely_implies(phi)
+            assert not engine.implies(phi)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_unrestricted_entails_finite(self, seed):
+        sigma, phi = random_lu_implication_instance(
+            seed, n_types=4, n_constraints=8)
+        engine = LuEngine(sigma)
+        if engine.implies(phi):
+            assert engine.finitely_implies(phi)
+
+
+class TestFdProperties:
+    @given(st.lists(
+        st.tuples(st.frozensets(st.sampled_from("abcd"), min_size=1,
+                                max_size=2),
+                  st.frozensets(st.sampled_from("abcd"), min_size=1,
+                                max_size=2)),
+        max_size=4),
+        st.frozensets(st.sampled_from("abcd"), min_size=1, max_size=2),
+        st.frozensets(st.sampled_from("abcd"), min_size=1, max_size=2))
+    @settings(max_examples=80, deadline=None)
+    def test_fd_closure_agrees_with_chase(self, fd_pairs, lhs, rhs):
+        from repro.relational import (
+            FD, ChaseOutcome, Database, RelationSchema, chase, fd_implies,
+        )
+        fds = [FD("r", a, b) for a, b in fd_pairs]
+        phi = FD("r", lhs, rhs)
+        database = Database([RelationSchema("r", tuple("abcd"))])
+        result = chase(database, fds, [], phi, max_steps=50)
+        expected = ChaseOutcome.IMPLIED if fd_implies(fds, phi) \
+            else ChaseOutcome.NOT_IMPLIED
+        assert result.outcome is expected
+
+
+class TestSerializationRoundtrip:
+    @given(abstract_models())
+    @settings(max_examples=80, deadline=None)
+    def test_xml_roundtrip_preserves_model(self, model):
+        from repro.xmlio import parse_document, serialize
+        dtd, tree = materialize(model)
+        again = parse_document(serialize(tree), dtd.structure)
+        assert [v.label for v in again.root.subtree()] == \
+            [v.label for v in tree.root.subtree()]
+        for before, after in zip(tree.root.subtree(),
+                                 again.root.subtree()):
+            for name, values in before.attributes.items():
+                if values:
+                    assert after.attr_or_empty(name) == values
+
+
+class TestPathSoundnessProperties:
+    """Whatever the §4 deciders call implied must hold on random valid
+    documents of the school schema."""
+
+    @staticmethod
+    def _school_dtdc():
+        from repro.constraints.parser import parse_constraints
+        from repro.dtd import DTDC, DTDStructure
+        s = DTDStructure("school")
+        s.define_element("school", "(student*, teacher*, course*)")
+        for t in ("student", "teacher", "course"):
+            s.define_element(t, "EMPTY")
+            s.define_attribute(t, "oid", kind="ID")
+        s.define_attribute("student", "taking", set_valued=True,
+                           kind="IDREF")
+        s.define_attribute("teacher", "teaching", set_valued=True,
+                           kind="IDREF")
+        s.define_attribute("course", "taken_by", set_valued=True,
+                           kind="IDREF")
+        s.define_attribute("course", "taught_by", set_valued=True,
+                           kind="IDREF")
+        return DTDC(s, parse_constraints("""
+            student.oid ->id student
+            teacher.oid ->id teacher
+            course.oid ->id course
+            student.taking inv course.taken_by
+            teacher.teaching inv course.taught_by
+        """, s))
+
+    @staticmethod
+    def _random_school_doc(seed):
+        """A random *valid* school document: inverse-consistent links."""
+        from repro.datamodel import TreeBuilder
+        rng = random.Random(seed)
+        n_students = rng.randint(0, 3)
+        n_teachers = rng.randint(0, 2)
+        n_courses = rng.randint(0, 3)
+        taking = {(s, c) for s in range(n_students)
+                  for c in range(n_courses) if rng.random() < 0.4}
+        teaching = {(t, c) for t in range(n_teachers)
+                    for c in range(n_courses) if rng.random() < 0.4}
+        b = TreeBuilder("school")
+        for s in range(n_students):
+            b.leaf("student", oid=f"s{s}",
+                   taking=[f"c{c}" for (ss, c) in taking if ss == s])
+        for t in range(n_teachers):
+            b.leaf("teacher", oid=f"t{t}",
+                   teaching=[f"c{c}" for (tt, c) in teaching if tt == t])
+        for c in range(n_courses):
+            b.leaf("course", oid=f"c{c}",
+                   taken_by=[f"s{s}" for (s, cc) in taking if cc == c],
+                   taught_by=[f"t{t}" for (t, cc) in teaching if cc == c])
+        return b.tree
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_implied_inverses_hold_on_random_documents(self, seed):
+        from repro.dtd import validate
+        from repro.paths import (
+            PathImplicationEngine, PathInverse, parse_path,
+            path_constraint_holds,
+        )
+        dtd = self._school_dtdc()
+        doc = self._random_school_doc(seed)
+        assert validate(doc, dtd).ok
+        engine = PathImplicationEngine(dtd)
+        candidates = [
+            PathInverse("student", parse_path("taking"),
+                        "course", parse_path("taken_by")),
+            PathInverse("student", parse_path("taking.taught_by"),
+                        "teacher", parse_path("teaching.taken_by")),
+            PathInverse("teacher", parse_path("teaching.taken_by"),
+                        "student", parse_path("taking.taught_by")),
+            PathInverse("student", parse_path("taking.taught_by"),
+                        "teacher", parse_path("teaching.taught_by")),
+        ]
+        for phi in candidates:
+            if engine.implies(phi):
+                assert path_constraint_holds(dtd, doc, phi), str(phi)
+
+
+class TestTransformProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_rename_roundtrip_preserves_constraints(self, seed):
+        """Renaming then renaming back is the identity on Σ."""
+        from repro.dtd import DTDC, DTDStructure
+        from repro.transform import rename_elements
+        from repro.workloads.generators import random_lu_sigma
+
+        sigma = random_lu_sigma(seed, n_types=3, n_constraints=6,
+                                with_inverses=False)
+        s = DTDStructure("t0")
+        types = {c.element for c in sigma} | \
+            {getattr(c, "target", "t0") for c in sigma} | {"t0"}
+        s.define_element("t0", "(" + ", ".join(
+            f"{t}*" for t in sorted(types - {"t0"})) + ")"
+            if len(types) > 1 else "EMPTY")
+        attrs = {}
+        from repro.implication.lu import _Arities
+        arities = _Arities()
+        arities.scan(sigma)
+        for t in sorted(types - {"t0"}):
+            s.define_element(t, "EMPTY")
+        for (t, f) in sorted(arities.single, key=str):
+            s.define_attribute(t, f.name)
+        for (t, f) in sorted(arities.set_valued, key=str):
+            s.define_attribute(t, f.name, set_valued=True)
+        del attrs
+        dtd = DTDC(s, sigma)
+        forward = {t: f"re_{t}" for t in types}
+        backward = {v: k for k, v in forward.items()}
+        there = rename_elements(dtd, forward)
+        back = rename_elements(there, backward)
+        assert set(map(str, back.constraints)) == \
+            set(map(str, dtd.constraints))
+        assert back.structure.element_types == s.element_types
+
+
+class TestIndProperties:
+    @given(st.lists(st.tuples(st.sampled_from("rs"),
+                              st.sampled_from("ab"),
+                              st.sampled_from("rs"),
+                              st.sampled_from("ab")),
+                    max_size=4),
+           st.tuples(st.sampled_from("rs"), st.sampled_from("ab"),
+                     st.sampled_from("rs"), st.sampled_from("ab")))
+    @settings(max_examples=80, deadline=None)
+    def test_ind_axioms_agree_with_chase(self, stated, query):
+        """CFP rule-based IND implication == the chase, on unary
+        single-IND-per-step instances (where the chase terminates)."""
+        from repro.relational import (
+            IND, ChaseOutcome, Database, RelationSchema, chase,
+            ind_implies,
+        )
+        sigma = [IND(r, (a,), s, (b,)) for (r, a, s, b) in stated]
+        phi = IND(query[0], (query[1],), query[2], (query[3],))
+        database = Database([RelationSchema("r", ("a", "b")),
+                             RelationSchema("s", ("a", "b"))])
+        result = chase(database, [], sigma, phi,
+                       max_steps=100, max_rows=500)
+        if result.outcome is ChaseOutcome.UNKNOWN:
+            return  # IND-only chase can still blow the budget; skip
+        rule_based = ind_implies(sigma, phi)
+        chase_based = result.outcome is ChaseOutcome.IMPLIED
+        assert rule_based == chase_based, f"{sigma} |= {phi}"
+
+
+class TestLanguageSubsetProperties:
+    @given(regexes(), regexes(), st.integers(0, 2**31))
+    @settings(max_examples=120, deadline=None)
+    def test_subset_respected_by_samples(self, r1, r2, seed):
+        from repro.regexlang.properties import language_subset
+        if language_subset(r1, r2):
+            word = _random_word(r1, random.Random(seed), budget=8)
+            assert Matcher(r2).matches(word), (r1, r2, word)
+
+    @given(regexes(), regexes(), st.integers(0, 2**31))
+    @settings(max_examples=120, deadline=None)
+    def test_intersection_respected_by_samples(self, r1, r2, seed):
+        from repro.regexlang.properties import languages_intersect
+        word = _random_word(r1, random.Random(seed), budget=8)
+        if Matcher(r2).matches(word):
+            assert languages_intersect(r1, r2)
+
+
+class TestLidSoundnessProperties:
+    """Random L_id schemas + Σ-consistent random documents: every
+    constraint in the I_id closure must hold (soundness of Prop 3.1's
+    axioms, incl. the documented completions)."""
+
+    @staticmethod
+    def _random_lid_instance(seed):
+        from repro.constraints import (
+            IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+        )
+        from repro.datamodel import TreeBuilder
+        from repro.dtd import DTDC, DTDStructure
+
+        rng = random.Random(seed)
+        n_types = rng.randint(2, 4)
+        types = [f"t{i}" for i in range(n_types)]
+        s = DTDStructure("db")
+        s.define_element("db", "(" + ", ".join(
+            f"{t}*" for t in types) + ")")
+        sigma = []
+        singles = {}
+        setvs = {}
+        inverses = []
+        for t in types:
+            s.define_element(t, "EMPTY")
+            s.define_attribute(t, "oid", kind="ID")
+            sigma.append(IDConstraint(t))
+        for t in types:
+            if rng.random() < 0.7:
+                target = rng.choice(types)
+                s.define_attribute(t, "ref", kind="IDREF")
+                sigma.append(IDForeignKey(t, attr("ref"), target))
+                singles[t] = target
+            if rng.random() < 0.7:
+                target = rng.choice(types)
+                s.define_attribute(t, "refs", set_valued=True,
+                                   kind="IDREF")
+                sigma.append(IDSetValuedForeignKey(t, attr("refs"),
+                                                   target))
+                setvs[t] = target
+        # One inverse between two distinct types with fresh attributes.
+        if n_types >= 2 and rng.random() < 0.6:
+            a, b = rng.sample(types, 2)
+            s.define_attribute(a, "fwd", set_valued=True, kind="IDREF")
+            s.define_attribute(b, "back", set_valued=True, kind="IDREF")
+            from repro.constraints import IDInverse as _Inv
+            sigma.append(_Inv(a, attr("fwd"), b, attr("back")))
+            inverses.append((a, b))
+
+        # Build a Σ-consistent document.
+        n_per_type = {t: rng.randint(1, 3) for t in types}
+        oids = {t: [f"{t}_{i}" for i in range(n_per_type[t])]
+                for t in types}
+        pairs = {}
+        for (a, b) in inverses:
+            pairs[(a, b)] = {(x, y) for x in oids[a] for y in oids[b]
+                             if rng.random() < 0.4}
+        builder = TreeBuilder("db")
+        for t in types:
+            for oid in oids[t]:
+                attrs = {"oid": oid}
+                if t in singles:
+                    attrs["ref"] = rng.choice(oids[singles[t]])
+                if t in setvs:
+                    attrs["refs"] = [o for o in oids[setvs[t]]
+                                     if rng.random() < 0.5]
+                for (a, b) in inverses:
+                    if t == a:
+                        attrs["fwd"] = [y for (x, y) in pairs[(a, b)]
+                                        if x == oid]
+                    if t == b:
+                        attrs["back"] = [x for (x, y) in pairs[(a, b)]
+                                        if y == oid]
+                builder.leaf(t, attrs=attrs)
+        return DTDC(s, sigma), builder.tree
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_closure_sound_on_consistent_documents(self, seed):
+        from repro.dtd import validate
+        from repro.implication.lid import ID_FIELD, LidEngine
+
+        dtd, doc = self._random_lid_instance(seed)
+        assert validate(doc, dtd).ok, f"generator bug at seed {seed}"
+        engine = LidEngine(dtd.constraints)
+        derived = [c for c in engine.derived_constraints()
+                   if getattr(c, "field", None) != ID_FIELD]
+        report = check(doc, derived, dtd.structure)
+        assert report.ok, f"seed {seed}: {report}"
+
+
+class TestParserRobustness:
+    @given(st.text(max_size=80))
+    @settings(max_examples=300, deadline=None)
+    def test_parser_raises_only_xml_errors(self, text):
+        """Arbitrary input either parses or raises XMLSyntaxError —
+        never an internal exception."""
+        from repro.errors import XMLSyntaxError
+        from repro.xmlio import parse_document
+        try:
+            parse_document(text)
+        except XMLSyntaxError:
+            pass
+
+    @given(st.text(alphabet="<>&'\"/a b=!-[]?", max_size=60))
+    @settings(max_examples=300, deadline=None)
+    def test_parser_robust_on_markup_soup(self, text):
+        from repro.errors import XMLSyntaxError
+        from repro.xmlio import parse_document
+        try:
+            parse_document(text)
+        except XMLSyntaxError:
+            pass

@@ -1,0 +1,220 @@
+"""Unit tests for content-model regular expressions: AST, parsing,
+Glushkov construction, membership, and language properties (§3.4)."""
+
+import pytest
+
+from repro.errors import RegexSyntaxError
+from repro.regexlang import (
+    ATOMIC, Atom, Concat, Epsilon, GlushkovNFA, Star, Union, concat,
+    parse_regex, star, union,
+)
+from repro.regexlang.ast import optional, plus
+from repro.regexlang.automaton import Matcher, accepts, matcher_for
+from repro.regexlang.properties import (
+    is_unique_subelement, language_is_finite, occurrence_bounds,
+    shortest_word, symbols_of, unique_subelements,
+)
+
+
+class TestAst:
+    def test_smart_constructors(self):
+        r = concat(Atom("a"), Atom("b"), Atom("c"))
+        assert isinstance(r, Concat)
+        assert r.left == Atom("a")
+        u = union(Atom("a"))
+        assert u == Atom("a")
+        assert concat() == Epsilon()
+
+    def test_union_requires_operand(self):
+        with pytest.raises(ValueError):
+            union()
+
+    def test_hashable_and_structural_equality(self):
+        a = concat(Atom("x"), star(Atom("y")))
+        b = concat(Atom("x"), star(Atom("y")))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert {a: 1}[b] == 1
+
+    def test_to_string_roundtrips_through_parser(self):
+        for text in ("(entry, author*, section*, ref)",
+                     "(title, (text + section)*)",
+                     "(a | b)*", "a?", "a+", "EMPTY"):
+            r = parse_regex(text)
+            assert parse_regex(r.to_string()) == r
+
+    def test_atom_validation(self):
+        with pytest.raises(TypeError):
+            Atom("")
+
+
+class TestParser:
+    def test_book_content_model(self):
+        r = parse_regex("(entry, author*, section*, ref)")
+        assert symbols_of(r) == {"entry", "author", "section", "ref"}
+
+    def test_union_both_spellings(self):
+        assert parse_regex("(a + b)") == parse_regex("(a | b)")
+
+    def test_postfix_plus_vs_binary_plus(self):
+        postfix = parse_regex("a+")
+        assert postfix == plus(Atom("a"))
+        binary = parse_regex("a + b")
+        assert isinstance(binary, Union)
+
+    def test_postfix_plus_before_comma(self):
+        r = parse_regex("(a+, b)")
+        assert isinstance(r, Concat)
+        assert r.left == plus(Atom("a"))
+
+    def test_optional_desugars(self):
+        assert parse_regex("a?") == optional(Atom("a"))
+
+    def test_epsilon_spellings(self):
+        for text in ("EMPTY", "()", "epsilon", ""):
+            assert parse_regex(text) == Epsilon()
+
+    def test_pcdata_and_s(self):
+        assert parse_regex("#PCDATA") == Atom(ATOMIC)
+        assert parse_regex("S") == Atom(ATOMIC)
+
+    def test_nested_groups(self):
+        r = parse_regex("((a, b) | c)*")
+        assert isinstance(r, Star)
+
+    def test_errors(self):
+        for bad in ("(a", "a)", "(a,,b)", "*a", "a |", "#WHAT"):
+            with pytest.raises(RegexSyntaxError):
+                parse_regex(bad)
+
+
+class TestGlushkov:
+    def test_positions_and_alphabet(self):
+        nfa = GlushkovNFA(parse_regex("(a, b*, a)"))
+        assert nfa.n_positions == 3
+        assert nfa.alphabet() == {"a", "b"}
+
+    def test_accepts_basic(self):
+        nfa = GlushkovNFA(parse_regex("(a, b*, c)"))
+        assert nfa.accepts(["a", "c"])
+        assert nfa.accepts(["a", "b", "b", "c"])
+        assert not nfa.accepts(["a", "b"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["c", "a"])
+
+    def test_nullable(self):
+        assert GlushkovNFA(parse_regex("a*")).accepts([])
+        assert GlushkovNFA(parse_regex("a?")).accepts([])
+        assert GlushkovNFA(parse_regex("EMPTY")).accepts([])
+
+    def test_deterministic_content_models(self):
+        assert GlushkovNFA(
+            parse_regex("(entry, author*, section*, ref)")
+        ).is_deterministic()
+        # (a,b)|(a,c) is the classic 1-ambiguous model.
+        assert not GlushkovNFA(
+            parse_regex("((a, b) | (a, c))")).is_deterministic()
+
+
+class TestMatcher:
+    def test_agrees_with_nfa(self):
+        r = parse_regex("(title, (text + section)*)")
+        nfa = GlushkovNFA(r)
+        m = Matcher(r)
+        words = [["title"], ["title", "text"],
+                 ["title", "section", "text"], ["text"], [],
+                 ["title", "title"]]
+        for w in words:
+            assert m.matches(w) == nfa.accepts(w)
+
+    def test_prefix_length(self):
+        m = Matcher(parse_regex("(a, b, c)"))
+        assert m.prefix_length(["a", "b", "c"]) == 3
+        assert m.prefix_length(["a", "x"]) == 1
+        assert m.prefix_length(["x"]) == 0
+
+    def test_expected_after(self):
+        m = Matcher(parse_regex("(a, (b | c))"))
+        assert m.expected_after(["a"]) == {"b", "c"}
+        assert m.expected_after(["a", "b"]) == set()
+
+    def test_cache_shares_instances(self):
+        r = parse_regex("(a, b)")
+        assert matcher_for(r) is matcher_for(parse_regex("(a, b)"))
+
+    def test_accepts_helper(self):
+        assert accepts(parse_regex("(a | b)*"), ["a", "b", "a"])
+
+
+class TestProperties:
+    def test_unique_subelements_book(self):
+        r = parse_regex("(entry, author*, section*, ref)")
+        assert unique_subelements(r) == {"entry", "ref"}
+
+    def test_unique_subelements_union(self):
+        # In (a | b), neither occurs in *every* word.
+        assert unique_subelements(parse_regex("(a | b)")) == set()
+        # In (a, (b | c)), only a occurs exactly once in every word.
+        assert unique_subelements(parse_regex("(a, (b | c))")) == {"a"}
+
+    def test_unique_handles_star(self):
+        assert not is_unique_subelement(parse_regex("a*"), "a")
+        assert is_unique_subelement(parse_regex("(a, b*)"), "a")
+
+    def test_unique_nontrivial_nesting(self):
+        # a occurs once in every word of (a, (b, a)?)? No: 1 or 2.
+        assert not is_unique_subelement(parse_regex("(a, (b, a)?)"), "a")
+        # (a | (b, a)): a occurs exactly once either way.
+        assert is_unique_subelement(parse_regex("(a | (b, a))"), "a")
+
+    def test_occurrence_bounds(self):
+        assert occurrence_bounds(parse_regex("(a, b*, a)"), "a") == (2, 2)
+        assert occurrence_bounds(parse_regex("(a, b*, a)"), "b") == \
+            (0, None)
+        assert occurrence_bounds(parse_regex("(a | b)"), "a") == (0, 1)
+        assert occurrence_bounds(parse_regex("a?"), "a") == (0, 1)
+
+    def test_language_is_finite(self):
+        assert language_is_finite(parse_regex("(a, (b | c))"))
+        assert not language_is_finite(parse_regex("(a, b*)"))
+
+    def test_shortest_word(self):
+        assert shortest_word(parse_regex("(a, b*, c)")) == ("a", "c")
+        assert shortest_word(parse_regex("(a | (b, c))")) == ("a",)
+        assert shortest_word(parse_regex("x*")) == ()
+
+    def test_symbols_of(self):
+        assert symbols_of(parse_regex("((a, b) | c*)")) == {"a", "b", "c"}
+
+
+class TestLanguageComparisons:
+    def test_intersection(self):
+        from repro.regexlang.properties import languages_intersect
+        assert languages_intersect(parse_regex("(a, b*)"),
+                                   parse_regex("(a, b, b)"))
+        assert not languages_intersect(parse_regex("(a, b)"),
+                                       parse_regex("(b, a)"))
+        assert languages_intersect(parse_regex("a*"), parse_regex("b*"))
+        # ... via the empty word; remove it:
+        assert not languages_intersect(parse_regex("(a, a*)"),
+                                       parse_regex("(b, b*)"))
+
+    def test_subset(self):
+        from repro.regexlang.properties import language_subset
+        assert language_subset(parse_regex("(a, b)"),
+                               parse_regex("(a, b*)"))
+        assert not language_subset(parse_regex("(a, b*)"),
+                                   parse_regex("(a, b)"))
+        assert language_subset(parse_regex("EMPTY"),
+                               parse_regex("a*"))
+        # Widening a content model is checkable:
+        old = parse_regex("(entry, author*, ref)")
+        new = parse_regex("(entry, author*, section*, ref)")
+        assert language_subset(old, new)
+        assert not language_subset(new, old)
+
+    def test_subset_reflexive_on_samples(self):
+        from repro.regexlang.properties import language_subset
+        for text in ("(a, (b | c))*", "(a?, b+)", "EMPTY"):
+            r = parse_regex(text)
+            assert language_subset(r, r)

@@ -1,0 +1,123 @@
+"""Tests for the chase over FDs + INDs."""
+
+from repro.relational import (
+    FD, IND, ChaseOutcome, Database, RelationSchema, chase,
+)
+
+
+def db(*rels):
+    return Database([RelationSchema(name, attrs) for name, attrs in rels])
+
+
+class TestFdGoals:
+    def test_fd_transitivity_established(self):
+        database = db(("r", ("a", "b", "c")))
+        fds = [FD("r", frozenset("a"), frozenset("b")),
+               FD("r", frozenset("b"), frozenset("c"))]
+        result = chase(database, fds, [], FD("r", frozenset("a"),
+                                             frozenset("c")))
+        assert result.outcome is ChaseOutcome.IMPLIED
+
+    def test_fd_refuted_with_model(self):
+        database = db(("r", ("a", "b", "c")))
+        fds = [FD("r", frozenset("a"), frozenset("b"))]
+        result = chase(database, fds, [], FD("r", frozenset("b"),
+                                             frozenset("a")))
+        assert result.outcome is ChaseOutcome.NOT_IMPLIED
+        model = result.model
+        rows = model.relation_rows("r")
+        assert len(rows) == 2
+        # The model genuinely violates b -> a: same b, different a.
+        pos_a, pos_b = 0, 1
+        (r1, r2) = sorted(rows)
+        assert r1[pos_b] == r2[pos_b]
+        assert r1[pos_a] != r2[pos_a]
+
+
+class TestIndGoals:
+    def test_ind_transitivity_established(self):
+        database = db(("a", ("x",)), ("b", ("u",)), ("c", ("s",)))
+        inds = [IND("a", ("x",), "b", ("u",)),
+                IND("b", ("u",), "c", ("s",))]
+        result = chase(database, [], inds, IND("a", ("x",), "c", ("s",)))
+        assert result.outcome is ChaseOutcome.IMPLIED
+
+    def test_ind_refuted(self):
+        database = db(("a", ("x",)), ("b", ("u",)))
+        inds = [IND("a", ("x",), "b", ("u",))]
+        result = chase(database, [], inds, IND("b", ("u",), "a", ("x",)))
+        assert result.outcome is ChaseOutcome.NOT_IMPLIED
+
+
+class TestInteraction:
+    def test_fd_ind_interaction(self):
+        """FDs merging nulls can complete an IND goal."""
+        database = db(("r", ("a", "b")), ("s", ("u",)))
+        fds = [FD("r", frozenset("a"), frozenset("b"))]
+        inds = [IND("r", ("b",), "s", ("u",))]
+        # r[a] sub s[u]? Not implied: a and b are unrelated values.
+        result = chase(database, fds, inds, IND("r", ("a",), "s", ("u",)))
+        assert result.outcome is ChaseOutcome.NOT_IMPLIED
+
+    def test_budget_exhaustion_reports_unknown(self):
+        """A growing chase (the classic FD+IND non-termination) stops
+        honestly at the budget."""
+        database = db(("r", ("a", "b")))
+        # r[b] sub r[a] with a key forces an infinite forward chain.
+        fds = [FD("r", frozenset("a"), frozenset(("a", "b")))]
+        inds = [IND("r", ("b",), "r", ("a",))]
+        result = chase(database, fds, inds,
+                       IND("r", ("a",), "r", ("b",)),
+                       max_steps=25, max_rows=100)
+        assert result.outcome in (ChaseOutcome.UNKNOWN,
+                                  ChaseOutcome.NOT_IMPLIED)
+
+    def test_steps_reported(self):
+        database = db(("r", ("a",)))
+        result = chase(database, [], [], IND("r", ("a",), "r", ("a",)))
+        assert result.outcome is ChaseOutcome.IMPLIED
+        assert result.steps >= 1
+
+
+class TestTerminationAnalysis:
+    def test_acyclic_ind_set_terminates(self):
+        from repro.relational.chase import chase_terminates
+        database = db(("a", ("x",)), ("b", ("u", "w")), ("c", ("s",)))
+        inds = [IND("a", ("x",), "b", ("u",)),
+                IND("b", ("u",), "c", ("s",))]
+        assert chase_terminates(database, inds)
+
+    def test_gap_instance_flagged(self):
+        """The Theorem 3.6 divergence: r[b] ⊆ r[a] with a fresh-null
+        position — a cycle through an existential edge."""
+        from repro.relational.chase import chase_terminates
+        database = db(("r", ("a", "b")))
+        inds = [IND("r", ("b",), "r", ("a",))]
+        assert not chase_terminates(database, inds)
+
+    def test_full_cover_self_ind_is_safe(self):
+        """A self-IND covering all attributes copies values only — no
+        existential edge, hence weakly acyclic."""
+        from repro.relational.chase import chase_terminates
+        database = db(("r", ("a", "b")))
+        inds = [IND("r", ("a", "b"), "r", ("b", "a"))]
+        assert chase_terminates(database, inds)
+
+    def test_prediction_matches_behaviour(self):
+        """Where the analysis promises termination, the chase delivers a
+        definite answer; where it warns, the gap instance indeed hits
+        the budget."""
+        from repro.relational.chase import chase_terminates
+        database = db(("r", ("a", "b")))
+        safe_inds = [IND("r", ("a", "b"), "r", ("b", "a"))]
+        assert chase_terminates(database, safe_inds)
+        result = chase(database, [], safe_inds,
+                       IND("r", ("b",), "r", ("a",)), max_steps=500)
+        assert result.outcome is not ChaseOutcome.UNKNOWN
+        risky = [IND("r", ("b",), "r", ("a",))]
+        fds = [FD("r", frozenset("a"), frozenset(("a", "b")))]
+        assert not chase_terminates(database, risky)
+        diverging = chase(database, fds, risky,
+                          IND("r", ("a",), "r", ("b",)),
+                          max_steps=30, max_rows=100)
+        assert diverging.outcome is ChaseOutcome.UNKNOWN

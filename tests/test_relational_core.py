@@ -1,0 +1,115 @@
+"""Tests for the relational substrate: schemas, FDs, INDs."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    FD, IND, Database, Instance, RelationSchema, fd_closure, fd_implies,
+    ind_implies,
+)
+from repro.relational.fd import minimal_keys
+
+
+class TestSchema:
+    def test_relation_validation(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ("a", "a"))
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ())
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("a",))
+
+    def test_positions(self):
+        r = RelationSchema("r", ("a", "b", "c"))
+        assert r.positions(("c", "a")) == (2, 0)
+        with pytest.raises(SchemaError):
+            r.positions(("z",))
+
+    def test_database(self):
+        db = Database([RelationSchema("r", ("a",))])
+        assert db.has_relation("r")
+        with pytest.raises(SchemaError):
+            db.add(RelationSchema("r", ("b",)))
+        with pytest.raises(SchemaError):
+            db.relation("zzz")
+
+    def test_instance_rows(self):
+        db = Database([RelationSchema("r", ("a", "b"))])
+        inst = Instance(db)
+        inst.add_row("r", ("1", "2"))
+        inst.add_row("r", {"b": "4", "a": "3"})
+        assert inst.relation_rows("r") == {("1", "2"), ("3", "4")}
+        assert inst.project("r", ("b",)) == {("2",), ("4",)}
+        assert inst.size() == 2
+        with pytest.raises(SchemaError):
+            inst.add_row("r", ("only-one",))
+
+
+class TestFDs:
+    def fds(self):
+        return [
+            FD("r", frozenset("a"), frozenset("b")),
+            FD("r", frozenset("b"), frozenset("c")),
+            FD("r", frozenset(("c", "d")), frozenset("e")),
+        ]
+
+    def test_closure(self):
+        assert fd_closure(("a",), self.fds(), "r") == \
+            frozenset(("a", "b", "c"))
+        assert fd_closure(("a", "d"), self.fds(), "r") == \
+            frozenset(("a", "b", "c", "d", "e"))
+
+    def test_implies_transitivity(self):
+        assert fd_implies(self.fds(), FD("r", frozenset("a"),
+                                         frozenset("c")))
+        assert not fd_implies(self.fds(), FD("r", frozenset("c"),
+                                             frozenset("a")))
+
+    def test_implies_reflexivity_and_augmentation(self):
+        assert fd_implies([], FD("r", frozenset(("a", "b")),
+                                 frozenset("a")))
+        assert fd_implies(self.fds(), FD("r", frozenset(("a", "x")),
+                                         frozenset(("b", "x"))))
+
+    def test_relations_are_scoped(self):
+        assert not fd_implies(self.fds(), FD("other", frozenset("a"),
+                                             frozenset("b")))
+
+    def test_minimal_keys(self):
+        keys = minimal_keys(("a", "b", "c", "d", "e"), self.fds(), "r")
+        assert frozenset(("a", "d")) in keys
+        assert all(not (k < frozenset(("a", "d"))) for k in keys)
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            FD("r", frozenset("a"), frozenset())
+
+
+class TestINDs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IND("a", ("x", "y"), "b", ("u",))
+        with pytest.raises(ValueError):
+            IND("a", (), "b", ())
+        with pytest.raises(ValueError):
+            IND("a", ("x", "x"), "b", ("u", "v"))
+
+    def test_reflexivity(self):
+        assert ind_implies([], IND("r", ("a", "b"), "r", ("a", "b")))
+
+    def test_projection_and_permutation(self):
+        stated = [IND("a", ("x", "y", "z"), "b", ("u", "v", "w"))]
+        assert ind_implies(stated, IND("a", ("y",), "b", ("v",)))
+        assert ind_implies(stated, IND("a", ("z", "x"), "b", ("w", "u")))
+        assert not ind_implies(stated, IND("a", ("x",), "b", ("v",)))
+
+    def test_transitivity(self):
+        stated = [IND("a", ("x",), "b", ("u",)),
+                  IND("b", ("u",), "c", ("s",))]
+        assert ind_implies(stated, IND("a", ("x",), "c", ("s",)))
+        assert not ind_implies(stated, IND("c", ("s",), "a", ("x",)))
+
+    def test_transitivity_through_projection(self):
+        stated = [IND("a", ("x", "y"), "b", ("u", "v")),
+                  IND("b", ("v",), "c", ("s",))]
+        assert ind_implies(stated, IND("a", ("y",), "c", ("s",)))

@@ -1,0 +1,141 @@
+"""Tests for relational keys/foreign keys (Cor 3.5/3.7/3.9) and the
+relational -> XML export (the publisher/editor example)."""
+
+import pytest
+
+from repro.dtd import validate
+from repro.errors import ImplicationError
+from repro.relational import (
+    RelationalForeignKey, RelationalKey, RelationalKeyFKEngine,
+    export_database, export_schema,
+)
+from repro.relational.chase import ChaseOutcome
+from repro.relational.keys import coincide_under_primary
+
+
+class TestUnaryModes:
+    def sigma(self):
+        return [RelationalKey("s", frozenset("k")),
+                RelationalForeignKey("r", ("x",), "s", ("k",))]
+
+    def test_unary_primary_coincide(self, publisher):
+        database, _c, _i = publisher
+        engine = RelationalKeyFKEngine(database, self.sigma(),
+                                       mode="unary-primary")
+        phi = RelationalForeignKey("r", ("x",), "s", ("k",))
+        assert engine.implies(phi)
+        assert engine.finitely_implies(phi)
+
+    def test_unary_divergence(self, publisher):
+        database, _c, _i = publisher
+        sigma = [RelationalKey("r", frozenset("a")),
+                 RelationalKey("r", frozenset("b")),
+                 RelationalForeignKey("r", ("a",), "r", ("b",))]
+        engine = RelationalKeyFKEngine(database, sigma, mode="unary")
+        phi = RelationalForeignKey("r", ("b",), "r", ("a",))
+        assert not engine.implies(phi)
+        assert engine.finitely_implies(phi)
+
+    def test_unary_mode_rejects_composites(self, publisher):
+        database, constraints, _i = publisher
+        with pytest.raises(ImplicationError):
+            RelationalKeyFKEngine(database, constraints, mode="unary")
+
+
+class TestPrimaryMode:
+    def test_publisher_example(self, publisher):
+        database, constraints, _i = publisher
+        engine = RelationalKeyFKEngine(database, constraints,
+                                       mode="primary")
+        assert engine.implies(
+            RelationalKey("publisher", frozenset(("country", "pname"))))
+        assert engine.implies(RelationalForeignKey(
+            "editor", ("country", "pname"),
+            "publisher", ("country", "pname")))
+        # A misaligned self-inclusion is well-formed but not derivable.
+        assert not engine.implies(RelationalForeignKey(
+            "publisher", ("pname", "country"),
+            "publisher", ("country", "pname")))
+        # Targeting a non-primary key set is a restriction violation.
+        from repro.errors import PrimaryKeyRestrictionError
+        with pytest.raises(PrimaryKeyRestrictionError):
+            engine.implies(RelationalForeignKey(
+                "publisher", ("pname", "country"),
+                "editor", ("pname", "country")))
+
+    def test_cor_3_9_coincidence(self, publisher):
+        database, constraints, _i = publisher
+        queries = [
+            RelationalKey("publisher", frozenset(("pname", "country"))),
+            RelationalForeignKey("editor", ("pname", "country"),
+                                 "publisher", ("pname", "country")),
+        ]
+        assert coincide_under_primary(database, constraints, queries)
+
+
+class TestGeneralMode:
+    def test_exact_methods_refuse(self, publisher):
+        database, constraints, _i = publisher
+        engine = RelationalKeyFKEngine(database, constraints,
+                                       mode="general")
+        phi = RelationalKey("editor", frozenset(("name",)))
+        with pytest.raises(ImplicationError):
+            engine.implies(phi)
+        with pytest.raises(ImplicationError):
+            engine.finitely_implies(phi)
+
+    def test_chase_answers(self, publisher):
+        database, constraints, _i = publisher
+        engine = RelationalKeyFKEngine(database, constraints,
+                                       mode="general")
+        assert engine.chase_implies(
+            RelationalKey("editor", frozenset(("name",)))).outcome is \
+            ChaseOutcome.IMPLIED
+        refuted = engine.chase_implies(
+            RelationalKey("editor", frozenset(("pname",))))
+        assert refuted.outcome is ChaseOutcome.NOT_IMPLIED
+
+    def test_dependency_translation(self, publisher):
+        database, constraints, _i = publisher
+        engine = RelationalKeyFKEngine(database, constraints,
+                                       mode="general")
+        fds, inds = engine.to_dependencies()
+        assert len(fds) == 2 and len(inds) == 1
+        assert fds[0].rhs == frozenset(("pname", "country", "address"))
+
+
+class TestExport:
+    def test_schema_shape(self, publisher):
+        database, constraints, _i = publisher
+        dtd = export_schema(database, constraints)
+        s = dtd.structure
+        assert s.root == "db"
+        assert {"publishers", "publisher", "editors", "editor"} <= \
+            s.element_types
+        assert s.subelements("publisher") == \
+            {"pname", "country", "address"}
+        strs = set(map(str, dtd.constraints))
+        assert "publisher[<country>, <pname>] -> publisher" in strs
+
+    def test_export_valid_document(self, publisher):
+        database, constraints, instance = publisher
+        dtd, tree = export_database(instance, constraints)
+        report = validate(tree, dtd)
+        assert report.ok, str(report)
+
+    def test_export_detects_violations(self, publisher):
+        database, constraints, instance = publisher
+        # A dangling editor breaks the composite foreign key.
+        instance.add_row("editor", {"name": "Rogue", "pname": "Ghost",
+                                    "country": "ZZ"})
+        dtd, tree = export_database(instance, constraints)
+        report = validate(tree, dtd)
+        assert any(v.code == "foreign-key" for v in report)
+
+    def test_key_violation_survives_export(self, publisher):
+        database, constraints, instance = publisher
+        instance.add_row("publisher", {
+            "pname": "Publisher 0", "country": "US",
+            "address": "different address"})
+        dtd, tree = export_database(instance, constraints)
+        assert any(v.code == "key" for v in validate(tree, dtd))

@@ -1,0 +1,132 @@
+"""Tests for the CKV unary FD+IND engine (the §3.2 substrate)."""
+
+import pytest
+
+from repro.errors import ImplicationError
+from repro.relational.chase import ChaseOutcome, chase
+from repro.relational.fd import FD
+from repro.relational.ind import IND
+from repro.relational.schema import Database, RelationSchema
+from repro.relational.unary import UnaryDependencyEngine, UnaryFD, UnaryIND
+
+
+def fd(r, a, b):
+    return UnaryFD(r, a, b)
+
+
+def ind(r, a, s, b):
+    return UnaryIND(r, a, s, b)
+
+
+class TestUnrestricted:
+    def test_fd_transitivity(self):
+        engine = UnaryDependencyEngine([fd("r", "a", "b"),
+                                        fd("r", "b", "c")])
+        assert engine.implies(fd("r", "a", "c"))
+        assert not engine.implies(fd("r", "c", "a"))
+
+    def test_fd_reflexivity(self):
+        engine = UnaryDependencyEngine([])
+        assert engine.implies(fd("r", "a", "a"))
+
+    def test_ind_transitivity(self):
+        engine = UnaryDependencyEngine([ind("r", "a", "s", "b"),
+                                        ind("s", "b", "t", "c")])
+        assert engine.implies(ind("r", "a", "t", "c"))
+        assert not engine.implies(ind("t", "c", "r", "a"))
+
+    def test_no_interaction_unrestricted(self):
+        """CKV: without finiteness, FDs and INDs reason separately."""
+        engine = UnaryDependencyEngine([
+            fd("r", "a", "b"), ind("r", "b", "r", "a")])
+        # Neither the reverse FD nor the reverse IND follows.
+        assert not engine.implies(fd("r", "b", "a"))
+        assert not engine.implies(ind("r", "a", "r", "b"))
+
+    def test_rejects_other_inputs(self):
+        with pytest.raises(ImplicationError):
+            UnaryDependencyEngine(["garbage"])
+        engine = UnaryDependencyEngine([])
+        with pytest.raises(ImplicationError):
+            engine.implies("garbage")
+
+
+class TestFinite:
+    def test_ckv_classic_cycle(self):
+        """σ = {a -> b, R[b] ⊆ R[a]}: finitely, |π_b| ≤ |π_a| (FD) and
+        |π_b| ≤ |π_a| (IND)… the two-edge cycle b ≤ a ≤ b? No — the FD
+        gives |π_b| ≤ |π_a| and the IND gives |π_b| ≤ |π_a| as well, so
+        no cycle; but σ = {a -> b, R[a] ⊆ R[b]} forces
+        |π_b| ≤ |π_a| ≤ |π_b|: the FD becomes a bijection and the IND an
+        equality."""
+        engine = UnaryDependencyEngine([
+            fd("r", "a", "b"), ind("r", "a", "r", "b")])
+        assert not engine.implies(fd("r", "b", "a"))
+        assert engine.finitely_implies(fd("r", "b", "a"))
+        assert not engine.implies(ind("r", "b", "r", "a"))
+        assert engine.finitely_implies(ind("r", "b", "r", "a"))
+
+    def test_no_cycle_no_interaction(self):
+        engine = UnaryDependencyEngine([
+            fd("r", "a", "b"), ind("r", "b", "r", "a")])
+        # Here both inequalities point the same way: no equality forced.
+        assert not engine.finitely_implies(fd("r", "b", "a"))
+        assert not engine.finitely_implies(ind("r", "a", "r", "b"))
+
+    def test_cross_relation_cycle(self):
+        # INDs form the cycle c ⊆ a ⊆ b ⊆ c (through two relations),
+        # so all three projections have equal cardinality; the FD
+        # b -> c along it becomes a bijection.
+        sigma = [ind("r", "a", "s", "b"), fd("s", "b", "c"),
+                 ind("s", "c", "r", "a"), ind("s", "b", "s", "c")]
+        engine = UnaryDependencyEngine(sigma)
+        # The reversed FD is a finite-only consequence...
+        assert not engine.implies(fd("s", "c", "b"))
+        assert engine.finitely_implies(fd("s", "c", "b"))
+        # ... while the cycle INDs are already implied by transitivity.
+        assert engine.implies(ind("s", "c", "s", "b"))
+
+    def test_unrestricted_entails_finite(self):
+        engine = UnaryDependencyEngine([
+            fd("r", "a", "b"), fd("r", "b", "c"),
+            ind("r", "c", "s", "x")])
+        for phi in (fd("r", "a", "c"), ind("r", "c", "s", "x"),
+                    fd("r", "c", "a"), ind("s", "x", "r", "c")):
+            if engine.implies(phi):
+                assert engine.finitely_implies(phi)
+
+    def test_finite_refutations_match_chase(self):
+        """Whenever the chase finds a finite counterexample, the finite
+        decider must agree (soundness cross-check)."""
+        database = Database([RelationSchema("r", ("a", "b", "c")),
+                             RelationSchema("s", ("x", "y"))])
+        sigma_pairs = [
+            ([fd("r", "a", "b")], fd("r", "b", "a")),
+            ([ind("r", "a", "s", "x")], ind("s", "x", "r", "a")),
+            ([fd("r", "a", "b"), ind("r", "b", "r", "c")],
+             fd("r", "a", "c")),
+        ]
+        for sigma, phi in sigma_pairs:
+            engine = UnaryDependencyEngine(sigma)
+            fds = [FD(d.relation, frozenset((d.lhs,)),
+                      frozenset((d.rhs,)))
+                   for d in sigma if isinstance(d, UnaryFD)]
+            inds = [IND(d.relation, (d.attr,), d.target,
+                        (d.target_attr,))
+                    for d in sigma if isinstance(d, UnaryIND)]
+            goal = FD(phi.relation, frozenset((phi.lhs,)),
+                      frozenset((phi.rhs,))) \
+                if isinstance(phi, UnaryFD) else \
+                IND(phi.relation, (phi.attr,), phi.target,
+                    (phi.target_attr,))
+            result = chase(database, fds, inds, goal, max_steps=200)
+            if result.outcome is ChaseOutcome.NOT_IMPLIED:
+                assert not engine.finitely_implies(phi), str(phi)
+            if result.outcome is ChaseOutcome.IMPLIED:
+                assert engine.implies(phi), str(phi)
+
+    def test_coincide_helper(self):
+        engine = UnaryDependencyEngine([
+            fd("r", "a", "b"), ind("r", "a", "r", "b")])
+        assert not engine.problems_coincide_on(fd("r", "b", "a"))
+        assert engine.problems_coincide_on(fd("r", "a", "b"))

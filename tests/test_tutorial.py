@@ -1,0 +1,89 @@
+"""Executable backing for docs/TUTORIAL.md: each section's snippets,
+as a test, so the tutorial cannot drift from the library."""
+
+from repro import (
+    LuEngine, TreeBuilder, parse_constraint, parse_dtdc, validate,
+)
+from repro.fo2 import (
+    evaluate, figure_one_pair, key_constraint_formula,
+    two_pebble_equivalent,
+)
+from repro.implication import check_derivation
+from repro.implication.counterexample import divergence_witness
+from repro.paths import (
+    PathFunctional, PathImplicationEngine, PathInclusion, parse_path,
+    type_of,
+)
+from repro.workloads import book_dtdc
+
+TUTORIAL_SCHEMA = """
+<!ELEMENT book  (entry, author*, ref)>
+<!ELEMENT entry (title, publisher)>
+<!ATTLIST entry isbn CDATA #REQUIRED>
+<!ELEMENT ref   EMPTY>
+<!ATTLIST ref   to IDREFS #REQUIRED>
+<!ELEMENT author (#PCDATA)> <!ELEMENT title (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+
+%% constraints
+entry.isbn -> entry
+ref.to subS entry.isbn
+"""
+
+
+def tutorial_tree():
+    b = TreeBuilder("book")
+    with b.element("entry", isbn="1-55860-622-X"):
+        b.leaf("title", "Data on the Web")
+        b.leaf("publisher", "Morgan Kaufmann")
+    b.leaf("author", "Abiteboul")
+    b.leaf("ref", to=["1-55860-622-X"])
+    return b.tree
+
+
+def test_section_1_documents():
+    tree = tutorial_tree()
+    assert tree.root.child_labels == ("entry", "author", "ref")
+    assert tree.ext_values("entry", "isbn") == {"1-55860-622-X"}
+
+
+def test_section_2_validation():
+    dtd = parse_dtdc(TUTORIAL_SCHEMA, root="book")
+    tree = tutorial_tree()
+    assert validate(tree, dtd).ok
+    tree.ext("ref")[0].set_attribute("to", ["nowhere"])
+    report = validate(tree, dtd)
+    assert any(v.code == "set-foreign-key" for v in report)
+
+
+def test_section_4_implication():
+    sigma = [parse_constraint(s) for s in (
+        "tau.a -> tau", "tau.b -> tau", "tau.a sub tau.b")]
+    engine = LuEngine(sigma)
+    phi = parse_constraint("tau.b sub tau.a")
+    assert not engine.implies(phi).implied
+    finite = engine.finitely_implies(phi)
+    assert finite.implied
+    assert check_derivation(finite.derivation, sigma) == []
+    _sigma, _phi, witness = divergence_witness()
+    assert witness.check(_sigma, _phi)
+    assert not witness.prefix(5).satisfies_all(_sigma)
+
+
+def test_section_5_paths():
+    dtd = book_dtdc()
+    engine = PathImplicationEngine(dtd)
+    assert type_of(dtd, "book", "ref.to") == "entry"
+    assert engine.implies(PathFunctional(
+        "book", parse_path("entry.isbn"), parse_path("author")))
+    assert engine.implies(PathInclusion(
+        "book", parse_path("ref.to.title"),
+        "entry", parse_path("title")))
+
+
+def test_section_6_expressiveness():
+    g, g2 = figure_one_pair()
+    assert two_pebble_equivalent(g, g2)
+    phi = key_constraint_formula()
+    assert evaluate(g, phi)
+    assert not evaluate(g2, phi)

@@ -1,0 +1,109 @@
+"""Tests for workload generators (determinism, validity, shapes)."""
+
+from repro.constraints import UnaryForeignKey, UnaryKey
+from repro.constraints.wellformed import language_of
+from repro.dtd.validate import validate_structure
+from repro.implication.lu import LuEngine
+from repro.workloads import (
+    random_document, random_lu_implication_instance, random_lu_sigma,
+    random_primary_l_instance, random_structure, scaled_lu_chain,
+)
+from repro.workloads.book import scaled_book_document
+from repro.workloads.generators import scaled_primary_chain
+
+
+class TestRandomStructure:
+    def test_deterministic(self):
+        a = random_structure(seed=42)
+        b = random_structure(seed=42)
+        assert a.describe() == b.describe()
+        c = random_structure(seed=43)
+        assert a.describe() != c.describe()
+
+    def test_structure_is_coherent(self):
+        for seed in range(10):
+            random_structure(seed=seed).check()
+
+
+class TestRandomDocument:
+    def test_structurally_valid(self):
+        for seed in range(8):
+            s = random_structure(seed=seed)
+            doc = random_document(s, seed=seed, size_budget=100)
+            report = validate_structure(doc, s)
+            assert report.ok, f"seed {seed}: {report}"
+
+    def test_deterministic(self):
+        s = random_structure(seed=1)
+        a = random_document(s, seed=5)
+        b = random_document(s, seed=5)
+        assert [v.label for v in a.root.subtree()] == \
+            [v.label for v in b.root.subtree()]
+
+    def test_size_budget_respected_loosely(self):
+        s = random_structure(seed=2, recursion=True)
+        doc = random_document(s, seed=3, size_budget=50)
+        assert doc.size() < 500
+
+
+class TestLuGenerators:
+    def test_sigma_accepted_by_engine(self):
+        for seed in range(20):
+            sigma = random_lu_sigma(seed)
+            LuEngine(sigma)  # must not raise
+
+    def test_sigma_well_formed_targets(self):
+        for seed in range(10):
+            sigma = random_lu_sigma(seed)
+            keys = {(c.element, c.field) for c in sigma
+                    if isinstance(c, UnaryKey)}
+            for c in sigma:
+                if isinstance(c, UnaryForeignKey):
+                    assert (c.target, c.target_field) in keys
+
+    def test_implication_instance_runs(self):
+        for seed in range(20):
+            sigma, phi = random_lu_implication_instance(seed)
+            engine = LuEngine(sigma)
+            engine.implies(phi)
+            engine.finitely_implies(phi)
+
+    def test_scaled_chain(self):
+        sigma, phi = scaled_lu_chain(10)
+        assert len(sigma) == 20
+        engine = LuEngine(sigma)
+        assert engine.implies(phi)
+        assert engine.finitely_implies(phi)
+
+    def test_chain_is_linear_family(self):
+        small, _p1 = scaled_lu_chain(5)
+        large, _p2 = scaled_lu_chain(50)
+        assert len(large) == 10 * len(small)
+
+
+class TestPrimaryLGenerators:
+    def test_primary_instance_runs(self):
+        from repro.implication.l_primary import LPrimaryEngine
+        for seed in range(10):
+            sigma, phi = random_primary_l_instance(seed, n_types=4,
+                                                   key_width=2, n_fks=5)
+            engine = LPrimaryEngine(sigma)
+            engine.implies(phi)
+
+    def test_scaled_primary_chain_composes(self):
+        from repro.implication.l_primary import LPrimaryEngine
+        for n in (2, 5, 9):
+            sigma, phi = scaled_primary_chain(n, width=3)
+            assert LPrimaryEngine(sigma).implies(phi), f"n={n}"
+
+
+class TestScaledBook:
+    def test_valid_at_scale(self, book_schema):
+        from repro.dtd import validate
+        doc = scaled_book_document(10, 2)
+        assert validate(doc, book_schema).ok
+
+    def test_size_scales(self):
+        small = scaled_book_document(5, 1).size()
+        large = scaled_book_document(50, 1).size()
+        assert large > 5 * small

@@ -1,0 +1,114 @@
+"""Unit tests for DTD parsing and the .dtdc format."""
+
+import pytest
+
+from repro.constraints import (
+    IDConstraint, SetValuedForeignKey, UnaryKey,
+)
+from repro.dtd.structure import AttributeKind
+from repro.errors import DTDSyntaxError
+from repro.regexlang import parse_regex
+from repro.workloads.book import BOOK_CONSTRAINTS_TEXT, BOOK_DTD_TEXT
+from repro.xmlio import parse_dtd, parse_dtdc, serialize_dtdc
+
+
+class TestParseDtd:
+    def test_book_dtd(self):
+        s = parse_dtd(BOOK_DTD_TEXT, root="book")
+        assert s.root == "book"
+        assert s.element_types >= {"book", "entry", "section", "ref"}
+        assert s.content("book") == \
+            parse_regex("(entry, author*, section*, ref)")
+
+    def test_root_defaults_to_first_element(self):
+        s = parse_dtd("<!ELEMENT a (b)><!ELEMENT b EMPTY>")
+        assert s.root == "a"
+
+    def test_attribute_kinds(self):
+        s = parse_dtd(BOOK_DTD_TEXT, root="book")
+        assert s.kind("section", "sid") is AttributeKind.ID
+        assert s.kind("ref", "to") is AttributeKind.IDREF
+        assert s.is_set_valued("ref", "to")
+        assert s.kind("entry", "isbn") is None
+        assert not s.is_set_valued("entry", "isbn")
+
+    def test_multiple_attdefs_in_one_attlist(self):
+        s = parse_dtd("""
+            <!ELEMENT p EMPTY>
+            <!ATTLIST p
+                oid     ID      #REQUIRED
+                dept    IDREF   #IMPLIED
+                tags    NMTOKENS "x">
+        """)
+        assert s.kind("p", "oid") is AttributeKind.ID
+        assert s.kind("p", "dept") is AttributeKind.IDREF
+        assert s.is_set_valued("p", "tags")
+        assert s.kind("p", "tags") is None
+
+    def test_enumerated_attribute_type(self):
+        s = parse_dtd("""
+            <!ELEMENT p EMPTY>
+            <!ATTLIST p mode (fast|slow) "fast">
+        """)
+        assert s.has_attribute("p", "mode")
+
+    def test_pcdata_only_content_allows_any_text(self):
+        s = parse_dtd("<!ELEMENT t (#PCDATA)>")
+        from repro.regexlang.automaton import accepts
+        assert accepts(s.content("t"), [])
+        assert accepts(s.content("t"), ["S", "S"])
+
+    def test_mixed_content(self):
+        s = parse_dtd("<!ELEMENT s (#PCDATA | b)*><!ELEMENT b EMPTY>")
+        from repro.regexlang.automaton import accepts
+        assert accepts(s.content("s"), ["S", "b", "S"])
+
+    def test_any_content_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a ANY>")
+
+    def test_no_elements_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!-- nothing here -->")
+
+    def test_attlist_for_undeclared_element_tolerated(self):
+        s = parse_dtd("<!ELEMENT a EMPTY><!ATTLIST b x CDATA #IMPLIED>")
+        assert s.has_element("b")
+
+
+class TestDtdc:
+    def _text(self) -> str:
+        return BOOK_DTD_TEXT + "\n%% constraints\n" + BOOK_CONSTRAINTS_TEXT
+
+    def test_section_marker(self):
+        dtd = parse_dtdc(self._text(), root="book")
+        assert len(dtd.constraints) == 3
+        kinds = {type(c) for c in dtd.constraints}
+        assert kinds == {UnaryKey, SetValuedForeignKey}
+
+    def test_comment_form(self):
+        text = BOOK_DTD_TEXT + """
+        <!-- constraints:
+        entry.isbn -> entry
+        -->
+        """
+        dtd = parse_dtdc(text, root="book")
+        assert [str(c) for c in dtd.constraints] == \
+            ["entry.isbn -> entry"]
+
+    def test_roundtrip(self):
+        dtd = parse_dtdc(self._text(), root="book")
+        again = parse_dtdc(serialize_dtdc(dtd))
+        assert again.structure.root == "book"
+        assert set(map(str, again.constraints)) == \
+            set(map(str, dtd.constraints))
+        for t in dtd.structure.element_types:
+            assert again.structure.attributes(t) == \
+                dtd.structure.attributes(t)
+
+    def test_lid_constraints_roundtrip(self, persondept):
+        dtd, _doc = persondept
+        again = parse_dtdc(serialize_dtdc(dtd), root="db")
+        assert set(map(str, again.constraints)) == \
+            set(map(str, dtd.constraints))
+        assert any(isinstance(c, IDConstraint) for c in again.constraints)
