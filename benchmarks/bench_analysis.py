@@ -1,0 +1,58 @@
+"""E15: the static-analysis engine scales with schema size.
+
+Generates growing L_u schemas (a chain of element types, each with a
+key and a foreign key into the next) and measures a full ``analyze``
+run with XIC301 disabled — the redundancy rule is intentionally
+O(|Σ|) engine runs, i.e. quadratic, so the scaling claim is about
+everything else: structural scans, well-formedness, one implication
+closure, consistency.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    assert_subquadratic, measure_series, print_series,
+)
+from repro.analysis import LintConfig, analyze
+from repro.xmlio.dtdparse import parse_dtdc
+
+SIZES = [10, 40, 160]
+
+
+def chain_schema(n: int) -> str:
+    # A containment chain (each content model has constant size, so the
+    # scaling variable is the number of types/constraints, not the
+    # width of one regular expression).
+    lines = ["<!ELEMENT db (t0*)>"]
+    for i in range(n):
+        child = f"(t{i + 1}*)" if i + 1 < n else "EMPTY"
+        lines.append(f"<!ELEMENT t{i} {child}>")
+        lines.append(f"<!ATTLIST t{i} k CDATA #REQUIRED "
+                     "r NMTOKENS #REQUIRED>")
+    lines.append("%% constraints")
+    for i in range(n):
+        lines.append(f"t{i}.k -> t{i}")
+        lines.append(f"t{i}.r subS t{(i + 1) % n}.k")
+    return "\n".join(lines)
+
+
+def setup(n):
+    return parse_dtdc(chain_schema(n), root="db", check=False)
+
+
+def run(dtd):
+    return analyze(dtd, LintConfig(ignore=("XIC301",)))
+
+
+@pytest.mark.benchmark(group="E15-analysis")
+@pytest.mark.parametrize("n", SIZES)
+def test_analyze_benchmark(benchmark, n):
+    dtd = setup(n)
+    report = benchmark(lambda: run(dtd))
+    assert report.clean  # the chain schema is well-formed and sound
+
+
+def test_analyze_scales_subquadratically():
+    rows = measure_series(SIZES, setup, run)
+    print_series("E15: analyze() on chain schemas (XIC301 off)", rows)
+    assert_subquadratic(rows)

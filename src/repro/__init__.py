@@ -14,7 +14,9 @@ The package implements the paper end-to-end:
   :mod:`repro.oodb`;
 - the FO2 expressiveness argument (§1, Figure 1): :mod:`repro.fo2`;
 - the paper's running examples and seeded workload generators:
-  :mod:`repro.workloads`.
+  :mod:`repro.workloads`;
+- static analysis of ``DTD^C`` schemas (the ``repro-xic lint``
+  engine): :mod:`repro.analysis`.
 
 Quickstart::
 
@@ -31,6 +33,9 @@ Quickstart::
     assert engine.finitely_implies(phi)     # ... but finitely implied.
 """
 
+from repro.analysis import (
+    AnalysisReport, Diagnostic, LintConfig, Severity, analyze,
+)
 from repro.constraints import (
     Constraint, Field, ForeignKey, IDConstraint, IDForeignKey, IDInverse,
     IDSetValuedForeignKey, Inverse, Key, Language, SetValuedForeignKey,
@@ -54,6 +59,7 @@ from repro.xmlio import parse_document, parse_dtd, parse_dtdc, serialize
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisReport", "Diagnostic", "LintConfig", "Severity", "analyze",
     "Constraint", "Field", "ForeignKey", "IDConstraint", "IDForeignKey",
     "IDInverse", "IDSetValuedForeignKey", "Inverse", "Key", "Language",
     "SetValuedForeignKey", "UnaryForeignKey", "UnaryKey", "attr", "check",

@@ -1,0 +1,38 @@
+"""Static analysis of ``DTD^C`` schemas: the ``repro-xic lint`` engine.
+
+The paper's central observation is that properties of a ``DTD^C =
+(S, Σ)`` can be decided *statically* — the §2.2 well-formedness side
+conditions, consistency of the schema (required vs. necessarily-empty
+types), redundancy via implication (Prop 3.1, Thm 3.2), the
+finite/unrestricted divergence of Cor 3.3, and the primary-key
+coincidence fast path (Thm 3.4 / Thm 3.8).  This package packages all
+of those checks as registered rules over a shared diagnostic model::
+
+    from repro.analysis import analyze, LintConfig
+
+    report = analyze(dtd)                      # all rules
+    report = analyze(dtd, LintConfig(select=("XIC3",)))   # semantic only
+    for d in report:
+        print(d)            # XIC301 warning [entry.isbn -> entry]: ...
+    print(report.to_json())
+
+Rule families: ``XIC1xx`` structure, ``XIC2xx`` well-formedness,
+``XIC3xx`` semantics.  See the diagnostic-code table in the README.
+"""
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.engine import RuleContext, analyze, analyze_structure
+from repro.analysis.registry import (
+    DEFAULT_REGISTRY, LintConfig, Rule, RuleRegistry, rule,
+)
+
+# Importing the rule modules registers the stock rules.
+from repro.analysis import rules_structure as _rules_structure  # noqa: F401
+from repro.analysis import rules_wellformed as _rules_wellformed  # noqa: F401
+from repro.analysis import rules_semantic as _rules_semantic  # noqa: F401
+
+__all__ = [
+    "AnalysisReport", "Diagnostic", "Severity",
+    "RuleContext", "analyze", "analyze_structure",
+    "DEFAULT_REGISTRY", "LintConfig", "Rule", "RuleRegistry", "rule",
+]

@@ -1,0 +1,158 @@
+"""The structured diagnostic model of the schema analysis engine.
+
+A :class:`Diagnostic` is one finding about a ``DTD^C``: a stable code
+(``XIC101`` …), a :class:`Severity`, a human-readable message, and
+optional provenance — the element type and/or constraint the finding
+anchors to, plus a fix suggestion.  :class:`AnalysisReport` is the
+deterministic, JSON-serializable collection the engine returns.
+
+Code families:
+
+- ``XIC1xx`` — structural findings about ``S`` alone;
+- ``XIC2xx`` — well-formedness of Σ against ``S`` (§2.2 side
+  conditions, shared with :mod:`repro.constraints.wellformed`);
+- ``XIC3xx`` — semantic findings that involve the §3 implication and
+  consistency machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, replace
+from collections.abc import Iterable, Iterator
+
+
+class Severity(enum.Enum):
+    """How serious a diagnostic is.
+
+    ``ERROR`` and ``WARNING`` are *findings* (they make ``lint`` exit
+    nonzero); ``INFO`` and ``HINT`` are advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+    HINT = "hint"
+
+    @property
+    def rank(self) -> int:
+        """Lower rank = more severe (for sorting)."""
+        return _RANK[self]
+
+    @property
+    def is_finding(self) -> bool:
+        """Whether this severity makes the lint outcome non-clean."""
+        return self in (Severity.ERROR, Severity.WARNING)
+
+
+_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2,
+         Severity.HINT: 3}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analysis.
+
+    ``element`` and ``constraint`` locate the finding inside the schema
+    (either may be absent); ``rule`` is the kebab-case name of the rule
+    that produced it; ``fix`` is an optional suggestion.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    rule: str = ""
+    element: str | None = None
+    constraint: str | None = None
+    fix: str | None = None
+
+    @property
+    def is_finding(self) -> bool:
+        """Whether this diagnostic counts against a clean verdict."""
+        return self.severity.is_finding
+
+    def with_severity(self, severity: Severity) -> "Diagnostic":
+        """The same diagnostic at an overridden severity."""
+        return replace(self, severity=severity)
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering: severity, code, then location."""
+        return (self.severity.rank, self.code, self.element or "",
+                self.constraint or "", self.message)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping (optional fields omitted when absent)."""
+        out = {"code": self.code, "severity": self.severity.value,
+               "message": self.message, "rule": self.rule}
+        if self.element is not None:
+            out["element"] = self.element
+        if self.constraint is not None:
+            out["constraint"] = self.constraint
+        if self.fix is not None:
+            out["fix"] = self.fix
+        return out
+
+    def __str__(self) -> str:
+        where = ""
+        if self.constraint is not None:
+            where = f" [{self.constraint}]"
+        elif self.element is not None:
+            where = f" [{self.element}]"
+        suffix = f" (fix: {self.fix})" if self.fix else ""
+        return (f"{self.code} {self.severity.value}{where}: "
+                f"{self.message}{suffix}")
+
+
+class AnalysisReport:
+    """The deterministic outcome of analysing one ``DTD^C``."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self.diagnostics: tuple[Diagnostic, ...] = tuple(
+            sorted(diagnostics, key=Diagnostic.sort_key))
+
+    @property
+    def findings(self) -> list[Diagnostic]:
+        """The errors and warnings (what makes ``lint`` exit 1)."""
+        return [d for d in self.diagnostics if d.is_finding]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the schema has no errors or warnings."""
+        return not self.findings
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        """Diagnostics whose code starts with ``code`` (prefix match)."""
+        return [d for d in self.diagnostics if d.code.startswith(code)]
+
+    def count(self, severity: Severity) -> int:
+        """How many diagnostics carry the given severity."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping of the whole report."""
+        return {
+            "clean": self.clean,
+            "summary": {s.value: self.count(s) for s in Severity},
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, **extra: object) -> str:
+        """The report as a JSON document (``extra`` keys are merged in)."""
+        payload = {**extra, **self.to_dict()}
+        return json.dumps(payload, indent=2, sort_keys=False)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __str__(self) -> str:
+        if not self.diagnostics:
+            return "clean (no diagnostics)"
+        lines = [str(d) for d in self.diagnostics]
+        n = len(self.findings)
+        lines.append(f"{len(self.diagnostics)} diagnostic(s), "
+                     f"{n} finding(s)")
+        return "\n".join(lines)

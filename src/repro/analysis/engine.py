@@ -1,0 +1,129 @@
+"""The analysis driver: run registered rules over one ``DTD^C``.
+
+:func:`analyze` builds a :class:`RuleContext` (shared, lazily computed
+facts about the schema — its language, its well-formedness problems,
+its consistency report) and runs every enabled rule of a registry over
+it, returning a deterministic
+:class:`~repro.analysis.diagnostics.AnalysisReport`.
+
+The context exists so rules stay cheap and independent: expensive facts
+(implication closures, consistency) are computed once and memoized, and
+rules that need a *sound* schema (the semantic ``XIC3xx`` family) can
+bail out early via :attr:`RuleContext.sound` when structural or
+well-formedness errors make deeper analysis meaningless.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.registry import DEFAULT_REGISTRY, LintConfig, RuleRegistry
+from repro.constraints.base import Constraint, Language
+from repro.constraints.wellformed import (
+    WellFormednessProblem, language_of, well_formed_problems,
+)
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.errors import ConstraintError
+from repro.implication.lid import LidEngine
+from repro.implication.lu import LuEngine
+from repro.implication.l_primary import LPrimaryEngine
+
+
+class RuleContext:
+    """Shared, memoized facts about the schema under analysis."""
+
+    def __init__(self, dtd: DTDC) -> None:
+        self.dtd = dtd
+        self.structure: DTDStructure = dtd.structure
+        self.sigma: tuple[Constraint, ...] = tuple(dtd.constraints)
+
+    @cached_property
+    def language(self) -> Language | None:
+        """The common language of Σ, or ``None`` when Σ mixes languages
+        (full flag set when Σ is empty)."""
+        if not self.sigma:
+            return Language.L | Language.LU | Language.LID
+        try:
+            return language_of(self.sigma)
+        except ConstraintError:
+            return None
+
+    @cached_property
+    def structure_ok(self) -> bool:
+        """Whether ``S`` is globally coherent (root + references declared)."""
+        try:
+            self.structure.check()
+        except Exception:
+            return False
+        return True
+
+    @cached_property
+    def wellformed_problems(self) -> list[WellFormednessProblem]:
+        """The §2.2 side-condition violations of Σ (empty = well-formed)."""
+        if not self.structure_ok:
+            return []
+        return well_formed_problems(self.sigma, self.structure)
+
+    @cached_property
+    def sound(self) -> bool:
+        """Whether semantic rules may run: coherent structure, single
+        language, no well-formedness problems."""
+        return (self.structure_ok and self.language is not None
+                and not self.wellformed_problems)
+
+    def engine_for(self, sigma):
+        """The implication decider for a subset of Σ, chosen by Σ's
+        common language (``L_id`` over ``L_u`` over primary ``L``).
+
+        May raise
+        :class:`~repro.errors.PrimaryKeyRestrictionError` (general-``L``
+        sets outside the restriction have no exact decider, Thm 3.6).
+        """
+        language = self.language
+        if language is None:
+            raise ConstraintError("mixed-language Sigma has no decider")
+        if language & Language.LID:
+            return LidEngine(sigma)
+        if language & Language.LU:
+            return LuEngine(sigma)
+        return LPrimaryEngine(sigma)
+
+    @cached_property
+    def consistency(self):
+        """The required/vacuous consistency report (memoized)."""
+        from repro.dtd.consistency import consistency_report
+
+        return consistency_report(self.dtd)
+
+
+def analyze(dtd: DTDC, config: LintConfig | None = None,
+            registry: RuleRegistry | None = None) -> AnalysisReport:
+    """Run every enabled rule over the schema; return the report.
+
+    ``config`` selects/ignores rules and overrides severities;
+    ``registry`` defaults to the stock rule set.  Build the ``DTDC``
+    with ``check=False`` when linting possibly ill-formed input — the
+    whole point is to *report* the problems, not raise on them.
+    """
+    if registry is None:
+        registry = DEFAULT_REGISTRY
+    if config is None:
+        config = LintConfig()
+    ctx = RuleContext(dtd)
+    diagnostics: list[Diagnostic] = []
+    for r in registry:
+        if not config.enables(r.code):
+            continue
+        diagnostics.extend(config.apply_severity(d) for d in r.run(ctx))
+    return AnalysisReport(diagnostics)
+
+
+def analyze_structure(structure: DTDStructure,
+                      config: LintConfig | None = None) -> AnalysisReport:
+    """Run the structural (``XIC1xx``) rules over ``S`` alone."""
+    base = config or LintConfig()
+    scoped = LintConfig(select=base.select or ("XIC1",),
+                        ignore=base.ignore, severity=base.severity)
+    return analyze(DTDC(structure, (), check=False), config=scoped)

@@ -1,0 +1,141 @@
+"""The rule registry and per-run lint configuration.
+
+A :class:`Rule` packages one check: a stable code, a kebab-case name, a
+default severity, a one-line description, and the check function itself
+(taking a :class:`~repro.analysis.engine.RuleContext`, yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` objects).  Rules live in
+a :class:`RuleRegistry`; the module-level :data:`DEFAULT_REGISTRY` is
+what :func:`repro.analysis.analyze` consults, and the :func:`rule`
+decorator registers into it.
+
+:class:`LintConfig` selects/ignores rules by code prefix and overrides
+severities per code — the programmatic form of the CLI's ``--select``,
+``--ignore`` flags.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # engine imports registry; annotation only
+    from repro.analysis.engine import RuleContext
+
+_CODE_RE = re.compile(r"^XIC\d{3}$")
+
+#: A rule body: context in, diagnostics out.
+RuleCheck = Callable[["RuleContext"], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    description: str
+    check: RuleCheck
+
+    def run(self, ctx: "RuleContext") -> list[Diagnostic]:
+        """Run the check, stamping code/rule/default severity onto every
+        diagnostic the body yields (bodies only supply the payload)."""
+        out = []
+        for d in self.check(ctx):
+            if not d.code:
+                d = Diagnostic(self.code, self.severity, d.message,
+                               rule=self.name, element=d.element,
+                               constraint=d.constraint, fix=d.fix)
+            out.append(d)
+        return out
+
+
+def finding(message: str, *, element: str | None = None,
+            constraint: str | None = None,
+            fix: str | None = None) -> Diagnostic:
+    """A diagnostic payload for rule bodies; the registry stamps the
+    code, rule name and default severity on via :meth:`Rule.run`."""
+    return Diagnostic("", Severity.WARNING, message, element=element,
+                      constraint=constraint, fix=fix)
+
+
+class RuleRegistry:
+    """An ordered collection of rules, keyed by code."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, r: Rule) -> Rule:
+        """Add a rule; codes must be unique and shaped ``XICnnn``."""
+        if not _CODE_RE.match(r.code):
+            raise ValueError(f"bad rule code {r.code!r} (want XICnnn)")
+        if r.code in self._rules:
+            raise ValueError(f"duplicate rule code {r.code}")
+        self._rules[r.code] = r
+        return r
+
+    def rule(self, code: str, name: str, severity: Severity,
+             description: str) -> Callable[[RuleCheck], RuleCheck]:
+        """Decorator: register ``check`` under the given code."""
+        def deco(check: RuleCheck) -> RuleCheck:
+            self.register(Rule(code, name, severity, description, check))
+            return check
+        return deco
+
+    def get(self, code: str) -> Rule:
+        """The rule with exactly this code (:class:`KeyError` if none)."""
+        return self._rules[code]
+
+    def codes(self) -> list[str]:
+        """All registered codes, sorted."""
+        return sorted(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(sorted(self._rules.values(), key=lambda r: r.code))
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._rules
+
+
+#: The registry the stock rules register into and `analyze` consults.
+DEFAULT_REGISTRY = RuleRegistry()
+
+#: Register a rule into the default registry (decorator).
+rule = DEFAULT_REGISTRY.rule
+
+
+def _matches(code: str, prefixes: Iterable[str]) -> bool:
+    return any(code.startswith(p) for p in prefixes)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run rule selection and severity overrides.
+
+    ``select`` / ``ignore`` entries are code prefixes: ``"XIC3"``
+    matches the whole semantic family, ``"XIC301"`` one rule.  An empty
+    ``select`` means "all rules".  ``severity`` maps exact codes to
+    overriding severities.
+    """
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    severity: Mapping[str, Severity] = field(default_factory=dict)
+
+    def enables(self, code: str) -> bool:
+        """Whether a rule with this code should run."""
+        if self.select and not _matches(code, self.select):
+            return False
+        return not _matches(code, self.ignore)
+
+    def apply_severity(self, d: Diagnostic) -> Diagnostic:
+        """Apply a per-code severity override, if one is configured."""
+        override = self.severity.get(d.code)
+        return d.with_severity(override) if override else d

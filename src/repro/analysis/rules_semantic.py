@@ -1,0 +1,264 @@
+"""Semantic rules (``XIC3xx``): findings that use the §3 machinery.
+
+These rules run the implication engines and the consistency analysis,
+so they only fire on *sound* schemas (coherent structure, single
+constraint language, well-formed Σ) — on broken input the ``XIC1xx`` /
+``XIC2xx`` families already explain what is wrong, and deeper semantic
+claims would be noise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import RuleContext
+from repro.analysis.registry import finding, rule
+from repro.constraints.base import Language
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.errors import ConstraintError, PrimaryKeyRestrictionError
+from repro.implication.lid import _canonical_inverse as _canon_lid
+from repro.implication.lu import LuEngine, _canonical_inverse as _canon_lu
+from repro.implication.l_primary import LPrimaryEngine
+from repro.implication.lu_primary import check_primary_restriction
+
+
+def _canonical(c):
+    if isinstance(c, IDInverse):
+        return _canon_lid(c)
+    if isinstance(c, Inverse):
+        return _canon_lu(c)
+    return c
+
+
+def _mandated_keys(sigma):
+    """Keys §2.2 *requires* to be stated: every stated foreign key's
+    target key (and both endpoint keys of an inverse).  These are always
+    derivable from the foreign key itself (rules FK-K/UFK-K/SFK-K), but
+    dropping them would make Σ ill-formed — so the redundancy rule must
+    not suggest it.  Returns ``(key_ids, id_elements)``."""
+    keys: set[tuple[str, frozenset]] = set()
+    ids: set[str] = set()
+    for c in sigma:
+        if isinstance(c, ForeignKey):
+            keys.add((c.target, frozenset(c.target_fields)))
+        elif isinstance(c, (UnaryForeignKey, SetValuedForeignKey)):
+            keys.add((c.target, frozenset((c.target_field,))))
+        elif isinstance(c, Inverse):
+            keys.add((c.element, frozenset((c.key_field,))))
+            keys.add((c.target, frozenset((c.target_key_field,))))
+        elif isinstance(c, (IDForeignKey, IDSetValuedForeignKey)):
+            ids.add(c.target)
+        elif isinstance(c, IDInverse):
+            ids.update((c.element, c.target))
+    return keys, ids
+
+
+def _is_mandated(phi: object, keys: set[tuple[str, frozenset]],
+                 ids: set[str]) -> bool:
+    if isinstance(phi, Key):
+        return (phi.element, phi.field_set) in keys
+    if isinstance(phi, UnaryKey):
+        return (phi.element, frozenset((phi.field,))) in keys
+    if isinstance(phi, IDConstraint):
+        return phi.element in ids
+    return False
+
+
+@rule("XIC301", "redundant-constraint", Severity.WARNING,
+      "constraint is implied by the rest of Sigma")
+def check_redundant(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """``Σ\\{φ} ⊨ φ``: the constraint adds nothing — every model of the
+    others already satisfies it (Prop 3.1 / Thm 3.2 closures)."""
+    if not ctx.sound or len(ctx.sigma) < 2:
+        return
+    counts = Counter(_canonical(c) for c in ctx.sigma)
+    mandated_keys, mandated_ids = _mandated_keys(ctx.sigma)
+    for i, phi in enumerate(ctx.sigma):
+        if counts[_canonical(phi)] > 1:
+            continue  # exact duplicates are XIC305's finding
+        if _is_mandated(phi, mandated_keys, mandated_ids):
+            continue  # §2.2 requires stating it; dropping is no fix
+        rest = ctx.sigma[:i] + ctx.sigma[i + 1:]
+        try:
+            result = ctx.engine_for(rest).implies(phi)
+        except (PrimaryKeyRestrictionError, ConstraintError):
+            return
+        if result:
+            via = result.derivation.rule if result.derivation else "axioms"
+            yield finding(
+                f"implied by the rest of Sigma (via {via}); every model "
+                "of the other constraints already satisfies it",
+                constraint=str(phi), element=phi.element,
+                fix="drop the redundant constraint")
+
+
+@rule("XIC302", "finite-only-implication", Severity.WARNING,
+      "finite and unrestricted implication diverge on this Sigma")
+def check_divergence(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Constraints derivable only *finitely* (cycle rules ``C_k``,
+    Cor 3.3): the schema means different things over finite documents
+    and over unrestricted models — usually an accidental cardinality
+    cycle, e.g. ``{tau.a -> tau, tau.b -> tau, tau.a sub tau.b}``."""
+    language = ctx.language
+    if not ctx.sound or language is None:
+        return
+    if (language & Language.LID) or not (language & Language.LU):
+        return  # L_id and primary-L: the two problems coincide
+    try:
+        eng = LuEngine(ctx.sigma)
+    except ConstraintError:
+        return
+    for n in sorted(set(eng.fin_keys) - set(eng.keys), key=str):
+        yield finding(
+            f"Sigma finitely implies the key {n[0]}.{n[1]} -> {n[0]} "
+            "(cycle rule C_k) but does not imply it over unrestricted "
+            "models — finite and unrestricted implication diverge "
+            "(Cor 3.3)", element=n[0])
+    for n in sorted(eng.fin_edges, key=str):
+        for m in sorted(eng.fin_edges[n], key=str):
+            if m in eng.edges.get(n, {}):
+                continue
+            yield finding(
+                f"Sigma finitely implies {n[0]}.{n[1]} sub {m[0]}.{m[1]} "
+                "(cycle rule C_k reverses a stated inclusion) but does "
+                "not imply it over unrestricted models (Cor 3.3)",
+                element=n[0])
+
+
+@rule("XIC303", "inconsistent-schema", Severity.ERROR,
+      "a required element type has a necessarily empty extension")
+def check_inconsistent(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """The conflict set of the consistency analysis: types forced by the
+    content models to occur in every valid document whose extension Σ
+    forces to be empty — no valid document exists at all."""
+    if not ctx.sound:
+        return
+    for tau in sorted(ctx.consistency.conflicts):
+        yield finding(
+            f"element type {tau!r} is required by the content models but "
+            "its extension is empty in every model of Sigma — no valid "
+            "document exists", element=tau,
+            fix=f"make {tau!r} optional in its parent content model or "
+            "drop one of the conflicting foreign keys")
+
+
+@rule("XIC304", "vacuous-type", Severity.WARNING,
+      "element type has a necessarily empty extension")
+def check_vacuous(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A type whose extension Σ forces to be empty in every model (the
+    ``L_id`` multi-target degeneracy, closed upward through mandatory
+    containment).  Constraints on it hold vacuously, so implication
+    answers about it are misleading."""
+    if not ctx.sound:
+        return
+    report = ctx.consistency
+    for tau in sorted(report.vacuous - report.conflicts):
+        yield finding(
+            f"the extension of {tau!r} is empty in every model of Sigma; "
+            "all constraints on it hold vacuously", element=tau,
+            fix="drop one of the foreign keys forcing the emptiness")
+
+
+@rule("XIC305", "duplicate-constraint", Severity.WARNING,
+      "the same constraint is stated more than once")
+def check_duplicates(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Exact restatements (inverse constraints are compared up to their
+    symmetric flip)."""
+    counts = Counter(_canonical(c) for c in ctx.sigma)
+    seen = set()
+    for c in ctx.sigma:
+        canon = _canonical(c)
+        if counts[canon] > 1 and canon not in seen:
+            seen.add(canon)
+            yield finding(
+                f"stated {counts[canon]} times", constraint=str(c),
+                element=c.element, fix="keep a single copy")
+
+
+@rule("XIC306", "shadowed-key", Severity.WARNING,
+      "a stated key is a strict superset of another stated key")
+def check_shadowed(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """If ``X ⊂ Y`` and ``tau[X] -> tau`` is stated, ``tau[Y] -> tau``
+    is automatically satisfied — the wider key adds nothing (and ``I_p``
+    deliberately has no augmentation rule to derive that for you)."""
+    stated: list[tuple[str, frozenset, str]] = []
+    for c in ctx.sigma:
+        if isinstance(c, Key):
+            stated.append((c.element, c.field_set, str(c)))
+        elif isinstance(c, UnaryKey):
+            stated.append((c.element, frozenset((c.field,)), str(c)))
+    for element, fields, text in stated:
+        shadowing = sorted(
+            other_text for other_element, other_fields, other_text in stated
+            if other_element == element and other_fields < fields)
+        if shadowing:
+            yield finding(
+                f"shadowed by the smaller stated key {shadowing[0]}; any "
+                "superset of a key is automatically a key",
+                constraint=text, element=element,
+                fix="drop the wider key")
+
+
+@rule("XIC307", "primary-key-eligible", Severity.INFO,
+      "Sigma satisfies the primary-key restriction (fast-path eligible)")
+def check_primary_eligible(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Under the primary-key restriction implication and finite
+    implication *coincide* (Thm 3.4 for ``L_u``, Thm 3.8/Cor 3.9 for
+    ``L``), so a single run of the unrestricted decider answers both —
+    the coincidence fast path."""
+    language = ctx.language
+    if not ctx.sound or not ctx.sigma or language is None:
+        return
+    if language & Language.LID:
+        return  # Prop 3.1: L_id coincides regardless; nothing to certify
+    if language & Language.LU:
+        try:
+            check_primary_restriction(ctx.sigma)
+        except (PrimaryKeyRestrictionError, ConstraintError):
+            return
+        yield finding(
+            "Sigma satisfies the primary-key restriction: implication "
+            "and finite implication coincide (Thm 3.4) and one I_u run "
+            "answers both")
+    else:
+        try:
+            LPrimaryEngine(ctx.sigma)
+        except (PrimaryKeyRestrictionError, ConstraintError):
+            return
+        yield finding(
+            "Sigma satisfies the primary-key restriction: implication "
+            "and finite implication coincide (Thm 3.8, Cor 3.9) under "
+            "the I_p system")
+
+
+@rule("XIC308", "undecidable-mix", Severity.WARNING,
+      "full multi-attribute L outside the primary-key restriction")
+def check_undecidable(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Multi-attribute keys and foreign keys outside the primary-key
+    restriction: implication and finite implication are undecidable
+    (Thm 3.6) — only the sound-but-incomplete prover and the bounded
+    chase refutation remain."""
+    if not ctx.sound or ctx.language != Language.L:
+        return
+    if not any(isinstance(c, (Key, ForeignKey)) for c in ctx.sigma):
+        return
+    try:
+        LPrimaryEngine(ctx.sigma)
+    except PrimaryKeyRestrictionError as exc:
+        yield finding(
+            "Sigma uses multi-attribute keys/foreign keys outside the "
+            f"primary-key restriction ({exc}); implication for full L "
+            "is undecidable (Thm 3.6) — only bounded analysis "
+            "(LGeneralEngine.decide) is available",
+            fix="restructure Sigma to reference one primary key per "
+            "element type")
+    except ConstraintError:
+        return

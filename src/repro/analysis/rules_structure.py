@@ -1,0 +1,75 @@
+"""Structural rules (``XIC1xx``): findings about ``S`` alone.
+
+These need no constraints and no implication machinery — they inspect
+the element-type graph and the content-model regular expressions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import RuleContext
+from repro.analysis.registry import finding, rule
+from repro.regexlang.glushkov import GlushkovNFA
+
+
+@rule("XIC101", "nondeterministic-content-model", Severity.WARNING,
+      "content model is not 1-unambiguous (XML 1.0 determinism)")
+def check_nondeterministic(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """XML 1.0 requires deterministic content models; the paper's
+    grammar does not, and validation here is exact either way — but a
+    non-deterministic model usually signals an authoring mistake, and
+    the Glushkov matcher runs slower on it (subset construction)."""
+    for tau in sorted(ctx.structure.element_types):
+        if not GlushkovNFA(ctx.structure.content(tau)).is_deterministic():
+            yield finding(
+                f"content model of {tau!r} is not 1-unambiguous "
+                "(XML 1.0 would reject it; validation here is exact "
+                "but slower)", element=tau)
+
+
+@rule("XIC102", "unreachable-element-type", Severity.WARNING,
+      "element type is declared but unreachable from the root")
+def check_unreachable(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A declared type that no content model chain from the root can
+    reach never occurs in a valid document; constraints on it are
+    vacuous and the declaration is dead weight."""
+    s = ctx.structure
+    if not s.has_element(s.root):
+        return
+    reachable = {s.root}
+    queue = deque((s.root,))
+    while queue:
+        tau = queue.popleft()
+        for child in s.subelements(tau):
+            if child not in reachable and s.has_element(child):
+                reachable.add(child)
+                queue.append(child)
+    for tau in sorted(s.element_types - reachable):
+        yield finding(
+            f"element type {tau!r} is declared but unreachable from the "
+            f"root {s.root!r}; it can never occur in a valid document",
+            element=tau,
+            fix=f"reference {tau!r} from a reachable content model or "
+            "drop the declaration")
+
+
+@rule("XIC103", "dangling-content-reference", Severity.ERROR,
+      "content model or root references an undeclared element type")
+def check_dangling(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Definition 2.2 requires ``P(tau)`` to range over declared
+    element types, and the root to be declared.  ``DTDStructure.check``
+    raises on the first violation; this rule reports them all."""
+    s = ctx.structure
+    if not s.has_element(s.root):
+        yield finding(f"root element type {s.root!r} is not declared",
+                      element=s.root)
+    for tau in sorted(s.element_types):
+        for ref in sorted(s.subelements(tau)):
+            if not s.has_element(ref):
+                yield finding(
+                    f"content model of {tau!r} mentions undeclared "
+                    f"element type {ref!r}", element=tau,
+                    fix=f"declare <!ELEMENT {ref} ...>")

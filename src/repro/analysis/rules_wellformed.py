@@ -1,0 +1,58 @@
+"""Well-formedness rules (``XIC2xx``): the §2.2 side conditions of Σ.
+
+The actual checking lives in :mod:`repro.constraints.wellformed`, which
+produces structured :class:`WellFormednessProblem` records carrying the
+``XIC2xx`` codes; each rule here filters the shared result for its own
+code, so per-rule enable/disable and severity overrides work uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import RuleContext
+from repro.analysis.registry import finding, rule
+
+
+def _problems_with(ctx: RuleContext, code: str) -> Iterator[Diagnostic]:
+    for p in ctx.wellformed_problems:
+        if p.code == code:
+            yield finding(p.message, element=p.element,
+                          constraint=p.constraint)
+
+
+@rule("XIC201", "undeclared-element", Severity.ERROR,
+      "constraint references an undeclared element type")
+def check_undeclared_element(ctx: RuleContext) -> Iterator[Diagnostic]:
+    yield from _problems_with(ctx, "XIC201")
+
+
+@rule("XIC202", "undeclared-attribute", Severity.ERROR,
+      "constraint references an undeclared attribute")
+def check_undeclared_attribute(ctx: RuleContext) -> Iterator[Diagnostic]:
+    yield from _problems_with(ctx, "XIC202")
+
+
+@rule("XIC203", "field-arity", Severity.ERROR,
+      "field violates a single/set-valuedness side condition")
+def check_field_arity(ctx: RuleContext) -> Iterator[Diagnostic]:
+    yield from _problems_with(ctx, "XIC203")
+
+
+@rule("XIC204", "missing-target-key", Severity.ERROR,
+      "foreign-key target fields are not a stated key")
+def check_missing_target_key(ctx: RuleContext) -> Iterator[Diagnostic]:
+    yield from _problems_with(ctx, "XIC204")
+
+
+@rule("XIC205", "id-side-condition", Severity.ERROR,
+      "L_id side condition violated (ID constraint / attribute / IDREF)")
+def check_id_side_condition(ctx: RuleContext) -> Iterator[Diagnostic]:
+    yield from _problems_with(ctx, "XIC205")
+
+
+@rule("XIC206", "cross-language-target", Severity.ERROR,
+      "foreign-key target key is stated in a different language")
+def check_cross_language_target(ctx: RuleContext) -> Iterator[Diagnostic]:
+    yield from _problems_with(ctx, "XIC206")

@@ -4,13 +4,20 @@ Subcommands::
 
     repro-xic validate  DOC.xml SCHEMA.dtdc          # Definition 2.4
     repro-xic describe  SCHEMA.dtdc                  # dump S and Sigma
+    repro-xic lint      SCHEMA.dtdc                  # static analysis
     repro-xic imply     SCHEMA.dtdc "CONSTRAINT"     # basic implication
     repro-xic imply     --finite SCHEMA.dtdc "..."   # finite implication
     repro-xic path-type SCHEMA.dtdc TAU PATH         # type(tau.path), §4.1
     repro-xic path-imply SCHEMA.dtdc "t.p -> t.q"    # Props 4.1/4.2/4.3
 
-Exit status: 0 success / holds / implied, 1 violation / not implied,
-2 usage or input error.
+Exit status: 0 success / holds / implied / clean, 1 violation / not
+implied / lint findings, 2 usage or input error.
+
+``lint`` runs the :mod:`repro.analysis` rule set over the schema:
+``--format json`` for machine-readable output, ``--select`` /
+``--ignore`` to filter rules by code prefix (e.g. ``--select XIC3``).
+``describe`` prints the schema dump on stdout and routes its
+diagnostics to stderr, so stdout stays parseable.
 """
 
 from __future__ import annotations
@@ -49,13 +56,39 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_describe(args) -> int:
-    from repro.dtd.validate import lint_structure
+    from repro.analysis import analyze
 
     dtd = _load_dtdc(args.schema, args.root)
     print(dtd.describe())
-    for warning in lint_structure(dtd.structure):
-        print(f"warning: {warning}")
+    # Diagnostics go to stderr so stdout stays a clean schema dump.
+    for diagnostic in analyze(dtd):
+        print(diagnostic, file=sys.stderr)
     return 0
+
+
+def _lint_prefixes(raw: list[str] | None) -> tuple[str, ...]:
+    """Flatten repeatable, comma-separated ``--select``/``--ignore``
+    values into a tuple of code prefixes."""
+    out: list[str] = []
+    for chunk in raw or []:
+        out.extend(p for p in (s.strip() for s in chunk.split(",")) if p)
+    return tuple(out)
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import LintConfig, analyze
+
+    # check=False: the linter reports ill-formedness, it must not raise.
+    dtd = parse_dtdc(FsPath(args.schema).read_text(), root=args.root,
+                     check=False)
+    config = LintConfig(select=_lint_prefixes(args.select),
+                        ignore=_lint_prefixes(args.ignore))
+    report = analyze(dtd, config)
+    if args.format == "json":
+        print(report.to_json(schema=args.schema))
+    else:
+        print(report)
+    return 0 if report.clean else 1
 
 
 def _cmd_consistent(args) -> int:
@@ -139,6 +172,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("describe", help="print the DTD^C")
     p.add_argument("schema")
     p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser("lint",
+                       help="static analysis of the schema (XIC codes)")
+    p.add_argument("schema")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.add_argument("--select", action="append", metavar="CODES",
+                   help="only run rules matching these comma-separated "
+                   "code prefixes (e.g. XIC3,XIC101); repeatable")
+    p.add_argument("--ignore", action="append", metavar="CODES",
+                   help="skip rules matching these comma-separated code "
+                   "prefixes; repeatable")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("consistent",
                        help="check the DTD^C for required-but-empty "

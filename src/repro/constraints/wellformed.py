@@ -6,11 +6,28 @@ targets must be stated keys, ``L_id`` references must be IDREF attributes
 pointing at types with ID constraints, and so on.  :func:`well_formed`
 verifies all of them and returns a list of problems (empty = ok);
 :func:`require_well_formed` raises :class:`ConstraintError` instead.
+
+:func:`well_formed_problems` is the structured face of the same check:
+each problem carries a stable diagnostic code (the ``XIC2xx`` family of
+:mod:`repro.analysis`) and the constraint it anchors to, so tooling can
+filter and render findings without parsing message strings.
+
+Code taxonomy (shared with the analysis engine):
+
+=======  ==========================================================
+XIC201   constraint references an undeclared element type
+XIC202   constraint references an undeclared attribute
+XIC203   field arity mismatch (single/set-valued, unique sub-element)
+XIC204   foreign-key target fields are not a stated key
+XIC205   ``L_id`` side condition (ID constraint / ID attribute / IDREF)
+XIC206   foreign-key target key crosses constraint languages
+=======  ==========================================================
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.constraints.base import Constraint, Field, Language
@@ -27,16 +44,37 @@ if TYPE_CHECKING:  # layering: constraints must not import dtd at runtime
     from repro.dtd.structure import DTDStructure
 
 
-def well_formed(constraints: Iterable[Constraint],
-                structure: "DTDStructure") -> list[str]:
-    """All well-formedness problems of Σ against the structure."""
+@dataclass(frozen=True)
+class WellFormednessProblem:
+    """One well-formedness violation, with a stable diagnostic code."""
+
+    code: str
+    message: str
+    constraint: str
+    element: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.constraint}: {self.message}"
+
+
+def well_formed_problems(constraints: Iterable[Constraint],
+                         structure: "DTDStructure"
+                         ) -> list[WellFormednessProblem]:
+    """All well-formedness problems of Σ, as structured records."""
     sigma = list(constraints)
-    problems: list[str] = []
+    problems: list[WellFormednessProblem] = []
     stated_keys = _stated_keys(sigma)
     stated_ids = {c.element for c in sigma if isinstance(c, IDConstraint)}
     for c in sigma:
         problems.extend(_check_one(c, structure, stated_keys, stated_ids))
+    problems.extend(_cross_language_targets(sigma, stated_ids))
     return problems
+
+
+def well_formed(constraints: Iterable[Constraint],
+                structure: "DTDStructure") -> list[str]:
+    """All well-formedness problems of Σ against the structure."""
+    return [str(p) for p in well_formed_problems(constraints, structure)]
 
 
 def require_well_formed(constraints: Iterable[Constraint],
@@ -74,54 +112,112 @@ def _stated_keys(sigma: list[Constraint]) -> set[tuple[str, frozenset[Field]]]:
 
 
 def _field_ok(structure: "DTDStructure", element: str, field: Field,
-              need_single: bool, need_set: bool = False) -> str | None:
-    """Check one field reference; return a problem string or ``None``."""
+              need_single: bool, need_set: bool = False
+              ) -> tuple[str, str] | None:
+    """Check one field reference; return ``(code, problem)`` or ``None``."""
     if not structure.has_element(element):
-        return f"undeclared element type {element!r}"
+        return "XIC201", f"undeclared element type {element!r}"
     if field.is_element:
         if need_set:
-            return (f"{element}.{field} must be a set-valued attribute, "
+            return ("XIC203",
+                    f"{element}.{field} must be a set-valued attribute, "
                     "not a sub-element")
         if field.name not in structure.unique_subelements(element):
-            return (f"{field.name!r} is not a unique sub-element of "
+            return ("XIC203",
+                    f"{field.name!r} is not a unique sub-element of "
                     f"{element!r} (§3.4 requires exactly one occurrence "
                     "in every word of the content model)")
         return None
     if not structure.has_attribute(element, field.name):
-        return f"undeclared attribute {element}.{field.name}"
+        return "XIC202", f"undeclared attribute {element}.{field.name}"
     set_valued = structure.is_set_valued(element, field.name)
     if need_single and set_valued:
-        return f"{element}.{field.name} must be single-valued"
+        return "XIC203", f"{element}.{field.name} must be single-valued"
     if need_set and not set_valued:
-        return f"{element}.{field.name} must be set-valued"
+        return "XIC203", f"{element}.{field.name} must be set-valued"
     return None
+
+
+def _cross_language_targets(sigma: list[Constraint], stated_ids: set[str]
+                            ) -> list[WellFormednessProblem]:
+    """The explicit cross-language target check (code ``XIC206``).
+
+    An ``L_id`` foreign key is justified by the *stated ID constraint*
+    of its target; that justification is an ``L_id`` statement.  When Σ
+    as a whole fits no single language of the paper, the foreign key and
+    its target key live in different fragments, every implication engine
+    rejects Σ, and the paper's semantics (which is per-language) no
+    longer covers the pair.  Historically this combination was accepted
+    silently; it is now reported on each affected foreign key.
+    """
+    try:
+        language_of(sigma)
+    except ConstraintError:
+        pass
+    else:
+        return []
+    problems: list[WellFormednessProblem] = []
+    for c in sigma:
+        if isinstance(c, (IDForeignKey, IDSetValuedForeignKey)):
+            targets = (c.target,)
+        elif isinstance(c, IDInverse):
+            targets = (c.element, c.target)
+        else:
+            continue
+        for target in targets:
+            if target in stated_ids:
+                problems.append(WellFormednessProblem(
+                    "XIC206",
+                    f"target key of {target!r} is stated only as an L_id "
+                    "ID constraint, but Sigma mixes constraint languages; "
+                    "the foreign key and its target key must fit one "
+                    "language of the paper", str(c), c.element))
+    return problems
 
 
 def _check_one(c: Constraint, s: "DTDStructure",
                stated_keys: set[tuple[str, frozenset[Field]]],
-               stated_ids: set[str]) -> list[str]:
-    problems: list[str] = []
+               stated_ids: set[str]) -> list[WellFormednessProblem]:
+    problems: list[WellFormednessProblem] = []
+
+    def report(code: str, message: str) -> None:
+        problems.append(WellFormednessProblem(code, message, str(c),
+                                              c.element))
 
     def field(element: str, f: Field, *, single: bool = False,
               setv: bool = False) -> None:
         p = _field_ok(s, element, f, need_single=single, need_set=setv)
         if p is not None:
-            problems.append(f"{c}: {p}")
+            report(*p)
 
     def target_key(element: str, fs: frozenset[Field]) -> None:
-        if (element, fs) not in stated_keys:
-            inner = ", ".join(str(f) for f in sorted(fs, key=str))
-            problems.append(
-                f"{c}: referenced fields [{inner}] are not a stated key "
-                f"of {element!r}")
+        if (element, fs) in stated_keys:
+            return
+        inner = ", ".join(str(f) for f in sorted(fs, key=str))
+        report("XIC204",
+               f"referenced fields [{inner}] are not a stated key "
+               f"of {element!r}")
+        # Cross-language near-miss: the referenced field is the target's
+        # ID attribute and an L_id ID constraint is stated for it.  The
+        # ID constraint does not make the attribute a stated key in the
+        # foreign key's own language (L / L_u); say so explicitly.
+        if len(fs) == 1 and element in stated_ids:
+            (f,) = fs
+            if not f.is_element and s.has_element(element) and \
+                    s.id_attribute(element) == f.name:
+                report("XIC206",
+                       f"{element}.{f.name} is covered only by the L_id "
+                       f"ID constraint of {element!r}, a different "
+                       f"constraint language; state "
+                       f"{element}.{f.name} -> {element} explicitly")
 
     def target_id(element: str) -> None:
         if element not in stated_ids:
-            problems.append(
-                f"{c}: target {element!r} has no stated ID constraint")
+            report("XIC205",
+                   f"target {element!r} has no stated ID constraint")
         if s.has_element(element) and s.id_attribute(element) is None:
-            problems.append(
-                f"{c}: target {element!r} has no declared ID attribute")
+            report("XIC205",
+                   f"target {element!r} has no declared ID attribute")
 
     if isinstance(c, Key):
         for f in c.fields:
@@ -151,11 +247,11 @@ def _check_one(c: Constraint, s: "DTDStructure",
         target_key(c.target, frozenset((c.target_key_field,)))
     elif isinstance(c, IDConstraint):
         if not s.has_element(c.element):
-            problems.append(f"{c}: undeclared element type {c.element!r}")
+            report("XIC201", f"undeclared element type {c.element!r}")
         elif s.id_attribute(c.element) is None:
-            problems.append(
-                f"{c}: element type {c.element!r} has no attribute of "
-                "kind ID")
+            report("XIC205",
+                   f"element type {c.element!r} has no attribute of "
+                   "kind ID")
     elif isinstance(c, IDForeignKey):
         field(c.element, c.field, single=True)
         _require_idref(s, c, c.element, c.field, problems)
@@ -177,15 +273,19 @@ def _check_one(c: Constraint, s: "DTDStructure",
 
 
 def _require_idref(s: "DTDStructure", c: Constraint, element: str,
-                   field: Field, problems: list[str]) -> None:
+                   field: Field,
+                   problems: list[WellFormednessProblem]) -> None:
     # Deferred import keeps the constraints package independent of dtd
     # at import time (dtd depends on constraints, not vice versa).
     from repro.dtd.structure import AttributeKind
 
     if field.is_element:
-        problems.append(f"{c}: L_id references must be attributes")
+        problems.append(WellFormednessProblem(
+            "XIC205", "L_id references must be attributes", str(c),
+            c.element))
         return
     if s.has_element(element) and s.has_attribute(element, field.name) and \
             s.kind(element, field.name) is not AttributeKind.IDREF:
-        problems.append(
-            f"{c}: kind({element}, {field.name}) must be IDREF")
+        problems.append(WellFormednessProblem(
+            "XIC205", f"kind({element}, {field.name}) must be IDREF",
+            str(c), c.element))

@@ -102,20 +102,13 @@ def validate_strict(tree: DataTree, dtd: DTDC) -> None:
 def lint_structure(structure: DTDStructure) -> list[str]:
     """Schema-quality warnings that are not Definition 2.4 violations.
 
-    Currently: non-deterministic (1-ambiguous) content models.  XML 1.0
-    requires DTD content models to be deterministic; the paper's grammar
-    does not, and this library validates either way — but a
-    non-deterministic model usually signals an authoring mistake, and
-    the Glushkov matcher runs slower on it (subset construction kicks
-    in).  The CLI surfaces these from ``describe``.
+    Backward-compatible wrapper over the ``XIC101``
+    (non-1-unambiguous content model) rule of :mod:`repro.analysis`,
+    which now owns schema linting; use
+    :func:`repro.analysis.analyze_structure` directly for the full
+    structural rule family with codes and severities.
     """
-    from repro.regexlang.glushkov import GlushkovNFA
+    from repro.analysis import analyze_structure
 
-    warnings: list[str] = []
-    for tau in sorted(structure.element_types):
-        if not GlushkovNFA(structure.content(tau)).is_deterministic():
-            warnings.append(
-                f"content model of {tau!r} is not 1-unambiguous "
-                "(XML 1.0 would reject it; validation here is exact "
-                "but slower)")
-    return warnings
+    return [d.message for d in analyze_structure(structure)
+            if d.code == "XIC101"]

@@ -107,8 +107,14 @@ def parse_dtd(text: str, root: str | None = None) -> DTDStructure:
 _SECTION_RE = re.compile(r"^\s*%%\s*constraints\s*$", re.MULTILINE)
 
 
-def parse_dtdc(text: str, root: str | None = None) -> DTDC:
-    """Parse the ``.dtdc`` format: DTD declarations + constraint lines."""
+def parse_dtdc(text: str, root: str | None = None,
+               check: bool = True) -> DTDC:
+    """Parse the ``.dtdc`` format: DTD declarations + constraint lines.
+
+    ``check=False`` skips the well-formedness verification of Σ against
+    the structure — used by the lint CLI, whose job is to *report* those
+    problems as diagnostics rather than raise on the first one.
+    """
     constraint_lines: list[str] = []
     section = _SECTION_RE.split(text)
     dtd_text = section[0]
@@ -121,7 +127,7 @@ def parse_dtdc(text: str, root: str | None = None) -> DTDC:
                 stripped.split(":", 1)[1].splitlines())
     structure = parse_dtd(dtd_text, root=root)
     constraints = parse_constraints("\n".join(constraint_lines), structure)
-    return DTDC(structure, constraints)
+    return DTDC(structure, constraints, check=check)
 
 
 def serialize_dtdc(dtd: DTDC) -> str:

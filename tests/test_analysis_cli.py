@@ -1,0 +1,118 @@
+"""Tests for `repro-xic lint` and the describe stderr routing."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import analyze
+from repro.cli.main import main
+from repro.xmlio.dtdparse import parse_dtdc
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+ALL_FIXTURES = sorted(
+    list((REPO / "tests" / "fixtures").glob("*.dtdc"))
+    + list((REPO / "examples").glob("*.dtdc")))
+
+
+def fixture(name: str) -> str:
+    return str(REPO / "tests" / "fixtures" / name)
+
+
+class TestLintExitCodes:
+    def test_clean_schema_exits_zero(self, capsys):
+        assert main(["lint", fixture("clean.dtdc")]) == 0
+        assert "clean (no diagnostics)" in capsys.readouterr().out
+
+    def test_advisory_only_schema_exits_zero(self, capsys):
+        # book.dtdc carries the XIC307 info certificate; info is not a
+        # finding, so the verdict is still clean.
+        assert main(["lint", fixture("book.dtdc")]) == 0
+        assert "XIC307" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", fixture("divergent.dtdc")]) == 1
+        out = capsys.readouterr().out
+        assert "XIC302" in out and "Cor 3.3" in out
+
+    def test_illformed_schema_is_reported_not_raised(self, capsys):
+        assert main(["lint", fixture("illformed.dtdc")]) == 1
+        out = capsys.readouterr().out
+        assert "XIC204" in out
+
+    def test_missing_file_exits_two(self):
+        assert main(["lint", "/no/such/schema.dtdc"]) == 2
+
+    def test_unparseable_schema_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.dtdc"
+        bad.write_text("this is not a DTD at all")
+        assert main(["lint", str(bad)]) == 2
+
+
+class TestLintSelection:
+    def test_select_restricts_families(self, capsys):
+        assert main(["lint", fixture("divergent.dtdc"),
+                     "--select", "XIC1"]) == 0
+        assert "XIC302" not in capsys.readouterr().out
+
+    def test_ignore_drops_codes(self, capsys):
+        assert main(["lint", fixture("divergent.dtdc"),
+                     "--ignore", "XIC302"]) == 0
+
+    def test_comma_separated_and_repeated_flags(self, capsys):
+        code = main(["lint", fixture("inconsistent.dtdc"),
+                     "--select", "XIC303,XIC304", "--select", "XIC101"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "XIC303" in out
+
+
+class TestLintJson:
+    def test_json_round_trips(self, capsys):
+        main(["lint", fixture("book.dtdc"), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["schema"].endswith("book.dtdc")
+        assert {"error", "warning", "info", "hint"} \
+            == set(payload["summary"])
+        assert all({"code", "severity", "message", "rule"}
+                   <= set(d) for d in payload["diagnostics"])
+
+    @pytest.mark.parametrize("path", ALL_FIXTURES, ids=lambda p: p.name)
+    def test_every_fixture_round_trips(self, path, capsys):
+        code = main(["lint", str(path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)
+        assert (code == 0) == payload["clean"]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("path", ALL_FIXTURES, ids=lambda p: p.name)
+    def test_lint_is_deterministic(self, path):
+        def run():
+            dtd = parse_dtdc(path.read_text(), check=False)
+            return str(analyze(dtd))
+        assert run() == run()
+
+    def test_fixture_set_is_nontrivial(self):
+        assert len(ALL_FIXTURES) >= 7
+        verdicts = set()
+        for path in ALL_FIXTURES:
+            dtd = parse_dtdc(path.read_text(), check=False)
+            verdicts.add(analyze(dtd).clean)
+        assert verdicts == {True, False}
+
+
+class TestDescribeRouting:
+    def test_diagnostics_go_to_stderr(self, capsys):
+        assert main(["--root", "db",
+                     "describe", fixture("divergent.dtdc")]) == 0
+        captured = capsys.readouterr()
+        assert "P(tau)" in captured.out
+        assert "XIC302" in captured.err
+        assert "XIC302" not in captured.out
+
+    def test_clean_schema_has_empty_stderr(self, capsys):
+        assert main(["--root", "db",
+                     "describe", fixture("clean.dtdc")]) == 0
+        assert capsys.readouterr().err == ""

@@ -1,0 +1,372 @@
+"""Per-rule tests: every diagnostic code has a schema that fires it and
+a schema where it stays silent."""
+
+import pathlib
+
+from repro.analysis import analyze, analyze_structure
+from repro.dtd import DTDStructure
+from repro.xmlio.dtdparse import parse_dtdc
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint_text(text, root=None):
+    return analyze(parse_dtdc(text, root=root, check=False))
+
+
+def lint_fixture(name):
+    return analyze(parse_dtdc((FIXTURES / name).read_text(), check=False))
+
+
+def codes(report):
+    return {d.code for d in report}
+
+
+class TestStructuralRules:
+    def test_xic101_fires_on_ambiguous_model(self):
+        report = lint_fixture("nondeterministic.dtdc")
+        (d,) = report.by_code("XIC101")
+        assert d.element == "root"
+        assert "1-unambiguous" in d.message
+
+    def test_xic101_silent_on_deterministic_model(self):
+        report = lint_text("""
+<!ELEMENT root (a, (b | c))>
+<!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>
+""")
+        assert "XIC101" not in codes(report)
+
+    def test_xic102_fires_on_unreachable_type(self):
+        report = lint_text("""
+<!ELEMENT db (a*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT orphan EMPTY>
+""", root="db")
+        (d,) = report.by_code("XIC102")
+        assert d.element == "orphan"
+        assert d.fix is not None
+
+    def test_xic102_silent_when_all_reachable(self):
+        assert "XIC102" not in codes(lint_fixture("book.dtdc"))
+
+    def test_xic103_fires_on_dangling_reference(self):
+        s = DTDStructure("db")
+        s.define_element("db", "(ghost)")
+        report = analyze_structure(s)
+        (d,) = report.by_code("XIC103")
+        assert "ghost" in d.message
+
+    def test_xic103_fires_on_undeclared_root(self):
+        s = DTDStructure("missing")
+        s.define_element("a", "EMPTY")
+        report = analyze_structure(s)
+        assert any("root" in d.message for d in report.by_code("XIC103"))
+
+    def test_xic103_silent_on_coherent_structure(self):
+        assert "XIC103" not in codes(lint_fixture("book.dtdc"))
+
+
+class TestWellFormednessRules:
+    def test_xic201_fires_on_undeclared_element(self):
+        report = lint_text("""
+<!ELEMENT db (a*)>
+<!ELEMENT a EMPTY>
+%% constraints
+ghost.x -> ghost
+""")
+        (d,) = report.by_code("XIC201")
+        assert "ghost" in d.message
+        assert d.constraint == "ghost.x -> ghost"
+
+    def test_xic202_fires_on_undeclared_attribute(self):
+        report = lint_fixture("illformed.dtdc")
+        (d,) = report.by_code("XIC202")
+        assert "a.missing" in d.message
+
+    def test_xic203_fires_on_arity_mismatch(self):
+        report = lint_text("""
+<!ELEMENT db (ref*)>
+<!ELEMENT ref EMPTY>
+<!ATTLIST ref to NMTOKENS #REQUIRED>
+%% constraints
+ref.to -> ref
+""")
+        (d,) = report.by_code("XIC203")
+        assert "single-valued" in d.message
+
+    def test_xic204_fires_on_unstated_target_key(self):
+        report = lint_fixture("illformed.dtdc")
+        (d,) = report.by_code("XIC204")
+        assert "not a stated key" in d.message
+
+    def test_xic205_fires_on_missing_id_constraint(self):
+        report = lint_text("""
+<!ELEMENT db (a*, b*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a r IDREF #REQUIRED>
+<!ELEMENT b EMPTY>
+<!ATTLIST b oid ID #REQUIRED>
+%% constraints
+a.r sub b.id
+""")
+        (d,) = report.by_code("XIC205")
+        assert "no stated ID constraint" in d.message
+
+    def test_xic2xx_silent_on_wellformed_schema(self):
+        for fixture in ("book.dtdc", "clean.dtdc", "divergent.dtdc"):
+            report = lint_fixture(fixture)
+            assert not report.by_code("XIC2"), fixture
+
+
+class TestCrossLanguageTarget:
+    """XIC206: the previously-silent mixed-language acceptance bug."""
+
+    MIXED = """
+<!ELEMENT db (a*, b*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a r IDREF #REQUIRED rs NMTOKENS #REQUIRED>
+<!ELEMENT b EMPTY>
+<!ATTLIST b oid ID #REQUIRED>
+%% constraints
+b.oid -> b
+a.rs subS b.oid
+b.oid ->id b
+a.r sub b.id
+"""
+
+    def test_xic206_fires_on_mixed_language_id_target(self):
+        report = lint_text(self.MIXED)
+        matches = report.by_code("XIC206")
+        assert matches, "mixed-language FK/target pair must be reported"
+        assert any("mixes constraint languages" in d.message
+                   for d in matches)
+
+    def test_xic206_fires_on_id_covered_near_miss(self):
+        # The L_u FK references b's ID attribute, whose only key
+        # statement is the L_id ID constraint -- a different language.
+        report = lint_text("""
+<!ELEMENT db (a*, b*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a r CDATA #REQUIRED>
+<!ELEMENT b EMPTY>
+<!ATTLIST b oid ID #REQUIRED>
+%% constraints
+b.oid ->id b
+a.r sub b.oid
+""")
+        (d,) = report.by_code("XIC206")
+        assert "state b.oid -> b explicitly" in d.message
+        assert "XIC204" in codes(report)
+
+    def test_xic206_silent_on_single_language_schemas(self):
+        for fixture in ("book.dtdc", "clean.dtdc", "inconsistent.dtdc"):
+            assert "XIC206" not in codes(lint_fixture(fixture)), fixture
+
+
+class TestRedundancy:
+    """XIC301 invokes the implication engines (Prop 3.1 / Thm 3.2)."""
+
+    def test_fires_via_lu_engine(self):
+        report = lint_fixture("redundant.dtdc")
+        (d,) = report.by_code("XIC301")
+        assert d.constraint == "dept.has_staff subS person.name"
+        assert "Inv-SFK" in d.message
+
+    def test_fires_via_lid_engine(self):
+        report = lint_text("""
+<!ELEMENT db (a*, b*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a oid ID #REQUIRED rs IDREFS #REQUIRED>
+<!ELEMENT b EMPTY>
+<!ATTLIST b oid ID #REQUIRED ss IDREFS #REQUIRED>
+%% constraints
+a.oid ->id a
+b.oid ->id b
+a.rs inv b.ss
+a.rs subS b.id
+""")
+        (d,) = report.by_code("XIC301")
+        assert d.constraint == "a.rs subS b.id"
+        assert "Inv-SFK-ID" in d.message
+
+    def test_mandated_target_keys_not_flagged(self):
+        # entry.isbn -> entry is derivable from the set-valued FK
+        # (rule SFK-K) but must be stated for well-formedness, so the
+        # redundancy rule must not tell the user to drop it.
+        assert "XIC301" not in codes(lint_fixture("book.dtdc"))
+
+    def test_silent_without_redundancy(self):
+        assert "XIC301" not in codes(lint_fixture("clean.dtdc"))
+
+
+class TestDivergence:
+    """XIC302: finite vs unrestricted implication (Cor 3.3)."""
+
+    def test_fires_on_cor33_schema(self):
+        report = lint_fixture("divergent.dtdc")
+        matches = report.by_code("XIC302")
+        assert matches
+        assert any("tau.b sub tau.a" in d.message and "C_k" in d.message
+                   and "Cor 3.3" in d.message for d in matches)
+
+    def test_silent_on_acyclic_schema(self):
+        assert "XIC302" not in codes(lint_fixture("book.dtdc"))
+
+    def test_silent_for_lid(self):
+        # Prop 3.1: implication and finite implication coincide in L_id.
+        assert "XIC302" not in codes(lint_fixture("clean.dtdc"))
+
+
+class TestConsistencyRules:
+    DEGENERATE_OPTIONAL = """
+<!ELEMENT db (a*, b*, c*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a r IDREF #REQUIRED>
+<!ELEMENT b EMPTY>
+<!ATTLIST b oid ID #REQUIRED>
+<!ELEMENT c EMPTY>
+<!ATTLIST c oid ID #REQUIRED>
+%% constraints
+b.oid ->id b
+c.oid ->id c
+a.r sub b.id
+a.r sub c.id
+"""
+
+    def test_xic303_fires_on_required_vacuous_type(self):
+        report = lint_fixture("inconsistent.dtdc")
+        matches = report.by_code("XIC303")
+        assert {d.element for d in matches} == {"a", "db"}
+        assert all(d.severity.value == "error" for d in matches)
+
+    def test_xic303_silent_when_vacuous_type_optional(self):
+        report = lint_text(self.DEGENERATE_OPTIONAL)
+        assert "XIC303" not in codes(report)
+
+    def test_xic304_fires_on_optional_vacuous_type(self):
+        report = lint_text(self.DEGENERATE_OPTIONAL)
+        (d,) = report.by_code("XIC304")
+        assert d.element == "a"
+        assert "vacuously" in d.message
+
+    def test_xic304_silent_on_satisfiable_schema(self):
+        assert "XIC304" not in codes(lint_fixture("clean.dtdc"))
+
+
+class TestDuplicatesAndShadowing:
+    def test_xic305_fires_on_restated_constraint(self):
+        report = lint_text("""
+<!ELEMENT db (a*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a k CDATA #REQUIRED>
+%% constraints
+a.k -> a
+a.k -> a
+""")
+        (d,) = report.by_code("XIC305")
+        assert "stated 2 times" in d.message
+        # Duplicates are XIC305's finding, not XIC301's.
+        assert "XIC301" not in codes(report)
+
+    def test_xic305_silent_without_duplicates(self):
+        assert "XIC305" not in codes(lint_fixture("book.dtdc"))
+
+    def test_xic306_fires_on_superset_key(self):
+        report = lint_text("""
+<!ELEMENT db (book*)>
+<!ELEMENT book EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED shelf CDATA #REQUIRED>
+%% constraints
+book.isbn -> book
+book[isbn, shelf] -> book
+""")
+        (d,) = report.by_code("XIC306")
+        assert d.constraint == "book[isbn, shelf] -> book"
+        assert "book.isbn -> book" in d.message
+
+    def test_xic306_silent_on_incomparable_keys(self):
+        report = lint_text("""
+<!ELEMENT db (book*)>
+<!ELEMENT book EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED barcode CDATA #REQUIRED>
+%% constraints
+book.isbn -> book
+book.barcode -> book
+""")
+        assert "XIC306" not in codes(report)
+
+
+class TestPrimaryKeyRules:
+    PUBLISHER_L = """
+<!ELEMENT db (publisher*, editor*)>
+<!ELEMENT publisher EMPTY>
+<!ATTLIST publisher pname CDATA #REQUIRED country CDATA #REQUIRED>
+<!ELEMENT editor EMPTY>
+<!ATTLIST editor name CDATA #REQUIRED
+                 pname CDATA #REQUIRED country CDATA #REQUIRED>
+%% constraints
+publisher[pname, country] -> publisher
+editor[name, pname] -> editor
+editor[pname, country] sub publisher[pname, country]
+"""
+
+    TWO_KEYS_REFERENCED = """
+<!ELEMENT db (a*, b*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a r CDATA #REQUIRED s CDATA #REQUIRED>
+<!ELEMENT b EMPTY>
+<!ATTLIST b k1 CDATA #REQUIRED k2 CDATA #REQUIRED>
+%% constraints
+b.k1 -> b
+b.k2 -> b
+a.r sub b.k1
+a.s sub b.k2
+"""
+
+    def test_xic307_fires_for_lu_restriction(self):
+        report = lint_fixture("book.dtdc")
+        (d,) = report.by_code("XIC307")
+        assert "Thm 3.4" in d.message
+        assert not d.is_finding  # info only: lint still exits 0
+
+    def test_xic307_fires_for_primary_l(self):
+        report = lint_text(self.PUBLISHER_L)
+        (d,) = report.by_code("XIC307")
+        assert "Thm 3.8" in d.message
+
+    def test_xic307_silent_outside_restriction(self):
+        assert "XIC307" not in codes(lint_text(self.TWO_KEYS_REFERENCED))
+
+    def test_xic307_silent_for_lid(self):
+        # Prop 3.1 gives the coincidence unconditionally in L_id;
+        # there is no restriction to certify.
+        assert "XIC307" not in codes(lint_fixture("clean.dtdc"))
+
+    def test_xic308_fires_outside_restriction_in_full_l(self):
+        report = lint_text("""
+<!ELEMENT db (a*, b*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a r1 CDATA #REQUIRED r2 CDATA #REQUIRED
+            s1 CDATA #REQUIRED s2 CDATA #REQUIRED>
+<!ELEMENT b EMPTY>
+<!ATTLIST b k1 CDATA #REQUIRED k2 CDATA #REQUIRED
+            k3 CDATA #REQUIRED k4 CDATA #REQUIRED>
+%% constraints
+b[k1, k2] -> b
+b[k3, k4] -> b
+a[r1, r2] sub b[k1, k2]
+a[s1, s2] sub b[k3, k4]
+""")
+        (d,) = report.by_code("XIC308")
+        assert "Thm 3.6" in d.message
+        assert "undecidable" in d.message
+
+    def test_xic308_silent_under_restriction(self):
+        assert "XIC308" not in codes(lint_text(self.PUBLISHER_L))
+
+
+class TestSemanticRulesGuardOnBrokenSchemas:
+    def test_semantic_family_skips_illformed_sigma(self):
+        report = lint_fixture("illformed.dtdc")
+        assert report.by_code("XIC2")
+        assert not report.by_code("XIC3")

@@ -7,7 +7,9 @@ from repro.constraints import (
     IDSetValuedForeignKey, Inverse, Key, Language, SetValuedForeignKey,
     UnaryForeignKey, UnaryKey, attr, elem, well_formed,
 )
-from repro.constraints.wellformed import language_of, require_well_formed
+from repro.constraints.wellformed import (
+    language_of, require_well_formed, well_formed_problems,
+)
 from repro.dtd import DTDStructure
 from repro.errors import ConstraintError
 
@@ -122,6 +124,86 @@ class TestLidSideConditions:
         with pytest.raises(ConstraintError):
             require_well_formed([UnaryKey("person", attr("ghost"))],
                                 structure())
+
+
+class TestStructuredProblems:
+    def test_problems_carry_codes_and_provenance(self):
+        problems = well_formed_problems(
+            [UnaryKey("person", attr("ghost"))], structure())
+        (p,) = problems
+        assert p.code == "XIC202"
+        assert p.element == "person"
+        assert p.constraint == "person.ghost -> person"
+        # str() matches the legacy message list exactly.
+        assert str(p) in ok([UnaryKey("person", attr("ghost"))])
+
+    def test_code_taxonomy(self):
+        cases = [
+            ([UnaryKey("ghost", attr("x"))], "XIC201"),
+            ([UnaryKey("person", attr("in_dept"))], "XIC203"),
+            ([UnaryForeignKey("person", attr("ssn"), "dept",
+                              attr("code"))], "XIC204"),
+            ([IDForeignKey("dept", attr("manager"), "person")], "XIC205"),
+        ]
+        for sigma, expected in cases:
+            codes = {p.code for p in well_formed_problems(sigma,
+                                                          structure())}
+            assert expected in codes, (sigma, codes)
+
+
+class TestCrossLanguageTargets:
+    """The fixed silent-acceptance bug: an FK whose target key is
+    stated only in a different constraint language used to pass
+    ``require_well_formed`` and explode later at ``.language``."""
+
+    def mixed_sigma(self):
+        # L_u half: a unary key plus a set-valued FK into it.
+        # L_id half: an ID constraint plus an ID FK into person.
+        return [
+            UnaryKey("dept", attr("code")),
+            SetValuedForeignKey("dept", attr("has_staff"), "dept",
+                                attr("code")),
+            IDConstraint("person"),
+            IDForeignKey("dept", attr("manager"), "person"),
+        ]
+
+    def test_mixed_language_fk_reported(self):
+        problems = well_formed_problems(self.mixed_sigma(), structure())
+        xic206 = [p for p in problems if p.code == "XIC206"]
+        assert len(xic206) == 1
+        assert xic206[0].constraint == "dept.manager sub person.id"
+        assert "mixes constraint languages" in xic206[0].message
+
+    def test_mixed_language_fk_no_longer_silently_accepted(self):
+        with pytest.raises(ConstraintError,
+                           match="mixes constraint languages"):
+            require_well_formed(self.mixed_sigma(), structure())
+
+    def test_id_covered_target_gets_explicit_hint(self):
+        # L_u FK referencing person's ID attribute, covered only by the
+        # L_id ID constraint -- XIC204 plus the explicit XIC206 hint.
+        sigma = [IDConstraint("person"),
+                 UnaryForeignKey("dept", attr("code"), "person",
+                                 attr("oid"))]
+        problems = well_formed_problems(sigma, structure())
+        codes = {p.code for p in problems}
+        assert {"XIC204", "XIC206"} <= codes
+        hint = next(p for p in problems if p.code == "XIC206")
+        assert "state person.oid -> person explicitly" in hint.message
+
+    def test_single_language_sigma_unaffected(self):
+        sigma = [IDConstraint("person"), IDConstraint("dept"),
+                 IDForeignKey("dept", attr("manager"), "person")]
+        assert well_formed_problems(sigma, structure()) == []
+
+    def test_lid_inverse_targets_both_sides(self):
+        sigma = [IDConstraint("person"), IDConstraint("dept"),
+                 IDInverse("dept", attr("has_staff"), "person",
+                           attr("in_dept")),
+                 Key("dept", (attr("oid"), attr("code")))]  # mixes in L
+        problems = well_formed_problems(sigma, structure())
+        xic206 = [p for p in problems if p.code == "XIC206"]
+        assert len(xic206) == 2  # one per inverse endpoint
 
 
 class TestLanguageOf:

@@ -95,3 +95,80 @@ class TestConsistencyReport:
         dtd, _doc = persondept
         assert consistency_report(dtd).consistent
         assert consistency_report(book_dtdc()).consistent
+
+
+def _degenerate_sigma():
+    return [IDConstraint("b"), IDConstraint("c"),
+            IDForeignKey("a", attr("r"), "b"),
+            IDForeignKey("a", attr("r"), "c")]
+
+
+class TestEdgeCases:
+    def test_self_recursive_required_type_terminates(self):
+        # 'sec' demands a 'sec' child: the fixpoint must not loop.
+        s = DTDStructure("doc")
+        s.define_element("doc", "(sec)")
+        s.define_element("sec", "(sec)")
+        assert required_types(s) == {"doc", "sec"}
+
+    def test_mutually_recursive_optional_types(self):
+        s = DTDStructure("doc")
+        s.define_element("doc", "(a*)")
+        s.define_element("a", "(b?)")
+        s.define_element("b", "(a?)")
+        assert required_types(s) == {"doc"}
+
+    def test_empty_content_models_everywhere(self):
+        s = DTDStructure("db")
+        s.define_element("db", "EMPTY")
+        dtd = DTDC(s, [])
+        assert required_types(s) == {"db"}
+        assert vacuous_types(dtd) == set()
+        assert consistency_report(dtd).consistent
+
+    def test_emptiness_propagates_through_deep_mandatory_chain(self):
+        # w1 -> w2 -> w3 -> a, all mandatory: a's vacuity climbs the
+        # whole chain.
+        s = DTDStructure("db")
+        s.define_element("db", "(w1*, b*, c*)")
+        s.define_element("w1", "(w2)")
+        s.define_element("w2", "(w3, w3)")
+        s.define_element("w3", "(a)")
+        s.define_element("a", "EMPTY")
+        s.define_element("b", "EMPTY")
+        s.define_element("c", "EMPTY")
+        s.define_attribute("a", "r", kind="IDREF")
+        s.define_attribute("b", "oid", kind="ID")
+        s.define_attribute("c", "oid", kind="ID")
+        dtd = DTDC(s, _degenerate_sigma())
+        assert vacuous_types(dtd) == {"a", "w1", "w2", "w3"}
+        assert consistency_report(dtd).consistent  # w1 is optional
+
+    def test_optional_link_stops_propagation(self):
+        s = DTDStructure("db")
+        s.define_element("db", "(w, b*, c*)")
+        s.define_element("w", "(a?)")      # a is optional inside w
+        s.define_element("a", "EMPTY")
+        s.define_element("b", "EMPTY")
+        s.define_element("c", "EMPTY")
+        s.define_attribute("a", "r", kind="IDREF")
+        s.define_attribute("b", "oid", kind="ID")
+        s.define_attribute("c", "oid", kind="ID")
+        dtd = DTDC(s, _degenerate_sigma())
+        assert vacuous_types(dtd) == {"a"}
+        # w is required by the root but can be empty: consistent.
+        assert consistency_report(dtd).consistent
+
+    def test_conflict_at_end_of_required_chain(self):
+        s = DTDStructure("db")
+        s.define_element("db", "(w, b*, c*)")
+        s.define_element("w", "(a)")       # and here a is mandatory
+        s.define_element("a", "EMPTY")
+        s.define_element("b", "EMPTY")
+        s.define_element("c", "EMPTY")
+        s.define_attribute("a", "r", kind="IDREF")
+        s.define_attribute("b", "oid", kind="ID")
+        s.define_attribute("c", "oid", kind="ID")
+        report = consistency_report(DTDC(s, _degenerate_sigma()))
+        assert not report.consistent
+        assert report.conflicts == {"a", "w", "db"}

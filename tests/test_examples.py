@@ -25,6 +25,7 @@ EXPECTED_SNIPPETS = {
                                 "validates: True"],
     "self_describing.py": ["OK (no violations)", "INCONSISTENT",
                            "not referenced back"],
+    "lint_schema.py": ["XIC102", "XIC305", "XIC307", "clean: True"],
 }
 
 

@@ -87,3 +87,46 @@ def test_section_6_expressiveness():
     phi = key_constraint_formula()
     assert evaluate(g, phi)
     assert not evaluate(g2, phi)
+
+
+COR33_SCHEMA = """
+<!ELEMENT db  (tau*)>
+<!ELEMENT tau EMPTY>
+<!ATTLIST tau a CDATA #REQUIRED b CDATA #REQUIRED>
+
+%% constraints
+tau.a -> tau
+tau.b -> tau
+tau.a sub tau.b
+"""
+
+
+def test_section_7_linting():
+    from repro.analysis import RuleRegistry, Severity, analyze
+    from repro.analysis.registry import finding
+
+    dtd = parse_dtdc(COR33_SCHEMA, root="db", check=False)
+    report = analyze(dtd)
+    assert not report.clean
+    assert any(d.code == "XIC302" and "Cor 3.3" in d.message
+               for d in report)
+    assert '"diagnostics"' in report.to_json()
+
+    registry = RuleRegistry()
+
+    @registry.rule("XIC901", "no-single-letter-types", Severity.HINT,
+                   "element type names should be descriptive")
+    def check_names(ctx):
+        for tau in sorted(ctx.structure.element_types):
+            if len(tau) == 1:
+                yield finding(
+                    f"element type {tau!r} has a one-letter name",
+                    element=tau)
+
+    terse = parse_dtdc("<!ELEMENT d (x*)>\n<!ELEMENT x EMPTY>\n",
+                       root="d", check=False)
+    custom = analyze(terse, registry=registry)
+    assert custom.clean  # hints are advisory
+    assert [d.element for d in custom] == ["d", "x"]
+    assert all(d.code == "XIC901" and d.severity is Severity.HINT
+               for d in custom)
