@@ -1,0 +1,134 @@
+"""E16: incremental revalidation vs from-scratch checking.
+
+Paper artifact: the linear-time checking of §2.4 taken to the ROADMAP's
+mutating-traffic setting — a :class:`~repro.incremental.DocumentSession`
+maintains the checked state under updates, so a revalidation after a
+single-vertex update costs O(|Δ|) while ``check()`` re-pays
+O(|doc| + |Σ|).  Expected shape: per-update revalidation time is flat
+in document size (the full check grows linearly), giving a speedup that
+grows with the document; on the 10k-vertex workload it must exceed 10x.
+
+Run styles::
+
+    python -m pytest benchmarks/bench_incremental.py -q \
+        --benchmark-disable          # CI smoke: shape assertions only
+    python -m pytest benchmarks/bench_incremental.py \
+        --benchmark-only             # timing tables
+    repro-xic bench-incremental      # the same demo, no pytest
+"""
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.constraints import check
+from repro.incremental import DocumentSession
+from repro.workloads.generators import incremental_session_workload
+
+
+def _session(n_vertices: int, seed: int = 0):
+    tree, sigma, structure = incremental_session_workload(n_vertices, seed)
+    session = DocumentSession(tree, sigma, structure)
+    session.revalidate()
+    return session
+
+
+def _one_update(session, rng, i: int) -> None:
+    """Break (even steps) or perturb (odd steps) one constraint."""
+    if i % 2 == 0:
+        ref = rng.choice(session.index.extension("ref"))
+        session.set_attribute(ref, "to", f"bogus-{i}")
+    else:
+        entries = session.index.extension("entry")
+        entry = rng.choice(entries)
+        session.set_attribute(entry, "isbn",
+                              f"isbn-{rng.randint(0, len(entries))}")
+
+
+@pytest.mark.benchmark(group="E16-incremental")
+@pytest.mark.parametrize("n_vertices", [1000, 10000])
+def test_revalidate_after_update(benchmark, n_vertices):
+    session = _session(n_vertices)
+    rng = random.Random(1)
+    counter = [0]
+
+    def step():
+        _one_update(session, rng, counter[0])
+        counter[0] += 1
+        return session.revalidate()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="E16-incremental")
+@pytest.mark.parametrize("n_vertices", [1000, 10000])
+def test_full_check_baseline(benchmark, n_vertices):
+    tree, sigma, structure = incremental_session_workload(n_vertices)
+    benchmark(lambda: check(tree, sigma, structure))
+
+
+def test_e16_speedup_at_10k():
+    """Acceptance: revalidate after a single-vertex update is >= 10x
+    faster than a from-scratch ``check()`` on a 10k-vertex document."""
+    session = _session(10000)
+    rng = random.Random(1)
+    inc_times = []
+    for i in range(30):
+        _one_update(session, rng, i)
+        t0 = time.perf_counter()
+        session.revalidate()
+        inc_times.append(time.perf_counter() - t0)
+    tree, sigma, structure = session.tree, session.constraints, \
+        session.structure
+    full = min(_timed(lambda: check(tree, sigma, structure))
+               for _i in range(3))
+    inc = sorted(inc_times)[len(inc_times) // 2]  # median: outlier-proof
+    print_series("E16: revalidate vs full check at 10k vertices",
+                 [(1, inc), (2, full)], header="(1=inc, 2=full)")
+    assert full / max(inc, 1e-9) >= 10.0, (
+        f"incremental revalidation only {full / max(inc, 1e-9):.1f}x "
+        f"faster than full check ({inc * 1e6:.0f}us vs {full * 1e6:.0f}us)")
+
+
+def test_e16_revalidate_flat_in_document_size():
+    """Per-update revalidation cost must not grow with the document:
+    10x more vertices may cost at most ~2x (noise allowance)."""
+    medians = []
+    for n in (1000, 10000):
+        session = _session(n)
+        rng = random.Random(1)
+        times = []
+        for i in range(30):
+            _one_update(session, rng, i)
+            t0 = time.perf_counter()
+            session.revalidate()
+            times.append(time.perf_counter() - t0)
+        medians.append((n, sorted(times)[len(times) // 2]))
+    print_series("E16: revalidate vs document size", medians,
+                 header="vertices")
+    (n0, t0), (n1, t1) = medians
+    assert t1 <= 3.0 * max(t0, 1e-9), (
+        f"revalidation cost grew with document size: {t0 * 1e6:.0f}us "
+        f"at {n0} vs {t1 * 1e6:.0f}us at {n1}")
+
+
+def test_e16_incremental_matches_batch():
+    """The benchmark workload itself stays equivalent to check()."""
+    session = _session(2000)
+    rng = random.Random(2)
+    for i in range(40):
+        _one_update(session, rng, i)
+    got = sorted((v.code, v.constraint, tuple(sorted(v.vertices)))
+                 for v in session.revalidate())
+    want = sorted((v.code, v.constraint, tuple(sorted(v.vertices)))
+                  for v in check(session.tree, session.constraints,
+                                 session.structure))
+    assert got == want
+
+
+def _timed(f) -> float:
+    t0 = time.perf_counter()
+    f()
+    return time.perf_counter() - t0

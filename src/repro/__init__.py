@@ -20,9 +20,12 @@ The package implements the paper end-to-end:
 
 Quickstart::
 
-    from repro import book_dtdc, book_document, validate
-    report = validate(book_document(), book_dtdc())
-    assert report.ok
+    from repro import Validator, book_dtdc, book_document
+    validator = Validator(book_dtdc())
+    assert validator.validate(book_document()).ok
+
+    session = validator.session(book_document())   # incremental
+    assert session.revalidate().ok
 
     from repro import LuEngine, parse_constraint
     sigma = [parse_constraint(s) for s in (
@@ -53,6 +56,8 @@ from repro.paths import (
     Path, PathFunctional, PathImplicationEngine, PathInclusion,
     PathInverse, parse_path, type_of,
 )
+from repro.incremental import DocumentSession
+from repro.validator import Validator
 from repro.workloads import book_document, book_dtdc
 from repro.xmlio import parse_document, parse_dtd, parse_dtdc, serialize
 
@@ -72,6 +77,7 @@ __all__ = [
     "LPrimaryEngine", "LuEngine", "LuPrimaryEngine",
     "Path", "PathFunctional", "PathImplicationEngine", "PathInclusion",
     "PathInverse", "parse_path", "type_of",
+    "DocumentSession", "Validator",
     "book_document", "book_dtdc",
     "parse_document", "parse_dtd", "parse_dtdc", "serialize",
     "__version__",

@@ -106,6 +106,12 @@ def analyze(dtd: DTDC, config: LintConfig | None = None,
     ``registry`` defaults to the stock rule set.  Build the ``DTDC``
     with ``check=False`` when linting possibly ill-formed input — the
     whole point is to *report* the problems, not raise on them.
+
+    .. deprecated::
+        New code should prefer the unified facade,
+        ``repro.Validator(dtd).analyze(config)``; this function stays as
+        the delegation target (and for the ``registry`` extension
+        point).
     """
     if registry is None:
         registry = DEFAULT_REGISTRY

@@ -9,8 +9,10 @@ Subcommands::
     repro-xic imply     --finite SCHEMA.dtdc "..."   # finite implication
     repro-xic path-type SCHEMA.dtdc TAU PATH         # type(tau.path), §4.1
     repro-xic path-imply SCHEMA.dtdc "t.p -> t.q"    # Props 4.1/4.2/4.3
+    repro-xic bench-incremental                      # E16 speedup demo
 
-Exit status: 0 success / holds / implied / clean, 1 violation / not
+Every subcommand follows one exit-code contract (``validate`` and
+``lint`` alike): 0 success / holds / implied / clean, 1 violation / not
 implied / lint findings, 2 usage or input error.
 
 ``lint`` runs the :mod:`repro.analysis` rule set over the schema:
@@ -52,7 +54,54 @@ def _cmd_validate(args) -> int:
     tree = parse_document(FsPath(args.document).read_text(), dtd.structure)
     report = validate(tree, dtd)
     print(report)
+    # Same 0/1/2 contract as lint: 0 valid, 1 violations, 2 input error
+    # (input errors raise ReproError/OSError, mapped to 2 in main()).
     return 0 if report.ok else 1
+
+
+def _cmd_bench_incremental(args) -> int:
+    """Experiment E16 in miniature: time ``session.revalidate()`` after
+    single updates against a from-scratch ``check()`` on the same tree."""
+    import random
+    import time
+
+    from repro.constraints.checker import check
+    from repro.incremental import DocumentSession
+    from repro.workloads.generators import incremental_session_workload
+
+    rng = random.Random(args.seed)
+    tree, sigma, structure = incremental_session_workload(args.nodes,
+                                                          args.seed)
+    session = DocumentSession(tree, sigma, structure)
+    session.revalidate()
+    refs = session.index.extension("ref")
+    entries = session.index.extension("entry")
+    inc_total = 0.0
+    for i in range(args.updates):
+        # Alternate breaking and repairing a foreign key / a key.
+        if i % 2 == 0:
+            session.set_attribute(rng.choice(refs), "to", f"bogus-{i}")
+        else:
+            session.set_attribute(rng.choice(entries), "isbn",
+                                  f"isbn-{rng.randint(0, len(entries))}")
+        t0 = time.perf_counter()
+        session.revalidate()
+        inc_total += time.perf_counter() - t0
+    full_total = 0.0
+    full_runs = max(1, min(5, args.updates))
+    for _i in range(full_runs):
+        t0 = time.perf_counter()
+        check(tree, sigma, structure)
+        full_total += time.perf_counter() - t0
+    inc_us = 1e6 * inc_total / max(1, args.updates)
+    full_us = 1e6 * full_total / full_runs
+    print(f"document: {tree.size()} vertices, |Sigma| = {len(sigma)}")
+    print(f"revalidate after 1 update: {inc_us:10.1f} us  "
+          f"(mean of {args.updates})")
+    print(f"full check():              {full_us:10.1f} us  "
+          f"(mean of {full_runs})")
+    print(f"speedup: {full_us / inc_us:.1f}x")
+    return 0
 
 
 def _cmd_describe(args) -> int:
@@ -159,15 +208,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-xic",
         description="Integrity constraints for XML (Fan & Simeon, "
-        "PODS 2000): validation, implication, path reasoning.")
+        "PODS 2000): validation, implication, path reasoning.",
+        epilog="exit status (all subcommands, validate and lint alike): "
+        "0 success / valid / implied / clean; "
+        "1 violations / not implied / lint findings; "
+        "2 usage or input error.")
     parser.add_argument("--root", default=None,
                         help="root element type (default: first declared)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("validate", help="validate a document (Def 2.4)")
+    p = sub.add_parser("validate", help="validate a document (Def 2.4); "
+                       "exit 0 valid, 1 violations, 2 input error")
     p.add_argument("document")
     p.add_argument("schema")
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("bench-incremental",
+                       help="benchmark session.revalidate() vs a full "
+                       "check() on a generated document (E16)")
+    p.add_argument("--nodes", type=int, default=10000,
+                   help="document size budget (default: 10000)")
+    p.add_argument("--updates", type=int, default=100,
+                   help="number of timed single updates (default: 100)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (default: 0)")
+    p.set_defaults(func=_cmd_bench_incremental)
 
     p = sub.add_parser("describe", help="print the DTD^C")
     p.add_argument("schema")

@@ -3,9 +3,14 @@
 Two implementations are provided:
 
 - :func:`check` — builds an :class:`~repro.datamodel.indexes.AttributeIndex`
-  in one pass and answers every constraint with hash lookups.  Total cost
-  is O(size of the document + size of Σ) up to hashing, matching the
-  complexity the paper's validation story presumes.
+  in one pass (or reuses a caller-supplied one) and answers every
+  constraint through the per-constraint evaluator objects of
+  :mod:`repro.constraints.evaluators`, with hash lookups throughout.
+  Total cost is O(size of the document + size of Σ) up to hashing,
+  matching the complexity the paper's validation story presumes.  The
+  same evaluators power the incremental revalidation engine
+  (:mod:`repro.incremental`), so the batch and incremental paths cannot
+  drift apart.
 - :func:`check_naive` — the textbook nested-loop evaluation of the
   logical formulas, quadratic per key/inverse constraint.  Kept as the
   baseline for the E13 ablation benchmark, and as an executable
@@ -13,6 +18,11 @@ Two implementations are provided:
 
 For ``L_id`` constraints the DTD structure must be supplied so ``tau.id``
 can be resolved to the concrete ID attribute of each element type.
+
+These functions are the low-level entry points; prefer the
+:class:`repro.Validator` facade, which bundles the schema once and
+exposes batch checking, structural validation and incremental sessions
+behind one object.
 """
 
 from __future__ import annotations
@@ -20,7 +30,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
-from repro.constraints.base import Constraint, Field
+from repro.constraints.base import Constraint
+from repro.constraints.evaluators import evaluator_for
 from repro.constraints.lang_l import ForeignKey, Key
 from repro.constraints.lang_lid import (
     IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
@@ -38,258 +49,38 @@ if TYPE_CHECKING:  # layering: constraints must not import dtd at runtime
 
 
 def check(tree: DataTree, constraints: Iterable[Constraint],
-          structure: "DTDStructure | None" = None) -> ViolationReport:
-    """Check ``tree ⊨ Σ`` with hash indexes; returns a violation report."""
+          structure: "DTDStructure | None" = None, *,
+          index: AttributeIndex | None = None) -> ViolationReport:
+    """Check ``tree ⊨ Σ`` with hash indexes; returns a violation report.
+
+    ``index`` may be a prebuilt :class:`AttributeIndex` over ``tree`` (it
+    must have been built with the structure's ID-attribute map for
+    ``L_id`` constraints to resolve); when omitted, one is built here.
+
+    .. deprecated:: prefer ``repro.Validator(dtd).check(tree)``, which
+       normalizes the argument order across all entry points.
+    """
     id_map = structure.id_attribute_map() if structure is not None else {}
-    index = AttributeIndex(tree, id_attributes=id_map)
+    if index is None:
+        index = AttributeIndex(tree, id_attributes=id_map)
     report = ViolationReport()
     for constraint in constraints:
-        _check_indexed(constraint, index, id_map, report)
+        evaluator = evaluator_for(constraint, index, id_map)
+        evaluator.full()
+        evaluator.emit(report)
     return report
 
 
 def check_constraint(tree: DataTree, constraint: Constraint,
-                     structure: "DTDStructure | None" = None) -> bool:
-    """Whether ``tree ⊨ constraint`` (no report, just a boolean)."""
-    return check(tree, (constraint,), structure).ok
+                     structure: "DTDStructure | None" = None, *,
+                     index: AttributeIndex | None = None) -> bool:
+    """Whether ``tree ⊨ constraint`` (no report, just a boolean).
 
-
-# ---------------------------------------------------------------------------
-# Indexed checking
-# ---------------------------------------------------------------------------
-
-
-def _field_rows(index: AttributeIndex, element: str,
-                fields: tuple[Field, ...]
-                ) -> list[tuple[Vertex, tuple[str, ...]]]:
-    """Pairs (vertex, value-row) for vertices where all fields are single."""
-    out: list[tuple[Vertex, tuple[str, ...]]] = []
-    for v in index.extension(element):
-        row: list[str] = []
-        ok = True
-        for f in fields:
-            value = f.single_on(v)
-            if value is None:
-                ok = False
-                break
-            row.append(value)
-        if ok:
-            out.append((v, tuple(row)))
-    return out
-
-
-def _check_indexed(constraint: Constraint, index: AttributeIndex,
-                   id_map: dict[str, str], report: ViolationReport) -> None:
-    if isinstance(constraint, Key):
-        _key(constraint, constraint.element, constraint.fields, index, report)
-    elif isinstance(constraint, UnaryKey):
-        _key(constraint, constraint.element, (constraint.field,), index,
-             report)
-    elif isinstance(constraint, ForeignKey):
-        _foreign_key(constraint, index, report)
-    elif isinstance(constraint, UnaryForeignKey):
-        _unary_fk(constraint, index, report, set_valued=False)
-    elif isinstance(constraint, SetValuedForeignKey):
-        _unary_fk(constraint, index, report, set_valued=True)
-    elif isinstance(constraint, Inverse):
-        _inverse(constraint, index, report)
-    elif isinstance(constraint, IDConstraint):
-        _id_constraint(constraint, index, id_map, report)
-    elif isinstance(constraint, (IDForeignKey, IDSetValuedForeignKey)):
-        _id_fk(constraint, index, id_map, report,
-               set_valued=isinstance(constraint, IDSetValuedForeignKey))
-    elif isinstance(constraint, IDInverse):
-        _id_inverse(constraint, index, id_map, report)
-    else:
-        raise ConstraintError(f"unknown constraint type {constraint!r}")
-
-
-def _key(constraint: Constraint, element: str, fields: tuple[Field, ...],
-         index: AttributeIndex, report: ViolationReport) -> None:
-    groups: dict[tuple[str, ...], list[Vertex]] = {}
-    for v, row in _field_rows(index, element, fields):
-        groups.setdefault(row, []).append(v)
-    for row, vertices in groups.items():
-        if len(vertices) > 1:
-            report.add(
-                "key",
-                f"{len(vertices)} {element!r} elements share key value "
-                f"{row!r}", str(constraint), tuple(vertices))
-
-
-def _foreign_key(constraint: ForeignKey, index: AttributeIndex,
-                 report: ViolationReport) -> None:
-    target_rows = {row for _, row in _field_rows(
-        index, constraint.target, constraint.target_fields)}
-    for v, row in _field_rows(index, constraint.element, constraint.fields):
-        if row not in target_rows:
-            report.add(
-                "foreign-key",
-                f"{constraint.element!r} element has {row!r} with no "
-                f"matching {constraint.target!r} key", str(constraint), (v,))
-    # An element on which some FK field is missing/multi-valued cannot
-    # satisfy "exists a matching y"; flag those too.
-    complete = {v.vid for v, _ in _field_rows(
-        index, constraint.element, constraint.fields)}
-    for v in index.extension(constraint.element):
-        if v.vid not in complete:
-            report.add(
-                "foreign-key",
-                f"{constraint.element!r} element lacks single values for "
-                "the foreign-key fields", str(constraint), (v,))
-
-
-def _unary_fk(constraint, index: AttributeIndex, report: ViolationReport,
-              set_valued: bool) -> None:
-    target_values = index.value_set(constraint.target,
-                                    constraint.target_field.name) \
-        if not constraint.target_field.is_element else {
-            val for v in index.extension(constraint.target)
-            for val in constraint.target_field.values_on(v)}
-    code = "set-foreign-key" if set_valued else "foreign-key"
-    for v in index.extension(constraint.element):
-        values = constraint.field.values_on(v)
-        if not set_valued:
-            if len(values) != 1:
-                report.add(code,
-                           f"{constraint.element!r} element lacks a single "
-                           f"{constraint.field} value", str(constraint), (v,))
-                continue
-        missing = values - target_values
-        if missing:
-            report.add(
-                code,
-                f"value(s) {sorted(missing)!r} not among "
-                f"{constraint.target}.{constraint.target_field} values",
-                str(constraint), (v,))
-
-
-def _inverse(constraint: Inverse, index: AttributeIndex,
-             report: ViolationReport) -> None:
-    # Direction 1: x in ext(tau), y in ext(tau'):  x.l_k in y.l' -> y.l_k' in x.l
-    _inverse_direction(
-        constraint, index, report,
-        constraint.element, constraint.key_field, constraint.field,
-        constraint.target, constraint.target_key_field, constraint.target_field)
-    # Direction 2 (symmetric).
-    _inverse_direction(
-        constraint, index, report,
-        constraint.target, constraint.target_key_field, constraint.target_field,
-        constraint.element, constraint.key_field, constraint.field)
-
-
-def _inverse_direction(constraint, index: AttributeIndex,
-                       report: ViolationReport,
-                       element: str, key_field: Field, field: Field,
-                       other: str, other_key: Field, other_field: Field
-                       ) -> None:
-    """Check ``∀x∈ext(element) ∀y∈ext(other): x.key ∈ y.other_field →
-    y.other_key ∈ x.field`` using the value->owners index."""
-    for x in index.extension(element):
-        key_value = key_field.single_on(x)
-        if key_value is None:
-            continue
-        mentions = index.vertices_with_value(other, other_field.name,
-                                             key_value) \
-            if not other_field.is_element else [
-                y for y in index.extension(other)
-                if key_value in other_field.values_on(y)]
-        x_values = field.values_on(x)
-        for y in mentions:
-            back = other_key.single_on(y)
-            if back is None or back not in x_values:
-                report.add(
-                    "inverse",
-                    f"{other!r} element references {element!r} key "
-                    f"{key_value!r} but is not referenced back",
-                    str(constraint), (x, y))
-
-
-def _id_constraint(constraint: IDConstraint, index: AttributeIndex,
-                   id_map: dict[str, str], report: ViolationReport) -> None:
-    id_attr = id_map.get(constraint.element)
-    if id_attr is None:
-        report.add("id", f"element type {constraint.element!r} has no "
-                   "declared ID attribute", str(constraint))
-        return
-    for v in index.extension(constraint.element):
-        values = v.attr_or_empty(id_attr)
-        if len(values) != 1:
-            report.add("id",
-                       f"{constraint.element!r} element lacks a single ID "
-                       "value", str(constraint), (v,))
-            continue
-        (value,) = values
-        owners = index.id_owners.get(value, [])
-        clashing = [o for o in owners if o is not v]
-        if clashing:
-            report.add(
-                "id-clash",
-                f"ID value {value!r} is shared by multiple elements",
-                str(constraint), (v, *clashing))
-
-
-def _id_fk(constraint, index: AttributeIndex, id_map: dict[str, str],
-           report: ViolationReport, set_valued: bool) -> None:
-    id_attr = id_map.get(constraint.target)
-    code = "set-foreign-key" if set_valued else "foreign-key"
-    if id_attr is None:
-        report.add(code, f"target type {constraint.target!r} has no "
-                   "declared ID attribute", str(constraint))
-        return
-    target_ids = index.value_set(constraint.target, id_attr)
-    for v in index.extension(constraint.element):
-        values = constraint.field.values_on(v)
-        if not set_valued and len(values) != 1:
-            report.add(code,
-                       f"{constraint.element!r} element lacks a single "
-                       f"{constraint.field} value", str(constraint), (v,))
-            continue
-        missing = values - target_ids
-        if missing:
-            report.add(
-                code,
-                f"value(s) {sorted(missing)!r} are not IDs of "
-                f"{constraint.target!r} elements", str(constraint), (v,))
-
-
-def _id_inverse(constraint: IDInverse, index: AttributeIndex,
-                id_map: dict[str, str], report: ViolationReport) -> None:
-    id_a = id_map.get(constraint.element)
-    id_b = id_map.get(constraint.target)
-    if id_a is None or id_b is None:
-        report.add("inverse", "both element types of an ID inverse need "
-                   "declared ID attributes", str(constraint))
-        return
-    _id_inverse_direction(constraint, index, report,
-                          constraint.element, id_a, constraint.field,
-                          constraint.target, id_b, constraint.target_field)
-    _id_inverse_direction(constraint, index, report,
-                          constraint.target, id_b, constraint.target_field,
-                          constraint.element, id_a, constraint.field)
-
-
-def _id_inverse_direction(constraint, index: AttributeIndex,
-                          report: ViolationReport,
-                          element: str, id_attr: str, field: Field,
-                          other: str, other_id: str, other_field: Field
-                          ) -> None:
-    """``∀x∈ext(element) ∀y∈ext(other): x.id ∈ y.other_field →
-    y.id ∈ x.field``."""
-    for x in index.extension(element):
-        x_ids = x.attr_or_empty(id_attr)
-        if len(x_ids) != 1:
-            continue
-        (x_id,) = x_ids
-        x_values = field.values_on(x)
-        for y in index.vertices_with_value(other, other_field.name, x_id):
-            y_ids = y.attr_or_empty(other_id)
-            if len(y_ids) != 1 or next(iter(y_ids)) not in x_values:
-                report.add(
-                    "inverse",
-                    f"{other!r} element references {element!r} ID "
-                    f"{x_id!r} but is not referenced back",
-                    str(constraint), (x, y))
+    Callers looping over many constraints should build one
+    :class:`AttributeIndex` and pass it as ``index`` so the
+    one-pass-over-the-document cost is paid once, not per call.
+    """
+    return check(tree, (constraint,), structure, index=index).ok
 
 
 # ---------------------------------------------------------------------------

@@ -66,6 +66,11 @@ class Vertex:
     # -- structure ----------------------------------------------------------
 
     @property
+    def owner(self) -> "DataTree":
+        """The tree this vertex belongs to (for its whole life)."""
+        return self._tree
+
+    @property
     def parent(self) -> "Vertex | None":
         """The unique parent vertex, or ``None`` for the root / detached."""
         return self._parent

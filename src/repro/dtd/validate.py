@@ -86,14 +86,26 @@ def validate_structure(tree: DataTree,
 
 
 def validate(tree: DataTree, dtd: DTDC) -> ValidationReport:
-    """Full Definition 2.4 validity: structure plus ``G ⊨ Σ``."""
+    """Full Definition 2.4 validity: structure plus ``G ⊨ Σ``.
+
+    .. deprecated::
+        Prefer the unified facade:
+        ``repro.Validator(dtd).validate(tree)``.  This function remains
+        as a thin shim and is not going away, but new code should use
+        the facade so document/schema argument order is consistent
+        across the package.
+    """
     report = validate_structure(tree, dtd.structure)
     report.merge(check_constraints(tree, dtd.constraints, dtd.structure))
     return report
 
 
 def validate_strict(tree: DataTree, dtd: DTDC) -> None:
-    """Like :func:`validate` but raises on any violation."""
+    """Like :func:`validate` but raises on any violation.
+
+    .. deprecated::
+        Prefer ``repro.Validator(dtd).validate_strict(tree)``.
+    """
     report = validate(tree, dtd)
     if not report.ok:
         raise ValidationError(report)

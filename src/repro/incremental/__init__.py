@@ -1,0 +1,10 @@
+"""Incremental constraint revalidation under document updates.
+
+See :mod:`repro.incremental.session` for the :class:`DocumentSession`
+API and :mod:`repro.constraints.evaluators` for the per-constraint
+residual state it maintains.
+"""
+
+from repro.incremental.session import DocumentSession, UpdateOp
+
+__all__ = ["DocumentSession", "UpdateOp"]

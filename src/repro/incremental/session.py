@@ -1,0 +1,298 @@
+"""Incremental revalidation sessions over mutable documents.
+
+A :class:`DocumentSession` wraps a :class:`~repro.datamodel.tree.DataTree`
+together with a constraint set Σ and keeps the checked state *live* under
+updates: every mutation made through the session API is recorded, and
+:meth:`DocumentSession.revalidate` folds the accumulated delta into
+
+- the tree-wide :class:`~repro.datamodel.indexes.AttributeIndex` (vertex
+  extensions, value owners, document-wide ID owners), and
+- the per-constraint residual state of the
+  :mod:`repro.constraints.evaluators` objects (key-value multiplicity
+  counts, foreign-key reference counts, inverse pairings),
+
+in time proportional to the delta and its incident references — not to
+the document or to Σ.  After any update sequence the reported violations
+are exactly what a from-scratch
+:func:`repro.constraints.checker.check` would produce; the property
+tests replay random edit scripts to assert this equivalence at every
+step, and experiment E16 (``benchmarks/bench_incremental.py``,
+``repro-xic bench-incremental``) measures the resulting speedup.
+
+Typical use::
+
+    from repro import Validator, book_dtdc, book_document
+
+    session = Validator(book_dtdc()).session(book_document())
+    assert session.revalidate().ok
+    ref = session.tree.ext("ref")[0]
+    session.set_attribute(ref, "to", ["no-such-isbn"])
+    assert not session.revalidate().ok          # O(|update|), not O(|doc|)
+
+Mutations applied to the tree *behind the session's back* (calling the
+raw ``Vertex`` API directly) are not tracked; either route all updates
+through the session or call :meth:`DocumentSession.rebuild` afterwards.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
+
+from repro.constraints.base import Constraint
+from repro.constraints.evaluators import Delta, evaluator_for
+from repro.constraints.violations import ViolationReport
+from repro.datamodel.indexes import AttributeIndex
+from repro.datamodel.tree import DataTree, Vertex
+from repro.errors import DataModelError, ReproError
+
+if TYPE_CHECKING:
+    from repro.dtd.dtdc import DTDC
+    from repro.dtd.structure import DTDStructure
+
+#: An update operation in portable tuple form, as produced by
+#: :func:`repro.workloads.generators.random_update_ops` and consumed by
+#: :meth:`DocumentSession.apply`.
+UpdateOp = tuple
+
+
+class DocumentSession:
+    """A mutable document plus incrementally maintained constraint state.
+
+    Parameters
+    ----------
+    tree:
+        The document; the session takes over change tracking but not
+        ownership — the tree object stays usable everywhere.
+    constraints:
+        Σ, the basic XML constraints to maintain.
+    structure:
+        The DTD structure, needed to resolve ``tau.id`` for ``L_id``
+        constraints (and for :meth:`validate`).
+    """
+
+    def __init__(self, tree: DataTree,
+                 constraints: Iterable[Constraint] = (),
+                 structure: "DTDStructure | None" = None):
+        self.tree = tree
+        self.constraints = tuple(constraints)
+        self.structure = structure
+        self._id_map = (structure.id_attribute_map()
+                        if structure is not None else {})
+        self.index = AttributeIndex(tree, id_attributes=self._id_map)
+        self._evaluators = [evaluator_for(c, self.index, self._id_map)
+                            for c in self.constraints]
+        for evaluator in self._evaluators:
+            evaluator.full()
+        self._added: dict[int, Vertex] = {}
+        self._removed: dict[int, Vertex] = {}
+        self._touched: dict[int, Vertex] = {}
+        #: number of update operations recorded since creation
+        self.updates_applied = 0
+        #: number of delta flushes (revalidations that had work to do)
+        self.flushes = 0
+
+    @classmethod
+    def for_document(cls, tree: DataTree, dtd: "DTDC") -> "DocumentSession":
+        """A session maintaining ``dtd``'s Σ over ``tree``."""
+        return cls(tree, dtd.constraints, dtd.structure)
+
+    # -- update API -----------------------------------------------------------
+
+    def set_attribute(self, vertex: Vertex, name: str,
+                      values: "str | Iterable[str]") -> None:
+        """Set ``att(vertex, name)`` (a bare string is a singleton set)."""
+        self._require_attached(vertex)
+        vertex.set_attribute(name, values)
+        self._mark_touched(vertex)
+        self.updates_applied += 1
+
+    def remove_attribute(self, vertex: Vertex, name: str) -> None:
+        """Undefine ``att(vertex, name)``; missing attributes are ignored."""
+        self._require_attached(vertex)
+        vertex.del_attribute(name)
+        self._mark_touched(vertex)
+        self.updates_applied += 1
+
+    def insert_subtree(self, parent: Vertex, subtree: Vertex) -> Vertex:
+        """Attach a detached vertex (with its whole subtree) under
+        ``parent`` and return it.
+
+        The subtree must belong to the session's tree (create it with
+        ``session.tree.create`` or detach it earlier in this session).
+        """
+        self._require_attached(parent)
+        parent.append(subtree)
+        for v in subtree.subtree():
+            self._mark_added(v)
+        # The parent's §3.4 sub-element field values may have changed.
+        self._mark_touched(parent)
+        self.updates_applied += 1
+        return subtree
+
+    def insert_element(self, parent: Vertex, label: str,
+                       attrs: Mapping[str, "str | Iterable[str]"]
+                       | None = None,
+                       text: str | None = None) -> Vertex:
+        """Create a fresh element, populate it, attach it under
+        ``parent`` and return it."""
+        v = self.tree.create(label)
+        for name, values in (attrs or {}).items():
+            v.set_attribute(name, values)
+        if text is not None:
+            v.append(text)
+        return self.insert_subtree(parent, v)
+
+    def delete_subtree(self, vertex: Vertex) -> Vertex:
+        """Detach ``vertex`` (with its whole subtree) and return it."""
+        self._require_attached(vertex)
+        if vertex.parent is None:
+            raise DataModelError("cannot delete the document root")
+        parent = vertex.parent
+        vertex.detach()
+        for v in vertex.subtree():
+            self._mark_removed(v)
+        self._mark_touched(parent)
+        self.updates_applied += 1
+        return vertex
+
+    def replace_text(self, vertex: Vertex, text: str) -> None:
+        """Replace the *direct* string children of ``vertex`` by ``text``
+        (empty string: remove all text)."""
+        self._require_attached(vertex)
+        for child in list(vertex.children):
+            if isinstance(child, str):
+                vertex.remove_child(child)
+        if text:
+            vertex.append(text)
+        # Text feeds the parent's sub-element field named vertex.label.
+        if vertex.parent is not None:
+            self._mark_touched(vertex.parent)
+        self.updates_applied += 1
+
+    def apply(self, op: UpdateOp) -> "Vertex | None":
+        """Apply one portable update op (see
+        :func:`repro.workloads.generators.random_update_ops`):
+
+        ``("set-attr", v, name, values)``, ``("del-attr", v, name)``,
+        ``("insert", parent, label, attrs)``, ``("delete", v)``,
+        ``("text", v, new_text)``.
+        """
+        kind = op[0]
+        if kind == "set-attr":
+            self.set_attribute(op[1], op[2], op[3])
+        elif kind == "del-attr":
+            self.remove_attribute(op[1], op[2])
+        elif kind == "insert":
+            return self.insert_element(op[1], op[2], op[3])
+        elif kind == "delete":
+            return self.delete_subtree(op[1])
+        elif kind == "text":
+            self.replace_text(op[1], op[2])
+        else:
+            raise ReproError(f"unknown update op {kind!r}")
+        return None
+
+    # -- revalidation ---------------------------------------------------------
+
+    @property
+    def pending_updates(self) -> int:
+        """Vertices awaiting their delta flush (0 right after
+        :meth:`revalidate`)."""
+        return len(self._added) + len(self._removed) + len(self._touched)
+
+    def revalidate(self) -> ViolationReport:
+        """Fold pending updates into the maintained state and report the
+        current violations of Σ.
+
+        Cost: O(|pending delta| + |current violations|) — independent of
+        document size.  With no pending updates this only re-emits the
+        maintained violation state.
+        """
+        self._flush()
+        report = ViolationReport()
+        for evaluator in self._evaluators:
+            evaluator.emit(report)
+        return report
+
+    def validate(self) -> ViolationReport:
+        """Full Definition 2.4 validity: a fresh structural pass (this
+        part is O(|doc|)) merged with the maintained ``G ⊨ Σ`` state."""
+        if self.structure is None:
+            raise ReproError("validate() needs the session's structure; "
+                             "construct with structure= or for_document()")
+        from repro.dtd.validate import validate_structure
+
+        report: ViolationReport = validate_structure(self.tree,
+                                                     self.structure)
+        report.merge(self.revalidate())
+        return report
+
+    def rebuild(self) -> None:
+        """Drop all maintained state and rebuild from the current tree.
+
+        An escape hatch after out-of-band mutations; costs a full pass."""
+        self._added.clear()
+        self._removed.clear()
+        self._touched.clear()
+        self.index = AttributeIndex(self.tree, id_attributes=self._id_map)
+        self._evaluators = [evaluator_for(c, self.index, self._id_map)
+                            for c in self.constraints]
+        for evaluator in self._evaluators:
+            evaluator.full()
+
+    def _flush(self) -> None:
+        if not (self._added or self._removed or self._touched):
+            return
+        delta = Delta(added=list(self._added.values()),
+                      removed=list(self._removed.values()),
+                      touched=list(self._touched.values()))
+        id_values: set[str] = set()
+        for v in delta.removed:
+            id_values |= self.index.unindex_vertex(v)
+        for v in delta.added:
+            id_values |= self.index.index_vertex(v)
+        for v in delta.touched:
+            id_values |= self.index.refresh_vertex(v)
+        delta.id_values = id_values
+        self.index.sync_epoch()
+        for evaluator in self._evaluators:
+            evaluator.apply_delta(delta)
+        self._added.clear()
+        self._removed.clear()
+        self._touched.clear()
+        self.flushes += 1
+
+    # -- delta bookkeeping ----------------------------------------------------
+
+    def _mark_touched(self, v: Vertex) -> None:
+        if v.vid not in self._added:
+            self._touched[v.vid] = v
+
+    def _mark_added(self, v: Vertex) -> None:
+        if self._removed.pop(v.vid, None) is not None:
+            # Removed and re-attached within one batch: still indexed,
+            # so a refresh suffices.
+            self._touched[v.vid] = v
+        else:
+            self._added[v.vid] = v
+
+    def _mark_removed(self, v: Vertex) -> None:
+        if self._added.pop(v.vid, None) is not None:
+            return  # added and removed within one batch: net nothing
+        self._touched.pop(v.vid, None)
+        self._removed[v.vid] = v
+
+    def _require_attached(self, v: Vertex) -> None:
+        if v.owner is not self.tree:
+            raise DataModelError(
+                f"vertex #{v.vid} belongs to a different tree")
+        if v.path_from_root()[0] is not self.tree.root:
+            raise DataModelError(
+                f"vertex #{v.vid} ({v.label!r}) is not attached to the "
+                "document")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<DocumentSession doc={self.tree.root.label!r} "
+                f"|Sigma|={len(self.constraints)} "
+                f"updates={self.updates_applied}>")

@@ -1,0 +1,108 @@
+"""The unified validation facade.
+
+Historically the package grew three differently-shaped entry points:
+``validate(doc, dtd)`` (argument order document-first),
+``check(tree, constraints, structure=None)`` (constraint-set-first
+concerns), and ``analyze(dtd, config)`` (schema-only).  The
+:class:`Validator` facade normalizes them around the one object they all
+share — the ``DTD^C`` — so a schema is configured once and every
+question about it reads the same way::
+
+    from repro import Validator, book_dtdc, book_document
+
+    validator = Validator(book_dtdc())
+    validator.validate(doc)          # Definition 2.4: structure + G |= Sigma
+    validator.check(doc)             # G |= Sigma only
+    validator.check(doc, sigma)      # ... against an explicit Sigma
+    validator.analyze()              # static schema analysis (lint)
+    validator.session(doc)           # incremental revalidation session
+
+The legacy functions remain as thin delegating shims (see their
+docstrings for the mapping); new code should prefer the facade.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.constraints.base import Constraint
+from repro.constraints.checker import check as _check
+from repro.constraints.violations import ViolationReport
+from repro.datamodel.tree import DataTree
+from repro.dtd.dtdc import DTDC
+from repro.dtd.validate import (
+    ValidationReport, validate as _validate, validate_strict as _strict,
+)
+from repro.incremental.session import DocumentSession
+
+if TYPE_CHECKING:
+    from repro.analysis import AnalysisReport, LintConfig
+
+
+class Validator:
+    """All validation services of one ``DTD^C``, behind one object.
+
+    Construction is cheap; per-call costs match the underlying
+    functions (each documented on its method).
+    """
+
+    def __init__(self, dtd: DTDC):
+        if not isinstance(dtd, DTDC):
+            raise TypeError(f"Validator needs a DTDC, got {type(dtd)!r}")
+        self.dtd = dtd
+
+    # -- Definition 2.4 --------------------------------------------------------
+
+    def validate(self, doc: DataTree) -> ValidationReport:
+        """Full validity of ``doc``: structure plus ``G ⊨ Σ``.
+
+        Equivalent to the legacy ``repro.validate(doc, self.dtd)``.
+        """
+        return _validate(doc, self.dtd)
+
+    def validate_strict(self, doc: DataTree) -> None:
+        """Like :meth:`validate` but raises
+        :class:`~repro.errors.ValidationError` on any violation."""
+        _strict(doc, self.dtd)
+
+    def check(self, doc: DataTree,
+              sigma: Iterable[Constraint] | None = None) -> ViolationReport:
+        """``G ⊨ Σ`` only (no structural pass).
+
+        ``sigma`` defaults to the schema's own constraint set; pass an
+        explicit iterable to check a different Σ against this schema's
+        structure (ID attributes of ``L_id`` constraints still resolve
+        through ``self.dtd.structure``).  Equivalent to the legacy
+        ``repro.check(doc, sigma, self.dtd.structure)``.
+        """
+        constraints = self.dtd.constraints if sigma is None else tuple(sigma)
+        return _check(doc, constraints, self.dtd.structure)
+
+    # -- static analysis -------------------------------------------------------
+
+    def analyze(self, config: "LintConfig | None" = None) -> "AnalysisReport":
+        """Static analysis (lint) of the schema itself — no document.
+
+        Equivalent to the legacy ``repro.analyze(self.dtd, config)``.
+        """
+        from repro.analysis import analyze as _analyze
+
+        return _analyze(self.dtd, config)
+
+    # -- incremental -----------------------------------------------------------
+
+    def session(self, doc: DataTree,
+                sigma: Iterable[Constraint] | None = None) -> DocumentSession:
+        """Open an incremental :class:`~repro.incremental.DocumentSession`
+        maintaining Σ (default: the schema's own) over ``doc``.
+
+        Construction costs one full pass; every later
+        ``session.revalidate()`` costs O(|Δ|).
+        """
+        constraints = self.dtd.constraints if sigma is None else tuple(sigma)
+        return DocumentSession(doc, constraints, self.dtd.structure)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<Validator root={self.dtd.structure.root!r} "
+                f"|Sigma|={len(self.dtd.constraints)}>")

@@ -129,6 +129,205 @@ def random_document(structure: DTDStructure,
 
 
 # ---------------------------------------------------------------------------
+# Checking / incremental-revalidation workloads
+# ---------------------------------------------------------------------------
+
+
+def random_check_sigma(structure: DTDStructure,
+                       seed: "int | random.Random" = 0,
+                       n_constraints: int = 8,
+                       with_inverses: bool = True) -> list[Constraint]:
+    """A random Σ *aligned to* ``structure``: every constraint mentions
+    element types and attributes the structure declares (and that
+    :func:`random_document` therefore populates).
+
+    This is the Σ for document-*checking* workloads — unlike
+    :func:`random_lu_sigma`, whose synthetic ``t0..tN`` vocabulary is
+    meant for implication benchmarks and never matches a generated
+    document.  The mix covers unary keys, unary and set-valued foreign
+    keys, multi-attribute keys/foreign keys and (optionally) inverses,
+    i.e. every evaluator family of the checker.
+    """
+    rng = _rng(seed)
+    singles: dict[str, list[Field]] = {}
+    setvs: dict[str, list[Field]] = {}
+    for label in sorted(structure.element_types):
+        for attr in sorted(structure.attributes(label)):
+            bucket = setvs if structure.is_set_valued(label, attr) \
+                else singles
+            bucket.setdefault(label, []).append(Field(attr))
+    keyed = sorted(singles)
+    if not keyed:
+        return []
+    sigma: list[Constraint] = []
+    keys: dict[str, Field] = {}
+    for label in keyed:
+        keys[label] = rng.choice(singles[label])
+        sigma.append(UnaryKey(label, keys[label]))
+    while len(sigma) < n_constraints:
+        roll = rng.random()
+        src = rng.choice(keyed)
+        dst = rng.choice(keyed)
+        if roll < 0.35:
+            sigma.append(UnaryForeignKey(src, rng.choice(singles[src]),
+                                         dst, keys[dst]))
+        elif roll < 0.55 and src in setvs:
+            sigma.append(SetValuedForeignKey(src, rng.choice(setvs[src]),
+                                             dst, keys[dst]))
+        elif roll < 0.75 and len(singles[src]) >= 2:
+            width = rng.randint(1, min(2, len(singles[src])))
+            sigma.append(Key(src, tuple(rng.sample(
+                sorted(singles[src], key=str), width))))
+        elif roll < 0.9 and singles.get(dst):
+            width = min(2, len(singles[src]), len(singles[dst]))
+            if width == 0:
+                continue
+            sigma.append(ForeignKey(
+                src, tuple(rng.sample(sorted(singles[src], key=str), width)),
+                dst, tuple(rng.sample(sorted(singles[dst], key=str), width))))
+        elif with_inverses and src != dst \
+                and src in setvs and dst in setvs:
+            sigma.append(Inverse(src, keys[src], rng.choice(setvs[src]),
+                                 dst, keys[dst], rng.choice(setvs[dst])))
+    return sigma
+
+
+def random_bulk_document(structure: DTDStructure,
+                         seed: "int | random.Random" = 0,
+                         n_vertices: int = 10000,
+                         value_pool: int = 100) -> DataTree:
+    """A large random document for checking workloads: exactly
+    ``n_vertices`` vertices with declared labels and fully populated
+    attributes, attached at random parents.
+
+    Unlike :func:`random_document` this does *not* respect content
+    models — ``G ⊨ Σ`` never reads them, and content-model-respecting
+    generation cannot reach arbitrary sizes for every random structure
+    (optional/short content keeps documents small regardless of budget).
+    Use it to scale the constraint-checking and incremental benchmarks
+    (E13/E16); use :func:`random_document` when structural validity
+    matters.
+    """
+    rng = _rng(seed)
+    labels = sorted(structure.element_types)
+    tree = DataTree(structure.root)
+
+    def populate(v: Vertex) -> None:
+        for attr in sorted(structure.attributes(v.label)):
+            if structure.is_set_valued(v.label, attr):
+                v.set_attribute(attr, {
+                    f"{attr}-{rng.randint(0, value_pool - 1)}"
+                    for _i in range(rng.randint(0, 3))})
+            else:
+                v.set_attribute(attr,
+                                f"{attr}-{rng.randint(0, value_pool - 1)}")
+
+    populate(tree.root)
+    attached = [tree.root]
+    while len(attached) < n_vertices:
+        parent = attached[rng.randint(0, len(attached) - 1)]
+        child = tree.create_under(parent, rng.choice(labels))
+        populate(child)
+        attached.append(child)
+    return tree
+
+
+def incremental_session_workload(n_vertices: int = 10000,
+                                 seed: "int | random.Random" = 0
+                                 ) -> tuple[DataTree, list[Constraint],
+                                            DTDStructure]:
+    """The E16 workload: a *valid* n-vertex library document plus its Σ.
+
+    Half the vertices are ``entry`` elements with unique ``isbn`` keys,
+    half are ``ref`` elements whose ``to`` attribute targets an existing
+    entry, so Σ (a unary key, a composite key and a foreign key) holds
+    initially and a single update perturbs at most a handful of
+    violations.  This is the production shape the incremental engine is
+    for — steady mutating traffic on a mostly-valid document — as
+    opposed to :func:`random_bulk_document`, whose small value pools
+    violate Σ everywhere (there a revalidation is dominated by *report
+    size*, which batch and incremental checking pay alike).
+
+    Returns ``(tree, sigma, structure)``.
+    """
+    rng = _rng(seed)
+    s = DTDStructure("library")
+    s.define_element("library", "(entry*, ref*)")
+    s.define_element("entry", "(#PCDATA)?")
+    s.define_element("ref", "EMPTY")
+    s.define_attribute("entry", "isbn")
+    s.define_attribute("entry", "shelf")
+    s.define_attribute("ref", "to")
+    s.check()
+    sigma: list[Constraint] = [
+        UnaryKey("entry", Field("isbn")),
+        Key("entry", (Field("isbn"), Field("shelf"))),
+        UnaryForeignKey("ref", Field("to"), "entry", Field("isbn")),
+    ]
+    n_entries = max(1, (n_vertices - 1) // 2)
+    n_refs = max(1, n_vertices - 1 - n_entries)
+    tree = DataTree("library")
+    for i in range(n_entries):
+        entry = tree.create_under(tree.root, "entry")
+        entry.set_attribute("isbn", f"isbn-{i}")
+        entry.set_attribute("shelf", f"shelf-{i % 97}")
+    for _j in range(n_refs):
+        ref = tree.create_under(tree.root, "ref")
+        ref.set_attribute("to", f"isbn-{rng.randint(0, n_entries - 1)}")
+    return tree, sigma, s
+
+
+def random_update_ops(tree: DataTree, structure: DTDStructure,
+                      seed: "int | random.Random" = 0, n_ops: int = 20,
+                      value_pool: int = 10):
+    """Yield ``n_ops`` random update operations against the *live* tree,
+    in the portable tuple form of
+    :meth:`repro.incremental.DocumentSession.apply`:
+
+    ``("set-attr", v, name, values)``, ``("del-attr", v, name)``,
+    ``("insert", parent, label, attrs)``, ``("delete", v)``,
+    ``("text", v, new_text)``.
+
+    This is a *generator*: each op is drawn from the tree's state at the
+    moment it is yielded, so ops must be applied (through a session)
+    before the next one is pulled — otherwise a later op may reference a
+    vertex an earlier, unapplied delete would have removed.  Values are
+    drawn from the same small per-attribute pools as
+    :func:`random_document`, so updates both create and repair
+    violations.
+    """
+    rng = _rng(seed)
+    labels = sorted(structure.element_types)
+
+    def attrs_for(label: str) -> dict[str, "str | set[str]"]:
+        out: dict[str, "str | set[str]"] = {}
+        for attr in sorted(structure.attributes(label)):
+            if structure.is_set_valued(label, attr):
+                out[attr] = {f"{attr}-{rng.randint(0, value_pool - 1)}"
+                             for _i in range(rng.randint(0, 3))}
+            else:
+                out[attr] = f"{attr}-{rng.randint(0, value_pool - 1)}"
+        return out
+
+    for i in range(n_ops):
+        vertices = tree.vertices()
+        v = rng.choice(vertices)
+        roll = rng.random()
+        if roll < 0.45 and structure.attributes(v.label):
+            attr = rng.choice(sorted(structure.attributes(v.label)))
+            yield ("set-attr", v, attr, attrs_for(v.label)[attr])
+        elif roll < 0.55 and v.attributes:
+            yield ("del-attr", v, rng.choice(sorted(v.attributes)))
+        elif roll < 0.8:
+            label = rng.choice(labels)
+            yield ("insert", v, label, attrs_for(label))
+        elif roll < 0.9 and v is not tree.root:
+            yield ("delete", v)
+        else:
+            yield ("text", v, f"text-upd-{i}")
+
+
+# ---------------------------------------------------------------------------
 # L_u constraint sets and implication instances
 # ---------------------------------------------------------------------------
 

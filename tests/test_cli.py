@@ -197,3 +197,37 @@ editor[pname, country] sub publisher[pname, country]
 </db>""")
         assert main(["--root", "db", "validate", str(bad),
                      l_schema_file]) == 1
+
+
+class TestExitCodeContract:
+    """validate follows the same 0/1/2 contract as lint, and --help
+    documents it."""
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = " ".join(capsys.readouterr().out.split())  # un-wrap
+        assert "exit status" in out
+        assert "0 success" in out and "2 usage or input error" in out
+
+    def test_validate_and_lint_agree_on_codes(self, schema_file, doc_file,
+                                              bad_doc_file):
+        # 0 = clean for both subcommands
+        assert main(["--root", "book", "validate", doc_file,
+                     schema_file]) == 0
+        # 1 = findings for both
+        assert main(["--root", "book", "validate", bad_doc_file,
+                     schema_file]) == 1
+        # 2 = input error for both
+        assert main(["--root", "book", "validate", "/no/such.xml",
+                     schema_file]) == 2
+        assert main(["--root", "book", "lint", "/no/such.dtdc"]) == 2
+
+
+class TestBenchIncremental:
+    def test_smoke(self, capsys):
+        assert main(["bench-incremental", "--nodes", "300",
+                     "--updates", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "revalidate" in out

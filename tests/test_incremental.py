@@ -1,0 +1,247 @@
+"""Tests for the incremental revalidation engine.
+
+The load-bearing property: a :class:`DocumentSession` replaying any edit
+script reports, at every step, exactly the violations a from-scratch
+``check()`` finds on the mutated tree — over random structures and
+constraint sets (200+ deterministic scripts plus a hypothesis sweep),
+over ``L_id`` document-wide ID semantics, and over §3.4 element-valued
+fields.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import check, elem
+from repro.constraints.base import Field
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.datamodel.tree import DataTree
+from repro.dtd.structure import DTDStructure
+from repro.errors import DataModelError, ReproError
+from repro.incremental import DocumentSession
+from repro.workloads import book_document, book_dtdc
+from repro.workloads.generators import (
+    random_check_sigma, random_document, random_structure, random_update_ops,
+)
+
+
+def canon(report):
+    """Order-free form of a report for equivalence comparison."""
+    return sorted((v.code, v.constraint, tuple(sorted(v.vertices)))
+                  for v in report)
+
+
+def assert_agrees(session):
+    got = canon(session.revalidate())
+    want = canon(check(session.tree, session.constraints, session.structure))
+    assert got == want, (f"incremental/batch divergence:\n"
+                        f"  incremental only: "
+                        f"{[x for x in got if x not in want]}\n"
+                        f"  batch only:       "
+                        f"{[x for x in want if x not in got]}")
+
+
+def replay_script(seed: int, n_ops: int = 12,
+                  check_every_step: bool = True) -> None:
+    structure = random_structure(seed)
+    tree = random_document(structure, seed, size_budget=50)
+    sigma = random_check_sigma(structure, seed, n_constraints=10)
+    session = DocumentSession(tree, sigma, structure)
+    assert_agrees(session)
+    for op in random_update_ops(tree, structure, seed, n_ops=n_ops):
+        session.apply(op)
+        if check_every_step:
+            assert_agrees(session)
+    if not check_every_step:
+        assert_agrees(session)
+
+
+class TestRandomScripts:
+    @pytest.mark.parametrize("block", range(8))
+    def test_200_scripts_stepwise(self, block):
+        """Acceptance: >= 200 random edit scripts, agreement at every
+        step (8 blocks x 25 seeds; split for timeout granularity)."""
+        for seed in range(block * 25, block * 25 + 25):
+            replay_script(seed, n_ops=10)
+
+    def test_batched_flush(self):
+        """Many updates folded by ONE revalidate (a larger delta per
+        flush) also agree."""
+        for seed in range(20):
+            structure = random_structure(seed)
+            tree = random_document(structure, seed, size_budget=50)
+            sigma = random_check_sigma(structure, seed)
+            session = DocumentSession(tree, sigma, structure)
+            for op in random_update_ops(tree, structure, seed, n_ops=15):
+                session.apply(op)
+            assert_agrees(session)
+
+    @given(st.integers(0, 2**31), st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_hypothesis_scripts(self, seed, n_ops):
+        replay_script(seed, n_ops=n_ops, check_every_step=False)
+
+
+def school_schema():
+    """An L_id schema: persons take courses, courses track enrollment."""
+    s = DTDStructure("db")
+    s.define_element("db", "(person*, course*)")
+    s.define_element("person", "(#PCDATA)?")
+    s.define_element("course", "(#PCDATA)?")
+    s.define_attribute("person", "pid", kind="ID")
+    s.define_attribute("person", "taking", set_valued=True)
+    s.define_attribute("course", "cid", kind="ID")
+    s.define_attribute("course", "enrolled", set_valued=True)
+    s.define_attribute("course", "taught_by")
+    s.check()
+    sigma = [IDConstraint("person"), IDConstraint("course"),
+             IDForeignKey("course", Field("taught_by"), "person"),
+             IDSetValuedForeignKey("person", Field("taking"), "course"),
+             IDInverse("person", Field("taking"),
+                       "course", Field("enrolled"))]
+    return s, sigma
+
+
+class TestLidScripts:
+    def test_id_semantics_under_updates(self):
+        s, sigma = school_schema()
+        for seed in range(15):
+            rng = random.Random(seed)
+            tree = DataTree("db")
+            for _i in range(5):
+                p = tree.create_under(tree.root, "person")
+                p.set_attribute("pid", f"p{rng.randint(0, 6)}")
+                p.set_attribute("taking", {f"c{rng.randint(0, 4)}"
+                                           for _k in range(rng.randint(0, 2))})
+            for _i in range(4):
+                c = tree.create_under(tree.root, "course")
+                c.set_attribute("cid", f"c{rng.randint(0, 4)}")
+                c.set_attribute("enrolled", {f"p{rng.randint(0, 6)}"
+                                             for _k in range(rng.randint(0, 2))})
+                c.set_attribute("taught_by", f"p{rng.randint(0, 6)}")
+            session = DocumentSession(tree, sigma, s)
+            assert_agrees(session)
+            for op in random_update_ops(tree, s, seed, n_ops=20):
+                session.apply(op)
+                assert_agrees(session)
+
+
+class TestElementFields:
+    """§3.4 fields: key values read from unique sub-element text."""
+
+    def schema(self):
+        from repro.constraints.lang_lu import UnaryKey
+
+        tree = DataTree("lib")
+        for title in ("a", "b"):
+            entry = tree.create_under(tree.root, "entry")
+            t = tree.create_under(entry, "title")
+            t.append(title)
+        return tree, [UnaryKey("entry", elem("title"))]
+
+    def test_replace_text_maintains_element_field(self):
+        tree, sigma = self.schema()
+        session = DocumentSession(tree, sigma)
+        assert session.revalidate().ok
+        # Collide the two titles via replace_text on the sub-element.
+        title_b = tree.ext("entry")[1].first_child_labeled("title")
+        session.replace_text(title_b, "a")
+        assert_agrees(session)
+        assert not session.revalidate().ok
+        session.replace_text(title_b, "b2")
+        assert_agrees(session)
+        assert session.revalidate().ok
+
+    def test_subtree_insert_delete_maintains_element_field(self):
+        tree, sigma = self.schema()
+        session = DocumentSession(tree, sigma)
+        entry = tree.ext("entry")[0]
+        # A second <title> makes the field non-single: drops out of the key.
+        extra = session.insert_element(entry, "title", text="x")
+        assert_agrees(session)
+        session.delete_subtree(extra)
+        assert_agrees(session)
+        assert session.revalidate().ok
+
+
+class TestSessionOps:
+    def test_book_break_and_repair(self):
+        dtd = book_dtdc()
+        session = DocumentSession.for_document(book_document(), dtd)
+        assert session.revalidate().ok
+        ref = session.tree.ext("ref")[0]
+        old = next(iter(ref.attr("to")))
+        session.set_attribute(ref, "to", "no-such-isbn")
+        report = session.revalidate()
+        assert not report.ok and report.violations[0].vertices == (ref.vid,)
+        session.set_attribute(ref, "to", old)
+        assert session.revalidate().ok
+
+    def test_pending_and_flush_counters(self):
+        session = DocumentSession.for_document(book_document(), book_dtdc())
+        assert session.pending_updates == 0
+        ref = session.tree.ext("ref")[0]
+        session.set_attribute(ref, "to", "x")
+        assert session.pending_updates == 1
+        session.revalidate()
+        assert session.pending_updates == 0 and session.flushes == 1
+        session.revalidate()  # nothing pending: no extra flush
+        assert session.flushes == 1
+
+    def test_insert_then_delete_nets_nothing(self):
+        session = DocumentSession.for_document(book_document(), book_dtdc())
+        entry = session.insert_element(
+            session.tree.root, "entry",
+            attrs={"isbn": "zzz"})
+        session.delete_subtree(entry)
+        session.revalidate()
+        assert_agrees(session)
+
+    def test_delete_then_reinsert_subtree(self):
+        session = DocumentSession.for_document(book_document(), book_dtdc())
+        ref = session.tree.ext("ref")[0]
+        detached = session.delete_subtree(ref)
+        assert_agrees(session)
+        session.insert_subtree(session.tree.root, detached)
+        assert_agrees(session)
+
+    def test_guards(self):
+        session = DocumentSession.for_document(book_document(), book_dtdc())
+        with pytest.raises(DataModelError):
+            session.delete_subtree(session.tree.root)
+        other = DataTree("book")
+        with pytest.raises(DataModelError):
+            session.set_attribute(other.root, "x", "1")
+        detached = session.tree.create("entry")
+        with pytest.raises(DataModelError):
+            session.set_attribute(detached, "isbn", "1")
+        with pytest.raises(ReproError):
+            session.apply(("no-such-op",))
+
+    def test_rebuild_after_out_of_band_mutation(self):
+        session = DocumentSession.for_document(book_document(), book_dtdc())
+        ref = session.tree.ext("ref")[0]
+        ref.set_attribute("to", "nowhere")   # behind the session's back
+        session.rebuild()
+        assert_agrees(session)
+        assert not session.revalidate().ok
+
+    def test_validate_includes_structure(self):
+        session = DocumentSession.for_document(book_document(), book_dtdc())
+        assert session.validate().ok
+        entry = session.tree.ext("entry")[0]
+        session.remove_attribute(entry, "isbn")
+        report = session.validate()
+        # Both the structural pass (missing declared attribute) and the
+        # maintained constraint state must report.
+        assert any(v.code == "attribute" for v in report)
+        assert_agrees(session)
+
+    def test_validate_without_structure_raises(self):
+        session = DocumentSession(book_document(), book_dtdc().constraints)
+        with pytest.raises(ReproError):
+            session.validate()

@@ -130,3 +130,25 @@ def test_section_7_linting():
     assert [d.element for d in custom] == ["d", "x"]
     assert all(d.code == "XIC901" and d.severity is Severity.HINT
                for d in custom)
+
+
+def test_section_8_sessions():
+    from repro import Validator, book_document
+
+    validator = Validator(book_dtdc())
+    doc = book_document()
+    assert validator.validate(doc).ok
+    assert validator.check(doc).ok
+
+    session = validator.session(doc)
+    assert session.revalidate().ok
+    ref = doc.ext("ref")[0]
+    session.set_attribute(ref, "to", "no-such-isbn")
+    report = session.revalidate()
+    assert any(v.code == "set-foreign-key" for v in report)
+
+    entry = session.insert_element(doc.root, "entry",
+                                   attrs={"isbn": "0-201-53771-0"})
+    session.delete_subtree(entry)       # net no-op
+    session.set_attribute(ref, "to", "1-55860-622-X")
+    assert session.revalidate().ok

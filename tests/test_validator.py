@@ -1,0 +1,108 @@
+"""Tests for the unified ``repro.Validator`` facade.
+
+Every method must agree exactly with the legacy entry point it wraps,
+on every fixture document — the facade is a re-plumbing, not a new
+semantics.
+"""
+
+import pytest
+
+import repro
+from repro import DocumentSession, Validator
+from repro.analysis import analyze
+from repro.constraints import check
+from repro.dtd.validate import validate, validate_strict
+from repro.errors import ReproError, ValidationError
+from repro.workloads import (
+    book_document, book_dtdc, person_dept_export, school_document,
+    school_dtdc,
+)
+
+
+def fixtures():
+    dtd, doc = person_dept_export()
+    return [(book_dtdc(), book_document()),
+            (dtd, doc),
+            (school_dtdc(), school_document())]
+
+
+def canon(report):
+    return sorted((v.code, v.constraint, tuple(sorted(v.vertices)))
+                  for v in report)
+
+
+class TestFacadeEquivalence:
+    @pytest.mark.parametrize("i", range(3))
+    def test_validate_matches_legacy(self, i):
+        dtd, doc = fixtures()[i]
+        assert canon(Validator(dtd).validate(doc)) == \
+            canon(validate(doc, dtd))
+
+    @pytest.mark.parametrize("i", range(3))
+    def test_check_matches_legacy(self, i):
+        dtd, doc = fixtures()[i]
+        assert canon(Validator(dtd).check(doc)) == \
+            canon(check(doc, dtd.constraints, dtd.structure))
+
+    @pytest.mark.parametrize("i", range(3))
+    def test_check_explicit_sigma(self, i):
+        dtd, doc = fixtures()[i]
+        sigma = dtd.constraints[:1]
+        assert canon(Validator(dtd).check(doc, sigma)) == \
+            canon(check(doc, sigma, dtd.structure))
+
+    def test_analyze_matches_legacy(self):
+        dtd = book_dtdc()
+        assert [str(d) for d in Validator(dtd).analyze()] == \
+            [str(d) for d in analyze(dtd)]
+
+    def test_equivalence_on_invalid_document(self):
+        dtd, doc = book_dtdc(), book_document()
+        doc.ext("ref")[0].set_attribute("to", "nowhere")
+        doc.ext("entry")[0].del_attribute("isbn")
+        assert canon(Validator(dtd).validate(doc)) == \
+            canon(validate(doc, dtd))
+
+
+class TestFacadeSurface:
+    def test_exported_from_package_root(self):
+        assert repro.Validator is Validator
+        assert repro.DocumentSession is DocumentSession
+
+    def test_validate_strict(self):
+        dtd, doc = book_dtdc(), book_document()
+        Validator(dtd).validate_strict(doc)  # clean: no raise
+        doc.ext("ref")[0].set_attribute("to", "nowhere")
+        with pytest.raises(ValidationError):
+            Validator(dtd).validate_strict(doc)
+        with pytest.raises(ValidationError):
+            validate_strict(doc, dtd)  # legacy shim still works
+
+    def test_rejects_non_dtdc(self):
+        with pytest.raises(TypeError):
+            Validator("not a schema")
+
+    def test_session_matches_check(self):
+        dtd, doc = book_dtdc(), book_document()
+        session = Validator(dtd).session(doc)
+        assert isinstance(session, DocumentSession)
+        assert session.constraints == tuple(dtd.constraints)
+        doc.ext("ref")[0]  # sanity: doc is the session's tree
+        assert session.tree is doc
+        session.set_attribute(doc.ext("ref")[0], "to", "nowhere")
+        assert canon(session.revalidate()) == \
+            canon(check(doc, dtd.constraints, dtd.structure))
+
+    def test_session_explicit_sigma(self):
+        dtd, doc = book_dtdc(), book_document()
+        session = Validator(dtd).session(doc, dtd.constraints[:1])
+        assert session.constraints == tuple(dtd.constraints[:1])
+
+    def test_legacy_docstrings_point_to_facade(self):
+        for fn in (validate, validate_strict, check, analyze):
+            assert "Validator" in fn.__doc__
+
+    def test_validate_without_structure_raises_repro_error(self):
+        session = DocumentSession(book_document())
+        with pytest.raises(ReproError):
+            session.validate()
