@@ -10,6 +10,7 @@ in EXPERIMENTS.md can be refreshed on any machine with::
 
 from __future__ import annotations
 
+import json
 import pathlib
 import platform
 import sys
@@ -18,9 +19,11 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
 from benchmarks.conftest import measure_series  # noqa: E402
+from repro.cli.bench import bench_incremental
 from repro.dtd import validate
 from repro.implication import LidEngine, LPrimaryEngine, LuEngine
 from repro.implication.counterexample import divergence_witness
+from repro.obs import Observability
 from repro.workloads import book_dtdc
 from repro.workloads.book import scaled_book_document
 from repro.workloads.generators import (
@@ -85,6 +88,62 @@ def main() -> None:
     print(f"- `G |= key`: **{_satisfies_key(g)}**; "
           f"`G' |= key`: **{_satisfies_key(gp)}**")
     print(f"- FO2-equivalent: **{two_pebble_equivalent(g, gp)}**")
+
+    result = bench_incremental(nodes=2000, updates=50)
+    print("\n### E16: incremental revalidation (JSON-sourced)\n")
+    print(f"- document: {result['vertices']} vertices, "
+          f"|Sigma| = {result['sigma']}")
+    print(f"- revalidate after 1 update: "
+          f"**{result['incremental_us']:.1f} us** "
+          f"(mean of {result['updates']})")
+    print(f"- full `check()`: **{result['full_us']:.1f} us** "
+          f"(mean of {result['full_runs']})")
+    print(f"- speedup: **{result['speedup']:.1f}x**")
+
+    e17_tables()
+
+
+def _obs_counter_totals(obs: Observability) -> dict:
+    """Sum each counter across label sets, read from the *JSON export*
+    (the same payload ``repro-xic --metrics json`` emits), so the
+    report exercises the machine-readable path end to end."""
+    totals: dict = {}
+    for metric in json.loads(obs.to_json())["metrics"]:
+        if "value" in metric:
+            totals[metric["name"]] = \
+                totals.get(metric["name"], 0) + metric["value"]
+    return totals
+
+
+def e17_tables() -> None:
+    """E17: observed linear scaling of the lid/lu implication engines.
+
+    Counts rule applications and closure iterations with the obs
+    metrics while timing the same runs: Prop 3.1 (L_id) and Thm 3.2's
+    ``I_u`` say both grow linearly in |Sigma| on the chain workloads.
+    """
+    print("\n### E17: implication work vs |Sigma| (obs counters)\n")
+    for title, build, make_engine in (
+            ("lid (Prop 3.1)", scaled_lid_chain,
+             lambda sigma, obs: LidEngine(sigma, obs=obs)),
+            ("lu (Thm 3.2)", scaled_lu_chain,
+             lambda sigma, obs: LuEngine(sigma, obs=obs))):
+        print(f"\n#### {title}\n")
+        print("| n | |Sigma| | rule apps | iterations | time (s) "
+              "| apps per |Sigma| |")
+        print("|---:|---:|---:|---:|---:|---:|")
+        for n in (100, 400, 1600):
+            sigma, phi = build(n)
+            obs = Observability()
+            t0 = time.perf_counter()
+            engine = make_engine(sigma, obs)
+            engine.implies(phi)
+            elapsed = time.perf_counter() - t0
+            totals = _obs_counter_totals(obs)
+            apps = totals.get("implication_rule_applications", 0)
+            iters = totals.get("implication_closure_iterations", 0)
+            print(f"| {n} | {len(sigma)} | {apps} | {iters} "
+                  f"| {elapsed:.6f} | {apps / len(sigma):.2f} |")
 
 
 if __name__ == "__main__":

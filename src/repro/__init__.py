@@ -57,6 +57,7 @@ from repro.paths import (
     PathInverse, parse_path, type_of,
 )
 from repro.incremental import DocumentSession
+from repro.obs import NULL_OBS, Observability
 from repro.validator import Validator
 from repro.workloads import book_document, book_dtdc
 from repro.xmlio import parse_document, parse_dtd, parse_dtdc, serialize
@@ -77,7 +78,7 @@ __all__ = [
     "LPrimaryEngine", "LuEngine", "LuPrimaryEngine",
     "Path", "PathFunctional", "PathImplicationEngine", "PathInclusion",
     "PathInverse", "parse_path", "type_of",
-    "DocumentSession", "Validator",
+    "DocumentSession", "NULL_OBS", "Observability", "Validator",
     "book_document", "book_dtdc",
     "parse_document", "parse_dtd", "parse_dtdc", "serialize",
     "__version__",

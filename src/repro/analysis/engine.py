@@ -29,6 +29,7 @@ from repro.errors import ConstraintError
 from repro.implication.lid import LidEngine
 from repro.implication.lu import LuEngine
 from repro.implication.l_primary import LPrimaryEngine
+from repro.obs import NULL_OBS
 
 
 class RuleContext:
@@ -99,13 +100,16 @@ class RuleContext:
 
 
 def analyze(dtd: DTDC, config: LintConfig | None = None,
-            registry: RuleRegistry | None = None) -> AnalysisReport:
+            registry: RuleRegistry | None = None,
+            obs=None) -> AnalysisReport:
     """Run every enabled rule over the schema; return the report.
 
     ``config`` selects/ignores rules and overrides severities;
     ``registry`` defaults to the stock rule set.  Build the ``DTDC``
     with ``check=False`` when linting possibly ill-formed input — the
     whole point is to *report* the problems, not raise on them.
+    ``obs`` (optional :class:`repro.obs.Observability`) times each rule
+    under an ``analysis.rule`` span and counts diagnostics per code.
 
     .. deprecated::
         New code should prefer the unified facade,
@@ -113,16 +117,32 @@ def analyze(dtd: DTDC, config: LintConfig | None = None,
         the delegation target (and for the ``registry`` extension
         point).
     """
+    obs = obs or NULL_OBS
     if registry is None:
         registry = DEFAULT_REGISTRY
     if config is None:
         config = LintConfig()
     ctx = RuleContext(dtd)
     diagnostics: list[Diagnostic] = []
-    for r in registry:
-        if not config.enables(r.code):
-            continue
-        diagnostics.extend(config.apply_severity(d) for d in r.run(ctx))
+    with obs.span("analysis.analyze") as top:
+        for r in registry:
+            if not config.enables(r.code):
+                continue
+            with obs.span("analysis.rule", code=r.code,
+                          rule=r.name) as span:
+                found = [config.apply_severity(d) for d in r.run(ctx)]
+            diagnostics.extend(found)
+            if obs.enabled:
+                span.set(diagnostics=len(found))
+                obs.counter("analysis_rules_run",
+                            help="analysis rules executed").inc()
+                if found:
+                    obs.counter(
+                        "analysis_diagnostics", {"code": r.code},
+                        help="diagnostics emitted per rule code",
+                    ).add(len(found))
+        if obs.enabled:
+            top.set(diagnostics=len(diagnostics))
     return AnalysisReport(diagnostics)
 
 

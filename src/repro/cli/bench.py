@@ -1,0 +1,65 @@
+"""Measurement core of ``repro-xic bench-incremental`` (experiment E16).
+
+Kept separate from the argparse layer so the same measurement runs from
+the CLI (text or ``--json`` output) and from ``benchmarks/make_report.py``
+without importing command-line plumbing.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+def bench_incremental(nodes: int = 10000, updates: int = 100,
+                      seed: int = 0) -> dict:
+    """Time ``session.revalidate()`` after single updates against a
+    from-scratch ``check()`` on the same tree.
+
+    Returns a JSON-serializable dict: workload parameters
+    (``nodes``/``updates``/``seed``), the realized document size
+    (``vertices``) and constraint count (``sigma``), mean
+    microseconds per operation for both strategies
+    (``incremental_us``/``full_us``, the latter averaged over
+    ``full_runs``), and their ratio (``speedup``).
+    """
+    from repro.constraints.checker import check
+    from repro.incremental import DocumentSession
+    from repro.workloads.generators import incremental_session_workload
+
+    rng = random.Random(seed)
+    tree, sigma, structure = incremental_session_workload(nodes, seed)
+    session = DocumentSession(tree, sigma, structure)
+    session.revalidate()
+    refs = session.index.extension("ref")
+    entries = session.index.extension("entry")
+    inc_total = 0.0
+    for i in range(updates):
+        # Alternate breaking and repairing a foreign key / a key.
+        if i % 2 == 0:
+            session.set_attribute(rng.choice(refs), "to", f"bogus-{i}")
+        else:
+            session.set_attribute(rng.choice(entries), "isbn",
+                                  f"isbn-{rng.randint(0, len(entries))}")
+        t0 = time.perf_counter()
+        session.revalidate()
+        inc_total += time.perf_counter() - t0
+    full_total = 0.0
+    full_runs = max(1, min(5, updates))
+    for _i in range(full_runs):
+        t0 = time.perf_counter()
+        check(tree, sigma, structure)
+        full_total += time.perf_counter() - t0
+    inc_us = 1e6 * inc_total / max(1, updates)
+    full_us = 1e6 * full_total / full_runs
+    return {
+        "nodes": nodes,
+        "updates": updates,
+        "seed": seed,
+        "vertices": tree.size(),
+        "sigma": len(sigma),
+        "incremental_us": inc_us,
+        "full_us": full_us,
+        "full_runs": full_runs,
+        "speedup": full_us / inc_us if inc_us else float("inf"),
+    }

@@ -1,0 +1,68 @@
+"""Diagnostic logging for the ``repro-xic`` CLI.
+
+All human-facing diagnostics (errors, schema lint chatter from
+``describe``, verbose progress notes) flow through the stdlib
+``repro`` logger instead of bare ``print(..., file=sys.stderr)``
+calls, so:
+
+- library code never prints — it returns reports and raises errors;
+  only the CLI decides what the user sees;
+- ``-v``/``--verbose`` and ``-q``/``--quiet`` act in one place;
+- stdout stays reserved for the command's parseable output.
+
+The handler resolves ``sys.stderr`` at *emit* time (not at configure
+time), so output redirection and pytest's ``capsys`` both observe the
+messages.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: The package logger every CLI diagnostic goes through.
+LOG = logging.getLogger("repro")
+
+
+class _CurrentStderrHandler(logging.Handler):
+    """A handler writing to whatever ``sys.stderr`` is *now*.
+
+    ``logging.StreamHandler(sys.stderr)`` captures the stream object at
+    construction; tools that swap ``sys.stderr`` afterwards (pytest's
+    ``capsys``, ``contextlib.redirect_stderr``) would then miss the
+    messages.  Looking the stream up per record keeps them visible.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - mirrors logging's policy
+            self.handleError(record)
+
+
+def configure_logging(verbosity: int = 0) -> None:
+    """(Re)configure the ``repro`` logger for one CLI invocation.
+
+    ``verbosity``: ``-1`` (``-q``) shows errors only, ``0`` (default)
+    adds warnings — e.g. the lint diagnostics ``describe`` routes to
+    stderr — ``1`` (``-v``) adds progress notes, ``2+`` (``-vv``)
+    enables debug output.
+
+    Handlers are *replaced*, not appended: ``main()`` may run many
+    times in one process (tests, embedding) and must not multiply
+    output.
+    """
+    if verbosity <= -1:
+        level = logging.ERROR
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    handler = _CurrentStderrHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    LOG.handlers.clear()
+    LOG.addHandler(handler)
+    LOG.setLevel(level)
+    LOG.propagate = False

@@ -9,7 +9,8 @@ Subcommands::
     repro-xic imply     --finite SCHEMA.dtdc "..."   # finite implication
     repro-xic path-type SCHEMA.dtdc TAU PATH         # type(tau.path), §4.1
     repro-xic path-imply SCHEMA.dtdc "t.p -> t.q"    # Props 4.1/4.2/4.3
-    repro-xic bench-incremental                      # E16 speedup demo
+    repro-xic bench-incremental [--json]             # E16 speedup demo
+    repro-xic profile --dtdc S.dtdc --doc D.xml      # span tree + counters
 
 Every subcommand follows one exit-code contract (``validate`` and
 ``lint`` alike): 0 success / holds / implied / clean, 1 violation / not
@@ -20,14 +21,29 @@ implied / lint findings, 2 usage or input error.
 ``--ignore`` to filter rules by code prefix (e.g. ``--select XIC3``).
 ``describe`` prints the schema dump on stdout and routes its
 diagnostics to stderr, so stdout stays parseable.
+
+Observability: the global ``--trace`` / ``--metrics {text,json,prom}``
+flags run any subcommand under an enabled
+:class:`~repro.obs.Observability` handle and print the collected spans
+and/or metrics to **stderr** afterwards (stdout stays the command's
+own output).  ``profile`` is the dedicated front-end: it exercises the
+parse → validate → implication → session pipeline on one
+document/schema pair and prints the full report to **stdout**
+(``--metrics json``/``prom`` select the export format).
+
+Verbosity: ``-v`` adds progress notes, ``-q`` silences everything but
+errors; all diagnostics flow through the ``repro`` logger
+(:mod:`repro.cli.logging`) — never bare prints to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path as FsPath
 
+from repro.cli.logging import LOG, configure_logging
 from repro.constraints.parser import parse_constraint
 from repro.constraints.wellformed import language_of
 from repro.constraints.base import Language
@@ -36,6 +52,7 @@ from repro.errors import ReproError
 from repro.implication.lid import LidEngine
 from repro.implication.lu import LuEngine
 from repro.implication.l_primary import LPrimaryEngine
+from repro.obs import Observability
 from repro.paths.constraints import (
     PathFunctional, PathInclusion, PathInverse,
 )
@@ -51,8 +68,12 @@ def _load_dtdc(path: str, root: str | None):
 
 def _cmd_validate(args) -> int:
     dtd = _load_dtdc(args.schema, args.root)
-    tree = parse_document(FsPath(args.document).read_text(), dtd.structure)
-    report = validate(tree, dtd)
+    LOG.info("loaded schema %s (|Sigma| = %d)", args.schema,
+             len(dtd.constraints))
+    tree = parse_document(FsPath(args.document).read_text(), dtd.structure,
+                          obs=args.obs)
+    LOG.info("parsed %s (%d vertices)", args.document, tree.size())
+    report = validate(tree, dtd, obs=args.obs)
     print(report)
     # Same 0/1/2 contract as lint: 0 valid, 1 violations, 2 input error
     # (input errors raise ReproError/OSError, mapped to 2 in main()).
@@ -62,45 +83,20 @@ def _cmd_validate(args) -> int:
 def _cmd_bench_incremental(args) -> int:
     """Experiment E16 in miniature: time ``session.revalidate()`` after
     single updates against a from-scratch ``check()`` on the same tree."""
-    import random
-    import time
+    from repro.cli.bench import bench_incremental
 
-    from repro.constraints.checker import check
-    from repro.incremental import DocumentSession
-    from repro.workloads.generators import incremental_session_workload
-
-    rng = random.Random(args.seed)
-    tree, sigma, structure = incremental_session_workload(args.nodes,
-                                                          args.seed)
-    session = DocumentSession(tree, sigma, structure)
-    session.revalidate()
-    refs = session.index.extension("ref")
-    entries = session.index.extension("entry")
-    inc_total = 0.0
-    for i in range(args.updates):
-        # Alternate breaking and repairing a foreign key / a key.
-        if i % 2 == 0:
-            session.set_attribute(rng.choice(refs), "to", f"bogus-{i}")
-        else:
-            session.set_attribute(rng.choice(entries), "isbn",
-                                  f"isbn-{rng.randint(0, len(entries))}")
-        t0 = time.perf_counter()
-        session.revalidate()
-        inc_total += time.perf_counter() - t0
-    full_total = 0.0
-    full_runs = max(1, min(5, args.updates))
-    for _i in range(full_runs):
-        t0 = time.perf_counter()
-        check(tree, sigma, structure)
-        full_total += time.perf_counter() - t0
-    inc_us = 1e6 * inc_total / max(1, args.updates)
-    full_us = 1e6 * full_total / full_runs
-    print(f"document: {tree.size()} vertices, |Sigma| = {len(sigma)}")
-    print(f"revalidate after 1 update: {inc_us:10.1f} us  "
-          f"(mean of {args.updates})")
-    print(f"full check():              {full_us:10.1f} us  "
-          f"(mean of {full_runs})")
-    print(f"speedup: {full_us / inc_us:.1f}x")
+    result = bench_incremental(nodes=args.nodes, updates=args.updates,
+                               seed=args.seed)
+    if args.json:
+        print(json.dumps(result, indent=2))
+        return 0
+    print(f"document: {result['vertices']} vertices, "
+          f"|Sigma| = {result['sigma']}")
+    print(f"revalidate after 1 update: {result['incremental_us']:10.1f} us  "
+          f"(mean of {result['updates']})")
+    print(f"full check():              {result['full_us']:10.1f} us  "
+          f"(mean of {result['full_runs']})")
+    print(f"speedup: {result['speedup']:.1f}x")
     return 0
 
 
@@ -109,9 +105,10 @@ def _cmd_describe(args) -> int:
 
     dtd = _load_dtdc(args.schema, args.root)
     print(dtd.describe())
-    # Diagnostics go to stderr so stdout stays a clean schema dump.
-    for diagnostic in analyze(dtd):
-        print(diagnostic, file=sys.stderr)
+    # Diagnostics go to stderr (via the logger) so stdout stays a clean
+    # schema dump; -q suppresses them, errors never are.
+    for diagnostic in analyze(dtd, obs=args.obs):
+        LOG.warning("%s", diagnostic)
     return 0
 
 
@@ -132,7 +129,7 @@ def _cmd_lint(args) -> int:
                      check=False)
     config = LintConfig(select=_lint_prefixes(args.select),
                         ignore=_lint_prefixes(args.ignore))
-    report = analyze(dtd, config)
+    report = analyze(dtd, config, obs=args.obs)
     if args.format == "json":
         print(report.to_json(schema=args.schema))
     else:
@@ -148,22 +145,22 @@ def _cmd_consistent(args) -> int:
     return 0 if report.consistent else 1
 
 
-def _pick_engine(sigma, phi):
+def _pick_engine(sigma, phi, obs=None):
     """Choose the decider from the joint language of Σ ∪ {φ} — but
     build it over Σ only."""
     language = language_of(list(sigma) + [phi])
     if language & Language.LID:
-        return LidEngine(sigma)
+        return LidEngine(sigma, obs=obs)
     if language & Language.LU:
-        return LuEngine(sigma)
-    return LPrimaryEngine(sigma)
+        return LuEngine(sigma, obs=obs)
+    return LPrimaryEngine(sigma, obs=obs)
 
 
 def _cmd_imply(args) -> int:
     dtd = _load_dtdc(args.schema, args.root)
     phi = parse_constraint(args.constraint, dtd.structure)
     sigma = list(dtd.constraints)
-    engine = _pick_engine(sigma, phi)
+    engine = _pick_engine(sigma, phi, obs=args.obs)
     result = engine.finitely_implies(phi) if args.finite \
         else engine.implies(phi)
     print(result.explain())
@@ -203,6 +200,49 @@ def _cmd_path_imply(args) -> int:
     return 0 if result else 1
 
 
+def _cmd_profile(args) -> int:
+    """Exercise the full pipeline on one document/schema pair under an
+    enabled observability handle; print the span tree + counter report.
+
+    Stages: parse the document, ``validate`` it (Definition 2.4), run
+    the implication closure over Σ (when Σ has a decider — mixed or
+    restriction-violating Σ is noted and skipped), and open an
+    incremental session plus one ``revalidate()``.
+    """
+    from repro.incremental import DocumentSession
+
+    obs = args.obs if args.obs is not None else Observability()
+    dtd = parse_dtdc(FsPath(args.dtdc).read_text(), root=args.root)
+    tree = parse_document(FsPath(args.doc).read_text(), dtd.structure,
+                          obs=obs)
+    report = validate(tree, dtd, obs=obs)
+    LOG.info("validate: %d vertices, %d violation(s)", tree.size(),
+             len(report.violations))
+    sigma = list(dtd.constraints)
+    if sigma:
+        try:
+            language = language_of(sigma)
+            if language & Language.LID:
+                LidEngine(sigma, obs=obs)
+            elif language & Language.LU:
+                LuEngine(sigma, obs=obs)
+            else:
+                LPrimaryEngine(sigma, obs=obs)
+        except ReproError as exc:
+            LOG.info("implication closure skipped: %s", exc)
+    session = DocumentSession(tree, dtd.constraints, dtd.structure, obs=obs)
+    session.revalidate()
+    fmt = args.metrics or "text"
+    if fmt == "json":
+        print(obs.to_json())
+    elif fmt == "prom":
+        print(obs.to_prometheus())
+    else:
+        print(obs.render())
+    args.obs = None  # report printed here; stop main() re-emitting it
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -215,6 +255,17 @@ def build_parser() -> argparse.ArgumentParser:
         "2 usage or input error.")
     parser.add_argument("--root", default=None,
                         help="root element type (default: first declared)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more diagnostics on stderr (-vv for debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="errors only on stderr")
+    parser.add_argument("--trace", action="store_true",
+                        help="collect spans while the command runs and "
+                        "print the span tree to stderr afterwards")
+    parser.add_argument("--metrics", choices=("text", "json", "prom"),
+                        default=None, metavar="{text,json,prom}",
+                        help="collect metrics and print them to stderr in "
+                        "this format (profile prints to stdout instead)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("validate", help="validate a document (Def 2.4); "
@@ -232,6 +283,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of timed single updates (default: 100)")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (default: 0)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of text")
     p.set_defaults(func=_cmd_bench_incremental)
 
     p = sub.add_parser("describe", help="print the DTD^C")
@@ -275,21 +328,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("schema")
     p.add_argument("constraint")
     p.set_defaults(func=_cmd_path_imply)
+
+    p = sub.add_parser("profile",
+                       help="run parse -> validate -> implication -> "
+                       "session on one document/schema pair and print "
+                       "the span tree + counter report")
+    p.add_argument("--dtdc", required=True, metavar="SCHEMA",
+                   help="the DTD^C schema file")
+    p.add_argument("--doc", required=True, metavar="DOC",
+                   help="the XML document file")
+    p.set_defaults(func=_cmd_profile)
     return parser
+
+
+def _emit_obs(obs: Observability, trace: bool, metrics: str | None) -> None:
+    """Print the collected spans/metrics to stderr (non-profile path)."""
+    from repro.obs.export import render_metrics, render_spans
+
+    if metrics == "json":
+        print(obs.to_json(), file=sys.stderr)
+        return
+    if metrics == "prom":
+        print(obs.to_prometheus(), file=sys.stderr)
+        return
+    parts = []
+    if trace:
+        parts.append(render_spans(obs.tracer))
+    if metrics:
+        parts.append(render_metrics(obs.metrics))
+    print("\n".join(parts), file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(-1 if args.quiet else args.verbose)
+    args.obs = Observability() if (args.trace or args.metrics) else None
     try:
-        return args.func(args)
+        code = args.func(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        LOG.error("error: %s", exc)
         return 2
     except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        LOG.error("error: %s", exc)
         return 2
+    if args.obs is not None:
+        _emit_obs(args.obs, args.trace, args.metrics)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,6 +43,7 @@ from repro.constraints.violations import ViolationReport
 from repro.datamodel.indexes import AttributeIndex
 from repro.datamodel.tree import DataTree, Vertex
 from repro.errors import ConstraintError
+from repro.obs import NULL_OBS
 
 if TYPE_CHECKING:  # layering: constraints must not import dtd at runtime
     from repro.dtd.structure import DTDStructure
@@ -50,24 +51,35 @@ if TYPE_CHECKING:  # layering: constraints must not import dtd at runtime
 
 def check(tree: DataTree, constraints: Iterable[Constraint],
           structure: "DTDStructure | None" = None, *,
-          index: AttributeIndex | None = None) -> ViolationReport:
+          index: AttributeIndex | None = None,
+          obs=None) -> ViolationReport:
     """Check ``tree ⊨ Σ`` with hash indexes; returns a violation report.
 
     ``index`` may be a prebuilt :class:`AttributeIndex` over ``tree`` (it
     must have been built with the structure's ID-attribute map for
     ``L_id`` constraints to resolve); when omitted, one is built here.
+    ``obs`` is an optional :class:`repro.obs.Observability` handle: one
+    ``check`` span with a per-constraint ``evaluate`` child each, plus
+    the evaluators' vertex/hit/violation counters.
 
     .. deprecated:: prefer ``repro.Validator(dtd).check(tree)``, which
        normalizes the argument order across all entry points.
     """
+    obs = obs or NULL_OBS
     id_map = structure.id_attribute_map() if structure is not None else {}
-    if index is None:
-        index = AttributeIndex(tree, id_attributes=id_map)
     report = ViolationReport()
-    for constraint in constraints:
-        evaluator = evaluator_for(constraint, index, id_map)
-        evaluator.full()
-        evaluator.emit(report)
+    with obs.span("check") as span:
+        if index is None:
+            index = AttributeIndex(tree, id_attributes=id_map, obs=obs)
+        n = 0
+        for constraint in constraints:
+            n += 1
+            with obs.span("evaluate", constraint=str(constraint)):
+                evaluator = evaluator_for(constraint, index, id_map,
+                                          obs=obs)
+                evaluator.full()
+                evaluator.emit(report)
+        span.set(constraints=n, violations=len(report))
     return report
 
 

@@ -39,6 +39,7 @@ from repro.constraints.violations import ViolationReport
 from repro.datamodel.indexes import AttributeIndex
 from repro.datamodel.tree import Vertex
 from repro.errors import ConstraintError
+from repro.obs.metrics import NULL_INSTRUMENT
 
 
 @dataclass
@@ -148,6 +149,45 @@ class ConstraintEvaluator:
         self.id_map = id_map
         #: the element labels whose vertices can affect this constraint
         self.labels: frozenset[str] = frozenset()
+        # Observability is off by default; attach_obs() swaps the null
+        # instruments for live per-constraint counters.  Hot paths gate
+        # on the plain bool so the disabled path costs one branch.
+        self._count = False
+        self.c_visited = NULL_INSTRUMENT
+        self.c_hits = NULL_INSTRUMENT
+        self.c_misses = NULL_INSTRUMENT
+        self.c_violations = NULL_INSTRUMENT
+
+    def attach_obs(self, obs) -> None:
+        """Bind per-constraint counters (label: ``constraint``).
+
+        Counter semantics, kept exact so tests can assert ground truth:
+
+        - ``evaluator_vertices_visited`` — vertices folded into the
+          residual state: every extension member during :meth:`full`,
+          every label-relevant vertex of each :class:`Delta`.
+        - ``evaluator_index_hits`` / ``_misses`` — lookups of a source
+          value/row against the maintained target-side (or key-group /
+          ``id_owners``) index: hit when the value was already present.
+        - ``evaluator_violations`` — violations emitted, cumulative
+          across :meth:`emit` calls.
+        """
+        if not obs:
+            return
+        labels = {"constraint": str(self.constraint)}
+        self._count = True
+        self.c_visited = obs.counter(
+            "evaluator_vertices_visited", labels,
+            help="vertices folded into per-constraint residual state")
+        self.c_hits = obs.counter(
+            "evaluator_index_hits", labels,
+            help="source-value lookups that found the value indexed")
+        self.c_misses = obs.counter(
+            "evaluator_index_misses", labels,
+            help="source-value lookups that found nothing")
+        self.c_violations = obs.counter(
+            "evaluator_violations", labels,
+            help="violations emitted, cumulative across emits")
 
     # -- delta protocol -------------------------------------------------------
 
@@ -169,20 +209,32 @@ class ConstraintEvaluator:
 
     def apply_delta(self, delta: Delta) -> None:
         """Fold one batch of changes into the residual state."""
+        n = 0
         for v in delta.removed:
             if v.label in self.labels:
                 self.remove(v)
+                n += 1
         for v in delta.added:
             if v.label in self.labels:
                 self.add(v)
+                n += 1
         for v in delta.touched:
             if v.label in self.labels:
                 self.refresh(v)
+                n += 1
         if delta.id_values:
             self.id_values_changed(delta.id_values)
+        if self._count and n:
+            self.c_visited.add(n)
 
     def emit(self, report: ViolationReport) -> None:
         """Append the current violations to ``report``."""
+        before = len(report)
+        self._emit(report)
+        if self._count:
+            self.c_violations.add(len(report) - before)
+
+    def _emit(self, report: ViolationReport) -> None:
         raise NotImplementedError
 
 
@@ -218,14 +270,19 @@ class KeyEvaluator(ConstraintEvaluator):
         self.rows.clear()
         self.groups.clear()
         self.dups.clear()
-        for v in self.index.extension(self.element):
+        ext = self.index.extension(self.element)
+        for v in ext:
             self.add(v)
+        if self._count:
+            self.c_visited.add(len(ext))
 
     def add(self, v: Vertex) -> None:
         row = _row_of(v, self.fields)
         self.rows[v.vid] = row
         if row is None:
             return
+        if self._count:
+            (self.c_hits if row in self.groups else self.c_misses).inc()
         group = self.groups.setdefault(row, {})
         group[v.vid] = v
         if len(group) == 2:
@@ -253,7 +310,7 @@ class KeyEvaluator(ConstraintEvaluator):
         self.remove(v)
         self.add(v)
 
-    def emit(self, report: ViolationReport) -> None:
+    def _emit(self, report: ViolationReport) -> None:
         for row in self.dups:
             group = self.groups[row]
             report.add(
@@ -283,10 +340,14 @@ class ForeignKeyEvaluator(ConstraintEvaluator):
         for store in (self.src_rows, self.src_by_row, self.incomplete,
                       self.dangling, self.target_rows, self.target_count):
             store.clear()
-        for v in self.index.extension(self.target):
+        targets = self.index.extension(self.target)
+        for v in targets:
             self._add_target(v)
-        for v in self.index.extension(self.element):
+        sources = self.index.extension(self.element)
+        for v in sources:
             self._add_source(v)
+        if self._count:
+            self.c_visited.add(len(targets) + len(sources))
 
     def add(self, v: Vertex) -> None:
         if v.label == self.target:
@@ -344,7 +405,10 @@ class ForeignKeyEvaluator(ConstraintEvaluator):
             self.incomplete[v.vid] = v
             return
         self.src_by_row.setdefault(row, {})[v.vid] = v
-        if not self.target_count.get(row):
+        resolved = bool(self.target_count.get(row))
+        if self._count:
+            (self.c_hits if resolved else self.c_misses).inc()
+        if not resolved:
             self.dangling[v.vid] = v
 
     def _remove_source(self, v: Vertex) -> None:
@@ -361,7 +425,7 @@ class ForeignKeyEvaluator(ConstraintEvaluator):
                 del self.src_by_row[row]
         self.dangling.pop(v.vid, None)
 
-    def emit(self, report: ViolationReport) -> None:
+    def _emit(self, report: ViolationReport) -> None:
         for vid, v in self.dangling.items():
             report.add(
                 "foreign-key",
@@ -407,10 +471,14 @@ class ValueForeignKeyEvaluator(ConstraintEvaluator):
                       self.violating):
             store.clear()
         self.not_single.clear()
-        for v in self.index.extension(self.target):
+        targets = self.index.extension(self.target)
+        for v in targets:
             self.targets.add(v)
-        for v in self.index.extension(self.element):
+        sources = self.index.extension(self.element)
+        for v in sources:
             self._add_source(v)
+        if self._count:
+            self.c_visited.add(len(targets) + len(sources))
 
     def add(self, v: Vertex) -> None:
         if v.label == self.target:
@@ -459,6 +527,9 @@ class ValueForeignKeyEvaluator(ConstraintEvaluator):
             self.src_by_value.setdefault(value, {})[v.vid] = v
             if not self.targets.count(value):
                 miss += 1
+        if self._count and values:
+            self.c_misses.add(miss)
+            self.c_hits.add(len(values) - miss)
         self.missing[v.vid] = miss
         bad = miss > 0
         if not self.set_valued and len(values) != 1:
@@ -481,7 +552,7 @@ class ValueForeignKeyEvaluator(ConstraintEvaluator):
         self.not_single.discard(v.vid)
         self.violating.pop(v.vid, None)
 
-    def emit(self, report: ViolationReport) -> None:
+    def _emit(self, report: ViolationReport) -> None:
         for vid, v in self.violating.items():
             if vid in self.not_single:
                 report.add(
@@ -512,7 +583,7 @@ class _InverseDirection:
 
     __slots__ = ("a_label", "key_a", "field_a", "b_label", "key_b",
                  "field_b", "key_a_index", "field_b_index", "pairs",
-                 "by_x", "by_y")
+                 "by_x", "by_y", "_count", "c_hits", "c_misses")
 
     def __init__(self, a_label: str, key_a: Field, field_a: Field,
                  b_label: str, key_b: Field, field_b: Field):
@@ -527,6 +598,9 @@ class _InverseDirection:
         self.pairs: dict[tuple[int, int], tuple[Vertex, Vertex, str]] = {}
         self.by_x: dict[int, set[int]] = {}
         self.by_y: dict[int, set[int]] = {}
+        self._count = False
+        self.c_hits = NULL_INSTRUMENT
+        self.c_misses = NULL_INSTRUMENT
 
     def clear(self) -> None:
         self.key_a_index.clear()
@@ -593,7 +667,11 @@ class _InverseDirection:
     def _judge(self, x: Vertex, key_value: str, y: Vertex) -> None:
         back = self.key_b.single_on(y)
         if back is not None and back in self.field_a.values_on(x):
+            if self._count:
+                self.c_hits.inc()
             return
+        if self._count:
+            self.c_misses.inc()
         self.pairs[(x.vid, y.vid)] = (x, y, key_value)
         self.by_x.setdefault(x.vid, set()).add(y.vid)
         self.by_y.setdefault(y.vid, set()).add(x.vid)
@@ -616,16 +694,28 @@ class InverseEvaluator(ConstraintEvaluator):
                               element, key_field, field),
         )
 
+    def attach_obs(self, obs) -> None:
+        super().attach_obs(obs)
+        for d in self.directions:
+            d._count = self._count
+            d.c_hits = self.c_hits
+            d.c_misses = self.c_misses
+
     def full(self) -> None:
         for d in self.directions:
             d.clear()
+        n = 0
         for label in sorted(self.labels):
-            for v in self.index.extension(label):
+            ext = self.index.extension(label)
+            n += len(ext)
+            for v in ext:
                 for d in self.directions:
                     d.index_vertex(v)
         for d in self.directions:
             for x in self.index.extension(d.a_label):
                 d.recompute_x(x)
+        if self._count:
+            self.c_visited.add(n)
 
     def add(self, v: Vertex) -> None:
         for d in self.directions:
@@ -648,7 +738,7 @@ class InverseEvaluator(ConstraintEvaluator):
             if v.label == d.b_label:
                 d.recompute_y(v)
 
-    def emit(self, report: ViolationReport) -> None:
+    def _emit(self, report: ViolationReport) -> None:
         for d in self.directions:
             for x, y, key_value in d.pairs.values():
                 report.add(
@@ -680,8 +770,11 @@ class IDConstraintEvaluator(ConstraintEvaluator):
         for store in (self.members, self.not_single, self.id_of,
                       self.clashing):
             store.clear()
-        for v in self.index.extension(self.element):
+        ext = self.index.extension(self.element)
+        for v in ext:
             self.add(v)
+        if self._count:
+            self.c_visited.add(len(ext))
 
     def add(self, v: Vertex) -> None:
         self.members[v.vid] = v
@@ -691,6 +784,12 @@ class IDConstraintEvaluator(ConstraintEvaluator):
             return
         (value,) = values
         self.id_of[v.vid] = value
+        if self._count:
+            # id_owners already contains v itself; a second owner means
+            # the document-wide index knew this value before v claimed it
+            owners = self.index.id_owners.get(value)
+            (self.c_hits if owners and len(owners) > 1
+             else self.c_misses).inc()
         self._recheck_value(value)
 
     def remove(self, v: Vertex) -> None:
@@ -726,7 +825,7 @@ class IDConstraintEvaluator(ConstraintEvaluator):
             else:
                 self.clashing.pop(vid, None)
 
-    def emit(self, report: ViolationReport) -> None:
+    def _emit(self, report: ViolationReport) -> None:
         for v in self.not_single.values():
             report.add("id",
                        f"{self.element!r} element lacks a single ID "
@@ -753,13 +852,25 @@ class StaticViolationEvaluator(ConstraintEvaluator):
     def full(self) -> None:
         pass
 
-    def emit(self, report: ViolationReport) -> None:
+    def _emit(self, report: ViolationReport) -> None:
         report.add(self.code, self.message, str(self.constraint))
 
 
 def evaluator_for(constraint: Constraint, index: AttributeIndex,
-                  id_map: dict[str, str]) -> ConstraintEvaluator:
-    """The evaluator object implementing ``constraint`` over ``index``."""
+                  id_map: dict[str, str], obs=None) -> ConstraintEvaluator:
+    """The evaluator object implementing ``constraint`` over ``index``.
+
+    With a truthy ``obs`` handle, the evaluator's per-constraint
+    counters are live; by default they are shared no-ops.
+    """
+    ev = _make_evaluator(constraint, index, id_map)
+    if obs:
+        ev.attach_obs(obs)
+    return ev
+
+
+def _make_evaluator(constraint: Constraint, index: AttributeIndex,
+                    id_map: dict[str, str]) -> ConstraintEvaluator:
     if isinstance(constraint, Key):
         return KeyEvaluator(constraint, index, id_map,
                             fields=constraint.fields)

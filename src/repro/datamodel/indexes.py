@@ -49,7 +49,8 @@ class AttributeIndex:
     """
 
     def __init__(self, tree: DataTree,
-                 id_attributes: dict[str, str] | None = None):
+                 id_attributes: dict[str, str] | None = None,
+                 obs=None):
         self.tree = tree
         self.epoch = tree.attribute_epoch
         self.id_attributes = dict(id_attributes or {})
@@ -61,8 +62,20 @@ class AttributeIndex:
         self._id_owners: dict[str, dict[int, Vertex]] = {}
         #: vid -> attribute map as last indexed (removal/refresh baseline)
         self._snapshot: dict[int, dict[str, frozenset[str]]] = {}
-        for v in tree.root.subtree():
-            self.index_vertex(v)
+        if obs:
+            with obs.span("index.build") as span:
+                n = 0
+                for v in tree.root.subtree():
+                    self.index_vertex(v)
+                    n += 1
+                span.set(vertices=n)
+                obs.counter(
+                    "index_vertices_indexed",
+                    help="vertices folded into the attribute index",
+                ).add(n)
+        else:
+            for v in tree.root.subtree():
+                self.index_vertex(v)
 
     # -- maintenance -----------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.datamodel.tree import DataTree
 from repro.dtd.dtdc import DTDC
 from repro.dtd.structure import DTDStructure
 from repro.errors import ValidationError
+from repro.obs import NULL_OBS
 from repro.regexlang.automaton import matcher_for
 
 
@@ -41,10 +42,28 @@ class ValidationReport(ViolationReport):
         return [v for v in self.violations if v not in self.structural]
 
 
-def validate_structure(tree: DataTree,
-                       structure: DTDStructure) -> ValidationReport:
+def validate_structure(tree: DataTree, structure: DTDStructure,
+                       obs=None) -> ValidationReport:
     """Check points 1-3 of Definition 2.4 (no constraints)."""
+    obs = obs or NULL_OBS
     report = ValidationReport()
+    with obs.span("validate.structure") as span:
+        _validate_structure(tree, structure, report)
+        span.set(violations=len(report))
+        if obs.enabled:
+            obs.counter(
+                "validate_vertices_checked",
+                help="vertices examined by the structural pass",
+            ).add(tree.size())
+            obs.counter(
+                "validate_structural_violations",
+                help="Definition 2.4 point 1-3 violations emitted",
+            ).add(len(report))
+    return report
+
+
+def _validate_structure(tree: DataTree, structure: DTDStructure,
+                        report: ValidationReport) -> None:
     if tree.root.label != structure.root:
         report.add("root",
                    f"root is {tree.root.label!r}, expected "
@@ -82,11 +101,15 @@ def validate_structure(tree: DataTree,
                 report.add("attribute",
                            f"missing attribute {v.label}.{attr_name}",
                            vertices=(v,))
-    return report
 
 
-def validate(tree: DataTree, dtd: DTDC) -> ValidationReport:
+def validate(tree: DataTree, dtd: DTDC, obs=None) -> ValidationReport:
     """Full Definition 2.4 validity: structure plus ``G ⊨ Σ``.
+
+    ``obs`` is an optional :class:`repro.obs.Observability` handle; when
+    enabled, the call produces a ``validate`` span with
+    ``validate.structure`` and ``check`` children plus the evaluator
+    counters.
 
     .. deprecated::
         Prefer the unified facade:
@@ -95,18 +118,23 @@ def validate(tree: DataTree, dtd: DTDC) -> ValidationReport:
         the facade so document/schema argument order is consistent
         across the package.
     """
-    report = validate_structure(tree, dtd.structure)
-    report.merge(check_constraints(tree, dtd.constraints, dtd.structure))
+    obs = obs or NULL_OBS
+    with obs.span("validate") as span:
+        report = validate_structure(tree, dtd.structure, obs=obs)
+        report.merge(check_constraints(tree, dtd.constraints,
+                                       dtd.structure, obs=obs))
+        if obs.enabled:
+            span.set(vertices=tree.size(), violations=len(report))
     return report
 
 
-def validate_strict(tree: DataTree, dtd: DTDC) -> None:
+def validate_strict(tree: DataTree, dtd: DTDC, obs=None) -> None:
     """Like :func:`validate` but raises on any violation.
 
     .. deprecated::
         Prefer ``repro.Validator(dtd).validate_strict(tree)``.
     """
-    report = validate(tree, dtd)
+    report = validate(tree, dtd, obs=obs)
     if not report.ok:
         raise ValidationError(report)
 

@@ -42,6 +42,7 @@ from repro.constraints.lang_lu import UnaryForeignKey, UnaryKey
 from repro.errors import LanguageMismatchError, UndecidableProblemError
 from repro.implication.l_primary import _compose
 from repro.implication.result import Derivation, ImplicationResult, given
+from repro.obs import NULL_OBS
 from repro.relational.chase import ChaseOutcome, ChaseResult, chase
 from repro.relational.fd import FD
 from repro.relational.ind import IND
@@ -148,49 +149,71 @@ def fd_ind_to_l(fds: Iterable[FD], inds: Iterable[IND],
 class LGeneralEngine:
     """Sound prover + bounded refuter for general ``L`` implication."""
 
-    def __init__(self, sigma: Iterable[Constraint]):
+    def __init__(self, sigma: Iterable[Constraint], obs=None):
         self.sigma = _normalize(sigma)
+        self.obs = obs or NULL_OBS
         self.keys: dict[tuple[str, frozenset[Field]], Derivation] = {}
         self.fks: dict[ForeignKey, Derivation] = {}
         self._saturate()
 
     # -- sound saturation ---------------------------------------------------------
 
+    def _count_rule(self, rule: str) -> None:
+        self.obs.counter(
+            "implication_rule_applications",
+            {"engine": "l_general", "rule": rule},
+            help="successful inference-rule applications").inc()
+
     def _saturate(self) -> None:
+        obs = self.obs
+        counting = obs.enabled
         queue: deque[ForeignKey] = deque()
+        if counting:
+            c_iters = obs.counter(
+                "implication_closure_iterations", {"engine": "l_general"},
+                help="worklist iterations of the closure computation")
 
         def add_key(element: str, fields: frozenset[Field],
                     d: Derivation) -> None:
             k = (element, fields)
             if k not in self.keys:
                 self.keys[k] = d
+                if counting:
+                    self._count_rule(d.rule)
 
         def add_fk(fk: ForeignKey, d: Derivation) -> None:
             canon = fk.canonical()
             if canon not in self.fks:
                 self.fks[canon] = d
+                if counting:
+                    self._count_rule(d.rule)
                 queue.append(canon)
 
-        for c in self.sigma:
-            if isinstance(c, Key):
-                add_key(c.element, c.field_set, given(c))
-                ordered = tuple(sorted(c.field_set, key=str))
-                refl = ForeignKey(c.element, ordered, c.element, ordered)
-                add_fk(refl, Derivation(str(refl), "PK-FK", (given(c),)))
-            else:
-                add_fk(c, given(c))
-                tk = c.implied_target_key()
-                add_key(c.target, frozenset(c.target_fields),
-                        Derivation(str(tk), "PFK-K", (given(c),)))
-        while queue:
-            fk = queue.popleft()
-            for g in list(self.fks):
-                for left, right in ((fk, g), (g, fk)):
-                    composed = _compose(left, right)
-                    if composed is not None:
-                        add_fk(composed, Derivation(
-                            str(composed), "PFK-trans",
-                            (self.fks[left], self.fks[right])))
+        with obs.span("l_general.saturate", sigma=len(self.sigma)) as span:
+            for c in self.sigma:
+                if isinstance(c, Key):
+                    add_key(c.element, c.field_set, given(c))
+                    ordered = tuple(sorted(c.field_set, key=str))
+                    refl = ForeignKey(c.element, ordered, c.element, ordered)
+                    add_fk(refl, Derivation(str(refl), "PK-FK", (given(c),)))
+                else:
+                    add_fk(c, given(c))
+                    tk = c.implied_target_key()
+                    add_key(c.target, frozenset(c.target_fields),
+                            Derivation(str(tk), "PFK-K", (given(c),)))
+            while queue:
+                if counting:
+                    c_iters.inc()
+                fk = queue.popleft()
+                for g in list(self.fks):
+                    for left, right in ((fk, g), (g, fk)):
+                        composed = _compose(left, right)
+                        if composed is not None:
+                            add_fk(composed, Derivation(
+                                str(composed), "PFK-trans",
+                                (self.fks[left], self.fks[right])))
+            if counting:
+                span.set(keys=len(self.keys), foreign_keys=len(self.fks))
 
     def prove(self, phi: Constraint) -> ImplicationResult:
         """Sound, incomplete proof search.  ``True`` is a proof;
@@ -235,9 +258,23 @@ class LGeneralEngine:
                max_rows: int = 2_000) -> ChaseResult:
         """Bounded chase; ``NOT_IMPLIED`` comes with a finite
         counterexample instance, ``IMPLIED`` with a chase certificate."""
+        obs = self.obs
         database, fds, inds, goal = self._translated(phi)
-        return chase(database, fds, inds, goal,
-                     max_steps=max_steps, max_rows=max_rows)
+        with obs.span("l_general.chase", query=str(phi)) as span:
+            result = chase(database, fds, inds, goal,
+                           max_steps=max_steps, max_rows=max_rows)
+            if obs.enabled:
+                span.set(outcome=result.outcome.value, steps=result.steps)
+                if result.model is not None:
+                    rows = sum(len(rs) for rs in result.model.rows.values())
+                    span.set(counterexample_rows=rows)
+                    obs.histogram(
+                        "implication_counterexample_rows",
+                        {"engine": "l_general"},
+                        buckets=(1, 2, 4, 8, 16, 64, 256, 1024),
+                        help="rows in chase-produced counterexample models",
+                    ).observe(rows)
+        return result
 
     # -- combined -----------------------------------------------------------------------
 

@@ -37,6 +37,7 @@ from repro.constraints.lang_l import ForeignKey, Key
 from repro.constraints.lang_lu import UnaryForeignKey, UnaryKey
 from repro.errors import LanguageMismatchError, PrimaryKeyRestrictionError
 from repro.implication.result import Derivation, ImplicationResult, given
+from repro.obs import NULL_OBS
 
 
 def _normalize(constraints: Iterable[Constraint]) -> list[Constraint]:
@@ -58,8 +59,9 @@ def _normalize(constraints: Iterable[Constraint]) -> list[Constraint]:
 class LPrimaryEngine:
     """Decider for (finite) implication of primary keys and foreign keys."""
 
-    def __init__(self, sigma: Iterable[Constraint]):
+    def __init__(self, sigma: Iterable[Constraint], obs=None):
         self.sigma = _normalize(sigma)
+        self.obs = obs or NULL_OBS
         self.primary: dict[str, frozenset[Field]] = {}
         self._collect_keys()
         self.closure: dict[ForeignKey, Derivation] = {}
@@ -95,44 +97,67 @@ class LPrimaryEngine:
         compose with — the closure is O(|closure| × out-degree) instead
         of O(|closure|²).
         """
+        obs = self.obs
+        counting = obs.enabled
         queue: deque[ForeignKey] = deque()
         by_element: dict[str, list[ForeignKey]] = {}
         by_target: dict[str, list[ForeignKey]] = {}
+        if counting:
+            rule_counters: dict[str, object] = {}
+
+            def count_rule(rule: str) -> None:
+                counter = rule_counters.get(rule)
+                if counter is None:
+                    counter = rule_counters[rule] = obs.counter(
+                        "implication_rule_applications",
+                        {"engine": "l_primary", "rule": rule},
+                        help="successful inference-rule applications")
+                counter.inc()
+            c_iters = obs.counter(
+                "implication_closure_iterations", {"engine": "l_primary"},
+                help="worklist iterations of the closure computation")
 
         def add(fk: ForeignKey, d: Derivation) -> None:
             canon = fk.canonical()
             if canon in self.closure:
                 return
             self.closure[canon] = d
+            if counting:
+                count_rule(d.rule)
             by_element.setdefault(canon.element, []).append(canon)
             by_target.setdefault(canon.target, []).append(canon)
             queue.append(canon)
 
-        for element, fields in self.primary.items():
-            ordered = tuple(sorted(fields, key=str))
-            refl = ForeignKey(element, ordered, element, ordered)
-            add(refl, Derivation(str(refl), "PK-FK",
-                                 (given(str(Key(element, ordered))),)))
-        for c in self.sigma:
-            if isinstance(c, ForeignKey):
-                add(c, given(c))
+        with obs.span("l_primary.closure", sigma=len(self.sigma)) as span:
+            for element, fields in self.primary.items():
+                ordered = tuple(sorted(fields, key=str))
+                refl = ForeignKey(element, ordered, element, ordered)
+                add(refl, Derivation(str(refl), "PK-FK",
+                                     (given(str(Key(element, ordered))),)))
+            for c in self.sigma:
+                if isinstance(c, ForeignKey):
+                    add(c, given(c))
 
-        while queue:
-            fk = queue.popleft()
-            # fk : tau1 -> tau2 composed with g : tau2 -> tau3 ...
-            for g in list(by_element.get(fk.target, ())):
-                composed = _compose(fk, g)
-                if composed is not None:
-                    add(composed, Derivation(
-                        str(composed), "PFK-trans",
-                        (self.closure[fk], self.closure[g])))
-            # ... and g : tau0 -> tau1 composed with fk.
-            for g in list(by_target.get(fk.element, ())):
-                composed = _compose(g, fk)
-                if composed is not None:
-                    add(composed, Derivation(
-                        str(composed), "PFK-trans",
-                        (self.closure[g], self.closure[fk])))
+            while queue:
+                if counting:
+                    c_iters.inc()
+                fk = queue.popleft()
+                # fk : tau1 -> tau2 composed with g : tau2 -> tau3 ...
+                for g in list(by_element.get(fk.target, ())):
+                    composed = _compose(fk, g)
+                    if composed is not None:
+                        add(composed, Derivation(
+                            str(composed), "PFK-trans",
+                            (self.closure[fk], self.closure[g])))
+                # ... and g : tau0 -> tau1 composed with fk.
+                for g in list(by_target.get(fk.element, ())):
+                    composed = _compose(g, fk)
+                    if composed is not None:
+                        add(composed, Derivation(
+                            str(composed), "PFK-trans",
+                            (self.closure[g], self.closure[fk])))
+            if counting:
+                span.set(closure=len(self.closure))
 
     # -- queries ----------------------------------------------------------------------
 

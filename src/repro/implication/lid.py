@@ -43,6 +43,7 @@ from repro.constraints.lang_lid import (
 from repro.constraints.lang_lu import UnaryKey
 from repro.errors import LanguageMismatchError
 from repro.implication.result import Derivation, ImplicationResult, given
+from repro.obs import NULL_OBS
 
 #: The reserved field denoting "the ID attribute of the type" in derived
 #: reflexive foreign keys (rule ID-FK).
@@ -69,14 +70,35 @@ def _canonical_inverse(c: IDInverse) -> IDInverse:
     return c if a <= b else c.flipped()
 
 
-def lid_closure(sigma: Iterable[Constraint]
+def lid_closure(sigma: Iterable[Constraint], obs=None
                 ) -> dict[Constraint, Derivation]:
     """The ``I_id`` closure of Σ, with a derivation for each member.
 
     Runs in time linear in ``|Σ|``: every rule fires at most once per
     stated constraint and conclusions trigger only the ID rules, whose
-    conclusions are terminal.
+    conclusions are terminal.  With an enabled ``obs`` handle the
+    computation runs under a ``lid.closure`` span and counts every
+    successful rule application (``implication_rule_applications``,
+    labelled by rule name) and worklist iteration
+    (``implication_closure_iterations``) — the observable side of the
+    Prop 3.1 linearity claim.
     """
+    obs = obs or NULL_OBS
+    counting = obs.enabled
+    if counting:
+        c_rules = {}
+
+        def count_rule(rule: str) -> None:
+            counter = c_rules.get(rule)
+            if counter is None:
+                counter = c_rules[rule] = obs.counter(
+                    "implication_rule_applications",
+                    {"engine": "lid", "rule": rule},
+                    help="successful inference-rule applications")
+            counter.inc()
+        c_iters = obs.counter(
+            "implication_closure_iterations", {"engine": "lid"},
+            help="worklist iterations of the closure computation")
     sigma = _require_lid(sigma)
     closure: dict[Constraint, Derivation] = {}
 
@@ -86,35 +108,43 @@ def lid_closure(sigma: Iterable[Constraint]
         if c in closure:
             return False
         closure[c] = d
+        if counting:
+            count_rule(d.rule)
         return True
 
-    work: list[Constraint] = []
-    for c in sigma:
-        if add(c, given(c)):
-            work.append(c if not isinstance(c, IDInverse)
-                        else _canonical_inverse(c))
-    while work:
-        c = work.pop()
-        d = closure[_canonical_inverse(c) if isinstance(c, IDInverse) else c]
-        new: list[tuple[Constraint, Derivation]] = []
-        if isinstance(c, IDInverse):
-            fk1, fk2 = c.implied_foreign_keys()
-            new.append((fk1, Derivation(str(fk1), "Inv-SFK-ID", (d,))))
-            new.append((fk2, Derivation(str(fk2), "Inv-SFK-ID", (d,))))
-        elif isinstance(c, IDForeignKey):
-            target = c.implied_id()
-            new.append((target, Derivation(str(target), "FK-ID", (d,))))
-        elif isinstance(c, IDSetValuedForeignKey):
-            target = c.implied_id()
-            new.append((target, Derivation(str(target), "SFK-ID", (d,))))
-        elif isinstance(c, IDConstraint):
-            refl = IDForeignKey(c.element, ID_FIELD, c.element)
-            new.append((refl, Derivation(str(refl), "ID-FK", (d,))))
-            key = UnaryKey(c.element, ID_FIELD)
-            new.append((key, Derivation(str(key), "ID-Key", (d,))))
-        for constraint, derivation in new:
-            if add(constraint, derivation):
-                work.append(constraint)
+    with obs.span("lid.closure", sigma=len(sigma)) as span:
+        work: list[Constraint] = []
+        for c in sigma:
+            if add(c, given(c)):
+                work.append(c if not isinstance(c, IDInverse)
+                            else _canonical_inverse(c))
+        while work:
+            if counting:
+                c_iters.inc()
+            c = work.pop()
+            d = closure[_canonical_inverse(c)
+                        if isinstance(c, IDInverse) else c]
+            new: list[tuple[Constraint, Derivation]] = []
+            if isinstance(c, IDInverse):
+                fk1, fk2 = c.implied_foreign_keys()
+                new.append((fk1, Derivation(str(fk1), "Inv-SFK-ID", (d,))))
+                new.append((fk2, Derivation(str(fk2), "Inv-SFK-ID", (d,))))
+            elif isinstance(c, IDForeignKey):
+                target = c.implied_id()
+                new.append((target, Derivation(str(target), "FK-ID", (d,))))
+            elif isinstance(c, IDSetValuedForeignKey):
+                target = c.implied_id()
+                new.append((target, Derivation(str(target), "SFK-ID", (d,))))
+            elif isinstance(c, IDConstraint):
+                refl = IDForeignKey(c.element, ID_FIELD, c.element)
+                new.append((refl, Derivation(str(refl), "ID-FK", (d,))))
+                key = UnaryKey(c.element, ID_FIELD)
+                new.append((key, Derivation(str(key), "ID-Key", (d,))))
+            for constraint, derivation in new:
+                if add(constraint, derivation):
+                    work.append(constraint)
+        if counting:
+            span.set(closure=len(closure))
     return closure
 
 
@@ -126,9 +156,10 @@ class LidEngine:
     kept for interface symmetry with the other engines.
     """
 
-    def __init__(self, sigma: Iterable[Constraint]):
+    def __init__(self, sigma: Iterable[Constraint], obs=None):
         self.sigma = _require_lid(sigma)
-        self.closure = lid_closure(self.sigma)
+        self.obs = obs = obs or NULL_OBS
+        self.closure = lid_closure(self.sigma, obs=obs)
 
     def implies(self, phi: Constraint) -> ImplicationResult:
         """Decide ``Σ ⊨ φ`` (axiomatic, per ``I_id``)."""

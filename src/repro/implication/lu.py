@@ -52,6 +52,7 @@ from repro.constraints.lang_lu import (
 )
 from repro.errors import ConstraintError, LanguageMismatchError
 from repro.implication.result import Derivation, ImplicationResult, given
+from repro.obs import NULL_OBS
 
 #: An attribute node: (element type, field).
 Node = tuple[str, Field]
@@ -124,7 +125,10 @@ class _Arities:
 class LuEngine:
     """Decider for implication and finite implication of ``L_u``."""
 
-    def __init__(self, sigma: Iterable[Constraint]):
+    def __init__(self, sigma: Iterable[Constraint], obs=None):
+        self.obs = obs = obs or NULL_OBS
+        self._counting = obs.enabled
+        self._rule_counters: dict[str, object] = {}
         self.sigma = _require_lu(sigma)
         self.arities = _Arities()
         self.arities.scan(self.sigma)
@@ -133,21 +137,34 @@ class LuEngine:
         self.keys: dict[Node, Derivation] = {}
         self.edges: dict[Node, dict[Node, Derivation]] = defaultdict(dict)
         self.inverses: dict[Inverse, Derivation] = {}
-        self._build_unrestricted()
+        with obs.span("lu.closure.unrestricted", sigma=len(self.sigma)):
+            self._build_unrestricted()
 
         # --- finite closure (adds reversed inclusions / cycle keys) ---------
         self.fin_keys: dict[Node, Derivation] = dict(self.keys)
         self.fin_edges: dict[Node, dict[Node, Derivation]] = {
             n: dict(out) for n, out in self.edges.items()}
-        self._build_finite()
+        with obs.span("lu.closure.finite", sigma=len(self.sigma)):
+            self._build_finite()
 
     # -- closure construction ---------------------------------------------------
+
+    def _count_rule(self, rule: str) -> None:
+        counter = self._rule_counters.get(rule)
+        if counter is None:
+            counter = self._rule_counters[rule] = self.obs.counter(
+                "implication_rule_applications",
+                {"engine": "lu", "rule": rule},
+                help="successful inference-rule applications")
+        counter.inc()
 
     def _add_key(self, keys: dict[Node, Derivation], n: Node,
                  d: Derivation) -> bool:
         if n in keys:
             return False
         keys[n] = d
+        if self._counting:
+            self._count_rule(d.rule)
         return True
 
     def _add_edge(self, edges, n: Node, m: Node, d: Derivation) -> bool:
@@ -155,6 +172,8 @@ class LuEngine:
         if m in out:
             return False
         out[m] = d
+        if self._counting:
+            self._count_rule(d.rule)
         return True
 
     def _build_unrestricted(self) -> None:
@@ -271,7 +290,13 @@ class LuEngine:
 
     def _build_finite(self) -> None:
         """Fixpoint of the cycle rules over the cardinality graph."""
+        if self._counting:
+            c_iters = self.obs.counter(
+                "implication_closure_iterations", {"engine": "lu"},
+                help="fixpoint iterations of the finite-closure loop")
         while True:
+            if self._counting:
+                c_iters.inc()
             changed = False
             graph = self._cardinality_graph(self.fin_keys, self.fin_edges)
             comp = self._sccs(graph)

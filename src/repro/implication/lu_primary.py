@@ -73,10 +73,11 @@ class LuPrimaryEngine:
     engine is exposed as :attr:`base` for cross-validation.
     """
 
-    def __init__(self, sigma: Iterable[Constraint]):
+    def __init__(self, sigma: Iterable[Constraint], obs=None):
         self.sigma = _require_lu(sigma)
         check_primary_restriction(self.sigma)
-        self.base = LuEngine(self.sigma)
+        self.base = LuEngine(self.sigma, obs=obs)
+        self.obs = self.base.obs
 
     def _check_query(self, phi: Constraint) -> None:
         check_primary_restriction(self.sigma + [phi])

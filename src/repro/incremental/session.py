@@ -45,6 +45,7 @@ from repro.constraints.violations import ViolationReport
 from repro.datamodel.indexes import AttributeIndex
 from repro.datamodel.tree import DataTree, Vertex
 from repro.errors import DataModelError, ReproError
+from repro.obs import NULL_OBS
 
 if TYPE_CHECKING:
     from repro.dtd.dtdc import DTDC
@@ -69,21 +70,45 @@ class DocumentSession:
     structure:
         The DTD structure, needed to resolve ``tau.id`` for ``L_id``
         constraints (and for :meth:`validate`).
+    obs:
+        Optional :class:`repro.obs.Observability` handle.  When enabled,
+        construction opens a ``session.build`` span, every
+        :meth:`revalidate` a ``session.revalidate`` span, and the
+        session maintains ``session_updates_applied`` /
+        ``session_flushes`` counters plus a ``session_delta_vertices``
+        histogram of flushed delta sizes.
     """
 
     def __init__(self, tree: DataTree,
                  constraints: Iterable[Constraint] = (),
-                 structure: "DTDStructure | None" = None):
+                 structure: "DTDStructure | None" = None,
+                 obs=None):
+        self.obs = obs = obs or NULL_OBS
+        self._count = bool(obs)
+        self._ops_counted = 0
+        self._c_updates = obs.counter(
+            "session_updates_applied",
+            help="update operations recorded by sessions")
+        self._c_flushes = obs.counter(
+            "session_flushes",
+            help="delta flushes (revalidations with pending work)")
+        self._h_delta = obs.histogram(
+            "session_delta_vertices",
+            help="vertices per flushed delta",
+            buckets=(1, 2, 4, 8, 16, 64, 256, 1024))
         self.tree = tree
         self.constraints = tuple(constraints)
         self.structure = structure
         self._id_map = (structure.id_attribute_map()
                         if structure is not None else {})
-        self.index = AttributeIndex(tree, id_attributes=self._id_map)
-        self._evaluators = [evaluator_for(c, self.index, self._id_map)
-                            for c in self.constraints]
-        for evaluator in self._evaluators:
-            evaluator.full()
+        with obs.span("session.build", constraints=len(self.constraints)):
+            self.index = AttributeIndex(tree, id_attributes=self._id_map,
+                                        obs=obs)
+            self._evaluators = [
+                evaluator_for(c, self.index, self._id_map, obs=obs)
+                for c in self.constraints]
+            for evaluator in self._evaluators:
+                evaluator.full()
         self._added: dict[int, Vertex] = {}
         self._removed: dict[int, Vertex] = {}
         self._touched: dict[int, Vertex] = {}
@@ -93,9 +118,10 @@ class DocumentSession:
         self.flushes = 0
 
     @classmethod
-    def for_document(cls, tree: DataTree, dtd: "DTDC") -> "DocumentSession":
+    def for_document(cls, tree: DataTree, dtd: "DTDC",
+                     obs=None) -> "DocumentSession":
         """A session maintaining ``dtd``'s Σ over ``tree``."""
-        return cls(tree, dtd.constraints, dtd.structure)
+        return cls(tree, dtd.constraints, dtd.structure, obs=obs)
 
     # -- update API -----------------------------------------------------------
 
@@ -209,10 +235,23 @@ class DocumentSession:
         document size.  With no pending updates this only re-emits the
         maintained violation state.
         """
-        self._flush()
-        report = ViolationReport()
-        for evaluator in self._evaluators:
-            evaluator.emit(report)
+        if not self._count:
+            self._flush()
+            report = ViolationReport()
+            for evaluator in self._evaluators:
+                evaluator.emit(report)
+            return report
+        new_ops = self.updates_applied - self._ops_counted
+        if new_ops:
+            self._c_updates.add(new_ops)
+            self._ops_counted = self.updates_applied
+        with self.obs.span("session.revalidate",
+                           delta=self.pending_updates) as span:
+            self._flush()
+            report = ViolationReport()
+            for evaluator in self._evaluators:
+                evaluator.emit(report)
+            span.set(violations=len(report))
         return report
 
     def validate(self) -> ViolationReport:
@@ -223,8 +262,9 @@ class DocumentSession:
                              "construct with structure= or for_document()")
         from repro.dtd.validate import validate_structure
 
-        report: ViolationReport = validate_structure(self.tree,
-                                                     self.structure)
+        report: ViolationReport = validate_structure(
+            self.tree, self.structure,
+            obs=self.obs if self._count else None)
         report.merge(self.revalidate())
         return report
 
@@ -235,11 +275,15 @@ class DocumentSession:
         self._added.clear()
         self._removed.clear()
         self._touched.clear()
-        self.index = AttributeIndex(self.tree, id_attributes=self._id_map)
-        self._evaluators = [evaluator_for(c, self.index, self._id_map)
-                            for c in self.constraints]
-        for evaluator in self._evaluators:
-            evaluator.full()
+        with self.obs.span("session.rebuild"):
+            self.index = AttributeIndex(self.tree,
+                                        id_attributes=self._id_map,
+                                        obs=self.obs)
+            self._evaluators = [
+                evaluator_for(c, self.index, self._id_map, obs=self.obs)
+                for c in self.constraints]
+            for evaluator in self._evaluators:
+                evaluator.full()
 
     def _flush(self) -> None:
         if not (self._added or self._removed or self._touched):
@@ -247,6 +291,10 @@ class DocumentSession:
         delta = Delta(added=list(self._added.values()),
                       removed=list(self._removed.values()),
                       touched=list(self._touched.values()))
+        if self._count:
+            self._c_flushes.inc()
+            self._h_delta.observe(len(delta.added) + len(delta.removed)
+                                  + len(delta.touched))
         id_values: set[str] = set()
         for v in delta.removed:
             id_values |= self.index.unindex_vertex(v)

@@ -1,0 +1,150 @@
+"""Observability: tracing, metrics, and profiling hooks.
+
+Zero-dependency measurement substrate for the validation, implication,
+and incremental engines.  One handle bundles a :class:`Tracer` (nested
+wall-clock spans) and a :class:`MetricsRegistry` (named counters /
+gauges / histograms)::
+
+    from repro import Observability, Validator
+
+    obs = Observability()
+    Validator(dtd, obs=obs).validate(doc)
+    print(obs.render())          # span tree + counter table
+    obs.to_json()                # machine-readable
+    obs.to_prometheus()          # text exposition format
+
+Instrumented library code takes an optional ``obs=`` parameter and
+defaults to :data:`NULL_OBS`, a falsy module-level no-op handle whose
+spans and instruments do nothing — the disabled path costs nothing
+measurable.  The idiom at every entry point is::
+
+    def f(..., obs=None):
+        obs = obs or NULL_OBS
+
+Counter names are Prometheus-safe; per-constraint evaluator counters
+carry a ``constraint`` label, per-engine implication counters an
+``engine`` (and where meaningful ``rule``) label.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from .export import (
+    obs_to_dict,
+    obs_to_json,
+    render_metrics,
+    render_report,
+    render_spans,
+    to_prometheus,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_INSTRUMENT,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullInstrument,
+    NullMetricsRegistry,
+)
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_INSTRUMENT",
+    "NULL_METRICS",
+    "NULL_OBS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullInstrument",
+    "NullMetricsRegistry",
+    "NullSpan",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+    "obs_to_dict",
+    "obs_to_json",
+    "render_metrics",
+    "render_report",
+    "render_spans",
+    "to_prometheus",
+]
+
+
+class Observability:
+    """A tracer + metrics registry, threaded through the engines.
+
+    Truthiness signals enablement: the shared :data:`NULL_OBS` is falsy,
+    an enabled handle is truthy, so ``obs = obs or NULL_OBS`` both
+    defaults and normalizes.
+    """
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(self,
+                 tracer: Optional[Union[Tracer, NullTracer]] = None,
+                 metrics: Optional[Union[MetricsRegistry,
+                                         NullMetricsRegistry]] = None):
+        self.tracer = Tracer() if tracer is None else tracer
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self.enabled = bool(self.tracer.enabled or self.metrics.enabled)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(tracer=NULL_TRACER, metrics=NULL_METRICS)
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # -- delegation --------------------------------------------------
+    def span(self, name: str, **attributes: Any):
+        return self.tracer.span(name, **attributes)
+
+    def counter(self, name: str, labels: Optional[dict] = None,
+                help: str = ""):
+        return self.metrics.counter(name, labels, help)
+
+    def gauge(self, name: str, labels: Optional[dict] = None,
+              help: str = ""):
+        return self.metrics.gauge(name, labels, help)
+
+    def histogram(self, name: str, labels: Optional[dict] = None,
+                  help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS):
+        return self.metrics.histogram(name, labels, help, buckets)
+
+    # -- export ------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable span tree + metrics table."""
+        return render_report(self)
+
+    def to_dict(self) -> dict:
+        return obs_to_dict(self)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return obs_to_json(self, indent)
+
+    def to_prometheus(self) -> str:
+        return to_prometheus(self.metrics)
+
+    def clear(self) -> None:
+        self.tracer.clear()
+        self.metrics.clear()
+
+
+#: Module-level disabled handle.  Falsy; shared; never records.
+NULL_OBS = Observability.disabled()

@@ -1,0 +1,153 @@
+"""Exporters: human text, JSON, and Prometheus text exposition.
+
+All three read the same :class:`~repro.obs.Observability` handle; none
+import anything beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, Union
+
+from .metrics import Histogram, MetricsRegistry
+from .trace import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from . import Observability
+
+__all__ = [
+    "obs_to_dict",
+    "obs_to_json",
+    "render_metrics",
+    "render_report",
+    "render_spans",
+    "to_prometheus",
+]
+
+
+def _fmt_duration(seconds: Union[float, None]) -> str:
+    if seconds is None:
+        return "open"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f}ms"
+    return f"{seconds:8.3f}s "
+
+
+def _fmt_attrs(attributes: dict) -> str:
+    if not attributes:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in attributes.items())
+    return f"  {{{inner}}}"
+
+
+def _span_lines(span: Span, depth: int, lines: list) -> None:
+    indent = "  " * depth
+    lines.append(f"{_fmt_duration(span.duration)}  {indent}"
+                 f"{span.name}{_fmt_attrs(span.attributes)}")
+    for child in span.children:
+        _span_lines(child, depth + 1, lines)
+
+
+def render_spans(tracer: Tracer) -> str:
+    """The span forest as an indented tree, durations left-aligned."""
+    lines: list = []
+    for root in tracer.roots:
+        _span_lines(root, 0, lines)
+    return "\n".join(lines)
+
+
+def _fmt_value(value: Union[int, float]) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Counters/gauges as an aligned table; histograms as summaries."""
+    rows = []
+    for inst in registry.collect():
+        labels = ",".join(f"{k}={v}" for k, v in inst.labels)
+        name = f"{inst.name}{{{labels}}}" if labels else inst.name
+        if isinstance(inst, Histogram):
+            mean = f"{inst.mean:.6g}" if inst.count else "-"
+            rows.append((name, f"count={inst.count} sum="
+                         f"{_fmt_value(inst.total)} mean={mean}"))
+        else:
+            rows.append((name, _fmt_value(inst.value)))
+    if not rows:
+        return ""
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+
+def render_report(obs: "Observability") -> str:
+    """Span tree + counter table, the `repro-xic profile` output."""
+    parts = []
+    spans = render_spans(obs.tracer)
+    if spans:
+        parts.append("== spans ==\n" + spans)
+    metrics = render_metrics(obs.metrics)
+    if metrics:
+        parts.append("== metrics ==\n" + metrics)
+    return "\n\n".join(parts)
+
+
+def obs_to_dict(obs: "Observability") -> dict:
+    return {"spans": obs.tracer.to_dicts(),
+            "metrics": obs.metrics.to_dicts()}
+
+
+def obs_to_json(obs: "Observability", indent: Union[int, None] = 2) -> str:
+    return json.dumps(obs_to_dict(obs), indent=indent)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _prom_labels(items: Iterable) -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in items]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_number(value: Union[int, float, None]) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format (version 0.0.4)."""
+    lines: list = []
+    seen: set = set()
+    for inst in registry.collect():
+        if inst.name not in seen:
+            seen.add(inst.name)
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+        if isinstance(inst, Histogram):
+            cumulative = 0
+            below = dict(zip(inst.buckets, inst.bucket_counts))
+            for bound in inst.buckets:
+                cumulative = below[bound]
+                items = inst.labels + (("le", _prom_number(bound)),)
+                lines.append(f"{inst.name}_bucket{_prom_labels(items)} "
+                             f"{cumulative}")
+            items = inst.labels + (("le", "+Inf"),)
+            lines.append(f"{inst.name}_bucket{_prom_labels(items)} "
+                         f"{inst.count}")
+            lines.append(f"{inst.name}_sum{_prom_labels(inst.labels)} "
+                         f"{_prom_number(inst.total)}")
+            lines.append(f"{inst.name}_count{_prom_labels(inst.labels)} "
+                         f"{inst.count}")
+        else:
+            lines.append(f"{inst.name}{_prom_labels(inst.labels)} "
+                         f"{_prom_number(inst.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

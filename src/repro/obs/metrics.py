@@ -1,0 +1,325 @@
+"""Named counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` hands out instruments keyed by
+``(name, labels)``; asking twice for the same pair returns the same
+object, so instrumented code can fetch its counters once and hold them.
+Names follow the Prometheus grammar (``[a-zA-Z_:][a-zA-Z0-9_:]*``) so
+every instrument is exportable in all three formats without renaming.
+
+The disabled counterparts (:data:`NULL_INSTRUMENT`,
+:class:`NullMetricsRegistry`) accept every operation and record
+nothing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_INSTRUMENT",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullInstrument",
+    "NullMetricsRegistry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bucket upper bounds.  Chosen for durations in
+#: seconds (10us .. 10s) but serviceable for small counts too.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class _Instrument:
+    __slots__ = ("name", "labels", "help")
+
+    kind = "abstract"
+
+    def __init__(self, name: str, labels: LabelItems, help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+
+    def label_dict(self) -> dict:
+        return dict(self.labels)
+
+
+class Counter(_Instrument):
+    """Monotonically non-decreasing count."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems, help: str = ""):
+        super().__init__(name, labels, help)
+        self.value: Union[int, float] = 0
+
+    def inc(self) -> None:
+        self.value += 1
+
+    def add(self, n: Union[int, float]) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += n
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems, help: str = ""):
+        super().__init__(name, labels, help)
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def add(self, n: Union[int, float]) -> None:
+        self.value += n
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram plus count/sum/min/max."""
+
+    __slots__ = ("buckets", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelItems, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, labels, help)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+AnyInstrument = Union[Counter, Gauge, Histogram]
+
+
+def _label_key(labels: Optional[dict]) -> LabelItems:
+    if not labels:
+        return ()
+    items = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    for k, _ in items:
+        if not _LABEL_RE.match(k):
+            raise ValueError(f"invalid label name {k!r}")
+    return items
+
+
+class MetricsRegistry:
+    """Registry of instruments keyed by ``(name, labels)``.
+
+    A metric *name* is bound to one kind (counter/gauge/histogram) on
+    first use; re-registering it with another kind is an error, while
+    re-registering with the same kind returns the existing instrument
+    for those labels.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[Tuple[str, LabelItems], AnyInstrument] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+
+    def _get(self, cls: type, name: str, labels: Optional[dict],
+             help: str, **kwargs: object) -> AnyInstrument:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        bound = self._kinds.get(name)
+        if bound is not None and bound != cls.kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {bound}, "
+                f"not {cls.kind}")
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, key[1], help or self._help.get(name, ""),
+                       **kwargs)
+            self._instruments[key] = inst
+            self._kinds[name] = cls.kind
+            if help:
+                self._help.setdefault(name, help)
+        return inst
+
+    def counter(self, name: str, labels: Optional[dict] = None,
+                help: str = "") -> Counter:
+        return self._get(Counter, name, labels, help)  # type: ignore
+
+    def gauge(self, name: str, labels: Optional[dict] = None,
+              help: str = "") -> Gauge:
+        return self._get(Gauge, name, labels, help)  # type: ignore
+
+    def histogram(self, name: str, labels: Optional[dict] = None,
+                  help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  ) -> Histogram:
+        return self._get(Histogram, name, labels, help,  # type: ignore
+                         buckets=buckets)
+
+    def collect(self) -> list[AnyInstrument]:
+        """All instruments, sorted by (name, labels)."""
+        return [self._instruments[k]
+                for k in sorted(self._instruments)]
+
+    def value(self, name: str, labels: Optional[dict] = None,
+              ) -> Union[int, float]:
+        """Current value of a counter/gauge; KeyError if never touched."""
+        inst = self._instruments[(name, _label_key(labels))]
+        if isinstance(inst, Histogram):
+            raise TypeError(f"{name!r} is a histogram; read .count/.total")
+        return inst.value
+
+    def values(self, name: str) -> dict:
+        """``{labels-dict-as-tuple: value}`` across all label sets."""
+        return {key[1]: inst.value
+                for key, inst in sorted(self._instruments.items())
+                if key[0] == name and not isinstance(inst, Histogram)}
+
+    def total(self, name: str) -> Union[int, float]:
+        """Sum of a counter/gauge across all label sets (0 if absent)."""
+        return sum(inst.value
+                   for (n, _), inst in self._instruments.items()
+                   if n == name and not isinstance(inst, Histogram))
+
+    def to_dicts(self) -> list[dict]:
+        out = []
+        for inst in self.collect():
+            entry: dict = {
+                "name": inst.name,
+                "kind": inst.kind,
+                "labels": inst.label_dict(),
+            }
+            if isinstance(inst, Histogram):
+                entry.update(
+                    count=inst.count, sum=inst.total,
+                    min=inst.min, max=inst.max,
+                    buckets=[{"le": b, "count": c}
+                             for b, c in zip(inst.buckets,
+                                             inst.bucket_counts)],
+                )
+            else:
+                entry["value"] = inst.value
+            out.append(entry)
+        return out
+
+    def clear(self) -> None:
+        self._instruments.clear()
+        self._kinds.clear()
+        self._help.clear()
+
+    def __iter__(self) -> Iterable[AnyInstrument]:  # pragma: no cover
+        return iter(self.collect())
+
+
+class NullInstrument:
+    """Inert counter/gauge/histogram; all operations are no-ops."""
+
+    __slots__ = ()
+
+    name = ""
+    labels: LabelItems = ()
+    help = ""
+    kind = "null"
+    value = 0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = None
+
+    def inc(self) -> None:
+        return None
+
+    def add(self, n: Union[int, float]) -> None:
+        return None
+
+    def set(self, value: Union[int, float]) -> None:
+        return None
+
+    def observe(self, value: Union[int, float]) -> None:
+        return None
+
+    def label_dict(self) -> dict:
+        return {}
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_INSTRUMENT = NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: hands out :data:`NULL_INSTRUMENT`."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def counter(self, name: str, labels: Optional[dict] = None,
+                help: str = "") -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, labels: Optional[dict] = None,
+              help: str = "") -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, labels: Optional[dict] = None,
+                  help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  ) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def collect(self) -> list:
+        return []
+
+    def total(self, name: str) -> int:
+        return 0
+
+    def values(self, name: str) -> dict:
+        return {}
+
+    def to_dicts(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_METRICS = NullMetricsRegistry()

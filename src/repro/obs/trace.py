@@ -1,0 +1,209 @@
+"""Nested wall-clock spans.
+
+A :class:`Span` times one region of work and remembers its name, its
+attributes, and its children; a :class:`Tracer` maintains the current
+span stack so that spans opened while another span is active nest under
+it.  Spans are context managers::
+
+    tracer = Tracer()
+    with tracer.span("validate", vertices=doc.size()):
+        with tracer.span("validate.structure"):
+            ...
+
+and functions can be wrapped wholesale::
+
+    @tracer.traced("index.build")
+    def build(): ...
+
+The disabled counterpart — :data:`NULL_TRACER` handing out the shared
+:data:`NULL_SPAN` — does nothing and allocates nothing, so library code
+can thread a tracer unconditionally.  Time is measured with
+``time.perf_counter`` and reported in seconds.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]
+
+
+class Span:
+    """One timed region: name, wall time, attributes, children."""
+
+    __slots__ = ("name", "attributes", "parent", "children",
+                 "start", "end", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: Optional[dict] = None):
+        self.name = name
+        self.attributes: dict = dict(attributes) if attributes else {}
+        self.parent: Optional[Span] = None
+        self.children: list[Span] = []
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Wall time in seconds, or None while the span is open."""
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach or update attributes on the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.end = time.perf_counter()
+        self._tracer._pop(self)
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dur = f"{self.duration * 1e3:.3f}ms" if self.duration is not None \
+            else "open"
+        return f"Span({self.name!r}, {dur}, children={len(self.children)})"
+
+
+class Tracer:
+    """Builds a forest of nested :class:`Span`s via a span stack."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Create a span; nesting is decided when it is *entered*."""
+        return Span(self, name, attributes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def traced(self, name: Optional[str] = None,
+               **attributes: Any) -> Callable:
+        """Decorator: run the function inside a span named after it."""
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(span_name, **attributes):
+                    return fn(*args, **kwargs)
+            return wrapper
+        return decorate
+
+    def clear(self) -> None:
+        self.roots = []
+        self._stack = []
+
+    def to_dicts(self) -> list[dict]:
+        return [root.to_dict() for root in self.roots]
+
+    # -- internal ----------------------------------------------------
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            span.parent = self._stack[-1]
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits rather than corrupt the stack.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+
+
+class NullSpan:
+    """Shared inert span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    name = ""
+    attributes: dict = {}
+    parent = None
+    children: tuple = ()
+    start = None
+    end = None
+    duration = None
+
+    def set(self, **attributes: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: hands out :data:`NULL_SPAN`, records nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+    roots: tuple = ()
+    current = None
+
+    def span(self, name: str, **attributes: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def traced(self, name: Optional[str] = None,
+               **attributes: Any) -> Callable:
+        def decorate(fn: Callable) -> Callable:
+            return fn
+        return decorate
+
+    def clear(self) -> None:
+        return None
+
+    def to_dicts(self) -> list:
+        return []
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_TRACER = NullTracer()

@@ -47,10 +47,13 @@ class Validator:
     functions (each documented on its method).
     """
 
-    def __init__(self, dtd: DTDC):
+    def __init__(self, dtd: DTDC, obs=None):
         if not isinstance(dtd, DTDC):
             raise TypeError(f"Validator needs a DTDC, got {type(dtd)!r}")
         self.dtd = dtd
+        #: optional :class:`repro.obs.Observability` handle threaded
+        #: into every method; None/falsy means the no-op path
+        self.obs = obs
 
     # -- Definition 2.4 --------------------------------------------------------
 
@@ -59,12 +62,12 @@ class Validator:
 
         Equivalent to the legacy ``repro.validate(doc, self.dtd)``.
         """
-        return _validate(doc, self.dtd)
+        return _validate(doc, self.dtd, obs=self.obs)
 
     def validate_strict(self, doc: DataTree) -> None:
         """Like :meth:`validate` but raises
         :class:`~repro.errors.ValidationError` on any violation."""
-        _strict(doc, self.dtd)
+        _strict(doc, self.dtd, obs=self.obs)
 
     def check(self, doc: DataTree,
               sigma: Iterable[Constraint] | None = None) -> ViolationReport:
@@ -77,7 +80,7 @@ class Validator:
         ``repro.check(doc, sigma, self.dtd.structure)``.
         """
         constraints = self.dtd.constraints if sigma is None else tuple(sigma)
-        return _check(doc, constraints, self.dtd.structure)
+        return _check(doc, constraints, self.dtd.structure, obs=self.obs)
 
     # -- static analysis -------------------------------------------------------
 
@@ -88,7 +91,7 @@ class Validator:
         """
         from repro.analysis import analyze as _analyze
 
-        return _analyze(self.dtd, config)
+        return _analyze(self.dtd, config, obs=self.obs)
 
     # -- incremental -----------------------------------------------------------
 
@@ -101,7 +104,8 @@ class Validator:
         ``session.revalidate()`` costs O(|Δ|).
         """
         constraints = self.dtd.constraints if sigma is None else tuple(sigma)
-        return DocumentSession(doc, constraints, self.dtd.structure)
+        return DocumentSession(doc, constraints, self.dtd.structure,
+                               obs=self.obs)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"<Validator root={self.dtd.structure.root!r} "

@@ -20,12 +20,30 @@ from repro.xmlio.tokenizer import Token, Tokenizer
 
 
 def parse_document(text: str, structure: DTDStructure | None = None,
-                   keep_whitespace: bool = False) -> DataTree:
+                   keep_whitespace: bool = False, obs=None) -> DataTree:
     """Parse XML text into a data tree.
 
     Raises :class:`~repro.errors.XMLSyntaxError` on malformed input
     (mismatched tags, multiple roots, stray text outside the root).
+    ``obs`` (an optional :class:`repro.obs.Observability` handle) times
+    the parse under an ``xmlio.parse`` span and counts documents and
+    vertices parsed.
     """
+    if not obs:
+        return _parse_document(text, structure, keep_whitespace)
+    with obs.span("xmlio.parse", chars=len(text)) as span:
+        tree = _parse_document(text, structure, keep_whitespace)
+        n = tree.size()
+        span.set(vertices=n)
+        obs.counter("xmlio_documents_parsed",
+                    help="XML documents parsed").inc()
+        obs.counter("xmlio_vertices_parsed",
+                    help="element vertices built by the XML parser").add(n)
+    return tree
+
+
+def _parse_document(text: str, structure: DTDStructure | None,
+                    keep_whitespace: bool) -> DataTree:
     tree: DataTree | None = None
     stack: list[Vertex] = []
     pending_text: list[tuple[str, int]] = []

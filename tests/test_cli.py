@@ -231,3 +231,110 @@ class TestBenchIncremental:
                      "--updates", "4"]) == 0
         out = capsys.readouterr().out
         assert "speedup" in out and "revalidate" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["bench-incremental", "--nodes", "300",
+                     "--updates", "4", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["updates"] == 4
+        assert data["vertices"] > 0 and data["sigma"] > 0
+        assert data["incremental_us"] > 0 and data["full_us"] > 0
+        assert data["speedup"] == pytest.approx(
+            data["full_us"] / data["incremental_us"])
+
+
+class TestProfile:
+    def test_prints_span_tree_and_counters(self, schema_file, doc_file,
+                                           capsys):
+        assert main(["--root", "book", "profile", "--dtdc", schema_file,
+                     "--doc", doc_file]) == 0
+        out = capsys.readouterr().out
+        assert "== spans ==" in out and "== metrics ==" in out
+        # nested spans: validate encloses structure + constraint checks
+        assert "validate" in out and "validate.structure" in out
+        assert "evaluate" in out and "index.build" in out
+        assert "session.build" in out
+        # counter table rows
+        assert "evaluator_vertices_visited" in out
+        assert "xmlio_documents_parsed" in out
+
+    def test_metrics_json_round_trips(self, schema_file, doc_file, capsys):
+        import json
+
+        assert main(["--root", "book", "--metrics", "json", "profile",
+                     "--dtdc", schema_file, "--doc", doc_file]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {"spans", "metrics"}
+        assert any(s["name"] == "validate" for s in data["spans"])
+        names = {m["name"] for m in data["metrics"]}
+        assert "evaluator_vertices_visited" in names
+
+    def test_metrics_prom(self, schema_file, doc_file, capsys):
+        assert main(["--root", "book", "--metrics", "prom", "profile",
+                     "--dtdc", schema_file, "--doc", doc_file]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE evaluator_vertices_visited counter" in out
+
+    def test_invalid_document_exits_one(self, schema_file, bad_doc_file):
+        assert main(["--root", "book", "profile", "--dtdc", schema_file,
+                     "--doc", bad_doc_file]) == 1
+
+    def test_missing_file_exits_two(self, schema_file):
+        assert main(["--root", "book", "profile", "--dtdc", schema_file,
+                     "--doc", "/no/such.xml"]) == 2
+
+
+class TestGlobalObsFlags:
+    def test_trace_goes_to_stderr(self, schema_file, doc_file, capsys):
+        assert main(["--root", "book", "--trace", "validate", doc_file,
+                     schema_file]) == 0
+        captured = capsys.readouterr()
+        assert "OK" in captured.out            # stdout untouched
+        assert "validate.structure" in captured.err
+
+    def test_metrics_json_on_validate(self, schema_file, doc_file, capsys):
+        import json
+
+        assert main(["--root", "book", "--metrics", "json", "validate",
+                     doc_file, schema_file]) == 0
+        captured = capsys.readouterr()
+        data = json.loads(captured.err)
+        by_name = {m["name"]: m for m in data["metrics"]}
+        assert by_name["xmlio_documents_parsed"]["value"] == 1
+
+    def test_metrics_text_on_imply(self, schema_file, capsys):
+        assert main(["--root", "book", "--metrics", "text", "imply",
+                     schema_file, "entry.isbn -> entry"]) == 0
+        captured = capsys.readouterr()
+        assert "implication_rule_applications" in captured.err
+        assert "implication_rule_applications" not in captured.out
+
+
+class TestVerbosity:
+    def test_verbose_progress_notes(self, schema_file, doc_file, capsys):
+        assert main(["--root", "book", "-v", "validate", doc_file,
+                     schema_file]) == 0
+        err = capsys.readouterr().err
+        assert "loaded schema" in err and "parsed" in err
+
+    def test_default_has_no_progress_notes(self, schema_file, doc_file,
+                                           capsys):
+        assert main(["--root", "book", "validate", doc_file,
+                     schema_file]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_quiet_suppresses_describe_diagnostics(self, tmp_path, capsys):
+        import pathlib
+
+        fixture = str(pathlib.Path(__file__).parent / "fixtures"
+                      / "divergent.dtdc")
+        assert main(["--root", "db", "-q", "describe", fixture]) == 0
+        captured = capsys.readouterr()
+        assert "P(tau)" in captured.out
+        assert captured.err == ""
+
+    def test_errors_survive_quiet(self, capsys):
+        assert main(["-q", "lint", "/no/such.dtdc"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,512 @@
+"""Tests for repro.obs: tracer, metrics, exporters, and the exact
+counter ground truth of the instrumented engines."""
+
+import json
+
+import pytest
+
+from repro.constraints.base import Field
+from repro.constraints.lang_lid import IDConstraint, IDForeignKey
+from repro.constraints.lang_lu import UnaryForeignKey, UnaryKey
+from repro.implication.lid import LidEngine
+from repro.implication.lu import LuEngine
+from repro.implication.l_general import LGeneralEngine
+from repro.implication.l_primary import LPrimaryEngine
+from repro.obs import (
+    NULL_INSTRUMENT, NULL_OBS, NULL_SPAN, NULL_TRACER, MetricsRegistry,
+    Observability, Tracer, render_metrics, render_spans, to_prometheus,
+)
+from repro.validator import Validator
+from repro.workloads import book_document, book_dtdc
+from repro.workloads.persondept import person_dept_export
+
+
+class TestTracer:
+    def test_nesting_follows_enter_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        assert [c.name for c in tracer.roots[0].children] == \
+            ["inner", "inner2"]
+        assert tracer.roots[0].children[0].parent is tracer.roots[0]
+
+    def test_duration_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", size=7) as span:
+            span.set(extra="x")
+        assert span.duration is not None and span.duration >= 0
+        assert span.attributes == {"size": 7, "extra": "x"}
+
+    def test_current_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_traced_decorator(self):
+        tracer = Tracer()
+
+        @tracer.traced("f.call")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert [r.name for r in tracer.roots] == ["f.call"]
+
+    def test_to_dicts_round_trips_json(self):
+        tracer = Tracer()
+        with tracer.span("a", n=1):
+            with tracer.span("b"):
+                pass
+        data = json.loads(json.dumps(tracer.to_dicts()))
+        assert data[0]["name"] == "a"
+        assert data[0]["children"][0]["name"] == "b"
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+
+    def test_null_tracer_is_falsy_and_inert(self):
+        assert not NULL_TRACER
+        assert NULL_TRACER.span("x") is NULL_SPAN
+        with NULL_TRACER.span("x") as s:
+            assert s.set(a=1) is NULL_SPAN
+        assert NULL_TRACER.to_dicts() == []
+
+
+class TestMetrics:
+    def test_counter_identity_and_values(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", {"kind": "a"})
+        assert reg.counter("hits", {"kind": "a"}) is c
+        c.inc()
+        c.add(2)
+        assert reg.value("hits", {"kind": "a"}) == 3
+        assert reg.total("hits") == 3
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").add(-1)
+
+    def test_name_bound_to_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("ok", {"bad-label": "x"})
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(5)
+        g.add(-2)
+        assert reg.value("depth") == 3
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes", buckets=(1, 4, 16))
+        for v in (1, 3, 20):
+            h.observe(v)
+        # every bucket with bound >= value counts the observation
+        assert h.bucket_counts == [1, 2, 2]
+        assert h.count == 3 and h.total == 24
+        assert h.mean == 8 and h.min == 1 and h.max == 20
+
+    def test_value_on_histogram_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1)
+        with pytest.raises(TypeError):
+            reg.value("h")
+
+    def test_values_across_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("n", {"k": "a"}).inc()
+        reg.counter("n", {"k": "b"}).add(2)
+        assert set(reg.values("n").values()) == {1, 2}
+        assert reg.total("n") == 3
+
+    def test_null_instrument(self):
+        assert not NULL_INSTRUMENT
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.add(5)
+        NULL_INSTRUMENT.observe(1.0)
+        assert NULL_INSTRUMENT.value == 0
+
+
+class TestExporters:
+    def _sample_obs(self):
+        obs = Observability()
+        with obs.span("outer", n=2):
+            with obs.span("inner"):
+                pass
+        obs.counter("requests", {"code": "a"}, help="requests served").add(3)
+        obs.histogram("lat", buckets=(1, 10), help="latency").observe(2)
+        return obs
+
+    def test_render_spans_indents_children(self):
+        obs = self._sample_obs()
+        lines = render_spans(obs.tracer).splitlines()
+        assert "outer" in lines[0] and "{n=2}" in lines[0]
+        assert lines[1].index("inner") > lines[0].index("outer")
+
+    def test_render_metrics_table(self):
+        text = render_metrics(self._sample_obs().metrics)
+        assert "requests{code=a}" in text
+        assert "count=1 sum=2 mean=2" in text
+
+    def test_render_report_sections(self):
+        report = self._sample_obs().render()
+        assert "== spans ==" in report and "== metrics ==" in report
+
+    def test_json_round_trip(self):
+        data = json.loads(self._sample_obs().to_json())
+        assert set(data) == {"spans", "metrics"}
+        assert data["spans"][0]["name"] == "outer"
+        by_name = {m["name"]: m for m in data["metrics"]}
+        assert by_name["requests"]["value"] == 3
+        assert by_name["lat"]["count"] == 1
+
+    def test_prometheus_format(self):
+        text = self._sample_obs().to_prometheus()
+        assert "# HELP requests requests served" in text
+        assert "# TYPE requests counter" in text
+        assert 'requests{code="a"} 3' in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="1"} 0' in text
+        assert 'lat_bucket{le="10"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 2" in text and "lat_count 1" in text
+
+    def test_prometheus_type_emitted_once_per_name(self):
+        reg = MetricsRegistry()
+        reg.counter("n", {"k": "a"}).inc()
+        reg.counter("n", {"k": "b"}).inc()
+        text = to_prometheus(reg)
+        assert text.count("# TYPE n counter") == 1
+
+    def test_prometheus_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("n", {"k": 'va"l\\ue'}).inc()
+        assert 'k="va\\"l\\\\ue"' in to_prometheus(reg)
+
+
+class TestObservabilityHandle:
+    def test_enabled_handle_is_truthy(self):
+        assert Observability()
+        assert Observability().enabled
+
+    def test_null_obs_is_falsy_and_shared(self):
+        assert not NULL_OBS
+        assert (None or NULL_OBS) is NULL_OBS
+        assert NULL_OBS.span("x") is NULL_SPAN
+        assert NULL_OBS.counter("c") is NULL_INSTRUMENT
+        assert NULL_OBS.render() == ""
+        assert NULL_OBS.to_dict() == {"spans": [], "metrics": []}
+
+    def test_clear(self):
+        obs = Observability()
+        with obs.span("a"):
+            obs.counter("c").inc()
+        obs.clear()
+        assert obs.tracer.roots == [] and obs.metrics.collect() == []
+
+
+class TestSpanNesting:
+    """The validate pipeline produces the documented span tree."""
+
+    def test_validate_span_tree(self):
+        obs = Observability()
+        Validator(book_dtdc(), obs=obs).validate(book_document())
+        assert [r.name for r in obs.tracer.roots] == ["validate"]
+        validate_span = obs.tracer.roots[0]
+        assert [c.name for c in validate_span.children] == \
+            ["validate.structure", "check"]
+        check_span = validate_span.children[1]
+        names = [c.name for c in check_span.children]
+        assert names[0] == "index.build"
+        assert names.count("evaluate") == 3
+        constraints = {c.attributes["constraint"]
+                       for c in check_span.children if c.name == "evaluate"}
+        assert "entry.isbn -> entry" in constraints
+
+    def test_session_span_tree(self):
+        dtd, tree = person_dept_export()
+        obs = Observability()
+        session = Validator(dtd, obs=obs).session(tree)
+        session.revalidate()
+        names = [r.name for r in obs.tracer.roots]
+        assert names == ["session.build", "session.revalidate"]
+        assert [c.name for c in obs.tracer.roots[0].children] == \
+            ["index.build"]
+
+    def test_every_span_is_closed(self):
+        obs = Observability()
+        Validator(book_dtdc(), obs=obs).validate(book_document())
+        for root in obs.tracer.roots:
+            for span in root.walk():
+                assert span.duration is not None
+
+
+def _value(obs, name, constraint):
+    return obs.metrics.value(name, {"constraint": constraint})
+
+
+class TestBookCounterGroundTruth:
+    """Exact counts on the fixed book workload (1 entry, 3 sections,
+    1 ref): hand-computed, any drift is a bug."""
+
+    @pytest.fixture
+    def obs(self):
+        obs = Observability()
+        Validator(book_dtdc(), obs=obs).validate(book_document())
+        return obs
+
+    def test_key_evaluator_counts(self, obs):
+        # KeyEvaluator visits ext(entry) = 1 vertex; the single row is
+        # new in its group => 1 index miss, 0 hits, 0 violations.
+        assert _value(obs, "evaluator_vertices_visited",
+                      "entry.isbn -> entry") == 1
+        assert _value(obs, "evaluator_index_misses",
+                      "entry.isbn -> entry") == 1
+        assert _value(obs, "evaluator_index_hits",
+                      "entry.isbn -> entry") == 0
+        assert _value(obs, "evaluator_violations",
+                      "entry.isbn -> entry") == 0
+
+    def test_section_key_counts(self, obs):
+        # 3 sections, 3 distinct sids => 3 visited, 3 misses.
+        assert _value(obs, "evaluator_vertices_visited",
+                      "section.sid -> section") == 3
+        assert _value(obs, "evaluator_index_misses",
+                      "section.sid -> section") == 3
+        assert _value(obs, "evaluator_index_hits",
+                      "section.sid -> section") == 0
+
+    def test_foreign_key_counts(self, obs):
+        # ValueForeignKeyEvaluator visits 1 target entry + 1 source ref;
+        # the ref's one value resolves => 1 hit, 0 misses.
+        assert _value(obs, "evaluator_vertices_visited",
+                      "ref.to subS entry.isbn") == 2
+        assert _value(obs, "evaluator_index_hits",
+                      "ref.to subS entry.isbn") == 1
+        assert _value(obs, "evaluator_index_misses",
+                      "ref.to subS entry.isbn") == 0
+
+    def test_validate_counters(self, obs):
+        assert obs.metrics.value("validate_vertices_checked") == \
+            book_document().size()
+        assert obs.metrics.value("validate_structural_violations") == 0
+        assert obs.metrics.value("index_vertices_indexed") == \
+            book_document().size()
+
+    def test_violation_counts_on_a_broken_document(self):
+        doc = book_document()
+        doc.ext("ref")[0].set_attribute("to", ["nowhere"])
+        sections = doc.ext("section")
+        sections[1].set_attribute("sid", [next(iter(
+            sections[0].attributes["sid"]))])
+        obs = Observability()
+        Validator(book_dtdc(), obs=obs).validate(doc)
+        # one dangling ref value and one duplicated key row
+        assert _value(obs, "evaluator_violations",
+                      "ref.to subS entry.isbn") == 1
+        assert _value(obs, "evaluator_index_misses",
+                      "ref.to subS entry.isbn") == 1
+        assert _value(obs, "evaluator_violations",
+                      "section.sid -> section") == 1
+        assert _value(obs, "evaluator_index_hits",
+                      "section.sid -> section") == 1
+
+
+class TestPersonDeptCounterGroundTruth:
+    """Exact counts on the §1 person/dept export: 2 depts x 3 people
+    (23 vertices)."""
+
+    @pytest.fixture
+    def obs(self):
+        dtd, tree = person_dept_export()
+        obs = Observability()
+        Validator(dtd, obs=obs).check(tree)
+        return obs
+
+    def test_id_constraint_counts(self, obs):
+        # 6 person ids, all unique => 6 visited, 6 misses (no value is
+        # shared by a second owner).
+        assert _value(obs, "evaluator_vertices_visited",
+                      "person.id ->id person") == 6
+        assert _value(obs, "evaluator_index_misses",
+                      "person.id ->id person") == 6
+        assert _value(obs, "evaluator_index_hits",
+                      "person.id ->id person") == 0
+        assert _value(obs, "evaluator_vertices_visited",
+                      "dept.id ->id dept") == 2
+        assert _value(obs, "evaluator_index_misses",
+                      "dept.id ->id dept") == 2
+
+    def test_unary_key_counts(self, obs):
+        assert _value(obs, "evaluator_vertices_visited",
+                      "person.<name> -> person") == 6
+        assert _value(obs, "evaluator_index_misses",
+                      "person.<name> -> person") == 6
+        assert _value(obs, "evaluator_vertices_visited",
+                      "dept.<dname> -> dept") == 2
+
+    def test_set_valued_foreign_key_counts(self, obs):
+        # targets ext(dept)=2 + sources ext(person)=6; every person
+        # lists exactly one resolving dept => 6 hits.
+        assert _value(obs, "evaluator_vertices_visited",
+                      "person.in_dept subS dept.id") == 8
+        assert _value(obs, "evaluator_index_hits",
+                      "person.in_dept subS dept.id") == 6
+        assert _value(obs, "evaluator_index_misses",
+                      "person.in_dept subS dept.id") == 0
+        # dept.has_staff: 6 person targets + 2 dept sources; 2 depts x
+        # 3 staff values => 6 hits.
+        assert _value(obs, "evaluator_vertices_visited",
+                      "dept.has_staff subS person.id") == 8
+        assert _value(obs, "evaluator_index_hits",
+                      "dept.has_staff subS person.id") == 6
+
+    def test_single_valued_foreign_key_counts(self, obs):
+        # dept.manager: 6 person targets + 2 dept sources; 2 managers
+        # resolve => 2 hits.
+        assert _value(obs, "evaluator_vertices_visited",
+                      "dept.manager sub person.id") == 8
+        assert _value(obs, "evaluator_index_hits",
+                      "dept.manager sub person.id") == 2
+        assert _value(obs, "evaluator_index_misses",
+                      "dept.manager sub person.id") == 0
+
+    def test_inverse_counts(self, obs):
+        # ext(person)=6 + ext(dept)=2 visited; 6 forward pairs + 6
+        # backward pairs all satisfied => 12 hits, 0 misses.
+        assert _value(obs, "evaluator_vertices_visited",
+                      "person.in_dept inv dept.has_staff") == 8
+        assert _value(obs, "evaluator_index_hits",
+                      "person.in_dept inv dept.has_staff") == 12
+        assert _value(obs, "evaluator_index_misses",
+                      "person.in_dept inv dept.has_staff") == 0
+
+    def test_no_violations(self, obs):
+        assert obs.metrics.total("evaluator_violations") == 0
+
+
+class TestSessionMetrics:
+    def test_update_and_delta_accounting(self):
+        dtd, tree = person_dept_export()
+        obs = Observability()
+        session = Validator(dtd, obs=obs).session(tree)
+        session.revalidate()
+        person = tree.ext("person")[0]
+        session.set_attribute(person, "name", "Renamed")
+        session.revalidate()
+        assert obs.metrics.value("session_updates_applied") == 1
+        assert obs.metrics.value("session_flushes") == 1
+        h = obs.metrics.histogram("session_delta_vertices",
+                                  buckets=(1, 2, 4, 8, 16, 64, 256, 1024))
+        assert h.count == 1
+        assert h.total >= 1
+
+
+class TestImplicationCounters:
+    def test_lid_rule_applications_match_closure(self):
+        sigma = [IDConstraint("person"),
+                 IDForeignKey("emp", Field("mgr"), "person")]
+        obs = Observability()
+        engine = LidEngine(sigma, obs=obs)
+        reg = obs.metrics
+        apps = reg.values("implication_rule_applications")
+        # every closure member was counted under exactly one rule
+        assert sum(apps.values()) == len(engine.closure)
+        assert reg.value("implication_rule_applications",
+                         {"engine": "lid", "rule": "given"}) == 2
+        assert reg.value("implication_rule_applications",
+                         {"engine": "lid", "rule": "ID-FK"}) == 1
+        assert reg.value("implication_rule_applications",
+                         {"engine": "lid", "rule": "ID-Key"}) == 1
+        # the worklist popped each closure member exactly once
+        assert reg.value("implication_closure_iterations",
+                         {"engine": "lid"}) == len(engine.closure)
+        names = [r.name for r in obs.tracer.roots]
+        assert "lid.closure" in names
+
+    def test_lu_counters_and_spans(self):
+        sigma = [UnaryKey("a", Field("x")),
+                 UnaryForeignKey("a", Field("y"), "b", Field("z"))]
+        obs = Observability()
+        LuEngine(sigma, obs=obs)
+        reg = obs.metrics
+        assert reg.total("implication_rule_applications") > 0
+        assert reg.value("implication_closure_iterations",
+                         {"engine": "lu"}) >= 1
+        names = [r.name for r in obs.tracer.roots]
+        assert "lu.closure.unrestricted" in names
+        assert "lu.closure.finite" in names
+
+    def test_l_primary_counters(self):
+        from repro.constraints.lang_l import ForeignKey, Key
+        sigma = [Key("a", (Field("x"),)),
+                 ForeignKey("b", (Field("y"),), "a", (Field("x"),))]
+        obs = Observability()
+        engine = LPrimaryEngine(sigma, obs=obs)
+        reg = obs.metrics
+        apps = reg.values("implication_rule_applications")
+        assert sum(apps.values()) == len(engine.closure)
+        assert reg.value("implication_closure_iterations",
+                         {"engine": "l_primary"}) == len(engine.closure)
+        assert [r.name for r in obs.tracer.roots] == ["l_primary.closure"]
+
+    def test_l_general_counterexample_histogram(self):
+        from repro.constraints.lang_l import Key
+        sigma = [Key("a", (Field("x"),))]
+        obs = Observability()
+        engine = LGeneralEngine(sigma, obs=obs)
+        result = engine.refute(Key("b", (Field("y"),)))
+        assert result.model is not None
+        h = obs.metrics.histogram("implication_counterexample_rows",
+                                  {"engine": "l_general"},
+                                  buckets=(1, 2, 4, 8, 16, 64, 256, 1024))
+        assert h.count == 1
+        assert h.total == sum(len(rs)
+                              for rs in result.model.rows.values())
+        names = [r.name for r in obs.tracer.roots]
+        assert "l_general.saturate" in names
+        assert "l_general.chase" in names
+
+
+class TestDisabledPath:
+    """With obs=None/NULL_OBS the engines take the uninstrumented path
+    and record nothing."""
+
+    def test_validator_without_obs_records_nothing(self):
+        validator = Validator(book_dtdc())
+        report = validator.validate(book_document())
+        assert report.ok
+        assert validator.obs is None
+
+    def test_null_obs_threads_through_everything(self):
+        report = Validator(book_dtdc(), obs=NULL_OBS).validate(
+            book_document())
+        assert report.ok
+        assert NULL_OBS.tracer.roots == ()
+        assert NULL_OBS.metrics.collect() == []
+
+    def test_engines_accept_null_obs(self):
+        sigma = [IDConstraint("person")]
+        engine = LidEngine(sigma, obs=NULL_OBS)
+        assert engine.implies(IDConstraint("person"))
+        assert NULL_OBS.metrics.total("implication_rule_applications") == 0

@@ -152,3 +152,24 @@ def test_section_8_sessions():
     session.delete_subtree(entry)       # net no-op
     session.set_attribute(ref, "to", "1-55860-622-X")
     assert session.revalidate().ok
+
+
+def test_section_9_observability():
+    from repro import Observability, Validator, book_document
+
+    obs = Observability()
+    validator = Validator(book_dtdc(), obs=obs)
+    validator.validate(book_document())
+
+    roots = obs.tracer.roots
+    assert roots[0].name == "validate"
+    assert [c.name for c in roots[0].children] == [
+        "validate.structure", "check"]
+    check = roots[0].children[1]
+    assert [c.name for c in check.children][0] == "index.build"
+    assert sum(c.name == "evaluate" for c in check.children) == 3
+
+    assert obs.metrics.value(
+        "evaluator_vertices_visited",
+        {"constraint": "section.sid -> section"}) == 3
+    assert obs.metrics.total("evaluator_violations") == 0
