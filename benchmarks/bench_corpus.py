@@ -1,0 +1,176 @@
+"""E18: parallel corpus validation and the content-addressed cache.
+
+Paper artifact: Definition 2.4 decides validity one document at a time,
+so a corpus is embarrassingly parallel — the only coordination is
+chunking, and the verdicts cannot depend on the schedule.  The
+experiment checks exactly that, plus the two payoffs:
+
+- **equivalence** — ``jobs=1`` and ``jobs=4`` produce byte-identical
+  ``verdicts_json()`` on the same corpus (cold and warm cache alike);
+- **warm cache** — re-validating an unchanged corpus through a
+  :class:`~repro.corpus.ResultCache` costs one hash per document and
+  must run >= 10x faster than the cold pass;
+- **parallel speedup** — on a machine with >= 4 cores, ``jobs=4`` must
+  beat ``jobs=1`` by >= 2x on a 200-document corpus (skipped on
+  smaller machines: the assertion would measure pool overhead, not the
+  paper's point).
+
+Run styles::
+
+    python -m pytest benchmarks/bench_corpus.py -q   # shape assertions
+    python benchmarks/bench_corpus.py --smoke        # CI one-shot
+    python benchmarks/bench_corpus.py                # timing report
+"""
+
+import os
+import sys
+import time
+
+import pytest
+
+if __package__:
+    from benchmarks.conftest import print_series
+else:  # `python benchmarks/bench_corpus.py` — repo root not on sys.path
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from benchmarks.conftest import print_series
+from repro.corpus import CorpusValidator, ResultCache
+from repro.workloads.generators import random_corpus
+from repro.xmlio import serialize
+
+#: Gate for the parallel-speedup assertion: below this, a pool cannot
+#: demonstrate the paper's point and only measures fork overhead.
+MIN_CORES = 4
+
+
+def _corpus_texts(n_docs: int = 200, seed: int = 0):
+    """The E18 corpus as (doc_id, xml_text) pairs — serialization cost
+    is paid here, once, so the timings below measure validation only."""
+    dtd, docs = random_corpus(n_docs=n_docs, invalid_fraction=0.2,
+                              seed=seed)
+    return dtd, [(f"doc-{i:04d}", serialize(doc))
+                 for i, doc in enumerate(docs)]
+
+
+def _timed(f):
+    t0 = time.perf_counter()
+    result = f()
+    return result, time.perf_counter() - t0
+
+
+# -- equivalence -----------------------------------------------------------
+
+
+def test_e18_jobs_equivalence():
+    """jobs=1 and jobs=4 verdicts are byte-identical, cold and warm."""
+    dtd, texts = _corpus_texts(n_docs=48)
+    serial = CorpusValidator(dtd, jobs=1).validate(texts)
+    pooled = CorpusValidator(dtd, jobs=4).validate(texts)
+    assert serial.verdicts_json() == pooled.verdicts_json()
+    assert serial.n_invalid > 0  # the corpus must exercise violations
+
+    cache = ResultCache()
+    CorpusValidator(dtd, jobs=1, cache=cache).validate(texts)
+    warm = CorpusValidator(dtd, jobs=1, cache=cache).validate(texts)
+    assert warm.n_cached == len(texts)
+    assert warm.verdicts_json() == serial.verdicts_json()
+
+
+def test_e18_disk_cache_round_trip(tmp_path):
+    """A directory-backed cache survives a fresh validator (the
+    persistent re-run story of ``repro-xic check-corpus --cache``)."""
+    dtd, texts = _corpus_texts(n_docs=16)
+    cold = CorpusValidator(dtd, cache=str(tmp_path)).validate(texts)
+    warm = CorpusValidator(dtd, cache=str(tmp_path)).validate(texts)
+    assert cold.n_cached == 0
+    assert warm.n_cached == len(texts)
+    assert warm.verdicts_json() == cold.verdicts_json()
+
+
+# -- the payoffs -----------------------------------------------------------
+
+
+def test_e18_warm_cache_speedup():
+    """Acceptance: a warm-cache pass over an unchanged 200-doc corpus
+    is >= 10x faster than the cold validation pass."""
+    dtd, texts = _corpus_texts(n_docs=200)
+    cache = ResultCache()
+    validator = CorpusValidator(dtd, cache=cache)
+    cold_report, cold = _timed(lambda: validator.validate(texts))
+    warm_report, warm = _timed(lambda: validator.validate(texts))
+    assert warm_report.n_cached == len(texts)
+    assert warm_report.verdicts_json() == cold_report.verdicts_json()
+    print_series("E18: cold vs warm cache, 200 docs",
+                 [(1, cold), (2, warm)], header="(1=cold, 2=warm)")
+    assert cold / max(warm, 1e-9) >= 10.0, (
+        f"warm cache only {cold / max(warm, 1e-9):.1f}x faster "
+        f"({warm * 1e3:.1f}ms vs {cold * 1e3:.1f}ms)")
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < MIN_CORES,
+                    reason=f"needs >= {MIN_CORES} cores for a "
+                    "meaningful parallel measurement")
+def test_e18_parallel_speedup():
+    """Acceptance (>= 4 cores): jobs=4 beats jobs=1 by >= 2x on a
+    200-document corpus."""
+    dtd, texts = _corpus_texts(n_docs=200)
+    serial_rep, serial = _timed(
+        lambda: CorpusValidator(dtd, jobs=1).validate(texts))
+    pooled_rep, pooled = _timed(
+        lambda: CorpusValidator(dtd, jobs=4).validate(texts))
+    assert serial_rep.verdicts_json() == pooled_rep.verdicts_json()
+    print_series("E18: jobs=1 vs jobs=4, 200 docs",
+                 [(1, serial), (4, pooled)], header="jobs")
+    assert serial / max(pooled, 1e-9) >= 2.0, (
+        f"jobs=4 only {serial / max(pooled, 1e-9):.1f}x faster "
+        f"({pooled * 1e3:.0f}ms vs {serial * 1e3:.0f}ms)")
+
+
+# -- standalone runner (CI smoke + timing report) --------------------------
+
+
+def _report(n_docs: int, smoke: bool) -> int:
+    dtd, texts = _corpus_texts(n_docs=n_docs)
+    cache = ResultCache()
+    validator = CorpusValidator(dtd, cache=cache)
+    cold_rep, cold = _timed(lambda: validator.validate(texts))
+    warm_rep, warm = _timed(lambda: validator.validate(texts))
+    rows = [("cold jobs=1", cold), ("warm jobs=1", warm)]
+
+    pooled_rep = pooled = None
+    if (os.cpu_count() or 1) >= MIN_CORES:
+        pooled_rep, pooled = _timed(
+            lambda: CorpusValidator(dtd, jobs=4).validate(texts))
+        rows.append(("cold jobs=4", pooled))
+
+    print(f"E18 corpus: {n_docs} docs, {cold_rep.n_invalid} invalid, "
+          f"{os.cpu_count()} core(s)")
+    for name, seconds in rows:
+        print(f"  {name:<12} {seconds * 1e3:8.1f} ms")
+    print(f"  warm speedup {cold / max(warm, 1e-9):8.1f} x")
+    if pooled is not None:
+        print(f"  pool speedup {cold / max(pooled, 1e-9):8.1f} x")
+
+    ok = warm_rep.n_cached == n_docs \
+        and warm_rep.verdicts_json() == cold_rep.verdicts_json()
+    if pooled_rep is not None:
+        ok = ok and pooled_rep.verdicts_json() == cold_rep.verdicts_json()
+    if not smoke:
+        ok = ok and cold / max(warm, 1e-9) >= 10.0
+    print("E18 smoke OK" if ok else "E18 FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import argparse
+
+    cli = argparse.ArgumentParser(
+        description="E18: parallel corpus validation benchmark")
+    cli.add_argument("--smoke", action="store_true",
+                     help="CI mode: correctness checks only (cache "
+                     "equivalence, jobs equivalence), no timing "
+                     "thresholds")
+    cli.add_argument("--docs", type=int, default=200,
+                     help="corpus size (default: 200)")
+    raise SystemExit(_report(cli.parse_args().docs,
+                             cli.parse_args().smoke))

@@ -8,7 +8,7 @@ implication engine a few questions about Σ.
 Run:  python examples/quickstart.py
 """
 
-from repro import parse_constraint, parse_document, parse_dtdc, validate
+from repro import Validator, parse_constraint, parse_document, parse_dtdc
 from repro.cli.main import _pick_engine
 
 SCHEMA = """
@@ -52,14 +52,15 @@ def main() -> None:
     print("The DTD^C (Definitions 2.2-2.3):")
     print(dtd.describe())
 
+    validator = Validator(dtd)
     tree = parse_document(DOCUMENT, dtd.structure)
-    report = validate(tree, dtd)
+    report = validator.validate(tree)
     print(f"\nValidation (Definition 2.4): {report}")
 
     # Break the reference and the key, and watch the checker object.
     tree.ext("ref")[0].set_attribute("to", ["does-not-exist"])
     tree.ext("section")[1].set_attribute("sid", "intro")
-    print(f"\nAfter corrupting the document:\n{validate(tree, dtd)}")
+    print(f"\nAfter corrupting the document:\n{validator.validate(tree)}")
 
     # Implication: what else does Σ entail?
     questions = [

@@ -3,18 +3,26 @@
 Subcommands::
 
     repro-xic validate  DOC.xml SCHEMA.dtdc          # Definition 2.4
+    repro-xic check-corpus SCHEMA.dtdc DOCS...       # parallel corpus run
     repro-xic describe  SCHEMA.dtdc                  # dump S and Sigma
     repro-xic lint      SCHEMA.dtdc                  # static analysis
     repro-xic imply     SCHEMA.dtdc "CONSTRAINT"     # basic implication
     repro-xic imply     --finite SCHEMA.dtdc "..."   # finite implication
     repro-xic path-type SCHEMA.dtdc TAU PATH         # type(tau.path), §4.1
     repro-xic path-imply SCHEMA.dtdc "t.p -> t.q"    # Props 4.1/4.2/4.3
-    repro-xic bench-incremental [--json]             # E16 speedup demo
+    repro-xic bench-incremental                      # E16 speedup demo
     repro-xic profile --dtdc S.dtdc --doc D.xml      # span tree + counters
 
 Every subcommand follows one exit-code contract (``validate`` and
 ``lint`` alike): 0 success / holds / implied / clean, 1 violation / not
 implied / lint findings, 2 usage or input error.
+
+Every subcommand also takes the same ``--format {text,json}`` flag
+(from a shared parent parser, so the spelling cannot drift): ``text``
+is the human-readable default, ``json`` emits one machine-readable
+object on stdout with sorted keys.  ``check-corpus`` additionally
+takes ``--jobs N`` (worker processes) and ``--cache DIR`` (persistent
+result cache).
 
 ``lint`` runs the :mod:`repro.analysis` rule set over the schema:
 ``--format json`` for machine-readable output, ``--select`` /
@@ -66,6 +74,11 @@ def _load_dtdc(path: str, root: str | None):
     return parse_dtdc(FsPath(path).read_text(), root=root)
 
 
+def _print_json(payload: dict) -> None:
+    """The one JSON emitter: sorted keys so output is diffable."""
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def _cmd_validate(args) -> int:
     dtd = _load_dtdc(args.schema, args.root)
     LOG.info("loaded schema %s (|Sigma| = %d)", args.schema,
@@ -74,9 +87,44 @@ def _cmd_validate(args) -> int:
                           obs=args.obs)
     LOG.info("parsed %s (%d vertices)", args.document, tree.size())
     report = validate(tree, dtd, obs=args.obs)
-    print(report)
+    if args.format == "json":
+        _print_json({"document": args.document, "schema": args.schema,
+                     **report.to_dict()})
+    else:
+        print(report)
     # Same 0/1/2 contract as lint: 0 valid, 1 violations, 2 input error
     # (input errors raise ReproError/OSError, mapped to 2 in main()).
+    return 0 if report.ok else 1
+
+
+def _cmd_check_corpus(args) -> int:
+    """Parallel Definition 2.4 over many documents (one schema)."""
+    from repro.corpus import CorpusValidator
+
+    dtd = _load_dtdc(args.schema, args.root)
+    docs: list[str] = []
+    for target in args.documents:
+        path = FsPath(target)
+        if path.is_dir():
+            docs.extend(str(p) for p in sorted(path.glob("*.xml")))
+        else:
+            docs.append(str(path))
+    if not docs:
+        LOG.error("error: no documents to validate")
+        return 2
+    LOG.info("validating %d document(s) with jobs=%d", len(docs),
+             args.jobs)
+    validator = CorpusValidator(dtd, jobs=args.jobs, cache=args.cache,
+                                chunk_size=args.chunk_size, obs=args.obs)
+    report = validator.validate(docs)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report)
+    # Exit contract: unreadable/unparseable documents are input errors
+    # (2) even when other documents validated; violations alone are 1.
+    if report.n_errors:
+        return 2
     return 0 if report.ok else 1
 
 
@@ -87,8 +135,8 @@ def _cmd_bench_incremental(args) -> int:
 
     result = bench_incremental(nodes=args.nodes, updates=args.updates,
                                seed=args.seed)
-    if args.json:
-        print(json.dumps(result, indent=2))
+    if args.json or args.format == "json":
+        _print_json(result)
         return 0
     print(f"document: {result['vertices']} vertices, "
           f"|Sigma| = {result['sigma']}")
@@ -104,7 +152,13 @@ def _cmd_describe(args) -> int:
     from repro.analysis import analyze
 
     dtd = _load_dtdc(args.schema, args.root)
-    print(dtd.describe())
+    if args.format == "json":
+        _print_json({"schema": args.schema,
+                     "root": dtd.structure.root,
+                     "description": dtd.describe(),
+                     "constraints": [str(c) for c in dtd.constraints]})
+    else:
+        print(dtd.describe())
     # Diagnostics go to stderr (via the logger) so stdout stays a clean
     # schema dump; -q suppresses them, errors never are.
     for diagnostic in analyze(dtd, obs=args.obs):
@@ -141,7 +195,14 @@ def _cmd_consistent(args) -> int:
     from repro.dtd.consistency import consistency_report
 
     report = consistency_report(_load_dtdc(args.schema, args.root))
-    print(report)
+    if args.format == "json":
+        _print_json({"schema": args.schema,
+                     "consistent": report.consistent,
+                     "required": sorted(report.required),
+                     "vacuous": sorted(report.vacuous),
+                     "conflicts": sorted(report.conflicts)})
+    else:
+        print(report)
     return 0 if report.consistent else 1
 
 
@@ -163,13 +224,23 @@ def _cmd_imply(args) -> int:
     engine = _pick_engine(sigma, phi, obs=args.obs)
     result = engine.finitely_implies(phi) if args.finite \
         else engine.implies(phi)
-    print(result.explain())
+    if args.format == "json":
+        _print_json({"schema": args.schema, "constraint": args.constraint,
+                     "finite": args.finite, "implied": bool(result),
+                     "explanation": result.explain()})
+    else:
+        print(result.explain())
     return 0 if result else 1
 
 
 def _cmd_path_type(args) -> int:
     dtd = _load_dtdc(args.schema, args.root)
-    print(type_of(dtd, args.element, parse_path(args.path)))
+    path_type = type_of(dtd, args.element, parse_path(args.path))
+    if args.format == "json":
+        _print_json({"schema": args.schema, "element": args.element,
+                     "path": args.path, "type": str(path_type)})
+    else:
+        print(path_type)
     return 0
 
 
@@ -196,7 +267,12 @@ def _cmd_path_imply(args) -> int:
     dtd = _load_dtdc(args.schema, args.root)
     phi = _parse_path_constraint(args.constraint)
     result = PathImplicationEngine(dtd).implies(phi)
-    print(result.explain())
+    if args.format == "json":
+        _print_json({"schema": args.schema, "constraint": args.constraint,
+                     "implied": bool(result),
+                     "explanation": result.explain()})
+    else:
+        print(result.explain())
     return 0 if result else 1
 
 
@@ -232,7 +308,9 @@ def _cmd_profile(args) -> int:
             LOG.info("implication closure skipped: %s", exc)
     session = DocumentSession(tree, dtd.constraints, dtd.structure, obs=obs)
     session.revalidate()
-    fmt = args.metrics or "text"
+    # --metrics {json,prom} picks the export precisely; otherwise the
+    # shared --format flag selects text vs JSON like everywhere else.
+    fmt = args.metrics or args.format
     if fmt == "json":
         print(obs.to_json())
     elif fmt == "prom":
@@ -244,7 +322,12 @@ def _cmd_profile(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse parser for all subcommands."""
+    """Construct the argparse parser for all subcommands.
+
+    Every subcommand inherits the shared ``--format {text,json}`` flag
+    from one parent parser, so the spelling and default are identical
+    across the whole tool by construction.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-xic",
         description="Integrity constraints for XML (Fan & Simeon, "
@@ -266,15 +349,39 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, metavar="{text,json,prom}",
                         help="collect metrics and print them to stderr in "
                         "this format (profile prints to stdout instead)")
+    fmt = argparse.ArgumentParser(add_help=False)
+    fmt.add_argument("--format", choices=("text", "json"), default="text",
+                     help="stdout format (default: text); json output "
+                     "has sorted keys")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("validate", help="validate a document (Def 2.4); "
+    p = sub.add_parser("validate", parents=[fmt],
+                       help="validate a document (Def 2.4); "
                        "exit 0 valid, 1 violations, 2 input error")
     p.add_argument("document")
     p.add_argument("schema")
     p.set_defaults(func=_cmd_validate)
 
-    p = sub.add_parser("bench-incremental",
+    p = sub.add_parser("check-corpus", parents=[fmt],
+                       help="validate many documents against one schema "
+                       "in parallel, with an optional persistent result "
+                       "cache; exit 0 all valid, 1 violations, 2 any "
+                       "unreadable/unparseable document")
+    p.add_argument("schema")
+    p.add_argument("documents", nargs="+", metavar="DOC",
+                   help="XML files and/or directories (a directory "
+                   "contributes its *.xml files, sorted)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default: 1, in-process; "
+                   "verdicts are identical for every N)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="persistent result-cache directory (re-running "
+                   "an unchanged corpus costs one hash per document)")
+    p.add_argument("--chunk-size", type=int, default=None, metavar="K",
+                   help="documents per worker task (default: heuristic)")
+    p.set_defaults(func=_cmd_check_corpus)
+
+    p = sub.add_parser("bench-incremental", parents=[fmt],
                        help="benchmark session.revalidate() vs a full "
                        "check() on a generated document (E16)")
     p.add_argument("--nodes", type=int, default=10000,
@@ -284,18 +391,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (default: 0)")
     p.add_argument("--json", action="store_true",
-                   help="emit machine-readable JSON instead of text")
+                   help="deprecated alias for --format json")
     p.set_defaults(func=_cmd_bench_incremental)
 
-    p = sub.add_parser("describe", help="print the DTD^C")
+    p = sub.add_parser("describe", parents=[fmt], help="print the DTD^C")
     p.add_argument("schema")
     p.set_defaults(func=_cmd_describe)
 
-    p = sub.add_parser("lint",
+    p = sub.add_parser("lint", parents=[fmt],
                        help="static analysis of the schema (XIC codes)")
     p.add_argument("schema")
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="output format (default: text)")
     p.add_argument("--select", action="append", metavar="CODES",
                    help="only run rules matching these comma-separated "
                    "code prefixes (e.g. XIC3,XIC101); repeatable")
@@ -304,32 +409,34 @@ def build_parser() -> argparse.ArgumentParser:
                    "prefixes; repeatable")
     p.set_defaults(func=_cmd_lint)
 
-    p = sub.add_parser("consistent",
+    p = sub.add_parser("consistent", parents=[fmt],
                        help="check the DTD^C for required-but-empty "
                        "element types")
     p.add_argument("schema")
     p.set_defaults(func=_cmd_consistent)
 
-    p = sub.add_parser("imply", help="decide Sigma |= phi")
+    p = sub.add_parser("imply", parents=[fmt],
+                       help="decide Sigma |= phi")
     p.add_argument("--finite", action="store_true",
                    help="decide finite implication instead")
     p.add_argument("schema")
     p.add_argument("constraint")
     p.set_defaults(func=_cmd_imply)
 
-    p = sub.add_parser("path-type", help="type(tau.path), §4.1")
+    p = sub.add_parser("path-type", parents=[fmt],
+                       help="type(tau.path), §4.1")
     p.add_argument("schema")
     p.add_argument("element")
     p.add_argument("path")
     p.set_defaults(func=_cmd_path_type)
 
-    p = sub.add_parser("path-imply",
+    p = sub.add_parser("path-imply", parents=[fmt],
                        help="decide path-constraint implication (§4.2)")
     p.add_argument("schema")
     p.add_argument("constraint")
     p.set_defaults(func=_cmd_path_imply)
 
-    p = sub.add_parser("profile",
+    p = sub.add_parser("profile", parents=[fmt],
                        help="run parse -> validate -> implication -> "
                        "session on one document/schema pair and print "
                        "the span tree + counter report")

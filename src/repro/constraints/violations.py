@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.datamodel.tree import Vertex
@@ -34,6 +35,18 @@ class Violation:
             if self.vertices else ""
         which = f" [{self.constraint}]" if self.constraint else ""
         return f"{self.code}: {self.message}{which}{where}"
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {"code": self.code, "message": self.message,
+                "constraint": self.constraint,
+                "vertices": list(self.vertices)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Violation":
+        return cls(data["code"], data["message"],
+                   data.get("constraint", ""),
+                   tuple(data.get("vertices", ())))
 
 
 @dataclass
@@ -69,6 +82,30 @@ class ViolationReport:
     def by_code(self, code: str) -> list[Violation]:
         """The violations with the given code."""
         return [v for v in self.violations if v.code == code]
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict; inverse of :meth:`from_dict`.
+
+        This is the persistence format of the corpus result cache, so
+        it must stay loss-free for ``code``/``message``/``constraint``/
+        ``vertices`` — a cached report has to be indistinguishable from
+        a freshly computed one.
+        """
+        return {"ok": self.ok,
+                "violations": [v.to_dict() for v in self.violations]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ViolationReport":
+        """Rebuild a report (or subclass: ``cls()`` is used) from
+        :meth:`to_dict` output."""
+        report = cls()
+        for v in data.get("violations", ()):
+            report.violations.append(Violation.from_dict(v))
+        return report
+
+    def to_json(self, indent: "int | None" = None) -> str:
+        """Deterministic (sorted-key) JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def __len__(self) -> int:
         return len(self.violations)

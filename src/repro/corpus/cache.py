@@ -1,0 +1,128 @@
+"""Content-addressed caching of validation results.
+
+A corpus re-validated after nothing changed should cost one hash per
+document, not one full Definition 2.4 pass.  The cache key is the
+SHA-256 over the document's *serialized* XML text plus the schema
+fingerprint (itself the SHA-256 of ``DTDC.describe()``, which covers
+both ``S`` and Σ deterministically), so a hit is only possible when
+neither the document bytes nor the schema changed in any observable
+way.  The value is the :class:`~repro.dtd.validate.ValidationReport`
+in its :meth:`to_dict` form — loss-free for codes, messages,
+constraints and vertex ids.
+
+:class:`ResultCache` layers an in-memory LRU over an optional on-disk
+JSON store (one file per key, sharded on the first two hex characters),
+so warm re-runs survive process restarts when a directory is given.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.dtd.dtdc import DTDC
+from repro.dtd.validate import ValidationReport
+
+__all__ = ["ResultCache", "result_key", "schema_fingerprint"]
+
+
+def schema_fingerprint(dtd: DTDC) -> str:
+    """SHA-256 of the schema's deterministic description (S and Σ)."""
+    return hashlib.sha256(dtd.describe().encode("utf-8")).hexdigest()
+
+
+def result_key(xml_text: str, fingerprint: str) -> str:
+    """The content address of one (document, schema) validation."""
+    h = hashlib.sha256()
+    h.update(xml_text.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(fingerprint.encode("ascii"))
+    return h.hexdigest()
+
+
+class ResultCache:
+    """In-memory LRU of validation reports, optionally disk-backed.
+
+    ``capacity`` bounds the in-memory entry count; the disk store (when
+    ``directory`` is given) is unbounded and written through on every
+    :meth:`put`.  ``get`` returns a *fresh* report object per call —
+    cached state is never shared mutably with callers.
+    """
+
+    def __init__(self, capacity: int = 4096,
+                 directory: Union[str, os.PathLike, None] = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        self._lru: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / key[:2] / f"{key[2:]}.json"
+
+    def get(self, key: str) -> Optional[ValidationReport]:
+        """The cached report for ``key``, or None on a miss."""
+        payload = self._lru.get(key)
+        if payload is not None:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return ValidationReport.from_dict(payload)
+        path = self._disk_path(key)
+        if path is not None and path.is_file():
+            try:
+                payload = json.loads(path.read_text())["report"]
+            except (OSError, ValueError, KeyError):
+                payload = None  # corrupt entry: treat as a miss
+            if payload is not None:
+                self._remember(key, payload)
+                self.hits += 1
+                self.disk_hits += 1
+                return ValidationReport.from_dict(payload)
+        self.misses += 1
+        return None
+
+    def put(self, key: str, report: ValidationReport) -> None:
+        """Store ``report`` under ``key`` (write-through to disk)."""
+        payload = report.to_dict()
+        self._remember(key, payload)
+        path = self._disk_path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps({"key": key, "report": payload},
+                                      sort_keys=True))
+            os.replace(tmp, path)
+
+    def _remember(self, key: str, payload: dict) -> None:
+        self._lru[key] = payload
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+
+    def stats(self) -> dict:
+        """Hit/miss counters plus current size, JSON-safe."""
+        return {"hits": self.hits, "misses": self.misses,
+                "disk_hits": self.disk_hits, "entries": len(self._lru),
+                "capacity": self.capacity,
+                "directory": str(self.directory)
+                if self.directory is not None else None}
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (the disk store is untouched)."""
+        self._lru.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<ResultCache {len(self._lru)}/{self.capacity} "
+                f"hits={self.hits} misses={self.misses}>")

@@ -1,0 +1,176 @@
+"""Corpus-level validation results.
+
+A :class:`DocumentVerdict` is one document's outcome — its per-document
+:class:`~repro.constraints.violations.Violation` list plus provenance
+(content-address key, whether the result came from the cache, any input
+error).  A :class:`CorpusReport` aggregates the verdicts in corpus
+order with violation totals by code, wall-clock per phase, and the
+merged observability export.
+
+Verdict serialization is deterministic (sorted keys, input order), so
+two runs that computed the same per-document results — e.g. ``jobs=1``
+vs ``jobs=8``, or a cold vs a warm-cache run — produce byte-identical
+``verdicts_json()`` output.  Tests and CI diff exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.constraints.violations import Violation
+
+__all__ = ["CorpusReport", "DocumentVerdict"]
+
+
+@dataclass
+class DocumentVerdict:
+    """One document's validation outcome within a corpus run."""
+
+    doc_id: str
+    key: str
+    ok: bool
+    violations: list[Violation] = field(default_factory=list)
+    cached: bool = False
+    error: Optional[str] = None
+
+    def to_dict(self, provenance: bool = False) -> dict:
+        """JSON-safe form.  ``provenance=False`` (the default) omits
+        ``cached`` — the *result* of a validation must not depend on
+        where it came from, and verdict equality checks rely on that."""
+        out = {
+            "doc": self.doc_id,
+            "key": self.key,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "error": self.error,
+        }
+        if provenance:
+            out["cached"] = self.cached
+        return out
+
+    def __str__(self) -> str:
+        if self.error is not None:
+            return f"{self.doc_id}: ERROR {self.error}"
+        if self.ok:
+            return f"{self.doc_id}: OK"
+        return f"{self.doc_id}: {len(self.violations)} violation(s)"
+
+
+class CorpusReport:
+    """The outcome of validating a corpus against one ``DTD^C``."""
+
+    def __init__(self, verdicts: Iterable[DocumentVerdict],
+                 jobs: int = 1, phases: Optional[dict] = None,
+                 cache_stats: Optional[dict] = None, obs=None):
+        self.verdicts: list[DocumentVerdict] = list(verdicts)
+        self.jobs = jobs
+        #: wall-clock seconds per phase (prepare/cache/validate/merge).
+        self.phases: dict = dict(phases or {})
+        self.cache_stats = cache_stats
+        #: the merged :class:`repro.obs.Observability` handle, if any.
+        self.obs = obs
+
+    # -- aggregate views ---------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """Every document parsed and validated clean."""
+        return all(v.ok and v.error is None for v in self.verdicts)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __len__(self) -> int:
+        return len(self.verdicts)
+
+    def __iter__(self):
+        return iter(self.verdicts)
+
+    @property
+    def n_valid(self) -> int:
+        return sum(1 for v in self.verdicts if v.ok and v.error is None)
+
+    @property
+    def n_invalid(self) -> int:
+        return sum(1 for v in self.verdicts
+                   if not v.ok and v.error is None)
+
+    @property
+    def n_errors(self) -> int:
+        """Documents that could not be parsed at all."""
+        return sum(1 for v in self.verdicts if v.error is not None)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for v in self.verdicts if v.cached)
+
+    @property
+    def violation_total(self) -> int:
+        return sum(len(v.violations) for v in self.verdicts)
+
+    def violations_by_code(self) -> "dict[str, int]":
+        """Total violations per code, sorted by code."""
+        totals: dict[str, int] = {}
+        for verdict in self.verdicts:
+            for violation in verdict.violations:
+                totals[violation.code] = totals.get(violation.code, 0) + 1
+        return dict(sorted(totals.items()))
+
+    # -- serialization -----------------------------------------------
+
+    def verdicts_to_dicts(self) -> "list[dict]":
+        """Per-document verdicts in corpus order, provenance-free —
+        identical across ``jobs`` settings and cache temperatures."""
+        return [v.to_dict() for v in self.verdicts]
+
+    def verdicts_json(self) -> str:
+        """The byte-comparable serialization of the per-doc verdicts."""
+        return json.dumps(self.verdicts_to_dicts(), sort_keys=True)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "jobs": self.jobs,
+            "documents": len(self.verdicts),
+            "valid": self.n_valid,
+            "invalid": self.n_invalid,
+            "errors": self.n_errors,
+            "cached": self.n_cached,
+            "violation_total": self.violation_total,
+            "violations_by_code": self.violations_by_code(),
+            "phases_s": self.phases,
+            "cache": self.cache_stats,
+            "verdicts": [v.to_dict(provenance=True)
+                         for v in self.verdicts],
+        }
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __str__(self) -> str:
+        lines = [
+            f"corpus: {len(self.verdicts)} document(s), "
+            f"{self.n_valid} valid, {self.n_invalid} with violations, "
+            f"{self.n_errors} error(s)"
+            + (f", {self.n_cached} from cache" if self.n_cached else "")
+        ]
+        by_code = self.violations_by_code()
+        if by_code:
+            lines.append("violations by code:")
+            lines.extend(f"  {code}: {n}" for code, n in by_code.items())
+        bad = [v for v in self.verdicts if not v.ok or v.error is not None]
+        if bad:
+            lines.append("documents with findings:")
+            lines.extend(f"  - {v}" for v in bad)
+        if self.phases:
+            phases = "  ".join(f"{name}={seconds * 1e3:.1f}ms"
+                               for name, seconds in self.phases.items())
+            lines.append(f"phases: {phases}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<CorpusReport docs={len(self.verdicts)} "
+                f"valid={self.n_valid} errors={self.n_errors} "
+                f"jobs={self.jobs}>")

@@ -1,0 +1,220 @@
+"""Sharded validation of many documents against one ``DTD^C``.
+
+Definition 2.4 validity is per-document, which makes a corpus
+embarrassingly parallel: partition the documents into chunks, validate
+each chunk in a worker that holds Σ and the structure already parsed,
+and recombine the verdicts in corpus order.  The coordinator does the
+parts that must be globally consistent — normalizing inputs to
+``(doc_id, xml_text)`` pairs, content-addressing each pair against the
+schema fingerprint, consulting the result cache, and merging the
+per-worker observability exports into one report.
+
+``jobs=1`` bypasses ``multiprocessing`` entirely but runs the *same*
+worker functions in-process, so serial and pooled runs produce
+byte-identical verdicts (see ``CorpusReport.verdicts_json``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Iterable, Optional, Union
+
+from repro.corpus.cache import ResultCache, result_key, schema_fingerprint
+from repro.corpus.report import CorpusReport, DocumentVerdict
+from repro.corpus.worker import init_worker, validate_chunk
+from repro.datamodel.tree import DataTree
+from repro.dtd.dtdc import DTDC
+from repro.dtd.validate import ValidationReport
+from repro.xmlio.serializer import serialize
+
+__all__ = ["CorpusValidator"]
+
+#: One corpus document, as accepted by :meth:`CorpusValidator.validate`:
+#: a filesystem path, an in-memory tree, or an explicit (id, xml) pair.
+CorpusDoc = Union[str, os.PathLike, DataTree, "tuple[str, str]"]
+
+
+class CorpusValidator:
+    """Validate an iterable of documents against one ``DTD^C``.
+
+    Parameters
+    ----------
+    dtd:
+        The schema; parsed once here, shipped once per worker.
+    jobs:
+        Worker process count.  ``1`` (the default) stays in-process.
+    cache:
+        ``None`` (no caching), a directory path (persistent store under
+        it), or a prebuilt :class:`ResultCache` to share across runs.
+    chunk_size:
+        Documents per pool task.  Default: ``ceil(n / (4 * jobs))``
+        capped at 32 — large enough to amortize task dispatch, small
+        enough to keep all workers busy on uneven documents.
+    obs:
+        Optional :class:`repro.obs.Observability`; per-worker metrics
+        and spans are merged into it under a ``corpus.validate`` span.
+    """
+
+    def __init__(self, dtd: DTDC, jobs: int = 1,
+                 cache: "ResultCache | str | os.PathLike | None" = None,
+                 chunk_size: Optional[int] = None, obs=None):
+        if not isinstance(dtd, DTDC):
+            raise TypeError(f"CorpusValidator needs a DTDC, got {type(dtd)!r}")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.dtd = dtd
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(directory=cache)
+        self.obs = obs
+        self.fingerprint = schema_fingerprint(dtd)
+
+    # -- input normalization -----------------------------------------
+
+    def _normalize(self, docs: Iterable[CorpusDoc]
+                   ) -> "list[tuple[str, str]]":
+        """Each document as a ``(doc_id, xml_text)`` pair.
+
+        Trees are serialized (the serializer is deterministic: sorted
+        attributes, stable indentation), paths are read as text, and
+        explicit pairs pass through.  The serialized text is both the
+        worker payload and the cache-key input, so what is hashed is
+        exactly what is validated.
+        """
+        entries: list[tuple[str, str]] = []
+        for i, doc in enumerate(docs):
+            if isinstance(doc, DataTree):
+                entries.append((f"doc[{i}]", serialize(doc)))
+            elif isinstance(doc, tuple):
+                doc_id, text = doc
+                entries.append((str(doc_id), text))
+            elif isinstance(doc, (str, os.PathLike)):
+                with open(doc, "r", encoding="utf-8") as handle:
+                    entries.append((os.fspath(doc), handle.read()))
+            else:
+                raise TypeError(
+                    f"corpus document #{i} has unsupported type "
+                    f"{type(doc)!r} (expected path, DataTree, or "
+                    "(doc_id, xml_text) pair)")
+        return entries
+
+    # -- chunking ----------------------------------------------------
+
+    def _chunk_size(self, n_docs: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if n_docs == 0:
+            return 1
+        return max(1, min(32, math.ceil(n_docs / (4 * self.jobs))))
+
+    @staticmethod
+    def _chunks(items: list, size: int) -> "list[list]":
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    # -- the run -----------------------------------------------------
+
+    def validate(self, docs: Iterable[CorpusDoc]) -> CorpusReport:
+        """Validate the corpus; verdicts come back in input order."""
+        phases: dict[str, float] = {}
+        t_start = time.perf_counter()
+
+        entries = self._normalize(docs)
+        keys = [result_key(text, self.fingerprint)
+                for _doc_id, text in entries]
+        phases["prepare"] = time.perf_counter() - t_start
+
+        # Cache lookups happen in the coordinator so a pooled run never
+        # ships an already-known document to a worker.
+        t0 = time.perf_counter()
+        verdicts: list[Optional[DocumentVerdict]] = [None] * len(entries)
+        pending: list[int] = []
+        for i, (doc_id, _text) in enumerate(entries):
+            cached = self.cache.get(keys[i]) \
+                if self.cache is not None else None
+            if cached is not None:
+                verdicts[i] = DocumentVerdict(
+                    doc_id, keys[i], cached.ok,
+                    list(cached.violations), cached=True)
+            else:
+                pending.append(i)
+        phases["cache"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        payloads = self._run_pending(entries, pending)
+        phases["validate"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        obs = self.obs
+        span = obs.span("corpus.merge") if obs else None
+        if span:
+            span.__enter__()
+        try:
+            flat: list[dict] = []
+            for payload in payloads:
+                flat.extend(payload["verdicts"])
+                if obs:
+                    obs.absorb(payload)
+            for i, verdict_dict in zip(pending, flat):
+                verdicts[i] = self._to_verdict(keys[i], verdict_dict)
+        finally:
+            if span:
+                span.__exit__(None, None, None)
+        phases["merge"] = time.perf_counter() - t0
+        phases["total"] = time.perf_counter() - t_start
+
+        done = [v for v in verdicts if v is not None]
+        if obs and obs.metrics.enabled:
+            obs.counter("corpus_documents_validated",
+                        help="documents processed by corpus runs"
+                        ).add(len(done))
+            obs.counter("corpus_cache_hits",
+                        help="corpus documents answered from the "
+                        "result cache").add(sum(v.cached for v in done))
+        return CorpusReport(
+            done, jobs=self.jobs, phases=phases,
+            cache_stats=self.cache.stats()
+            if self.cache is not None else None,
+            obs=obs or None)
+
+    def _run_pending(self, entries: "list[tuple[str, str]]",
+                     pending: "list[int]") -> "list[dict]":
+        """Validate the cache-missing documents, chunked; one payload
+        per chunk, in chunk order."""
+        if not pending:
+            return []
+        work = [entries[i] for i in pending]
+        chunks = self._chunks(work, self._chunk_size(len(work)))
+        collect_obs = bool(self.obs)
+        if self.jobs == 1:
+            init_worker(self.dtd, collect_obs)
+            return [validate_chunk(chunk) for chunk in chunks]
+        import multiprocessing
+
+        with multiprocessing.Pool(
+                processes=min(self.jobs, len(chunks)),
+                initializer=init_worker,
+                initargs=(self.dtd, collect_obs)) as pool:
+            return pool.map(validate_chunk, chunks)
+
+    def _to_verdict(self, key: str, verdict_dict: dict) -> DocumentVerdict:
+        doc_id = verdict_dict["doc"]
+        if verdict_dict["error"] is not None:
+            return DocumentVerdict(doc_id, key, False,
+                                   error=verdict_dict["error"])
+        report = ValidationReport.from_dict(verdict_dict["report"])
+        if self.cache is not None:
+            self.cache.put(key, report)
+        return DocumentVerdict(doc_id, key, report.ok,
+                               list(report.violations))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<CorpusValidator root={self.dtd.structure.root!r} "
+                f"jobs={self.jobs} "
+                f"cache={'on' if self.cache is not None else 'off'}>")

@@ -1,0 +1,62 @@
+"""The per-worker half of corpus validation.
+
+Everything here is module-level so ``multiprocessing`` can pickle it by
+reference.  The pool initializer receives the ``DTD^C`` once per worker
+(pickled by ``multiprocessing`` itself), so Σ and the structure are
+materialized a single time per process; chunk tasks then carry only
+``(doc_id, xml_text)`` pairs in and JSON-safe dicts out.
+
+``jobs=1`` runs the exact same two functions in-process, which is what
+makes the serial fallback bit-identical to the pooled path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dtd.dtdc import DTDC
+from repro.dtd.validate import validate
+from repro.errors import ReproError
+from repro.obs import Observability
+from repro.xmlio.parser import parse_document
+
+__all__ = ["init_worker", "validate_chunk"]
+
+#: Per-process state seeded by :func:`init_worker`.
+_STATE: dict = {}
+
+
+def init_worker(dtd: DTDC, collect_obs: bool) -> None:
+    """Install the schema (and obs policy) for this worker process."""
+    _STATE["dtd"] = dtd
+    _STATE["collect_obs"] = collect_obs
+
+
+def validate_chunk(chunk: "list[tuple[str, str]]") -> dict:
+    """Validate a chunk of ``(doc_id, xml_text)`` pairs.
+
+    Returns ``{"verdicts": [...], "metrics": [...], "spans": [...]}``:
+    one verdict dict per document *in chunk order* (``report`` is a
+    :meth:`~repro.constraints.violations.ViolationReport.to_dict`
+    payload, or ``None`` with ``error`` set when the document failed to
+    parse), plus this call's observability export for the coordinator
+    to merge.
+    """
+    dtd: DTDC = _STATE["dtd"]
+    obs: Optional[Observability] = \
+        Observability() if _STATE.get("collect_obs") else None
+    verdicts = []
+    for doc_id, text in chunk:
+        try:
+            tree = parse_document(text, dtd.structure, obs=obs)
+            report = validate(tree, dtd, obs=obs)
+            verdicts.append({"doc": doc_id, "report": report.to_dict(),
+                             "error": None})
+        except ReproError as exc:
+            verdicts.append({"doc": doc_id, "report": None,
+                             "error": str(exc)})
+    return {
+        "verdicts": verdicts,
+        "metrics": obs.metrics.to_dicts() if obs else [],
+        "spans": obs.tracer.to_dicts() if obs else [],
+    }

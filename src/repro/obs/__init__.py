@@ -127,6 +127,21 @@ class Observability:
                   buckets: Sequence[float] = DEFAULT_BUCKETS):
         return self.metrics.histogram(name, labels, help, buckets)
 
+    # -- multi-worker merge ------------------------------------------
+    def absorb(self, payload: dict) -> None:
+        """Merge a worker's exported ``{"metrics": ..., "spans": ...}``
+        payload (JSON-safe dicts, as produced by
+        ``metrics.to_dicts()`` / ``tracer.to_dicts()``) into this
+        handle.  No-op on a disabled handle."""
+        if not self.enabled:
+            return
+        metrics = payload.get("metrics") or []
+        if metrics and self.metrics.enabled:
+            self.metrics.merge(MetricsRegistry.from_dicts(metrics))
+        spans = payload.get("spans") or []
+        if spans and self.tracer.enabled:
+            self.tracer.adopt(spans)
+
     # -- export ------------------------------------------------------
     def render(self) -> str:
         """Human-readable span tree + metrics table."""

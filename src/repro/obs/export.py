@@ -100,7 +100,9 @@ def obs_to_dict(obs: "Observability") -> dict:
 
 
 def obs_to_json(obs: "Observability", indent: Union[int, None] = 2) -> str:
-    return json.dumps(obs_to_dict(obs), indent=indent)
+    # sort_keys: merged multi-worker reports must be stable and diffable
+    # regardless of the order workers reported in.
+    return json.dumps(obs_to_dict(obs), indent=indent, sort_keys=True)
 
 
 def _escape_label(value: str) -> str:

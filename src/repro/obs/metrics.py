@@ -221,6 +221,7 @@ class MetricsRegistry:
                 "name": inst.name,
                 "kind": inst.kind,
                 "labels": inst.label_dict(),
+                "help": inst.help,
             }
             if isinstance(inst, Histogram):
                 entry.update(
@@ -234,6 +235,71 @@ class MetricsRegistry:
                 entry["value"] = inst.value
             out.append(entry)
         return out
+
+    @classmethod
+    def from_dicts(cls, entries: Iterable[dict]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dicts` output.
+
+        This is the cross-process half of :meth:`merge`: a worker
+        exports its registry as JSON-safe dicts, the coordinator
+        rebuilds and merges them.
+        """
+        registry = cls()
+        for entry in entries:
+            kind = entry["kind"]
+            name, labels = entry["name"], entry["labels"]
+            help = entry.get("help", "")
+            if kind == "histogram":
+                bounds = tuple(b["le"] for b in entry["buckets"])
+                hist = registry.histogram(name, labels, help,
+                                          buckets=bounds)
+                hist.count = entry["count"]
+                hist.total = entry["sum"]
+                hist.min = entry["min"]
+                hist.max = entry["max"]
+                hist.bucket_counts = [b["count"] for b in entry["buckets"]]
+            elif kind == "gauge":
+                registry.gauge(name, labels, help).set(entry["value"])
+            elif kind == "counter":
+                registry.counter(name, labels, help).add(entry["value"])
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+        return registry
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one.
+
+        Counters and gauges add their values (a merged gauge is a
+        *sum across workers*, which is what worker-local sizes and
+        levels mean corpus-wide); histograms require identical bucket
+        bounds and add counts, sums and bucket tallies (min/max
+        combine).  Returns ``self`` so merges chain.
+        """
+        for inst in other.collect():
+            if isinstance(inst, Histogram):
+                mine = self.histogram(inst.name, inst.label_dict(),
+                                      inst.help, buckets=inst.buckets)
+                if mine.buckets != inst.buckets:
+                    raise ValueError(
+                        f"histogram {inst.name!r} bucket bounds differ; "
+                        "cannot merge")
+                mine.count += inst.count
+                mine.total += inst.total
+                if inst.min is not None:
+                    mine.min = inst.min if mine.min is None \
+                        else min(mine.min, inst.min)
+                if inst.max is not None:
+                    mine.max = inst.max if mine.max is None \
+                        else max(mine.max, inst.max)
+                for i, c in enumerate(inst.bucket_counts):
+                    mine.bucket_counts[i] += c
+            elif isinstance(inst, Gauge):
+                self.gauge(inst.name, inst.label_dict(),
+                           inst.help).add(inst.value)
+            else:
+                self.counter(inst.name, inst.label_dict(),
+                             inst.help).add(inst.value)
+        return self
 
     def clear(self) -> None:
         self._instruments.clear()
@@ -314,6 +380,9 @@ class NullMetricsRegistry:
 
     def to_dicts(self) -> list:
         return []
+
+    def merge(self, other: object) -> "NullMetricsRegistry":
+        return self
 
     def clear(self) -> None:
         return None

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import functools
 import time
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 __all__ = [
     "NULL_SPAN",
@@ -132,6 +132,34 @@ class Tracer:
     def to_dicts(self) -> list[dict]:
         return [root.to_dict() for root in self.roots]
 
+    def adopt(self, span_dicts: Iterable[dict]) -> None:
+        """Attach spans exported by another tracer's :meth:`to_dicts`.
+
+        The rebuilt spans nest under the currently open span (or become
+        roots).  Start/end are synthesized from the recorded duration,
+        so only durations — not absolute times — survive the crossing;
+        that is exactly what merging per-worker traces needs.
+        """
+        for d in span_dicts:
+            span = self._span_from_dict(d)
+            parent = self.current
+            if parent is not None:
+                span.parent = parent
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+
+    def _span_from_dict(self, d: dict) -> Span:
+        span = Span(self, d["name"], d.get("attributes"))
+        duration = d.get("duration_s")
+        if duration is not None:
+            span.start, span.end = 0.0, duration
+        for child_dict in d.get("children", ()):
+            child = self._span_from_dict(child_dict)
+            child.parent = span
+            span.children.append(child)
+        return span
+
     # -- internal ----------------------------------------------------
     def _push(self, span: Span) -> None:
         if self._stack:
@@ -201,6 +229,9 @@ class NullTracer:
 
     def to_dicts(self) -> list:
         return []
+
+    def adopt(self, span_dicts: Iterable[dict]) -> None:
+        return None
 
     def __bool__(self) -> bool:
         return False

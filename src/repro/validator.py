@@ -16,6 +16,8 @@ question about it reads the same way::
     validator.check(doc, sigma)      # ... against an explicit Sigma
     validator.analyze()              # static schema analysis (lint)
     validator.session(doc)           # incremental revalidation session
+    validator.check_corpus(docs, jobs=8, cache="~/.cache/repro")
+                                     # parallel corpus validation
 
 The legacy functions remain as thin delegating shims (see their
 docstrings for the mapping); new code should prefer the facade.
@@ -38,6 +40,7 @@ from repro.incremental.session import DocumentSession
 
 if TYPE_CHECKING:
     from repro.analysis import AnalysisReport, LintConfig
+    from repro.corpus import CorpusReport
 
 
 class Validator:
@@ -81,6 +84,28 @@ class Validator:
         """
         constraints = self.dtd.constraints if sigma is None else tuple(sigma)
         return _check(doc, constraints, self.dtd.structure, obs=self.obs)
+
+    # -- corpus ----------------------------------------------------------------
+
+    def check_corpus(self, docs, jobs: int = 1, cache=None,
+                     chunk_size: "int | None" = None) -> "CorpusReport":
+        """Validate many documents against this schema, optionally in
+        parallel and against a persistent result cache.
+
+        ``docs`` is any iterable of filesystem paths, ``DataTree``
+        objects, or explicit ``(doc_id, xml_text)`` pairs.  ``jobs``
+        sets the worker process count (``1`` stays in-process with
+        bit-identical verdicts); ``cache`` is a
+        :class:`~repro.corpus.ResultCache`, a directory path for a
+        persistent store, or ``None``.  Returns a
+        :class:`~repro.corpus.CorpusReport` with per-document verdicts
+        in input order.
+        """
+        from repro.corpus import CorpusValidator
+
+        return CorpusValidator(self.dtd, jobs=jobs, cache=cache,
+                               chunk_size=chunk_size,
+                               obs=self.obs).validate(docs)
 
     # -- static analysis -------------------------------------------------------
 

@@ -21,8 +21,9 @@ from repro.workloads.publisher import (
 )
 from repro.workloads.school import school_document, school_dtdc
 from repro.workloads.generators import (
-    incremental_session_workload,
-    random_bulk_document, random_check_sigma, random_document,
+    incremental_session_workload, library_schema,
+    random_bulk_document, random_check_sigma, random_corpus,
+    random_document,
     random_lu_implication_instance, random_lu_sigma,
     random_primary_l_instance, random_structure, random_update_ops,
     scaled_lu_chain,
@@ -33,8 +34,9 @@ __all__ = [
     "person_dept_schema", "person_dept_store", "person_dept_export",
     "publisher_constraints", "publisher_database", "publisher_instance",
     "school_document", "school_dtdc",
-    "incremental_session_workload",
-    "random_bulk_document", "random_check_sigma", "random_document",
+    "incremental_session_workload", "library_schema",
+    "random_bulk_document", "random_check_sigma", "random_corpus",
+    "random_document",
     "random_lu_implication_instance", "random_lu_sigma",
     "random_primary_l_instance", "random_structure", "random_update_ops",
     "scaled_lu_chain",

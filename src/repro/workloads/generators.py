@@ -232,6 +232,29 @@ def random_bulk_document(structure: DTDStructure,
     return tree
 
 
+def library_schema():
+    """The library ``DTD^C`` shared by the incremental (E16) and corpus
+    (E18) workloads: ``library (entry*, ref*)`` where each ``entry``
+    carries a unary key ``isbn`` and a composite key ``(isbn, shelf)``,
+    and each ``ref.to`` is a foreign key into ``entry.isbn``."""
+    from repro.dtd.dtdc import DTDC
+
+    s = DTDStructure("library")
+    s.define_element("library", "(entry*, ref*)")
+    s.define_element("entry", "(#PCDATA)?")
+    s.define_element("ref", "EMPTY")
+    s.define_attribute("entry", "isbn")
+    s.define_attribute("entry", "shelf")
+    s.define_attribute("ref", "to")
+    s.check()
+    sigma: list[Constraint] = [
+        UnaryKey("entry", Field("isbn")),
+        Key("entry", (Field("isbn"), Field("shelf"))),
+        UnaryForeignKey("ref", Field("to"), "entry", Field("isbn")),
+    ]
+    return DTDC(s, sigma)
+
+
 def incremental_session_workload(n_vertices: int = 10000,
                                  seed: "int | random.Random" = 0
                                  ) -> tuple[DataTree, list[Constraint],
@@ -251,19 +274,9 @@ def incremental_session_workload(n_vertices: int = 10000,
     Returns ``(tree, sigma, structure)``.
     """
     rng = _rng(seed)
-    s = DTDStructure("library")
-    s.define_element("library", "(entry*, ref*)")
-    s.define_element("entry", "(#PCDATA)?")
-    s.define_element("ref", "EMPTY")
-    s.define_attribute("entry", "isbn")
-    s.define_attribute("entry", "shelf")
-    s.define_attribute("ref", "to")
-    s.check()
-    sigma: list[Constraint] = [
-        UnaryKey("entry", Field("isbn")),
-        Key("entry", (Field("isbn"), Field("shelf"))),
-        UnaryForeignKey("ref", Field("to"), "entry", Field("isbn")),
-    ]
+    dtd = library_schema()
+    s = dtd.structure
+    sigma = list(dtd.constraints)
     n_entries = max(1, (n_vertices - 1) // 2)
     n_refs = max(1, n_vertices - 1 - n_entries)
     tree = DataTree("library")
@@ -275,6 +288,54 @@ def incremental_session_workload(n_vertices: int = 10000,
         ref = tree.create_under(tree.root, "ref")
         ref.set_attribute("to", f"isbn-{rng.randint(0, n_entries - 1)}")
     return tree, sigma, s
+
+
+def random_corpus(n_docs: int = 100, doc_vertices: int = 60,
+                  invalid_fraction: float = 0.2,
+                  seed: "int | random.Random" = 0):
+    """The E18 workload: one library ``DTD^C`` plus ``n_docs``
+    independent documents, ``invalid_fraction`` of which carry exactly
+    one seeded violation (a dangling ``ref.to`` or a duplicated
+    ``entry.isbn``, drawn at random).
+
+    Each document is a :func:`library_schema`-shaped library of about
+    ``doc_vertices`` vertices (half entries, half refs) with
+    document-local isbn values, so corpus documents are independent —
+    exactly the shape that makes Definition 2.4 validation
+    embarrassingly parallel.  All randomness flows from ``seed``.
+
+    Returns ``(dtd, docs)`` where ``docs`` is a list of
+    :class:`~repro.datamodel.tree.DataTree`.
+    """
+    if not 0.0 <= invalid_fraction <= 1.0:
+        raise ValueError("invalid_fraction must be in [0, 1]")
+    rng = _rng(seed)
+    dtd = library_schema()
+    n_invalid = round(n_docs * invalid_fraction)
+    corrupt = set(rng.sample(range(n_docs), n_invalid)) if n_docs else set()
+    docs: list[DataTree] = []
+    for d in range(n_docs):
+        n_entries = max(2, (doc_vertices - 1) // 2)
+        n_refs = max(1, doc_vertices - 1 - n_entries)
+        tree = DataTree("library")
+        for i in range(n_entries):
+            entry = tree.create_under(tree.root, "entry")
+            entry.set_attribute("isbn", f"isbn-{d}-{i}")
+            entry.set_attribute("shelf", f"shelf-{i % 7}")
+        refs = [tree.create_under(tree.root, "ref")
+                for _j in range(n_refs)]
+        for ref in refs:
+            ref.set_attribute(
+                "to", f"isbn-{d}-{rng.randint(0, n_entries - 1)}")
+        if d in corrupt:
+            if rng.random() < 0.5:
+                rng.choice(refs).set_attribute("to", f"isbn-{d}-dangling")
+            else:
+                victim = rng.choice(tree.ext("entry")[1:])
+                victim.set_attribute("isbn", f"isbn-{d}-0")
+                victim.set_attribute("shelf", "shelf-dup")
+        docs.append(tree)
+    return dtd, docs
 
 
 def random_update_ops(tree: DataTree, structure: DTDStructure,

@@ -1,0 +1,187 @@
+"""The cross-subcommand CLI contract.
+
+Every ``repro-xic`` subcommand promises the same three things:
+
+1. ``--format json`` puts exactly one parseable JSON value on stdout;
+2. the 0/1/2 exit contract — 0 success / holds / clean, 1 violations /
+   not implied / findings, 2 usage or input error;
+3. a missing input file exits 2 (never a traceback).
+
+This test is parametrized over the full subcommand table, so adding a
+subcommand without wiring the shared ``--format`` parent or the exit
+contract fails here, not in review.
+"""
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.workloads import book_document, random_corpus
+from repro.workloads.book import BOOK_CONSTRAINTS_TEXT, BOOK_DTD_TEXT
+from repro.xmlio import serialize
+
+pytestmark = pytest.mark.usefixtures("capsys")
+
+
+@pytest.fixture(scope="module")
+def cli_files(tmp_path_factory):
+    """One schema + document + corpus directory for every case."""
+    base = tmp_path_factory.mktemp("cli_contract")
+    schema = base / "book.dtdc"
+    schema.write_text(BOOK_DTD_TEXT + "\n%% constraints\n"
+                      + BOOK_CONSTRAINTS_TEXT)
+    doc = base / "book.xml"
+    doc.write_text(serialize(book_document()))
+    corpus = base / "corpus"
+    corpus.mkdir()
+    _dtd, docs = random_corpus(n_docs=4, invalid_fraction=0.0, seed=0)
+    for i, tree in enumerate(docs):
+        (corpus / f"doc{i}.xml").write_text(serialize(tree))
+    lib_schema = base / "library.dtdc"
+    lib_schema.write_text("""
+<!ELEMENT library (entry*, ref*)>
+<!ELEMENT entry (#PCDATA)?>
+<!ELEMENT ref EMPTY>
+<!ATTLIST entry isbn CDATA #REQUIRED shelf CDATA #REQUIRED>
+<!ATTLIST ref to CDATA #REQUIRED>
+%% constraints
+entry.isbn -> entry
+ref.to sub entry.isbn
+""")
+    return {"schema": str(schema), "doc": str(doc),
+            "corpus": str(corpus), "lib_schema": str(lib_schema)}
+
+
+#: subcommand -> (argv builder, indices of argv that are input files).
+#: The builder receives the cli_files dict; file indices drive the
+#: missing-file case (each listed position is replaced in turn).
+CASES = {
+    "validate": (
+        lambda f: ["--root", "book", "validate", f["doc"], f["schema"]],
+        [3, 4]),
+    "check-corpus": (
+        lambda f: ["check-corpus", f["lib_schema"], f["corpus"]],
+        [1]),
+    "describe": (
+        lambda f: ["--root", "book", "describe", f["schema"]],
+        [3]),
+    "lint": (
+        lambda f: ["--root", "book", "lint", f["schema"]],
+        [3]),
+    "consistent": (
+        lambda f: ["--root", "book", "consistent", f["schema"]],
+        [3]),
+    "imply": (
+        lambda f: ["--root", "book", "imply", f["schema"],
+                   "entry.isbn -> entry"],
+        [3]),
+    "path-type": (
+        lambda f: ["--root", "book", "path-type", f["schema"],
+                   "book", "ref"],
+        [3]),
+    "path-imply": (
+        lambda f: ["--root", "book", "path-imply", f["schema"],
+                   "book.ref -> book.ref"],
+        [3]),
+    "bench-incremental": (
+        lambda f: ["bench-incremental", "--nodes", "120",
+                   "--updates", "2"],
+        []),
+    "profile": (
+        lambda f: ["--root", "book", "profile", "--dtdc", f["schema"],
+                   "--doc", f["doc"]],
+        [4, 6]),
+}
+
+
+class TestSharedFormatFlag:
+    def test_every_subcommand_has_format(self):
+        """The parent parser reaches every subparser — by construction,
+        but this is the tripwire for future subcommands."""
+        parser = build_parser()
+        actions = [a for a in parser._subparsers._group_actions
+                   if hasattr(a, "choices")]
+        subparsers = actions[0].choices
+        assert set(subparsers) == set(CASES)
+        for name, sub in subparsers.items():
+            flags = {s for a in sub._actions for s in a.option_strings}
+            assert "--format" in flags, f"{name} lacks --format"
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_json_output_parses(self, name, cli_files, capsys):
+        argv_builder, _files = CASES[name]
+        code = main(argv_builder(cli_files) + ["--format", "json"])
+        assert code in (0, 1), f"{name} exited {code}"
+        out = capsys.readouterr().out
+        json.loads(out)  # must be exactly one JSON value
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_text_is_the_default(self, name, cli_files, capsys):
+        argv_builder, _files = CASES[name]
+        code = main(argv_builder(cli_files))
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+
+
+class TestExitContract:
+    @pytest.mark.parametrize(
+        "name", sorted(n for n, (_b, files) in CASES.items() if files))
+    def test_missing_file_exits_2(self, name, cli_files, capsys):
+        argv_builder, file_positions = CASES[name]
+        for pos in file_positions:
+            argv = argv_builder(cli_files)
+            argv[pos] = "/no/such/path"
+            assert main(argv) == 2, f"{name} argv[{pos}]"
+
+    def test_violations_exit_1(self, cli_files, tmp_path, capsys):
+        bad = book_document()
+        bad.ext("ref")[0].set_attribute("to", ["nowhere"])
+        path = tmp_path / "bad.xml"
+        path.write_text(serialize(bad))
+        assert main(["--root", "book", "validate", str(path),
+                     cli_files["schema"]]) == 1
+
+    def test_corpus_violations_exit_1(self, cli_files, tmp_path, capsys):
+        _dtd, docs = random_corpus(n_docs=3, invalid_fraction=1.0, seed=1)
+        for i, tree in enumerate(docs):
+            (tmp_path / f"bad{i}.xml").write_text(serialize(tree))
+        assert main(["check-corpus", cli_files["lib_schema"],
+                     str(tmp_path)]) == 1
+
+    def test_corpus_parse_error_exits_2(self, cli_files, tmp_path, capsys):
+        (tmp_path / "broken.xml").write_text("<library><entry")
+        assert main(["check-corpus", cli_files["lib_schema"],
+                     cli_files["corpus"], str(tmp_path)]) == 2
+
+    def test_corpus_no_documents_exits_2(self, cli_files, tmp_path,
+                                         capsys):
+        assert main(["check-corpus", cli_files["lib_schema"],
+                     str(tmp_path)]) == 2
+
+
+class TestCheckCorpusFlags:
+    def test_jobs_and_cache(self, cli_files, tmp_path, capsys):
+        argv = ["check-corpus", cli_files["lib_schema"],
+                cli_files["corpus"], "--jobs", "2",
+                "--cache", str(tmp_path), "--format", "json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["cached"] == 0
+        assert warm["cached"] == cold["documents"]
+        assert warm["verdicts"] != []  # same verdicts either way
+        strip = lambda vs: [  # noqa: E731
+            {k: val for k, val in v.items() if k != "cached"}
+            for v in vs]
+        assert strip(warm["verdicts"]) == strip(cold["verdicts"])
+
+    def test_bench_json_alias_still_works(self, capsys):
+        """--json on bench-incremental is deprecated but must keep
+        emitting JSON until removal."""
+        assert main(["bench-incremental", "--nodes", "120",
+                     "--updates", "2", "--json"]) == 0
+        json.loads(capsys.readouterr().out)

@@ -1,0 +1,239 @@
+"""Tests for :mod:`repro.corpus` — parallel corpus validation and the
+content-addressed result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro import Validator
+from repro.corpus import (
+    CorpusValidator, DocumentVerdict, ResultCache, result_key,
+    schema_fingerprint,
+)
+from repro.dtd.validate import ValidationReport
+from repro.obs import Observability
+from repro.workloads import book_document, book_dtdc, random_corpus
+from repro.xmlio import serialize
+
+
+@pytest.fixture
+def library():
+    """A 12-document corpus, 1/4 invalid, as (dtd, trees)."""
+    return random_corpus(n_docs=12, invalid_fraction=0.25, seed=7)
+
+
+# -- the cache -------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_fingerprint_distinguishes_schemas(self, library):
+        dtd, _docs = library
+        assert schema_fingerprint(dtd) != schema_fingerprint(book_dtdc())
+        assert schema_fingerprint(dtd) == schema_fingerprint(dtd)
+
+    def test_key_depends_on_text_and_schema(self, library):
+        dtd, _docs = library
+        fp = schema_fingerprint(dtd)
+        assert result_key("<a/>", fp) == result_key("<a/>", fp)
+        assert result_key("<a/>", fp) != result_key("<b/>", fp)
+        assert result_key("<a/>", fp) \
+            != result_key("<a/>", schema_fingerprint(book_dtdc()))
+
+    def test_put_get_round_trip(self):
+        cache = ResultCache()
+        report = ValidationReport()
+        cache.put("k1", report)
+        got = cache.get("k1")
+        assert got is not None and got.ok
+        assert got is not report  # a fresh object per get
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, ValidationReport())
+        assert cache.get("a") is None  # evicted, capacity 2
+        assert cache.get("b") is not None
+        assert cache.get("c") is not None
+
+    def test_disk_store_survives_new_instance(self, tmp_path):
+        ResultCache(directory=tmp_path).put("deadbeef", ValidationReport())
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.get("deadbeef") is not None
+        assert fresh.stats()["disk_hits"] == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("deadbeef", ValidationReport())
+        (path,) = list(tmp_path.rglob("*.json"))
+        path.write_text("{not json")
+        assert ResultCache(directory=tmp_path).get("deadbeef") is None
+
+    def test_empty_cache_is_still_consulted(self, library):
+        """Regression: ResultCache defines __len__, so an *empty* cache
+        is falsy — corpus code must test ``is not None``, not truth."""
+        dtd, docs = library
+        cache = ResultCache()
+        CorpusValidator(dtd, cache=cache).validate(docs)
+        assert cache.stats()["misses"] == len(docs)
+
+
+# -- the validator ---------------------------------------------------------
+
+
+class TestCorpusValidator:
+    def test_verdicts_in_input_order(self, library):
+        dtd, docs = library
+        report = CorpusValidator(dtd).validate(docs)
+        assert [v.doc_id for v in report] \
+            == [f"doc[{i}]" for i in range(len(docs))]
+
+    def test_counts(self, library):
+        dtd, docs = library
+        report = CorpusValidator(dtd).validate(docs)
+        assert len(report) == 12
+        assert report.n_invalid == 3
+        assert report.n_valid == 9
+        assert report.n_errors == 0
+        assert not report.ok
+        assert report.violation_total >= 3
+        assert sum(report.violations_by_code().values()) \
+            == report.violation_total
+
+    def test_jobs_equivalence(self, library):
+        dtd, docs = library
+        texts = [(f"d{i}", serialize(doc)) for i, doc in enumerate(docs)]
+        serial = CorpusValidator(dtd, jobs=1).validate(texts)
+        pooled = CorpusValidator(dtd, jobs=3).validate(texts)
+        assert serial.verdicts_json() == pooled.verdicts_json()
+
+    def test_accepts_paths(self, library, tmp_path):
+        dtd, docs = library
+        paths = []
+        for i, doc in enumerate(docs[:4]):
+            path = tmp_path / f"doc{i}.xml"
+            path.write_text(serialize(doc))
+            paths.append(str(path))
+        report = CorpusValidator(dtd).validate(paths)
+        assert [v.doc_id for v in report] == paths
+
+    def test_unreadable_document_is_an_error_verdict(self, library):
+        dtd, _docs = library
+        report = CorpusValidator(dtd).validate([("bad", "<not xml")])
+        assert report.n_errors == 1
+        assert not report.ok
+        assert report.verdicts[0].error
+
+    def test_unsupported_type_raises(self, library):
+        dtd, _docs = library
+        with pytest.raises(TypeError):
+            CorpusValidator(dtd).validate([42])
+
+    def test_bad_args_raise(self, library):
+        dtd, _docs = library
+        with pytest.raises(ValueError):
+            CorpusValidator(dtd, jobs=0)
+        with pytest.raises(ValueError):
+            CorpusValidator(dtd, chunk_size=0)
+        with pytest.raises(TypeError):
+            CorpusValidator("not a dtd")
+
+    def test_empty_corpus(self, library):
+        dtd, _docs = library
+        report = CorpusValidator(dtd).validate([])
+        assert report.ok and len(report) == 0
+
+    def test_chunk_size_heuristic(self, library):
+        dtd, _docs = library
+        v = CorpusValidator(dtd, jobs=4)
+        assert v._chunk_size(200) == 13  # ceil(200 / 16)
+        assert v._chunk_size(10000) == 32  # capped
+        assert v._chunk_size(1) == 1
+        assert CorpusValidator(dtd, chunk_size=5)._chunk_size(10000) == 5
+
+
+class TestCorpusCaching:
+    def test_warm_run_hits_for_every_doc(self, library):
+        dtd, docs = library
+        cache = ResultCache()
+        cold = CorpusValidator(dtd, cache=cache).validate(docs)
+        warm = CorpusValidator(dtd, cache=cache).validate(docs)
+        assert cold.n_cached == 0
+        assert warm.n_cached == len(docs)
+        assert warm.verdicts_json() == cold.verdicts_json()
+
+    def test_verdict_json_omits_provenance(self, library):
+        """The byte-comparable verdict form must not leak where a
+        result came from (cache vs fresh)."""
+        verdict = DocumentVerdict("d", "k", True, cached=True)
+        assert "cached" not in verdict.to_dict()
+        assert verdict.to_dict(provenance=True)["cached"] is True
+
+    def test_directory_cache_accepted_as_path(self, library, tmp_path):
+        dtd, docs = library
+        CorpusValidator(dtd, cache=str(tmp_path)).validate(docs)
+        warm = CorpusValidator(dtd, cache=str(tmp_path)).validate(docs)
+        assert warm.n_cached == len(docs)
+
+    def test_schema_change_invalidates(self, library, tmp_path):
+        _dtd, _docs = library
+        doc = book_document()
+        dtd = book_dtdc()
+        CorpusValidator(dtd, cache=str(tmp_path)).validate([doc])
+        other = random_corpus(n_docs=0)[0]
+        report = CorpusValidator(other, cache=str(tmp_path)) \
+            .validate([("d", serialize(doc))])
+        assert report.n_cached == 0
+
+
+class TestCorpusObservability:
+    def test_worker_metrics_merge(self, library):
+        dtd, docs = library
+        obs = Observability()
+        report = CorpusValidator(dtd, jobs=2, obs=obs).validate(docs)
+        merged = {(i["name"]): i for i in obs.metrics.to_dicts()}
+        assert merged["xmlio_documents_parsed"]["value"] == len(docs)
+        assert merged["corpus_documents_validated"]["value"] == len(docs)
+        assert report.obs is obs
+
+    def test_facade_threads_obs(self, library):
+        dtd, docs = library
+        obs = Observability()
+        Validator(dtd, obs=obs).check_corpus(docs)
+        names = {i["name"] for i in obs.metrics.to_dicts()}
+        assert "corpus_documents_validated" in names
+
+
+class TestCorpusReportSerialization:
+    def test_to_json_deterministic_and_parseable(self, library):
+        dtd, docs = library
+        report = CorpusValidator(dtd).validate(docs)
+        payload = json.loads(report.to_json())
+        assert payload["documents"] == len(docs)
+        assert payload["ok"] is False
+        assert list(payload["violations_by_code"]) \
+            == sorted(payload["violations_by_code"])
+
+    def test_str_mentions_findings(self, library):
+        dtd, docs = library
+        text = str(CorpusValidator(dtd).validate(docs))
+        assert "12 document(s)" in text
+        assert "violations by code:" in text
+
+
+class TestFacade:
+    def test_check_corpus_on_validator(self, library):
+        dtd, docs = library
+        report = Validator(dtd).check_corpus(docs, jobs=2)
+        assert len(report) == len(docs)
+        assert report.jobs == 2
+
+
+def test_fork_pool_used_on_posix():
+    """The DTDC ships to workers via Pool initargs; this only needs
+    pickling, which the smoke below proves on any start method."""
+    import pickle
+
+    dtd, _docs = random_corpus(n_docs=0)
+    assert pickle.loads(pickle.dumps(dtd)).describe() == dtd.describe()
+    assert os.name == "posix"

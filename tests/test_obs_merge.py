@@ -1,0 +1,166 @@
+"""Cross-process observability: registry merging, span adoption, and
+deterministic exports — the pieces the corpus validator relies on to
+fold per-worker telemetry into one report."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_OBS, Observability
+from repro.obs.metrics import MetricsRegistry
+
+
+def _value(registry, name):
+    for entry in registry.to_dicts():
+        if entry["name"] == name:
+            return entry["value"]
+    raise KeyError(name)
+
+
+class TestFromDicts:
+    def test_counter_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="a counter").add(3)
+        reg.counter("c", labels={"k": "v"}).add(2)
+        back = MetricsRegistry.from_dicts(reg.to_dicts())
+        assert back.to_dicts() == reg.to_dicts()
+
+    def test_gauge_round_trip(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", help="a gauge").set(1.5)
+        back = MetricsRegistry.from_dicts(reg.to_dicts())
+        assert back.to_dicts() == reg.to_dicts()
+
+    def test_histogram_round_trip(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(0.1, 1.0), help="a histogram")
+        for x in (0.05, 0.5, 5.0):
+            h.observe(x)
+        back = MetricsRegistry.from_dicts(reg.to_dicts())
+        assert back.to_dicts() == reg.to_dicts()
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").add(3)
+        b.counter("c").add(4)
+        b.counter("only_b").add(1)
+        a.merge(b)
+        assert _value(a, "c") == 7
+        assert _value(a, "only_b") == 1
+
+    def test_labelled_counters_merge_by_labels(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c", labels={"k": "x"}).add(1)
+        b.counter("c", labels={"k": "y"}).add(2)
+        a.merge(b)
+        values = {tuple(e["labels"].items()): e["value"]
+                  for e in a.to_dicts()}
+        assert values[(("k", "x"),)] == 1
+        assert values[(("k", "y"),)] == 2
+
+    def test_histograms_fold(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, xs in ((a, (0.05, 0.5)), (b, (0.5, 5.0))):
+            h = reg.histogram("h", buckets=(0.1, 1.0))
+            for x in xs:
+                h.observe(x)
+        a.merge(b)
+        (entry,) = a.to_dicts()
+        assert entry["count"] == 4
+        assert entry["sum"] == pytest.approx(6.05)
+        assert entry["min"] == 0.05 and entry["max"] == 5.0
+        by_le = {b["le"]: b["count"] for b in entry["buckets"]}
+        assert by_le == {0.1: 1, 1.0: 3}
+
+    def test_histogram_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(0.1, 1.0)).observe(0.5)
+        b.histogram("h", buckets=(0.2, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_returns_self_and_chains(self):
+        a, b, c = (MetricsRegistry() for _i in range(3))
+        b.counter("c").add(1)
+        c.counter("c").add(2)
+        assert _value(a.merge(b).merge(c), "c") == 3
+
+    def test_null_registry_merge_is_a_noop(self):
+        reg = NULL_OBS.metrics
+        assert reg.merge(reg) is reg
+
+
+class TestAbsorb:
+    def payload(self):
+        worker = Observability()
+        worker.counter("docs").add(5)
+        with worker.span("work"):
+            with worker.span("inner"):
+                pass
+        return {"metrics": worker.metrics.to_dicts(),
+                "spans": [s.to_dict() for s in worker.tracer.roots]}
+
+    def test_absorb_merges_metrics_and_spans(self):
+        obs = Observability()
+        obs.counter("docs").add(1)
+        obs.absorb(self.payload())
+        assert _value(obs.metrics, "docs") == 6
+        names = [root.name for root in obs.tracer.roots]
+        assert "work" in names
+
+    def test_adopted_spans_nest_under_current(self):
+        obs = Observability()
+        with obs.span("corpus.merge"):
+            obs.absorb(self.payload())
+        (root,) = obs.tracer.roots
+        assert root.name == "corpus.merge"
+        assert [c.name for c in root.children] == ["work"]
+        assert [c.name for c in root.children[0].children] == ["inner"]
+
+    def test_adopted_spans_keep_duration(self):
+        obs = Observability()
+        payload = self.payload()
+        obs.absorb(payload)
+        (root,) = obs.tracer.roots
+        assert root.duration == pytest.approx(
+            payload["spans"][0]["duration_s"])
+
+    def test_absorb_on_disabled_handle_is_a_noop(self):
+        NULL_OBS.absorb(self.payload())
+        assert list(NULL_OBS.tracer.roots) == []
+
+
+class TestDeterministicExports:
+    def build(self):
+        obs = Observability()
+        obs.counter("zeta").add(1)
+        obs.counter("alpha", labels={"b": "2", "a": "1"}).add(2)
+        obs.histogram("h", buckets=(0.1, 1.0)).observe(0.5)
+        with obs.span("s"):
+            pass
+        return obs
+
+    def test_json_export_has_sorted_keys(self):
+        text = self.build().to_json()
+        payload = json.loads(text)
+        assert text == json.dumps(payload, indent=2, sort_keys=True)
+
+    def test_json_export_stable_across_handles(self):
+        def strip_timing(payload):
+            for span in payload.get("spans", []):
+                span.pop("duration_s", None)
+                for child in span.get("children", []):
+                    child.pop("duration_s", None)
+            return payload
+
+        a = strip_timing(json.loads(self.build().to_json()))
+        b = strip_timing(json.loads(self.build().to_json()))
+        assert a == b
+
+    def test_prometheus_labels_sorted(self):
+        text = self.build().to_prometheus()
+        line = next(l for l in text.splitlines()
+                    if l.startswith("alpha{"))
+        assert line.index('a="1"') < line.index('b="2"')

@@ -1,0 +1,106 @@
+"""The frozen public surface of the ``repro`` package.
+
+``EXPECTED_ALL`` is a literal snapshot of ``repro.__all__``.  Changing
+the public surface — adding, removing, or renaming a top-level name —
+must update this file in the same commit, which makes every surface
+change visible in review.  The deprecated entry points are part of the
+surface too: they must warn (exactly once per access) and must still
+work.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+
+# The frozen surface, sorted.  Update deliberately, never by reflex.
+EXPECTED_ALL = sorted([
+    # static analysis
+    "AnalysisReport", "Diagnostic", "LintConfig", "Severity", "analyze",
+    # constraint languages (§2.3)
+    "Constraint", "Field", "ForeignKey", "IDConstraint", "IDForeignKey",
+    "IDInverse", "IDSetValuedForeignKey", "Inverse", "Key", "Language",
+    "SetValuedForeignKey", "UnaryForeignKey", "UnaryKey", "attr", "elem",
+    "parse_constraint", "parse_constraints", "well_formed",
+    # corpus validation
+    "CorpusReport", "CorpusValidator", "ResultCache",
+    # data model (§2.1)
+    "DataTree", "TreeBuilder", "Vertex",
+    # DTDs with constraints (§2.2, Def 2.4)
+    "DTDC", "DTDStructure", "ValidationReport",
+    # errors
+    "ReproError",
+    # implication engines (§3)
+    "Derivation", "ImplicationResult", "LGeneralEngine", "LidEngine",
+    "LPrimaryEngine", "LuEngine", "LuPrimaryEngine",
+    # path constraints (§4)
+    "Path", "PathFunctional", "PathImplicationEngine", "PathInclusion",
+    "PathInverse", "parse_path", "type_of",
+    # facade, sessions, observability
+    "DocumentSession", "NULL_OBS", "Observability", "Validator",
+    # workloads + xmlio
+    "book_document", "book_dtdc",
+    "parse_document", "parse_dtd", "parse_dtdc", "serialize",
+    # deprecated entry points (still public; they warn)
+    "check", "check_constraint", "validate",
+    # metadata
+    "__version__",
+])
+
+
+class TestFrozenSurface:
+    def test_all_matches_snapshot(self):
+        assert sorted(repro.__all__) == EXPECTED_ALL
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                assert getattr(repro, name) is not None, name
+
+    def test_no_unlisted_public_names(self):
+        """Anything importable without an underscore prefix is either
+        in ``__all__`` or a submodule (submodules are navigational, not
+        surface)."""
+        import types
+
+        public = {n for n in vars(repro)
+                  if not n.startswith("_")
+                  and not isinstance(getattr(repro, n), types.ModuleType)}
+        unlisted = public - set(repro.__all__)
+        assert not unlisted, f"public but not in __all__: {sorted(unlisted)}"
+
+
+class TestDeprecatedEntryPoints:
+    @pytest.mark.parametrize("name, hint", [
+        ("validate", "Validator(dtd).validate(doc)"),
+        ("check", "Validator(dtd).check(doc)"),
+        ("check_constraint", "Validator(dtd).check(doc, [phi])"),
+    ])
+    def test_warns_once_with_migration_hint(self, name, hint):
+        with pytest.warns(DeprecationWarning) as caught:
+            getattr(repro, name)
+        assert len(caught) == 1
+        message = str(caught[0].message)
+        assert hint in message
+        assert "README.md" in message
+
+    def test_deprecated_validate_still_works(self):
+        from repro import Validator, book_document, book_dtdc
+
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.validate
+        doc, dtd = book_document(), book_dtdc()
+        old = legacy(doc, dtd)
+        new = Validator(dtd).validate(doc)
+        assert old.ok == new.ok
+        assert [str(v) for v in old.violations] \
+            == [str(v) for v in new.violations]
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_name

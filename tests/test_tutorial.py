@@ -2,7 +2,7 @@
 as a test, so the tutorial cannot drift from the library."""
 
 from repro import (
-    LuEngine, TreeBuilder, parse_constraint, parse_dtdc, validate,
+    LuEngine, TreeBuilder, Validator, parse_constraint, parse_dtdc,
 )
 from repro.fo2 import (
     evaluate, figure_one_pair, key_constraint_formula,
@@ -48,11 +48,11 @@ def test_section_1_documents():
 
 
 def test_section_2_validation():
-    dtd = parse_dtdc(TUTORIAL_SCHEMA, root="book")
+    validator = Validator(parse_dtdc(TUTORIAL_SCHEMA, root="book"))
     tree = tutorial_tree()
-    assert validate(tree, dtd).ok
+    assert validator.validate(tree).ok
     tree.ext("ref")[0].set_attribute("to", ["nowhere"])
-    report = validate(tree, dtd)
+    report = validator.validate(tree)
     assert any(v.code == "set-foreign-key" for v in report)
 
 
@@ -154,7 +154,22 @@ def test_section_8_sessions():
     assert session.revalidate().ok
 
 
-def test_section_9_observability():
+def test_section_9_corpus(tmp_path):
+    from repro import Validator
+    from repro.workloads import random_corpus
+
+    dtd, docs = random_corpus(n_docs=20, invalid_fraction=0.2, seed=0)
+    validator = Validator(dtd)
+    report = validator.check_corpus(docs, jobs=2, cache=str(tmp_path))
+    assert report.n_valid == 16 and report.n_invalid == 4
+    assert set(report.violations_by_code()) <= {"foreign-key", "key"}
+
+    warm = validator.check_corpus(docs, jobs=2, cache=str(tmp_path))
+    assert warm.n_cached == 20
+    assert warm.verdicts_json() == report.verdicts_json()
+
+
+def test_section_10_observability():
     from repro import Observability, Validator, book_document
 
     obs = Observability()
