@@ -1,0 +1,243 @@
+"""E19: streaming single-pass validation — throughput and memory.
+
+Paper artifact: Definition 2.4 is decidable in one pass over the
+document when ``DTD^C`` is compiled ahead of time — the content models
+step as DFAs, the unary constraints of Σ fold over attribute values as
+elements close.  The experiment checks the two payoffs of
+:mod:`repro.stream` against the batch parse-then-validate pipeline:
+
+- **throughput** — on the E18 corpus, streaming validation is at least
+  as fast as ``parse_document`` + ``validate`` (it skips the tree), and
+  byte-identical in verdicts;
+- **memory** — peak allocation is *sublinear* in document size when the
+  extra size is Σ-irrelevant (the stream drops those vertices at their
+  close tag; the batch path keeps every one), and on a 10k-vertex
+  document the streaming peak stays under half the batch peak;
+- (reported, not asserted) the ``sys.intern`` of element/attribute
+  names in the tokenizer, which both pipelines share.
+
+Run styles::
+
+    python -m pytest benchmarks/bench_stream.py -q   # shape assertions
+    python benchmarks/bench_stream.py --smoke        # CI one-shot
+    python benchmarks/bench_stream.py                # timing report
+"""
+
+import gc
+import os
+import sys
+import time
+import tracemalloc
+
+if __package__:
+    from benchmarks.conftest import print_series
+else:  # `python benchmarks/bench_stream.py` — repo root not on sys.path
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from benchmarks.conftest import print_series
+from repro.dtd.validate import validate
+from repro.stream import StreamValidator, compile_plan
+from repro.workloads.generators import random_corpus
+from repro.xmlio import serialize
+from repro.xmlio.dtdparse import parse_dtdc
+from repro.xmlio.parser import parse_document
+
+FEED_SCHEMA = """
+<!ELEMENT feed (item*, entry*, ref*)>
+<!ELEMENT item (#PCDATA)?>
+<!ELEMENT entry EMPTY>
+<!ELEMENT ref EMPTY>
+<!ATTLIST entry sku CDATA #REQUIRED>
+<!ATTLIST ref to CDATA #REQUIRED>
+%% constraints
+entry.sku -> entry
+ref.to sub entry.sku
+"""
+
+
+def _corpus_texts(n_docs: int = 100, seed: int = 0):
+    """The E18 corpus again, so E18/E19 numbers are comparable."""
+    dtd, docs = random_corpus(n_docs=n_docs, invalid_fraction=0.2,
+                              seed=seed)
+    return dtd, [serialize(doc) for doc in docs]
+
+
+def _feed_doc(n_items: int, n_keyed: int = 50) -> str:
+    """A document whose bulk is Σ-irrelevant: ``n_items`` text-carrying
+    ``item`` elements, then a fixed keyed/referencing tail."""
+    parts = ["<feed>"]
+    parts.extend(f"<item>payload number {i} {'x' * 24}</item>"
+                 for i in range(n_items))
+    parts.extend(f'<entry sku="e{i}"/>' for i in range(n_keyed))
+    parts.extend(f'<ref to="e{i % (n_keyed + 5)}"/>'
+                 for i in range(n_keyed))
+    parts.append("</feed>")
+    return "".join(parts)
+
+
+def _best_of(f, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        f()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _peak_bytes(f) -> int:
+    """Peak traced allocation of one call (inputs built beforehand, so
+    the document text itself is outside the measurement)."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        f()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+# -- equivalence + throughput ----------------------------------------------
+
+
+def test_e19_streaming_matches_batch_on_corpus():
+    dtd, texts = _corpus_texts(n_docs=40)
+    sv = StreamValidator(compile_plan(dtd))
+    for text in texts:
+        batch = validate(parse_document(text, dtd.structure), dtd)
+        assert sv.validate_text(text).to_json() == batch.to_json()
+
+
+def test_e19_throughput_at_least_batch():
+    """Acceptance: one streaming pass is >= 1.0x the batch pipeline on
+    the E18 corpus (same documents, same schema, best of 3)."""
+    dtd, texts = _corpus_texts(n_docs=100)
+    sv = StreamValidator(compile_plan(dtd))
+
+    def run_batch():
+        for text in texts:
+            validate(parse_document(text, dtd.structure), dtd)
+
+    def run_stream():
+        for text in texts:
+            sv.validate_text(text)
+
+    run_batch(), run_stream()  # warm parser/DFA caches for both sides
+    batch = _best_of(run_batch)
+    stream = _best_of(run_stream)
+    print_series("E19: batch vs stream, 100 docs",
+                 [(1, batch), (2, stream)], header="(1=batch, 2=stream)")
+    assert batch / stream >= 1.0, (
+        f"streaming is {batch / stream:.2f}x batch "
+        f"({stream * 1e3:.1f}ms vs {batch * 1e3:.1f}ms)")
+
+
+# -- memory ----------------------------------------------------------------
+
+
+def test_e19_peak_memory_sublinear():
+    """Acceptance: 8x more Σ-irrelevant content costs < 4x the peak —
+    the stream retains O(depth + Σ-relevant) state, not the document."""
+    dtd = parse_dtdc(FEED_SCHEMA)
+    sv = StreamValidator(compile_plan(dtd))
+    small = _feed_doc(1_000)
+    large = _feed_doc(8_000)
+    sv.validate_text(small)  # warm DFA/evaluator caches outside the trace
+    peak_small = _peak_bytes(lambda: sv.validate_text(small))
+    peak_large = _peak_bytes(lambda: sv.validate_text(large))
+    print(f"E19 peak: {peak_small} B @1k items, "
+          f"{peak_large} B @8k items")
+    assert peak_large < 4 * peak_small, (
+        f"peak grew {peak_large / peak_small:.1f}x for 8x the document")
+
+
+def test_e19_streaming_peak_under_half_of_batch():
+    """Acceptance: on a ~10k-vertex document the streaming peak is
+    under half the batch (parse + validate) peak."""
+    dtd = parse_dtdc(FEED_SCHEMA)
+    sv = StreamValidator(compile_plan(dtd))
+    text = _feed_doc(10_000)
+    sv.validate_text(text)
+    validate(parse_document(text, dtd.structure), dtd)
+    stream_peak = _peak_bytes(lambda: sv.validate_text(text))
+    batch_peak = _peak_bytes(
+        lambda: validate(parse_document(text, dtd.structure), dtd))
+    print(f"E19 10k-vertex peak: stream {stream_peak} B, "
+          f"batch {batch_peak} B")
+    assert stream_peak < 0.5 * batch_peak, (
+        f"stream peak {stream_peak} B is "
+        f"{stream_peak / batch_peak:.2f}x the batch peak {batch_peak} B")
+
+
+# -- standalone runner (CI smoke + timing report) --------------------------
+
+
+def _interning_delta(n: int = 20_000) -> tuple[int, int]:
+    """(distinct label objects, total label tokens) across one parse —
+    the ``sys.intern`` satellite makes the first number O(|element
+    types|) instead of O(n)."""
+    from repro.xmlio.tokenizer import Tokenizer
+
+    text = "<feed>" + "<item>x</item>" * n + "</feed>"
+    ids = set()
+    total = 0
+    for token in Tokenizer(text).tokens():
+        if token.kind in ("start", "empty", "end"):
+            ids.add(id(token.value))
+            total += 1
+    return len(ids), total
+
+
+def _report(n_docs: int, smoke: bool) -> int:
+    dtd, texts = _corpus_texts(n_docs=n_docs)
+    sv = StreamValidator(compile_plan(dtd))
+
+    mismatches = sum(
+        sv.validate_text(t).to_json()
+        != validate(parse_document(t, dtd.structure), dtd).to_json()
+        for t in texts)
+
+    batch = _best_of(lambda: [
+        validate(parse_document(t, dtd.structure), dtd) for t in texts])
+    stream = _best_of(lambda: [sv.validate_text(t) for t in texts])
+
+    feed = parse_dtdc(FEED_SCHEMA)
+    fsv = StreamValidator(compile_plan(feed))
+    text_10k = _feed_doc(10_000)
+    fsv.validate_text(text_10k)
+    validate(parse_document(text_10k, feed.structure), feed)
+    stream_peak = _peak_bytes(lambda: fsv.validate_text(text_10k))
+    batch_peak = _peak_bytes(
+        lambda: validate(parse_document(text_10k, feed.structure), feed))
+
+    distinct, total = _interning_delta()
+
+    print(f"E19 stream: {n_docs} docs, {os.cpu_count()} core(s)")
+    print(f"  batch  jobs=1 {batch * 1e3:8.1f} ms")
+    print(f"  stream jobs=1 {stream * 1e3:8.1f} ms")
+    print(f"  throughput    {batch / stream:8.2f} x batch")
+    print(f"  10k-vertex peak: stream {stream_peak:>10} B, "
+          f"batch {batch_peak:>10} B "
+          f"({stream_peak / batch_peak:.2f}x)")
+    print(f"  interned labels: {distinct} distinct objects over "
+          f"{total} name tokens")
+
+    ok = mismatches == 0 and stream_peak < 0.5 * batch_peak
+    if not smoke:
+        ok = ok and batch / stream >= 1.0
+    print("E19 smoke OK" if ok else "E19 FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import argparse
+
+    cli = argparse.ArgumentParser(
+        description="E19: streaming single-pass validation benchmark")
+    cli.add_argument("--smoke", action="store_true",
+                     help="CI mode: byte-identity + the peak-memory "
+                     "guard, no throughput threshold")
+    cli.add_argument("--docs", type=int, default=100,
+                     help="corpus size (default: 100)")
+    args = cli.parse_args()
+    raise SystemExit(_report(args.docs, args.smoke))

@@ -22,7 +22,9 @@ Every subcommand also takes the same ``--format {text,json}`` flag
 is the human-readable default, ``json`` emits one machine-readable
 object on stdout with sorted keys.  ``check-corpus`` additionally
 takes ``--jobs N`` (worker processes) and ``--cache DIR`` (persistent
-result cache).
+result cache).  ``validate`` and ``check-corpus`` both take
+``--stream``: single-pass validation straight from the token stream in
+O(depth) memory, with output byte-identical to the default path.
 
 ``lint`` runs the :mod:`repro.analysis` rule set over the schema:
 ``--format json`` for machine-readable output, ``--select`` /
@@ -83,10 +85,17 @@ def _cmd_validate(args) -> int:
     dtd = _load_dtdc(args.schema, args.root)
     LOG.info("loaded schema %s (|Sigma| = %d)", args.schema,
              len(dtd.constraints))
-    tree = parse_document(FsPath(args.document).read_text(), dtd.structure,
-                          obs=args.obs)
-    LOG.info("parsed %s (%d vertices)", args.document, tree.size())
-    report = validate(tree, dtd, obs=args.obs)
+    if args.stream:
+        from repro.validator import Validator
+
+        report = Validator(dtd, obs=args.obs).check_stream(
+            FsPath(args.document))
+        LOG.info("streamed %s", args.document)
+    else:
+        tree = parse_document(FsPath(args.document).read_text(),
+                              dtd.structure, obs=args.obs)
+        LOG.info("parsed %s (%d vertices)", args.document, tree.size())
+        report = validate(tree, dtd, obs=args.obs)
     if args.format == "json":
         _print_json({"document": args.document, "schema": args.schema,
                      **report.to_dict()})
@@ -115,7 +124,8 @@ def _cmd_check_corpus(args) -> int:
     LOG.info("validating %d document(s) with jobs=%d", len(docs),
              args.jobs)
     validator = CorpusValidator(dtd, jobs=args.jobs, cache=args.cache,
-                                chunk_size=args.chunk_size, obs=args.obs)
+                                chunk_size=args.chunk_size, obs=args.obs,
+                                stream=args.stream)
     report = validator.validate(docs)
     if args.format == "json":
         print(report.to_json())
@@ -360,6 +370,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "exit 0 valid, 1 violations, 2 input error")
     p.add_argument("document")
     p.add_argument("schema")
+    p.add_argument("--stream", action="store_true",
+                   help="validate in one pass over the token stream "
+                   "(O(depth) memory, never builds the tree); output "
+                   "and exit status are identical to the default path")
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("check-corpus", parents=[fmt],
@@ -379,6 +393,10 @@ def build_parser() -> argparse.ArgumentParser:
                    "an unchanged corpus costs one hash per document)")
     p.add_argument("--chunk-size", type=int, default=None, metavar="K",
                    help="documents per worker task (default: heuristic)")
+    p.add_argument("--stream", action="store_true",
+                   help="workers validate in one streaming pass, "
+                   "reading files straight from disk; verdicts are "
+                   "identical to the default path")
     p.set_defaults(func=_cmd_check_corpus)
 
     p = sub.add_parser("bench-incremental", parents=[fmt],

@@ -22,7 +22,9 @@ code, ``repro-xic check-corpus SCHEMA DOCS... --jobs 8 --cache DIR``
 from the command line.
 """
 
-from repro.corpus.cache import ResultCache, result_key, schema_fingerprint
+from repro.corpus.cache import (
+    ResultCache, result_key, result_key_bytes, schema_fingerprint,
+)
 from repro.corpus.report import CorpusReport, DocumentVerdict
 from repro.corpus.validator import CorpusValidator
 
@@ -32,5 +34,6 @@ __all__ = [
     "DocumentVerdict",
     "ResultCache",
     "result_key",
+    "result_key_bytes",
     "schema_fingerprint",
 ]

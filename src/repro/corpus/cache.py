@@ -2,11 +2,14 @@
 
 A corpus re-validated after nothing changed should cost one hash per
 document, not one full Definition 2.4 pass.  The cache key is the
-SHA-256 over the document's *serialized* XML text plus the schema
-fingerprint (itself the SHA-256 of ``DTDC.describe()``, which covers
-both ``S`` and Σ deterministically), so a hit is only possible when
-neither the document bytes nor the schema changed in any observable
-way.  The value is the :class:`~repro.dtd.validate.ValidationReport`
+SHA-256 over the document text plus the schema fingerprint (itself the
+SHA-256 of ``DTDC.describe()``, which covers both ``S`` and Σ
+deterministically), so a hit is only possible when neither the document
+bytes nor the schema changed in any observable way.  File inputs are
+keyed on their *raw bytes* (:func:`result_key_bytes`) — never on a
+parse→serialize round-trip, and never through text-mode newline
+translation — while in-memory trees are keyed on their deterministic
+serialization.  The value is the :class:`~repro.dtd.validate.ValidationReport`
 in its :meth:`to_dict` form — loss-free for codes, messages,
 constraints and vertex ids.
 
@@ -27,7 +30,8 @@ from typing import Optional, Union
 from repro.dtd.dtdc import DTDC
 from repro.dtd.validate import ValidationReport
 
-__all__ = ["ResultCache", "result_key", "schema_fingerprint"]
+__all__ = ["ResultCache", "result_key", "result_key_bytes",
+           "schema_fingerprint"]
 
 
 def schema_fingerprint(dtd: DTDC) -> str:
@@ -35,13 +39,24 @@ def schema_fingerprint(dtd: DTDC) -> str:
     return hashlib.sha256(dtd.describe().encode("utf-8")).hexdigest()
 
 
-def result_key(xml_text: str, fingerprint: str) -> str:
-    """The content address of one (document, schema) validation."""
+def result_key_bytes(data: bytes, fingerprint: str) -> str:
+    """The content address of one (document bytes, schema) validation.
+
+    This is the key for file inputs: the raw on-disk bytes, so a CRLF
+    and an LF spelling of the same document get distinct keys (they are
+    distinct byte streams) and no parse or re-serialization is needed to
+    address the cache.
+    """
     h = hashlib.sha256()
-    h.update(xml_text.encode("utf-8"))
+    h.update(data)
     h.update(b"\x00")
     h.update(fingerprint.encode("ascii"))
     return h.hexdigest()
+
+
+def result_key(xml_text: str, fingerprint: str) -> str:
+    """The content address of one (document text, schema) validation."""
+    return result_key_bytes(xml_text.encode("utf-8"), fingerprint)
 
 
 class ResultCache:

@@ -21,9 +21,11 @@ import os
 import time
 from typing import Iterable, Optional, Union
 
-from repro.corpus.cache import ResultCache, result_key, schema_fingerprint
+from repro.corpus.cache import (
+    ResultCache, result_key, result_key_bytes, schema_fingerprint,
+)
 from repro.corpus.report import CorpusReport, DocumentVerdict
-from repro.corpus.worker import init_worker, validate_chunk
+from repro.corpus.worker import init_worker, stream_chunk, validate_chunk
 from repro.datamodel.tree import DataTree
 from repro.dtd.dtdc import DTDC
 from repro.dtd.validate import ValidationReport
@@ -55,11 +57,19 @@ class CorpusValidator:
     obs:
         Optional :class:`repro.obs.Observability`; per-worker metrics
         and spans are merged into it under a ``corpus.validate`` span.
+    stream:
+        Validate with the single-pass :class:`~repro.stream.StreamValidator`
+        instead of parse-then-validate.  The compiled
+        :class:`~repro.stream.StreamPlan` is built once here and shipped
+        to the workers; file inputs stay as paths so workers stream them
+        from disk, hashing the raw bytes for the cache key as part of
+        the same read.  Verdicts are byte-identical to the batch path.
     """
 
     def __init__(self, dtd: DTDC, jobs: int = 1,
                  cache: "ResultCache | str | os.PathLike | None" = None,
-                 chunk_size: Optional[int] = None, obs=None):
+                 chunk_size: Optional[int] = None, obs=None,
+                 stream: bool = False):
         if not isinstance(dtd, DTDC):
             raise TypeError(f"CorpusValidator needs a DTDC, got {type(dtd)!r}")
         if jobs < 1:
@@ -74,36 +84,64 @@ class CorpusValidator:
         else:
             self.cache = ResultCache(directory=cache)
         self.obs = obs
+        self.stream = stream
         self.fingerprint = schema_fingerprint(dtd)
 
     # -- input normalization -----------------------------------------
 
     def _normalize(self, docs: Iterable[CorpusDoc]
-                   ) -> "list[tuple[str, str]]":
-        """Each document as a ``(doc_id, xml_text)`` pair.
+                   ) -> "list[tuple[str, str, str]]":
+        """Each document as a ``(doc_id, kind, value)`` triple, where
+        ``kind`` is ``"text"`` (``value`` is XML text) or ``"path"``
+        (``value`` is a filesystem path, not yet read).
 
         Trees are serialized (the serializer is deterministic: sorted
-        attributes, stable indentation), paths are read as text, and
-        explicit pairs pass through.  The serialized text is both the
-        worker payload and the cache-key input, so what is hashed is
-        exactly what is validated.
+        attributes, stable indentation) and explicit pairs pass through;
+        both are keyed on their text.  Paths are keyed on their raw
+        on-disk bytes — what is hashed is exactly what is validated,
+        with no parse/serialize round-trip in between.
         """
-        entries: list[tuple[str, str]] = []
+        entries: list[tuple[str, str, str]] = []
         for i, doc in enumerate(docs):
             if isinstance(doc, DataTree):
-                entries.append((f"doc[{i}]", serialize(doc)))
+                entries.append((f"doc[{i}]", "text", serialize(doc)))
             elif isinstance(doc, tuple):
                 doc_id, text = doc
-                entries.append((str(doc_id), text))
+                entries.append((str(doc_id), "text", text))
             elif isinstance(doc, (str, os.PathLike)):
-                with open(doc, "r", encoding="utf-8") as handle:
-                    entries.append((os.fspath(doc), handle.read()))
+                entries.append((os.fspath(doc), "path", os.fspath(doc)))
             else:
                 raise TypeError(
                     f"corpus document #{i} has unsupported type "
                     f"{type(doc)!r} (expected path, DataTree, or "
                     "(doc_id, xml_text) pair)")
         return entries
+
+    def _prepare(self, entries: "list[tuple[str, str, str]]"
+                 ) -> "list[Optional[str]]":
+        """Resolve cache keys; returns one key (or None) per entry.
+
+        Path inputs are keyed on raw file bytes.  On the batch path the
+        coordinator needs the decoded text anyway (workers receive
+        text), so the entry is rewritten to ``("text", ...)`` from the
+        same read.  On the streaming path the file stays on disk for the
+        worker to stream; the coordinator only reads it when a cache
+        needs the key up front — without a cache the key comes back from
+        the worker, which hashes the bytes it reads anyway.
+        """
+        keys: list[Optional[str]] = []
+        for i, (doc_id, kind, value) in enumerate(entries):
+            if kind == "text":
+                keys.append(result_key(value, self.fingerprint))
+            elif self.stream and self.cache is None:
+                keys.append(None)
+            else:
+                with open(value, "rb") as handle:
+                    data = handle.read()
+                keys.append(result_key_bytes(data, self.fingerprint))
+                if not self.stream:
+                    entries[i] = (doc_id, "text", data.decode("utf-8"))
+        return keys
 
     # -- chunking ----------------------------------------------------
 
@@ -126,8 +164,7 @@ class CorpusValidator:
         t_start = time.perf_counter()
 
         entries = self._normalize(docs)
-        keys = [result_key(text, self.fingerprint)
-                for _doc_id, text in entries]
+        keys = self._prepare(entries)
         phases["prepare"] = time.perf_counter() - t_start
 
         # Cache lookups happen in the coordinator so a pooled run never
@@ -135,7 +172,7 @@ class CorpusValidator:
         t0 = time.perf_counter()
         verdicts: list[Optional[DocumentVerdict]] = [None] * len(entries)
         pending: list[int] = []
-        for i, (doc_id, _text) in enumerate(entries):
+        for i, (doc_id, _kind, _value) in enumerate(entries):
             cached = self.cache.get(keys[i]) \
                 if self.cache is not None else None
             if cached is not None:
@@ -183,28 +220,49 @@ class CorpusValidator:
             if self.cache is not None else None,
             obs=obs or None)
 
-    def _run_pending(self, entries: "list[tuple[str, str]]",
+    def _run_pending(self, entries: "list[tuple[str, str, str]]",
                      pending: "list[int]") -> "list[dict]":
         """Validate the cache-missing documents, chunked; one payload
         per chunk, in chunk order."""
         if not pending:
             return []
-        work = [entries[i] for i in pending]
+        if self.stream:
+            work = [entries[i] for i in pending]
+            worker = stream_chunk
+            plan = self._compiled_plan()
+        else:
+            # the batch worker takes (doc_id, xml_text) pairs; _prepare
+            # already rewrote every path entry to its text
+            work = [(entries[i][0], entries[i][2]) for i in pending]
+            worker = validate_chunk
+            plan = None
         chunks = self._chunks(work, self._chunk_size(len(work)))
         collect_obs = bool(self.obs)
         if self.jobs == 1:
-            init_worker(self.dtd, collect_obs)
-            return [validate_chunk(chunk) for chunk in chunks]
+            init_worker(self.dtd, collect_obs, plan)
+            return [worker(chunk) for chunk in chunks]
         import multiprocessing
 
         with multiprocessing.Pool(
                 processes=min(self.jobs, len(chunks)),
                 initializer=init_worker,
-                initargs=(self.dtd, collect_obs)) as pool:
-            return pool.map(validate_chunk, chunks)
+                initargs=(self.dtd, collect_obs, plan)) as pool:
+            return pool.map(worker, chunks)
 
-    def _to_verdict(self, key: str, verdict_dict: dict) -> DocumentVerdict:
+    def _compiled_plan(self):
+        """The streaming plan, compiled once per validator."""
+        plan = getattr(self, "_plan", None)
+        if plan is None:
+            from repro.stream import compile_plan
+
+            plan = self._plan = compile_plan(self.dtd)
+        return plan
+
+    def _to_verdict(self, key: Optional[str],
+                    verdict_dict: dict) -> DocumentVerdict:
         doc_id = verdict_dict["doc"]
+        if key is None:  # streaming worker hashed the bytes it read
+            key = verdict_dict.get("key") or ""
         if verdict_dict["error"] is not None:
             return DocumentVerdict(doc_id, key, False,
                                    error=verdict_dict["error"])

@@ -4,7 +4,8 @@ Everything here is module-level so ``multiprocessing`` can pickle it by
 reference.  The pool initializer receives the ``DTD^C`` once per worker
 (pickled by ``multiprocessing`` itself), so Σ and the structure are
 materialized a single time per process; chunk tasks then carry only
-``(doc_id, xml_text)`` pairs in and JSON-safe dicts out.
+``(doc_id, xml_text)`` pairs (or ``(doc_id, kind, value)`` triples for
+the streaming path) in and JSON-safe dicts out.
 
 ``jobs=1`` runs the exact same two functions in-process, which is what
 makes the serial fallback bit-identical to the pooled path.
@@ -14,22 +15,31 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.corpus.cache import result_key, result_key_bytes, \
+    schema_fingerprint
 from repro.dtd.dtdc import DTDC
 from repro.dtd.validate import validate
 from repro.errors import ReproError
 from repro.obs import Observability
 from repro.xmlio.parser import parse_document
 
-__all__ = ["init_worker", "validate_chunk"]
+__all__ = ["init_worker", "stream_chunk", "validate_chunk"]
 
 #: Per-process state seeded by :func:`init_worker`.
 _STATE: dict = {}
 
 
-def init_worker(dtd: DTDC, collect_obs: bool) -> None:
-    """Install the schema (and obs policy) for this worker process."""
+def init_worker(dtd: DTDC, collect_obs: bool, plan=None) -> None:
+    """Install the schema (and obs policy) for this worker process.
+
+    ``plan`` is the coordinator's compiled
+    :class:`~repro.stream.StreamPlan` when the run is streaming — shipped
+    once per worker so :func:`stream_chunk` never recompiles it.
+    """
     _STATE["dtd"] = dtd
     _STATE["collect_obs"] = collect_obs
+    _STATE["plan"] = plan
+    _STATE["fingerprint"] = schema_fingerprint(dtd)
 
 
 def validate_chunk(chunk: "list[tuple[str, str]]") -> dict:
@@ -54,6 +64,47 @@ def validate_chunk(chunk: "list[tuple[str, str]]") -> dict:
                              "error": None})
         except ReproError as exc:
             verdicts.append({"doc": doc_id, "report": None,
+                             "error": str(exc)})
+    return {
+        "verdicts": verdicts,
+        "metrics": obs.metrics.to_dicts() if obs else [],
+        "spans": obs.tracer.to_dicts() if obs else [],
+    }
+
+
+def stream_chunk(chunk: "list[tuple[str, str, str]]") -> dict:
+    """Single-pass-validate a chunk of ``(doc_id, kind, value)`` triples.
+
+    ``kind`` is ``"path"`` (the worker reads the file itself, hashing the
+    raw bytes for the cache key during the same read) or ``"text"``.
+    The payload shape matches :func:`validate_chunk`, with one addition:
+    each verdict carries its ``"key"`` so the coordinator can fill in
+    keys it chose not to compute up front.
+    """
+    from repro.stream import StreamValidator
+
+    plan = _STATE["plan"]
+    fingerprint: str = _STATE["fingerprint"]
+    obs: Optional[Observability] = \
+        Observability() if _STATE.get("collect_obs") else None
+    sv = StreamValidator(plan, obs=obs)
+    verdicts = []
+    for doc_id, kind, value in chunk:
+        key: Optional[str] = None
+        try:
+            if kind == "path":
+                with open(value, "rb") as handle:
+                    data = handle.read()
+                key = result_key_bytes(data, fingerprint)
+                text = data.decode("utf-8")
+            else:
+                key = result_key(value, fingerprint)
+                text = value
+            report = sv.validate_text(text)
+            verdicts.append({"doc": doc_id, "key": key,
+                             "report": report.to_dict(), "error": None})
+        except ReproError as exc:
+            verdicts.append({"doc": doc_id, "key": key, "report": None,
                              "error": str(exc)})
     return {
         "verdicts": verdicts,

@@ -20,6 +20,7 @@ exactly the convention of Definition 2.4.
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterable, Iterator, Mapping
 
 from repro.errors import DataModelError, DuplicateVertexError, UnknownVertexError
@@ -190,7 +191,7 @@ class Vertex:
         replaces any previous value; use :meth:`del_attribute` to remove.
         """
         frozen = _freeze_values(values)
-        self._attributes[name] = frozen
+        self._attributes[sys.intern(name)] = frozen
         self._tree._on_attribute_change(self, name)
 
     def del_attribute(self, name: str) -> None:
@@ -314,7 +315,9 @@ class DataTree:
         """Create a new, detached vertex with the given element label."""
         if not isinstance(label, str) or not label:
             raise TypeError("vertex label must be a non-empty string")
-        v = Vertex(self, self._next_vid, label)
+        # Interned labels make ``extension(label)`` and per-label dispatch
+        # dict lookups hit CPython's pointer-equality fast path.
+        v = Vertex(self, self._next_vid, sys.intern(label))
         self._next_vid += 1
         self._all.append(v)
         return v

@@ -76,6 +76,32 @@ class Matcher:
             state = self._successor(state, symbol)
             if state is None:
                 return set()
+        return self.expected_from(state)
+
+    # -- incremental stepping (streaming validation) --------------------
+    #
+    # A streaming validator cannot afford to buffer the child word of
+    # every open element just to call :meth:`matches` at the close tag.
+    # These three methods expose the lazy DFA one transition at a time:
+    # hold an ``int`` state per open element, feed each child label as it
+    # arrives, and ask acceptance at the close.  ``prefix_length`` /
+    # ``expected_after`` diagnostics fall out of the state held at the
+    # first dead transition, so the word never needs to exist.
+
+    def start(self) -> int:
+        """The DFA start state (always ``0``)."""
+        return 0
+
+    def step(self, state: int, symbol: str) -> int | None:
+        """One DFA transition; ``None`` means the word just died."""
+        return self._successor(state, symbol)
+
+    def is_accepting_state(self, state: int) -> bool:
+        """Whether ``state`` accepts (word may legally end here)."""
+        return self._accepting[state]
+
+    def expected_from(self, state: int) -> set[str]:
+        """The labels with a live transition out of ``state``."""
         out: set[str] = set()
         for sym in self.nfa.alphabet():
             if self.nfa.step(self._state_list[state], sym):

@@ -16,6 +16,7 @@ question about it reads the same way::
     validator.check(doc, sigma)      # ... against an explicit Sigma
     validator.analyze()              # static schema analysis (lint)
     validator.session(doc)           # incremental revalidation session
+    validator.check_stream("doc.xml")    # single-pass, O(depth) memory
     validator.check_corpus(docs, jobs=8, cache="~/.cache/repro")
                                      # parallel corpus validation
 
@@ -57,6 +58,7 @@ class Validator:
         #: optional :class:`repro.obs.Observability` handle threaded
         #: into every method; None/falsy means the no-op path
         self.obs = obs
+        self._stream_plan = None
 
     # -- Definition 2.4 --------------------------------------------------------
 
@@ -85,10 +87,31 @@ class Validator:
         constraints = self.dtd.constraints if sigma is None else tuple(sigma)
         return _check(doc, constraints, self.dtd.structure, obs=self.obs)
 
+    # -- streaming -------------------------------------------------------------
+
+    def check_stream(self, source) -> ValidationReport:
+        """Full validity of ``source`` in one pass over its token stream.
+
+        ``source`` is a filesystem path or XML text (text is recognized
+        by a leading ``<``).  The document is never materialized as a
+        :class:`~repro.datamodel.tree.DataTree`: memory stays
+        O(depth + Σ-relevant state) and the report is byte-identical
+        (``to_json()``) to ``self.validate(parse_document(text))``.  The
+        compiled :class:`~repro.stream.StreamPlan` is cached on this
+        validator, so repeated calls pay only the per-document pass.
+        """
+        from repro.stream import StreamValidator, compile_plan
+
+        if self._stream_plan is None:
+            self._stream_plan = compile_plan(self.dtd)
+        return StreamValidator(self._stream_plan,
+                               obs=self.obs).validate(source)
+
     # -- corpus ----------------------------------------------------------------
 
     def check_corpus(self, docs, jobs: int = 1, cache=None,
-                     chunk_size: "int | None" = None) -> "CorpusReport":
+                     chunk_size: "int | None" = None,
+                     stream: bool = False) -> "CorpusReport":
         """Validate many documents against this schema, optionally in
         parallel and against a persistent result cache.
 
@@ -97,15 +120,17 @@ class Validator:
         sets the worker process count (``1`` stays in-process with
         bit-identical verdicts); ``cache`` is a
         :class:`~repro.corpus.ResultCache`, a directory path for a
-        persistent store, or ``None``.  Returns a
-        :class:`~repro.corpus.CorpusReport` with per-document verdicts
-        in input order.
+        persistent store, or ``None``.  ``stream=True`` validates each
+        document with the single-pass streaming engine (workers read
+        files straight from disk); verdicts are byte-identical either
+        way.  Returns a :class:`~repro.corpus.CorpusReport` with
+        per-document verdicts in input order.
         """
         from repro.corpus import CorpusValidator
 
         return CorpusValidator(self.dtd, jobs=jobs, cache=cache,
-                               chunk_size=chunk_size,
-                               obs=self.obs).validate(docs)
+                               chunk_size=chunk_size, obs=self.obs,
+                               stream=stream).validate(docs)
 
     # -- static analysis -------------------------------------------------------
 

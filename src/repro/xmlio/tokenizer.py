@@ -13,6 +13,7 @@ character/entity references in text and attribute values.
 from __future__ import annotations
 
 import re
+import sys
 from dataclasses import dataclass, field
 
 from repro.errors import XMLSyntaxError
@@ -125,7 +126,9 @@ class Tokenizer:
         m = _NAME_RE.match(self.text, self.pos + 2)
         if m is None:
             raise self._error("malformed end tag")
-        name = m.group(0)
+        # Interned: every consumer dispatches on element labels through
+        # dicts, and interning makes those lookups pointer comparisons.
+        name = sys.intern(m.group(0))
         i = _WS_RE.match(self.text, m.end()).end()
         if i >= len(self.text) or self.text[i] != ">":
             raise self._error(f"malformed end tag </{name}")
@@ -137,7 +140,7 @@ class Tokenizer:
         m = _NAME_RE.match(self.text, self.pos + 1)
         if m is None:
             raise self._error("malformed start tag")
-        name = m.group(0)
+        name = sys.intern(m.group(0))
         i = m.end()
         attrs: list[tuple[str, str]] = []
         while True:
@@ -145,7 +148,7 @@ class Tokenizer:
             if am is None:
                 break
             raw = am.group(2)[1:-1]
-            attrs.append((am.group(1), unescape(raw, self.line)))
+            attrs.append((sys.intern(am.group(1)), unescape(raw, self.line)))
             i = am.end()
         i = _WS_RE.match(self.text, i).end()
         if self.text.startswith("/>", i):

@@ -185,3 +185,60 @@ class TestCheckCorpusFlags:
         assert main(["bench-incremental", "--nodes", "120",
                      "--updates", "2", "--json"]) == 0
         json.loads(capsys.readouterr().out)
+
+
+class TestStreamFlag:
+    """``--stream`` must be invisible in the output: same bytes, same
+    exit status, same ``--format`` behaviour as the default path.
+
+    (Kept out of ``CASES`` — that table enumerates subcommands, not
+    flag variants.)
+    """
+
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_validate_output_is_identical(self, cli_files, fmt, capsys):
+        argv = ["--root", "book", "validate", cli_files["doc"],
+                cli_files["schema"], "--format", fmt]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--stream"]) == 0
+        streamed = capsys.readouterr().out
+        assert streamed == plain
+        if fmt == "json":
+            json.loads(streamed)
+
+    def test_validate_violations_exit_1(self, cli_files, tmp_path,
+                                        capsys):
+        bad = book_document()
+        bad.ext("ref")[0].set_attribute("to", ["nowhere"])
+        path = tmp_path / "bad.xml"
+        path.write_text(serialize(bad))
+        argv = ["--root", "book", "validate", str(path),
+                cli_files["schema"], "--format", "json"]
+        assert main(argv) == 1
+        plain = capsys.readouterr().out
+        assert main(argv + ["--stream"]) == 1
+        assert capsys.readouterr().out == plain
+
+    def test_validate_missing_file_exits_2(self, cli_files, capsys):
+        assert main(["--root", "book", "validate", "/no/such/doc.xml",
+                     cli_files["schema"], "--stream"]) == 2
+
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_check_corpus_verdicts_identical(self, cli_files, fmt,
+                                             capsys):
+        argv = ["check-corpus", cli_files["lib_schema"],
+                cli_files["corpus"], "--jobs", "2", "--format", fmt]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--stream"]) == 0
+        streamed = capsys.readouterr().out
+        if fmt == "json":
+            p, s = json.loads(plain), json.loads(streamed)
+            p.pop("phases_s"), s.pop("phases_s")  # wall clock may differ
+            assert s == p
+        else:
+            drop_timings = lambda out: [  # noqa: E731
+                line for line in out.splitlines()
+                if "prepare=" not in line]
+            assert drop_timings(streamed) == drop_timings(plain)

@@ -9,7 +9,7 @@ import pytest
 from repro import Validator
 from repro.corpus import (
     CorpusValidator, DocumentVerdict, ResultCache, result_key,
-    schema_fingerprint,
+    result_key_bytes, schema_fingerprint,
 )
 from repro.dtd.validate import ValidationReport
 from repro.obs import Observability
@@ -68,6 +68,40 @@ class TestResultCache:
         (path,) = list(tmp_path.rglob("*.json"))
         path.write_text("{not json")
         assert ResultCache(directory=tmp_path).get("deadbeef") is None
+
+    def test_raw_byte_key_matches_text_key(self, library):
+        """Path inputs are keyed on raw bytes; for a plain LF file that
+        is the same key the text spelling gets, so the cache is shared
+        between path and (doc_id, text) inputs."""
+        dtd, _docs = library
+        fp = schema_fingerprint(dtd)
+        assert result_key_bytes(b"<a/>\n", fp) == result_key("<a/>\n", fp)
+
+    def test_raw_byte_key_is_stable_and_newline_sensitive(self, library):
+        dtd, _docs = library
+        fp = schema_fingerprint(dtd)
+        assert result_key_bytes(b"<a/>\r\n", fp) \
+            == result_key_bytes(b"<a/>\r\n", fp)
+        # CRLF and LF are distinct byte streams, so distinct keys: the
+        # key must never pass through text-mode newline translation.
+        assert result_key_bytes(b"<a/>\r\n", fp) \
+            != result_key_bytes(b"<a/>\n", fp)
+
+    def test_path_inputs_keyed_on_disk_bytes(self, library, tmp_path):
+        """The coordinator hashes exactly the bytes on disk — a CRLF
+        and an LF spelling of one document get different keys but (as
+        the parser normalizes nothing here) compatible verdicts."""
+        dtd, docs = library
+        text = serialize(docs[0])
+        lf = tmp_path / "lf.xml"
+        lf.write_bytes(text.encode("utf-8"))
+        report = CorpusValidator(dtd).validate([str(lf)])
+        fp = schema_fingerprint(dtd)
+        assert report.verdicts[0].key \
+            == result_key_bytes(lf.read_bytes(), fp)
+        # and the in-memory tree spelling of the same document agrees
+        tree_report = CorpusValidator(dtd).validate([docs[0]])
+        assert tree_report.verdicts[0].key == report.verdicts[0].key
 
     def test_empty_cache_is_still_consulted(self, library):
         """Regression: ResultCache defines __len__, so an *empty* cache
@@ -184,6 +218,75 @@ class TestCorpusCaching:
         report = CorpusValidator(other, cache=str(tmp_path)) \
             .validate([("d", serialize(doc))])
         assert report.n_cached == 0
+
+
+class TestStreamingCorpus:
+    """``stream=True`` must be observationally identical to batch —
+    same verdicts, same keys, one shared cache."""
+
+    def test_stream_matches_batch_on_trees(self, library):
+        dtd, docs = library
+        batch = CorpusValidator(dtd).validate(docs)
+        strm = CorpusValidator(dtd, stream=True).validate(docs)
+        assert batch.verdicts_json() == strm.verdicts_json()
+
+    def test_stream_matches_batch_on_paths_pooled(self, library, tmp_path):
+        dtd, docs = library
+        paths = []
+        for i, doc in enumerate(docs):
+            path = tmp_path / f"doc{i}.xml"
+            path.write_text(serialize(doc))
+            paths.append(str(path))
+        batch = CorpusValidator(dtd, jobs=2).validate(paths)
+        strm = CorpusValidator(dtd, jobs=2, stream=True).validate(paths)
+        assert batch.verdicts_json() == strm.verdicts_json()
+
+    def test_cache_is_shared_across_modes(self, library, tmp_path):
+        """A batch-warmed cache answers a streaming run (and vice
+        versa): the keys are raw-bytes content addresses either way."""
+        dtd, docs = library
+        doc_dir = tmp_path / "docs"
+        doc_dir.mkdir()
+        paths = []
+        for i, doc in enumerate(docs[:5]):
+            path = doc_dir / f"doc{i}.xml"
+            path.write_text(serialize(doc))
+            paths.append(str(path))
+        cache = ResultCache()
+        cold = CorpusValidator(dtd, cache=cache).validate(paths)
+        warm = CorpusValidator(dtd, cache=cache, stream=True) \
+            .validate(paths)
+        assert warm.n_cached == len(paths)
+        assert warm.verdicts_json() == cold.verdicts_json()
+
+    def test_worker_computed_keys_match_coordinator(self, library,
+                                                    tmp_path):
+        """Without a cache the streaming coordinator never opens the
+        files; the keys the workers hash during their own read must
+        still equal the coordinator-side keys a cached run computes."""
+        dtd, docs = library
+        paths = []
+        for i, doc in enumerate(docs[:5]):
+            path = tmp_path / f"doc{i}.xml"
+            path.write_text(serialize(doc))
+            paths.append(str(path))
+        no_cache = CorpusValidator(dtd, stream=True).validate(paths)
+        cached = CorpusValidator(dtd, stream=True,
+                                 cache=ResultCache()).validate(paths)
+        assert [v.key for v in no_cache.verdicts] \
+            == [v.key for v in cached.verdicts]
+
+    def test_malformed_document_is_an_error_verdict(self, library):
+        dtd, _docs = library
+        report = CorpusValidator(dtd, stream=True) \
+            .validate([("bad", "<not xml")])
+        assert report.n_errors == 1 and report.verdicts[0].error
+
+    def test_facade_passes_stream_through(self, library):
+        dtd, docs = library
+        batch = Validator(dtd).check_corpus(docs)
+        strm = Validator(dtd).check_corpus(docs, stream=True)
+        assert batch.verdicts_json() == strm.verdicts_json()
 
 
 class TestCorpusObservability:

@@ -1,0 +1,95 @@
+"""Property-based equivalence: streaming vs batch vs incremental.
+
+The streaming validator's whole contract is that nobody can tell it
+apart from the batch pipeline.  These tests drive that with hypothesis
+over the workload generators: random structures, random Σ aligned to
+them, random documents (structurally valid by construction but riddled
+with constraint violations by design), and assert byte-for-byte equal
+reports — ``to_json()`` includes violation order, so any drift in
+evaluator feeding order fails here.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import CorpusValidator
+from repro.constraints.checker import check
+from repro.dtd.dtdc import DTDC
+from repro.dtd.validate import validate
+from repro.incremental.session import DocumentSession
+from repro.stream import StreamValidator, compile_plan
+from repro.workloads.generators import (
+    random_check_sigma, random_corpus, random_document, random_structure,
+)
+from repro.xmlio import serialize
+from repro.xmlio.parser import parse_document
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+def _instance(seed: int) -> "tuple[DTDC, str] | None":
+    """One (schema, document text) pair from the workload generators,
+    or None when the sampled Σ is not well-formed for the structure
+    (a foreign key referencing a non-key, say)."""
+    from repro.errors import ConstraintError
+
+    structure = random_structure(seed, n_types=5)
+    sigma = random_check_sigma(structure, seed, n_constraints=6)
+    try:
+        dtd = DTDC(structure, sigma)
+    except ConstraintError:
+        return None
+    text = serialize(random_document(structure, seed + 1,
+                                     size_budget=80))
+    return dtd, text
+
+
+class TestStreamBatchEquivalence:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_report_is_byte_identical(self, seed):
+        instance = _instance(seed)
+        assume(instance is not None)
+        dtd, text = instance
+        batch = validate(parse_document(text, dtd.structure), dtd)
+        stream = StreamValidator(compile_plan(dtd)).validate_text(text)
+        assert stream.to_json() == batch.to_json()
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_constraint_portion_matches_check(self, seed):
+        """The Σ half of the streamed report equals a standalone
+        ``check()`` — same violations, same order."""
+        instance = _instance(seed)
+        assume(instance is not None)
+        dtd, text = instance
+        tree = parse_document(text, dtd.structure)
+        checked = check(tree, dtd.constraints, dtd.structure)
+        stream = StreamValidator(compile_plan(dtd)).validate_text(text)
+        assert [v.to_dict() for v in stream.constraint] \
+            == [v.to_dict() for v in checked.violations]
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_matches_incremental_session(self, seed):
+        """A DocumentSession built over the parsed tree reports the
+        same Σ violations the stream does."""
+        instance = _instance(seed)
+        assume(instance is not None)
+        dtd, text = instance
+        tree = parse_document(text, dtd.structure)
+        session = DocumentSession(tree, dtd.constraints, dtd.structure)
+        stream = StreamValidator(compile_plan(dtd)).validate_text(text)
+        assert [v.to_dict() for v in stream.constraint] \
+            == [v.to_dict() for v in session.validate().violations]
+
+
+class TestCorpusModeEquivalence:
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_corpus_verdicts_identical(self, seed):
+        dtd, docs = random_corpus(n_docs=6, doc_vertices=40,
+                                  invalid_fraction=0.5, seed=seed)
+        batch = CorpusValidator(dtd).validate(docs)
+        stream = CorpusValidator(dtd, stream=True).validate(docs)
+        assert stream.verdicts_json() == batch.verdicts_json()
