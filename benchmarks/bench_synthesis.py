@@ -1,0 +1,174 @@
+"""E20: whole-schema satisfiability + witness synthesis.
+
+Paper artifact: consistency of a ``DTD^C`` is decidable by the static
+analysis of §2.2/§3, and the decision is *constructive* — a SAT
+verdict carries a finite witness document, an UNSAT verdict carries an
+unsat core whose removal restores satisfiability.  The experiment
+measures what the construction costs and how the witness grows:
+
+- **verdict totality** — every checked-in fixture/example schema and a
+  seeded random family get a definitive SAT/UNSAT verdict (never
+  UNKNOWN), with SAT witnesses re-validating to zero violations;
+- **witness size vs |Σ|** — witness vertex count on a chain-shaped
+  schema family as the constraint count grows; the synthesis is
+  demand-driven, so size scales with |Σ|, not with the schema;
+- **synthesis time** — wall-clock per ``check_satisfiability`` call
+  over the same family (best of 3).
+
+Run styles::
+
+    python -m pytest benchmarks/bench_synthesis.py -q  # shape asserts
+    python benchmarks/bench_synthesis.py --smoke       # CI one-shot
+    python benchmarks/bench_synthesis.py               # timing report
+"""
+
+import os
+import pathlib
+import sys
+import time
+
+if __package__:
+    from benchmarks.conftest import print_series
+else:  # `python benchmarks/bench_synthesis.py` — repo root not on path
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from benchmarks.conftest import print_series
+from repro.dtd.validate import validate
+from repro.synthesis import Verdict, check_satisfiability
+from repro.workloads.generators import random_satisfiable_dtdc
+from repro.xmlio.dtdparse import parse_dtdc
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+ALL_SCHEMAS = sorted(
+    list((REPO / "tests" / "fixtures").glob("*.dtdc"))
+    + list((REPO / "examples").glob("*.dtdc")))
+
+
+def _chain_schema(n_constraints: int) -> str:
+    """A schema family parameterized by |Σ|: ``n`` keyed types hanging
+    off the root, each referencing the next — every constraint drags
+    one more populated extension into the witness."""
+    n = max(2, n_constraints)
+    lines = ["<!ELEMENT db (%s)>" % ", ".join(f"t{i}*" for i in range(n))]
+    for i in range(n):
+        lines.append(f"<!ELEMENT t{i} (#PCDATA)>")
+        lines.append(f"<!ATTLIST t{i} k CDATA #REQUIRED"
+                     + (" r CDATA #REQUIRED" if i + 1 < n else "")
+                     + ">")
+    sigma = [f"t{i}.k -> t{i}" for i in range(n)]
+    sigma += [f"t{i}.r sub t{i + 1}.k" for i in range(n - 1)]
+    return "\n".join(lines) + "\n\n%% constraints\n" + "\n".join(sigma)
+
+
+def _best_of(f, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        f()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _definitive(path: pathlib.Path) -> "bool | None":
+    """True when the schema earns SAT with a clean witness or UNSAT
+    with a non-empty core; None when it is rejected at parse time
+    (also definitive); False on any regression."""
+    try:
+        dtd = parse_dtdc(path.read_text(), check=False)
+    except Exception:
+        return None
+    report = check_satisfiability(dtd)
+    if report.verdict is Verdict.SAT:
+        return report.witness is not None \
+            and validate(report.witness, dtd).ok
+    if report.verdict is Verdict.UNSAT:
+        return report.core is not None
+    return False
+
+
+# -- verdict totality ------------------------------------------------------
+
+
+def test_e20_every_fixture_verdict_is_definitive():
+    for path in ALL_SCHEMAS:
+        assert _definitive(path) is not False, path.name
+
+
+def test_e20_random_family_sat_with_clean_witness():
+    for seed in range(10):
+        dtd = random_satisfiable_dtdc(seed=seed)
+        report = check_satisfiability(dtd)
+        assert report.verdict is Verdict.SAT
+        assert validate(report.witness, dtd).ok
+
+
+# -- witness size vs |Σ| ---------------------------------------------------
+
+
+def test_e20_witness_grows_with_sigma_not_faster():
+    """Acceptance: witness vertex count is Θ(|Σ|) on the chain family —
+    monotone, and within a small constant of the constraint count."""
+    sizes = {}
+    for n in (2, 4, 8, 16):
+        dtd = parse_dtdc(_chain_schema(n))
+        report = check_satisfiability(dtd)
+        assert report.verdict is Verdict.SAT
+        sizes[n] = report.witness.size()
+    assert sizes[2] <= sizes[4] <= sizes[8] <= sizes[16]
+    assert sizes[16] <= 4 * (2 * 16), sizes
+
+
+# -- standalone runner (CI smoke + timing report) --------------------------
+
+
+def _report(smoke: bool) -> int:
+    bad = [p.name for p in ALL_SCHEMAS if _definitive(p) is False]
+
+    random_ok = 0
+    n_random = 5 if smoke else 20
+    for seed in range(n_random):
+        dtd = random_satisfiable_dtdc(seed=seed)
+        report = check_satisfiability(dtd)
+        if report.verdict is Verdict.SAT \
+                and validate(report.witness, dtd).ok:
+            random_ok += 1
+
+    print(f"E20 synthesis: {len(ALL_SCHEMAS)} schemas, "
+          f"{n_random} random")
+    print(f"  fixture verdicts definitive: "
+          f"{len(ALL_SCHEMAS) - len(bad)}/{len(ALL_SCHEMAS)}"
+          + (f"  REGRESSED: {bad}" if bad else ""))
+    print(f"  random SAT + clean witness:  {random_ok}/{n_random}")
+
+    series_size = []
+    series_time = []
+    for n in (2, 4, 8, 16) if smoke else (2, 4, 8, 16, 32, 64):
+        dtd = parse_dtdc(_chain_schema(n))
+        report = check_satisfiability(dtd)
+        if report.verdict is not Verdict.SAT:
+            print(f"  chain |Sigma|={2 * n - 1}: NOT SAT, regression")
+            return 1
+        series_size.append((2 * n - 1, report.witness.size()))
+        series_time.append(
+            (2 * n - 1,
+             _best_of(lambda: check_satisfiability(dtd))))
+    print_series("E20: witness vertices vs |Sigma| (chain family)",
+                 series_size, header="(x=|Sigma|, y=vertices)")
+    print_series("E20: synthesis seconds vs |Sigma| (best of 3)",
+                 series_time, header="(x=|Sigma|, y=seconds)")
+
+    ok = not bad and random_ok == n_random
+    print("E20 smoke OK" if ok else "E20 FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import argparse
+
+    cli = argparse.ArgumentParser(
+        description="E20: satisfiability + witness synthesis benchmark")
+    cli.add_argument("--smoke", action="store_true",
+                     help="CI mode: verdict totality + witness "
+                     "cleanliness, short chain family")
+    args = cli.parse_args()
+    raise SystemExit(_report(args.smoke))

@@ -16,7 +16,9 @@ The package implements the paper end-to-end:
 - the paper's running examples and seeded workload generators:
   :mod:`repro.workloads`;
 - static analysis of ``DTD^C`` schemas (the ``repro-xic lint``
-  engine): :mod:`repro.analysis`.
+  engine): :mod:`repro.analysis`;
+- whole-schema satisfiability with witness-document synthesis (the
+  ``repro-xic synth`` engine): :mod:`repro.synthesis`.
 
 Quickstart::
 
@@ -61,6 +63,10 @@ from repro.paths import (
 )
 from repro.incremental import DocumentSession
 from repro.obs import NULL_OBS, Observability
+from repro.synthesis import (
+    SatReport, UnsatCore, Verdict, check_satisfiability,
+    synthesize_witness,
+)
 from repro.validator import Validator
 from repro.workloads import book_document, book_dtdc
 from repro.xmlio import parse_document, parse_dtd, parse_dtdc, serialize
@@ -83,6 +89,8 @@ __all__ = [
     "Path", "PathFunctional", "PathImplicationEngine", "PathInclusion",
     "PathInverse", "parse_path", "type_of",
     "DocumentSession", "NULL_OBS", "Observability", "Validator",
+    "SatReport", "UnsatCore", "Verdict", "check_satisfiability",
+    "synthesize_witness",
     "book_document", "book_dtdc",
     "parse_document", "parse_dtd", "parse_dtdc", "serialize",
     "__version__",

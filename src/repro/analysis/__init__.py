@@ -22,6 +22,7 @@ Rule families: ``XIC1xx`` structure, ``XIC2xx`` well-formedness,
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
 from repro.analysis.engine import RuleContext, analyze, analyze_structure
+from repro.analysis.evidence import attach_evidence
 from repro.analysis.registry import (
     DEFAULT_REGISTRY, LintConfig, Rule, RuleRegistry, rule,
 )
@@ -33,6 +34,6 @@ from repro.analysis import rules_semantic as _rules_semantic  # noqa: F401
 
 __all__ = [
     "AnalysisReport", "Diagnostic", "Severity",
-    "RuleContext", "analyze", "analyze_structure",
+    "RuleContext", "analyze", "analyze_structure", "attach_evidence",
     "DEFAULT_REGISTRY", "LintConfig", "Rule", "RuleRegistry", "rule",
 ]

@@ -57,6 +57,11 @@ class Diagnostic:
     ``element`` and ``constraint`` locate the finding inside the schema
     (either may be absent); ``rule`` is the kebab-case name of the rule
     that produced it; ``fix`` is an optional suggestion.
+
+    ``evidence`` is an optional concrete artifact backing the finding —
+    a synthesized witness or counterexample document as XML text —
+    attached by :func:`repro.analysis.evidence.attach_evidence` (the
+    ``lint --witness`` path); ``evidence_note`` says how to read it.
     """
 
     code: str
@@ -66,6 +71,8 @@ class Diagnostic:
     element: str | None = None
     constraint: str | None = None
     fix: str | None = None
+    evidence: str | None = None
+    evidence_note: str | None = None
 
     @property
     def is_finding(self) -> bool:
@@ -91,6 +98,10 @@ class Diagnostic:
             out["constraint"] = self.constraint
         if self.fix is not None:
             out["fix"] = self.fix
+        if self.evidence is not None:
+            out["evidence"] = self.evidence
+        if self.evidence_note is not None:
+            out["evidence_note"] = self.evidence_note
         return out
 
     def __str__(self) -> str:

@@ -98,6 +98,18 @@ class RuleContext:
 
         return consistency_report(self.dtd)
 
+    @cached_property
+    def satisfiability(self):
+        """The analytic satisfiability verdict (memoized, no witness).
+
+        This is the same call the ``repro-xic consistent`` subcommand
+        makes, so the lint rules (``XIC104``, ``XIC303``) and the CLI
+        verdict agree by construction.
+        """
+        from repro.synthesis import check_satisfiability
+
+        return check_satisfiability(self.dtd, synthesize=False)
+
 
 def analyze(dtd: DTDC, config: LintConfig | None = None,
             registry: RuleRegistry | None = None,

@@ -16,7 +16,7 @@ severities per code — the programmatic form of the CLI's ``--select``,
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from collections.abc import Callable, Iterable, Iterator, Mapping
 from typing import TYPE_CHECKING
 
@@ -47,9 +47,8 @@ class Rule:
         out = []
         for d in self.check(ctx):
             if not d.code:
-                d = Diagnostic(self.code, self.severity, d.message,
-                               rule=self.name, element=d.element,
-                               constraint=d.constraint, fix=d.fix)
+                d = replace(d, code=self.code, severity=self.severity,
+                            rule=self.name)
             out.append(d)
         return out
 

@@ -136,12 +136,13 @@ def check_divergence(ctx: RuleContext) -> Iterator[Diagnostic]:
 @rule("XIC303", "inconsistent-schema", Severity.ERROR,
       "a required element type has a necessarily empty extension")
 def check_inconsistent(ctx: RuleContext) -> Iterator[Diagnostic]:
-    """The conflict set of the consistency analysis: types forced by the
-    content models to occur in every valid document whose extension Σ
-    forces to be empty — no valid document exists at all."""
+    """The conflict set of the shared satisfiability core: types forced
+    by the content models to occur in every valid document whose
+    extension Σ forces to be empty — no valid document exists at all.
+    (Purely structural conflicts are ``XIC104``'s finding.)"""
     if not ctx.sound:
         return
-    for tau in sorted(ctx.consistency.conflicts):
+    for tau in sorted(ctx.satisfiability.constraint_conflicts):
         yield finding(
             f"element type {tau!r} is required by the content models but "
             "its extension is empty in every model of Sigma — no valid "
@@ -159,7 +160,7 @@ def check_vacuous(ctx: RuleContext) -> Iterator[Diagnostic]:
     answers about it are misleading."""
     if not ctx.sound:
         return
-    report = ctx.consistency
+    report = ctx.satisfiability
     for tau in sorted(report.vacuous - report.conflicts):
         yield finding(
             f"the extension of {tau!r} is empty in every model of Sigma; "

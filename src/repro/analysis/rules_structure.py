@@ -56,6 +56,26 @@ def check_unreachable(ctx: RuleContext) -> Iterator[Diagnostic]:
             "drop the declaration")
 
 
+@rule("XIC104", "non-generating-required-type", Severity.ERROR,
+      "a required element type derives no finite tree")
+def check_non_generating(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A type on a mandatory containment chain from the root whose
+    content model admits no finite derivation (``<!ELEMENT a (a)>``):
+    no finite document validates, whatever Σ says.  The verdict comes
+    from the shared satisfiability core, so it cannot disagree with
+    ``repro-xic consistent`` or ``repro-xic synth``."""
+    if not ctx.structure_ok:
+        return  # XIC103 already explains the dangling references
+    for tau in sorted(ctx.satisfiability.structural_conflicts):
+        yield finding(
+            f"element type {tau!r} is required by the content models "
+            "but derives no finite tree (its content model mentions "
+            "itself on every alternative) — no valid document exists",
+            element=tau,
+            fix=f"add a base case to the content model of {tau!r} or "
+            "make it optional in its parents")
+
+
 @rule("XIC103", "dangling-content-reference", Severity.ERROR,
       "content model or root references an undeclared element type")
 def check_dangling(ctx: RuleContext) -> Iterator[Diagnostic]:

@@ -185,35 +185,125 @@ def _lint_prefixes(raw: list[str] | None) -> tuple[str, ...]:
     return tuple(out)
 
 
-def _cmd_lint(args) -> int:
-    from repro.analysis import LintConfig, analyze
+def _check_rule_prefixes(prefixes: tuple[str, ...], flag: str) -> str | None:
+    """Validate ``--select``/``--ignore`` prefixes against the registry;
+    returns an error message naming the first unknown code, or None."""
+    from repro.analysis import DEFAULT_REGISTRY
 
+    codes = DEFAULT_REGISTRY.codes()
+    for prefix in prefixes:
+        if not any(code.startswith(prefix) for code in codes):
+            return (f"{flag}: unknown rule code {prefix!r} (no registered "
+                    f"rule matches; known codes: {', '.join(codes)})")
+    return None
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import LintConfig, analyze, attach_evidence
+
+    select = _lint_prefixes(args.select)
+    ignore = _lint_prefixes(args.ignore)
+    for prefixes, flag in ((select, "--select"), (ignore, "--ignore")):
+        message = _check_rule_prefixes(prefixes, flag)
+        if message is not None:
+            LOG.error("error: %s", message)
+            return 2
     # check=False: the linter reports ill-formedness, it must not raise.
     dtd = parse_dtdc(FsPath(args.schema).read_text(), root=args.root,
                      check=False)
-    config = LintConfig(select=_lint_prefixes(args.select),
-                        ignore=_lint_prefixes(args.ignore))
+    config = LintConfig(select=select, ignore=ignore)
     report = analyze(dtd, config, obs=args.obs)
+    if args.witness:
+        report = attach_evidence(report, dtd, obs=args.obs)
     if args.format == "json":
         print(report.to_json(schema=args.schema))
     else:
         print(report)
+        if args.witness:
+            for d in report:
+                if d.evidence is None and d.evidence_note is None:
+                    continue
+                print(f"\n{d.code} evidence"
+                      + (f" ({d.evidence_note})" if d.evidence_note
+                         else "") + ":")
+                if d.evidence is not None:
+                    print(d.evidence.rstrip("\n"))
     return 0 if report.clean else 1
 
 
 def _cmd_consistent(args) -> int:
-    from repro.dtd.consistency import consistency_report
+    # Routed through the shared satisfiability core — the same verdict
+    # the lint rules XIC104/XIC303 report, so CLI and lint cannot
+    # disagree (satellite of the synthesis subsystem).
+    from repro.synthesis import check_satisfiability
 
-    report = consistency_report(_load_dtdc(args.schema, args.root))
+    report = check_satisfiability(_load_dtdc(args.schema, args.root),
+                                  synthesize=False, obs=args.obs)
     if args.format == "json":
         _print_json({"schema": args.schema,
-                     "consistent": report.consistent,
+                     "consistent": report.satisfiable,
+                     "verdict": str(report.verdict),
                      "required": sorted(report.required),
                      "vacuous": sorted(report.vacuous),
-                     "conflicts": sorted(report.conflicts)})
+                     "conflicts": sorted(report.conflicts),
+                     "unsat_core": report.core.to_dict()
+                     if report.core else None})
+    else:
+        if report.satisfiable:
+            print("consistent (no required type is constraint-forced "
+                  "to be empty, every required type generates)")
+        else:
+            inner = ", ".join(sorted(report.conflicts))
+            print(f"INCONSISTENT: type(s) {{{inner}}} are required by "
+                  "the content models but cannot occur in any valid "
+                  "document")
+            print(str(report.core))
+    return 0 if report.satisfiable else 1
+
+
+def _cmd_synth(args) -> int:
+    """Satisfiability + witness synthesis: exit 0 SAT (witness ships),
+    1 UNSAT (unsat core ships), 2 input error or UNKNOWN."""
+    from repro.synthesis import Verdict, check_satisfiability, \
+        per_constraint_witnesses
+    from repro.xmlio.serializer import serialize
+
+    dtd = _load_dtdc(args.schema, args.root)
+    report = check_satisfiability(dtd, obs=args.obs)
+    payload: dict = {"schema": args.schema, **report.to_dict(),
+                     "witness": None}
+    if report.witness is not None:
+        xml = serialize(report.witness)
+        payload["witness"] = xml
+        if args.witness_out:
+            FsPath(args.witness_out).write_text(xml)
+            LOG.info("wrote witness to %s", args.witness_out)
+    if args.per_constraint and report.verdict is Verdict.SAT:
+        per = per_constraint_witnesses(dtd, obs=args.obs)
+        payload["per_constraint"] = [
+            {"constraint": str(entry["constraint"]),
+             "exercised": entry["exercised"],
+             "witness": serialize(entry["witness"])
+             if entry["witness"] is not None else None}
+            for entry in per]
+    if args.format == "json":
+        _print_json(payload)
     else:
         print(report)
-    return 0 if report.consistent else 1
+        if report.witness is not None and not args.witness_out:
+            print(payload["witness"].rstrip("\n"))
+        for entry in payload.get("per_constraint", ()):
+            print(f"\n# {entry['constraint']}"
+                  + ("" if entry["exercised"] else " (not exercisable)"))
+            if entry["witness"]:
+                print(entry["witness"].rstrip("\n"))
+    if report.verdict is Verdict.SAT:
+        return 0
+    if report.verdict is Verdict.UNSAT:
+        return 1
+    LOG.error("error: verdict is UNKNOWN — no conflict found, but no "
+              "witness could be verified")
+    return 2
 
 
 def _pick_engine(sigma, phi, obs=None):
@@ -425,13 +515,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ignore", action="append", metavar="CODES",
                    help="skip rules matching these comma-separated code "
                    "prefixes; repeatable")
+    p.add_argument("--witness", action="store_true",
+                   help="attach concrete evidence documents to semantic "
+                   "findings (synthesized witnesses/counterexamples)")
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("consistent", parents=[fmt],
-                       help="check the DTD^C for required-but-empty "
-                       "element types")
+                       help="decide schema satisfiability (shared core "
+                       "with lint and synth); exit 0 SAT, 1 UNSAT")
     p.add_argument("schema")
     p.set_defaults(func=_cmd_consistent)
+
+    p = sub.add_parser("synth", parents=[fmt],
+                       help="decide satisfiability and synthesize a "
+                       "minimal zero-violation witness document (SAT) "
+                       "or an unsat core (UNSAT); exit 0 SAT, 1 UNSAT, "
+                       "2 input error/unknown")
+    p.add_argument("schema")
+    p.add_argument("--witness", dest="witness_out", metavar="OUT.xml",
+                   default=None,
+                   help="write the witness document to this file "
+                   "instead of stdout")
+    p.add_argument("--per-constraint", action="store_true",
+                   help="additionally synthesize one minimal witness "
+                   "per constraint of Sigma")
+    p.set_defaults(func=_cmd_synth)
 
     p = sub.add_parser("imply", parents=[fmt],
                        help="decide Sigma |= phi")

@@ -1,0 +1,56 @@
+"""Lowering abstract counterexample models to real documents.
+
+The implication engines talk in :class:`~repro.implication.models.
+AbstractModel` — flat rows of field values, no tree shape.  The lint
+engine wants *documents*: a counterexample the user can open, validate,
+and poke at.  :func:`lower_model` bridges the two against an actual
+``DTD^C`` structure: it builds a structurally valid skeleton realizing
+the model's extension sizes (via :class:`~repro.synthesis.skeleton.
+SkeletonBuilder`), then overwrites the skeleton's default values with
+the model's rows — attributes directly, §3.4 element fields through
+the child's text.
+
+Unlike :func:`repro.implication.models.materialize` (which invents a
+flat wrapper DTD), the lowered document lives under the *user's*
+structure, so it can be validated against the user's schema as-is.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.tree import DataTree
+from repro.dtd.structure import DTDStructure
+from repro.implication.models import AbstractModel
+from repro.synthesis.skeleton import SkeletonBuilder
+from repro.synthesis.values import assign_defaults, set_field
+
+
+def lower_model(model: AbstractModel, structure: DTDStructure,
+                builder: "SkeletonBuilder | None" = None
+                ) -> "DataTree | None":
+    """A structurally valid document realizing the abstract model.
+
+    Every element type of the model gets exactly as many vertices as
+    the model has rows (plus whatever the content models force), and
+    each row's field values are written onto the corresponding vertex
+    in document order.  Returns ``None`` when the structure cannot
+    realize the extension sizes (unknown type, bounded occurrence).
+    """
+    for tau in model.elements:
+        if not structure.has_element(tau):
+            return None
+    if builder is None:
+        builder = SkeletonBuilder(structure)
+    multiplicities = {tau: len(rows)
+                      for tau, rows in model.elements.items() if rows}
+    tree = builder.build(multiplicities)
+    if tree is None:
+        return None
+    assign_defaults(tree, structure)
+    for tau in sorted(model.elements):
+        vertices = tree.ext(tau)
+        for i, row in enumerate(model.ext(tau)):
+            if i >= len(vertices):  # pragma: no cover — build honors mult
+                return None
+            for f in sorted(row.values, key=str):
+                set_field(vertices[i], f, row.values[f], structure)
+    return tree

@@ -1,0 +1,40 @@
+"""Whole-schema satisfiability and witness-document synthesis.
+
+The constructive companion to :mod:`repro.dtd.consistency`: instead of
+a bare yes/no, the pass either *builds* a minimal document proving a
+``DTD^C`` satisfiable — one that parses, validates with zero
+violations, and exercises every constraint of Σ — or names the minimal
+set of productions and constraints that conflict (the unsat core).
+
+Layers:
+
+- :mod:`repro.synthesis.reachability` — reachable/generating types over
+  the content models, minimal-cost expansions, and the Dijkstra word
+  search behind skeleton grafting;
+- :mod:`repro.synthesis.skeleton` — structurally valid trees realizing
+  prescribed type multiplicities;
+- :mod:`repro.synthesis.values` — the bounded chase assigning attribute
+  values so Σ holds and is exercised;
+- :mod:`repro.synthesis.satisfiability` — the verdict driver:
+  :func:`check_satisfiability`, :func:`synthesize_witness`, unsat-core
+  minimization.
+
+The lint engine (``XIC104``, ``XIC303``) and the ``repro-xic
+consistent`` / ``repro-xic synth`` subcommands all route through
+:func:`check_satisfiability`, so their verdicts agree by construction.
+"""
+
+from repro.synthesis.reachability import (
+    generating_types, reachable_types,
+)
+from repro.synthesis.satisfiability import (
+    SatReport, UnsatCore, Verdict, check_satisfiability,
+    per_constraint_witnesses, synthesize_witness,
+)
+from repro.synthesis.skeleton import SkeletonBuilder
+
+__all__ = [
+    "SatReport", "SkeletonBuilder", "UnsatCore", "Verdict",
+    "check_satisfiability", "generating_types",
+    "per_constraint_witnesses", "reachable_types", "synthesize_witness",
+]

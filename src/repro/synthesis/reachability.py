@@ -1,0 +1,293 @@
+"""Reachability and generating analysis over content models.
+
+The two classical grammar facts, transplanted to DTDs (a DTD is a
+regular tree grammar, Def 2.2):
+
+- a type is **reachable** when some chain of content models from the
+  root mentions it — only reachable types can occur in a document;
+- a type is **generating** when it derives at least one finite tree —
+  ``L(P(tau))`` must contain a word over generating symbols.  A type
+  that only derives through itself (``<!ELEMENT a (a)>``) generates
+  nothing, and a *required* non-generating type makes the whole schema
+  unsatisfiable no matter what Σ says.
+
+The same fixpoint, run with an exclusion set (the Σ-vacuous types of
+:func:`repro.dtd.consistency.vacuous_types`), answers the combined
+question: which types can occur in a document that is both structurally
+valid and a model of Σ.
+
+The word searches are the constructive half: :func:`min_cost_word`
+finds the cheapest word of ``L(P(tau))`` (cost = vertices of the
+minimal subtree each symbol expands to), and :func:`word_with` runs
+Dijkstra over the Glushkov automaton × a required-occurrence counter to
+find the cheapest accepted word containing a prescribed multiset of
+symbols — the engine behind witness skeletons.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Mapping
+
+from repro.dtd.structure import DTDStructure
+from repro.regexlang.ast import (
+    ATOMIC, Atom, Concat, Epsilon, Regex, Star, Union,
+)
+from repro.regexlang.glushkov import GlushkovNFA
+
+#: Effectively-infinite cost for non-generating symbols.
+INF = float("inf")
+
+
+def reachable_types(structure: DTDStructure) -> frozenset[str]:
+    """Types mentioned by some content-model chain from the root."""
+    if not structure.has_element(structure.root):
+        return frozenset()
+    reachable = {structure.root}
+    queue = deque((structure.root,))
+    while queue:
+        tau = queue.popleft()
+        for child in structure.subelements(tau):
+            if child not in reachable and structure.has_element(child):
+                reachable.add(child)
+                queue.append(child)
+    return frozenset(reachable)
+
+
+def has_word_over(regex: Regex, allowed: "frozenset[str] | set[str]"
+                  ) -> bool:
+    """Whether ``L(regex)`` contains a word using only ``allowed``
+    symbols (the text symbol ``S`` is always allowed)."""
+    if isinstance(regex, Epsilon):
+        return True
+    if isinstance(regex, Atom):
+        return regex.symbol == ATOMIC or regex.symbol in allowed
+    if isinstance(regex, Union):
+        return has_word_over(regex.left, allowed) \
+            or has_word_over(regex.right, allowed)
+    if isinstance(regex, Concat):
+        return has_word_over(regex.left, allowed) \
+            and has_word_over(regex.right, allowed)
+    if isinstance(regex, Star):
+        return True
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def generating_types(structure: DTDStructure,
+                     excluded: "frozenset[str] | set[str]" = frozenset()
+                     ) -> frozenset[str]:
+    """Types that derive at least one finite tree, never using a type
+    from ``excluded`` (pass the Σ-vacuous set to get the types that can
+    occur in a *model* of Σ; pass nothing for the purely structural
+    answer)."""
+    generating: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for tau in structure.element_types:
+            if tau in generating or tau in excluded:
+                continue
+            if has_word_over(structure.content(tau), generating):
+                generating.add(tau)
+                changed = True
+    return frozenset(generating)
+
+
+def _better(a, b):
+    """Order (cost, word) candidates: cheaper, then shorter, then
+    lexicographic — total, so every choice below is deterministic."""
+    if b is None:
+        return a
+    if a is None:
+        return b
+    return min(a, b, key=lambda cw: (cw[0], len(cw[1]), cw[1]))
+
+
+def min_cost_word(regex: Regex, costs: Mapping[str, float]
+                  ) -> "tuple[float, tuple[str, ...]] | None":
+    """The cheapest word of ``L(regex)`` under per-symbol costs
+    (``S`` is free), or ``None`` when every word uses an
+    infinite-cost symbol."""
+    if isinstance(regex, Epsilon):
+        return (0.0, ())
+    if isinstance(regex, Atom):
+        cost = 0.0 if regex.symbol == ATOMIC \
+            else costs.get(regex.symbol, INF)
+        return None if cost == INF else (cost, (regex.symbol,))
+    if isinstance(regex, Union):
+        return _better(min_cost_word(regex.left, costs),
+                       min_cost_word(regex.right, costs))
+    if isinstance(regex, Concat):
+        left = min_cost_word(regex.left, costs)
+        right = min_cost_word(regex.right, costs)
+        if left is None or right is None:
+            return None
+        return (left[0] + right[0], left[1] + right[1])
+    if isinstance(regex, Star):
+        return (0.0, ())
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def expansion_costs(structure: DTDStructure,
+                    generating: "frozenset[str] | None" = None
+                    ) -> "tuple[dict[str, float], dict[str, tuple[str, ...]]]":
+    """Per-type minimal subtree sizes and the words realizing them.
+
+    ``costs[tau]`` is the vertex count of the smallest tree rooted at
+    ``tau`` (1 for a type whose content model accepts the empty word);
+    ``words[tau]`` is the child word of that smallest tree.  Knuth-style
+    fixpoint: relax every type against the current costs until stable.
+    Non-generating types keep cost ``INF`` and get no word.
+    """
+    if generating is None:
+        generating = generating_types(structure)
+    costs: dict[str, float] = {tau: INF for tau in structure.element_types}
+    words: dict[str, tuple[str, ...]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for tau in sorted(generating):
+            best = min_cost_word(structure.content(tau), costs)
+            if best is None:
+                continue
+            total = 1.0 + best[0]
+            if total < costs[tau]:
+                costs[tau] = total
+                words[tau] = best[1]
+                changed = True
+    return costs, words
+
+
+def word_with(regex: Regex, required: Mapping[str, int],
+              costs: Mapping[str, float],
+              allowed: "frozenset[str] | set[str]",
+              max_states: int = 200_000) -> "tuple[str, ...] | None":
+    """The cheapest word of ``L(regex)`` containing every symbol of
+    ``required`` at least the prescribed number of times, using only
+    ``allowed`` symbols (plus ``S``, which is free).
+
+    Dijkstra over the product of the Glushkov state set and a capped
+    occurrence counter for the required symbols, with dead-state
+    pruning: a state from which some still-deficient symbol can no
+    longer be emitted (a skipped star, say) is dropped immediately, so
+    the subset explosion of "skip one required symbol" branches never
+    enters the frontier.  Returns ``None`` when no such word exists
+    (the content model bounds the symbol below the requirement, say) or
+    the search exceeds ``max_states``.
+    """
+    nfa = GlushkovNFA(regex)
+    req_syms = tuple(sorted(s for s, n in required.items() if n > 0))
+    caps = tuple(required[s] for s in req_syms)
+    index = {s: i for i, s in enumerate(req_syms)}
+    alphabet = sorted(
+        s for s in nfa.alphabet()
+        if s == ATOMIC or s in allowed or s in index)
+    for s in req_syms:
+        if s not in nfa.alphabet():
+            return None
+
+    def sym_cost(s: str) -> float:
+        return 0.0 if s == ATOMIC else costs.get(s, INF)
+
+    if any(sym_cost(s) == INF for s in req_syms):
+        return None
+    # emittable[p]: bitmask of required symbols some continuation from
+    # position p can still produce (position 0 = before any symbol).
+    bit = {s: 1 << i for s, i in index.items()}
+    emittable = {p: 0 for p in nfa.symbols}
+    emittable[0] = 0
+    changed = True
+    while changed:
+        changed = False
+        for p in emittable:
+            mask = emittable[p]
+            for q in (nfa.first if p == 0 else nfa.follow.get(p, ())):
+                mask |= bit.get(nfa.symbols[q], 0) | emittable[q]
+            if mask != emittable[p]:
+                emittable[p] = mask
+                changed = True
+    full = (1 << len(req_syms)) - 1
+    if emittable[0] != full:
+        return None  # some required symbol is bounded to zero
+
+    def alive(states, counts) -> bool:
+        deficit = 0
+        for j in range(len(caps)):
+            if counts[j] < caps[j]:
+                deficit |= 1 << j
+        if not deficit:
+            return True
+        mask = 0
+        for q in states:
+            mask |= emittable[q]
+            if deficit & ~mask == 0:
+                return True
+        return deficit & ~mask == 0
+
+    start = (nfa.initial(), (0,) * len(req_syms))
+    # heap entries: (cost, word, states, counts) — the word tiebreaks
+    # (shorter/lexicographically-smaller first), so output is stable.
+    heap: list = [(0.0, (), start[0], start[1])]
+    seen: set = set()
+    while heap:
+        cost, word, states, counts = heapq.heappop(heap)
+        key = (states, counts)
+        if key in seen:
+            continue
+        seen.add(key)
+        if len(seen) > max_states:
+            return None
+        if counts == caps and nfa.is_accepting(states):
+            return word
+        for s in alphabet:
+            c = sym_cost(s)
+            if c == INF:
+                continue
+            nxt = nfa.step(states, s)
+            if not nxt:
+                continue
+            i = index.get(s)
+            nxt_counts = counts if i is None else tuple(
+                min(caps[j], counts[j] + 1) if j == i else counts[j]
+                for j in range(len(counts)))
+            if (nxt, nxt_counts) not in seen \
+                    and alive(nxt, nxt_counts):
+                heapq.heappush(heap, (cost + c, word + (s,), nxt,
+                                      nxt_counts))
+    return None
+
+
+def can_contain(structure: DTDStructure, parent: str, child: str,
+                costs: Mapping[str, float],
+                allowed: "frozenset[str] | set[str]") -> bool:
+    """Whether some word of ``L(P(parent))`` over ``allowed`` contains
+    ``child`` — i.e. the edge parent → child survives the exclusions."""
+    return word_with(structure.content(parent), {child: 1}, costs,
+                     allowed) is not None
+
+
+def viable_paths(structure: DTDStructure,
+                 allowed: "frozenset[str] | set[str]",
+                 costs: Mapping[str, float]
+                 ) -> dict[str, tuple[str, ...]]:
+    """For every type realizable *in context*: a shortest root path
+    ``(root, ..., tau)`` whose every edge is witnessed by a word over
+    ``allowed``.  Types absent from the result cannot occur in any
+    document restricted to ``allowed`` types.
+    """
+    root = structure.root
+    if not structure.has_element(root) or root not in allowed:
+        return {}
+    paths: dict[str, tuple[str, ...]] = {root: (root,)}
+    queue = deque((root,))
+    while queue:
+        tau = queue.popleft()
+        for child in sorted(structure.subelements(tau)):
+            if child in paths or child not in allowed \
+                    or not structure.has_element(child):
+                continue
+            if can_contain(structure, tau, child, costs, allowed):
+                paths[child] = paths[tau] + (child,)
+                queue.append(child)
+    return paths

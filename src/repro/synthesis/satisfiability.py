@@ -1,0 +1,336 @@
+"""Whole-schema satisfiability: verdict, witness, or unsat core.
+
+``check_satisfiability`` combines three analyses into one verdict on a
+``DTD^C = (S, Σ)``:
+
+1. **structural** — every required type (mandatory containment from the
+   root) must be generating; a required type that derives no finite
+   tree (``<!ELEMENT a (a)>``) makes the schema UNSAT with a *production*
+   core, no constraints involved;
+2. **constraint** — the Σ-vacuous types (the ``L_id`` multi-target
+   degeneracy of :mod:`repro.dtd.consistency`) are excluded from the
+   generating fixpoint; a required type that stops generating under the
+   exclusion makes the schema UNSAT with a *constraint* core — a union
+   of minimal conflicting subsets of Σ whose removal provably restores
+   satisfiability (satisfiability is anti-monotone in Σ, so the greedy
+   deletion shrink is exact);
+3. **constructive** — when neither analysis objects, a witness document
+   is synthesized (skeleton + value chase), verified with the
+   production validator, and shipped with the SAT verdict.  A verdict
+   of SAT therefore always carries a zero-violation witness; the rare
+   cardinality corners the tractable analyses cannot decide (a key over
+   a foreign key into a type whose extension cannot grow) come back
+   ``UNKNOWN``, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from repro.constraints.base import Constraint
+from repro.datamodel.tree import DataTree
+from repro.dtd.consistency import required_types, vacuous_types
+from repro.dtd.dtdc import DTDC
+from repro.dtd.validate import validate
+from repro.obs import NULL_OBS
+from repro.synthesis.reachability import generating_types, reachable_types
+from repro.synthesis.skeleton import SkeletonBuilder
+from repro.synthesis.values import assign_values
+
+#: Witness synthesis retries (each retry grows the skeleton by the
+#: multiplicity hints of the previous round's value chase).
+MAX_ROUNDS = 4
+
+
+class Verdict(enum.Enum):
+    """The satisfiability verdict on a ``DTD^C``."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class UnsatCore:
+    """What conflicts: a minimal set of productions and/or constraints.
+
+    ``productions`` names required element types that cannot derive any
+    finite tree; ``constraints`` is a union of minimal conflicting
+    subsets of Σ — removing all of them from the schema makes it SAT,
+    and each one is individually necessary for the conflict.
+    """
+
+    constraints: tuple[Constraint, ...] = ()
+    productions: tuple[str, ...] = ()
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {"constraints": [str(c) for c in self.constraints],
+                "productions": list(self.productions),
+                "reason": self.reason}
+
+    def __str__(self) -> str:
+        parts = []
+        if self.productions:
+            parts.append("productions: "
+                         + ", ".join(self.productions))
+        if self.constraints:
+            parts.append("constraints: "
+                         + "; ".join(str(c) for c in self.constraints))
+        return f"unsat core ({self.reason}) — " + "; ".join(parts)
+
+
+@dataclass
+class SatReport:
+    """The full outcome of :func:`check_satisfiability`."""
+
+    verdict: Verdict
+    witness: "DataTree | None" = None
+    core: "UnsatCore | None" = None
+    required: frozenset = frozenset()
+    vacuous: frozenset = frozenset()
+    reachable: frozenset = frozenset()
+    generating: frozenset = frozenset()
+    structural_generating: frozenset = frozenset()
+    exercised: dict = field(default_factory=dict)
+    rounds: int = 0
+
+    @property
+    def satisfiable(self) -> bool:
+        """Whether some finite valid document exists (SAT only)."""
+        return self.verdict is Verdict.SAT
+
+    @property
+    def conflicts(self) -> frozenset:
+        """Required types that cannot occur — empty iff no conflict."""
+        return self.required - self.generating
+
+    @property
+    def structural_conflicts(self) -> frozenset:
+        """The conflicts already present with Σ = ∅ (pure grammar)."""
+        return self.required - self.structural_generating
+
+    @property
+    def constraint_conflicts(self) -> frozenset:
+        """The conflicts Σ introduces on a structurally fine grammar."""
+        return self.conflicts - self.structural_conflicts
+
+    def to_dict(self) -> dict:
+        out = {
+            "verdict": str(self.verdict),
+            "satisfiable": self.satisfiable,
+            "required": sorted(self.required),
+            "vacuous": sorted(self.vacuous),
+            "reachable": sorted(self.reachable),
+            "generating": sorted(self.generating),
+            "conflicts": sorted(self.conflicts),
+            "rounds": self.rounds,
+        }
+        if self.core is not None:
+            out["unsat_core"] = self.core.to_dict()
+        if self.witness is not None:
+            out["witness_vertices"] = self.witness.size()
+            out["exercised"] = {c: bool(e)
+                                for c, e in sorted(self.exercised.items())}
+        return out
+
+    def __str__(self) -> str:
+        if self.verdict is Verdict.SAT:
+            n = self.witness.size() if self.witness is not None else 0
+            ex = sum(1 for e in self.exercised.values() if e)
+            extra = f", witness: {n} vertices, {ex}/" \
+                f"{len(self.exercised)} constraint(s) exercised" \
+                if self.witness is not None else " (analytic, no witness)"
+            return f"SAT{extra}"
+        if self.verdict is Verdict.UNSAT:
+            return f"UNSAT — {self.core}"
+        return ("UNKNOWN — the tractable analyses found no conflict but "
+                "witness synthesis could not verify a document")
+
+
+# -- the analytic half ------------------------------------------------------
+
+
+def _safe_vacuous(structure, constraints: Sequence[Constraint]) -> set:
+    try:
+        return vacuous_types(DTDC(structure, tuple(constraints),
+                                  check=False))
+    except Exception:
+        return set()
+
+
+def _subset_sat(structure, constraints: Sequence[Constraint]) -> bool:
+    """The analytic satisfiability test used for core minimization."""
+    required = required_types(structure)
+    vac = _safe_vacuous(structure, constraints)
+    return required <= generating_types(structure, excluded=vac)
+
+
+def _shrink_mus(structure, constraints: "list[Constraint]"
+                ) -> "list[Constraint]":
+    """Deletion-based minimal unsatisfiable subset (assumes UNSAT)."""
+    subset = list(constraints)
+    for c in list(subset):
+        trial = [x for x in subset if x is not c]
+        if not _subset_sat(structure, trial):
+            subset = trial
+    return subset
+
+
+def _constraint_core(structure, sigma: Sequence[Constraint]
+                     ) -> "list[Constraint]":
+    """A union of disjoint minimal conflicting subsets whose removal
+    makes the schema SAT (each member individually necessary)."""
+    core: list[Constraint] = []
+    remaining = list(sigma)
+    for _ in range(len(sigma) + 1):
+        if _subset_sat(structure, remaining):
+            break
+        mus = _shrink_mus(structure, remaining)
+        core.extend(mus)
+        remaining = [c for c in remaining if not any(c is m for m in mus)]
+    return core
+
+
+# -- witness synthesis ------------------------------------------------------
+
+
+def synthesize_witness(dtd: DTDC,
+                       exercise: "Iterable[Constraint] | None" = None,
+                       obs=None, max_rounds: int = MAX_ROUNDS
+                       ) -> "tuple[DataTree | None, dict, int]":
+    """Build and verify a minimal witness document for a SAT schema.
+
+    ``exercise`` restricts which constraints' element types the witness
+    must populate (default: all of Σ); the document always satisfies
+    *all* of Σ either way.  Returns ``(tree, exercised, rounds)`` with
+    ``tree is None`` when no verified document was found within
+    ``max_rounds`` skeleton growths.
+    """
+    obs = obs or NULL_OBS
+    structure = dtd.structure
+    sigma = tuple(dtd.constraints)
+    targets = tuple(exercise) if exercise is not None else sigma
+    vac = frozenset(_safe_vacuous(structure, sigma))
+    builder = SkeletonBuilder(structure, excluded=vac)
+    wanted: set[str] = {structure.root}
+    for c in targets:
+        wanted.add(c.element)
+        wanted.update(_fk_targets(c))
+    multiplicities = {tau: 1 for tau in sorted(wanted)
+                      if builder.realizable(tau)}
+    with obs.span("synthesis.witness", sigma=len(sigma)) as span:
+        for round_no in range(1, max_rounds + 1):
+            tree = builder.build(multiplicities)
+            if tree is None:
+                return None, {}, round_no
+            hints = assign_values(tree, dtd)
+            report = validate(tree, dtd, obs=obs)
+            if report.ok:
+                exercised = {str(c): _is_exercised(c, tree)
+                             for c in sigma}
+                if obs.enabled:
+                    span.set(vertices=tree.size(), rounds=round_no)
+                    obs.counter(
+                        "synthesis_witness_vertices",
+                        help="vertices in verified witness documents",
+                    ).add(tree.size())
+                return tree, exercised, round_no
+            grown = False
+            for tau, n in hints.items():
+                if n > multiplicities.get(tau, 0) \
+                        and builder.realizable(tau):
+                    multiplicities[tau] = n
+                    grown = True
+            if not grown:
+                return None, {}, round_no
+    return None, {}, max_rounds
+
+
+def _fk_targets(c: Constraint) -> tuple[str, ...]:
+    target = getattr(c, "target", None)
+    return (target,) if isinstance(target, str) else ()
+
+
+def _is_exercised(c: Constraint, tree: DataTree) -> bool:
+    """Non-vacuous on this document: the constrained extensions are
+    populated (so the evaluators actually compared something)."""
+    if not tree.ext(c.element):
+        return False
+    return all(tree.ext(t) for t in _fk_targets(c))
+
+
+# -- the driver -------------------------------------------------------------
+
+
+def check_satisfiability(dtd: DTDC, synthesize: bool = True,
+                         obs=None, max_rounds: int = MAX_ROUNDS
+                         ) -> SatReport:
+    """Decide satisfiability of the schema; see the module docstring.
+
+    With ``synthesize=False`` the answer is analytic only (fast; SAT
+    verdicts carry no witness) — the mode the lint engine and the
+    ``consistent`` subcommand share, so their verdicts cannot drift.
+    """
+    obs = obs or NULL_OBS
+    structure = dtd.structure
+    sigma = tuple(dtd.constraints)
+    with obs.span("synthesis.check", sigma=len(sigma)) as span:
+        required = frozenset(required_types(structure))
+        reachable = reachable_types(structure)
+        structural_gen = generating_types(structure)
+        vac = frozenset(_safe_vacuous(structure, sigma))
+        gen = generating_types(structure, excluded=vac)
+        report = SatReport(Verdict.SAT, required=required, vacuous=vac,
+                           reachable=reachable, generating=gen,
+                           structural_generating=structural_gen)
+        if report.structural_conflicts:
+            report.verdict = Verdict.UNSAT
+            report.core = UnsatCore(
+                productions=tuple(sorted(report.structural_conflicts)),
+                reason="required element type(s) derive no finite tree")
+        elif report.constraint_conflicts:
+            with obs.span("synthesis.core"):
+                core = _constraint_core(structure, sigma)
+            report.verdict = Verdict.UNSAT
+            report.core = UnsatCore(
+                constraints=tuple(core),
+                productions=tuple(sorted(report.constraint_conflicts)),
+                reason="Sigma forces required element type(s) to be "
+                "empty")
+        elif synthesize:
+            witness, exercised, rounds = synthesize_witness(
+                dtd, obs=obs, max_rounds=max_rounds)
+            report.rounds = rounds
+            if witness is None:
+                report.verdict = Verdict.UNKNOWN
+            else:
+                report.witness = witness
+                report.exercised = exercised
+        if obs.enabled:
+            span.set(verdict=str(report.verdict))
+            obs.counter("synthesis_verdicts",
+                        {"verdict": str(report.verdict)},
+                        help="satisfiability verdicts").inc()
+    return report
+
+
+def per_constraint_witnesses(dtd: DTDC, obs=None
+                             ) -> "list[dict]":
+    """One minimal witness per constraint: the smallest document that
+    satisfies all of Σ while populating that constraint's extensions.
+    Entries: ``{"constraint", "witness" (tree or None), "exercised"}``.
+    """
+    out = []
+    for c in dtd.constraints:
+        tree, exercised, _rounds = synthesize_witness(dtd, exercise=(c,),
+                                                      obs=obs)
+        out.append({"constraint": c, "witness": tree,
+                    "exercised": bool(tree is not None
+                                      and exercised.get(str(c)))})
+    return out

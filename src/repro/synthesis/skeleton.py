@@ -1,0 +1,213 @@
+"""Witness skeletons: minimal structurally-valid trees on demand.
+
+A *skeleton* is a data tree that validates against ``S`` structurally
+and realizes a prescribed multiplicity per element type (at least ``n``
+vertices of type ``tau``) — the shape on which the value chase of
+:mod:`repro.synthesis.values` then satisfies Σ.  Construction is
+greedy-minimal: every vertex expands to the cheapest word of its
+content model (:func:`~repro.synthesis.reachability.expansion_costs`),
+and extra occurrences are grafted along shortest viable root paths by
+re-solving the parent's child word with
+:func:`~repro.synthesis.reachability.word_with` (existing subtrees are
+reused, never discarded).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict, deque
+from collections.abc import Mapping
+
+from repro.datamodel.tree import DataTree, Vertex
+from repro.dtd.structure import DTDStructure
+from repro.regexlang.ast import (
+    ATOMIC, Atom, Concat, Epsilon, Regex, Star, Union,
+)
+from repro.synthesis.reachability import (
+    expansion_costs, generating_types, has_word_over, viable_paths,
+    word_with,
+)
+
+#: Placeholder text content; the value chase overwrites it when a
+#: constraint field reads it.
+_TEXT = "text"
+
+
+def random_word_over(regex: Regex, rng: random.Random,
+                     allowed: "frozenset[str] | set[str]",
+                     max_star: int = 2) -> "tuple[str, ...] | None":
+    """A random word of ``L(regex)`` using only ``allowed`` symbols
+    (``S`` always allowed), or ``None`` when the restriction empties
+    the language.  Star bodies repeat 0..``max_star`` times."""
+    if isinstance(regex, Epsilon):
+        return ()
+    if isinstance(regex, Atom):
+        if regex.symbol == ATOMIC or regex.symbol in allowed:
+            return (regex.symbol,)
+        return None
+    if isinstance(regex, Union):
+        sides = [s for s in (regex.left, regex.right)
+                 if has_word_over(s, allowed)]
+        if not sides:
+            return None
+        return random_word_over(rng.choice(sides), rng, allowed, max_star)
+    if isinstance(regex, Concat):
+        left = random_word_over(regex.left, rng, allowed, max_star)
+        right = random_word_over(regex.right, rng, allowed, max_star)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(regex, Star):
+        if not has_word_over(regex.inner, allowed):
+            return ()
+        word: tuple[str, ...] = ()
+        for _ in range(rng.randint(0, max_star)):
+            part = random_word_over(regex.inner, rng, allowed, max_star)
+            if part is None:
+                return word
+            word += part
+        return word
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+class SkeletonBuilder:
+    """Builds minimal valid-shape trees over one structure.
+
+    ``excluded`` types (the Σ-vacuous set) never appear in any built
+    tree; all analyses are precomputed once, so building many skeletons
+    over the same schema is cheap.
+    """
+
+    def __init__(self, structure: DTDStructure,
+                 excluded: "frozenset[str] | set[str]" = frozenset()):
+        self.structure = structure
+        self.allowed = generating_types(structure, excluded)
+        self.costs, self.min_words = expansion_costs(structure,
+                                                     self.allowed)
+        self.paths = viable_paths(structure, self.allowed, self.costs)
+
+    def realizable(self, tau: str) -> bool:
+        """Whether ``tau`` can occur in some tree this builder makes."""
+        return tau in self.paths
+
+    def build(self, multiplicities: Mapping[str, int],
+              rng: "random.Random | None" = None,
+              budget: int = 0) -> "DataTree | None":
+        """A tree with at least ``multiplicities[tau]`` vertices of each
+        type, or ``None`` when the content models forbid it (a type
+        occurring exactly once in its only parent cannot be doubled).
+
+        With ``rng``, initial expansions draw random content-model
+        words (bounded by ``budget`` extra vertices) instead of minimal
+        ones — the workload generators' valid-document mode."""
+        root = self.structure.root
+        if root not in self.paths:
+            return None
+        mult = {t: n for t, n in multiplicities.items() if n > 0}
+        if mult.get(root, 1) > 1:
+            return None  # documents have one root
+        tree = DataTree(root)
+        state = _BuildState(rng, budget)
+        self._expand(tree, tree.root, state)
+        for tau in sorted(mult):
+            if tau not in self.paths:
+                return None
+            while len(tree.ext(tau)) < mult[tau]:
+                before = len(tree.ext(tau))
+                if self._add_one(tree, tau, state) is None:
+                    return None
+                if len(tree.ext(tau)) <= before:  # pragma: no cover
+                    return None
+        return tree
+
+    # -- internals ----------------------------------------------------------
+
+    def _expand(self, tree: DataTree, vertex: Vertex,
+                state: "_BuildState") -> None:
+        """Grow ``vertex`` with a cheapest (or random) child word,
+        recursively, until the subtree is structurally complete."""
+        word = None
+        if state.rng is not None and state.budget > 0:
+            word = random_word_over(self.structure.content(vertex.label),
+                                    state.rng, self.allowed)
+        if word is None:
+            word = self.min_words.get(vertex.label)
+        if word is None:  # pragma: no cover — callers stay in `allowed`
+            return
+        state.budget -= len(word)
+        for sym in word:
+            if sym == ATOMIC:
+                vertex.append(_TEXT)
+            else:
+                self._expand(tree, tree.create_under(vertex, sym), state)
+
+    def _add_one(self, tree: DataTree, tau: str,
+                 state: "_BuildState") -> "Vertex | None":
+        """Graft one more ``tau`` vertex: along its root path first, and
+        failing that (the path's final edge saturated — e.g. ``tau``
+        occurring exactly once in that parent's model) under *any*
+        existing vertex whose content model admits another ``tau``
+        child, which covers recursive occurrences like ``tau*`` inside
+        ``tau`` itself."""
+        path = self.paths[tau]
+        if len(path) > 1:
+            cur: Vertex | None = tree.root
+            for i, step in enumerate(path[1:], start=1):
+                last = i == len(path) - 1
+                if not last:
+                    existing = cur.first_child_labeled(step)
+                    if existing is not None:
+                        cur = existing
+                        continue
+                cur = self._force_child(tree, cur, step, state)
+                if cur is None:
+                    break
+            if cur is not None:
+                return cur
+        for parent in tree.vertices():
+            v = self._force_child(tree, parent, tau, state)
+            if v is not None:
+                return v
+        return None
+
+    def _force_child(self, tree: DataTree, parent: Vertex, label: str,
+                     state: "_BuildState") -> "Vertex | None":
+        """Rebuild ``parent``'s child word so it carries one *more*
+        child labeled ``label``, reusing every existing subtree."""
+        existing = Counter(parent.child_labels)
+        required = dict(existing)
+        required[label] = required.get(label, 0) + 1
+        word = word_with(self.structure.content(parent.label), required,
+                         self.costs, self.allowed)
+        if word is None:
+            return None
+        pools: dict[str, deque] = defaultdict(deque)
+        texts: deque[str] = deque()
+        for child in list(parent.children):
+            parent.remove_child(child)
+            if isinstance(child, str):
+                texts.append(child)
+            else:
+                pools[child.label].append(child)
+        new_vertex: Vertex | None = None
+        for sym in word:
+            if sym == ATOMIC:
+                parent.append(texts.popleft() if texts else _TEXT)
+            elif pools[sym]:
+                parent.append(pools[sym].popleft())
+            else:
+                v = tree.create_under(parent, sym)
+                self._expand(tree, v, state)
+                if sym == label:
+                    new_vertex = v
+        return new_vertex
+
+
+class _BuildState:
+    """Mutable randomness/budget bundle threaded through one build."""
+
+    __slots__ = ("rng", "budget")
+
+    def __init__(self, rng: "random.Random | None", budget: int):
+        self.rng = rng
+        self.budget = budget

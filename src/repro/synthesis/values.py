@@ -1,0 +1,358 @@
+"""The value chase: make a skeleton satisfy Σ.
+
+Given a structurally valid skeleton, assign attribute (and §3.4
+sub-element text) values so every constraint of Σ holds *and* is
+exercised — keys over distinct rows, foreign keys actually pointing at
+targets, inverses with at least one linked pair.
+
+The algorithm is a bounded chase: start from globally unique defaults
+(which satisfy every key for free), then repeatedly fire the
+value-copying consequences of the foreign-key and inverse constraints
+until a fixpoint, then repair any key collisions the copying created.
+A collision on a foreign-key-forced field cannot be repaired in place —
+the target extension is too small — so it is returned as a
+*multiplicity hint* (grow ``ext(target)`` and retry), which the
+synthesis driver feeds back into the skeleton builder.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Mapping
+
+from repro.constraints.base import Constraint, Field
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.datamodel.tree import DataTree, Vertex
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+
+
+def assign_values(tree: DataTree, dtd: DTDC) -> dict[str, int]:
+    """Chase Σ over the skeleton's values, in place.
+
+    Returns multiplicity hints: ``{tau: n}`` meaning the skeleton needs
+    at least ``n`` vertices of ``tau`` for an in-place repair to exist.
+    An empty dict does not guarantee success — the caller re-validates
+    — but a non-empty one names exactly what to grow before retrying.
+    """
+    structure = dtd.structure
+    sigma = tuple(dtd.constraints)
+    _defaults(tree, structure, sigma)
+    hints: dict[str, int] = {}
+    for _ in range(3):
+        _chase(tree, structure, sigma)
+        if not _fix_keys(tree, structure, sigma, hints):
+            break
+    return hints
+
+
+# -- defaults ---------------------------------------------------------------
+
+
+def assign_defaults(tree: DataTree, structure: DTDStructure,
+                    sigma: Iterable[Constraint] = ()) -> None:
+    """Public face of :func:`_defaults` (used by the model lowering)."""
+    _defaults(tree, structure, sigma)
+
+
+def set_field(v: Vertex, f: Field, values: "str | Iterable[str]",
+              structure: DTDStructure) -> bool:
+    """Public face of :func:`_set` (used by the model lowering)."""
+    return _set(v, f, values, structure)
+
+
+def _defaults(tree: DataTree, structure: DTDStructure,
+              sigma: Iterable[Constraint]) -> None:
+    """Globally unique scalars on every single-valued attribute (and
+    every element field Σ mentions); empty sets on set-valued ones."""
+    element_fields: dict[str, set[str]] = defaultdict(set)
+    for c in sigma:
+        for element, f in _fields_of(c):
+            if f.is_element:
+                element_fields[element].add(f.name)
+    for label in sorted(structure.element_types):
+        for i, v in enumerate(tree.ext(label)):
+            for a in sorted(structure.attributes(label)):
+                if structure.is_set_valued(label, a):
+                    v.set_attribute(a, frozenset())
+                else:
+                    v.set_attribute(a, f"{label}.{a}.{i}")
+            for name in sorted(element_fields.get(label, ())):
+                for child in v.children_labeled(name):
+                    _set_text(child, f"{label}.{name}.{i}", structure)
+
+
+def _fields_of(c: Constraint) -> "list[tuple[str, Field]]":
+    """Every (element type, field) pair a constraint reads."""
+    if isinstance(c, UnaryKey):
+        return [(c.element, c.field)]
+    if isinstance(c, Key):
+        return [(c.element, f) for f in c.fields]
+    if isinstance(c, (UnaryForeignKey, SetValuedForeignKey)):
+        return [(c.element, c.field), (c.target, c.target_field)]
+    if isinstance(c, ForeignKey):
+        return [(c.element, f) for f in c.fields] + \
+            [(c.target, f) for f in c.target_fields]
+    if isinstance(c, Inverse):
+        return [(c.element, c.key_field), (c.element, c.field),
+                (c.target, c.target_key_field), (c.target, c.target_field)]
+    if isinstance(c, (IDForeignKey, IDSetValuedForeignKey)):
+        return [(c.element, c.field)]
+    if isinstance(c, IDInverse):
+        return [(c.element, c.field), (c.target, c.target_field)]
+    return []  # IDConstraint: the ID attribute, already defaulted
+
+
+# -- reading and writing fields ---------------------------------------------
+
+
+def _get(v: Vertex, f: Field) -> frozenset[str]:
+    return f.values_on(v)
+
+
+def _set(v: Vertex, f: Field, values: "str | Iterable[str]",
+         structure: DTDStructure) -> bool:
+    """Write a field value; element fields rewrite the child's text."""
+    if isinstance(values, str):
+        values = (values,)
+    values = frozenset(values)
+    if not f.is_element:
+        v.set_attribute(f.name, values)
+        return True
+    if len(values) != 1:
+        return False
+    children = v.children_labeled(f.name)
+    if not children:
+        return False
+    return _set_text(children[0], next(iter(values)), structure)
+
+
+def _set_text(child: Vertex, value: str,
+              structure: DTDStructure) -> bool:
+    """Replace the string children of ``child`` with ``value``."""
+    if structure.has_element(child.label) \
+            and not structure.allows_text(child.label):
+        return False
+    for s in [c for c in child.children if isinstance(c, str)]:
+        child.remove_child(s)
+    child.append(value)
+    return True
+
+
+def _id_field(structure: DTDStructure, tau: str) -> "Field | None":
+    name = structure.id_attribute(tau)
+    return Field(name) if name else None
+
+
+# -- the chase --------------------------------------------------------------
+
+
+def _chase(tree: DataTree, structure: DTDStructure,
+           sigma: tuple[Constraint, ...]) -> None:
+    for _ in range(len(sigma) + 8):
+        changed = False
+        for c in sigma:
+            changed |= _enforce(c, tree, structure)
+        if not changed:
+            return
+
+
+def _enforce(c: Constraint, tree: DataTree,
+             structure: DTDStructure) -> bool:
+    if isinstance(c, (UnaryForeignKey, ForeignKey, IDForeignKey)):
+        if isinstance(c, UnaryForeignKey):
+            src, dst = (c.field,), (c.target_field,)
+        elif isinstance(c, ForeignKey):
+            src, dst = c.fields, c.target_fields
+        else:
+            idf = _id_field(structure, c.target)
+            if idf is None:
+                return False
+            src, dst = (c.field,), (idf,)
+        return _enforce_fk(tree, structure, c.element, src,
+                           c.target, dst)
+    if isinstance(c, (SetValuedForeignKey, IDSetValuedForeignKey)):
+        dst = c.target_field if isinstance(c, SetValuedForeignKey) \
+            else _id_field(structure, c.target)
+        if dst is None:
+            return False
+        return _enforce_sfk(tree, structure, c.element, c.field,
+                            c.target, dst)
+    if isinstance(c, Inverse):
+        return _enforce_inverse(tree, structure, c.element, c.key_field,
+                                c.field, c.target, c.target_key_field,
+                                c.target_field)
+    if isinstance(c, IDInverse):
+        ek, tk = _id_field(structure, c.element), \
+            _id_field(structure, c.target)
+        if ek is None or tk is None:
+            return False
+        return _enforce_inverse(tree, structure, c.element, ek, c.field,
+                                c.target, tk, c.target_field)
+    return False  # keys: handled by _fix_keys
+
+
+def _enforce_fk(tree: DataTree, structure: DTDStructure, element: str,
+                src: tuple[Field, ...], target: str,
+                dst: tuple[Field, ...]) -> bool:
+    """Point source row ``i`` at target row ``i mod |ext(target)|`` —
+    distinct targets whenever the extension is large enough, so key
+    constraints on the source fields survive when they can."""
+    targets = tree.ext(target)
+    if not targets:
+        return False
+    changed = False
+    rows = [tuple(sorted(_get(y, f)) for f in dst) for y in targets]
+    valid_rows = {tuple(r[0] for r in row) for row in rows
+                  if all(len(r) == 1 for r in row)}
+    for i, x in enumerate(tree.ext(element)):
+        current = tuple(sorted(_get(x, f)) for f in src)
+        if all(len(cv) == 1 for cv in current) \
+                and tuple(cv[0] for cv in current) in valid_rows:
+            continue
+        y = targets[i % len(targets)]
+        for sf, df in zip(src, dst):
+            want = _get(y, df)
+            if len(want) == 1 and _get(x, sf) != want:
+                if _set(x, sf, want, structure):
+                    changed = True
+    return changed
+
+
+def _enforce_sfk(tree: DataTree, structure: DTDStructure, element: str,
+                 field: Field, target: str, dst: Field) -> bool:
+    """Trim set values to the target pool; seed one reference so the
+    constraint is exercised, never just vacuously empty."""
+    pool: set[str] = set()
+    for y in tree.ext(target):
+        pool |= _get(y, dst)
+    changed = False
+    for x in tree.ext(element):
+        cur = set(_get(x, field))
+        keep = cur & pool
+        if not keep and pool:
+            keep = {min(pool)}
+        if keep != cur:
+            x.set_attribute(field.name, keep)
+            changed = True
+    return changed
+
+
+def _enforce_inverse(tree: DataTree, structure: DTDStructure,
+                     element: str, key_field: Field, field: Field,
+                     target: str, target_key_field: Field,
+                     target_field: Field) -> bool:
+    """Symmetrize: whenever one side references the other, add the
+    back-reference; link the first pair if none is linked yet."""
+    xs, ys = tree.ext(element), tree.ext(target)
+    changed = False
+    linked = False
+    for x in xs:
+        xk = _single(_get(x, key_field))
+        if xk is None:
+            continue
+        for y in ys:
+            yk = _single(_get(y, target_key_field))
+            if yk is None:
+                continue
+            fwd = yk in _get(x, field)
+            bwd = xk in _get(y, target_field)
+            if fwd or bwd:
+                linked = True
+            if fwd and not bwd:
+                y.set_attribute(target_field.name,
+                                set(_get(y, target_field)) | {xk})
+                changed = True
+            elif bwd and not fwd:
+                x.set_attribute(field.name,
+                                set(_get(x, field)) | {yk})
+                changed = True
+    if not linked and xs and ys:
+        x, y = xs[0], ys[0]
+        xk = _single(_get(x, key_field))
+        yk = _single(_get(y, target_key_field))
+        if xk is not None and yk is not None:
+            x.set_attribute(field.name, set(_get(x, field)) | {yk})
+            y.set_attribute(target_field.name,
+                            set(_get(y, target_field)) | {xk})
+            changed = True
+    return changed
+
+
+def _single(values: frozenset[str]) -> "str | None":
+    return next(iter(values)) if len(values) == 1 else None
+
+
+# -- key repair -------------------------------------------------------------
+
+
+def _forced_fields(sigma: tuple[Constraint, ...],
+                   structure: DTDStructure
+                   ) -> dict[tuple[str, str], set[str]]:
+    """Fields whose values foreign keys force: ``(element, field name)
+    -> target types``.  A collision there cannot be repaired by picking
+    a fresh value — only by growing the target extension."""
+    forced: dict[tuple[str, str], set[str]] = defaultdict(set)
+    for c in sigma:
+        if isinstance(c, (UnaryForeignKey, IDForeignKey)):
+            forced[(c.element, c.field.name)].add(c.target)
+        elif isinstance(c, ForeignKey):
+            for f in c.fields:
+                forced[(c.element, f.name)].add(c.target)
+    return forced
+
+
+def _fix_keys(tree: DataTree, structure: DTDStructure,
+              sigma: tuple[Constraint, ...],
+              hints: dict[str, int]) -> bool:
+    """Repair key collisions left by the chase.
+
+    A colliding row with at least one *free* field gets a fresh unique
+    value there; a row whose every field is foreign-key-forced records
+    a hint to grow the foreign keys' target type instead.  Returns
+    whether anything changed (fresh values may need another chase
+    round when other constraints read the same field).
+    """
+    forced = _forced_fields(sigma, structure)
+    changed = False
+    serial = 0
+    for c in sigma:
+        if isinstance(c, UnaryKey):
+            element, fields = c.element, (c.field,)
+        elif isinstance(c, Key):
+            element, fields = c.element, c.fields
+        elif isinstance(c, IDConstraint):
+            idf = _id_field(structure, c.element)
+            if idf is None:
+                continue
+            element, fields = c.element, (idf,)
+        else:
+            continue
+        seen: dict[tuple, Vertex] = {}
+        for v in tree.ext(element):
+            row = tuple(_single(_get(v, f)) for f in fields)
+            if None in row:
+                continue
+            if row not in seen:
+                seen[row] = v
+                continue
+            free = [f for f in fields
+                    if (element, f.name) not in forced]
+            if free:
+                f = free[0]
+                serial += 1
+                fresh = f"{element}.{f.name}.u{serial}"
+                if _set(v, f, fresh, structure):
+                    changed = True
+                    continue
+            n = len(tree.ext(element))
+            for f in fields:
+                for target in forced.get((element, f.name), ()):
+                    hints[target] = max(hints.get(target, 0), n)
+    return changed

@@ -25,7 +25,8 @@ from repro.workloads.generators import (
     random_bulk_document, random_check_sigma, random_corpus,
     random_document,
     random_lu_implication_instance, random_lu_sigma,
-    random_primary_l_instance, random_structure, random_update_ops,
+    random_primary_l_instance, random_satisfiable_dtdc,
+    random_structure, random_update_ops, random_valid_document,
     scaled_lu_chain,
 )
 
@@ -38,6 +39,7 @@ __all__ = [
     "random_bulk_document", "random_check_sigma", "random_corpus",
     "random_document",
     "random_lu_implication_instance", "random_lu_sigma",
-    "random_primary_l_instance", "random_structure", "random_update_ops",
+    "random_primary_l_instance", "random_satisfiable_dtdc",
+    "random_structure", "random_update_ops", "random_valid_document",
     "scaled_lu_chain",
 ]

@@ -597,3 +597,105 @@ def deep_chain_dtdc(n: int):
         constraints.append(UnaryKey(f"e{i}", Field("k")))
     path_text = ".".join(f"e{i}" for i in range(1, n + 1)) + ".k"
     return DTDC(s, constraints), path_text
+
+
+# ---------------------------------------------------------------------------
+# Witness-driven valid documents (the synthesis-backed generators)
+
+
+def random_valid_document(dtd, seed: "int | random.Random" = 0,
+                          size_budget: int = 40, max_rounds: int = 4):
+    """A random document that validates against the ``DTD^C`` with
+    **zero** violations — structure and Σ alike.
+
+    Where :func:`random_document` realizes the content models but is
+    deliberately riddled with constraint violations, this generator
+    rides the witness-synthesis machinery: a randomized structurally
+    valid skeleton (random content-model words up to ``size_budget``
+    extra vertices, at least one element per constrained type), then
+    the value chase of :mod:`repro.synthesis.values` to satisfy Σ, then
+    verification — retrying with grown extensions when the chase asks
+    for them.  Returns ``None`` when the schema admits no verified
+    document (UNSAT or undecided corners); for schemas that
+    :func:`repro.synthesis.check_satisfiability` calls SAT this is the
+    unbounded valid-corpus source the equivalence suites fuzz with.
+    """
+    from repro.dtd.consistency import vacuous_types
+    from repro.dtd.validate import validate
+    from repro.synthesis.satisfiability import synthesize_witness
+    from repro.synthesis.skeleton import SkeletonBuilder
+    from repro.synthesis.values import assign_values
+
+    rng = _rng(seed)
+    try:
+        vac = frozenset(vacuous_types(dtd))
+    except Exception:
+        vac = frozenset()
+    builder = SkeletonBuilder(dtd.structure, excluded=vac)
+    mult: dict[str, int] = {}
+    for c in dtd.constraints:
+        target = getattr(c, "target", None)
+        for tau in (c.element, target):
+            if isinstance(tau, str) and builder.realizable(tau):
+                mult[tau] = max(mult.get(tau, 0), rng.randint(1, 3))
+    floor = {tau: 1 for tau in mult}
+    for _ in range(max_rounds):
+        # The random multiplicities may be structurally unachievable (a
+        # type occurring exactly once under the root cannot be tripled);
+        # fall back through minimal-word and minimal-count builds before
+        # concluding anything.
+        tree = (builder.build(mult, rng=rng, budget=size_budget)
+                or builder.build(mult)
+                or builder.build(floor, rng=rng, budget=size_budget)
+                or builder.build(floor))
+        if tree is None:
+            break
+        hints = assign_values(tree, dtd)
+        if validate(tree, dtd).ok:
+            return tree
+        grown = False
+        for tau, n in hints.items():
+            if builder.realizable(tau) and n > mult.get(tau, 0):
+                mult[tau] = n
+                grown = True
+        if not grown:
+            break
+    # Randomized sizes can push the value chase's demands past what the
+    # content models admit even though a smaller model exists; fall back
+    # to the deterministic minimal witness before giving up.
+    tree, _exercised, _rounds = synthesize_witness(dtd,
+                                                   max_rounds=max_rounds)
+    return tree
+
+
+def random_satisfiable_dtdc(seed: "int | random.Random" = 0,
+                            n_types: int = 5, n_constraints: int = 6,
+                            attempts: int = 60):
+    """A random ``DTD^C`` the satisfiability analysis proves SAT.
+
+    Samples :func:`random_structure` + :func:`random_check_sigma` pairs
+    until :func:`repro.synthesis.check_satisfiability` returns a
+    *verified* SAT verdict — a synthesized witness exists, so
+    :func:`random_valid_document` never comes back empty-handed on the
+    result (ill-formed Σ samples are skipped).  All randomness flows
+    from ``seed``, so the schema is reproducible.
+    """
+    from repro.dtd.dtdc import DTDC
+    from repro.errors import ConstraintError
+    from repro.synthesis import check_satisfiability
+
+    rng = _rng(seed)
+    for _ in range(attempts):
+        s = rng.randrange(2**31)
+        structure = random_structure(s, n_types=n_types)
+        sigma = random_check_sigma(structure, s,
+                                   n_constraints=n_constraints)
+        try:
+            dtd = DTDC(structure, tuple(sigma))
+        except ConstraintError:
+            continue
+        report = check_satisfiability(dtd)
+        if report.satisfiable and report.witness is not None:
+            return dtd
+    raise RuntimeError(  # pragma: no cover — SAT samples are common
+        f"no satisfiable schema in {attempts} attempts from seed {seed}")

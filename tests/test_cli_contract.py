@@ -84,6 +84,9 @@ CASES = {
         lambda f: ["--root", "book", "path-imply", f["schema"],
                    "book.ref -> book.ref"],
         [3]),
+    "synth": (
+        lambda f: ["--root", "book", "synth", f["schema"]],
+        [3]),
     "bench-incremental": (
         lambda f: ["bench-incremental", "--nodes", "120",
                    "--updates", "2"],

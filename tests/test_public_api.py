@@ -39,6 +39,9 @@ EXPECTED_ALL = sorted([
     "PathInverse", "parse_path", "type_of",
     # facade, sessions, observability
     "DocumentSession", "NULL_OBS", "Observability", "Validator",
+    # satisfiability + witness synthesis
+    "SatReport", "UnsatCore", "Verdict", "check_satisfiability",
+    "synthesize_witness",
     # workloads + xmlio
     "book_document", "book_dtdc",
     "parse_document", "parse_dtd", "parse_dtdc", "serialize",

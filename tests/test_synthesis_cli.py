@@ -1,0 +1,199 @@
+"""Tests for ``repro-xic synth``, ``lint --witness``, and the shared
+satisfiability core behind ``repro-xic consistent``.
+
+Also carries the fixture verdict guard: every checked-in ``.dtdc``
+must earn a *definitive* SAT/UNSAT verdict (or be rejected as
+unparseable) — an UNKNOWN on a fixture means the synthesis machinery
+regressed on a schema it used to decide.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli.main import main
+from repro.dtd.validate import validate
+from repro.synthesis import Verdict, check_satisfiability
+from repro.xmlio.dtdparse import parse_dtdc
+from repro.xmlio.parser import parse_document
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+ALL_SCHEMAS = sorted(
+    list((REPO / "tests" / "fixtures").glob("*.dtdc"))
+    + list((REPO / "examples").glob("*.dtdc")))
+
+
+def fixture(name: str) -> str:
+    return str(REPO / "tests" / "fixtures" / name)
+
+
+class TestSynthText:
+    def test_sat_prints_witness(self, capsys):
+        assert main(["synth", fixture("book.dtdc")]) == 0
+        out = capsys.readouterr().out
+        assert "SAT" in out
+        assert "<book>" in out and "isbn=" in out
+
+    def test_unsat_prints_core(self, capsys):
+        assert main(["synth", fixture("inconsistent.dtdc")]) == 1
+        out = capsys.readouterr().out
+        assert "UNSAT" in out
+        assert "a.r sub b.id" in out and "a.r sub c.id" in out
+
+    def test_missing_file_exits_two(self):
+        assert main(["synth", "/no/such/schema.dtdc"]) == 2
+
+    def test_unparseable_schema_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.dtdc"
+        bad.write_text("this is not a DTD at all")
+        assert main(["synth", str(bad)]) == 2
+
+
+class TestSynthJson:
+    def test_sat_payload(self, capsys):
+        assert main(["synth", fixture("book.dtdc"),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "sat"
+        assert payload["schema"].endswith("book.dtdc")
+        assert payload["witness"].lstrip().startswith("<book>")
+        assert set(payload["exercised"]) \
+            == {"entry.isbn -> entry", "section.sid -> section",
+                "ref.to subS entry.isbn"}
+        assert all(payload["exercised"].values())
+
+    def test_unsat_payload(self, capsys):
+        assert main(["synth", fixture("inconsistent.dtdc"),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "unsat"
+        assert payload["witness"] is None
+        assert sorted(payload["unsat_core"]["constraints"]) \
+            == ["a.r sub b.id", "a.r sub c.id"]
+
+    def test_per_constraint(self, capsys):
+        assert main(["synth", fixture("book.dtdc"), "--format", "json",
+                     "--per-constraint"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["per_constraint"]
+        assert len(rows) == 3
+        assert all(row["witness"] for row in rows)
+        assert all(row["exercised"] for row in rows)
+
+
+class TestSynthWitnessFile:
+    def test_witness_file_validates_clean(self, tmp_path, capsys):
+        out_path = tmp_path / "witness.xml"
+        assert main(["synth", fixture("book.dtdc"),
+                     "--witness", str(out_path)]) == 0
+        dtd = parse_dtdc(
+            pathlib.Path(fixture("book.dtdc")).read_text())
+        tree = parse_document(out_path.read_text(), dtd.structure)
+        report = validate(tree, dtd)
+        assert report.ok and not list(report.violations)
+
+    def test_no_witness_file_on_unsat(self, tmp_path, capsys):
+        out_path = tmp_path / "witness.xml"
+        assert main(["synth", fixture("inconsistent.dtdc"),
+                     "--witness", str(out_path)]) == 1
+        assert not out_path.exists()
+
+
+class TestLintWitness:
+    def test_inconsistent_gets_core_and_repaired_witness(self, capsys):
+        assert main(["lint", fixture("inconsistent.dtdc"),
+                     "--witness", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        incons = [d for d in payload["diagnostics"]
+                  if d["code"] == "XIC303"]
+        assert incons
+        assert any("unsat core" in (d.get("evidence_note") or "")
+                   for d in incons)
+
+    def test_divergent_gets_prefix_document(self, capsys):
+        assert main(["lint", fixture("divergent.dtdc"),
+                     "--witness", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        diverge = [d for d in payload["diagnostics"]
+                   if d["code"] == "XIC302" and d.get("evidence")]
+        assert diverge
+        assert "<tau" in diverge[0]["evidence"]
+
+    def test_text_mode_prints_evidence_blocks(self, capsys):
+        assert main(["lint", fixture("divergent.dtdc"),
+                     "--witness"]) == 1
+        out = capsys.readouterr().out
+        assert "evidence" in out and "<tau" in out
+
+    def test_without_flag_no_evidence(self, capsys):
+        assert main(["lint", fixture("divergent.dtdc"),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert all("evidence" not in d for d in payload["diagnostics"])
+
+
+class TestLintUnknownCodes:
+    def test_unknown_select_exits_two(self, capsys):
+        assert main(["lint", fixture("clean.dtdc"),
+                     "--select", "XIC999"]) == 2
+        assert "XIC999" in capsys.readouterr().err
+
+    def test_unknown_ignore_exits_two(self, capsys):
+        assert main(["lint", fixture("clean.dtdc"),
+                     "--ignore", "XIC404"]) == 2
+        assert "XIC404" in capsys.readouterr().err
+
+    def test_known_prefix_still_selects(self, capsys):
+        # Family prefixes stay valid selectors.
+        assert main(["lint", fixture("divergent.dtdc"),
+                     "--select", "XIC3"]) == 1
+
+    def test_mixed_known_unknown_is_rejected(self, capsys):
+        assert main(["lint", fixture("clean.dtdc"),
+                     "--select", "XIC3,XIC909"]) == 2
+        assert "XIC909" in capsys.readouterr().err
+
+
+class TestConsistentAgreement:
+    def test_consistent_routes_through_shared_core(self, capsys):
+        assert main(["consistent", fixture("clean.dtdc"),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["consistent"] is True
+        assert payload["verdict"] == "sat"
+
+    def test_inconsistent_reports_core(self, capsys):
+        assert main(["consistent", fixture("inconsistent.dtdc"),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["consistent"] is False
+        assert payload["unsat_core"]["constraints"]
+
+    @pytest.mark.parametrize("path", ALL_SCHEMAS, ids=lambda p: p.name)
+    def test_consistent_and_synth_agree(self, path, capsys):
+        consistent = main(["consistent", str(path)])
+        capsys.readouterr()
+        synth = main(["synth", str(path)])
+        capsys.readouterr()
+        if consistent == 2 or synth == 2:
+            assert consistent == synth == 2
+        else:
+            # consistent: 0 = SAT, 1 = UNSAT; synth must match.
+            assert synth == consistent
+
+
+class TestFixtureVerdictGuard:
+    @pytest.mark.parametrize("path", ALL_SCHEMAS, ids=lambda p: p.name)
+    def test_every_schema_gets_a_definitive_verdict(self, path):
+        try:
+            dtd = parse_dtdc(path.read_text(), check=False)
+        except Exception:
+            return  # rejected at parse time: that is definitive too
+        report = check_satisfiability(dtd)
+        assert report.verdict in (Verdict.SAT, Verdict.UNSAT), path.name
+        if report.verdict is Verdict.SAT:
+            assert report.witness is not None
+            assert validate(report.witness, dtd).ok
+        else:
+            assert report.core is not None
