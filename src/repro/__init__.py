@@ -26,6 +26,10 @@ Quickstart::
     validator = Validator(book_dtdc())
     assert validator.validate(book_document()).ok
 
+    registry = SchemaRegistry()              # the long-lived pivot:
+    registry.load("book", "book.dtdc")       # compile once, serve hot,
+    registry.get("book").validator()         # hot-swap via reload()
+
     session = validator.session(book_document())   # incremental
     assert session.revalidate().ok
 
@@ -63,6 +67,9 @@ from repro.paths import (
 )
 from repro.incremental import DocumentSession
 from repro.obs import NULL_OBS, Observability
+from repro.server import (
+    SchemaHandle, SchemaRegistry, ValidationServer,
+)
 from repro.synthesis import (
     SatReport, UnsatCore, Verdict, check_satisfiability,
     synthesize_witness,
@@ -71,7 +78,7 @@ from repro.validator import Validator
 from repro.workloads import book_document, book_dtdc
 from repro.xmlio import parse_document, parse_dtd, parse_dtdc, serialize
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisReport", "Diagnostic", "LintConfig", "Severity", "analyze",
@@ -89,6 +96,7 @@ __all__ = [
     "Path", "PathFunctional", "PathImplicationEngine", "PathInclusion",
     "PathInverse", "parse_path", "type_of",
     "DocumentSession", "NULL_OBS", "Observability", "Validator",
+    "SchemaHandle", "SchemaRegistry", "ValidationServer",
     "SatReport", "UnsatCore", "Verdict", "check_satisfiability",
     "synthesize_witness",
     "book_document", "book_dtdc",
@@ -98,7 +106,8 @@ __all__ = [
 
 #: Legacy top-level entry points, kept importable through the module
 #: ``__getattr__`` below.  Each maps to its lazy import and the
-#: Validator-facade replacement named in the DeprecationWarning.
+#: Validator-facade replacement named in the DeprecationWarning; the
+#: removal version makes the schedule part of the contract.
 _DEPRECATED = {
     "validate": ("repro.dtd", "validate",
                  "Validator(dtd).validate(doc)"),
@@ -107,6 +116,9 @@ _DEPRECATED = {
     "check_constraint": ("repro.constraints", "check_constraint",
                          "Validator(dtd).check(doc, [phi])"),
 }
+
+#: The release that will drop the deprecated entry points above.
+_REMOVAL_VERSION = "2.0"
 
 
 def __getattr__(name: str):
@@ -120,9 +132,11 @@ def __getattr__(name: str):
     if name in _DEPRECATED:
         module, attr_name, replacement = _DEPRECATED[name]
         _warnings.warn(
-            f"repro.{name} is deprecated; use "
-            f"repro.{replacement} instead (see the migration table "
-            "in README.md)",
+            f"repro.{name} is deprecated and will be removed in repro "
+            f"{_REMOVAL_VERSION}; use repro.{replacement} — or bind the "
+            "schema once via repro.SchemaRegistry and use "
+            "Validator.from_registry — instead (see the migration "
+            "table in README.md)",
             DeprecationWarning, stacklevel=2)
         import importlib
 

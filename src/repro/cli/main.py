@@ -12,6 +12,14 @@ Subcommands::
     repro-xic path-imply SCHEMA.dtdc "t.p -> t.q"    # Props 4.1/4.2/4.3
     repro-xic bench-incremental                      # E16 speedup demo
     repro-xic profile --dtdc S.dtdc --doc D.xml      # span tree + counters
+    repro-xic serve --port 8080 --schema book=B.dtdc # long-lived daemon
+    repro-xic serve --stdio --schema book=B.dtdc     # JSONL over stdio
+
+Every subcommand loads its schema through one per-process
+:class:`~repro.server.registry.SchemaRegistry`, so the parse, the
+fingerprint, and the compiled stream plan are built at most once per
+schema per invocation and shared by every call site.  ``serve`` keeps
+that registry alive across requests — see :mod:`repro.server`.
 
 Every subcommand follows one exit-code contract (``validate`` and
 ``lint`` alike): 0 success / holds / implied / clean, 1 violation / not
@@ -68,12 +76,25 @@ from repro.paths.constraints import (
 )
 from repro.paths.implication import PathImplicationEngine
 from repro.paths.path import parse_path, type_of
+from repro.server.registry import SchemaRegistry
 from repro.xmlio.dtdparse import parse_dtdc
 from repro.xmlio.parser import parse_document
 
+#: The per-process registry every subcommand loads its schema through.
+#: ``put`` semantics (re-parse on every load) keep repeated ``main()``
+#: calls in one process — the test suite — from ever seeing stale text.
+_REGISTRY = SchemaRegistry()
+
+
+def _load_schema(path: str, root: str | None):
+    """Load SCHEMA through the process registry; returns the compiled
+    :class:`~repro.server.registry.SchemaHandle` (schema + fingerprint
+    + lazily compiled stream plan, each built once)."""
+    return _REGISTRY.put(str(path), FsPath(path).read_text(), root=root)
+
 
 def _load_dtdc(path: str, root: str | None):
-    return parse_dtdc(FsPath(path).read_text(), root=root)
+    return _load_schema(path, root).dtd
 
 
 def _print_json(payload: dict) -> None:
@@ -82,13 +103,14 @@ def _print_json(payload: dict) -> None:
 
 
 def _cmd_validate(args) -> int:
-    dtd = _load_dtdc(args.schema, args.root)
+    handle = _load_schema(args.schema, args.root)
+    dtd = handle.dtd
     LOG.info("loaded schema %s (|Sigma| = %d)", args.schema,
              len(dtd.constraints))
     if args.stream:
         from repro.validator import Validator
 
-        report = Validator(dtd, obs=args.obs).check_stream(
+        report = Validator(handle, obs=args.obs).check_stream(
             FsPath(args.document))
         LOG.info("streamed %s", args.document)
     else:
@@ -110,7 +132,7 @@ def _cmd_check_corpus(args) -> int:
     """Parallel Definition 2.4 over many documents (one schema)."""
     from repro.corpus import CorpusValidator
 
-    dtd = _load_dtdc(args.schema, args.root)
+    handle = _load_schema(args.schema, args.root)
     docs: list[str] = []
     for target in args.documents:
         path = FsPath(target)
@@ -123,7 +145,7 @@ def _cmd_check_corpus(args) -> int:
         return 2
     LOG.info("validating %d document(s) with jobs=%d", len(docs),
              args.jobs)
-    validator = CorpusValidator(dtd, jobs=args.jobs, cache=args.cache,
+    validator = CorpusValidator(handle, jobs=args.jobs, cache=args.cache,
                                 chunk_size=args.chunk_size, obs=args.obs,
                                 stream=args.stream)
     report = validator.validate(docs)
@@ -133,7 +155,12 @@ def _cmd_check_corpus(args) -> int:
         print(report)
     # Exit contract: unreadable/unparseable documents are input errors
     # (2) even when other documents validated; violations alone are 1.
+    # Both formats name the offending files: the text report lists them
+    # under "documents with findings", the JSON report carries the
+    # top-level "error_documents" array.
     if report.n_errors:
+        LOG.error("error: %d document(s) could not be processed: %s",
+                  report.n_errors, ", ".join(report.error_documents))
         return 2
     return 0 if report.ok else 1
 
@@ -421,6 +448,95 @@ def _cmd_profile(args) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_schema_specs(specs: "list[str] | None"
+                        ) -> "list[tuple[str, str]]":
+    """Split repeatable ``--schema NAME=PATH`` values."""
+    out: list[tuple[str, str]] = []
+    for spec in specs or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(f"--schema expects NAME=PATH, got {spec!r}")
+        out.append((name, path))
+    return out
+
+
+def _cmd_serve(args) -> int:
+    """Run the long-lived validation daemon (``repro-xic serve``).
+
+    At least one transport must be enabled: ``--port N`` binds the
+    hand-rolled HTTP front door (``0`` picks an ephemeral port, which
+    is announced on stdout), ``--stdio`` speaks JSONL over this
+    process's stdin/stdout (EOF on stdin is the clean shutdown).
+    ``--schema NAME=PATH`` preloads schemas; more can be loaded, hot-
+    reloaded, and unloaded at runtime through either transport.
+    """
+    import asyncio
+
+    from repro.obs import NULL_TRACER
+    from repro.server import ValidationServer
+
+    if args.port is None and not args.stdio:
+        LOG.error("error: serve needs --port N and/or --stdio")
+        return 2
+    specs = _parse_schema_specs(args.schema)
+    # The server-lifetime obs handle backs GET /metrics; the global
+    # --trace/--metrics flags still print it to stderr on exit like any
+    # other subcommand (tracer off by default: bounded memory).
+    obs = args.obs if args.obs is not None \
+        else Observability(tracer=NULL_TRACER)
+    registry = SchemaRegistry(obs=obs)
+    for name, path in specs:
+        handle = registry.load(name, path, root=args.root)
+        LOG.info("loaded schema %s v%d (root %s, fingerprint %s)",
+                 name, handle.version, handle.dtd.structure.root,
+                 handle.fingerprint[:12])
+    server = ValidationServer(registry, cache=args.cache, obs=obs,
+                              default_mode=args.mode)
+
+    async def _run() -> int:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        # Explicit handlers: SIGTERM for service managers, and SIGINT
+        # even when a non-interactive shell started us with it ignored
+        # (backgrounded jobs) — both wind down cleanly with exit 0.
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or exotic platform
+        tasks: list = []
+        try:
+            if args.port is not None:
+                host, port = await server.start_http(args.host, args.port)
+                LOG.info("HTTP listening on %s:%d", host, port)
+                if not args.stdio:
+                    # stdout is free of the JSONL transport here, so
+                    # announce the bound address (ephemeral --port 0
+                    # would otherwise be unusable).
+                    if args.format == "json":
+                        _print_json({"event": "ready", "host": host,
+                                     "port": port,
+                                     "schemas": registry.names()})
+                    else:
+                        print(f"serving http://{host}:{port}", flush=True)
+            if args.stdio:
+                tasks.append(asyncio.ensure_future(server.serve_stdio()))
+            if tasks:
+                await asyncio.gather(*tasks)
+            else:
+                await server.wait_shutdown()
+        finally:
+            await server.close()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        LOG.info("interrupted; shut down")
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for all subcommands.
 
@@ -571,6 +687,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--doc", required=True, metavar="DOC",
                    help="the XML document file")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("serve", parents=[fmt],
+                       help="run the long-lived validation daemon "
+                       "(SchemaRegistry + HTTP/JSONL front door); "
+                       "schemas compile once and hot-reload with zero "
+                       "downtime")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="HTTP bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None, metavar="N",
+                   help="bind the HTTP transport on this port "
+                   "(0 picks an ephemeral port, announced on stdout)")
+    p.add_argument("--stdio", action="store_true",
+                   help="speak JSONL over stdin/stdout (one request "
+                   "object per line; EOF is a clean shutdown)")
+    p.add_argument("--schema", action="append", metavar="NAME=PATH",
+                   help="preload a DTD^C under NAME; repeatable "
+                   "(--root applies to each)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="content-addressed result cache: byte-identical "
+                   "re-submissions are answered without re-validating")
+    p.add_argument("--mode", choices=("stream", "batch"),
+                   default="stream",
+                   help="default validate mode for requests that do not "
+                   "name one (default: stream)")
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

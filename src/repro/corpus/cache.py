@@ -31,12 +31,28 @@ from repro.dtd.dtdc import DTDC
 from repro.dtd.validate import ValidationReport
 
 __all__ = ["ResultCache", "result_key", "result_key_bytes",
-           "schema_fingerprint"]
+           "result_key_hasher", "schema_fingerprint"]
 
 
 def schema_fingerprint(dtd: DTDC) -> str:
     """SHA-256 of the schema's deterministic description (S and Σ)."""
     return hashlib.sha256(dtd.describe().encode("utf-8")).hexdigest()
+
+
+def result_key_hasher(hasher, fingerprint: str) -> str:
+    """Finish a SHA-256 hasher that has consumed the document bytes
+    into the cache key for ``fingerprint``.
+
+    This is the zero-rehash admission path of ``repro-xic serve``: the
+    transport hashes the body as it reads it, and the daemon only pays
+    the copy + two-short-update tail here.  ``hasher`` is left
+    untouched (it is copied), so one read can be keyed against several
+    schemas.
+    """
+    h = hasher.copy()
+    h.update(b"\x00")
+    h.update(fingerprint.encode("ascii"))
+    return h.hexdigest()
 
 
 def result_key_bytes(data: bytes, fingerprint: str) -> str:
@@ -49,9 +65,7 @@ def result_key_bytes(data: bytes, fingerprint: str) -> str:
     """
     h = hashlib.sha256()
     h.update(data)
-    h.update(b"\x00")
-    h.update(fingerprint.encode("ascii"))
-    return h.hexdigest()
+    return result_key_hasher(h, fingerprint)
 
 
 def result_key(xml_text: str, fingerprint: str) -> str:

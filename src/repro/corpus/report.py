@@ -103,6 +103,12 @@ class CorpusReport:
         return sum(1 for v in self.verdicts if v.error is not None)
 
     @property
+    def error_documents(self) -> "list[str]":
+        """The ids of unreadable/unparseable documents, in input order —
+        the documents behind an exit-2 ``check-corpus`` run."""
+        return [v.doc_id for v in self.verdicts if v.error is not None]
+
+    @property
     def n_cached(self) -> int:
         return sum(1 for v in self.verdicts if v.cached)
 
@@ -137,6 +143,7 @@ class CorpusReport:
             "valid": self.n_valid,
             "invalid": self.n_invalid,
             "errors": self.n_errors,
+            "error_documents": self.error_documents,
             "cached": self.n_cached,
             "violation_total": self.violation_total,
             "violations_by_code": self.violations_by_code(),

@@ -21,14 +21,13 @@ import os
 import time
 from typing import Iterable, Optional, Union
 
-from repro.corpus.cache import (
-    ResultCache, result_key, result_key_bytes, schema_fingerprint,
-)
+from repro.corpus.cache import ResultCache, result_key, result_key_bytes
 from repro.corpus.report import CorpusReport, DocumentVerdict
 from repro.corpus.worker import init_worker, stream_chunk, validate_chunk
 from repro.datamodel.tree import DataTree
 from repro.dtd.dtdc import DTDC
 from repro.dtd.validate import ValidationReport
+from repro.server.registry import SchemaHandle, as_handle
 from repro.xmlio.serializer import serialize
 
 __all__ = ["CorpusValidator"]
@@ -44,7 +43,12 @@ class CorpusValidator:
     Parameters
     ----------
     dtd:
-        The schema; parsed once here, shipped once per worker.
+        The schema — a :class:`DTDC` or a compiled
+        :class:`~repro.server.registry.SchemaHandle` (the uniform
+        contract).  Either way the validator works off a handle, so the
+        fingerprint and the streaming plan are computed once per schema
+        per process and shared with every other handle-routed call
+        site; the schema itself is shipped once per worker.
     jobs:
         Worker process count.  ``1`` (the default) stays in-process.
     cache:
@@ -66,17 +70,21 @@ class CorpusValidator:
         the same read.  Verdicts are byte-identical to the batch path.
     """
 
-    def __init__(self, dtd: DTDC, jobs: int = 1,
+    def __init__(self, dtd: "DTDC | SchemaHandle", jobs: int = 1,
                  cache: "ResultCache | str | os.PathLike | None" = None,
                  chunk_size: Optional[int] = None, obs=None,
                  stream: bool = False):
-        if not isinstance(dtd, DTDC):
-            raise TypeError(f"CorpusValidator needs a DTDC, got {type(dtd)!r}")
+        try:
+            self.handle = as_handle(dtd)
+        except TypeError:
+            raise TypeError(
+                f"CorpusValidator needs a DTDC or SchemaHandle, got "
+                f"{type(dtd)!r}") from None
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
-        self.dtd = dtd
+        self.dtd = self.handle.dtd
         self.jobs = jobs
         self.chunk_size = chunk_size
         if cache is None or isinstance(cache, ResultCache):
@@ -85,7 +93,7 @@ class CorpusValidator:
             self.cache = ResultCache(directory=cache)
         self.obs = obs
         self.stream = stream
-        self.fingerprint = schema_fingerprint(dtd)
+        self.fingerprint = self.handle.fingerprint
 
     # -- input normalization -----------------------------------------
 
@@ -239,24 +247,22 @@ class CorpusValidator:
         chunks = self._chunks(work, self._chunk_size(len(work)))
         collect_obs = bool(self.obs)
         if self.jobs == 1:
-            init_worker(self.dtd, collect_obs, plan)
+            init_worker(self.dtd, collect_obs, plan, self.fingerprint)
             return [worker(chunk) for chunk in chunks]
         import multiprocessing
 
         with multiprocessing.Pool(
                 processes=min(self.jobs, len(chunks)),
                 initializer=init_worker,
-                initargs=(self.dtd, collect_obs, plan)) as pool:
+                initargs=(self.dtd, collect_obs, plan,
+                          self.fingerprint)) as pool:
             return pool.map(worker, chunks)
 
     def _compiled_plan(self):
-        """The streaming plan, compiled once per validator."""
-        plan = getattr(self, "_plan", None)
-        if plan is None:
-            from repro.stream import compile_plan
-
-            plan = self._plan = compile_plan(self.dtd)
-        return plan
+        """The streaming plan — compiled once per schema per process,
+        on the handle (shared with ``Validator.check_stream`` and the
+        serve daemon)."""
+        return self.handle.plan
 
     def _to_verdict(self, key: Optional[str],
                     verdict_dict: dict) -> DocumentVerdict:

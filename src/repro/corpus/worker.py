@@ -29,17 +29,20 @@ __all__ = ["init_worker", "stream_chunk", "validate_chunk"]
 _STATE: dict = {}
 
 
-def init_worker(dtd: DTDC, collect_obs: bool, plan=None) -> None:
+def init_worker(dtd: DTDC, collect_obs: bool, plan=None,
+                fingerprint: "str | None" = None) -> None:
     """Install the schema (and obs policy) for this worker process.
 
     ``plan`` is the coordinator's compiled
     :class:`~repro.stream.StreamPlan` when the run is streaming — shipped
-    once per worker so :func:`stream_chunk` never recompiles it.
+    once per worker so :func:`stream_chunk` never recompiles it.  The
+    coordinator likewise ships its ``fingerprint`` so workers never
+    re-hash the schema (recomputed only when an old caller omits it).
     """
     _STATE["dtd"] = dtd
     _STATE["collect_obs"] = collect_obs
     _STATE["plan"] = plan
-    _STATE["fingerprint"] = schema_fingerprint(dtd)
+    _STATE["fingerprint"] = fingerprint or schema_fingerprint(dtd)
 
 
 def validate_chunk(chunk: "list[tuple[str, str]]") -> dict:

@@ -1,0 +1,604 @@
+"""The long-lived validation daemon behind ``repro-xic serve``.
+
+One :class:`ValidationServer` hosts a :class:`~repro.server.registry.SchemaRegistry`
+(compiled schemas, hot-swappable), an optional content-addressed
+:class:`~repro.corpus.ResultCache`, and a server-lifetime
+:class:`~repro.obs.Observability` handle, behind two transports that
+share one dispatcher:
+
+- **HTTP** (hand-rolled on ``asyncio.start_server``, zero new deps —
+  see :mod:`repro.server.http`)::
+
+      GET    /healthz                     liveness + loaded schemas
+      GET    /metrics                     Prometheus text exposition
+      GET    /v1/schemas                  registry listing
+      PUT    /v1/schemas/<name>[?root=r]  load or hot-reload (body = DTD^C)
+      DELETE /v1/schemas/<name>           unload
+      POST   /v1/validate/<name>[?mode=stream|batch]   body = XML bytes
+      POST   /v1/lint/<name>[?select=..&ignore=..]
+      POST   /v1/synth/<name>
+      POST   /v1/shutdown                 wind the daemon down
+
+- **JSONL** (stdin/stdout, or any stream pair): one request object per
+  line in, one response object per line out, same operations spelled
+  ``{"op": "validate", "schema": "book", "document": "<book>..."}`` —
+  plus ``ping``, ``schemas``, ``load``/``reload``/``unload``,
+  ``metrics`` and ``shutdown``.  EOF on stdin is a clean shutdown.
+
+Request lifecycle (the admission path the whole design serves):
+
+1. resolve the schema name to its current :class:`SchemaHandle` — this
+   pin is what makes reloads zero-downtime: the in-flight request keeps
+   the old handle while new admissions see the new version;
+2. SHA-256 the incoming document bytes *during the read* (the HTTP
+   framing layer hashes as it reads; JSONL hashes the line's document
+   once) and finish the hash into the
+   :func:`~repro.corpus.cache.result_key_hasher` cache key;
+3. answer from the :class:`ResultCache` on a hit — a warm byte-identical
+   re-submission costs one hash, no parse, no validation;
+4. on a miss, validate with the handle's compiled
+   :class:`~repro.stream.StreamPlan` (``mode=stream``, the default) or
+   the batch parse-then-validate path (``mode=batch``) — the report is
+   byte-identical either way — and write it through the cache.
+
+Per-request :class:`~repro.obs.Observability` spans and counters are
+absorbed into the server-lifetime handle after every request (the
+lifetime tracer is disabled by default so span storage cannot grow
+without bound); ``GET /metrics`` exports the merged registry in
+Prometheus text format.
+
+Validation reports are byte-identical to the CLI: the ``report`` field
+of a validate response is exactly ``ValidationReport.to_dict()``, the
+payload ``repro-xic validate --format json`` splices into its output.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.errors import ParseError, ReproError
+from repro.obs import NULL_TRACER, Observability
+from repro.server.http import (
+    HttpError, HttpRequest, HttpResponse, read_request, write_response,
+)
+from repro.server.registry import SchemaNotFound, SchemaRegistry
+
+__all__ = ["ValidationServer"]
+
+#: StreamReader limit for the transports: JSONL lines carry whole
+#: documents, so the default 64 KiB readline limit is far too small.
+STREAM_LIMIT = 64 * 1024 * 1024
+
+#: request latency histogram buckets (seconds)
+_LATENCY_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+                    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+
+class ValidationServer:
+    """The daemon: registry + cache + metrics behind HTTP and JSONL.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`SchemaRegistry` to serve (default: a fresh empty
+        one, populated at runtime via the registry operations).
+    cache:
+        ``None``, a directory path, or a prebuilt
+        :class:`~repro.corpus.ResultCache` for cache-aware admission.
+    obs:
+        The server-lifetime :class:`~repro.obs.Observability`.  Default:
+        metrics enabled, tracer disabled (bounded memory); pass a fully
+        enabled handle to also retain per-request span trees.
+    default_mode:
+        ``"stream"`` (single-pass, the hot path) or ``"batch"`` for
+        validate requests that do not name a mode.
+    """
+
+    def __init__(self, registry: Optional[SchemaRegistry] = None,
+                 cache=None, obs=None, default_mode: str = "stream"):
+        from repro.corpus.cache import ResultCache
+
+        if default_mode not in ("stream", "batch"):
+            raise ValueError(f"unknown default_mode {default_mode!r}")
+        self.registry = registry if registry is not None \
+            else SchemaRegistry()
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(directory=cache)
+        self.obs = obs if obs is not None \
+            else Observability(tracer=NULL_TRACER)
+        self.default_mode = default_mode
+        #: optional test/instrumentation hook, called as
+        #: ``hook(op, handle)`` right after admission resolves the
+        #: schema handle — the hot-reload tests swap the registry here
+        #: to prove in-flight requests finish on the old plan
+        self.admission_hook = None
+        self._http: Optional[asyncio.AbstractServer] = None
+        self.http_address: "tuple[str, int] | None" = None
+        self._shutdown = asyncio.Event()
+        #: live HTTP connections as (task, writer) pairs, so ``close()``
+        #: can end keep-alive handlers instead of leaving them to be
+        #: cancelled (and noisily logged) at loop teardown
+        self._conns: set = set()
+
+    # ------------------------------------------------------------------
+    # the dispatcher (shared by both transports)
+    # ------------------------------------------------------------------
+
+    def handle_request(self, req: dict) -> "tuple[dict, int]":
+        """Dispatch one request dict; returns ``(payload, http_status)``.
+
+        Never raises for request-level problems: schema-not-found maps
+        to 404/``not-found``, unparseable documents and schema text to
+        422/``invalid-document``, everything else malformed to
+        400/``bad-request``.  The response always echoes a request
+        ``id`` (the JSONL correlation field) when one was sent.
+        """
+        op = str(req.get("op", ""))
+        t0 = time.perf_counter()
+        try:
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise ReproError(
+                    f"unknown op {op!r} (known: "
+                    f"{', '.join(sorted(self._OPS))})")
+            payload, status = handler(self, req)
+        except SchemaNotFound as exc:
+            payload, status = _error("not-found", exc), 404
+        except ParseError as exc:
+            payload, status = _error("invalid-document", exc), 422
+        except (ReproError, UnicodeDecodeError) as exc:
+            payload, status = _error("bad-request", exc), 400
+        except OSError as exc:
+            payload, status = _error("bad-request", exc), 400
+        elapsed = time.perf_counter() - t0
+        if self.obs:
+            outcome = "ok" if payload.get("ok") else "error"
+            self.obs.counter(
+                "serve_requests_total", {"op": op or "?",
+                                         "outcome": outcome},
+                help="requests served, by operation and outcome").add(1)
+            self.obs.histogram(
+                "serve_request_seconds", {"op": op or "?"},
+                help="request wall-clock latency",
+                buckets=_LATENCY_BUCKETS).observe(elapsed)
+        if "id" in req:
+            payload = {"id": req["id"], **payload}
+        return payload, status
+
+    # -- operations ----------------------------------------------------
+
+    def _op_ping(self, req: dict) -> "tuple[dict, int]":
+        import repro
+
+        return {"ok": True, "server": "repro-xic serve",
+                "version": repro.__version__,
+                "schemas": self.registry.names()}, 200
+
+    def _op_schemas(self, req: dict) -> "tuple[dict, int]":
+        return {"ok": True,
+                "schemas": [h.to_dict()
+                            for h in self.registry.handles()]}, 200
+
+    def _op_load(self, req: dict) -> "tuple[dict, int]":
+        handle = self.registry.load(_required(req, "name"),
+                                    _required(req, "schema"),
+                                    root=req.get("root"))
+        return {"ok": True, "schema": handle.to_dict()}, 201
+
+    def _op_reload(self, req: dict) -> "tuple[dict, int]":
+        handle = self.registry.reload(_required(req, "name"),
+                                      req.get("schema"),
+                                      root=req.get("root"))
+        return {"ok": True, "schema": handle.to_dict()}, 200
+
+    def _op_put(self, req: dict) -> "tuple[dict, int]":
+        name = _required(req, "name")
+        created = name not in self.registry
+        handle = self.registry.put(name, _required(req, "schema"),
+                                   root=req.get("root"))
+        return {"ok": True,
+                "schema": handle.to_dict()}, 201 if created else 200
+
+    def _op_unload(self, req: dict) -> "tuple[dict, int]":
+        handle = self.registry.unload(_required(req, "name"))
+        return {"ok": True, "schema": handle.to_dict()}, 200
+
+    def _op_metrics(self, req: dict) -> "tuple[dict, int]":
+        fmt = req.get("format", "prom")
+        if fmt == "json":
+            return {"ok": True, "format": "json",
+                    "metrics": self.obs.to_dict()}, 200
+        if fmt == "prom":
+            return {"ok": True, "format": "prom",
+                    "metrics": self.obs.to_prometheus()}, 200
+        raise ReproError(f"unknown metrics format {fmt!r} "
+                        "(known: prom, json)")
+
+    def _op_shutdown(self, req: dict) -> "tuple[dict, int]":
+        self.request_shutdown()
+        return {"ok": True, "shutting_down": True}, 200
+
+    def _op_validate(self, req: dict) -> "tuple[dict, int]":
+        from repro.corpus.cache import result_key_hasher
+
+        handle = self.registry.get(_required(req, "schema"))
+        if self.admission_hook is not None:
+            self.admission_hook("validate", handle)
+        data, hasher = self._document_bytes(req)
+        key = result_key_hasher(hasher, handle.fingerprint)
+        report = self.cache.get(key) if self.cache is not None else None
+        cached = report is not None
+        if not cached:
+            mode = req.get("mode") or self.default_mode
+            report = self._validate_bytes(handle, data, mode)
+            if self.cache is not None:
+                self.cache.put(key, report)
+        if self.obs:
+            self.obs.counter(
+                "serve_documents_validated",
+                help="validate requests admitted").add(1)
+            if cached:
+                self.obs.counter(
+                    "serve_cache_hits",
+                    help="validate requests answered from the "
+                    "result cache").add(1)
+            self.obs.counter(
+                "serve_bytes_read",
+                help="document bytes admitted").add(len(data))
+        return {"ok": True, "valid": report.ok, "cached": cached,
+                "key": key,
+                "schema": {"name": handle.name,
+                           "version": handle.version,
+                           "fingerprint": handle.fingerprint},
+                "report": report.to_dict()}, 200
+
+    def _validate_bytes(self, handle, data: bytes, mode: str):
+        """One cache-missing validation; reports are byte-identical
+        across modes (the E19 equivalence), so ``mode`` is purely a
+        performance knob."""
+        text = data.decode("utf-8")
+        req_obs = Observability() if self.obs else None
+        try:
+            if mode == "stream":
+                from repro.stream import StreamValidator
+
+                return StreamValidator(handle.plan,
+                                       obs=req_obs).validate_text(text)
+            if mode == "batch":
+                from repro.dtd.validate import validate
+                from repro.xmlio.parser import parse_document
+
+                tree = parse_document(text, handle.dtd.structure,
+                                      obs=req_obs)
+                return validate(tree, handle.dtd, obs=req_obs)
+            raise ReproError(f"unknown validate mode {mode!r} "
+                            "(known: stream, batch)")
+        finally:
+            if req_obs is not None:
+                self.obs.absorb({"metrics": req_obs.metrics.to_dicts(),
+                                 "spans": req_obs.tracer.to_dicts()})
+
+    def _op_lint(self, req: dict) -> "tuple[dict, int]":
+        from repro.analysis import LintConfig, analyze
+
+        handle = self.registry.get(_required(req, "schema"))
+        if self.admission_hook is not None:
+            self.admission_hook("lint", handle)
+        config = LintConfig(select=tuple(req.get("select") or ()),
+                            ignore=tuple(req.get("ignore") or ()))
+        req_obs = Observability() if self.obs else None
+        try:
+            report = analyze(handle.dtd, config, obs=req_obs)
+        finally:
+            if req_obs is not None:
+                self.obs.absorb({"metrics": req_obs.metrics.to_dicts(),
+                                 "spans": req_obs.tracer.to_dicts()})
+        return {"ok": True, "clean": report.clean,
+                "schema": {"name": handle.name,
+                           "version": handle.version},
+                "report": json.loads(report.to_json())}, 200
+
+    def _op_synth(self, req: dict) -> "tuple[dict, int]":
+        from repro.synthesis import check_satisfiability
+        from repro.xmlio.serializer import serialize
+
+        handle = self.registry.get(_required(req, "schema"))
+        if self.admission_hook is not None:
+            self.admission_hook("synth", handle)
+        req_obs = Observability() if self.obs else None
+        try:
+            report = check_satisfiability(handle.dtd, obs=req_obs)
+        finally:
+            if req_obs is not None:
+                self.obs.absorb({"metrics": req_obs.metrics.to_dicts(),
+                                 "spans": req_obs.tracer.to_dicts()})
+        return {"ok": True,
+                "schema": {"name": handle.name,
+                           "version": handle.version},
+                **report.to_dict(),
+                "witness": serialize(report.witness)
+                if report.witness is not None else None}, 200
+
+    _OPS = {
+        "ping": _op_ping,
+        "schemas": _op_schemas,
+        "load": _op_load,
+        "reload": _op_reload,
+        "put": _op_put,
+        "unload": _op_unload,
+        "metrics": _op_metrics,
+        "shutdown": _op_shutdown,
+        "validate": _op_validate,
+        "lint": _op_lint,
+        "synth": _op_synth,
+    }
+
+    def _document_bytes(self, req: dict) -> "tuple[bytes, object]":
+        """The document bytes of a validate request plus a SHA-256
+        hasher that has consumed exactly those bytes.
+
+        HTTP requests arrive with the hasher already fed by the framing
+        layer (``_hasher``); JSONL requests carry inline ``document``
+        text or a server-local ``document_path`` (read in binary so the
+        key matches the corpus path-input convention byte for byte).
+        """
+        if "_body" in req:
+            return req["_body"], req["_hasher"]
+        if "document" in req:
+            data = str(req["document"]).encode("utf-8")
+        elif "document_path" in req:
+            with open(req["document_path"], "rb") as fh:
+                data = fh.read()
+        else:
+            raise ReproError(
+                "validate needs 'document' (inline XML text) or "
+                "'document_path' (server-local file)")
+        hasher = hashlib.sha256()
+        hasher.update(data)
+        return data, hasher
+
+    # ------------------------------------------------------------------
+    # HTTP transport
+    # ------------------------------------------------------------------
+
+    async def start_http(self, host: str = "127.0.0.1",
+                         port: int = 0) -> "tuple[str, int]":
+        """Bind the HTTP front door; returns ``(host, port)`` (the
+        ephemeral port is resolved when ``port=0``)."""
+        self._http = await asyncio.start_server(
+            self._handle_http_conn, host, port, limit=STREAM_LIMIT)
+        self.http_address = self._http.sockets[0].getsockname()[:2]
+        return self.http_address
+
+    async def _handle_http_conn(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        entry = (asyncio.current_task(), writer)
+        self._conns.add(entry)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(writer, HttpResponse(
+                        status=exc.status,
+                        body=_json_bytes(_error("bad-request",
+                                                exc.message))),
+                        keep_alive=False)
+                    break
+                if request is None:
+                    break
+                response = self._route_http(request)
+                await write_response(writer, response,
+                                     request.keep_alive)
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            self._conns.discard(entry)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _route_http(self, request: HttpRequest) -> HttpResponse:
+        """Map an HTTP request onto the shared dispatcher."""
+        try:
+            return self._route_http_inner(request)
+        except UnicodeDecodeError as exc:
+            return HttpResponse(status=400,
+                                body=_json_bytes(_error("bad-request",
+                                                        exc)))
+
+    def _route_http_inner(self, request: HttpRequest) -> HttpResponse:
+        method, seg = request.method, request.segments
+        if seg == ["healthz"]:
+            req: dict = {"op": "ping"}
+        elif seg == ["metrics"]:
+            if method != "GET":
+                return _method_not_allowed(method)
+            return HttpResponse(
+                body=self.obs.to_prometheus().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8")
+        elif seg == ["v1", "schemas"]:
+            req = {"op": "schemas"}
+        elif seg == ["v1", "shutdown"]:
+            if method != "POST":
+                return _method_not_allowed(method)
+            req = {"op": "shutdown"}
+        elif len(seg) == 3 and seg[:2] == ["v1", "schemas"]:
+            if method == "PUT":
+                req = {"op": "put", "name": seg[2],
+                       "schema": request.body.decode("utf-8"),
+                       "root": request.query.get("root")}
+            elif method == "DELETE":
+                req = {"op": "unload", "name": seg[2]}
+            else:
+                return _method_not_allowed(method)
+        elif len(seg) == 3 and seg[0] == "v1" and \
+                seg[1] in ("validate", "lint", "synth"):
+            if method != "POST":
+                return _method_not_allowed(method)
+            req = {"op": seg[1], "schema": seg[2]}
+            if seg[1] == "validate":
+                req["_body"] = request.body
+                req["_hasher"] = request.hasher
+                if "mode" in request.query:
+                    req["mode"] = request.query["mode"]
+            elif seg[1] == "lint":
+                for flag in ("select", "ignore"):
+                    if request.query.get(flag):
+                        req[flag] = [s for s in
+                                     request.query[flag].split(",") if s]
+        else:
+            return HttpResponse(status=404, body=_json_bytes(_error(
+                "not-found", f"no route {method} {request.path}")))
+        payload, status = self.handle_request(req)
+        return HttpResponse(status=status, body=_json_bytes(payload))
+
+    # ------------------------------------------------------------------
+    # JSONL transport
+    # ------------------------------------------------------------------
+
+    async def serve_jsonl(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        """One request object per line in, one response per line out.
+
+        Returns on EOF, on a ``shutdown`` op, or when the server is
+        shutting down.  Works over any stream pair — the stdio mode of
+        ``repro-xic serve`` and the TCP-socket tests both land here.
+        """
+        while not self._shutdown.is_set():
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                payload = _error("bad-request", "request line too long")
+                writer.write(_json_bytes(payload) + b"\n")
+                await writer.drain()
+                break
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                req = json.loads(line)
+                if not isinstance(req, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                payload = _error("bad-request", f"unparseable request: "
+                                 f"{exc}")
+            else:
+                payload, _status = self.handle_request(req)
+            writer.write(_json_bytes(payload) + b"\n")
+            await writer.drain()
+
+    async def serve_stdio(self) -> None:
+        """JSONL over this process's stdin/stdout.
+
+        Reads happen on a dedicated *daemon* thread feeding an asyncio
+        queue — a TTY, a pipe, and a test double all work, and a thread
+        still blocked in ``readline`` cannot hang interpreter shutdown
+        the way a default-executor worker would.  The loop ends at EOF
+        (closing stdin is the clean way to stop a ``repro-xic serve
+        --stdio`` daemon), on a ``shutdown`` op, or when the server
+        shuts down through another transport.
+        """
+        import threading
+
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue[Optional[str]]" = asyncio.Queue()
+
+        def _pump() -> None:
+            try:
+                for raw in sys.stdin:
+                    loop.call_soon_threadsafe(queue.put_nowait, raw)
+                loop.call_soon_threadsafe(queue.put_nowait, None)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+
+        threading.Thread(target=_pump, daemon=True,
+                         name="repro-serve-stdin").start()
+        while not self._shutdown.is_set():
+            getter = asyncio.ensure_future(queue.get())
+            stopper = asyncio.ensure_future(self._shutdown.wait())
+            done, pending = await asyncio.wait(
+                {getter, stopper}, return_when=asyncio.FIRST_COMPLETED)
+            for task in pending:
+                task.cancel()
+            if getter not in done:
+                break
+            line = getter.result()
+            if line is None:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                req = json.loads(line)
+                if not isinstance(req, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                payload = _error("bad-request",
+                                 f"unparseable request: {exc}")
+            else:
+                payload, _status = self.handle_request(req)
+            print(json.dumps(payload, sort_keys=True), flush=True)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loops to wind down (idempotent)."""
+        self._shutdown.set()
+
+    async def wait_shutdown(self) -> None:
+        await self._shutdown.wait()
+
+    async def close(self) -> None:
+        """Stop accepting connections, end open keep-alive exchanges,
+        and release the listening socket."""
+        self.request_shutdown()
+        if self._http is not None:
+            self._http.close()
+            await self._http.wait_closed()
+            self._http = None
+        conns = list(self._conns)
+        for _task, writer in conns:
+            writer.close()  # handlers see EOF and finish cleanly
+        if conns:
+            await asyncio.wait({task for task, _w in conns}, timeout=5)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"<ValidationServer schemas={self.registry.names()} "
+                f"http={self.http_address} "
+                f"cache={'on' if self.cache is not None else 'off'}>")
+
+
+def _required(req: dict, field: str) -> str:
+    value = req.get(field)
+    if value is None:
+        raise ReproError(f"request is missing the {field!r} field")
+    return value
+
+
+def _error(code: str, exc) -> dict:
+    return {"ok": False, "code": code, "error": str(exc)}
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _method_not_allowed(method: str) -> HttpResponse:
+    return HttpResponse(status=405, body=_json_bytes(_error(
+        "bad-request", f"method {method} not allowed here")))

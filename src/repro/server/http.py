@@ -1,0 +1,158 @@
+"""Hand-rolled HTTP/1.1 framing over ``asyncio`` streams.
+
+The serve daemon deliberately avoids every HTTP dependency — including
+stdlib ``http.server``, whose threading model and handler classes fight
+the asyncio front door — and implements the small slice of HTTP/1.1 the
+service needs directly on :func:`asyncio.start_server` streams:
+
+- request line + headers + ``Content-Length`` bodies (no chunked
+  requests; responses always carry an explicit ``Content-Length``);
+- keep-alive by default for HTTP/1.1, honored ``Connection: close``;
+- incoming body bytes are SHA-256-hashed *as they are read*, so the
+  cache-admission key for a validate request is ready the moment the
+  request is — the daemon never re-hashes the document.
+
+This module knows nothing about the service's routes; it parses
+requests into :class:`HttpRequest` and writes :class:`HttpResponse`
+objects.  The route table lives in :mod:`repro.server.daemon`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = ["HttpError", "HttpRequest", "HttpResponse",
+           "read_request", "write_response"]
+
+#: Upper bounds that keep a misbehaving client from ballooning memory.
+MAX_LINE = 16 * 1024
+MAX_BODY = 256 * 1024 * 1024
+
+_REASONS = {200: "OK", 201: "Created", 204: "No Content",
+            400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            422: "Unprocessable Entity", 500: "Internal Server Error"}
+
+
+class HttpError(Exception):
+    """A request that could not be framed; carries the status to send."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, body."""
+
+    method: str
+    path: str                      # decoded path, e.g. "/v1/validate/book"
+    query: "dict[str, str]"        # first value per key
+    headers: "dict[str, str]"      # lower-cased names
+    body: bytes
+    #: a ``hashlib.sha256`` that has consumed exactly the body bytes —
+    #: fed during the read, so cache admission never re-hashes
+    hasher: object = None
+    keep_alive: bool = True
+    #: path split on "/", empty segments dropped: ["v1", "validate", "book"]
+    segments: "list[str]" = field(default_factory=list)
+
+
+@dataclass
+class HttpResponse:
+    """One response to write: status + body (+ content type)."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: "dict[str, str]" = field(default_factory=dict)
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""             # clean EOF between requests
+        raise HttpError(400, "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "header line too long") from exc
+    if len(line) > MAX_LINE:
+        raise HttpError(400, "header line too long")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> "HttpRequest | None":
+    """Parse one request off ``reader``; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on framing problems — the caller answers
+    with the carried status and closes the connection.
+    """
+    line = await _read_line(reader)
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("ascii").split()
+    except ValueError:
+        raise HttpError(400, f"malformed request line {line!r}") from None
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported HTTP version {version!r}")
+
+    headers: dict[str, str] = {}
+    while True:
+        raw = await _read_line(reader)
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length") from None
+    if length < 0 or length > MAX_BODY:
+        raise HttpError(413, f"body of {length} bytes exceeds the "
+                        f"{MAX_BODY}-byte limit")
+    hasher = hashlib.sha256()
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated body") from exc
+        hasher.update(body)
+
+    split = urlsplit(target)
+    path = unquote(split.path)
+    connection = headers.get("connection", "").lower()
+    keep_alive = (version == "HTTP/1.1" and connection != "close") \
+        or (version == "HTTP/1.0" and connection == "keep-alive")
+    return HttpRequest(
+        method=method.upper(), path=path,
+        query={k: v for k, v in parse_qsl(split.query)},
+        headers=headers, body=body, hasher=hasher,
+        keep_alive=keep_alive,
+        segments=[s for s in path.split("/") if s])
+
+
+async def write_response(writer: asyncio.StreamWriter,
+                         response: HttpResponse,
+                         keep_alive: bool) -> None:
+    """Serialize ``response`` (always with ``Content-Length``)."""
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    head.extend(f"{k}: {v}" for k, v in response.headers.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+    await writer.drain()

@@ -20,6 +20,23 @@ question about it reads the same way::
     validator.check_corpus(docs, jobs=8, cache="~/.cache/repro")
                                      # parallel corpus validation
 
+Since the :class:`~repro.server.registry.SchemaRegistry` became the
+public-API pivot, the facade follows the uniform
+``schema: DTDC | SchemaHandle`` contract: it wraps a bare ``DTDC`` in a
+process-wide memoized handle (so the compiled
+:class:`~repro.stream.StreamPlan` and schema fingerprint are built once
+per schema per process, shared with corpus and server call sites), or
+binds directly to a registry entry::
+
+    registry = repro.SchemaRegistry()
+    registry.load("book", "book.dtdc", root="book")
+    validator = repro.Validator.from_registry(registry, "book")
+    validator.check_stream("doc.xml")    # follows hot reloads
+
+A registry-bound validator re-resolves its handle per call, so a
+``registry.reload`` is picked up by the *next* operation while any
+operation already running finishes on the handle it resolved at entry.
+
 The legacy functions remain as thin delegating shims (see their
 docstrings for the mapping); new code should prefer the facade.
 """
@@ -27,7 +44,7 @@ docstrings for the mapping); new code should prefer the facade.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.constraints.base import Constraint
 from repro.constraints.checker import check as _check
@@ -38,6 +55,7 @@ from repro.dtd.validate import (
     ValidationReport, validate as _validate, validate_strict as _strict,
 )
 from repro.incremental.session import DocumentSession
+from repro.server.registry import SchemaHandle, SchemaRegistry, as_handle
 
 if TYPE_CHECKING:
     from repro.analysis import AnalysisReport, LintConfig
@@ -47,18 +65,71 @@ if TYPE_CHECKING:
 class Validator:
     """All validation services of one ``DTD^C``, behind one object.
 
-    Construction is cheap; per-call costs match the underlying
-    functions (each documented on its method).
+    ``schema`` is a :class:`DTDC` or a
+    :class:`~repro.server.registry.SchemaHandle`; construction is cheap
+    and per-call costs match the underlying functions (each documented
+    on its method).  Use :meth:`from_registry` for a validator that
+    names a registry entry and follows hot reloads.
     """
 
-    def __init__(self, dtd: DTDC, obs=None):
-        if not isinstance(dtd, DTDC):
-            raise TypeError(f"Validator needs a DTDC, got {type(dtd)!r}")
-        self.dtd = dtd
+    def __init__(self, schema: "DTDC | SchemaHandle", obs=None):
+        try:
+            self._handle = as_handle(schema)
+        except TypeError:
+            raise TypeError(
+                f"Validator needs a DTDC or SchemaHandle, got "
+                f"{type(schema)!r}") from None
         #: optional :class:`repro.obs.Observability` handle threaded
         #: into every method; None/falsy means the no-op path
         self.obs = obs
-        self._stream_plan = None
+        self._registry: Optional[SchemaRegistry] = None
+        self._schema_name: Optional[str] = None
+
+    @classmethod
+    def from_registry(cls, registry: SchemaRegistry, name: str,
+                      obs=None) -> "Validator":
+        """A validator bound to ``registry``'s entry for ``name``.
+
+        The handle is re-resolved on every operation, so hot reloads
+        take effect between calls with zero downtime: a running call
+        keeps the handle it resolved at entry.
+        """
+        validator = cls(registry.get(name), obs=obs)
+        validator._registry = registry
+        validator._schema_name = name
+        return validator
+
+    # -- the uniform schema accessors ------------------------------------------
+
+    @property
+    def registry(self) -> Optional[SchemaRegistry]:
+        """The owning registry (None for a standalone validator)."""
+        return self._registry
+
+    @property
+    def schema_name(self) -> Optional[str]:
+        """The registry name this validator follows, if any."""
+        return self._schema_name
+
+    @property
+    def handle(self) -> SchemaHandle:
+        """The current compiled-schema handle (re-resolved through the
+        registry when bound to one)."""
+        if self._registry is not None:
+            return self._registry.get(self._schema_name)
+        return self._handle
+
+    @property
+    def dtd(self) -> DTDC:
+        """The current schema (follows registry reloads)."""
+        return self.handle.dtd
+
+    @property
+    def _stream_plan(self):
+        """Backward-compatible view of the compiled plan (None until
+        the first streaming call compiled it)."""
+        handle = self.handle
+        return handle._plan
 
     # -- Definition 2.4 --------------------------------------------------------
 
@@ -84,8 +155,9 @@ class Validator:
         through ``self.dtd.structure``).  Equivalent to the legacy
         ``repro.check(doc, sigma, self.dtd.structure)``.
         """
-        constraints = self.dtd.constraints if sigma is None else tuple(sigma)
-        return _check(doc, constraints, self.dtd.structure, obs=self.obs)
+        dtd = self.dtd
+        constraints = dtd.constraints if sigma is None else tuple(sigma)
+        return _check(doc, constraints, dtd.structure, obs=self.obs)
 
     # -- streaming -------------------------------------------------------------
 
@@ -97,14 +169,14 @@ class Validator:
         :class:`~repro.datamodel.tree.DataTree`: memory stays
         O(depth + Σ-relevant state) and the report is byte-identical
         (``to_json()``) to ``self.validate(parse_document(text))``.  The
-        compiled :class:`~repro.stream.StreamPlan` is cached on this
-        validator, so repeated calls pay only the per-document pass.
+        compiled :class:`~repro.stream.StreamPlan` lives on the schema
+        handle — one compilation per schema per process, shared with
+        corpus and server call sites — so repeated calls pay only the
+        per-document pass.
         """
-        from repro.stream import StreamValidator, compile_plan
+        from repro.stream import StreamValidator
 
-        if self._stream_plan is None:
-            self._stream_plan = compile_plan(self.dtd)
-        return StreamValidator(self._stream_plan,
+        return StreamValidator(self.handle.plan,
                                obs=self.obs).validate(source)
 
     # -- corpus ----------------------------------------------------------------
@@ -128,7 +200,7 @@ class Validator:
         """
         from repro.corpus import CorpusValidator
 
-        return CorpusValidator(self.dtd, jobs=jobs, cache=cache,
+        return CorpusValidator(self.handle, jobs=jobs, cache=cache,
                                chunk_size=chunk_size, obs=self.obs,
                                stream=stream).validate(docs)
 
@@ -153,10 +225,13 @@ class Validator:
         Construction costs one full pass; every later
         ``session.revalidate()`` costs O(|Δ|).
         """
-        constraints = self.dtd.constraints if sigma is None else tuple(sigma)
-        return DocumentSession(doc, constraints, self.dtd.structure,
+        dtd = self.dtd
+        constraints = dtd.constraints if sigma is None else tuple(sigma)
+        return DocumentSession(doc, constraints, dtd.structure,
                                obs=self.obs)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
+        name = f" schema={self._schema_name!r}" if self._schema_name \
+            else ""
         return (f"<Validator root={self.dtd.structure.root!r} "
-                f"|Sigma|={len(self.dtd.constraints)}>")
+                f"|Sigma|={len(self.dtd.constraints)}{name}>")

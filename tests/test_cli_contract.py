@@ -106,7 +106,10 @@ class TestSharedFormatFlag:
         actions = [a for a in parser._subparsers._group_actions
                    if hasattr(a, "choices")]
         subparsers = actions[0].choices
-        assert set(subparsers) == set(CASES)
+        # ``serve`` is a long-lived daemon, not a one-shot command, so
+        # it stays out of the CASES table — but it still inherits the
+        # shared --format parent like everything else.
+        assert set(subparsers) == set(CASES) | {"serve"}
         for name, sub in subparsers.items():
             flags = {s for a in sub._actions for s in a.option_strings}
             assert "--format" in flags, f"{name} lacks --format"
@@ -159,6 +162,31 @@ class TestExitContract:
         assert main(["check-corpus", cli_files["lib_schema"],
                      cli_files["corpus"], str(tmp_path)]) == 2
 
+    def test_corpus_parse_error_names_file_json(self, cli_files,
+                                                tmp_path, capsys):
+        """An exit-2 JSON report must say *which* document failed:
+        the top-level ``error_documents`` array, in input order."""
+        broken = tmp_path / "broken.xml"
+        broken.write_text("<library><entry")
+        assert main(["check-corpus", cli_files["lib_schema"],
+                     cli_files["corpus"], str(tmp_path),
+                     "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["error_documents"] == [str(broken)]
+        # and the per-document verdict carries the parse error itself
+        bad = [v for v in payload["verdicts"] if v["error"] is not None]
+        assert [v["doc"] for v in bad] == [str(broken)]
+
+    def test_corpus_parse_error_names_file_text(self, cli_files,
+                                                tmp_path, capsys):
+        broken = tmp_path / "broken.xml"
+        broken.write_text("<library><entry")
+        assert main(["check-corpus", cli_files["lib_schema"],
+                     cli_files["corpus"], str(tmp_path)]) == 2
+        out = capsys.readouterr().out
+        assert f"{broken}: ERROR" in out
+
     def test_corpus_no_documents_exits_2(self, cli_files, tmp_path,
                                          capsys):
         assert main(["check-corpus", cli_files["lib_schema"],
@@ -188,6 +216,22 @@ class TestCheckCorpusFlags:
         assert main(["bench-incremental", "--nodes", "120",
                      "--updates", "2", "--json"]) == 0
         json.loads(capsys.readouterr().out)
+
+
+class TestServeUsage:
+    """The fast (non-daemon) half of the ``serve`` contract; the
+    running-daemon behaviour lives in ``tests/test_server.py``."""
+
+    def test_no_transport_exits_2(self, capsys):
+        assert main(["serve"]) == 2
+
+    def test_bad_schema_spec_exits_2(self, cli_files, capsys):
+        assert main(["serve", "--stdio",
+                     "--schema", "no-equals-sign"]) == 2
+
+    def test_missing_schema_file_exits_2(self, capsys):
+        assert main(["serve", "--stdio",
+                     "--schema", "book=/no/such/schema.dtdc"]) == 2
 
 
 class TestStreamFlag:

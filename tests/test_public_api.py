@@ -39,6 +39,8 @@ EXPECTED_ALL = sorted([
     "PathInverse", "parse_path", "type_of",
     # facade, sessions, observability
     "DocumentSession", "NULL_OBS", "Observability", "Validator",
+    # the registry pivot + the validation service (v1.2)
+    "SchemaHandle", "SchemaRegistry", "ValidationServer",
     # satisfiability + witness synthesis
     "SatReport", "UnsatCore", "Verdict", "check_satisfiability",
     "synthesize_witness",
@@ -91,6 +93,9 @@ class TestDeprecatedEntryPoints:
         message = str(caught[0].message)
         assert hint in message
         assert "README.md" in message
+        # v1.2: the warning is versioned and points at the registry API
+        assert "will be removed in repro 2.0" in message
+        assert "SchemaRegistry" in message
 
     def test_deprecated_validate_still_works(self):
         from repro import Validator, book_document, book_dtdc
