@@ -74,18 +74,25 @@ def _percentile(latencies, q: float) -> float:
     return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
 
 
-def serve_run(texts, cache=None, concurrency: int = 8):
+def serve_run(texts, cache=None, concurrency: int = 8,
+              telemetry: bool = False):
     """Push ``texts`` through an in-process server over the JSONL TCP
     transport with ``concurrency`` client connections.
+
+    With ``telemetry=True`` the server runs the full request-telemetry
+    path: a real tracer, 100% sampling (every request opens a span tree
+    and lands in the trace store), and the structured event log.
 
     Returns ``(total_seconds, latencies, n_cached)``; every response is
     checked for ``ok`` and ``valid`` on the way through.
     """
     async def scenario():
-        obs = Observability(tracer=NULL_TRACER)
+        obs = (Observability() if telemetry
+               else Observability(tracer=NULL_TRACER))
         registry = SchemaRegistry(obs=obs)
         registry.load("lib", LIB_SCHEMA)
-        server = ValidationServer(registry, cache=cache, obs=obs)
+        server = ValidationServer(registry, cache=cache, obs=obs,
+                                  sample=1.0 if telemetry else 0.0)
         jsonl = await asyncio.start_server(
             server.serve_jsonl, "127.0.0.1", 0)
         host, port = jsonl.sockets[0].getsockname()[:2]
@@ -188,6 +195,30 @@ def test_e21_server_beats_subprocess(tmp_path):
         f"{per_doc_subprocess * 1e3:.0f} ms per doc)")
 
 
+def _best_rate(texts, runs: int = 3, telemetry: bool = False) -> float:
+    """Best-of-``runs`` throughput (docs/sec) for one server config.
+    A throwaway warmup run comes first so neither config pays one-time
+    import/compile costs inside its timed window."""
+    serve_run(texts[: max(8, len(texts) // 4)], telemetry=telemetry)
+    best = min(serve_run(texts, telemetry=telemetry)[0]
+               for _ in range(runs))
+    return len(texts) / max(best, 1e-9)
+
+
+def test_e21_telemetry_overhead():
+    """Acceptance: full request telemetry (tracer + 100% sampling +
+    event log) keeps E21 throughput at >= 0.9x the warm baseline."""
+    texts = _corpus_texts(n_docs=64)
+    base_rate = _best_rate(texts, runs=3, telemetry=False)
+    telem_rate = _best_rate(texts, runs=3, telemetry=True)
+    ratio = telem_rate / max(base_rate, 1e-9)
+    print(f"\nE21 telemetry: {base_rate:,.0f} docs/s baseline vs "
+          f"{telem_rate:,.0f} docs/s traced ({ratio:.2f}x)")
+    assert ratio >= 0.9, (
+        f"telemetry costs too much: {telem_rate:,.0f} docs/s is only "
+        f"{ratio:.2f}x the {base_rate:,.0f} docs/s baseline")
+
+
 # -- standalone runner (CI smoke + timing report) --------------------------
 
 
@@ -221,6 +252,20 @@ def _report(n_docs: int, smoke: bool) -> int:
     return 0 if ok else 1
 
 
+def _telemetry_report(n_docs: int, runs: int) -> int:
+    texts = _corpus_texts(n_docs=n_docs)
+    base_rate = _best_rate(texts, runs=runs, telemetry=False)
+    telem_rate = _best_rate(texts, runs=runs, telemetry=True)
+    ratio = telem_rate / max(base_rate, 1e-9)
+    print(f"E21 telemetry: {n_docs} docs, best of {runs}")
+    print(f"  baseline  {base_rate:10,.0f} docs/s")
+    print(f"  traced    {telem_rate:10,.0f} docs/s   ({ratio:.2f}x)")
+    ok = ratio >= 0.9
+    print("E21 telemetry OK" if ok else
+          f"E21 telemetry FAILED (ratio {ratio:.2f} < 0.9)")
+    return 0 if ok else 1
+
+
 if __name__ == "__main__":
     import argparse
 
@@ -230,7 +275,14 @@ if __name__ == "__main__":
                      help="CI mode: correctness checks only (cache "
                      "round-trip, response validity), no timing "
                      "thresholds")
+    cli.add_argument("--telemetry", action="store_true",
+                     help="compare full request telemetry (tracer, "
+                     "sample=1.0, event log) against the untraced "
+                     "baseline; fails if traced throughput < 0.9x")
     cli.add_argument("--docs", type=int, default=160,
                      help="corpus size (default: 160)")
     ns = cli.parse_args()
+    if ns.telemetry:
+        raise SystemExit(_telemetry_report(
+            ns.docs if not ns.smoke else 48, runs=1 if ns.smoke else 3))
     raise SystemExit(_report(ns.docs if not ns.smoke else 32, ns.smoke))

@@ -66,7 +66,9 @@ from repro.paths import (
     PathInverse, parse_path, type_of,
 )
 from repro.incremental import DocumentSession
-from repro.obs import NULL_OBS, Observability
+from repro.obs import (
+    NULL_OBS, EventLog, Observability, TraceContext,
+)
 from repro.server import (
     SchemaHandle, SchemaRegistry, ValidationServer,
 )
@@ -78,7 +80,7 @@ from repro.validator import Validator
 from repro.workloads import book_document, book_dtdc
 from repro.xmlio import parse_document, parse_dtd, parse_dtdc, serialize
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalysisReport", "Diagnostic", "LintConfig", "Severity", "analyze",
@@ -95,7 +97,8 @@ __all__ = [
     "LPrimaryEngine", "LuEngine", "LuPrimaryEngine",
     "Path", "PathFunctional", "PathImplicationEngine", "PathInclusion",
     "PathInverse", "parse_path", "type_of",
-    "DocumentSession", "NULL_OBS", "Observability", "Validator",
+    "DocumentSession", "EventLog", "NULL_OBS", "Observability",
+    "TraceContext", "Validator",
     "SchemaHandle", "SchemaRegistry", "ValidationServer",
     "SatReport", "UnsatCore", "Verdict", "check_satisfiability",
     "synthesize_witness",

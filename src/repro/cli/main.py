@@ -70,7 +70,7 @@ from repro.errors import ReproError
 from repro.implication.lid import LidEngine
 from repro.implication.lu import LuEngine
 from repro.implication.l_primary import LPrimaryEngine
-from repro.obs import Observability
+from repro.obs import Observability, TraceContext, activate
 from repro.paths.constraints import (
     PathFunctional, PathInclusion, PathInverse,
 )
@@ -448,6 +448,81 @@ def _cmd_profile(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_obs_export(args) -> int:
+    """Convert an observability export to Chrome trace-event JSON
+    (``repro-xic obs-export``) — loadable in Perfetto / chrome://tracing.
+
+    Accepts any of the JSON shapes this tool emits: an ``obs.to_json()``
+    report (``--metrics json``, ``profile --format json``), a server
+    validate response carrying an inline ``"trace"`` (``?trace=1``), or
+    an already-converted trace-event payload (validated and passed
+    through).
+    """
+    from repro.obs import trace_events, validate_trace_events
+
+    try:
+        payload = json.loads(FsPath(args.input).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read {args.input}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{args.input} is not JSON: {exc}") from exc
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        trace = payload
+    elif isinstance(payload, dict) and \
+            isinstance(payload.get("trace"), dict) and \
+            "traceEvents" in payload["trace"]:
+        trace = payload["trace"]
+    elif isinstance(payload, dict) and payload.get("spans"):
+        trace = trace_events(payload["spans"])
+    else:
+        raise ReproError(
+            f"{args.input}: no spans to export — expected an obs JSON "
+            "report with a non-empty 'spans' list, a ?trace=1 validate "
+            "response, or a trace-event payload")
+    problems = validate_trace_events(trace)
+    if problems:
+        for problem in problems:
+            LOG.error("invalid trace event: %s", problem)
+        return 2
+    text = json.dumps(trace, sort_keys=True)
+    if args.out:
+        FsPath(args.out).write_text(text + "\n")
+        LOG.info("wrote %s", args.out)
+    if args.format == "json":
+        print(text)
+    else:
+        events = trace.get("traceEvents", [])
+        slices = [e for e in events if e.get("ph") == "X"]
+        pids = {e.get("pid") for e in slices}
+        end = max((e["ts"] + e.get("dur", 0) for e in slices), default=0)
+        trace_id = (trace.get("otherData") or {}).get("trace_id")
+        print(f"trace {trace_id or '(no trace id)'}: {len(slices)} "
+              f"span(s) across {len(pids)} process(es), "
+              f"{end / 1000.0:.3f} ms synthetic timeline"
+              + (f" -> {args.out}" if args.out
+                 else "; use --out FILE or --format json to export"))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """Live stats view of a running daemon (``repro-xic top``)."""
+    from repro.cli.top import run_top
+
+    url = args.url.rstrip("/")
+    if not url.startswith(("http://", "https://")):
+        url = "http://" + url
+    if not url.endswith("/v1/stats"):
+        url = url + "/v1/stats"
+    try:
+        return run_top(url, interval=args.interval, count=args.count,
+                       clear=not args.no_clear,
+                       as_json=(args.format == "json"))
+    except KeyboardInterrupt:
+        return 0
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+
+
 def _parse_schema_specs(specs: "list[str] | None"
                         ) -> "list[tuple[str, str]]":
     """Split repeatable ``--schema NAME=PATH`` values."""
@@ -472,11 +547,14 @@ def _cmd_serve(args) -> int:
     """
     import asyncio
 
-    from repro.obs import NULL_TRACER
+    from repro.obs import NULL_TRACER, EventLog
     from repro.server import ValidationServer
 
     if args.port is None and not args.stdio:
         LOG.error("error: serve needs --port N and/or --stdio")
+        return 2
+    if not 0.0 <= args.sample <= 1.0:
+        LOG.error("error: --sample must be within [0, 1]")
         return 2
     specs = _parse_schema_specs(args.schema)
     # The server-lifetime obs handle backs GET /metrics; the global
@@ -484,6 +562,11 @@ def _cmd_serve(args) -> int:
     # other subcommand (tracer off by default: bounded memory).
     obs = args.obs if args.obs is not None \
         else Observability(tracer=NULL_TRACER)
+    # The event log exists before the registry so schema preloads are
+    # its first entries; --log-file makes it durable (JSONL append).
+    events = EventLog(path=args.log_file)
+    if obs.enabled and not obs.events:
+        obs.events = events
     registry = SchemaRegistry(obs=obs)
     for name, path in specs:
         handle = registry.load(name, path, root=args.root)
@@ -491,7 +574,10 @@ def _cmd_serve(args) -> int:
                  name, handle.version, handle.dtd.structure.root,
                  handle.fingerprint[:12])
     server = ValidationServer(registry, cache=args.cache, obs=obs,
-                              default_mode=args.mode)
+                              default_mode=args.mode,
+                              sample=args.sample, slow_ms=args.slow_ms,
+                              events=events,
+                              trace_capacity=args.trace_capacity)
 
     async def _run() -> int:
         import signal
@@ -711,7 +797,50 @@ def build_parser() -> argparse.ArgumentParser:
                    default="stream",
                    help="default validate mode for requests that do not "
                    "name one (default: stream)")
+    p.add_argument("--sample", type=float, default=0.0, metavar="RATE",
+                   help="per-request trace sampling rate in [0, 1] "
+                   "(default: 0; ?trace=1 and sampled traceparent "
+                   "headers always trace)")
+    p.add_argument("--slow-ms", type=float, default=500.0, metavar="MS",
+                   help="requests slower than this land in the slow "
+                   "log and emit a slow-request event (default: 500)")
+    p.add_argument("--log-file", default=None, metavar="FILE",
+                   help="append the structured event log (JSONL) to "
+                   "this file, beyond the bounded in-memory ring")
+    p.add_argument("--trace-capacity", type=int, default=256,
+                   metavar="N",
+                   help="sampled traces retained for GET /v1/traces/"
+                   "<id> (default: 256)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("obs-export", parents=[fmt],
+                       help="convert an observability JSON export (or "
+                       "a ?trace=1 validate response) to Chrome "
+                       "trace-event JSON for Perfetto/chrome://tracing")
+    p.add_argument("input", metavar="OBS.json",
+                   help="obs report (--metrics json), validate "
+                   "response with an inline trace, or trace-event "
+                   "payload to validate and pass through")
+    p.add_argument("--out", default=None, metavar="TRACE.json",
+                   help="also write the trace-event JSON to this file")
+    p.set_defaults(func=_cmd_obs_export)
+
+    p = sub.add_parser("top", parents=[fmt],
+                       help="live view of a running daemon: polls "
+                       "GET /v1/stats and repaints rps, latency "
+                       "quantiles, cache ratio, slow requests "
+                       "(--format json prints the raw payload)")
+    p.add_argument("url", metavar="URL",
+                   help="daemon base url or /v1/stats endpoint, e.g. "
+                   "http://127.0.0.1:8080")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between polls (default: 2)")
+    p.add_argument("--count", type=int, default=None, metavar="N",
+                   help="stop after N paints (default: run until ^C)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="do not clear the screen between paints "
+                   "(append panels instead; good for transcripts)")
+    p.set_defaults(func=_cmd_top)
     return parser
 
 
@@ -739,8 +868,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     configure_logging(-1 if args.quiet else args.verbose)
     args.obs = Observability() if (args.trace or args.metrics) else None
+    # --trace runs the whole command under one TraceContext, so every
+    # span (including worker-process chunk spans) shares one trace_id.
+    ctx = TraceContext.new() if args.trace else None
     try:
-        code = args.func(args)
+        with activate(ctx):
+            code = args.func(args)
     except ReproError as exc:
         LOG.error("error: %s", exc)
         return 2

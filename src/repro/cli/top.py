@@ -1,0 +1,137 @@
+"""``repro-xic top`` — a live, curses-free view of a running daemon.
+
+Polls ``GET /v1/stats`` (and nothing else — the server aggregates its
+own metrics, so ``top`` stays a thin renderer) and repaints a compact
+panel: request rate, latency quantiles per operation, cache hit ratio,
+per-schema traffic, the slow-request tail with trace_ids, and event-log
+occupancy.  Plain ANSI clear-screen instead of curses, so it works in
+any terminal, under ``watch``, and in CI transcripts alike.
+
+The renderer is a pure function of the stats payload
+(:func:`render_top`), which is what the tests exercise; the polling
+loop (:func:`run_top`) only fetches, renders, and sleeps.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from typing import Callable, Optional
+
+__all__ = ["fetch_json", "render_top", "run_top"]
+
+#: ANSI "clear screen + home" (what ``clear`` prints, minus terminfo).
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_json(url: str, timeout: float = 5.0) -> dict:
+    """GET ``url`` and parse the JSON body (http/https only)."""
+    if not url.startswith(("http://", "https://")):
+        raise ValueError(f"unsupported stats url {url!r}")
+    with urllib.request.urlopen(url, timeout=timeout) as resp:  # noqa: S310
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}" if value < 100 else f"{value:.0f}"
+
+
+def _fmt_uptime(seconds: float) -> str:
+    seconds = int(seconds)
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}"
+
+
+def render_top(stats: dict, now: Optional[float] = None) -> str:
+    """The panel text for one stats payload (no trailing newline)."""
+    lines: "list[str]" = []
+    req = stats.get("requests", {})
+    cache = stats.get("cache", {})
+    lines.append(
+        f"repro-xic top  up {_fmt_uptime(stats.get('uptime_s', 0))}  "
+        f"rps {stats.get('rps', 0.0):.1f}  "
+        f"requests {req.get('total', 0)} "
+        f"({req.get('errors', 0)} err)")
+    ratio = cache.get("hit_ratio")
+    lines.append(
+        f"cache {'on' if cache.get('enabled') else 'off'}  "
+        f"validated {cache.get('validated', 0)}  "
+        f"hits {cache.get('hits', 0)}"
+        + (f"  hit-ratio {ratio:.1%}" if ratio is not None else ""))
+
+    latency = stats.get("latency", {})
+    by_op = latency.get("by_op", {})
+    lines.append("")
+    lines.append(f"{'op':<14}{'count':>8}{'mean':>9}{'p50':>9}"
+                 f"{'p90':>9}{'p99':>9}{'max':>9}  (ms)")
+    rows = list(by_op.items())
+    overall = latency.get("overall")
+    if overall and overall.get("count"):
+        rows.append(("TOTAL", overall))
+    for op, row in rows:
+        lines.append(
+            f"{op:<14}{row.get('count', 0):>8}"
+            f"{_fmt_ms(row.get('mean_ms')):>9}"
+            f"{_fmt_ms(row.get('p50_ms')):>9}"
+            f"{_fmt_ms(row.get('p90_ms')):>9}"
+            f"{_fmt_ms(row.get('p99_ms')):>9}"
+            f"{_fmt_ms(row.get('max_ms')):>9}")
+    if not rows:
+        lines.append("  (no requests yet)")
+
+    schemas = stats.get("schemas", {})
+    counts = schemas.get("requests", {})
+    loaded = schemas.get("loaded", [])
+    lines.append("")
+    lines.append(f"schemas loaded: {', '.join(loaded) or '(none)'}")
+    for name in sorted(counts):
+        lines.append(f"  {name:<20}{int(counts[name]):>8} validate(s)")
+
+    slow = stats.get("slow", {})
+    recent = slow.get("recent", [])
+    lines.append("")
+    lines.append(f"slow requests (>= {slow.get('threshold_ms', 0):g} ms): "
+                 f"{slow.get('total', 0)} total")
+    for rec in recent[-5:]:
+        trace = rec.get("trace_id") or "-"
+        lines.append(
+            f"  {rec.get('op', '?'):<14}{rec.get('ms', 0):>9.1f} ms  "
+            f"schema={rec.get('schema') or '-'}  trace={trace}")
+
+    traces = stats.get("traces", {})
+    events = stats.get("events", {})
+    lines.append("")
+    lines.append(
+        f"traces {traces.get('stored', 0)}/{traces.get('capacity', 0)} "
+        f"stored (sample {traces.get('sample_rate', 0.0):g})   "
+        f"events {events.get('emitted', 0)} emitted, "
+        f"{events.get('buffered', 0)} buffered, "
+        f"{events.get('dropped', 0)} dropped")
+    return "\n".join(lines)
+
+
+def run_top(url: str, interval: float = 2.0,
+            count: Optional[int] = None, clear: bool = True,
+            as_json: bool = False,
+            out: Callable[[str], None] = print,
+            sleep: Callable[[float], None] = time.sleep) -> int:
+    """Poll ``url`` (a ``/v1/stats`` endpoint) every ``interval``
+    seconds, ``count`` times (forever when ``None``), rendering each
+    payload — as the panel, or raw JSON with ``as_json``.  Returns 0;
+    network errors propagate as ``OSError`` for the CLI's exit-2
+    mapping."""
+    n = 0
+    while count is None or n < count:
+        if n:
+            sleep(interval)
+        stats = fetch_json(url)
+        if as_json:
+            out(json.dumps(stats, sort_keys=True))
+        else:
+            out((CLEAR if clear else "") + render_top(stats))
+        n += 1
+    return 0

@@ -24,6 +24,7 @@ from typing import Iterable, Optional, Union
 from repro.corpus.cache import ResultCache, result_key, result_key_bytes
 from repro.corpus.report import CorpusReport, DocumentVerdict
 from repro.corpus.worker import init_worker, stream_chunk, validate_chunk
+from repro.obs import TraceContext, activate, current_context
 from repro.datamodel.tree import DataTree
 from repro.dtd.dtdc import DTDC
 from repro.dtd.validate import ValidationReport
@@ -167,10 +168,37 @@ class CorpusValidator:
     # -- the run -----------------------------------------------------
 
     def validate(self, docs: Iterable[CorpusDoc]) -> CorpusReport:
-        """Validate the corpus; verdicts come back in input order."""
+        """Validate the corpus; verdicts come back in input order.
+
+        When the validator's obs tracer is enabled, the whole run sits
+        under one ``corpus.validate`` span belonging to the ambient
+        :class:`~repro.obs.TraceContext` (a fresh one is minted when
+        none is active), and that span's context travels to every
+        worker — so pooled chunk spans come back with the run's
+        trace_id and re-parent under it on merge.
+        """
+        if self.obs and self.obs.tracer.enabled \
+                and current_context() is None:
+            with activate(TraceContext.new()):
+                return self._validate_inner(docs)
+        return self._validate_inner(docs)
+
+    def _validate_inner(self, docs: Iterable[CorpusDoc]) -> CorpusReport:
         phases: dict[str, float] = {}
         t_start = time.perf_counter()
 
+        run_span = self.obs.span("corpus.validate", jobs=self.jobs) \
+            if self.obs else None
+        if run_span:
+            run_span.__enter__()
+        try:
+            return self._run(docs, phases, t_start, run_span)
+        finally:
+            if run_span:
+                run_span.__exit__(None, None, None)
+
+    def _run(self, docs: Iterable[CorpusDoc], phases: "dict[str, float]",
+             t_start: float, run_span) -> CorpusReport:
         entries = self._normalize(docs)
         keys = self._prepare(entries)
         phases["prepare"] = time.perf_counter() - t_start
@@ -192,7 +220,8 @@ class CorpusValidator:
         phases["cache"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        payloads = self._run_pending(entries, pending)
+        run_ctx = run_span.context() if run_span is not None else None
+        payloads = self._run_pending(entries, pending, run_ctx)
         phases["validate"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -229,9 +258,13 @@ class CorpusValidator:
             obs=obs or None)
 
     def _run_pending(self, entries: "list[tuple[str, str, str]]",
-                     pending: "list[int]") -> "list[dict]":
+                     pending: "list[int]",
+                     run_ctx: "TraceContext | None" = None
+                     ) -> "list[dict]":
         """Validate the cache-missing documents, chunked; one payload
-        per chunk, in chunk order."""
+        per chunk, in chunk order.  ``run_ctx`` (the ``corpus.validate``
+        span's context) ships to every worker as a traceparent string so
+        chunk spans join the run's trace."""
         if not pending:
             return []
         if self.stream:
@@ -246,8 +279,11 @@ class CorpusValidator:
             plan = None
         chunks = self._chunks(work, self._chunk_size(len(work)))
         collect_obs = bool(self.obs)
+        traceparent = run_ctx.to_traceparent() \
+            if run_ctx is not None else None
         if self.jobs == 1:
-            init_worker(self.dtd, collect_obs, plan, self.fingerprint)
+            init_worker(self.dtd, collect_obs, plan, self.fingerprint,
+                        traceparent)
             return [worker(chunk) for chunk in chunks]
         import multiprocessing
 
@@ -255,7 +291,7 @@ class CorpusValidator:
                 processes=min(self.jobs, len(chunks)),
                 initializer=init_worker,
                 initargs=(self.dtd, collect_obs, plan,
-                          self.fingerprint)) as pool:
+                          self.fingerprint, traceparent)) as pool:
             return pool.map(worker, chunks)
 
     def _compiled_plan(self):

@@ -13,6 +13,7 @@ makes the serial fallback bit-identical to the pooled path.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from repro.corpus.cache import result_key, result_key_bytes, \
@@ -20,7 +21,7 @@ from repro.corpus.cache import result_key, result_key_bytes, \
 from repro.dtd.dtdc import DTDC
 from repro.dtd.validate import validate
 from repro.errors import ReproError
-from repro.obs import Observability
+from repro.obs import Observability, activate, parse_traceparent
 from repro.xmlio.parser import parse_document
 
 __all__ = ["init_worker", "stream_chunk", "validate_chunk"]
@@ -30,19 +31,41 @@ _STATE: dict = {}
 
 
 def init_worker(dtd: DTDC, collect_obs: bool, plan=None,
-                fingerprint: "str | None" = None) -> None:
+                fingerprint: "str | None" = None,
+                traceparent: "str | None" = None) -> None:
     """Install the schema (and obs policy) for this worker process.
 
     ``plan`` is the coordinator's compiled
     :class:`~repro.stream.StreamPlan` when the run is streaming — shipped
     once per worker so :func:`stream_chunk` never recompiles it.  The
     coordinator likewise ships its ``fingerprint`` so workers never
-    re-hash the schema (recomputed only when an old caller omits it).
+    re-hash the schema (recomputed only when an old caller omits it),
+    and — when the run happens under a request — the ``traceparent``
+    wire form of its :class:`~repro.obs.TraceContext`, so every chunk
+    span this worker produces carries the originating request's
+    trace_id and re-parents under it on merge.
     """
     _STATE["dtd"] = dtd
     _STATE["collect_obs"] = collect_obs
     _STATE["plan"] = plan
     _STATE["fingerprint"] = fingerprint or schema_fingerprint(dtd)
+    _STATE["traceparent"] = traceparent
+
+
+def _chunk_obs(n_docs: int) -> "tuple[Optional[Observability], object]":
+    """The per-chunk obs handle and its open ``corpus.chunk`` span
+    (entered; the caller must exit).  ``(None, None)`` when the run
+    does not collect observability."""
+    if not _STATE.get("collect_obs"):
+        return None, None
+    obs = Observability()
+    ctx = parse_traceparent(_STATE.get("traceparent"))
+    with activate(ctx):
+        # The span captures the ambient context while it is active;
+        # the context itself need not stay installed for the body.
+        span = obs.span("corpus.chunk", pid=os.getpid(), docs=n_docs)
+        span.__enter__()
+    return obs, span
 
 
 def validate_chunk(chunk: "list[tuple[str, str]]") -> dict:
@@ -56,18 +79,22 @@ def validate_chunk(chunk: "list[tuple[str, str]]") -> dict:
     to merge.
     """
     dtd: DTDC = _STATE["dtd"]
-    obs: Optional[Observability] = \
-        Observability() if _STATE.get("collect_obs") else None
+    obs, span = _chunk_obs(len(chunk))
     verdicts = []
-    for doc_id, text in chunk:
-        try:
-            tree = parse_document(text, dtd.structure, obs=obs)
-            report = validate(tree, dtd, obs=obs)
-            verdicts.append({"doc": doc_id, "report": report.to_dict(),
-                             "error": None})
-        except ReproError as exc:
-            verdicts.append({"doc": doc_id, "report": None,
-                             "error": str(exc)})
+    try:
+        for doc_id, text in chunk:
+            try:
+                tree = parse_document(text, dtd.structure, obs=obs)
+                report = validate(tree, dtd, obs=obs)
+                verdicts.append({"doc": doc_id,
+                                 "report": report.to_dict(),
+                                 "error": None})
+            except ReproError as exc:
+                verdicts.append({"doc": doc_id, "report": None,
+                                 "error": str(exc)})
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)
     return {
         "verdicts": verdicts,
         "metrics": obs.metrics.to_dicts() if obs else [],
@@ -88,27 +115,31 @@ def stream_chunk(chunk: "list[tuple[str, str, str]]") -> dict:
 
     plan = _STATE["plan"]
     fingerprint: str = _STATE["fingerprint"]
-    obs: Optional[Observability] = \
-        Observability() if _STATE.get("collect_obs") else None
+    obs, span = _chunk_obs(len(chunk))
     sv = StreamValidator(plan, obs=obs)
     verdicts = []
-    for doc_id, kind, value in chunk:
-        key: Optional[str] = None
-        try:
-            if kind == "path":
-                with open(value, "rb") as handle:
-                    data = handle.read()
-                key = result_key_bytes(data, fingerprint)
-                text = data.decode("utf-8")
-            else:
-                key = result_key(value, fingerprint)
-                text = value
-            report = sv.validate_text(text)
-            verdicts.append({"doc": doc_id, "key": key,
-                             "report": report.to_dict(), "error": None})
-        except ReproError as exc:
-            verdicts.append({"doc": doc_id, "key": key, "report": None,
-                             "error": str(exc)})
+    try:
+        for doc_id, kind, value in chunk:
+            key: Optional[str] = None
+            try:
+                if kind == "path":
+                    with open(value, "rb") as handle:
+                        data = handle.read()
+                    key = result_key_bytes(data, fingerprint)
+                    text = data.decode("utf-8")
+                else:
+                    key = result_key(value, fingerprint)
+                    text = value
+                report = sv.validate_text(text)
+                verdicts.append({"doc": doc_id, "key": key,
+                                 "report": report.to_dict(),
+                                 "error": None})
+            except ReproError as exc:
+                verdicts.append({"doc": doc_id, "key": key,
+                                 "report": None, "error": str(exc)})
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)
     return {
         "verdicts": verdicts,
         "metrics": obs.metrics.to_dicts() if obs else [],

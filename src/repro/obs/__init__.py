@@ -30,6 +30,20 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence, Union
 
+from .context import (
+    TraceContext,
+    activate,
+    current_context,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+from .events import (
+    LEVELS,
+    NULL_EVENTS,
+    EventLog,
+    NullEventLog,
+)
 from .export import (
     obs_to_dict,
     obs_to_json,
@@ -38,6 +52,8 @@ from .export import (
     render_spans,
     to_prometheus,
 )
+from .promlint import lint_exposition
+from .traceevent import trace_events, validate_trace_events
 from .metrics import (
     DEFAULT_BUCKETS,
     NULL_INSTRUMENT,
@@ -60,28 +76,41 @@ from .trace import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "LEVELS",
+    "NULL_EVENTS",
     "NULL_INSTRUMENT",
     "NULL_METRICS",
     "NULL_OBS",
     "NULL_SPAN",
     "NULL_TRACER",
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullEventLog",
     "NullInstrument",
     "NullMetricsRegistry",
     "NullSpan",
     "NullTracer",
     "Observability",
     "Span",
+    "TraceContext",
     "Tracer",
+    "activate",
+    "current_context",
+    "lint_exposition",
+    "new_span_id",
+    "new_trace_id",
     "obs_to_dict",
     "obs_to_json",
+    "parse_traceparent",
     "render_metrics",
     "render_report",
     "render_spans",
     "to_prometheus",
+    "trace_events",
+    "validate_trace_events",
 ]
 
 
@@ -93,14 +122,18 @@ class Observability:
     defaults and normalizes.
     """
 
-    __slots__ = ("tracer", "metrics", "enabled")
+    __slots__ = ("tracer", "metrics", "events", "enabled")
 
     def __init__(self,
                  tracer: Optional[Union[Tracer, NullTracer]] = None,
                  metrics: Optional[Union[MetricsRegistry,
-                                         NullMetricsRegistry]] = None):
+                                         NullMetricsRegistry]] = None,
+                 events: Optional[Union[EventLog, NullEventLog]] = None):
         self.tracer = Tracer() if tracer is None else tracer
         self.metrics = MetricsRegistry() if metrics is None else metrics
+        # Events opt in explicitly: the default handle stays spans +
+        # metrics only, so to_dict()/absorb() shapes are unchanged.
+        self.events = NULL_EVENTS if events is None else events
         self.enabled = bool(self.tracer.enabled or self.metrics.enabled)
 
     @classmethod
@@ -127,6 +160,11 @@ class Observability:
                   buckets: Sequence[float] = DEFAULT_BUCKETS):
         return self.metrics.histogram(name, labels, help, buckets)
 
+    def event(self, code: str, message: str = "", level: str = "info",
+              **attrs: Any):
+        """Emit a structured event (no-op without an attached log)."""
+        return self.events.emit(level, code, message, **attrs)
+
     # -- multi-worker merge ------------------------------------------
     def absorb(self, payload: dict) -> None:
         """Merge a worker's exported ``{"metrics": ..., "spans": ...}``
@@ -141,6 +179,9 @@ class Observability:
         spans = payload.get("spans") or []
         if spans and self.tracer.enabled:
             self.tracer.adopt(spans)
+        events = payload.get("events") or []
+        if events and self.events.enabled:
+            self.events.absorb(events)
 
     # -- export ------------------------------------------------------
     def render(self) -> str:

@@ -1,0 +1,140 @@
+"""Request-scoped trace context.
+
+A :class:`TraceContext` identifies one logical request: a 128-bit
+``trace_id`` shared by every span the request touches, the ``span_id``
+of the enclosing span (the parent for whatever is opened next), and the
+sampling decision.  The active context travels three ways:
+
+- **in-process** via :mod:`contextvars` — :func:`activate` installs a
+  context for a ``with`` block, and :class:`~repro.obs.trace.Tracer`
+  stamps every root span it opens from :func:`current_context`;
+- **across the multiprocessing boundary** as a *traceparent* string in
+  the corpus pool's ``init_worker`` initargs, so worker spans carry the
+  originating request's trace_id and re-parent on merge;
+- **across HTTP/JSONL** as a ``traceparent`` header/field in the
+  W3C Trace Context wire format::
+
+      00-<32 hex trace_id>-<16 hex span_id>-<01|00>
+
+  (version, trace-id, parent-id, flags; flag bit 0 is "sampled").
+
+Identifiers are random (``os.urandom``), never derived from content, so
+two validations of the same document still get distinct traces.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+__all__ = [
+    "TraceContext",
+    "activate",
+    "current_context",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+]
+
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$")
+
+#: The all-zero ids are invalid per the W3C spec.
+_ZERO_TRACE = "0" * 32
+_ZERO_SPAN = "0" * 16
+
+
+def new_trace_id() -> str:
+    """A fresh random 128-bit trace id as 32 lowercase hex digits."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh random 64-bit span id as 16 lowercase hex digits."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: ``(trace_id, span_id, sampled)``.
+
+    ``span_id`` names the *enclosing* span — the span a child opened
+    under this context should record as its parent.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    @classmethod
+    def new(cls, sampled: bool = True) -> "TraceContext":
+        """A root context with fresh random identifiers."""
+        return cls(new_trace_id(), new_span_id(), sampled)
+
+    def child(self, span_id: Optional[str] = None) -> "TraceContext":
+        """The context one nesting level down: same trace, new parent."""
+        return replace(self, span_id=span_id or new_span_id())
+
+    def with_sampled(self, sampled: bool) -> "TraceContext":
+        return replace(self, sampled=sampled)
+
+    def to_traceparent(self) -> str:
+        """Serialize to the W3C ``traceparent`` wire format."""
+        return f"00-{self.trace_id}-{self.span_id}-" \
+               f"{'01' if self.sampled else '00'}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.to_traceparent()
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header; ``None`` when absent/malformed.
+
+    Tolerant by design — telemetry must never fail a request — so any
+    value that does not match the version-00 grammar (or carries the
+    invalid all-zero ids) is simply ignored.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    trace_id, span_id, flags = match.groups()
+    if trace_id == _ZERO_TRACE or span_id == _ZERO_SPAN:
+        return None
+    try:
+        sampled = bool(int(flags, 16) & 0x01)
+    except ValueError:  # pragma: no cover - regex already guarantees hex
+        return None
+    return TraceContext(trace_id, span_id, sampled)
+
+
+_CURRENT: "contextvars.ContextVar[Optional[TraceContext]]" = \
+    contextvars.ContextVar("repro_trace_context", default=None)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The active :class:`TraceContext`, or ``None`` outside a request."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def activate(ctx: Optional[TraceContext]) -> Iterator[
+        Optional[TraceContext]]:
+    """Install ``ctx`` as the current context for the ``with`` block.
+
+    ``activate(None)`` is a no-op context manager, so callers can write
+    ``with activate(maybe_ctx):`` without branching.
+    """
+    if ctx is None:
+        yield None
+        return
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,235 @@
+"""Structured event log: leveled, coded, trace-correlated.
+
+An :class:`EventLog` records discrete happenings — schema reloads,
+cache hits, admission rejects, slow requests — as JSON-safe dicts::
+
+    {"ts": 1699.123456, "level": "info", "code": "cache-hit",
+     "message": "...", "trace_id": "4bf9...", "attrs": {...}}
+
+Events are ring-buffered (bounded memory in a long-lived server) and
+optionally appended to a durable JSONL file (``--log-file``).  The
+``trace_id`` is picked up automatically from the active
+:class:`~repro.obs.context.TraceContext`, so every event emitted while
+a request is in flight correlates with that request's spans.
+
+The disabled counterpart :data:`NULL_EVENTS` accepts every emit and
+records nothing, following the ``NULL_OBS`` idiom.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import IO, Optional
+
+from .context import current_context
+
+__all__ = ["EventLog", "LEVELS", "NULL_EVENTS", "NullEventLog"]
+
+#: Level names in increasing severity; ``emit`` drops anything below
+#: the log's configured threshold.
+LEVELS: "dict[str, int]" = {"debug": 10, "info": 20, "warn": 30,
+                            "error": 40}
+
+
+class EventLog:
+    """Bounded in-memory event ring with optional durable JSONL append.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest event is dropped (and counted in
+        :attr:`dropped`) once full.  The durable file, when configured,
+        keeps everything.
+    path:
+        Append events as JSONL to this file (opened lazily, flushed per
+        event so ``tail -f`` works on a live server).
+    level:
+        Minimum level to record (default ``"debug"`` records all).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 2048,
+                 path: "str | None" = None,
+                 level: str = "debug"):
+        if level not in LEVELS:
+            raise ValueError(f"unknown event level {level!r} "
+                             f"(known: {', '.join(sorted(LEVELS))})")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.level = level
+        self.path = path
+        self.emitted = 0
+        self.dropped = 0
+        self._min = LEVELS[level]
+        self._ring: "deque[dict]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._fh: Optional[IO[str]] = None
+
+    # -- recording ---------------------------------------------------
+
+    def emit(self, level: str, code: str, message: str = "",
+             **attrs: object) -> Optional[dict]:
+        """Record one event; returns the event dict (or ``None`` when
+        filtered by level).  ``trace_id`` comes from the active
+        :class:`TraceContext`."""
+        if LEVELS.get(level, LEVELS["info"]) < self._min:
+            return None
+        ctx = current_context()
+        event = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "code": code,
+            "message": message,
+            "trace_id": ctx.trace_id if ctx is not None else None,
+            "attrs": dict(attrs),
+        }
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(event)
+            self.emitted += 1
+            if self.path is not None:
+                if self._fh is None:
+                    self._fh = open(self.path, "a", encoding="utf-8")
+                self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+                self._fh.flush()
+        return event
+
+    def debug(self, code: str, message: str = "",
+              **attrs: object) -> Optional[dict]:
+        return self.emit("debug", code, message, **attrs)
+
+    def info(self, code: str, message: str = "",
+             **attrs: object) -> Optional[dict]:
+        return self.emit("info", code, message, **attrs)
+
+    def warn(self, code: str, message: str = "",
+             **attrs: object) -> Optional[dict]:
+        return self.emit("warn", code, message, **attrs)
+
+    def error(self, code: str, message: str = "",
+              **attrs: object) -> Optional[dict]:
+        return self.emit("error", code, message, **attrs)
+
+    def absorb(self, events: "list[dict]") -> None:
+        """Fold already-formed event dicts (a worker's export) in."""
+        with self._lock:
+            for event in events:
+                if len(self._ring) == self.capacity:
+                    self.dropped += 1
+                self._ring.append(dict(event))
+                self.emitted += 1
+                if self.path is not None:
+                    if self._fh is None:
+                        self._fh = open(self.path, "a", encoding="utf-8")
+                    self._fh.write(json.dumps(event, sort_keys=True)
+                                   + "\n")
+                    self._fh.flush()
+
+    # -- reading -----------------------------------------------------
+
+    def tail(self, n: int = 20) -> "list[dict]":
+        """The most recent ``n`` events, oldest first."""
+        with self._lock:
+            items = list(self._ring)
+        return items[-n:] if n >= 0 else items
+
+    def to_dicts(self) -> "list[dict]":
+        with self._lock:
+            return [dict(e) for e in self._ring]
+
+    def counts(self) -> dict:
+        """Per-level event counts over the retained ring."""
+        out = {name: 0 for name in LEVELS}
+        with self._lock:
+            for event in self._ring:
+                level = event.get("level", "info")
+                out[level] = out.get(level, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- lifecycle ---------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EventLog {len(self._ring)}/{self.capacity} "
+                f"level={self.level} path={self.path!r}>")
+
+
+class NullEventLog:
+    """Disabled event log: accepts every emit, records nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+    capacity = 0
+    level = "error"
+    path = None
+    emitted = 0
+    dropped = 0
+
+    def emit(self, level: str, code: str, message: str = "",
+             **attrs: object) -> None:
+        return None
+
+    def debug(self, code: str, message: str = "",
+              **attrs: object) -> None:
+        return None
+
+    def info(self, code: str, message: str = "",
+             **attrs: object) -> None:
+        return None
+
+    def warn(self, code: str, message: str = "",
+             **attrs: object) -> None:
+        return None
+
+    def error(self, code: str, message: str = "",
+              **attrs: object) -> None:
+        return None
+
+    def absorb(self, events: "list[dict]") -> None:
+        return None
+
+    def tail(self, n: int = 20) -> list:
+        return []
+
+    def to_dicts(self) -> list:
+        return []
+
+    def counts(self) -> dict:
+        return {}
+
+    def clear(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_EVENTS = NullEventLog()

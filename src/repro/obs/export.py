@@ -111,6 +111,12 @@ def _escape_label(value: str) -> str:
                  .replace("\n", "\\n"))
 
 
+def _escape_help(value: str) -> str:
+    # HELP text escapes backslash and newline only (quotes stay raw),
+    # per the text exposition format.
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(items: Iterable) -> str:
     parts = [f'{k}="{_escape_label(v)}"' for k, v in items]
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -124,27 +130,45 @@ def _prom_number(value: Union[int, float, None]) -> str:
     return str(int(value))
 
 
+def _exemplar_suffix(exemplar: "dict | None") -> str:
+    """OpenMetrics-style exemplar: `` # {trace_id="..."} value``."""
+    if not exemplar or not exemplar.get("trace_id"):
+        return ""
+    labels = _prom_labels((("trace_id", str(exemplar["trace_id"])),))
+    return f" # {labels} {_prom_number(exemplar['value'])}"
+
+
 def to_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus text exposition format (version 0.0.4)."""
+    """Prometheus text exposition format (version 0.0.4).
+
+    Histogram bucket samples carry OpenMetrics-style exemplars when the
+    instrument recorded any (``observe(v, trace_id=...)``): the bucket
+    line gains `` # {trace_id="..."} value`` linking the bucket to one
+    recent trace.  Scrapers that predate exemplars ignore everything
+    after ``#``.
+    """
     lines: list = []
     seen: set = set()
     for inst in registry.collect():
         if inst.name not in seen:
             seen.add(inst.name)
             if inst.help:
-                lines.append(f"# HELP {inst.name} {inst.help}")
+                lines.append(f"# HELP {inst.name} "
+                             f"{_escape_help(inst.help)}")
             lines.append(f"# TYPE {inst.name} {inst.kind}")
         if isinstance(inst, Histogram):
             cumulative = 0
             below = dict(zip(inst.buckets, inst.bucket_counts))
-            for bound in inst.buckets:
+            for i, bound in enumerate(inst.buckets):
                 cumulative = below[bound]
                 items = inst.labels + (("le", _prom_number(bound)),)
                 lines.append(f"{inst.name}_bucket{_prom_labels(items)} "
-                             f"{cumulative}")
+                             f"{cumulative}"
+                             f"{_exemplar_suffix(inst.exemplars[i])}")
             items = inst.labels + (("le", "+Inf"),)
             lines.append(f"{inst.name}_bucket{_prom_labels(items)} "
-                         f"{inst.count}")
+                         f"{inst.count}"
+                         f"{_exemplar_suffix(inst.exemplars[-1])}")
             lines.append(f"{inst.name}_sum{_prom_labels(inst.labels)} "
                          f"{_prom_number(inst.total)}")
             lines.append(f"{inst.name}_count{_prom_labels(inst.labels)} "

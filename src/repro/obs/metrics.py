@@ -92,10 +92,17 @@ class Gauge(_Instrument):
 
 
 class Histogram(_Instrument):
-    """Cumulative-bucket histogram plus count/sum/min/max."""
+    """Cumulative-bucket histogram plus count/sum/min/max.
+
+    Each bucket (including the implicit ``+Inf`` overflow) can remember
+    one *exemplar* — the most recent ``(value, trace_id)`` observed into
+    it — so a latency spike on ``/metrics`` links straight to the trace
+    that caused it.  Exemplars cost nothing unless a ``trace_id`` is
+    passed to :meth:`observe`.
+    """
 
     __slots__ = ("buckets", "bucket_counts", "count", "total",
-                 "min", "max")
+                 "min", "max", "exemplars")
 
     kind = "histogram"
 
@@ -108,21 +115,57 @@ class Histogram(_Instrument):
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: one exemplar slot per bucket plus the +Inf overflow;
+        #: each is None or {"value": float, "trace_id": str}
+        self.exemplars: "list[Optional[dict]]" = \
+            [None] * (len(self.buckets) + 1)
 
-    def observe(self, value: Union[int, float]) -> None:
+    def observe(self, value: Union[int, float],
+                trace_id: Optional[str] = None) -> None:
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        canonical = len(self.buckets)  # +Inf overflow by default
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.bucket_counts[i] += 1
+                if i < canonical:
+                    canonical = i
+        if trace_id is not None:
+            self.exemplars[canonical] = {"value": float(value),
+                                         "trace_id": trace_id}
 
     @property
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile (0..1) from the cumulative buckets
+        by linear interpolation within the winning bucket — the same
+        estimate ``histogram_quantile`` makes.  None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        prev_bound, prev_cum = 0.0, 0
+        for bound, cum in zip(self.buckets, self.bucket_counts):
+            if cum >= rank:
+                if cum == prev_cum:  # pragma: no cover - defensive
+                    return bound
+                frac = (rank - prev_cum) / (cum - prev_cum)
+                estimate = prev_bound + (bound - prev_bound) * frac
+                # interpolation cannot beat the largest observation
+                if self.max is not None and estimate > self.max:
+                    return self.max
+                return estimate
+            prev_bound, prev_cum = bound, cum
+        # rank falls in the +Inf overflow: the best finite answer is
+        # the largest observation.
+        return self.max
 
 
 AnyInstrument = Union[Counter, Gauge, Histogram]
@@ -231,6 +274,10 @@ class MetricsRegistry:
                              for b, c in zip(inst.buckets,
                                              inst.bucket_counts)],
                 )
+                if any(e is not None for e in inst.exemplars):
+                    entry["exemplars"] = [
+                        dict(e) if e is not None else None
+                        for e in inst.exemplars]
             else:
                 entry["value"] = inst.value
             out.append(entry)
@@ -258,6 +305,10 @@ class MetricsRegistry:
                 hist.min = entry["min"]
                 hist.max = entry["max"]
                 hist.bucket_counts = [b["count"] for b in entry["buckets"]]
+                exemplars = entry.get("exemplars")
+                if exemplars:
+                    hist.exemplars = [dict(e) if e is not None else None
+                                      for e in exemplars]
             elif kind == "gauge":
                 registry.gauge(name, labels, help).set(entry["value"])
             elif kind == "counter":
@@ -266,15 +317,28 @@ class MetricsRegistry:
                 raise ValueError(f"unknown instrument kind {kind!r}")
         return registry
 
-    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+    #: Legal ``gauges=`` reducers for :meth:`merge`.
+    GAUGE_REDUCERS = ("max", "min", "sum")
+
+    def merge(self, other: "MetricsRegistry",
+              gauges: str = "max") -> "MetricsRegistry":
         """Fold another registry's instruments into this one.
 
-        Counters and gauges add their values (a merged gauge is a
-        *sum across workers*, which is what worker-local sizes and
-        levels mean corpus-wide); histograms require identical bucket
+        Counters add their values; histograms require identical bucket
         bounds and add counts, sums and bucket tallies (min/max
-        combine).  Returns ``self`` so merges chain.
+        combine, exemplars prefer the incoming side — newest wins).
+
+        Gauges merge through an explicit, order-independent *reducer*:
+        ``"max"`` (the default — the corpus-wide high-water mark, and
+        deterministic no matter which worker reports first), ``"min"``,
+        or ``"sum"`` (when worker-local sizes mean to be added).  A
+        gauge this registry has never set simply takes the incoming
+        value.  Returns ``self`` so merges chain.
         """
+        if gauges not in self.GAUGE_REDUCERS:
+            raise ValueError(
+                f"unknown gauge reducer {gauges!r} "
+                f"(known: {', '.join(self.GAUGE_REDUCERS)})")
         for inst in other.collect():
             if isinstance(inst, Histogram):
                 mine = self.histogram(inst.name, inst.label_dict(),
@@ -293,9 +357,22 @@ class MetricsRegistry:
                         else max(mine.max, inst.max)
                 for i, c in enumerate(inst.bucket_counts):
                     mine.bucket_counts[i] += c
+                for i, exemplar in enumerate(inst.exemplars):
+                    if exemplar is not None:
+                        mine.exemplars[i] = dict(exemplar)
             elif isinstance(inst, Gauge):
-                self.gauge(inst.name, inst.label_dict(),
-                           inst.help).add(inst.value)
+                key = (inst.name, inst.labels)
+                fresh = key not in self._instruments
+                mine_gauge = self.gauge(inst.name, inst.label_dict(),
+                                        inst.help)
+                if fresh:
+                    mine_gauge.set(inst.value)
+                elif gauges == "sum":
+                    mine_gauge.add(inst.value)
+                elif gauges == "min":
+                    mine_gauge.set(min(mine_gauge.value, inst.value))
+                else:
+                    mine_gauge.set(max(mine_gauge.value, inst.value))
             else:
                 self.counter(inst.name, inst.label_dict(),
                              inst.help).add(inst.value)
@@ -325,6 +402,7 @@ class NullInstrument:
     min = None
     max = None
     mean = None
+    exemplars: tuple = ()
 
     def inc(self) -> None:
         return None
@@ -335,7 +413,11 @@ class NullInstrument:
     def set(self, value: Union[int, float]) -> None:
         return None
 
-    def observe(self, value: Union[int, float]) -> None:
+    def observe(self, value: Union[int, float],
+                trace_id: Optional[str] = None) -> None:
+        return None
+
+    def quantile(self, q: float) -> None:
         return None
 
     def label_dict(self) -> dict:
@@ -381,7 +463,8 @@ class NullMetricsRegistry:
     def to_dicts(self) -> list:
         return []
 
-    def merge(self, other: object) -> "NullMetricsRegistry":
+    def merge(self, other: object,
+              gauges: str = "max") -> "NullMetricsRegistry":
         return self
 
     def clear(self) -> None:

@@ -1,0 +1,250 @@
+"""In-repo linter for the Prometheus text exposition format.
+
+:func:`lint_exposition` parses a full ``/metrics`` scrape and returns a
+list of problems (empty = clean).  It enforces what a real scraper
+cares about, per the text format (version 0.0.4) plus the
+OpenMetrics-style exemplar suffix this repo emits:
+
+- metric and label names match the Prometheus grammar;
+- label values use only the three legal escapes (``\\\\``, ``\\"``,
+  ``\\n``) and every brace/quote is balanced;
+- sample values parse as floats (``NaN``/``+Inf``/``-Inf`` included);
+- ``# TYPE`` precedes the samples of its family and is declared once;
+- every histogram family emits a ``+Inf`` bucket, ``_sum`` and
+  ``_count`` per label set, with cumulative (non-decreasing) buckets
+  and ``_count`` equal to the ``+Inf`` bucket;
+- exemplars (``... # {trace_id="..."} value``) only appear on bucket
+  samples and themselves parse.
+
+Used by ``tests/test_metrics_exposition.py`` against a live server and
+by the CI telemetry round-trip.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["lint_exposition"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_number(text: str) -> "float | None":
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _split_labels(body: str, where: str, problems: "list[str]"
+                  ) -> "dict[str, str] | None":
+    """Parse the inside of ``{...}``; None on malformed syntax."""
+    labels: dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            problems.append(f"{where}: label without '=' in {body!r}")
+            return None
+        name = body[i:eq].strip().lstrip(",").strip()
+        if not _LABEL_NAME_RE.match(name):
+            problems.append(f"{where}: invalid label name {name!r}")
+            return None
+        i = eq + 1
+        if i >= n or body[i] != '"':
+            problems.append(f"{where}: label value for {name!r} is "
+                            "not quoted")
+            return None
+        i += 1
+        value_chars: list[str] = []
+        while i < n:
+            ch = body[i]
+            if ch == "\\":
+                if i + 1 >= n or body[i + 1] not in ('\\', '"', 'n'):
+                    problems.append(
+                        f"{where}: illegal escape in label {name!r}")
+                    return None
+                value_chars.append(
+                    "\n" if body[i + 1] == "n" else body[i + 1])
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            elif ch == "\n":
+                problems.append(f"{where}: raw newline in label "
+                                f"{name!r}")
+                return None
+            else:
+                value_chars.append(ch)
+                i += 1
+        else:
+            problems.append(f"{where}: unterminated label value for "
+                            f"{name!r}")
+            return None
+        labels[name] = "".join(value_chars)
+        while i < n and body[i] in ", ":
+            i += 1
+    return labels
+
+
+def _parse_sample(line: str, where: str, problems: "list[str]"
+                  ) -> "tuple[str, dict, float] | None":
+    """Parse ``name{labels} value [# {...} value]``; None on error."""
+    exemplar = None
+    if " # " in line:
+        line, _, exemplar = line.partition(" # ")
+        line = line.rstrip()
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            problems.append(f"{where}: unbalanced braces")
+            return None
+        name = line[:brace]
+        labels = _split_labels(line[brace + 1:close], where, problems)
+        if labels is None:
+            return None
+        rest = line[close + 1:].strip()
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            problems.append(f"{where}: sample without a value")
+            return None
+        name, rest = parts[0], parts[1].strip()
+        labels = {}
+    if not _NAME_RE.match(name):
+        problems.append(f"{where}: invalid metric name {name!r}")
+        return None
+    value_text = rest.split()[0] if rest else ""
+    value = _parse_number(value_text)
+    if value is None:
+        problems.append(f"{where}: unparseable value {value_text!r}")
+        return None
+    if exemplar is not None:
+        if not name.endswith("_bucket"):
+            problems.append(f"{where}: exemplar on non-bucket sample "
+                            f"{name!r}")
+        ex = exemplar.strip()
+        if not ex.startswith("{"):
+            problems.append(f"{where}: malformed exemplar {ex!r}")
+        else:
+            close = ex.rfind("}")
+            if close < 0:
+                problems.append(f"{where}: unterminated exemplar")
+            else:
+                ex_labels = _split_labels(ex[1:close], where, problems)
+                ex_value = _parse_number(ex[close + 1:].strip() or "")
+                if ex_labels is None or ex_value is None:
+                    problems.append(
+                        f"{where}: unparseable exemplar {ex!r}")
+    return name, labels, value
+
+
+def _family(name: str, types: "dict[str, str]") -> "str | None":
+    """The declared family a sample belongs to (histogram samples use
+    suffixed names)."""
+    if name in types:
+        return name
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[:-len(suffix)] in types:
+            return name[:-len(suffix)]
+    return None
+
+
+def lint_exposition(text: str) -> "list[str]":
+    """Lint a full text-format scrape; returns problems (empty=clean)."""
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    # histogram family -> label-set-key -> {"buckets": [(le, v)],
+    #                                       "sum": v, "count": v}
+    histograms: dict[str, dict] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        line = raw.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    problems.append(f"{where}: malformed TYPE comment")
+                    continue
+                name, kind = parts[2], parts[3].strip()
+                if not _NAME_RE.match(name):
+                    problems.append(
+                        f"{where}: invalid name in TYPE {name!r}")
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    problems.append(
+                        f"{where}: unknown TYPE kind {kind!r}")
+                if name in types:
+                    problems.append(
+                        f"{where}: duplicate TYPE for {name!r}")
+                types.setdefault(name, kind)
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                    problems.append(f"{where}: malformed HELP comment")
+                elif len(parts) == 4 and not re.fullmatch(
+                        r"(?:[^\\]|\\[\\n])*", parts[3]):
+                    # tokenize escape pairs, so "\\ " is one legal
+                    # escaped backslash, not an illegal "\ "
+                    problems.append(
+                        f"{where}: illegal escape in HELP text")
+            # other comments are legal and ignored
+            continue
+        parsed = _parse_sample(line.strip(), where, problems)
+        if parsed is None:
+            continue
+        name, labels, value = parsed
+        family = _family(name, types)
+        if family is None:
+            problems.append(f"{where}: sample {name!r} has no "
+                            "preceding TYPE declaration")
+            continue
+        if types[family] == "histogram":
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            entry = histograms.setdefault(family, {}).setdefault(
+                key, {"buckets": [], "sum": None, "count": None})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(f"{where}: bucket sample without "
+                                    "an 'le' label")
+                else:
+                    entry["buckets"].append((labels["le"], value))
+            elif name.endswith("_sum"):
+                entry["sum"] = value
+            elif name.endswith("_count"):
+                entry["count"] = value
+            else:
+                problems.append(f"{where}: histogram family "
+                                f"{family!r} has a bare sample {name!r}")
+
+    for family, series in histograms.items():
+        for key, entry in series.items():
+            label_note = f"{family}{{{dict(key)}}}" if key else family
+            bucket_bounds = [le for le, _ in entry["buckets"]]
+            if "+Inf" not in bucket_bounds:
+                problems.append(f"{label_note}: histogram is missing "
+                                "the +Inf bucket")
+            if entry["sum"] is None:
+                problems.append(f"{label_note}: histogram is missing "
+                                "_sum")
+            if entry["count"] is None:
+                problems.append(f"{label_note}: histogram is missing "
+                                "_count")
+            counts = [v for _, v in entry["buckets"]]
+            if any(b > a for a, b in zip(counts[1:], counts)):
+                problems.append(f"{label_note}: bucket counts are not "
+                                "cumulative")
+            if entry["buckets"] and entry["count"] is not None:
+                inf = [v for le, v in entry["buckets"] if le == "+Inf"]
+                if inf and not math.isclose(inf[0], entry["count"]):
+                    problems.append(
+                        f"{label_note}: +Inf bucket ({inf[0]}) != "
+                        f"_count ({entry['count']})")
+    return problems

@@ -27,6 +27,8 @@ import functools
 import time
 from typing import Any, Callable, Iterable, Iterator, Optional
 
+from .context import TraceContext, current_context, new_span_id
+
 __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
@@ -38,10 +40,19 @@ __all__ = [
 
 
 class Span:
-    """One timed region: name, wall time, attributes, children."""
+    """One timed region: name, wall time, attributes, children.
+
+    When a :class:`~repro.obs.context.TraceContext` is active (or the
+    parent span carries one), the span also records its identity —
+    ``trace_id`` / ``span_id`` / ``parent_span_id`` — so traces survive
+    export, the multiprocessing boundary, and re-parenting on merge.
+    Spans opened outside any request context stay id-free and their
+    exported dicts are unchanged.
+    """
 
     __slots__ = ("name", "attributes", "parent", "children",
-                 "start", "end", "_tracer")
+                 "start", "end", "_tracer",
+                 "trace_id", "span_id", "parent_span_id")
 
     def __init__(self, tracer: "Tracer", name: str,
                  attributes: Optional[dict] = None):
@@ -52,6 +63,9 @@ class Span:
         self.start: Optional[float] = None
         self.end: Optional[float] = None
         self._tracer = tracer
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_span_id: Optional[str] = None
 
     @property
     def duration(self) -> Optional[float]:
@@ -64,6 +78,14 @@ class Span:
         """Attach or update attributes on the span."""
         self.attributes.update(attributes)
         return self
+
+    def context(self) -> Optional[TraceContext]:
+        """The :class:`TraceContext` naming *this* span as the parent
+        (what a child process/request should inherit), or ``None`` for
+        an id-free span."""
+        if self.trace_id is None or self.span_id is None:
+            return None
+        return TraceContext(self.trace_id, self.span_id, True)
 
     def __enter__(self) -> "Span":
         self._tracer._push(self)
@@ -81,12 +103,19 @@ class Span:
             yield from child.walk()
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "duration_s": self.duration,
             "attributes": dict(self.attributes),
             "children": [c.to_dict() for c in self.children],
         }
+        # Identity fields ride along only when the span belongs to a
+        # trace, so id-free exports stay byte-identical to older ones.
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+            out["parent_span_id"] = self.parent_span_id
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         dur = f"{self.duration * 1e3:.3f}ms" if self.duration is not None \
@@ -102,6 +131,8 @@ class Tracer:
     def __init__(self) -> None:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
+        #: span_id -> Span, for re-parenting adopted worker spans
+        self._by_id: dict[str, Span] = {}
 
     def span(self, name: str, **attributes: Any) -> Span:
         """Create a span; nesting is decided when it is *entered*."""
@@ -128,6 +159,7 @@ class Tracer:
     def clear(self) -> None:
         self.roots = []
         self._stack = []
+        self._by_id = {}
 
     def to_dicts(self) -> list[dict]:
         return [root.to_dict() for root in self.roots]
@@ -135,14 +167,22 @@ class Tracer:
     def adopt(self, span_dicts: Iterable[dict]) -> None:
         """Attach spans exported by another tracer's :meth:`to_dicts`.
 
-        The rebuilt spans nest under the currently open span (or become
-        roots).  Start/end are synthesized from the recorded duration,
-        so only durations — not absolute times — survive the crossing;
-        that is exactly what merging per-worker traces needs.
+        A rebuilt span that names a ``parent_span_id`` this tracer has
+        seen re-parents under that exact span — this is how worker-
+        process spans land under the originating request's span instead
+        of a flat merge.  Spans without a resolvable parent nest under
+        the currently open span (or become roots).  Start/end are
+        synthesized from the recorded duration, so only durations — not
+        absolute times — survive the crossing.
         """
         for d in span_dicts:
             span = self._span_from_dict(d)
-            parent = self.current
+            parent: Optional[Span] = None
+            parent_id = d.get("parent_span_id")
+            if parent_id is not None:
+                parent = self._by_id.get(parent_id)
+            if parent is None:
+                parent = self.current
             if parent is not None:
                 span.parent = parent
                 parent.children.append(span)
@@ -154,6 +194,11 @@ class Tracer:
         duration = d.get("duration_s")
         if duration is not None:
             span.start, span.end = 0.0, duration
+        span.trace_id = d.get("trace_id")
+        span.span_id = d.get("span_id")
+        span.parent_span_id = d.get("parent_span_id")
+        if span.span_id is not None:
+            self._by_id.setdefault(span.span_id, span)
         for child_dict in d.get("children", ()):
             child = self._span_from_dict(child_dict)
             child.parent = span
@@ -163,10 +208,22 @@ class Tracer:
     # -- internal ----------------------------------------------------
     def _push(self, span: Span) -> None:
         if self._stack:
-            span.parent = self._stack[-1]
-            span.parent.children.append(span)
+            parent = self._stack[-1]
+            span.parent = parent
+            parent.children.append(span)
+            if parent.trace_id is not None:
+                span.trace_id = parent.trace_id
+                span.parent_span_id = parent.span_id
         else:
+            # A new root picks up the ambient request context, if any.
+            ctx = current_context()
+            if ctx is not None and ctx.sampled:
+                span.trace_id = ctx.trace_id
+                span.parent_span_id = ctx.span_id
             self.roots.append(span)
+        if span.trace_id is not None and span.span_id is None:
+            span.span_id = new_span_id()
+            self._by_id[span.span_id] = span
         self._stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -189,9 +246,15 @@ class NullSpan:
     start = None
     end = None
     duration = None
+    trace_id = None
+    span_id = None
+    parent_span_id = None
 
     def set(self, **attributes: Any) -> "NullSpan":
         return self
+
+    def context(self) -> None:
+        return None
 
     def __enter__(self) -> "NullSpan":
         return self

@@ -1,0 +1,160 @@
+"""Chrome trace-event export: span trees as Perfetto-loadable JSON.
+
+:func:`trace_events` converts a span forest (live
+:class:`~repro.obs.trace.Span` objects or the dicts their
+``to_dict()`` exports) into the Trace Event Format that
+``chrome://tracing`` and https://ui.perfetto.dev both load: one
+complete event (``"ph": "X"``) per span, timestamps and durations in
+microseconds, grouped into tracks by ``pid``/``tid``.
+
+Spans that crossed a process boundary carry only durations — the
+worker's ``perf_counter`` clock is not comparable with the
+coordinator's — so the exporter *synthesizes* a consistent timeline:
+roots are laid end to end, and each span's children are packed
+sequentially from their parent's start.  Relative widths are faithful;
+absolute offsets are presentation only (and say so in ``otherData``).
+
+:func:`validate_trace_events` is the in-repo schema check the CI trace
+round-trip uses; it returns a list of problems (empty = valid).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["trace_events", "validate_trace_events"]
+
+_REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def _as_dict(span: object) -> dict:
+    to_dict = getattr(span, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    if isinstance(span, dict):
+        return span
+    raise TypeError(f"expected Span or span dict, got {type(span)!r}")
+
+
+def _span_track(d: dict, default_pid: int) -> "tuple[int, int]":
+    """(pid, tid) for a span dict: worker spans record their os pid in
+    attributes, everything else lands on the default track."""
+    attrs = d.get("attributes") or {}
+    try:
+        pid = int(attrs.get("pid", default_pid))
+    except (TypeError, ValueError):
+        pid = default_pid
+    return pid, 0
+
+
+def _emit(d: dict, ts_us: float, default_pid: int,
+          trace_id: Optional[str], events: list) -> float:
+    """Append this span and its children; returns the span's width."""
+    duration = d.get("duration_s")
+    dur_us = max(float(duration) * 1e6, 0.0) \
+        if duration is not None else 0.0
+    pid, tid = _span_track(d, default_pid)
+    args = dict(d.get("attributes") or {})
+    if d.get("trace_id"):
+        args["trace_id"] = d["trace_id"]
+        args["span_id"] = d.get("span_id")
+    event = {
+        "name": d.get("name", "?"),
+        "cat": "repro",
+        "ph": "X",
+        "ts": round(ts_us, 3),
+        "dur": round(dur_us, 3),
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+    events.append(event)
+    cursor = ts_us
+    child_total = 0.0
+    for child in d.get("children", ()):
+        width = _emit(child, cursor, pid, trace_id, events)
+        cursor += width
+        child_total += width
+    # A parent whose recorded duration lost to clock noise still must
+    # enclose its children on the synthesized timeline.
+    if child_total > dur_us:
+        event["dur"] = round(child_total, 3)
+        dur_us = child_total
+    return dur_us
+
+
+def trace_events(spans: Iterable[object], *,
+                 trace_id: Optional[str] = None,
+                 process_name: str = "repro-xic") -> dict:
+    """Export a span forest as a Trace Event Format payload.
+
+    ``trace_id``, when given, filters the forest to roots belonging to
+    that trace (id-free roots are kept only when no filter is given)
+    and is recorded in ``otherData`` for correlation.  When omitted and
+    every root agrees on one trace id, that id is reported.
+    """
+    dicts = [_as_dict(s) for s in spans]
+    if trace_id is not None:
+        dicts = [d for d in dicts if d.get("trace_id") == trace_id]
+    else:
+        ids = {d.get("trace_id") for d in dicts}
+        if len(ids) == 1:
+            trace_id = ids.pop()
+    events: list = []
+    cursor = 0.0
+    for d in dicts:
+        cursor += _emit(d, cursor, 0, trace_id, events)
+    pids = sorted({e["pid"] for e in events})
+    meta = [{"name": "process_name", "ph": "M", "ts": 0, "pid": pid,
+             "tid": 0,
+             "args": {"name": process_name if pid == 0
+                      else f"{process_name} worker {pid}"}}
+            for pid in pids]
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": trace_id,
+            "clock": "synthetic",
+            "note": "timeline synthesized from span durations; "
+                    "absolute offsets are presentation only",
+        },
+    }
+
+
+def validate_trace_events(payload: object) -> "list[str]":
+    """Schema-check a trace-event payload; returns problems (empty =
+    loadable).  Covers exactly what Perfetto needs: a ``traceEvents``
+    array of events with name/ph/ts/pid/tid, complete events carrying a
+    non-negative ``dur``."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload.traceEvents must be an array"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                problems.append(f"{where} is missing {key!r}")
+        if not isinstance(event.get("name", ""), str):
+            problems.append(f"{where}.name is not a string")
+        ph = event.get("ph")
+        if ph is not None and ph not in ("X", "B", "E", "M", "i", "C"):
+            problems.append(f"{where}.ph {ph!r} is not a known phase")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if value is not None and (
+                    not isinstance(value, (int, float)) or value < 0):
+                problems.append(f"{where}.{key} must be a non-negative "
+                                f"number, got {value!r}")
+        if ph == "X" and "dur" not in event:
+            problems.append(f"{where} is a complete event without dur")
+        for key in ("pid", "tid"):
+            if key in event and not isinstance(event[key], int):
+                problems.append(f"{where}.{key} must be an integer")
+    return problems

@@ -57,16 +57,22 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import random
 import sys
 import time
 from typing import Optional
 
 from repro.errors import ParseError, ReproError
-from repro.obs import NULL_TRACER, Observability
+from repro.obs import (
+    NULL_TRACER, EventLog, Observability, TraceContext, activate,
+    parse_traceparent, trace_events,
+)
+from repro.obs.metrics import Histogram
 from repro.server.http import (
     HttpError, HttpRequest, HttpResponse, read_request, write_response,
 )
 from repro.server.registry import SchemaNotFound, SchemaRegistry
+from repro.server.telemetry import RequestWindow, SlowLog, TraceStore
 
 __all__ = ["ValidationServer"]
 
@@ -97,14 +103,32 @@ class ValidationServer:
     default_mode:
         ``"stream"`` (single-pass, the hot path) or ``"batch"`` for
         validate requests that do not name a mode.
+    sample:
+        Trace sampling rate in ``[0, 1]``: the fraction of requests
+        that get a per-request tracer and land in the trace store.
+        Requests carrying a sampled ``traceparent`` or ``?trace=1``
+        are always traced regardless (default ``0.0``).
+    slow_ms:
+        Requests slower than this (wall-clock, milliseconds) are
+        recorded in the slow log and emit a ``slow-request`` event.
+    events:
+        The :class:`~repro.obs.EventLog` to emit structured events
+        into (default: a fresh ring-only log).
+    trace_capacity:
+        Bound on the trace store (``GET /v1/traces/<id>``).
     """
 
     def __init__(self, registry: Optional[SchemaRegistry] = None,
-                 cache=None, obs=None, default_mode: str = "stream"):
+                 cache=None, obs=None, default_mode: str = "stream",
+                 sample: float = 0.0, slow_ms: float = 500.0,
+                 events: Optional[EventLog] = None,
+                 trace_capacity: int = 256):
         from repro.corpus.cache import ResultCache
 
         if default_mode not in ("stream", "batch"):
             raise ValueError(f"unknown default_mode {default_mode!r}")
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError("sample must be within [0, 1]")
         self.registry = registry if registry is not None \
             else SchemaRegistry()
         if cache is None or isinstance(cache, ResultCache):
@@ -114,6 +138,18 @@ class ValidationServer:
         self.obs = obs if obs is not None \
             else Observability(tracer=NULL_TRACER)
         self.default_mode = default_mode
+        self.sample = float(sample)
+        self.slow_ms = float(slow_ms)
+        self.events = events if events is not None else EventLog()
+        # Share one event log with everything holding the obs handle
+        # (the registry's reload events, notably) — unless the caller
+        # already attached their own.
+        if self.obs.enabled and not self.obs.events:
+            self.obs.events = self.events
+        self.traces = TraceStore(trace_capacity)
+        self.slow = SlowLog()
+        self.window = RequestWindow()
+        self._started = time.monotonic()
         #: optional test/instrumentation hook, called as
         #: ``hook(op, handle)`` right after admission resolves the
         #: schema handle — the hot-reload tests swap the registry here
@@ -139,25 +175,99 @@ class ValidationServer:
         422/``invalid-document``, everything else malformed to
         400/``bad-request``.  The response always echoes a request
         ``id`` (the JSONL correlation field) when one was sent.
+
+        Every request is admitted under a :class:`TraceContext` —
+        adopted from an incoming ``traceparent`` header/field, or
+        freshly minted — so events emitted anywhere below correlate by
+        trace_id.  *Sampled* requests (``--sample`` rate, a sampled
+        traceparent, or ``?trace=1``) additionally run under a
+        per-request tracer whose span tree lands in the bounded trace
+        store (``GET /v1/traces/<id>``) and, with ``?trace=1``, inline
+        in the response.
         """
         op = str(req.get("op", ""))
         t0 = time.perf_counter()
-        try:
-            handler = self._OPS.get(op)
-            if handler is None:
-                raise ReproError(
-                    f"unknown op {op!r} (known: "
-                    f"{', '.join(sorted(self._OPS))})")
-            payload, status = handler(self, req)
-        except SchemaNotFound as exc:
-            payload, status = _error("not-found", exc), 404
-        except ParseError as exc:
-            payload, status = _error("invalid-document", exc), 422
-        except (ReproError, UnicodeDecodeError) as exc:
-            payload, status = _error("bad-request", exc), 400
-        except OSError as exc:
-            payload, status = _error("bad-request", exc), 400
-        elapsed = time.perf_counter() - t0
+        ctx = self._admit_context(req)
+        sampled = ctx.sampled and bool(self.obs)
+        if sampled:
+            req_obs: Optional[Observability] = Observability()
+        elif self.obs:
+            req_obs = Observability(tracer=NULL_TRACER)
+        else:
+            req_obs = None
+        req["_ctx"] = ctx
+        req["_obs"] = req_obs
+        with activate(ctx):
+            try:
+                handler = self._OPS.get(op)
+                if handler is None:
+                    raise ReproError(
+                        f"unknown op {op!r} (known: "
+                        f"{', '.join(sorted(self._OPS))})")
+                if sampled:
+                    with req_obs.span(f"serve.{op or '?'}",
+                                      op=op or "?") as root:
+                        with activate(root.context()):
+                            payload, status = handler(self, req)
+                else:
+                    payload, status = handler(self, req)
+            except SchemaNotFound as exc:
+                payload, status = _error("not-found", exc), 404
+                self.events.warn("admission-reject", str(exc), op=op)
+            except ParseError as exc:
+                payload, status = _error("invalid-document", exc), 422
+            except (ReproError, UnicodeDecodeError) as exc:
+                payload, status = _error("bad-request", exc), 400
+            except OSError as exc:
+                payload, status = _error("bad-request", exc), 400
+            elapsed = time.perf_counter() - t0
+            trace_payload = self._finish_request(
+                req, op, payload, status, elapsed, ctx, sampled, req_obs)
+        if trace_payload is not None and req.get("_want_trace"):
+            payload = {**payload, "trace": trace_payload}
+        if sampled:
+            payload.setdefault("trace_id", ctx.trace_id)
+        if "id" in req:
+            payload = {"id": req["id"], **payload}
+        return payload, status
+
+    def _admit_context(self, req: dict) -> TraceContext:
+        """The request's :class:`TraceContext`: adopt a ``traceparent``
+        header/field when one parses, mint a fresh one otherwise; the
+        sampling decision is the caller's when they made one, else a
+        ``--sample`` coin flip.  ``?trace=1`` (HTTP) / ``"trace": true``
+        (JSONL) forces sampling on."""
+        forced = bool(req.get("_want_trace") or req.get("trace"))
+        if forced:
+            req["_want_trace"] = True
+        ctx = parse_traceparent(req.get("traceparent"))
+        if ctx is None:
+            sampled = forced or (self.sample > 0.0
+                                 and random.random() < self.sample)
+            return TraceContext.new(sampled=sampled)
+        if forced and not ctx.sampled:
+            ctx = ctx.with_sampled(True)
+        return ctx
+
+    def _finish_request(self, req: dict, op: str, payload: dict,
+                        status: int, elapsed: float, ctx: TraceContext,
+                        sampled: bool,
+                        req_obs: Optional[Observability]
+                        ) -> Optional[dict]:
+        """Post-dispatch bookkeeping: lifetime metrics (with a latency
+        exemplar for sampled requests), trace-store insert, request
+        window, slow log.  Returns the trace-event payload when the
+        request was sampled."""
+        trace_payload = None
+        if sampled and req_obs is not None and req_obs.tracer.roots:
+            if req.get("_want_trace"):
+                trace_payload = trace_events(req_obs.tracer.roots,
+                                             trace_id=ctx.trace_id)
+                self.traces.put(ctx.trace_id, trace_payload)
+            else:
+                # Nobody asked for the export inline; keep the raw span
+                # tree and render trace events on first fetch.
+                self.traces.put(ctx.trace_id, req_obs.tracer.roots)
         if self.obs:
             outcome = "ok" if payload.get("ok") else "error"
             self.obs.counter(
@@ -167,10 +277,35 @@ class ValidationServer:
             self.obs.histogram(
                 "serve_request_seconds", {"op": op or "?"},
                 help="request wall-clock latency",
-                buckets=_LATENCY_BUCKETS).observe(elapsed)
-        if "id" in req:
-            payload = {"id": req["id"], **payload}
-        return payload, status
+                buckets=_LATENCY_BUCKETS).observe(
+                    elapsed, trace_id=ctx.trace_id if sampled else None)
+            if sampled:
+                self.obs.counter(
+                    "serve_traces_sampled",
+                    help="requests that ran under a per-request "
+                    "tracer").add(1)
+            if req_obs is not None:
+                # Spans stay per-request (trace store); only metrics
+                # fold into the server-lifetime registry.
+                self.obs.absorb(
+                    {"metrics": req_obs.metrics.to_dicts()})
+        self.window.mark()
+        ms = elapsed * 1000.0
+        if ms >= self.slow_ms:
+            record = {
+                "ts": round(time.time(), 3),
+                "op": op or "?",
+                "schema": req.get("schema"),
+                "ms": round(ms, 3),
+                "status": status,
+                "trace_id": ctx.trace_id if sampled else None,
+            }
+            self.slow.add(record)
+            self.events.warn("slow-request",
+                             f"{op or '?'} took {ms:.1f} ms",
+                             op=op or "?", ms=record["ms"],
+                             schema=req.get("schema"))
+        return trace_payload
 
     # -- operations ----------------------------------------------------
 
@@ -235,11 +370,21 @@ class ValidationServer:
         key = result_key_hasher(hasher, handle.fingerprint)
         report = self.cache.get(key) if self.cache is not None else None
         cached = report is not None
-        if not cached:
+        if cached:
+            self.events.debug("cache-hit", f"{handle.name} {key[:12]}",
+                              schema=handle.name, key=key)
+        else:
             mode = req.get("mode") or self.default_mode
-            report = self._validate_bytes(handle, data, mode)
+            report = self._validate_bytes(handle, data, mode,
+                                          req.get("_obs"))
             if self.cache is not None:
                 self.cache.put(key, report)
+        if not report.ok:
+            self.events.info(
+                "validation-violations",
+                f"{handle.name}: {len(report.violations)} violation(s)",
+                schema=handle.name, violations=len(report.violations),
+                cached=cached)
         if self.obs:
             self.obs.counter(
                 "serve_documents_validated",
@@ -252,6 +397,10 @@ class ValidationServer:
             self.obs.counter(
                 "serve_bytes_read",
                 help="document bytes admitted").add(len(data))
+            self.obs.counter(
+                "serve_schema_requests_total",
+                {"schema": handle.name},
+                help="validate requests per schema").add(1)
         return {"ok": True, "valid": report.ok, "cached": cached,
                 "key": key,
                 "schema": {"name": handle.name,
@@ -259,31 +408,79 @@ class ValidationServer:
                            "fingerprint": handle.fingerprint},
                 "report": report.to_dict()}, 200
 
-    def _validate_bytes(self, handle, data: bytes, mode: str):
+    def _validate_bytes(self, handle, data: bytes, mode: str,
+                        req_obs: Optional[Observability]):
         """One cache-missing validation; reports are byte-identical
         across modes (the E19 equivalence), so ``mode`` is purely a
-        performance knob."""
+        performance knob.  Spans/metrics land on the per-request
+        handle; :meth:`_finish_request` folds the metrics into the
+        lifetime registry."""
         text = data.decode("utf-8")
-        req_obs = Observability() if self.obs else None
+        if mode == "stream":
+            from repro.stream import StreamValidator
+
+            return StreamValidator(handle.plan,
+                                   obs=req_obs).validate_text(text)
+        if mode == "batch":
+            from repro.dtd.validate import validate
+            from repro.xmlio.parser import parse_document
+
+            tree = parse_document(text, handle.dtd.structure,
+                                  obs=req_obs)
+            return validate(tree, handle.dtd, obs=req_obs)
+        raise ReproError(f"unknown validate mode {mode!r} "
+                         "(known: stream, batch)")
+
+    def _op_check_corpus(self, req: dict) -> "tuple[dict, int]":
+        """Validate many documents in one request — optionally across
+        worker processes (``jobs``), whose chunk spans come back under
+        this request's trace (the pool boundary crossing)."""
+        from repro.corpus import CorpusValidator
+
+        handle = self.registry.get(_required(req, "schema"))
+        if self.admission_hook is not None:
+            self.admission_hook("check-corpus", handle)
+        docs = req.get("documents")
+        if not isinstance(docs, list) or not docs:
+            raise ReproError(
+                "check-corpus needs 'documents': a non-empty list of "
+                "xml strings or [doc_id, xml] pairs")
+        pairs: "list[tuple[str, str]]" = []
+        for i, doc in enumerate(docs):
+            if isinstance(doc, str):
+                pairs.append((f"doc[{i}]", doc))
+            elif isinstance(doc, (list, tuple)) and len(doc) == 2:
+                pairs.append((str(doc[0]), str(doc[1])))
+            else:
+                raise ReproError(
+                    f"documents[{i}] must be an xml string or a "
+                    "[doc_id, xml] pair")
         try:
-            if mode == "stream":
-                from repro.stream import StreamValidator
-
-                return StreamValidator(handle.plan,
-                                       obs=req_obs).validate_text(text)
-            if mode == "batch":
-                from repro.dtd.validate import validate
-                from repro.xmlio.parser import parse_document
-
-                tree = parse_document(text, handle.dtd.structure,
-                                      obs=req_obs)
-                return validate(tree, handle.dtd, obs=req_obs)
-            raise ReproError(f"unknown validate mode {mode!r} "
-                            "(known: stream, batch)")
-        finally:
-            if req_obs is not None:
-                self.obs.absorb({"metrics": req_obs.metrics.to_dicts(),
-                                 "spans": req_obs.tracer.to_dicts()})
+            jobs = int(req.get("jobs", 1))
+        except (TypeError, ValueError):
+            raise ReproError("jobs must be an integer >= 1") from None
+        if jobs < 1:
+            raise ReproError("jobs must be an integer >= 1")
+        mode = req.get("mode") or self.default_mode
+        validator = CorpusValidator(
+            handle, jobs=jobs, cache=self.cache,
+            obs=req.get("_obs"), stream=(mode == "stream"))
+        report = validator.validate(pairs)
+        if self.obs:
+            self.obs.counter(
+                "serve_documents_validated",
+                help="validate requests admitted").add(len(pairs))
+            self.obs.counter(
+                "serve_schema_requests_total",
+                {"schema": handle.name},
+                help="validate requests per schema").add(1)
+        data = json.loads(report.to_json())
+        return {"ok": True, "valid": report.ok,
+                "documents": len(pairs), "jobs": jobs,
+                "schema": {"name": handle.name,
+                           "version": handle.version,
+                           "fingerprint": handle.fingerprint},
+                "report": data}, 200
 
     def _op_lint(self, req: dict) -> "tuple[dict, int]":
         from repro.analysis import LintConfig, analyze
@@ -293,13 +490,7 @@ class ValidationServer:
             self.admission_hook("lint", handle)
         config = LintConfig(select=tuple(req.get("select") or ()),
                             ignore=tuple(req.get("ignore") or ()))
-        req_obs = Observability() if self.obs else None
-        try:
-            report = analyze(handle.dtd, config, obs=req_obs)
-        finally:
-            if req_obs is not None:
-                self.obs.absorb({"metrics": req_obs.metrics.to_dicts(),
-                                 "spans": req_obs.tracer.to_dicts()})
+        report = analyze(handle.dtd, config, obs=req.get("_obs"))
         return {"ok": True, "clean": report.clean,
                 "schema": {"name": handle.name,
                            "version": handle.version},
@@ -312,19 +503,32 @@ class ValidationServer:
         handle = self.registry.get(_required(req, "schema"))
         if self.admission_hook is not None:
             self.admission_hook("synth", handle)
-        req_obs = Observability() if self.obs else None
-        try:
-            report = check_satisfiability(handle.dtd, obs=req_obs)
-        finally:
-            if req_obs is not None:
-                self.obs.absorb({"metrics": req_obs.metrics.to_dicts(),
-                                 "spans": req_obs.tracer.to_dicts()})
+        report = check_satisfiability(handle.dtd, obs=req.get("_obs"))
         return {"ok": True,
                 "schema": {"name": handle.name,
                            "version": handle.version},
                 **report.to_dict(),
                 "witness": serialize(report.witness)
                 if report.witness is not None else None}, 200
+
+    def _op_stats(self, req: dict) -> "tuple[dict, int]":
+        return self.stats(), 200
+
+    def _op_trace(self, req: dict) -> "tuple[dict, int]":
+        trace_id = str(_required(req, "trace_id")).lower()
+        payload = self.traces.get(trace_id)
+        if payload is None:
+            return _error(
+                "not-found",
+                f"no stored trace {trace_id!r} "
+                f"({len(self.traces)} of {self.traces.capacity} "
+                "slots in use; traces are stored only for sampled "
+                "requests)"), 404
+        if not isinstance(payload, dict):  # raw span tree: render once
+            payload = trace_events(payload, trace_id=trace_id)
+            self.traces.put(trace_id, payload)
+        return {"ok": True, "trace_id": trace_id,
+                "trace": payload}, 200
 
     _OPS = {
         "ping": _op_ping,
@@ -336,9 +540,79 @@ class ValidationServer:
         "metrics": _op_metrics,
         "shutdown": _op_shutdown,
         "validate": _op_validate,
+        "check-corpus": _op_check_corpus,
         "lint": _op_lint,
         "synth": _op_synth,
+        "stats": _op_stats,
+        "trace": _op_trace,
     }
+
+    def stats(self) -> dict:
+        """The live-health snapshot behind ``GET /v1/stats`` and
+        ``repro-xic top``: request rate, latency quantiles (overall and
+        per-op), cache hit ratio, per-schema counts, slow-request tail,
+        trace-store and event-log occupancy."""
+        requests = errors = 0
+        by_schema: "dict[str, float]" = {}
+        validated = hits = 0.0
+        by_op: "dict[str, dict]" = {}
+        overall = Histogram("serve_request_seconds", (),
+                            buckets=_LATENCY_BUCKETS)
+        if self.obs and self.obs.metrics.enabled:
+            m = self.obs.metrics
+            for labels, value in m.values("serve_requests_total").items():
+                requests += value
+                if dict(labels).get("outcome") == "error":
+                    errors += value
+            for labels, value in m.values(
+                    "serve_schema_requests_total").items():
+                by_schema[dict(labels).get("schema", "?")] = value
+            validated = m.total("serve_documents_validated")
+            hits = m.total("serve_cache_hits")
+            for inst in m.collect():
+                if inst.name != "serve_request_seconds" or \
+                        not isinstance(inst, Histogram):
+                    continue
+                op = inst.label_dict().get("op", "?")
+                by_op[op] = _latency_summary(inst)
+                overall.count += inst.count
+                overall.total += inst.total
+                for i, n in enumerate(inst.bucket_counts):
+                    overall.bucket_counts[i] += n
+                if inst.min is not None and (overall.min is None
+                                             or inst.min < overall.min):
+                    overall.min = inst.min
+                if inst.max is not None and (overall.max is None
+                                             or inst.max > overall.max):
+                    overall.max = inst.max
+        return {
+            "ok": True,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "rps": round(self.window.rate(), 3),
+            "requests": {"total": int(requests), "errors": int(errors)},
+            "latency": {"overall": _latency_summary(overall),
+                        "by_op": by_op},
+            "cache": {
+                "enabled": self.cache is not None,
+                "validated": int(validated),
+                "hits": int(hits),
+                "hit_ratio": round(hits / validated, 4)
+                if validated else None,
+            },
+            "schemas": {"loaded": self.registry.names(),
+                        "requests": by_schema},
+            "slow": {"threshold_ms": self.slow_ms,
+                     "total": self.slow.total,
+                     "recent": self.slow.tail(10)},
+            "traces": {"sample_rate": self.sample,
+                       "stored": len(self.traces),
+                       "capacity": self.traces.capacity,
+                       "recent_ids": self.traces.ids()[-5:]},
+            "events": {"emitted": self.events.emitted,
+                       "dropped": self.events.dropped,
+                       "buffered": len(self.events),
+                       "by_level": self.events.counts()},
+        }
 
     def _document_bytes(self, req: dict) -> "tuple[bytes, object]":
         """The document bytes of a validate request plus a SHA-256
@@ -430,6 +704,14 @@ class ValidationServer:
                 content_type="text/plain; version=0.0.4; charset=utf-8")
         elif seg == ["v1", "schemas"]:
             req = {"op": "schemas"}
+        elif seg == ["v1", "stats"]:
+            if method != "GET":
+                return _method_not_allowed(method)
+            req = {"op": "stats"}
+        elif len(seg) == 3 and seg[:2] == ["v1", "traces"]:
+            if method != "GET":
+                return _method_not_allowed(method)
+            req = {"op": "trace", "trace_id": seg[2]}
         elif seg == ["v1", "shutdown"]:
             if method != "POST":
                 return _method_not_allowed(method)
@@ -443,6 +725,21 @@ class ValidationServer:
                 req = {"op": "unload", "name": seg[2]}
             else:
                 return _method_not_allowed(method)
+        elif len(seg) == 3 and seg[:2] == ["v1", "check-corpus"]:
+            if method != "POST":
+                return _method_not_allowed(method)
+            try:
+                body = json.loads(request.body.decode("utf-8"))
+                if not isinstance(body, dict):
+                    raise ValueError("body must be a JSON object")
+            except ValueError as exc:
+                return HttpResponse(status=400, body=_json_bytes(_error(
+                    "bad-request",
+                    f"unparseable check-corpus body: {exc}")))
+            req = {"op": "check-corpus", "schema": seg[2]}
+            for field in ("documents", "jobs", "mode"):
+                if field in body:
+                    req[field] = body[field]
         elif len(seg) == 3 and seg[0] == "v1" and \
                 seg[1] in ("validate", "lint", "synth"):
             if method != "POST":
@@ -461,6 +758,15 @@ class ValidationServer:
         else:
             return HttpResponse(status=404, body=_json_bytes(_error(
                 "not-found", f"no route {method} {request.path}")))
+        # Telemetry admission inputs, uniform across every dict route:
+        # the W3C traceparent header, and ``?trace=1`` forcing sampling
+        # plus an inline trace in the response.
+        traceparent = request.headers.get("traceparent")
+        if traceparent:
+            req.setdefault("traceparent", traceparent)
+        if request.query.get("trace", "0").lower() not in ("0", "false",
+                                                           "no", ""):
+            req["_want_trace"] = True
         payload, status = self.handle_request(req)
         return HttpResponse(status=status, body=_json_bytes(payload))
 
@@ -577,6 +883,7 @@ class ValidationServer:
             writer.close()  # handlers see EOF and finish cleanly
         if conns:
             await asyncio.wait({task for task, _w in conns}, timeout=5)
+        self.events.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"<ValidationServer schemas={self.registry.names()} "
@@ -593,6 +900,22 @@ def _required(req: dict, field: str) -> str:
 
 def _error(code: str, exc) -> dict:
     return {"ok": False, "code": code, "error": str(exc)}
+
+
+def _latency_summary(hist: Histogram) -> dict:
+    """count + mean/p50/p90/p99/max in milliseconds for ``/v1/stats``."""
+
+    def _ms(value: Optional[float]) -> Optional[float]:
+        return round(value * 1000.0, 3) if value is not None else None
+
+    return {
+        "count": hist.count,
+        "mean_ms": _ms(hist.mean),
+        "p50_ms": _ms(hist.quantile(0.5)),
+        "p90_ms": _ms(hist.quantile(0.9)),
+        "p99_ms": _ms(hist.quantile(0.99)),
+        "max_ms": _ms(hist.max),
+    }
 
 
 def _json_bytes(payload: dict) -> bytes:

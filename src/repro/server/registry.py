@@ -250,6 +250,10 @@ class SchemaRegistry:
             if old is not None:
                 old.active = False
             self._gauge()
+        self.obs.event(
+            "schema-reload" if old is not None else "schema-load",
+            f"{name} v{handle.version}", name=name,
+            version=handle.version, fingerprint=handle.fingerprint)
         return handle
 
     def reload(self, name: str, source: Optional[SchemaSource] = None,
@@ -277,6 +281,9 @@ class SchemaRegistry:
             self._handles[name] = handle
             old.active = False
             self._gauge()
+        self.obs.event("schema-reload", f"{name} v{handle.version}",
+                       name=name, version=handle.version,
+                       fingerprint=handle.fingerprint)
         return handle
 
     def put(self, name: str, source: SchemaSource,
@@ -294,6 +301,8 @@ class SchemaRegistry:
                     f"cannot unload {name!r}: no such schema is loaded")
             handle.active = False
             self._gauge()
+        self.obs.event("schema-unload", f"{name} v{handle.version}",
+                       name=name, version=handle.version)
         return handle
 
     def _gauge(self) -> None:

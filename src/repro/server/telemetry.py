@@ -1,0 +1,110 @@
+"""Server-side telemetry stores: traces, slow requests, request rate.
+
+Small bounded containers the :class:`~repro.server.daemon.ValidationServer`
+hangs its request-scoped telemetry on — all stdlib, all O(capacity)
+memory, so a long-lived daemon cannot grow without bound:
+
+- :class:`TraceStore` keeps the last N sampled traces (Chrome
+  trace-event payloads) by trace_id, behind ``GET /v1/traces/<id>``;
+- :class:`SlowLog` keeps the last N requests that crossed the
+  ``--slow-ms`` threshold, with their trace_ids, for ``/v1/stats``
+  and ``repro-xic top``;
+- :class:`RequestWindow` remembers recent request completion times so
+  ``/v1/stats`` can report a live requests-per-second figure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Optional
+
+__all__ = ["RequestWindow", "SlowLog", "TraceStore"]
+
+
+class TraceStore:
+    """Last-N sampled traces, keyed by trace_id (LRU on insert)."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.stored = 0
+        self._traces: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def put(self, trace_id: str, payload: dict) -> None:
+        with self._lock:
+            if trace_id in self._traces:
+                self._traces.move_to_end(trace_id)
+            self._traces[trace_id] = payload
+            self.stored += 1
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> Optional[dict]:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def ids(self) -> "list[str]":
+        """Stored trace ids, most recent last."""
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+
+class SlowLog:
+    """Ring of the last N slow-request records (dicts)."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.total = 0
+        self._ring: "deque[dict]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def add(self, record: dict) -> None:
+        with self._lock:
+            self._ring.append(record)
+            self.total += 1
+
+    def tail(self, n: int = 10) -> "list[dict]":
+        """Most recent ``n`` records, oldest first."""
+        with self._lock:
+            items = list(self._ring)
+        return items[-n:] if n >= 0 else items
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class RequestWindow:
+    """Completion timestamps of the last N requests, for live RPS."""
+
+    def __init__(self, capacity: int = 512,
+                 window_s: float = 60.0):
+        self.window_s = window_s
+        self._times: "deque[float]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def mark(self, now: Optional[float] = None) -> None:
+        with self._lock:
+            self._times.append(time.monotonic() if now is None else now)
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Requests per second over the trailing window (0.0 when
+        idle).  With fewer completions than the window covers, the
+        denominator shrinks to the observed span, so a cold server
+        reports its true short-term rate rather than diluting it."""
+        now = time.monotonic() if now is None else now
+        cutoff = now - self.window_s
+        with self._lock:
+            recent = [t for t in self._times if t >= cutoff]
+        if not recent:
+            return 0.0
+        span = max(now - recent[0], 1e-9)
+        return len(recent) / span

@@ -49,8 +49,17 @@ def cli_files(tmp_path_factory):
 entry.isbn -> entry
 ref.to sub entry.isbn
 """)
+    from repro.obs import Observability
+
+    obs = Observability()
+    with obs.span("cli.fixture", kind="contract-test"):
+        with obs.span("child"):
+            obs.counter("fixture_things", help="counted things").add(1)
+    obs_json = base / "obs.json"
+    obs_json.write_text(obs.to_json())
     return {"schema": str(schema), "doc": str(doc),
-            "corpus": str(corpus), "lib_schema": str(lib_schema)}
+            "corpus": str(corpus), "lib_schema": str(lib_schema),
+            "obs_json": str(obs_json)}
 
 
 #: subcommand -> (argv builder, indices of argv that are input files).
@@ -95,6 +104,9 @@ CASES = {
         lambda f: ["--root", "book", "profile", "--dtdc", f["schema"],
                    "--doc", f["doc"]],
         [4, 6]),
+    "obs-export": (
+        lambda f: ["obs-export", f["obs_json"]],
+        [1]),
 }
 
 
@@ -106,10 +118,11 @@ class TestSharedFormatFlag:
         actions = [a for a in parser._subparsers._group_actions
                    if hasattr(a, "choices")]
         subparsers = actions[0].choices
-        # ``serve`` is a long-lived daemon, not a one-shot command, so
-        # it stays out of the CASES table — but it still inherits the
-        # shared --format parent like everything else.
-        assert set(subparsers) == set(CASES) | {"serve"}
+        # ``serve`` (long-lived daemon) and ``top`` (polls a running
+        # daemon) are not one-shot commands, so they stay out of the
+        # CASES table — but both still inherit the shared --format
+        # parent like everything else.
+        assert set(subparsers) == set(CASES) | {"serve", "top"}
         for name, sub in subparsers.items():
             flags = {s for a in sub._actions for s in a.option_strings}
             assert "--format" in flags, f"{name} lacks --format"

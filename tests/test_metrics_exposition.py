@@ -1,0 +1,211 @@
+"""The /metrics exposition audit (text format 0.0.4 + exemplars).
+
+Two halves:
+
+1. :func:`repro.obs.lint_exposition` unit semantics — it must accept
+   everything the format allows (escapes, NaN/Inf, exemplars, empty
+   label sets) and flag the classic emitter bugs (unescaped quotes,
+   missing +Inf, non-cumulative buckets, samples without TYPE);
+2. the audit itself — ``to_prometheus`` output, for adversarial label
+   values and for a *live server's* full ``/metrics`` scrape (exemplar
+   included), must come back from the linter clean.  This is the test
+   the CI telemetry round-trip re-runs over HTTP.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import Observability, SchemaRegistry, ValidationServer
+from repro.obs import NULL_TRACER, lint_exposition
+from repro.workloads import book_document
+from repro.workloads.book import BOOK_CONSTRAINTS_TEXT, BOOK_DTD_TEXT
+from repro.xmlio import serialize
+
+SCHEMA_TEXT = BOOK_DTD_TEXT + "\n%% constraints\n" + BOOK_CONSTRAINTS_TEXT
+
+
+# ----------------------------------------------------------------------
+# 1. linter semantics
+# ----------------------------------------------------------------------
+
+class TestLinterAccepts:
+    def test_minimal_counter(self):
+        assert lint_exposition(
+            "# HELP c things\n# TYPE c counter\nc 1\n") == []
+
+    def test_labels_escapes_and_special_values(self):
+        text = (
+            '# TYPE g gauge\n'
+            'g{path="C:\\\\tmp",note="say \\"hi\\"",nl="a\\nb"} 1.5\n'
+            'g{path="other"} NaN\n'
+            'g{path="inf"} +Inf\n'
+            'g{path="ninf"} -Inf\n')
+        assert lint_exposition(text) == []
+
+    def test_histogram_with_exemplar(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 1\n'
+            'h_bucket{le="+Inf"} 2 # {trace_id="ab"} 0.5\n'
+            "h_sum 0.6\n"
+            "h_count 2\n")
+        assert lint_exposition(text) == []
+
+    def test_unrelated_comments_and_blank_lines(self):
+        assert lint_exposition(
+            "\n# just a note\n# TYPE c counter\nc 0\n\n") == []
+
+
+class TestLinterFlags:
+    @pytest.mark.parametrize("text, needle", [
+        ("c 1\n", "no preceding TYPE"),
+        ("# TYPE c counter\nc\n", "without a value"),
+        ("# TYPE c counter\nc one\n", "unparseable value"),
+        ("# TYPE c counter\n# TYPE c counter\nc 1\n", "duplicate TYPE"),
+        ("# TYPE c flavour\nc 1\n", "unknown TYPE kind"),
+        ("# TYPE 0c counter\n0c 1\n", "invalid name"),
+        ('# TYPE c counter\nc{9bad="x"} 1\n', "invalid label name"),
+        ('# TYPE c counter\nc{l=x} 1\n', "not quoted"),
+        ('# TYPE c counter\nc{l="x\\q"} 1\n', "illegal escape"),
+        ('# TYPE c counter\nc{l="x} 1\n', "unterminated"),
+        ('# TYPE c counter\nc{l="x"} 1 # {t="a"} 2\n', "non-bucket"),
+        ('# HELP h bad \\t escape\n# TYPE h counter\nh 1\n',
+         "illegal escape in HELP"),
+    ])
+    def test_problem_is_reported(self, text, needle):
+        problems = lint_exposition(text)
+        assert any(needle in p for p in problems), problems
+
+    def test_histogram_missing_inf_sum_count(self):
+        problems = lint_exposition(
+            '# TYPE h histogram\nh_bucket{le="0.1"} 1\n')
+        assert any("+Inf" in p for p in problems)
+        assert any("_sum" in p for p in problems)
+        assert any("_count" in p for p in problems)
+
+    def test_histogram_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\nh_count 5\n")
+        assert any("not cumulative" in p
+                   for p in lint_exposition(text))
+
+    def test_histogram_inf_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 4\n")
+        assert any("!= _count" in p for p in lint_exposition(text))
+
+    def test_histogram_per_label_set_checks(self):
+        """Each label set is a separate series: one complete, one not."""
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{op="a",le="+Inf"} 1\n'
+            'h_sum{op="a"} 1\nh_count{op="a"} 1\n'
+            'h_bucket{op="b",le="0.1"} 1\n')
+        problems = lint_exposition(text)
+        assert problems and all("'op': 'b'" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# 2. the audit: our emitter must pass our linter
+# ----------------------------------------------------------------------
+
+class TestEmitterAudit:
+    def test_adversarial_labels_and_help(self):
+        obs = Observability()
+        obs.counter("c", {"path": 'C:\\tmp\\"x"\nend'},
+                    help="counts \\ weird\nthings").add(3)
+        obs.gauge("g", help="a gauge").set(1.5)
+        hist = obs.histogram("h", {"op": "x"}, help="hist",
+                             buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5, trace_id="ab" * 16)
+        hist.observe(50.0)
+        text = obs.to_prometheus()
+        assert lint_exposition(text) == []
+        assert '# {trace_id="' in text  # the exemplar actually rendered
+
+    def test_empty_registry_is_clean(self):
+        assert lint_exposition(Observability().to_prometheus()) == []
+
+    def test_live_server_scrape_passes_the_linter(self):
+        """The full contract: serve requests (traced and not), then
+        lint the real GET /metrics body."""
+        doc = serialize(book_document())
+
+        async def scenario():
+            obs = Observability(tracer=NULL_TRACER)
+            registry = SchemaRegistry(obs=obs)
+            registry.load("book", SCHEMA_TEXT, root="book")
+            server = ValidationServer(registry, obs=obs)
+            await server.start_http()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    *server.http_address)
+
+                async def ask(method, path, body=b""):
+                    writer.write(
+                        (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                         f"Content-Length: {len(body)}\r\n\r\n"
+                         ).encode() + body)
+                    await writer.drain()
+                    status = int((await reader.readline()).split()[1])
+                    length = 0
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b"\n", b""):
+                            break
+                        if line.lower().startswith(b"content-length:"):
+                            length = int(line.split(b":")[1])
+                    return status, await reader.readexactly(length)
+
+                body = doc.encode("utf-8")
+                for i in range(3):
+                    path = "/v1/validate/book" + ("?trace=1"
+                                                  if i == 0 else "")
+                    status, data = await ask("POST", path, body)
+                    assert status == 200
+                status, data = await ask("POST", "/v1/validate/book",
+                                         b"<broken")
+                assert status == 422
+                status, scrape = await ask("GET", "/metrics")
+                assert status == 200
+                writer.close()
+                await writer.wait_closed()
+                return scrape.decode("utf-8")
+            finally:
+                await server.close()
+
+        scrape = asyncio.run(scenario())
+        assert lint_exposition(scrape) == []
+        # the traced request left a latency exemplar on the scrape
+        assert "serve_request_seconds_bucket" in scrape
+        assert '# {trace_id="' in scrape
+
+    def test_stats_and_metrics_agree(self):
+        """/v1/stats is derived from the same registry the scrape
+        exports — the request counters must match."""
+        obs = Observability(tracer=NULL_TRACER)
+        registry = SchemaRegistry(obs=obs)
+        registry.load("book", SCHEMA_TEXT, root="book")
+        server = ValidationServer(registry, obs=obs)
+        doc = serialize(book_document())
+        for _ in range(4):
+            server.handle_request({"op": "validate", "schema": "book",
+                                   "document": doc})
+        stats = server.stats()
+        assert stats["requests"]["total"] == 4
+        scrape = obs.to_prometheus()
+        line = next(
+            line for line in scrape.splitlines()
+            if line.startswith("serve_requests_total")
+            and 'op="validate"' in line)
+        assert line.rsplit(" ", 1)[1] == "4"
+        assert json.dumps(stats, sort_keys=True)  # JSON-safe payload

@@ -1,0 +1,497 @@
+"""Request-scoped telemetry: trace context, events, exemplars, export.
+
+Four layers, matching the v1.3 observability design:
+
+1. :class:`~repro.obs.TraceContext` — the W3C-style ``traceparent``
+   wire format, contextvars activation, child derivation;
+2. span identity — roots pick up the ambient context, children
+   inherit, ``Tracer.adopt`` re-parents worker spans by
+   ``parent_span_id``, and id-free exports stay byte-identical;
+3. :class:`~repro.obs.EventLog` (ring + durable JSONL + trace_id
+   correlation) and histogram exemplars (latency spike -> trace);
+4. the Chrome trace-event exporter and the end-to-end corpus run:
+   ``jobs=2`` worker chunk spans share the request's trace_id, and the
+   normalized span forest is deterministic run to run.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventLog,
+    Observability,
+    TraceContext,
+    activate,
+    current_context,
+    parse_traceparent,
+    trace_events,
+    validate_trace_events,
+)
+
+
+# ----------------------------------------------------------------------
+# 1. the context and its wire format
+# ----------------------------------------------------------------------
+
+class TestTraceContext:
+    def test_new_has_fresh_random_ids(self):
+        a, b = TraceContext.new(), TraceContext.new()
+        assert len(a.trace_id) == 32 and len(a.span_id) == 16
+        int(a.trace_id, 16), int(a.span_id, 16)  # valid hex
+        assert a.trace_id != b.trace_id
+        assert a.sampled
+
+    def test_traceparent_round_trip(self):
+        ctx = TraceContext.new()
+        wire = ctx.to_traceparent()
+        assert wire == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+        assert parse_traceparent(wire) == ctx
+
+    def test_unsampled_round_trip(self):
+        ctx = TraceContext.new(sampled=False)
+        assert ctx.to_traceparent().endswith("-00")
+        parsed = parse_traceparent(ctx.to_traceparent())
+        assert parsed == ctx and not parsed.sampled
+
+    @pytest.mark.parametrize("bad", [
+        None, "", "garbage", "00-short-abcd-01",
+        "00-" + "g" * 32 + "-" + "ab" * 8 + "-01",   # non-hex
+        "ff-" + "ab" * 16 + "-" + "cd" * 8 + "-01",  # unknown version
+        "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",   # zero trace id
+        "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # zero span id
+        "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01-extra",
+    ])
+    def test_malformed_traceparent_is_ignored(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_parse_is_case_and_space_tolerant(self):
+        wire = "  00-" + "AB" * 16 + "-" + "CD" * 8 + "-01  "
+        ctx = parse_traceparent(wire)
+        assert ctx is not None
+        assert ctx.trace_id == "ab" * 16
+
+    def test_child_keeps_trace_changes_span(self):
+        ctx = TraceContext.new()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        named = ctx.child("ee" * 8)
+        assert named.span_id == "ee" * 8
+
+    def test_activate_nests_and_restores(self):
+        assert current_context() is None
+        outer, inner = TraceContext.new(), TraceContext.new()
+        with activate(outer):
+            assert current_context() is outer
+            with activate(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+        assert current_context() is None
+
+    def test_activate_none_is_a_noop(self):
+        with activate(None) as got:
+            assert got is None
+            assert current_context() is None
+
+
+# ----------------------------------------------------------------------
+# 2. span identity and re-parenting
+# ----------------------------------------------------------------------
+
+class TestSpanIdentity:
+    def test_spans_outside_a_context_stay_id_free(self):
+        obs = Observability()
+        with obs.span("work"):
+            with obs.span("inner"):
+                pass
+        d = obs.tracer.to_dicts()[0]
+        assert "trace_id" not in d
+        assert "trace_id" not in d["children"][0]
+        assert sorted(d) == ["attributes", "children", "duration_s",
+                             "name"]
+
+    def test_root_picks_up_ambient_context(self):
+        obs = Observability()
+        ctx = TraceContext.new()
+        with activate(ctx):
+            with obs.span("work") as root:
+                with obs.span("inner") as inner:
+                    pass
+        assert root.trace_id == ctx.trace_id
+        assert root.parent_span_id == ctx.span_id
+        assert root.span_id is not None
+        assert inner.trace_id == ctx.trace_id
+        assert inner.parent_span_id == root.span_id
+        assert inner.span_id != root.span_id
+
+    def test_unsampled_context_leaves_spans_id_free(self):
+        obs = Observability()
+        with activate(TraceContext.new(sampled=False)):
+            with obs.span("work") as root:
+                pass
+        assert root.trace_id is None
+
+    def test_span_context_names_itself_as_parent(self):
+        obs = Observability()
+        with activate(TraceContext.new()):
+            with obs.span("work") as root:
+                ctx = root.context()
+        assert ctx.trace_id == root.trace_id
+        assert ctx.span_id == root.span_id
+
+    def test_adopt_reparents_by_parent_span_id(self):
+        """The multiprocessing merge: a worker span naming its parent
+        lands under that exact span, not under whatever is current."""
+        coord = Observability()
+        ctx = TraceContext.new()
+        with activate(ctx):
+            with coord.span("corpus.validate") as run_span:
+                run_ctx = run_span.context()
+
+        worker = Observability()
+        with activate(run_ctx):
+            with worker.span("corpus.chunk", pid=1234):
+                pass
+        exported = worker.tracer.to_dicts()
+        assert exported[0]["parent_span_id"] == run_span.span_id
+
+        coord.tracer.adopt(exported)
+        assert len(coord.tracer.roots) == 1
+        chunk = run_span.children[-1]
+        assert chunk.name == "corpus.chunk"
+        assert chunk.trace_id == ctx.trace_id
+        assert chunk.parent is run_span
+
+    def test_adopt_without_known_parent_falls_back(self):
+        coord = Observability()
+        orphan = {"name": "stray", "duration_s": 0.5, "attributes": {},
+                  "children": [], "trace_id": "ab" * 16,
+                  "span_id": "cd" * 8, "parent_span_id": "ef" * 8}
+        with coord.span("host"):
+            coord.tracer.adopt([dict(orphan)])
+        host = coord.tracer.roots[0]
+        assert [c.name for c in host.children] == ["stray"]
+        # ... and with nothing open it becomes a root
+        coord2 = Observability()
+        coord2.tracer.adopt([dict(orphan)])
+        assert [r.name for r in coord2.tracer.roots] == ["stray"]
+
+    def test_id_round_trip_through_dicts(self):
+        obs = Observability()
+        with activate(TraceContext.new()):
+            with obs.span("work"):
+                with obs.span("inner"):
+                    pass
+        rebuilt = Observability()
+        rebuilt.tracer.adopt(obs.tracer.to_dicts())
+        a = json.dumps(obs.tracer.to_dicts(), sort_keys=True)
+        b = json.dumps(rebuilt.tracer.to_dicts(), sort_keys=True)
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# 3. the event log and exemplars
+# ----------------------------------------------------------------------
+
+class TestEventLog:
+    def test_emit_shape_and_tail_order(self):
+        log = EventLog()
+        log.info("cache-hit", "warm", key="abc")
+        log.warn("slow-request", "took long", ms=12.5)
+        tail = log.tail()
+        assert [e["code"] for e in tail] == ["cache-hit", "slow-request"]
+        first = tail[0]
+        assert first["level"] == "info"
+        assert first["message"] == "warm"
+        assert first["attrs"] == {"key": "abc"}
+        assert first["trace_id"] is None
+        assert isinstance(first["ts"], float)
+        assert len(log) == 2 and log.emitted == 2 and log.dropped == 0
+
+    def test_trace_id_comes_from_ambient_context(self):
+        log = EventLog()
+        ctx = TraceContext.new()
+        with activate(ctx):
+            log.info("inside")
+        log.info("outside")
+        inside, outside = log.tail()
+        assert inside["trace_id"] == ctx.trace_id
+        assert outside["trace_id"] is None
+
+    def test_ring_drops_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.info("tick", str(i))
+        assert [e["message"] for e in log.tail()] == ["2", "3", "4"]
+        assert log.dropped == 2 and log.emitted == 5
+
+    def test_level_filter(self):
+        log = EventLog(level="warn")
+        assert log.debug("noise") is None
+        assert log.info("noise") is None
+        assert log.warn("real") is not None
+        assert log.error("real") is not None
+        assert len(log) == 2
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown event level"):
+            EventLog(level="loud")
+
+    def test_durable_file_append(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=str(path))
+        with activate(TraceContext.new()):
+            log.info("schema-load", "book v1", name="book")
+        log.warn("slow-request", "slow", ms=999)
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert events[0]["code"] == "schema-load"
+        assert events[0]["trace_id"] is not None
+        assert events[1]["attrs"]["ms"] == 999
+        # append mode: a reopened log extends the same file
+        log2 = EventLog(path=str(path))
+        log2.info("later")
+        log2.close()
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_absorb_and_counts(self):
+        log = EventLog()
+        log.absorb([{"ts": 1.0, "level": "warn", "code": "x",
+                     "message": "", "trace_id": None, "attrs": {}}])
+        log.info("y")
+        counts = log.counts()
+        assert counts["warn"] == 1 and counts["info"] == 1
+
+    def test_observability_event_delegates(self):
+        log = EventLog()
+        obs = Observability(events=log)
+        obs.event("cache-hit", "warm", key="k")
+        obs.event("oops", level="error")
+        assert [e["level"] for e in log.tail()] == ["info", "error"]
+
+    def test_default_obs_drops_events(self):
+        obs = Observability()
+        assert obs.event("anything") is None
+        assert not obs.events
+
+
+class TestExemplars:
+    def test_observe_with_trace_id_sets_exemplar(self):
+        obs = Observability()
+        hist = obs.histogram("lat", buckets=(0.1, 1.0))
+        hist.observe(0.05)                      # no exemplar
+        hist.observe(0.5, trace_id="ab" * 16)   # bucket 1
+        hist.observe(5.0, trace_id="cd" * 16)   # +Inf overflow
+        assert hist.exemplars[0] is None
+        assert hist.exemplars[1] == {"value": 0.5,
+                                     "trace_id": "ab" * 16}
+        assert hist.exemplars[-1] == {"value": 5.0,
+                                      "trace_id": "cd" * 16}
+
+    def test_exemplars_survive_export_merge(self):
+        a = Observability()
+        a.histogram("lat", buckets=(0.1, 1.0)).observe(
+            0.5, trace_id="ab" * 16)
+        b = Observability()
+        b.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        b.absorb({"metrics": a.metrics.to_dicts()})
+        hist = b.histogram("lat", buckets=(0.1, 1.0))
+        assert hist.exemplars[1] == {"value": 0.5,
+                                     "trace_id": "ab" * 16}
+
+    def test_prometheus_bucket_line_carries_exemplar(self):
+        obs = Observability()
+        obs.histogram("lat", help="latency",
+                      buckets=(0.1, 1.0)).observe(
+                          0.5, trace_id="ab" * 16)
+        text = obs.to_prometheus()
+        line = next(line for line in text.splitlines()
+                    if 'le="1"' in line)
+        assert line.endswith(f'# {{trace_id="{"ab" * 16}"}} 0.5')
+
+    def test_quantiles_interpolate(self):
+        obs = Observability()
+        hist = obs.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        # interpolation is clamped by the true largest observation
+        assert hist.quantile(1.0) == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        empty = obs.histogram("none", buckets=(1.0,))
+        assert empty.quantile(0.5) is None
+
+    def test_overflow_quantile_reports_max(self):
+        obs = Observability()
+        hist = obs.histogram("lat", buckets=(1.0,))
+        hist.observe(10.0)
+        assert hist.quantile(0.99) == 10.0
+
+
+# ----------------------------------------------------------------------
+# 4. trace-event export and the end-to-end corpus run
+# ----------------------------------------------------------------------
+
+class TestTraceEventExport:
+    def _forest(self):
+        obs = Observability()
+        ctx = TraceContext.new()
+        with activate(ctx):
+            with obs.span("serve.validate", op="validate"):
+                with obs.span("parse"):
+                    pass
+                with obs.span("check", pid=4242):
+                    pass
+        return obs, ctx
+
+    def test_payload_is_valid_and_filtered(self):
+        obs, ctx = self._forest()
+        payload = trace_events(obs.tracer.roots, trace_id=ctx.trace_id)
+        assert validate_trace_events(payload) == []
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in slices] \
+            == ["serve.validate", "parse", "check"]
+        assert {e["args"]["trace_id"] for e in slices} == {ctx.trace_id}
+        # the worker pid becomes its own track, with process metadata
+        assert {e["pid"] for e in slices} == {0, 4242}
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == {0, 4242}
+        assert payload["otherData"]["trace_id"] == ctx.trace_id
+        assert payload["otherData"]["clock"] == "synthetic"
+
+    def test_filter_excludes_other_traces(self):
+        obs, ctx = self._forest()
+        other = Observability()
+        with activate(TraceContext.new()):
+            with other.span("other"):
+                pass
+        roots = list(obs.tracer.roots) + list(other.tracer.roots)
+        payload = trace_events(roots, trace_id=ctx.trace_id)
+        names = [e["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "X"]
+        assert "other" not in names
+
+    def test_parent_encloses_children_on_synthetic_timeline(self):
+        payload = trace_events([{
+            "name": "parent", "duration_s": 0.0, "attributes": {},
+            "children": [
+                {"name": "a", "duration_s": 0.25, "attributes": {},
+                 "children": []},
+                {"name": "b", "duration_s": 0.75, "attributes": {},
+                 "children": []},
+            ]}])
+        slices = {e["name"]: e for e in payload["traceEvents"]
+                  if e["ph"] == "X"}
+        assert slices["parent"]["dur"] == pytest.approx(1e6)
+        assert slices["a"]["ts"] == pytest.approx(0.0)
+        assert slices["b"]["ts"] == pytest.approx(250000.0)
+        assert validate_trace_events(payload) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_trace_events([]) != []
+        assert validate_trace_events({}) != []
+        bad = {"traceEvents": [
+            {"ph": "X", "ts": -1, "pid": "zero", "tid": 0},
+            {"name": "q", "ph": "Q", "ts": 0, "pid": 0, "tid": 0},
+        ]}
+        problems = validate_trace_events(bad)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("non-negative" in p for p in problems)
+        assert any("pid" in p for p in problems)
+        assert any("known phase" in p for p in problems)
+        assert any("without dur" in p for p in problems)
+
+
+def _normalize(span_dict):
+    """Strip run-varying fields (times, random ids, pids), keep shape."""
+    return {
+        "name": span_dict["name"],
+        "attributes": {k: v for k, v in span_dict["attributes"].items()
+                       if k != "pid"},
+        "has_ids": "trace_id" in span_dict,
+        "children": sorted(
+            (_normalize(c) for c in span_dict["children"]),
+            key=lambda d: json.dumps(d, sort_keys=True)),
+    }
+
+
+class TestCorpusTracePropagation:
+    """The pool-boundary crossing, via the public corpus API."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        from repro.workloads import random_corpus
+        from repro.xmlio import serialize
+
+        dtd, docs = random_corpus(n_docs=6, invalid_fraction=0.0, seed=3)
+        return dtd, [(f"d{i}", serialize(t))
+                     for i, t in enumerate(docs)]
+
+    def _run(self, corpus, jobs):
+        from repro import CorpusValidator
+
+        dtd, docs = corpus
+        obs = Observability()
+        report = CorpusValidator(dtd, jobs=jobs, obs=obs).validate(docs)
+        assert report.ok
+        return obs
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_every_span_shares_one_trace_id(self, corpus, jobs):
+        obs = self._run(corpus, jobs)
+        roots = obs.tracer.roots
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "corpus.validate"
+        ids = {s.trace_id for s in root.walk()}
+        assert ids == {root.trace_id}
+        assert root.trace_id is not None
+        chunk_spans = [s for s in root.walk()
+                       if s.name == "corpus.chunk"]
+        assert chunk_spans, "worker chunk spans must come home"
+        for span in chunk_spans:
+            assert span.parent is root
+            assert span.parent_span_id == root.span_id
+
+    def test_jobs2_crosses_real_processes(self, corpus):
+        obs = self._run(corpus, 2)
+        import os
+
+        root = obs.tracer.roots[0]
+        pids = {s.attributes.get("pid")
+                for s in root.walk() if s.name == "corpus.chunk"}
+        assert os.getpid() not in pids  # genuinely another process
+
+    def test_ambient_context_wins_over_fresh(self, corpus):
+        ctx = TraceContext.new()
+        with activate(ctx):
+            obs = self._run(corpus, 2)
+        assert obs.tracer.roots[0].trace_id == ctx.trace_id
+
+    def test_normalized_forest_is_deterministic(self, corpus):
+        """Same corpus, same jobs -> byte-identical normalized span
+        forest, run to run (chunk order sorted away)."""
+        blobs = set()
+        for _ in range(2):
+            obs = self._run(corpus, 2)
+            forest = sorted(
+                (_normalize(d) for d in obs.tracer.to_dicts()),
+                key=lambda d: json.dumps(d, sort_keys=True))
+            blobs.add(json.dumps(forest, sort_keys=True))
+        assert len(blobs) == 1
+
+    def test_export_loads_as_one_perfetto_trace(self, corpus):
+        obs = self._run(corpus, 2)
+        root = obs.tracer.roots[0]
+        payload = trace_events(obs.tracer.roots,
+                               trace_id=root.trace_id)
+        assert validate_trace_events(payload) == []
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["args"]["trace_id"] for e in slices} \
+            == {root.trace_id}
+        assert len({e["pid"] for e in slices}) >= 2  # coord + worker

@@ -92,6 +92,66 @@ class TestMerge:
         assert reg.merge(reg) is reg
 
 
+class TestGaugeReducers:
+    """Gauge merge semantics are explicit and pinned: ``max`` is the
+    default (high-water marks survive a fold), ``min``/``sum`` are
+    opt-in, a never-set gauge takes the incoming value, and the result
+    does not depend on merge order."""
+
+    def two(self, a_value, b_value):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(a_value)
+        b.gauge("g").set(b_value)
+        return a, b
+
+    def test_default_reducer_is_max(self):
+        a, b = self.two(3, 7)
+        a.merge(b)
+        assert _value(a, "g") == 7
+        a2, b2 = self.two(7, 3)
+        a2.merge(b2)
+        assert _value(a2, "g") == 7
+
+    def test_min_reducer(self):
+        a, b = self.two(3, 7)
+        a.merge(b, gauges="min")
+        assert _value(a, "g") == 3
+
+    def test_sum_reducer(self):
+        a, b = self.two(3, 7)
+        a.merge(b, gauges="sum")
+        assert _value(a, "g") == 10
+
+    def test_fresh_gauge_takes_incoming_value(self):
+        """A gauge the target never set adopts the incoming value even
+        under ``max`` — max(0, incoming) must not clamp negatives."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.gauge("depth").set(-2.5)
+        a.merge(b)  # default "max"
+        assert _value(a, "depth") == -2.5
+
+    def test_order_independent(self):
+        """Folding N worker registries yields the same value regardless
+        of merge order, for every reducer."""
+        values = (4.0, -1.0, 9.0, 2.0)
+        for reducer, expected in (("max", 9.0), ("min", -1.0),
+                                  ("sum", 14.0)):
+            results = set()
+            for order in ((0, 1, 2, 3), (3, 2, 1, 0), (2, 0, 3, 1)):
+                target = MetricsRegistry()
+                for i in order:
+                    src = MetricsRegistry()
+                    src.gauge("g").set(values[i])
+                    target.merge(src, gauges=reducer)
+                results.add(_value(target, "g"))
+            assert results == {expected}, reducer
+
+    def test_unknown_reducer_raises(self):
+        a, b = self.two(1, 2)
+        with pytest.raises(ValueError, match="unknown gauge reducer"):
+            a.merge(b, gauges="mean")
+
+
 class TestAbsorb:
     def payload(self):
         worker = Observability()

@@ -37,8 +37,9 @@ EXPECTED_ALL = sorted([
     # path constraints (§4)
     "Path", "PathFunctional", "PathImplicationEngine", "PathInclusion",
     "PathInverse", "parse_path", "type_of",
-    # facade, sessions, observability
-    "DocumentSession", "NULL_OBS", "Observability", "Validator",
+    # facade, sessions, observability (trace context + events: v1.3)
+    "DocumentSession", "EventLog", "NULL_OBS", "Observability",
+    "TraceContext", "Validator",
     # the registry pivot + the validation service (v1.2)
     "SchemaHandle", "SchemaRegistry", "ValidationServer",
     # satisfiability + witness synthesis

@@ -340,9 +340,12 @@ class _HttpClient:
         reader, writer = await asyncio.open_connection(host, port)
         return cls(reader, writer)
 
-    async def request(self, method, path, body=b"", close=False):
+    async def request(self, method, path, body=b"", close=False,
+                      headers=None):
         head = (f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
                 f"Content-Length: {len(body)}\r\n")
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
         if close:
             head += "Connection: close\r\n"
         self.writer.write(head.encode("ascii") + b"\r\n" + body)
@@ -599,6 +602,232 @@ class TestJsonlTransport:
                 await jsonl.wait_closed()
 
         run(scenario())
+
+
+class TestRequestTelemetry:
+    """The tentpole end to end: trace admission, the per-request span
+    tree, the bounded trace store, ``/v1/stats``, and the slow log."""
+
+    def test_trace_query_returns_inline_trace(self, doc_text):
+        async def scenario():
+            server = make_server()
+            await server.start_http()
+            try:
+                client = await _HttpClient.open(server.http_address)
+                status, _h, data = await client.request(
+                    "POST", "/v1/validate/book?trace=1",
+                    doc_text.encode("utf-8"))
+                assert status == 200
+                payload = json.loads(data)
+                assert payload["valid"]
+                trace_id = payload["trace_id"]
+                assert len(trace_id) == 32
+                events = payload["trace"]["traceEvents"]
+                names = [e["name"] for e in events if e["ph"] == "X"]
+                assert names[0] == "serve.validate"
+                assert all(e["args"]["trace_id"] == trace_id
+                           for e in events if e["ph"] == "X")
+                # ... and the same trace is fetchable by id
+                status, _h, data = await client.request(
+                    "GET", f"/v1/traces/{trace_id}")
+                assert status == 200
+                stored = json.loads(data)
+                assert stored["trace"] == payload["trace"]
+                await client.close()
+            finally:
+                await server.close()
+
+        run(scenario())
+
+    def test_traceparent_header_is_adopted(self, doc_text):
+        async def scenario():
+            server = make_server()
+            await server.start_http()
+            try:
+                client = await _HttpClient.open(server.http_address)
+                parent = ("00-" + "ab" * 16 + "-" + "cd" * 8 + "-01")
+                status, _h, data = await client.request(
+                    "POST", "/v1/validate/book",
+                    doc_text.encode("utf-8"),
+                    headers={"traceparent": parent})
+                assert status == 200
+                payload = json.loads(data)
+                # a sampled traceparent traces without ?trace=1 ...
+                assert payload["trace_id"] == "ab" * 16
+                # ... and an unsampled one does not
+                status, _h, data = await client.request(
+                    "POST", "/v1/validate/book",
+                    doc_text.encode("utf-8"),
+                    headers={"traceparent":
+                             "00-" + "ef" * 16 + "-" + "12" * 8 + "-00"})
+                assert "trace_id" not in json.loads(data)
+                await client.close()
+            finally:
+                await server.close()
+
+        run(scenario())
+
+    def test_unsampled_requests_have_no_trace(self, doc_text):
+        payload, status = make_server().handle_request(
+            {"op": "validate", "schema": "book", "document": doc_text})
+        assert status == 200
+        assert "trace_id" not in payload
+        assert "trace" not in payload
+
+    def test_concurrent_traced_requests_stay_disjoint(self, doc_text):
+        """≥8 concurrent traced requests produce 8 distinct, complete,
+        single-root span trees — no cross-request leakage."""
+        async def scenario():
+            server = make_server()
+            await server.start_http()
+            try:
+                async def one(i):
+                    client = await _HttpClient.open(server.http_address)
+                    _s, _h, data = await client.request(
+                        "POST", "/v1/validate/book?trace=1&mode="
+                        + ("stream" if i % 2 else "batch"),
+                        doc_text.encode("utf-8"))
+                    await client.close()
+                    return json.loads(data)
+
+                payloads = await asyncio.gather(*(one(i)
+                                                  for i in range(8)))
+                ids = [p["trace_id"] for p in payloads]
+                assert len(set(ids)) == 8
+                for p in payloads:
+                    slices = [e for e in p["trace"]["traceEvents"]
+                              if e["ph"] == "X"]
+                    assert {e["args"]["trace_id"] for e in slices} \
+                        == {p["trace_id"]}
+                    roots = [e for e in slices
+                             if e["name"].startswith("serve.")]
+                    assert len(roots) == 1
+                assert len(server.traces) == 8
+            finally:
+                await server.close()
+
+        run(scenario())
+
+    def test_sample_rate_one_traces_everything(self, doc_text):
+        obs = make_obs()
+        registry = SchemaRegistry(obs=obs)
+        registry.load("book", SCHEMA_TEXT, root="book")
+        server = ValidationServer(registry, obs=obs, sample=1.0)
+        payload, _ = server.handle_request(
+            {"op": "validate", "schema": "book", "document": doc_text})
+        assert "trace_id" in payload
+        assert "trace" not in payload  # inline only with trace=1
+        assert server.traces.get(payload["trace_id"]) is not None
+
+    def test_bad_sample_rate_rejected(self):
+        with pytest.raises(ValueError, match="sample"):
+            ValidationServer(SchemaRegistry(), sample=1.5)
+
+    def test_stats_endpoint_shape(self, doc_text):
+        async def scenario():
+            server = make_server()
+            server.slow_ms = 0.0  # everything is "slow"
+            await server.start_http()
+            try:
+                client = await _HttpClient.open(server.http_address)
+                await client.request("POST", "/v1/validate/book?trace=1",
+                                     doc_text.encode("utf-8"))
+                await client.request("POST", "/v1/validate/book",
+                                     b"not xml <")
+                status, _h, data = await client.request(
+                    "GET", "/v1/stats")
+                assert status == 200
+                stats = json.loads(data)
+                assert stats["ok"]
+                assert stats["requests"]["total"] == 2
+                assert stats["requests"]["errors"] == 1
+                assert stats["rps"] > 0
+                lat = stats["latency"]
+                assert lat["overall"]["count"] == 2
+                assert lat["by_op"]["validate"]["count"] == 2
+                assert lat["by_op"]["validate"]["p50_ms"] is not None
+                assert stats["schemas"]["loaded"] == ["book"]
+                assert stats["schemas"]["requests"] == {"book": 1}
+                assert stats["traces"]["stored"] == 1
+                slow = stats["slow"]["recent"]
+                assert len(slow) == 2
+                assert slow[0]["op"] == "validate"
+                assert slow[0]["trace_id"] is not None  # traced req
+                assert stats["events"]["emitted"] >= 2  # slow-request
+                await client.close()
+            finally:
+                await server.close()
+
+        run(scenario())
+
+    def test_trace_fetch_unknown_id_is_404(self):
+        async def scenario():
+            server = make_server()
+            await server.start_http()
+            try:
+                client = await _HttpClient.open(server.http_address)
+                status, _h, data = await client.request(
+                    "GET", "/v1/traces/" + "00" * 16)
+                assert status == 404
+                assert json.loads(data)["code"] == "not-found"
+                await client.close()
+            finally:
+                await server.close()
+
+        run(scenario())
+
+    def test_check_corpus_jobs2_single_trace(self, doc_text):
+        """The acceptance scenario: one traced request fanning out to
+        two worker processes yields one Perfetto-loadable trace whose
+        worker spans carry the request's trace_id."""
+        from repro.obs import validate_trace_events
+
+        server = make_server()
+        payload, status = server.handle_request(
+            {"op": "check-corpus", "schema": "book", "trace": True,
+             "documents": [[f"d{i}", doc_text] for i in range(4)],
+             "jobs": 2})
+        assert status == 200
+        assert payload["valid"] and payload["documents"] == 4
+        trace = server.traces.get(payload["trace_id"])
+        assert trace is not None
+        assert validate_trace_events(trace) == []
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["args"]["trace_id"] for e in slices} \
+            == {payload["trace_id"]}
+        names = {e["name"] for e in slices}
+        assert {"serve.check-corpus", "corpus.validate",
+                "corpus.chunk"} <= names
+
+    def test_events_correlate_even_unsampled(self):
+        """Admission rejects emit events carrying the request's
+        trace_id even when the request is not sampled."""
+        server = make_server()
+        payload, status = server.handle_request(
+            {"op": "validate", "schema": "nope", "document": "<x/>"})
+        assert status == 404
+        events = [e for e in server.events.tail()
+                  if e["code"] == "admission-reject"]
+        assert len(events) == 1
+        assert events[0]["trace_id"] is not None
+
+    def test_schema_lifecycle_events(self):
+        server = make_server()
+        server.handle_request({"op": "reload", "name": "book",
+                               "schema": SCHEMA_TEXT, "root": "book"})
+        server.handle_request({"op": "unload", "name": "book"})
+        codes = [e["code"] for e in server.events.tail()]
+        assert "schema-reload" in codes
+        assert "schema-unload" in codes
+
+    def test_cache_hit_event(self, tmp_path, doc_text):
+        server = make_server(cache=str(tmp_path))
+        req = {"op": "validate", "schema": "book", "document": doc_text}
+        server.handle_request(dict(req))
+        payload, _ = server.handle_request(dict(req))
+        assert payload["cached"]
+        assert any(e["code"] == "cache-hit"
+                   for e in server.events.tail())
 
 
 class TestStdioTransport:
