@@ -18,7 +18,11 @@ The package implements the paper end-to-end:
 - static analysis of ``DTD^C`` schemas (the ``repro-xic lint``
   engine): :mod:`repro.analysis`;
 - whole-schema satisfiability with witness-document synthesis (the
-  ``repro-xic synth`` engine): :mod:`repro.synthesis`.
+  ``repro-xic synth`` engine): :mod:`repro.synthesis`;
+- pluggable validation backends behind the unified
+  ``Validator.check(doc, engine=...)`` API, including the
+  schema-specialized codegen engine: :mod:`repro.engines`,
+  :mod:`repro.codegen`.
 
 Quickstart::
 
@@ -53,6 +57,7 @@ from repro.constraints import (
     UnaryForeignKey, UnaryKey, attr, elem,
     parse_constraint, parse_constraints, well_formed,
 )
+from repro import engines
 from repro.corpus import CorpusReport, CorpusValidator, ResultCache
 from repro.datamodel import DataTree, TreeBuilder, Vertex
 from repro.dtd import DTDC, DTDStructure, ValidationReport
@@ -80,7 +85,7 @@ from repro.validator import Validator
 from repro.workloads import book_document, book_dtdc
 from repro.xmlio import parse_document, parse_dtd, parse_dtdc, serialize
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnalysisReport", "Diagnostic", "LintConfig", "Severity", "analyze",
@@ -98,7 +103,7 @@ __all__ = [
     "Path", "PathFunctional", "PathImplicationEngine", "PathInclusion",
     "PathInverse", "parse_path", "type_of",
     "DocumentSession", "EventLog", "NULL_OBS", "Observability",
-    "TraceContext", "Validator",
+    "TraceContext", "Validator", "engines",
     "SchemaHandle", "SchemaRegistry", "ValidationServer",
     "SatReport", "UnsatCore", "Verdict", "check_satisfiability",
     "synthesize_witness",

@@ -30,9 +30,11 @@ Every subcommand also takes the same ``--format {text,json}`` flag
 is the human-readable default, ``json`` emits one machine-readable
 object on stdout with sorted keys.  ``check-corpus`` additionally
 takes ``--jobs N`` (worker processes) and ``--cache DIR`` (persistent
-result cache).  ``validate`` and ``check-corpus`` both take
-``--stream``: single-pass validation straight from the token stream in
-O(depth) memory, with output byte-identical to the default path.
+result cache).  ``validate``, ``check-corpus`` and ``serve`` all take
+``--engine {batch,stream,codegen,auto}`` selecting the validation
+backend (see :mod:`repro.engines`); output is byte-identical across the
+built-in engines.  ``--stream`` (and serve's ``--mode``) remain as
+deprecated aliases, to be removed in repro 2.0.
 
 ``lint`` runs the :mod:`repro.analysis` rule set over the schema:
 ``--format json`` for machine-readable output, ``--select`` /
@@ -102,22 +104,42 @@ def _print_json(payload: dict) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def _resolve_engine(args) -> "str | None":
+    """The requested engine name, folding the deprecated ``--stream``
+    flag in (mutually exclusive with ``--engine``); None means the
+    subcommand's historical default path."""
+    if not getattr(args, "stream", False):
+        return args.engine
+    if args.engine is not None:
+        raise ReproError(
+            "pass --engine or the deprecated --stream, not both")
+    import warnings
+
+    warnings.warn(
+        "--stream is deprecated and will be removed in repro 2.0; "
+        "use --engine stream (or --engine auto)",
+        DeprecationWarning, stacklevel=2)
+    LOG.info("--stream is deprecated; use --engine stream")
+    return "stream"
+
+
 def _cmd_validate(args) -> int:
     handle = _load_schema(args.schema, args.root)
     dtd = handle.dtd
     LOG.info("loaded schema %s (|Sigma| = %d)", args.schema,
              len(dtd.constraints))
-    if args.stream:
-        from repro.validator import Validator
-
-        report = Validator(handle, obs=args.obs).check_stream(
-            FsPath(args.document))
-        LOG.info("streamed %s", args.document)
-    else:
+    engine = _resolve_engine(args)
+    if engine is None or engine == "batch":
         tree = parse_document(FsPath(args.document).read_text(),
                               dtd.structure, obs=args.obs)
         LOG.info("parsed %s (%d vertices)", args.document, tree.size())
         report = validate(tree, dtd, obs=args.obs)
+    else:
+        from repro.validator import Validator
+
+        report = Validator(handle, obs=args.obs).check(
+            FsPath(args.document), engine=engine)
+        LOG.info("validated %s (engine=%s)", args.document, engine)
     if args.format == "json":
         _print_json({"document": args.document, "schema": args.schema,
                      **report.to_dict()})
@@ -147,7 +169,7 @@ def _cmd_check_corpus(args) -> int:
              args.jobs)
     validator = CorpusValidator(handle, jobs=args.jobs, cache=args.cache,
                                 chunk_size=args.chunk_size, obs=args.obs,
-                                stream=args.stream)
+                                engine=_resolve_engine(args))
     report = validator.validate(docs)
     if args.format == "json":
         print(report.to_json())
@@ -556,6 +578,27 @@ def _cmd_serve(args) -> int:
     if not 0.0 <= args.sample <= 1.0:
         LOG.error("error: --sample must be within [0, 1]")
         return 2
+    default_engine = args.engine
+    if args.mode is not None:
+        if default_engine is not None:
+            LOG.error("error: pass --engine or the deprecated --mode, "
+                      "not both")
+            return 2
+        import warnings
+
+        warnings.warn(
+            "serve --mode is deprecated and will be removed in repro "
+            "2.0; use --engine", DeprecationWarning, stacklevel=2)
+        LOG.info("--mode is deprecated; use --engine")
+        default_engine = args.mode
+    if default_engine is None:
+        default_engine = "stream"
+    from repro import engines as _engines
+
+    if default_engine not in _engines.names():
+        LOG.error("error: unknown engine %r (known: %s)",
+                  default_engine, ", ".join(_engines.names()))
+        return 2
     specs = _parse_schema_specs(args.schema)
     # The server-lifetime obs handle backs GET /metrics; the global
     # --trace/--metrics flags still print it to stderr on exit like any
@@ -574,7 +617,7 @@ def _cmd_serve(args) -> int:
                  name, handle.version, handle.dtd.structure.root,
                  handle.fingerprint[:12])
     server = ValidationServer(registry, cache=args.cache, obs=obs,
-                              default_mode=args.mode,
+                              default_mode=default_engine,
                               sample=args.sample, slow_ms=args.slow_ms,
                               events=events,
                               trace_capacity=args.trace_capacity)
@@ -662,10 +705,15 @@ def build_parser() -> argparse.ArgumentParser:
                        "exit 0 valid, 1 violations, 2 input error")
     p.add_argument("document")
     p.add_argument("schema")
+    p.add_argument("--engine", default=None, metavar="NAME",
+                   help="validation backend: batch (default; parse then "
+                   "validate), stream (one pass, O(depth) memory), "
+                   "codegen (schema-specialized generated code), auto "
+                   "(codegen when supported, else stream), or a "
+                   "registered third-party engine; output and exit "
+                   "status are identical across the built-ins")
     p.add_argument("--stream", action="store_true",
-                   help="validate in one pass over the token stream "
-                   "(O(depth) memory, never builds the tree); output "
-                   "and exit status are identical to the default path")
+                   help="deprecated alias for --engine stream")
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("check-corpus", parents=[fmt],
@@ -685,10 +733,13 @@ def build_parser() -> argparse.ArgumentParser:
                    "an unchanged corpus costs one hash per document)")
     p.add_argument("--chunk-size", type=int, default=None, metavar="K",
                    help="documents per worker task (default: heuristic)")
+    p.add_argument("--engine", default=None, metavar="NAME",
+                   help="per-document backend: batch (default), stream, "
+                   "codegen, or auto; single-pass engines read files "
+                   "straight from disk and verdicts are identical "
+                   "across engines")
     p.add_argument("--stream", action="store_true",
-                   help="workers validate in one streaming pass, "
-                   "reading files straight from disk; verdicts are "
-                   "identical to the default path")
+                   help="deprecated alias for --engine stream")
     p.set_defaults(func=_cmd_check_corpus)
 
     p = sub.add_parser("bench-incremental", parents=[fmt],
@@ -793,10 +844,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", default=None, metavar="DIR",
                    help="content-addressed result cache: byte-identical "
                    "re-submissions are answered without re-validating")
+    p.add_argument("--engine", default=None, metavar="NAME",
+                   help="default validate engine for requests that do "
+                   "not name one: stream (default), batch, codegen, "
+                   "auto, or a registered third-party engine")
     p.add_argument("--mode", choices=("stream", "batch"),
-                   default="stream",
-                   help="default validate mode for requests that do not "
-                   "name one (default: stream)")
+                   default=None,
+                   help="deprecated alias for --engine")
     p.add_argument("--sample", type=float, default=0.0, metavar="RATE",
                    help="per-request trace sampling rate in [0, 1] "
                    "(default: 0; ?trace=1 and sampled traceparent "

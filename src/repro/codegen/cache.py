@@ -1,0 +1,116 @@
+"""On-disk cache for generated validator source.
+
+Generated source is a pure function of the schema fingerprint (see
+:func:`repro.codegen.generate.generate_source`), so it is cached on disk
+keyed by fingerprint + generator version: a server restart or a corpus
+worker fleet compiles each schema once per *machine*, not per process.
+
+Entries are self-verifying: the first line records a SHA-256 over the
+body, checked on every read.  A corrupted or truncated entry — or one
+whose header does not parse — is treated as a miss and regenerated; the
+stored text is never ``exec``'d without the hash matching.  (The hash
+is an integrity check against torn writes and bit rot, not an
+authentication boundary: the cache directory has the same trust level
+as the installed package source.)
+
+The location honours ``$REPRO_CODEGEN_CACHE`` (a directory, or one of
+``0``/``off``/``none`` to disable caching entirely) and falls back to
+``$XDG_CACHE_HOME/repro/codegen`` or ``~/.cache/repro/codegen``.  All
+I/O failures degrade to cache misses — a read-only home directory must
+never break validation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import tempfile
+from typing import Optional
+
+from repro.codegen.generate import GENERATOR_VERSION
+
+__all__ = ["CACHE_ENV", "cache_dir", "cache_path", "load_source",
+           "store_source"]
+
+CACHE_ENV = "REPRO_CODEGEN_CACHE"
+
+_HEADER_RE = re.compile(r"# repro-codegen v(\d+) sha256=([0-9a-f]{64})\n")
+_SAFE_RE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def cache_dir() -> Optional[str]:
+    """The cache directory, or None when caching is disabled."""
+    override = os.environ.get(CACHE_ENV)
+    if override is not None:
+        if override.strip().lower() in ("", "0", "off", "none", "disabled"):
+            return None
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro", "codegen")
+
+
+def cache_path(fingerprint: str) -> Optional[str]:
+    """Where ``fingerprint``'s source lives (None when disabled)."""
+    d = cache_dir()
+    if d is None:
+        return None
+    name = _SAFE_RE.sub("_", fingerprint)
+    return os.path.join(d, f"{name}.g{GENERATOR_VERSION}.py")
+
+
+def load_source(fingerprint: str) -> Optional[str]:
+    """The cached source for ``fingerprint``, or None on miss.
+
+    Missing, disabled, unreadable, badly-versioned and hash-mismatched
+    entries all report a miss — the caller regenerates and (re)stores.
+    """
+    path = cache_path(fingerprint)
+    if path is None:
+        return None
+    try:
+        with open(path, encoding="utf-8") as fh:
+            blob = fh.read()
+    except (OSError, UnicodeDecodeError):
+        return None
+    nl = blob.find("\n")
+    if nl < 0:
+        return None
+    m = _HEADER_RE.fullmatch(blob[:nl + 1])
+    if m is None or int(m.group(1)) != GENERATOR_VERSION:
+        return None
+    body = blob[nl + 1:]
+    if hashlib.sha256(body.encode("utf-8")).hexdigest() != m.group(2):
+        return None
+    return body
+
+
+def store_source(fingerprint: str, source: str) -> bool:
+    """Persist ``source`` under ``fingerprint`` (atomic write).
+
+    Returns False — without raising — when caching is disabled or the
+    filesystem refuses.
+    """
+    path = cache_path(fingerprint)
+    if path is None:
+        return False
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    blob = f"# repro-codegen v{GENERATOR_VERSION} sha256={digest}\n{source}"
+    try:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False
+    return True

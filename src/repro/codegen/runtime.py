@@ -1,0 +1,119 @@
+"""Per-document constraint state shared by all generated scanners.
+
+A generated module (see :mod:`repro.codegen.generate`) inlines only the
+*schema-specialized* half of validation: DFA transition tables, watched
+attribute sets, and the Σ-irrelevant run fast path.  Everything whose
+byte-exact behaviour is owned by the existing machinery — evaluator
+dispatch, the pre-order region buffer, deferred ``full()`` passes, and
+report assembly — lives here, reusing the same
+:class:`~repro.stream.validator.StreamIndex` /
+:func:`~repro.constraints.evaluators.evaluator_for` code paths the
+streaming interpreter runs, so the :class:`ValidationReport` stays
+byte-identical (``to_json()``) across batch, stream and codegen engines.
+"""
+
+from __future__ import annotations
+
+from operator import attrgetter, itemgetter
+
+from repro.constraints.evaluators import IDConstraintEvaluator, evaluator_for
+from repro.dtd.validate import ValidationReport
+from repro.obs import NULL_OBS
+from repro.stream.validator import StreamIndex
+
+
+class RunState:
+    """Mutable constraint-side state of one generated-scanner pass.
+
+    The scanner owns parsing, structural checks and vertex construction;
+    it appends closed Σ-relevant vertices to :attr:`region`, calls
+    :meth:`flush_region` whenever no relevant element remains open, and
+    finishes with :meth:`finish`.  The flush/finish logic mirrors
+    ``repro.stream.validator._Run`` exactly — same vid ordering, same
+    evaluator ``add()`` sequence, same deferred ``full()`` set — which
+    is what makes the reports byte-identical.
+    """
+
+    __slots__ = ("plan", "obs", "structural", "region", "index",
+                 "evaluators", "dispatch", "id_listeners", "next_vid",
+                 "n_skipped")
+
+    def __init__(self, plan, obs=None):
+        obs = obs or NULL_OBS
+        self.plan = plan
+        self.obs = obs
+        #: ((vid, rank), code, message, vids) — the same stable-sort keys
+        #: the streaming validator uses to recover batch sweep order
+        self.structural: list[tuple] = []
+        self.index = StreamIndex(plan.id_map)
+        self.evaluators = [evaluator_for(c, self.index, plan.id_map,
+                                         obs=obs if obs.enabled else None)
+                           for c in plan.constraints]
+        self.dispatch = {
+            label: tuple(self.evaluators[i] for i in lp.evaluators)
+            for label, lp in plan.labels.items() if lp.evaluators}
+        self.id_listeners = tuple(
+            ev for i, ev in enumerate(self.evaluators)
+            if isinstance(ev, IDConstraintEvaluator)
+            and i not in plan.deferred)
+        self.region: list = []
+        self.next_vid = 0
+        #: elements admitted through the Σ-irrelevant run fast path
+        #: (never individually materialized)
+        self.n_skipped = 0
+
+    def flush_region(self) -> None:
+        """Feed buffered closed vertices to the evaluators in vid order
+        (drained only while no Σ-relevant element is open, so the
+        concatenation of flushes is globally vid-sorted)."""
+        region = self.region
+        if len(region) > 1:
+            region.sort(key=attrgetter("vid"))
+        index = self.index
+        dispatch = self.dispatch
+        id_listeners = self.id_listeners
+        for v in region:
+            gained = index.index_vertex(v)
+            interested = dispatch.get(v.label)
+            if interested is not None:
+                for ev in interested:
+                    ev.add(v)
+            if gained and id_listeners:
+                for ev in id_listeners:
+                    ev.id_values_changed(gained)
+        region.clear()
+
+    def finish(self) -> ValidationReport:
+        """Assemble the report: structural violations in batch sweep
+        order, then every evaluator's emit (deferred ones run their
+        end-of-document ``full()`` first)."""
+        obs = self.obs
+        report = ValidationReport()
+        self.structural.sort(key=itemgetter(0))
+        for _key, code, message, vids in self.structural:
+            report.add(code, message, vertices=vids)
+        deferred = self.plan.deferred
+        for i, ev in enumerate(self.evaluators):
+            if obs.enabled:
+                with obs.span("codegen.emit",
+                              constraint=str(ev.constraint)):
+                    if i in deferred:
+                        ev.full()
+                    ev.emit(report)
+            else:
+                if i in deferred:
+                    ev.full()
+                ev.emit(report)
+        if obs.enabled:
+            obs.counter("codegen_elements",
+                        help="element vertices seen by the codegen "
+                        "engine").add(self.next_vid)
+            obs.counter("codegen_skipped_elements",
+                        help="elements admitted through the codegen "
+                        "sigma-irrelevant run fast path").add(self.n_skipped)
+            for label, members in self.index._ext.items():
+                obs.counter("codegen_dispatch_vertices", {"label": label},
+                            help="closed vertices dispatched to "
+                            "constraint evaluators by the codegen "
+                            "engine, per label").add(len(members))
+        return report

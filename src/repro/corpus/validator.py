@@ -62,19 +62,27 @@ class CorpusValidator:
     obs:
         Optional :class:`repro.obs.Observability`; per-worker metrics
         and spans are merged into it under a ``corpus.validate`` span.
+    engine:
+        Per-document backend: ``"batch"`` (parse-then-validate, the
+        default), ``"stream"`` (single-pass
+        :class:`~repro.stream.StreamValidator`), ``"codegen"``
+        (schema-specialized generated code; the source text is compiled
+        once by the coordinator and shipped to each worker, which
+        ``exec``'s it once and validates file inputs over raw bytes), or
+        ``"auto"`` (``codegen`` when the schema supports it, else
+        ``stream``).  Verdicts are byte-identical across engines.  On
+        the streaming/codegen engines file inputs stay as paths so
+        workers read them from disk, hashing the raw bytes for the
+        cache key as part of the same read.
     stream:
-        Validate with the single-pass :class:`~repro.stream.StreamValidator`
-        instead of parse-then-validate.  The compiled
-        :class:`~repro.stream.StreamPlan` is built once here and shipped
-        to the workers; file inputs stay as paths so workers stream them
-        from disk, hashing the raw bytes for the cache key as part of
-        the same read.  Verdicts are byte-identical to the batch path.
+        Deprecated spelling of ``engine="stream"``; mutually exclusive
+        with ``engine``.
     """
 
     def __init__(self, dtd: "DTDC | SchemaHandle", jobs: int = 1,
                  cache: "ResultCache | str | os.PathLike | None" = None,
                  chunk_size: Optional[int] = None, obs=None,
-                 stream: bool = False):
+                 stream: bool = False, engine: Optional[str] = None):
         try:
             self.handle = as_handle(dtd)
         except TypeError:
@@ -93,7 +101,26 @@ class CorpusValidator:
         else:
             self.cache = ResultCache(directory=cache)
         self.obs = obs
-        self.stream = stream
+        if engine is None:
+            engine = "stream" if stream else "batch"
+        elif stream:
+            raise ValueError(
+                "pass either engine=... or the deprecated stream=True, "
+                "not both")
+        elif engine == "auto":
+            engine = "codegen" if self.handle.supports_codegen() \
+                else "stream"
+        elif engine not in ("batch", "stream", "codegen"):
+            from repro.errors import ReproError
+
+            raise ReproError(
+                f"unknown corpus engine {engine!r} "
+                "(known: auto, batch, codegen, stream)")
+        #: the resolved per-document backend ("auto" never survives
+        #: construction)
+        self.engine = engine
+        #: back-compat view: True for every single-pass engine
+        self.stream = engine in ("stream", "codegen")
         self.fingerprint = self.handle.fingerprint
 
     # -- input normalization -----------------------------------------
@@ -267,10 +294,15 @@ class CorpusValidator:
         chunk spans join the run's trace."""
         if not pending:
             return []
+        codegen_source = None
         if self.stream:
             work = [entries[i] for i in pending]
             worker = stream_chunk
             plan = self._compiled_plan()
+            if self.engine == "codegen":
+                # ship the generated module *text*: each worker exec's
+                # it once instead of re-running generator or disk cache
+                codegen_source = self.handle.codegen.source
         else:
             # the batch worker takes (doc_id, xml_text) pairs; _prepare
             # already rewrote every path entry to its text
@@ -281,17 +313,17 @@ class CorpusValidator:
         collect_obs = bool(self.obs)
         traceparent = run_ctx.to_traceparent() \
             if run_ctx is not None else None
+        initargs = (self.dtd, collect_obs, plan, self.fingerprint,
+                    traceparent, self.engine, codegen_source)
         if self.jobs == 1:
-            init_worker(self.dtd, collect_obs, plan, self.fingerprint,
-                        traceparent)
+            init_worker(*initargs)
             return [worker(chunk) for chunk in chunks]
         import multiprocessing
 
         with multiprocessing.Pool(
                 processes=min(self.jobs, len(chunks)),
                 initializer=init_worker,
-                initargs=(self.dtd, collect_obs, plan,
-                          self.fingerprint, traceparent)) as pool:
+                initargs=initargs) as pool:
             return pool.map(worker, chunks)
 
     def _compiled_plan(self):

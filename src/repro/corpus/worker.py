@@ -32,24 +32,31 @@ _STATE: dict = {}
 
 def init_worker(dtd: DTDC, collect_obs: bool, plan=None,
                 fingerprint: "str | None" = None,
-                traceparent: "str | None" = None) -> None:
+                traceparent: "str | None" = None,
+                engine: "str | None" = None,
+                codegen_source: "str | None" = None) -> None:
     """Install the schema (and obs policy) for this worker process.
 
     ``plan`` is the coordinator's compiled
-    :class:`~repro.stream.StreamPlan` when the run is streaming — shipped
-    once per worker so :func:`stream_chunk` never recompiles it.  The
-    coordinator likewise ships its ``fingerprint`` so workers never
-    re-hash the schema (recomputed only when an old caller omits it),
-    and — when the run happens under a request — the ``traceparent``
-    wire form of its :class:`~repro.obs.TraceContext`, so every chunk
-    span this worker produces carries the originating request's
-    trace_id and re-parents under it on merge.
+    :class:`~repro.stream.StreamPlan` when the run is single-pass —
+    shipped once per worker so :func:`stream_chunk` never recompiles
+    it.  The coordinator likewise ships its ``fingerprint`` so workers
+    never re-hash the schema (recomputed only when an old caller omits
+    it), and — when the run happens under a request — the
+    ``traceparent`` wire form of its :class:`~repro.obs.TraceContext`,
+    so every chunk span this worker produces carries the originating
+    request's trace_id and re-parents under it on merge.  For
+    ``engine="codegen"`` runs ``codegen_source`` carries the generated
+    module text, which the worker ``exec``'s exactly once — no worker
+    ever runs the generator or touches the source cache.
     """
     _STATE["dtd"] = dtd
     _STATE["collect_obs"] = collect_obs
     _STATE["plan"] = plan
     _STATE["fingerprint"] = fingerprint or schema_fingerprint(dtd)
     _STATE["traceparent"] = traceparent
+    _STATE["engine"] = engine
+    _STATE["codegen_source"] = codegen_source
 
 
 def _chunk_obs(n_docs: int) -> "tuple[Optional[Observability], object]":
@@ -102,6 +109,23 @@ def validate_chunk(chunk: "list[tuple[str, str]]") -> dict:
     }
 
 
+def _single_pass_validator(obs):
+    """The worker's one-pass validator: the codegen wrapper when the
+    coordinator shipped generated source, else the streaming
+    interpreter.  Both expose ``validate_text``; the codegen one adds
+    the zero-copy ``validate_bytes``."""
+    if _STATE.get("engine") == "codegen":
+        from repro.codegen import CodegenValidator, load_compiled
+
+        compiled = load_compiled(_STATE["fingerprint"],
+                                 _STATE["codegen_source"],
+                                 _STATE["plan"])
+        return CodegenValidator(compiled, obs=obs)
+    from repro.stream import StreamValidator
+
+    return StreamValidator(_STATE["plan"], obs=obs)
+
+
 def stream_chunk(chunk: "list[tuple[str, str, str]]") -> dict:
     """Single-pass-validate a chunk of ``(doc_id, kind, value)`` triples.
 
@@ -111,12 +135,10 @@ def stream_chunk(chunk: "list[tuple[str, str, str]]") -> dict:
     each verdict carries its ``"key"`` so the coordinator can fill in
     keys it chose not to compute up front.
     """
-    from repro.stream import StreamValidator
-
-    plan = _STATE["plan"]
     fingerprint: str = _STATE["fingerprint"]
     obs, span = _chunk_obs(len(chunk))
-    sv = StreamValidator(plan, obs=obs)
+    sv = _single_pass_validator(obs)
+    validate_bytes = getattr(sv, "validate_bytes", None)
     verdicts = []
     try:
         for doc_id, kind, value in chunk:
@@ -126,11 +148,13 @@ def stream_chunk(chunk: "list[tuple[str, str, str]]") -> dict:
                     with open(value, "rb") as handle:
                         data = handle.read()
                     key = result_key_bytes(data, fingerprint)
-                    text = data.decode("utf-8")
+                    if validate_bytes is not None:
+                        report = validate_bytes(data)
+                    else:
+                        report = sv.validate_text(data.decode("utf-8"))
                 else:
                     key = result_key(value, fingerprint)
-                    text = value
-                report = sv.validate_text(text)
+                    report = sv.validate_text(value)
                 verdicts.append({"doc": doc_id, "key": key,
                                  "report": report.to_dict(),
                                  "error": None})

@@ -161,6 +161,13 @@ class Histogram(_Instrument):
                 # interpolation cannot beat the largest observation
                 if self.max is not None and estimate > self.max:
                     return self.max
+                # ... nor undershoot the smallest: the first bucket
+                # interpolates up from 0.0, not from the data floor
+                # (rank == 0 deliberately stays at the bucket's lower
+                # edge so quantile(0.0) keeps its historical value)
+                if rank > 0 and self.min is not None \
+                        and estimate < self.min:
+                    return self.min
                 return estimate
             prev_bound, prev_cum = bound, cum
         # rank falls in the +Inf overflow: the best finite answer is

@@ -14,7 +14,8 @@ share one dispatcher:
       GET    /v1/schemas                  registry listing
       PUT    /v1/schemas/<name>[?root=r]  load or hot-reload (body = DTD^C)
       DELETE /v1/schemas/<name>           unload
-      POST   /v1/validate/<name>[?mode=stream|batch]   body = XML bytes
+      POST   /v1/validate/<name>[?engine=auto|batch|codegen|stream]
+                                          body = XML bytes
       POST   /v1/lint/<name>[?select=..&ignore=..]
       POST   /v1/synth/<name>
       POST   /v1/shutdown                 wind the daemon down
@@ -36,10 +37,13 @@ Request lifecycle (the admission path the whole design serves):
    :func:`~repro.corpus.cache.result_key_hasher` cache key;
 3. answer from the :class:`ResultCache` on a hit — a warm byte-identical
    re-submission costs one hash, no parse, no validation;
-4. on a miss, validate with the handle's compiled
-   :class:`~repro.stream.StreamPlan` (``mode=stream``, the default) or
-   the batch parse-then-validate path (``mode=batch``) — the report is
-   byte-identical either way — and write it through the cache.
+4. on a miss, validate with the engine the request named — ``stream``
+   (the handle's compiled :class:`~repro.stream.StreamPlan`, the
+   default), ``batch`` (parse-then-validate), ``codegen``
+   (schema-specialized generated code validating the raw bytes), or
+   ``auto`` (codegen when the schema supports it) — the report is
+   byte-identical across engines — and write it through the cache.
+   ``mode`` is the deprecated spelling of ``engine``.
 
 Per-request :class:`~repro.obs.Observability` spans and counters are
 absorbed into the server-lifetime handle after every request (the
@@ -101,8 +105,10 @@ class ValidationServer:
         metrics enabled, tracer disabled (bounded memory); pass a fully
         enabled handle to also retain per-request span trees.
     default_mode:
-        ``"stream"`` (single-pass, the hot path) or ``"batch"`` for
-        validate requests that do not name a mode.
+        The engine for validate requests that do not name one —
+        ``"stream"`` (single-pass, the hot default), ``"batch"``,
+        ``"codegen"``, ``"auto"``, or any engine registered through
+        :func:`repro.engines.register` before the server starts.
     sample:
         Trace sampling rate in ``[0, 1]``: the fraction of requests
         that get a per-request tracer and land in the trace store.
@@ -123,10 +129,13 @@ class ValidationServer:
                  sample: float = 0.0, slow_ms: float = 500.0,
                  events: Optional[EventLog] = None,
                  trace_capacity: int = 256):
+        from repro import engines as _engines
         from repro.corpus.cache import ResultCache
 
-        if default_mode not in ("stream", "batch"):
-            raise ValueError(f"unknown default_mode {default_mode!r}")
+        if default_mode not in _engines.names():
+            raise ValueError(
+                f"unknown default_mode {default_mode!r} "
+                f"(known: {', '.join(_engines.names())})")
         if not 0.0 <= sample <= 1.0:
             raise ValueError("sample must be within [0, 1]")
         self.registry = registry if registry is not None \
@@ -370,13 +379,22 @@ class ValidationServer:
         key = result_key_hasher(hasher, handle.fingerprint)
         report = self.cache.get(key) if self.cache is not None else None
         cached = report is not None
+        engine_used = None
         if cached:
             self.events.debug("cache-hit", f"{handle.name} {key[:12]}",
                               schema=handle.name, key=key)
         else:
-            mode = req.get("mode") or self.default_mode
-            report = self._validate_bytes(handle, data, mode,
-                                          req.get("_obs"))
+            engine = req.get("engine") or req.get("mode") \
+                or self.default_mode
+            t_engine = time.perf_counter()
+            report, engine_used = self._validate_bytes(
+                handle, data, engine, req.get("_obs"))
+            if self.obs:
+                self.obs.histogram(
+                    "serve_engine_seconds", {"engine": engine_used},
+                    help="validate latency by resolved engine",
+                    buckets=_LATENCY_BUCKETS).observe(
+                        time.perf_counter() - t_engine)
             if self.cache is not None:
                 self.cache.put(key, report)
         if not report.ok:
@@ -402,34 +420,48 @@ class ValidationServer:
                 {"schema": handle.name},
                 help="validate requests per schema").add(1)
         return {"ok": True, "valid": report.ok, "cached": cached,
-                "key": key,
+                "key": key, "engine": engine_used,
                 "schema": {"name": handle.name,
                            "version": handle.version,
                            "fingerprint": handle.fingerprint},
                 "report": report.to_dict()}, 200
 
-    def _validate_bytes(self, handle, data: bytes, mode: str,
-                        req_obs: Optional[Observability]):
-        """One cache-missing validation; reports are byte-identical
-        across modes (the E19 equivalence), so ``mode`` is purely a
+    def _validate_bytes(self, handle, data: bytes, engine: str,
+                        req_obs: Optional[Observability]
+                        ) -> "tuple[object, str]":
+        """One cache-missing validation; returns ``(report, resolved)``
+        where ``resolved`` is the engine that actually ran (``auto``
+        never survives resolution).  Reports are byte-identical across
+        engines (the E19/E23 equivalence), so the choice is purely a
         performance knob.  Spans/metrics land on the per-request
         handle; :meth:`_finish_request` folds the metrics into the
         lifetime registry."""
-        text = data.decode("utf-8")
-        if mode == "stream":
+        if engine == "auto":
+            engine = "codegen" if handle.supports_codegen() \
+                else "stream"
+        if engine == "codegen":
+            from repro.codegen import CodegenValidator
+
+            validator = CodegenValidator(handle.codegen, obs=req_obs)
+            return validator.validate_bytes(data), "codegen"
+        if engine == "stream":
             from repro.stream import StreamValidator
 
-            return StreamValidator(handle.plan,
-                                   obs=req_obs).validate_text(text)
-        if mode == "batch":
+            sv = StreamValidator(handle.plan, obs=req_obs)
+            return sv.validate_text(data.decode("utf-8")), "stream"
+        if engine == "batch":
             from repro.dtd.validate import validate
             from repro.xmlio.parser import parse_document
 
-            tree = parse_document(text, handle.dtd.structure,
-                                  obs=req_obs)
-            return validate(tree, handle.dtd, obs=req_obs)
-        raise ReproError(f"unknown validate mode {mode!r} "
-                         "(known: stream, batch)")
+            tree = parse_document(data.decode("utf-8"),
+                                  handle.dtd.structure, obs=req_obs)
+            return validate(tree, handle.dtd, obs=req_obs), "batch"
+        # third-party engines (and the unknown-name error) route
+        # through the registry
+        from repro import engines as _engines
+
+        backend = _engines.create(engine, handle, obs=req_obs)
+        return backend.validate(data.decode("utf-8")), engine
 
     def _op_check_corpus(self, req: dict) -> "tuple[dict, int]":
         """Validate many documents in one request — optionally across
@@ -461,10 +493,11 @@ class ValidationServer:
             raise ReproError("jobs must be an integer >= 1") from None
         if jobs < 1:
             raise ReproError("jobs must be an integer >= 1")
-        mode = req.get("mode") or self.default_mode
+        engine = req.get("engine") or req.get("mode") \
+            or self.default_mode
         validator = CorpusValidator(
             handle, jobs=jobs, cache=self.cache,
-            obs=req.get("_obs"), stream=(mode == "stream"))
+            obs=req.get("_obs"), engine=engine)
         report = validator.validate(pairs)
         if self.obs:
             self.obs.counter(
@@ -477,6 +510,7 @@ class ValidationServer:
         data = json.loads(report.to_json())
         return {"ok": True, "valid": report.ok,
                 "documents": len(pairs), "jobs": jobs,
+                "engine": validator.engine,
                 "schema": {"name": handle.name,
                            "version": handle.version,
                            "fingerprint": handle.fingerprint},
@@ -737,7 +771,7 @@ class ValidationServer:
                     "bad-request",
                     f"unparseable check-corpus body: {exc}")))
             req = {"op": "check-corpus", "schema": seg[2]}
-            for field in ("documents", "jobs", "mode"):
+            for field in ("documents", "jobs", "engine", "mode"):
                 if field in body:
                     req[field] = body[field]
         elif len(seg) == 3 and seg[0] == "v1" and \
@@ -748,7 +782,9 @@ class ValidationServer:
             if seg[1] == "validate":
                 req["_body"] = request.body
                 req["_hasher"] = request.hasher
-                if "mode" in request.query:
+                if "engine" in request.query:
+                    req["engine"] = request.query["engine"]
+                if "mode" in request.query:  # deprecated alias
                     req["mode"] = request.query["mode"]
             elif seg[1] == "lint":
                 for flag in ("select", "ignore"):

@@ -77,7 +77,8 @@ class SchemaHandle:
     """
 
     __slots__ = ("name", "version", "dtd", "source_text", "active",
-                 "_fingerprint", "_plan", "_obs", "_lock", "__weakref__")
+                 "_fingerprint", "_plan", "_codegen", "_obs", "_lock",
+                 "__weakref__")
 
     def __init__(self, dtd: DTDC, name: str = "<anonymous>",
                  version: int = 1, source_text: Optional[str] = None,
@@ -96,6 +97,10 @@ class SchemaHandle:
         self.active = True
         self._fingerprint: Optional[str] = None
         self._plan = None
+        #: lazily-compiled codegen artifact: a CompiledSchema, or the
+        #: CompileError that proved the schema outside the codegen
+        #: subset (memoized either way — compile is attempted once)
+        self._codegen = None
         self._obs = obs or NULL_OBS
         self._lock = threading.Lock()
 
@@ -132,6 +137,45 @@ class SchemaHandle:
                     self._plan = plan
         return self._plan
 
+    @property
+    def codegen(self):
+        """The generated-code artifact
+        (:class:`~repro.codegen.CompiledSchema`) — compiled once per
+        handle, shared by every engine="codegen" call site; raises
+        :class:`~repro.codegen.CompileError` for schemas outside the
+        codegen subset (the failure is memoized too, so the probe is
+        paid once)."""
+        cached = self._codegen
+        if cached is None:
+            from repro.codegen import CompileError, compile_schema
+
+            # resolve plan/fingerprint before taking the lock: both
+            # properties lock on first touch themselves
+            plan = self.plan
+            fingerprint = self.fingerprint
+            with self._lock:
+                if self._codegen is None:
+                    try:
+                        self._codegen = compile_schema(
+                            plan, fingerprint, obs=self._obs)
+                    except CompileError as exc:
+                        self._codegen = exc
+            cached = self._codegen
+        if isinstance(cached, Exception):
+            raise cached
+        return cached
+
+    def supports_codegen(self) -> bool:
+        """Whether this schema is inside the codegen subset (compiles
+        on first call; the answer is memoized)."""
+        from repro.codegen import CompileError
+
+        try:
+            self.codegen
+        except CompileError:
+            return False
+        return True
+
     def validator(self, obs=None) -> "Validator":
         """A :class:`repro.Validator` bound to this handle (sharing its
         compiled plan and fingerprint)."""
@@ -145,7 +189,18 @@ class SchemaHandle:
                 "fingerprint": self.fingerprint,
                 "root": self.dtd.structure.root,
                 "constraints": len(self.dtd.constraints),
+                "engines": self.engines(),
                 "active": self.active}
+
+    def engines(self) -> "list[str]":
+        """Engine names this handle can serve (registered engines,
+        minus ``codegen``/``auto``'s codegen half when the schema is
+        outside the codegen subset — ``auto`` itself always works, it
+        just resolves to ``stream``)."""
+        from repro import engines as _engines
+
+        return [name for name in _engines.names()
+                if name != "codegen" or self.supports_codegen()]
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"<SchemaHandle {self.name!r} v{self.version} "

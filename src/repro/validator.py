@@ -145,45 +145,64 @@ class Validator:
         :class:`~repro.errors.ValidationError` on any violation."""
         _strict(doc, self.dtd, obs=self.obs)
 
-    def check(self, doc: DataTree,
-              sigma: Iterable[Constraint] | None = None) -> ViolationReport:
-        """``G ⊨ Σ`` only (no structural pass).
+    def check(self, doc, sigma: Iterable[Constraint] | None = None, *,
+              engine: "str | None" = None):
+        """Constraint checking (legacy form) or full engine-selected
+        validation.
 
-        ``sigma`` defaults to the schema's own constraint set; pass an
-        explicit iterable to check a different Σ against this schema's
-        structure (ID attributes of ``L_id`` constraints still resolve
-        through ``self.dtd.structure``).  Equivalent to the legacy
-        ``repro.check(doc, sigma, self.dtd.structure)``.
+        With ``engine=None`` (the historical signature) this is
+        ``G ⊨ Σ`` only — no structural pass: ``doc`` is a parsed
+        :class:`DataTree`, ``sigma`` defaults to the schema's own
+        constraint set, and the result is a :class:`ViolationReport`
+        (equivalent to the legacy
+        ``repro.check(doc, sigma, self.dtd.structure)``).
+
+        With ``engine=`` set, ``doc`` is a filesystem path or XML text
+        (text is recognized by a leading ``<``; ``engine="batch"`` also
+        accepts a :class:`DataTree`) and the full Definition 2.4
+        validity is computed by the named backend — ``"batch"``,
+        ``"stream"``, ``"codegen"``, ``"auto"``, or any engine
+        registered through :func:`repro.engines.register` — returning a
+        :class:`ValidationReport` that is byte-identical (``to_json()``)
+        across the built-in engines.
         """
-        dtd = self.dtd
-        constraints = dtd.constraints if sigma is None else tuple(sigma)
-        return _check(doc, constraints, dtd.structure, obs=self.obs)
+        if engine is None:
+            dtd = self.dtd
+            constraints = dtd.constraints if sigma is None else tuple(sigma)
+            return _check(doc, constraints, dtd.structure, obs=self.obs)
+        if sigma is not None:
+            raise TypeError(
+                "check(engine=...) validates against the schema's own "
+                "Sigma; an explicit sigma only applies to the legacy "
+                "constraint-only form (engine=None)")
+        from repro import engines
 
-    # -- streaming -------------------------------------------------------------
+        return engines.create(engine, self.handle,
+                              obs=self.obs).validate(doc)
+
+    # -- streaming (deprecated alias) ------------------------------------------
 
     def check_stream(self, source) -> ValidationReport:
-        """Full validity of ``source`` in one pass over its token stream.
+        """Deprecated alias for ``check(source, engine="stream")``.
 
-        ``source`` is a filesystem path or XML text (text is recognized
-        by a leading ``<``).  The document is never materialized as a
-        :class:`~repro.datamodel.tree.DataTree`: memory stays
-        O(depth + Σ-relevant state) and the report is byte-identical
-        (``to_json()``) to ``self.validate(parse_document(text))``.  The
-        compiled :class:`~repro.stream.StreamPlan` lives on the schema
-        handle — one compilation per schema per process, shared with
-        corpus and server call sites — so repeated calls pay only the
-        per-document pass.
+        Retained for one major cycle; will be removed in repro 2.0.
         """
-        from repro.stream import StreamValidator
+        import warnings
 
-        return StreamValidator(self.handle.plan,
-                               obs=self.obs).validate(source)
+        warnings.warn(
+            "Validator.check_stream() is deprecated and will be removed "
+            "in repro 2.0; use check(source, engine='stream') — or "
+            "engine='auto' for the fastest available backend (see the "
+            "engine table in README.md)",
+            DeprecationWarning, stacklevel=2)
+        return self.check(source, engine="stream")
 
     # -- corpus ----------------------------------------------------------------
 
     def check_corpus(self, docs, jobs: int = 1, cache=None,
                      chunk_size: "int | None" = None,
-                     stream: bool = False) -> "CorpusReport":
+                     stream: bool = False,
+                     engine: "str | None" = None) -> "CorpusReport":
         """Validate many documents against this schema, optionally in
         parallel and against a persistent result cache.
 
@@ -192,17 +211,20 @@ class Validator:
         sets the worker process count (``1`` stays in-process with
         bit-identical verdicts); ``cache`` is a
         :class:`~repro.corpus.ResultCache`, a directory path for a
-        persistent store, or ``None``.  ``stream=True`` validates each
-        document with the single-pass streaming engine (workers read
-        files straight from disk); verdicts are byte-identical either
-        way.  Returns a :class:`~repro.corpus.CorpusReport` with
-        per-document verdicts in input order.
+        persistent store, or ``None``.  ``engine`` selects the
+        per-document backend (``"batch"``, ``"stream"``, ``"codegen"``
+        or ``"auto"``; default batch); verdicts are byte-identical
+        across engines.  ``stream=True`` is the deprecated spelling of
+        ``engine="stream"``.  Returns a
+        :class:`~repro.corpus.CorpusReport` with per-document verdicts
+        in input order.
         """
         from repro.corpus import CorpusValidator
 
         return CorpusValidator(self.handle, jobs=jobs, cache=cache,
                                chunk_size=chunk_size, obs=self.obs,
-                               stream=stream).validate(docs)
+                               stream=stream,
+                               engine=engine).validate(docs)
 
     # -- static analysis -------------------------------------------------------
 

@@ -302,3 +302,57 @@ class TestStreamFlag:
                 line for line in out.splitlines()
                 if "prepare=" not in line]
             assert drop_timings(streamed) == drop_timings(plain)
+
+
+class TestEngineFlag:
+    """``--engine`` selects the backend without touching the output
+    contract: byte-identical stdout and the same exit status across
+    every built-in engine, with ``--stream`` surviving as a deprecated
+    alias."""
+
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_validate_output_identical_across_engines(self, cli_files,
+                                                      fmt, capsys):
+        argv = ["--root", "book", "validate", cli_files["doc"],
+                cli_files["schema"], "--format", fmt]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        for engine in ("batch", "stream", "codegen", "auto"):
+            assert main(argv + ["--engine", engine]) == 0, engine
+            assert capsys.readouterr().out == plain, engine
+
+    def test_unknown_engine_exits_2(self, cli_files, capsys):
+        assert main(["--root", "book", "validate", cli_files["doc"],
+                     cli_files["schema"], "--engine", "psychic"]) == 2
+
+    def test_engine_and_stream_conflict_exits_2(self, cli_files,
+                                                capsys):
+        assert main(["--root", "book", "validate", cli_files["doc"],
+                     cli_files["schema"], "--engine", "batch",
+                     "--stream"]) == 2
+
+    def test_stream_flag_warns_deprecation(self, cli_files, capsys):
+        argv = ["--root", "book", "validate", cli_files["doc"],
+                cli_files["schema"], "--stream"]
+        with pytest.warns(DeprecationWarning, match="--engine stream"):
+            assert main(argv) == 0
+
+    def test_check_corpus_engines_identical(self, cli_files, capsys):
+        argv = ["check-corpus", cli_files["lib_schema"],
+                cli_files["corpus"], "--format", "json"]
+        assert main(argv) == 0
+        plain = json.loads(capsys.readouterr().out)
+        plain.pop("phases_s")
+        for engine in ("stream", "codegen", "auto"):
+            assert main(argv + ["--engine", engine]) == 0, engine
+            got = json.loads(capsys.readouterr().out)
+            got.pop("phases_s")
+            assert got == plain, engine
+
+    def test_serve_mode_and_engine_conflict_exits_2(self, cli_files,
+                                                    capsys):
+        assert main(["serve", "--stdio", "--engine", "stream",
+                     "--mode", "batch"]) == 2
+
+    def test_serve_unknown_engine_exits_2(self, cli_files, capsys):
+        assert main(["serve", "--stdio", "--engine", "psychic"]) == 2

@@ -1,0 +1,226 @@
+"""The codegen engine: determinism, the integrity-checked source
+cache, and byte-identical reports against the streaming interpreter.
+
+The generated module is a pure function of the schema fingerprint —
+two processes (with different ``PYTHONHASHSEED``) must emit
+byte-identical source, or the on-disk cache would be a lottery.  The
+cache itself is self-verifying: a tampered entry must be detected by
+the hash check and regenerated, never ``exec``'d.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.codegen import (
+    CodegenValidator, CompileError, cache_path, compile_schema,
+    generate_source, load_compiled, load_source, store_source,
+)
+from repro.dtd.dtdc import DTDC
+from repro.dtd.structure import DTDStructure
+from repro.server.registry import as_handle
+from repro.stream import StreamValidator
+from repro.workloads.book import book_document, book_dtdc
+from repro.xmlio.serializer import serialize
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Every test gets its own cache directory; nothing leaks into
+    (or reads from) the developer's real ``~/.cache``."""
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path / "cg"))
+    yield
+
+
+def _handle():
+    return as_handle(book_dtdc())
+
+
+class TestDeterminism:
+    def test_same_fingerprint_same_source_in_process(self):
+        handle = _handle()
+        one = generate_source(handle.plan, handle.fingerprint)
+        two = generate_source(handle.plan, handle.fingerprint)
+        assert one == two
+
+    def test_byte_identical_across_hash_seeds(self):
+        """Two interpreters with different ``PYTHONHASHSEED`` (so every
+        set/dict iteration order differs) emit byte-identical source."""
+        program = (
+            "import hashlib\n"
+            "from repro.server.registry import as_handle\n"
+            "from repro.codegen import generate_source\n"
+            "from repro.workloads.book import book_dtdc\n"
+            "h = as_handle(book_dtdc())\n"
+            "src = generate_source(h.plan, h.fingerprint)\n"
+            "print(hashlib.sha256(src.encode()).hexdigest())\n")
+        digests = []
+        for seed in ("0", "1"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [p for p in (env.get("PYTHONPATH"),) if p]
+                + [str(p) for p in sys.path if p])
+            out = subprocess.run(
+                [sys.executable, "-c", program], env=env,
+                capture_output=True, text=True, check=True)
+            digests.append(out.stdout.strip())
+        assert digests[0] == digests[1]
+        assert len(digests[0]) == 64
+
+
+class TestSourceCache:
+    def test_round_trip(self):
+        handle = _handle()
+        source = generate_source(handle.plan, handle.fingerprint)
+        assert store_source(handle.fingerprint, source)
+        assert load_source(handle.fingerprint) == source
+
+    def test_corrupted_entry_is_a_miss_and_never_exec_d(self, tmp_path):
+        handle = _handle()
+        source = generate_source(handle.plan, handle.fingerprint)
+        assert store_source(handle.fingerprint, source)
+        path = cache_path(handle.fingerprint)
+        # Tamper with the body after the (still well-formed) header:
+        # the sha256 check must reject it.  The poison would raise at
+        # import time if it were ever exec'd.
+        with open(path, encoding="utf-8") as fh:
+            header = fh.readline()
+        poison = "raise AssertionError('cache poison was exec-d')\n"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(header + poison)
+        assert load_source(handle.fingerprint) is None
+        # compile_schema treats it as a miss, regenerates, and heals
+        # the entry on disk.
+        compiled = compile_schema(handle.plan, handle.fingerprint)
+        assert compiled.source == source
+        assert load_source(handle.fingerprint) == source
+
+    def test_bad_header_is_a_miss(self):
+        handle = _handle()
+        source = generate_source(handle.plan, handle.fingerprint)
+        assert store_source(handle.fingerprint, source)
+        path = cache_path(handle.fingerprint)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("# not a repro-codegen header\n" + source)
+        assert load_source(handle.fingerprint) is None
+
+    def test_disabled_cache_still_compiles(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODEGEN_CACHE", "off")
+        handle = _handle()
+        assert cache_path(handle.fingerprint) is None
+        assert not store_source(handle.fingerprint, "x = 1\n")
+        compiled = compile_schema(handle.plan, handle.fingerprint)
+        report = CodegenValidator(compiled).validate(
+            serialize(book_document()))
+        assert report.ok
+
+
+class TestEquivalence:
+    CASES = [
+        serialize(book_document()),
+        "<book/>",
+        "<book><entry isbn='1'><title>t</title>"
+        "<publisher>p</publisher></entry><ref to='1'/></book>",
+        # duplicate key + dangling foreign key
+        "<book><entry isbn='x'><title>t</title>"
+        "<publisher>p</publisher></entry>"
+        "<section sid='s1'><title>a</title></section>"
+        "<section sid='s1'><title>b</title></section>"
+        "<ref to='nope'/></book>",
+        "not even xml",
+        "<book><unclosed></book>",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_text_reports_byte_identical_to_stream(self, text):
+        handle = _handle()
+        cg = CodegenValidator(handle)
+        sv = StreamValidator(handle.plan)
+        try:
+            expected = sv.validate_text(text).to_json()
+            expected_exc = None
+        except Exception as exc:  # noqa: BLE001 - parity check
+            expected, expected_exc = None, (type(exc), str(exc))
+        try:
+            got = cg.validate_text(text).to_json()
+            got_exc = None
+        except Exception as exc:  # noqa: BLE001 - parity check
+            got, got_exc = None, (type(exc), str(exc))
+        assert got == expected
+        assert got_exc == expected_exc
+
+    def test_mmap_path_matches_text(self, tmp_path):
+        handle = _handle()
+        cg = CodegenValidator(handle)
+        sv = StreamValidator(handle.plan)
+        text = serialize(book_document())
+        path = tmp_path / "doc.xml"
+        path.write_text(text)
+        assert cg.validate_path(str(path)).to_json() \
+            == sv.validate_text(text).to_json()
+
+    def test_empty_file(self, tmp_path):
+        handle = _handle()
+        cg = CodegenValidator(handle)
+        path = tmp_path / "empty.xml"
+        path.write_text("")
+        sv = StreamValidator(handle.plan)
+        try:
+            expected = sv.validate_text("").to_json()
+            expected_err = None
+        except Exception as exc:  # noqa: BLE001 - parity check
+            expected, expected_err = None, str(exc)
+        try:
+            got = cg.validate_path(str(path)).to_json()
+            got_err = None
+        except Exception as exc:  # noqa: BLE001 - parity check
+            got, got_err = None, str(exc)
+        assert (got, got_err) == (expected, expected_err)
+
+    def test_non_ascii_bytes_fall_back_to_decoded_scan(self):
+        handle = _handle()
+        cg = CodegenValidator(handle)
+        sv = StreamValidator(handle.plan)
+        text = ("<book><entry isbn='é'><title>café</title>"
+                "<publisher>p</publisher></entry><ref to='é'/>"
+                "</book>")
+        data = text.encode("utf-8")
+        assert cg.validate_bytes(data).to_json() \
+            == sv.validate_text(text).to_json()
+
+    def test_load_compiled_binds_shipped_source(self):
+        """The corpus-worker path: source text + plan, no generator,
+        no disk cache."""
+        handle = _handle()
+        source = generate_source(handle.plan, handle.fingerprint)
+        compiled = load_compiled(handle.fingerprint, source, handle.plan)
+        text = serialize(book_document())
+        assert CodegenValidator(compiled).validate(text).to_json() \
+            == StreamValidator(handle.plan).validate_text(text).to_json()
+
+
+class TestCompileSubset:
+    def test_non_ascii_schema_raises_compile_error(self):
+        s = DTDStructure("café")
+        s.define_element("café", "S*")
+        handle = as_handle(DTDC(s, ()))
+        with pytest.raises(CompileError):
+            generate_source(handle.plan, handle.fingerprint)
+        assert not handle.supports_codegen()
+
+    def test_auto_falls_back_to_stream(self):
+        from repro import engines
+
+        s = DTDStructure("café")
+        s.define_element("café", "S*")
+        handle = as_handle(DTDC(s, ()))
+        backend = engines.create("auto", handle)
+        assert backend.name == "stream"
+        assert backend.validate("<café/>").ok
+
+    def test_supported_schema_reports_codegen(self):
+        handle = _handle()
+        assert handle.supports_codegen()
+        assert handle.engines() == ["auto", "batch", "codegen", "stream"]

@@ -332,6 +332,18 @@ class TestExemplars:
         hist.observe(10.0)
         assert hist.quantile(0.99) == 10.0
 
+    def test_first_bucket_quantile_clamped_to_min(self):
+        """The first bucket interpolates up from 0.0, so with a single
+        observation of 0.9 against a 1.0 bound the raw estimate for the
+        median lands at 0.45 — below every value ever observed.  The
+        clamp must pull it up to the true minimum."""
+        obs = Observability()
+        hist = obs.histogram("lat", buckets=(1.0, 2.0))
+        hist.observe(0.9)
+        assert hist.quantile(0.5) == 0.9
+        # ...while the rank-0 corner keeps its historical value
+        assert hist.quantile(0.0) == 0.0
+
 
 # ----------------------------------------------------------------------
 # 4. trace-event export and the end-to-end corpus run

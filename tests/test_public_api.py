@@ -40,6 +40,8 @@ EXPECTED_ALL = sorted([
     # facade, sessions, observability (trace context + events: v1.3)
     "DocumentSession", "EventLog", "NULL_OBS", "Observability",
     "TraceContext", "Validator",
+    # the engine registry (v1.4): repro.engines.register/names/create
+    "engines",
     # the registry pivot + the validation service (v1.2)
     "SchemaHandle", "SchemaRegistry", "ValidationServer",
     # satisfiability + witness synthesis

@@ -75,7 +75,7 @@ def doc_text():
 def facade_report(doc_text):
     """What the CLI would emit: the ``Validator`` facade's report."""
     dtd = parse_dtdc(SCHEMA_TEXT, root="book")
-    return Validator(dtd).check_stream(doc_text).to_dict()
+    return Validator(dtd).check(doc_text, engine="stream").to_dict()
 
 
 # ----------------------------------------------------------------------
@@ -324,6 +324,86 @@ class TestDispatcher:
         assert isinstance(payload["metrics"], dict)
 
 
+class TestEngineSelection:
+    def test_every_engine_reports_byte_identical(self, doc_text,
+                                                 facade_report):
+        server = make_server()
+        want = json.dumps(facade_report, sort_keys=True)
+        for engine, resolved in (("batch", "batch"), ("stream", "stream"),
+                                 ("codegen", "codegen"),
+                                 ("auto", "codegen")):
+            payload, status = server.handle_request(
+                {"op": "validate", "schema": "book",
+                 "document": doc_text, "engine": engine})
+            assert status == 200
+            assert payload["engine"] == resolved
+            assert json.dumps(payload["report"], sort_keys=True) == want
+
+    def test_mode_is_a_deprecated_alias(self, doc_text):
+        server = make_server()
+        payload, status = server.handle_request(
+            {"op": "validate", "schema": "book", "document": doc_text,
+             "mode": "batch"})
+        assert status == 200 and payload["engine"] == "batch"
+
+    def test_unknown_engine_is_bad_request(self, doc_text):
+        server = make_server()
+        payload, status = server.handle_request(
+            {"op": "validate", "schema": "book", "document": doc_text,
+             "engine": "psychic"})
+        assert (status, payload["code"]) == (400, "bad-request")
+        assert "unknown engine 'psychic'" in payload["error"]
+
+    def test_cached_response_has_no_engine(self, tmp_path, doc_text):
+        server = make_server(cache=str(tmp_path))
+        cold, _ = server.handle_request(
+            {"op": "validate", "schema": "book", "document": doc_text,
+             "engine": "codegen"})
+        warm, _ = server.handle_request(
+            {"op": "validate", "schema": "book", "document": doc_text,
+             "engine": "codegen"})
+        assert cold["engine"] == "codegen"
+        assert warm["cached"] and warm["engine"] is None
+        assert warm["report"] == cold["report"]
+
+    def test_per_engine_latency_metric(self, doc_text):
+        server = make_server()
+        for engine in ("batch", "codegen"):
+            server.handle_request(
+                {"op": "validate", "schema": "book",
+                 "document": doc_text, "engine": engine})
+        engines_seen = {
+            inst.label_dict().get("engine")
+            for inst in server.obs.metrics.collect()
+            if inst.name == "serve_engine_seconds"}
+        assert engines_seen == {"batch", "codegen"}
+
+    def test_schemas_listing_carries_engines(self):
+        server = make_server()
+        payload, _ = server.handle_request({"op": "schemas"})
+        assert payload["schemas"][0]["engines"] \
+            == ["auto", "batch", "codegen", "stream"]
+
+    def test_check_corpus_engine_field(self, doc_text):
+        server = make_server()
+        for engine, resolved in (("codegen", "codegen"),
+                                 ("auto", "codegen"),
+                                 ("batch", "batch")):
+            payload, status = server.handle_request(
+                {"op": "check-corpus", "schema": "book",
+                 "documents": [doc_text], "engine": engine})
+            assert status == 200
+            assert payload["engine"] == resolved, engine
+            assert payload["valid"]
+
+    def test_default_mode_validated_against_registry(self):
+        with pytest.raises(ValueError, match="unknown default_mode"):
+            ValidationServer(SchemaRegistry(), default_mode="psychic")
+        server = ValidationServer(SchemaRegistry(),
+                                  default_mode="codegen")
+        assert server.default_mode == "codegen"
+
+
 # ----------------------------------------------------------------------
 # 3. transports, end to end
 # ----------------------------------------------------------------------
@@ -396,11 +476,13 @@ class TestHttpTransport:
             server = make_server()
             await server.start_http()
             try:
+                engines = ("batch", "stream", "codegen", "auto")
+
                 async def one(i):
                     client = await _HttpClient.open(server.http_address)
                     status, _h, data = await client.request(
-                        "POST", "/v1/validate/book?mode="
-                        + ("stream" if i % 2 else "batch"),
+                        "POST", "/v1/validate/book?engine="
+                        + engines[i % len(engines)],
                         doc_text.encode("utf-8"))
                     await client.close()
                     return status, json.loads(data)["report"]

@@ -56,6 +56,28 @@ class TestStreamBatchEquivalence:
         assert stream.to_json() == batch.to_json()
 
     @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_codegen_report_is_byte_identical(self, seed):
+        """The generated validator is indistinguishable too — same
+        random instances, byte-for-byte equal reports over both the
+        str scanner and the zero-copy bytes scanner."""
+        from repro.codegen import CodegenValidator, CompileError
+        from repro.server.registry import as_handle
+
+        instance = _instance(seed)
+        assume(instance is not None)
+        dtd, text = instance
+        handle = as_handle(dtd)
+        try:
+            cg = CodegenValidator(handle)
+        except CompileError:
+            assume(False)
+        batch = validate(parse_document(text, dtd.structure), dtd)
+        assert cg.validate_text(text).to_json() == batch.to_json()
+        assert cg.validate_bytes(
+            text.encode("utf-8")).to_json() == batch.to_json()
+
+    @given(seeds)
     @settings(max_examples=15, deadline=None)
     def test_constraint_portion_matches_check(self, seed):
         """The Σ half of the streamed report equals a standalone
@@ -93,3 +115,12 @@ class TestCorpusModeEquivalence:
         batch = CorpusValidator(dtd).validate(docs)
         stream = CorpusValidator(dtd, stream=True).validate(docs)
         assert stream.verdicts_json() == batch.verdicts_json()
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=6, deadline=None)
+    def test_corpus_codegen_verdicts_identical(self, seed):
+        dtd, docs = random_corpus(n_docs=6, doc_vertices=40,
+                                  invalid_fraction=0.5, seed=seed)
+        batch = CorpusValidator(dtd).validate(docs)
+        codegen = CorpusValidator(dtd, engine="codegen").validate(docs)
+        assert codegen.verdicts_json() == batch.verdicts_json()
