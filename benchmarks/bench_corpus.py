@@ -138,18 +138,23 @@ def _report(n_docs: int, smoke: bool) -> int:
     rows = [("cold jobs=1", cold), ("warm jobs=1", warm)]
 
     pooled_rep = pooled = None
-    if (os.cpu_count() or 1) >= MIN_CORES:
+    cores = os.cpu_count() or 1
+    if cores >= MIN_CORES:
         pooled_rep, pooled = _timed(
             lambda: CorpusValidator(dtd, jobs=4).validate(texts))
         rows.append(("cold jobs=4", pooled))
 
     print(f"E18 corpus: {n_docs} docs, {cold_rep.n_invalid} invalid, "
-          f"{os.cpu_count()} core(s)")
+          f"{cores} core(s)")
     for name, seconds in rows:
         print(f"  {name:<12} {seconds * 1e3:8.1f} ms")
     print(f"  warm speedup {cold / max(warm, 1e-9):8.1f} x")
     if pooled is not None:
         print(f"  pool speedup {cold / max(pooled, 1e-9):8.1f} x")
+    else:
+        print(f"  pool speedup  SKIPPED: {cores} core(s) < MIN_CORES="
+              f"{MIN_CORES} — a pool would measure fork overhead, not "
+              "parallelism")
 
     ok = warm_rep.n_cached == n_docs \
         and warm_rep.verdicts_json() == cold_rep.verdicts_json()

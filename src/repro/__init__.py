@@ -77,6 +77,9 @@ from repro.obs import (
 from repro.server import (
     SchemaHandle, SchemaRegistry, ValidationServer,
 )
+from repro.shard import (
+    Locality, ShardReport, ShardedCorpusValidator, WatchSession,
+)
 from repro.synthesis import (
     SatReport, UnsatCore, Verdict, check_satisfiability,
     synthesize_witness,
@@ -85,7 +88,7 @@ from repro.validator import Validator
 from repro.workloads import book_document, book_dtdc
 from repro.xmlio import parse_document, parse_dtd, parse_dtdc, serialize
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnalysisReport", "Diagnostic", "LintConfig", "Severity", "analyze",
@@ -105,6 +108,7 @@ __all__ = [
     "DocumentSession", "EventLog", "NULL_OBS", "Observability",
     "TraceContext", "Validator", "engines",
     "SchemaHandle", "SchemaRegistry", "ValidationServer",
+    "Locality", "ShardReport", "ShardedCorpusValidator", "WatchSession",
     "SatReport", "UnsatCore", "Verdict", "check_satisfiability",
     "synthesize_witness",
     "book_document", "book_dtdc",

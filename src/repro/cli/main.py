@@ -104,6 +104,21 @@ def _print_json(payload: dict) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def _worker_count(value: str) -> int:
+    """argparse type for ``--jobs``/``--shards``: 0 means auto (cpu
+    count), negatives are rejected here — at the flag, with the flag's
+    name in the message — instead of deep inside the validator."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}") from None
+    if n < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1, or 0 for auto (cpu count); got {n}")
+    return n
+
+
 def _resolve_engine(args) -> "str | None":
     """The requested engine name, folding the deprecated ``--stream``
     flag in (mutually exclusive with ``--engine``); None means the
@@ -165,6 +180,8 @@ def _cmd_check_corpus(args) -> int:
     if not docs:
         LOG.error("error: no documents to validate")
         return 2
+    if args.shards is not None or args.watch:
+        return _check_corpus_sharded(args, handle, docs)
     LOG.info("validating %d document(s) with jobs=%d", len(docs),
              args.jobs)
     validator = CorpusValidator(handle, jobs=args.jobs, cache=args.cache,
@@ -185,6 +202,83 @@ def _cmd_check_corpus(args) -> int:
                   report.n_errors, ", ".join(report.error_documents))
         return 2
     return 0 if report.ok else 1
+
+
+def _shard_exit(report) -> int:
+    """The check-corpus exit contract extended to corpus-level
+    findings: an ``L_id`` clash across documents is a violation (1)
+    exactly like a per-document one."""
+    if report.n_errors:
+        LOG.error("error: %d document(s) could not be processed: %s",
+                  report.n_errors, ", ".join(report.error_documents))
+        return 2
+    return 0 if report.corpus_ok else 1
+
+
+def _check_corpus_sharded(args, handle, docs: "list[str]") -> int:
+    """``check-corpus --shards N [--watch]``: the sharded coordinator
+    over subprocess (default) or in-process nodes."""
+    from repro.shard import (
+        LocalNode, ShardedCorpusValidator, SubprocessNode, WatchSession,
+    )
+
+    shards = args.shards if args.shards is not None else 1
+    factory = LocalNode if args.nodes == "local" else SubprocessNode
+    LOG.info("validating %d document(s) across %s shard(s), %s nodes",
+             len(docs), shards or "auto", args.nodes)
+    with ShardedCorpusValidator(
+            handle, shards=shards, cache=args.cache, obs=args.obs,
+            engine=_resolve_engine(args) or "auto",
+            node_factory=factory) as validator:
+        if not args.watch:
+            report = validator.validate(docs)
+            if args.format == "json":
+                print(report.to_json())
+            else:
+                print(report)
+            return _shard_exit(report)
+
+        session = WatchSession(validator, args.documents)
+        last = {"delta": None}
+
+        def on_delta(delta) -> None:
+            last["delta"] = delta
+            if args.format == "json":
+                _print_json(delta.to_dict())
+            else:
+                print(delta)
+
+        try:
+            session.run(interval=args.interval,
+                        max_cycles=args.max_cycles, on_delta=on_delta)
+        except KeyboardInterrupt:
+            LOG.info("watch interrupted after %d cycle(s)", session.cycle)
+        if last["delta"] is None:
+            LOG.error("error: watch saw no documents")
+            return 2
+        return _shard_exit(last["delta"].report)
+
+
+def _cmd_cache_prune(args) -> int:
+    """Trim a persistent result-cache directory to a byte budget."""
+    from repro.corpus import ResultCache
+
+    if not FsPath(args.directory).is_dir():
+        LOG.error("error: no such cache directory: %s", args.directory)
+        return 2
+    cache = ResultCache(directory=args.directory)
+    before = cache.disk_bytes()
+    stats = cache.prune(max_bytes=args.max_bytes)
+    if args.format == "json":
+        _print_json({"directory": args.directory,
+                     "max_bytes": args.max_bytes,
+                     "before_bytes": before, **stats})
+    else:
+        print(f"cache {args.directory}: {before} -> "
+              f"{stats['kept_bytes']} bytes "
+              f"({stats['evicted']} entr{'y' if stats['evicted'] == 1 else 'ies'} "
+              f"evicted, {stats['kept']} kept)")
+    return 0
 
 
 def _cmd_bench_incremental(args) -> int:
@@ -725,9 +819,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("documents", nargs="+", metavar="DOC",
                    help="XML files and/or directories (a directory "
                    "contributes its *.xml files, sorted)")
-    p.add_argument("--jobs", type=int, default=1, metavar="N",
-                   help="worker processes (default: 1, in-process; "
-                   "verdicts are identical for every N)")
+    p.add_argument("--jobs", type=_worker_count, default=1, metavar="N",
+                   help="worker processes (default: 1, in-process; 0 "
+                   "means one per CPU; verdicts are identical for "
+                   "every N)")
+    p.add_argument("--shards", type=_worker_count, default=None,
+                   metavar="N",
+                   help="validate across N shard nodes instead of "
+                   "worker processes (0 means one per CPU); documents "
+                   "are partitioned by content hash, L_id constraints "
+                   "are folded at the coordinator, and verdicts are "
+                   "byte-identical to a serial run")
+    p.add_argument("--nodes", choices=("subprocess", "local"),
+                   default="subprocess",
+                   help="shard node kind (default: subprocess — one "
+                   "'serve --stdio' worker process per shard)")
+    p.add_argument("--watch", action="store_true",
+                   help="keep running: re-stat the corpus every "
+                   "--interval seconds and revalidate only files whose "
+                   "content changed (implies --shards 1 unless given)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   metavar="SECS",
+                   help="watch poll interval (default: 2.0)")
+    p.add_argument("--max-cycles", type=int, default=None, metavar="N",
+                   help="stop watching after N polls (default: until "
+                   "interrupted)")
     p.add_argument("--cache", default=None, metavar="DIR",
                    help="persistent result-cache directory (re-running "
                    "an unchanged corpus costs one hash per document)")
@@ -741,6 +857,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stream", action="store_true",
                    help="deprecated alias for --engine stream")
     p.set_defaults(func=_cmd_check_corpus)
+
+    p = sub.add_parser("cache", parents=[fmt],
+                       help="manage a persistent result-cache directory")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cp = cache_sub.add_parser("prune", parents=[fmt],
+                              help="evict least-recently-used entries "
+                              "until the store fits a byte budget")
+    cp.add_argument("directory", metavar="DIR",
+                    help="the cache directory (as passed to --cache)")
+    cp.add_argument("--max-bytes", type=int, default=0, metavar="B",
+                    help="byte budget to trim to (default: 0 — empty "
+                    "the store)")
+    cp.set_defaults(func=_cmd_cache_prune)
 
     p = sub.add_parser("bench-incremental", parents=[fmt],
                        help="benchmark session.revalidate() vs a full "

@@ -142,6 +142,14 @@ class FieldIndex:
 class ConstraintEvaluator:
     """Base class: state shared by the batch and incremental paths."""
 
+    #: Shard locality (*Distributed XML Design*): ``"local"`` when the
+    #: constraint is fully decided inside one document — every ``L`` /
+    #: ``L_u`` constraint quantifies over one document's extensions —
+    #: and ``"merge"`` when corpus-wide semantics need a coordinator
+    #: fold over per-document aggregates (the ``L_id`` classes: ID
+    #: uniqueness and IDREF reference resolution span documents).
+    locality: str = "local"
+
     def __init__(self, constraint: Constraint, index: AttributeIndex,
                  id_map: dict[str, str]):
         self.constraint = constraint
@@ -236,6 +244,17 @@ class ConstraintEvaluator:
 
     def _emit(self, report: ViolationReport) -> None:
         raise NotImplementedError
+
+    def corpus_aggregate(self) -> "dict | None":
+        """The JSON-safe partial aggregate a shard node exports for the
+        coordinator's merge fold, or None for shard-local constraints.
+
+        Only meaningful after :meth:`full`; merge-class evaluators
+        override this.  The aggregate must be a deterministic function
+        of the document (sorted values, document-order vertices) so the
+        coordinator fold is identical across shard counts.
+        """
+        return None
 
 
 def _row_of(v: Vertex, fields: tuple[Field, ...]) -> tuple[str, ...] | None:
@@ -456,6 +475,8 @@ class ValueForeignKeyEvaluator(ConstraintEvaluator):
         self.target = constraint.target
         self.set_valued = set_valued
         self.id_style = id_style
+        # L_id reference constraints resolve against corpus-wide IDs
+        self.locality = "merge" if id_style else "local"
         self.code = "set-foreign-key" if set_valued else "foreign-key"
         self.labels = frozenset((self.element, self.target))
         self.targets = FieldIndex(self.target, target_field)
@@ -569,6 +590,15 @@ class ValueForeignKeyEvaluator(ConstraintEvaluator):
                 message = (f"value(s) {missing!r} not among "
                            f"{self.target}.{self.targets.field} values")
             report.add(self.code, message, str(self.constraint), (v,))
+
+    def corpus_aggregate(self) -> "dict | None":
+        if not self.id_style:
+            return None
+        missing = sorted(value for value in self.src_by_value
+                         if not self.targets.count(value))
+        return {"kind": "ref",
+                "missing": missing,
+                "targets": sorted(self.targets.owners)}
 
 
 class _InverseDirection:
@@ -686,6 +716,8 @@ class InverseEvaluator(ConstraintEvaluator):
                  word: str):
         super().__init__(constraint, index, id_map)
         self.word = word  # "key" for L_u inverses, "ID" for L_id ones
+        # ID inverses pair elements through corpus-wide ID values
+        self.locality = "merge" if word == "ID" else "local"
         self.labels = frozenset((element, target))
         self.directions = (
             _InverseDirection(element, key_field, field,
@@ -747,6 +779,20 @@ class InverseEvaluator(ConstraintEvaluator):
                     f"{self.word} {key_value!r} but is not referenced back",
                     str(self.constraint), (x, y))
 
+    def corpus_aggregate(self) -> "dict | None":
+        if self.word != "ID":
+            return None
+        d = self.directions[0]
+
+        def side(label: str, key_field: Field, ref_field: Field) -> list:
+            return [[key_field.single_on(v),
+                     sorted(ref_field.values_on(v))]
+                    for v in self.index.extension(label)]
+
+        return {"kind": "inverse",
+                "element": side(d.a_label, d.key_a, d.field_a),
+                "target": side(d.b_label, d.key_b, d.field_b)}
+
 
 class IDConstraintEvaluator(ConstraintEvaluator):
     """``tau.id ->id tau``: document-wide uniqueness of ID values.
@@ -754,6 +800,8 @@ class IDConstraintEvaluator(ConstraintEvaluator):
     Clash status is re-derived per changed ID value from the tree-wide
     ``id_owners`` index, which the caller keeps current.
     """
+
+    locality = "merge"  # ID uniqueness is corpus-wide, not per-document
 
     def __init__(self, constraint: IDConstraint, index, id_map,
                  id_attr: str):
@@ -838,6 +886,16 @@ class IDConstraintEvaluator(ConstraintEvaluator):
                 "id-clash",
                 f"ID value {value!r} is shared by multiple elements",
                 str(self.constraint), (v, *others))
+
+    def corpus_aggregate(self) -> "dict | None":
+        owners_out = []
+        for value in sorted(self.index.id_owners):
+            owners = self.index.id_owners[value]
+            n_element = sum(1 for vid, o in owners.items()
+                            if o.label == self.element
+                            and vid in self.id_of)
+            owners_out.append([value, len(owners), n_element])
+        return {"kind": "id", "owners": owners_out}
 
 
 class StaticViolationEvaluator(ConstraintEvaluator):

@@ -77,21 +77,35 @@ class ResultCache:
     """In-memory LRU of validation reports, optionally disk-backed.
 
     ``capacity`` bounds the in-memory entry count; the disk store (when
-    ``directory`` is given) is unbounded and written through on every
-    :meth:`put`.  ``get`` returns a *fresh* report object per call —
-    cached state is never shared mutably with callers.
+    ``directory`` is given) is written through on every :meth:`put` and
+    bounded by ``max_bytes`` when given: after a put pushes the store
+    past the budget, least-recently-*used* entries (by file mtime —
+    every hit re-stamps it, making mtime an atime that works on
+    ``noatime`` mounts) are evicted until the store fits again.
+    ``max_bytes=None`` keeps the historical unbounded behavior.
+    ``get`` returns a *fresh* report object per call — cached state is
+    never shared mutably with callers.
     """
 
     def __init__(self, capacity: int = 4096,
-                 directory: Union[str, os.PathLike, None] = None):
+                 directory: Union[str, os.PathLike, None] = None,
+                 max_bytes: Optional[int] = None):
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None "
+                             "for an unbounded disk store)")
         self.capacity = capacity
         self.directory = Path(directory) if directory is not None else None
+        self.max_bytes = max_bytes
         self._lru: OrderedDict[str, dict] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.disk_evictions = 0
+        # running estimate of the disk footprint, resynced by every
+        # prune(); lets put() skip the directory scan while under budget
+        self._disk_bytes_estimate: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -115,6 +129,10 @@ class ResultCache:
             except (OSError, ValueError, KeyError):
                 payload = None  # corrupt entry: treat as a miss
             if payload is not None:
+                try:
+                    os.utime(path)  # re-stamp: mtime is the LRU clock
+                except OSError:
+                    pass
                 self._remember(key, payload)
                 self.hits += 1
                 self.disk_hits += 1
@@ -133,6 +151,61 @@ class ResultCache:
             tmp.write_text(json.dumps({"key": key, "report": payload},
                                       sort_keys=True))
             os.replace(tmp, path)
+            if self.max_bytes is not None:
+                if self._disk_bytes_estimate is None:
+                    self._disk_bytes_estimate = self.disk_bytes()
+                else:
+                    self._disk_bytes_estimate += path.stat().st_size
+                if self._disk_bytes_estimate > self.max_bytes:
+                    self.prune()
+
+    def _disk_entries(self) -> "list[tuple[float, int, Path]]":
+        """Every disk entry as ``(mtime, size, path)``.  Races with
+        concurrent evictors are benign: a vanished file is skipped."""
+        entries: list[tuple[float, int, Path]] = []
+        if self.directory is None or not self.directory.is_dir():
+            return entries
+        for path in self.directory.glob("??/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        return entries
+
+    def disk_bytes(self) -> int:
+        """Current on-disk footprint of the store, in bytes."""
+        return sum(size for _mtime, size, _path in self._disk_entries())
+
+    def prune(self, max_bytes: Optional[int] = None) -> "dict[str, int]":
+        """Evict least-recently-used disk entries until the store fits
+        ``max_bytes`` (default: the cache's own budget; ``0`` empties
+        the store).  Returns ``{"evicted": n, "freed_bytes": b,
+        "kept": n, "kept_bytes": b}``.
+
+        Safe against concurrent readers: eviction is a plain unlink of
+        a complete JSON file (writers go through tmp+rename), so a
+        reader either sees a full entry or a miss, never a torn one.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        entries = sorted(self._disk_entries())
+        total = sum(size for _mtime, size, _path in entries)
+        evicted = freed = 0
+        if budget is not None:
+            for mtime, size, path in entries:
+                if total <= budget:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                freed += size
+                evicted += 1
+                self.disk_evictions += 1
+        self._disk_bytes_estimate = total
+        return {"evicted": evicted, "freed_bytes": freed,
+                "kept": len(entries) - evicted, "kept_bytes": total}
 
     def _remember(self, key: str, payload: dict) -> None:
         self._lru[key] = payload
@@ -145,6 +218,8 @@ class ResultCache:
         return {"hits": self.hits, "misses": self.misses,
                 "disk_hits": self.disk_hits, "entries": len(self._lru),
                 "capacity": self.capacity,
+                "max_bytes": self.max_bytes,
+                "disk_evictions": self.disk_evictions,
                 "directory": str(self.directory)
                 if self.directory is not None else None}
 

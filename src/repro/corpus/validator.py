@@ -31,11 +31,59 @@ from repro.dtd.validate import ValidationReport
 from repro.server.registry import SchemaHandle, as_handle
 from repro.xmlio.serializer import serialize
 
-__all__ = ["CorpusValidator"]
+__all__ = ["CorpusValidator", "normalize_docs", "resolve_jobs"]
 
 #: One corpus document, as accepted by :meth:`CorpusValidator.validate`:
 #: a filesystem path, an in-memory tree, or an explicit (id, xml) pair.
 CorpusDoc = Union[str, os.PathLike, DataTree, "tuple[str, str]"]
+
+
+def resolve_jobs(jobs: int, flag: str = "jobs") -> int:
+    """Resolve a worker/shard count: ``0`` means auto
+    (``os.cpu_count()``), negatives are rejected with the flag named.
+    Shared by ``jobs=`` and ``shards=`` so the two spellings cannot
+    drift."""
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(
+            f"{flag} must be >= 1, or 0 for auto (cpu count); "
+            f"got {jobs}")
+    return jobs
+
+
+def normalize_docs(docs: Iterable[CorpusDoc]
+                   ) -> "list[tuple[str, str, str]]":
+    """Each document as a ``(doc_id, kind, value)`` triple, where
+    ``kind`` is ``"text"`` (``value`` is XML text) or ``"path"``
+    (``value`` is a filesystem path, not yet read).
+
+    Trees are serialized (the serializer is deterministic: sorted
+    attributes, stable indentation) and explicit pairs pass through;
+    both are keyed on their text.  Paths are keyed on their raw
+    on-disk bytes — what is hashed is exactly what is validated, with
+    no parse/serialize round-trip in between.
+
+    Module-level because doc-id assignment is part of the verdict
+    byte-identity contract: the sharded coordinator normalizes with
+    exactly this function, so its reassembled ``verdicts_json`` can
+    never disagree with a serial run over the same input.
+    """
+    entries: list[tuple[str, str, str]] = []
+    for i, doc in enumerate(docs):
+        if isinstance(doc, DataTree):
+            entries.append((f"doc[{i}]", "text", serialize(doc)))
+        elif isinstance(doc, tuple):
+            doc_id, text = doc
+            entries.append((str(doc_id), "text", text))
+        elif isinstance(doc, (str, os.PathLike)):
+            entries.append((os.fspath(doc), "path", os.fspath(doc)))
+        else:
+            raise TypeError(
+                f"corpus document #{i} has unsupported type "
+                f"{type(doc)!r} (expected path, DataTree, or "
+                "(doc_id, xml_text) pair)")
+    return entries
 
 
 class CorpusValidator:
@@ -89,8 +137,7 @@ class CorpusValidator:
             raise TypeError(
                 f"CorpusValidator needs a DTDC or SchemaHandle, got "
                 f"{type(dtd)!r}") from None
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1")
+        jobs = resolve_jobs(jobs)
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.dtd = self.handle.dtd
@@ -131,27 +178,10 @@ class CorpusValidator:
         ``kind`` is ``"text"`` (``value`` is XML text) or ``"path"``
         (``value`` is a filesystem path, not yet read).
 
-        Trees are serialized (the serializer is deterministic: sorted
-        attributes, stable indentation) and explicit pairs pass through;
-        both are keyed on their text.  Paths are keyed on their raw
-        on-disk bytes — what is hashed is exactly what is validated,
-        with no parse/serialize round-trip in between.
+        Delegates to the module-level :func:`normalize_docs`, which the
+        sharded coordinator shares.
         """
-        entries: list[tuple[str, str, str]] = []
-        for i, doc in enumerate(docs):
-            if isinstance(doc, DataTree):
-                entries.append((f"doc[{i}]", "text", serialize(doc)))
-            elif isinstance(doc, tuple):
-                doc_id, text = doc
-                entries.append((str(doc_id), "text", text))
-            elif isinstance(doc, (str, os.PathLike)):
-                entries.append((os.fspath(doc), "path", os.fspath(doc)))
-            else:
-                raise TypeError(
-                    f"corpus document #{i} has unsupported type "
-                    f"{type(doc)!r} (expected path, DataTree, or "
-                    "(doc_id, xml_text) pair)")
-        return entries
+        return normalize_docs(docs)
 
     def _prepare(self, entries: "list[tuple[str, str, str]]"
                  ) -> "list[Optional[str]]":

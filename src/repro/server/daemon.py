@@ -516,6 +516,72 @@ class ValidationServer:
                            "fingerprint": handle.fingerprint},
                 "report": data}, 200
 
+    def _op_check_shard(self, req: dict) -> "tuple[dict, int]":
+        """One shard node's unit of work in a sharded corpus run:
+        validate this node's documents with exact per-document
+        ``CorpusValidator`` semantics (so the coordinator's reassembled
+        ``verdicts_json`` is byte-identical to a serial run) and export
+        the merge-class (``L_id``) aggregates the coordinator folds.
+
+        Aggregates need a parsed tree, so documents with merge-class
+        constraints pay one extra parse here; unparseable documents
+        export nothing (their verdict already carries the error)."""
+        from repro.corpus import CorpusValidator
+        from repro.shard.aggregates import extract_aggregates
+        from repro.shard.locality import Locality, classify_sigma
+        from repro.xmlio.parser import parse_document
+
+        handle = self.registry.get(_required(req, "schema"))
+        if self.admission_hook is not None:
+            self.admission_hook("check-shard", handle)
+        docs = req.get("documents")
+        if not isinstance(docs, list) or not docs:
+            raise ReproError(
+                "check-shard needs 'documents': a non-empty list of "
+                "[doc_id, xml] pairs")
+        pairs: "list[tuple[str, str]]" = []
+        for i, doc in enumerate(docs):
+            if isinstance(doc, (list, tuple)) and len(doc) == 2:
+                pairs.append((str(doc[0]), str(doc[1])))
+            else:
+                raise ReproError(
+                    f"documents[{i}] must be a [doc_id, xml] pair")
+        engine = req.get("engine") or req.get("mode") \
+            or self.default_mode
+        req_obs = req.get("_obs")
+        validator = CorpusValidator(handle, jobs=1, cache=self.cache,
+                                    obs=req_obs, engine=engine)
+        report = validator.validate(pairs)
+        aggregates: "dict[str, dict]" = {}
+        if req.get("aggregates", True) \
+                and classify_sigma(handle.dtd)[Locality.MERGE]:
+            for doc_id, text in pairs:
+                try:
+                    tree = parse_document(text, handle.dtd.structure)
+                except ParseError:
+                    continue
+                aggregates[doc_id] = extract_aggregates(handle.dtd,
+                                                        tree)
+        if self.obs:
+            self.obs.counter(
+                "serve_documents_validated",
+                help="validate requests admitted").add(len(pairs))
+            self.obs.counter(
+                "serve_schema_requests_total",
+                {"schema": handle.name},
+                help="validate requests per schema").add(1)
+        return {"ok": True, "valid": report.ok,
+                "documents": len(pairs),
+                "engine": validator.engine,
+                "schema": {"name": handle.name,
+                           "version": handle.version,
+                           "fingerprint": handle.fingerprint},
+                "verdicts": [v.to_dict(provenance=True)
+                             for v in report.verdicts],
+                "aggregates": aggregates,
+                "metrics": req_obs.metrics.to_dicts()
+                if req_obs else []}, 200
+
     def _op_lint(self, req: dict) -> "tuple[dict, int]":
         from repro.analysis import LintConfig, analyze
 
@@ -575,6 +641,7 @@ class ValidationServer:
         "shutdown": _op_shutdown,
         "validate": _op_validate,
         "check-corpus": _op_check_corpus,
+        "check-shard": _op_check_shard,
         "lint": _op_lint,
         "synth": _op_synth,
         "stats": _op_stats,

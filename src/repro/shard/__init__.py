@@ -1,0 +1,42 @@
+"""Sharded multi-node corpus validation.
+
+Partition a corpus by content hash across N validator nodes (in-process
+servers or real ``serve --stdio`` subprocesses), decide which
+constraints each shard can check alone (:mod:`~repro.shard.locality`),
+and fold the rest — the ``L_id`` ID/IDREF family, whose scope is the
+whole corpus — at the coordinator from per-document aggregates
+(:mod:`~repro.shard.aggregates`).  Per-document verdicts stay
+byte-identical to a serial :class:`~repro.corpus.CorpusValidator` run;
+cross-document findings ride alongside on the
+:class:`~repro.shard.coordinator.ShardReport`.
+:mod:`~repro.shard.watch` adds the incremental ``--watch`` loop on top.
+"""
+
+from repro.shard.aggregates import (
+    CorpusViolation, extract_aggregates, fold_aggregates,
+)
+from repro.shard.coordinator import (
+    ShardReport, ShardedCorpusValidator, shard_of,
+)
+from repro.shard.locality import (
+    Locality, classify_constraint, classify_sigma,
+)
+from repro.shard.node import LocalNode, ShardNode, SubprocessNode
+from repro.shard.watch import WatchDelta, WatchSession
+
+__all__ = [
+    "CorpusViolation",
+    "Locality",
+    "LocalNode",
+    "ShardNode",
+    "ShardReport",
+    "ShardedCorpusValidator",
+    "SubprocessNode",
+    "WatchDelta",
+    "WatchSession",
+    "classify_constraint",
+    "classify_sigma",
+    "extract_aggregates",
+    "fold_aggregates",
+    "shard_of",
+]

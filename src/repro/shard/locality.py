@@ -1,0 +1,84 @@
+"""Static constraint locality analysis over Σ.
+
+*Distributed XML Design* (Abiteboul, Gottlob & Manna) asks which
+constraints can be verified per-fragment without cross-fragment joins.
+For a corpus sharded document-by-document the paper's own taxonomy
+(Section 2) answers it syntactically, before any document is read:
+
+- every ``L`` and ``L_u`` constraint — keys, foreign keys, set-valued
+  foreign keys, inverses over explicit key fields — quantifies over the
+  extensions of *one* document, so each shard decides it locally
+  (:data:`Locality.LOCAL`);
+- every ``L_id`` constraint rides the DTD's ID/IDREF mechanism, whose
+  scope is the whole corpus once documents are federated: ID uniqueness
+  must hold across shards and an IDREF may resolve to an ID held by
+  another shard.  These need a coordinator merge over per-document
+  aggregates (:data:`Locality.MERGE`).
+
+The classification here is the *static* (schema-level) side; the
+runtime side lives on the evaluators
+(:attr:`~repro.constraints.evaluators.ConstraintEvaluator.locality`
+plus ``corpus_aggregate()``), and a test pins the two views to agree
+class-by-class.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.constraints.base import Constraint
+from repro.constraints.lang_l import ForeignKey, Key
+from repro.constraints.lang_lid import (
+    IDConstraint, IDForeignKey, IDInverse, IDSetValuedForeignKey,
+)
+from repro.constraints.lang_lu import (
+    Inverse, SetValuedForeignKey, UnaryForeignKey, UnaryKey,
+)
+from repro.dtd.dtdc import DTDC
+from repro.errors import ConstraintError
+
+__all__ = ["Locality", "classify_constraint", "classify_sigma"]
+
+
+class Locality(enum.Enum):
+    """Where a constraint is decided in a sharded corpus run."""
+
+    #: decided inside each shard node, per document
+    LOCAL = "local"
+    #: needs the coordinator's fold over per-document aggregates
+    MERGE = "merge"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: The syntactic classification: constraint class -> locality.
+_LOCAL_CLASSES = (Key, UnaryKey, ForeignKey, UnaryForeignKey,
+                  SetValuedForeignKey, Inverse)
+_MERGE_CLASSES = (IDConstraint, IDForeignKey, IDSetValuedForeignKey,
+                  IDInverse)
+
+
+def classify_constraint(constraint: Constraint) -> Locality:
+    """The shard locality of one constraint, from its class alone."""
+    if isinstance(constraint, _LOCAL_CLASSES):
+        return Locality.LOCAL
+    if isinstance(constraint, _MERGE_CLASSES):
+        return Locality.MERGE
+    raise ConstraintError(
+        f"cannot classify constraint of type {type(constraint)!r} "
+        "for sharding")
+
+
+def classify_sigma(dtd: DTDC) -> "dict[Locality, list[int]]":
+    """Split Σ by locality; values are constraint positions in Σ order.
+
+    Positions (not constraint objects) key the merge fold: per-document
+    aggregates ship keyed by position, so the coordinator never has to
+    re-identify constraints across the wire.
+    """
+    split: dict[Locality, list[int]] = {Locality.LOCAL: [],
+                                        Locality.MERGE: []}
+    for i, constraint in enumerate(dtd.constraints):
+        split[classify_constraint(constraint)].append(i)
+    return split

@@ -202,15 +202,16 @@ class Validator:
     def check_corpus(self, docs, jobs: int = 1, cache=None,
                      chunk_size: "int | None" = None,
                      stream: bool = False,
-                     engine: "str | None" = None) -> "CorpusReport":
+                     engine: "str | None" = None,
+                     shards: "int | None" = None) -> "CorpusReport":
         """Validate many documents against this schema, optionally in
         parallel and against a persistent result cache.
 
         ``docs`` is any iterable of filesystem paths, ``DataTree``
         objects, or explicit ``(doc_id, xml_text)`` pairs.  ``jobs``
         sets the worker process count (``1`` stays in-process with
-        bit-identical verdicts); ``cache`` is a
-        :class:`~repro.corpus.ResultCache`, a directory path for a
+        bit-identical verdicts, ``0`` means one per CPU); ``cache`` is
+        a :class:`~repro.corpus.ResultCache`, a directory path for a
         persistent store, or ``None``.  ``engine`` selects the
         per-document backend (``"batch"``, ``"stream"``, ``"codegen"``
         or ``"auto"``; default batch); verdicts are byte-identical
@@ -218,7 +219,24 @@ class Validator:
         ``engine="stream"``.  Returns a
         :class:`~repro.corpus.CorpusReport` with per-document verdicts
         in input order.
+
+        ``shards=N`` routes the run through the sharded coordinator
+        (:class:`~repro.shard.ShardedCorpusValidator`, in-process
+        nodes) instead of worker processes: same verdicts, plus the
+        corpus-level ``L_id`` findings on the returned
+        :class:`~repro.shard.ShardReport`.
         """
+        if shards is not None:
+            from repro.shard import ShardedCorpusValidator
+
+            if stream:
+                raise ValueError(
+                    "stream=True is not supported with shards=; pass "
+                    "engine='stream'")
+            with ShardedCorpusValidator(
+                    self.handle, shards=shards, cache=cache,
+                    obs=self.obs, engine=engine) as validator:
+                return validator.validate(docs)
         from repro.corpus import CorpusValidator
 
         return CorpusValidator(self.handle, jobs=jobs, cache=cache,

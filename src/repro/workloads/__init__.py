@@ -21,9 +21,9 @@ from repro.workloads.publisher import (
 )
 from repro.workloads.school import school_document, school_dtdc
 from repro.workloads.generators import (
-    incremental_session_workload, library_schema,
+    federated_corpus, incremental_session_workload, library_schema,
     random_bulk_document, random_check_sigma, random_corpus,
-    random_document,
+    random_document, registry_schema,
     random_lu_implication_instance, random_lu_sigma,
     random_primary_l_instance, random_satisfiable_dtdc,
     random_structure, random_update_ops, random_valid_document,
@@ -35,9 +35,9 @@ __all__ = [
     "person_dept_schema", "person_dept_store", "person_dept_export",
     "publisher_constraints", "publisher_database", "publisher_instance",
     "school_document", "school_dtdc",
-    "incremental_session_workload", "library_schema",
+    "federated_corpus", "incremental_session_workload", "library_schema",
     "random_bulk_document", "random_check_sigma", "random_corpus",
-    "random_document",
+    "random_document", "registry_schema",
     "random_lu_implication_instance", "random_lu_sigma",
     "random_primary_l_instance", "random_satisfiable_dtdc",
     "random_structure", "random_update_ops", "random_valid_document",

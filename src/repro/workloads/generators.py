@@ -338,6 +338,96 @@ def random_corpus(n_docs: int = 100, doc_vertices: int = 60,
     return dtd, docs
 
 
+def registry_schema():
+    """An ``L_id`` DTD^C: ``registry (person*, mention*)`` where
+    ``person.pid`` is a DTD ID and ``mention.who`` an IDREF, with
+    Σ = { ``person.id →_id person``, ``mention.who ⊆ person.id`` }.
+
+    Unlike :func:`library_schema` (all ``L``/``L_u``, shard-local),
+    both constraints here ride the ID/IDREF mechanism, so in a sharded
+    corpus run both classify as merge-class
+    (:mod:`repro.shard.locality`)."""
+    from repro.constraints.lang_lid import IDConstraint, IDForeignKey
+    from repro.dtd.dtdc import DTDC
+
+    s = DTDStructure("registry")
+    s.define_element("registry", "(person*, mention*)")
+    s.define_element("person", "EMPTY")
+    s.define_element("mention", "EMPTY")
+    s.define_attribute("person", "pid", kind="ID")
+    s.define_attribute("mention", "who", kind="IDREF")
+    s.check()
+    sigma: list[Constraint] = [
+        IDConstraint("person"),
+        IDForeignKey("mention", Field("who"), "person"),
+    ]
+    return DTDC(s, sigma)
+
+
+def federated_corpus(n_docs: int = 12, doc_vertices: int = 30,
+                     cross_dup_fraction: float = 0.0,
+                     cross_ref_fraction: float = 0.0,
+                     dangling_fraction: float = 0.0,
+                     seed: "int | random.Random" = 0):
+    """The E24 workload: ``n_docs`` :func:`registry_schema` documents
+    whose interesting behavior only exists *between* documents.
+
+    Every document is valid in isolation except where a corruption
+    lands; the three corruption knobs each target one corpus-level
+    phenomenon of the ``L_id`` merge fold:
+
+    - ``cross_dup_fraction`` — documents that re-declare person
+      ``p-0-0``'s ID.  Each such document stays perfectly valid on its
+      own (one local owner), so the clash is invisible to every
+      per-document verdict and *must* surface in the merge phase.
+    - ``cross_ref_fraction`` — documents with a mention of another
+      document's person.  Locally dangling (a per-document violation,
+      identically reported by serial and sharded runs) but resolved
+      corpus-wide: the merge fold counts it instead of re-reporting it.
+    - ``dangling_fraction`` — mentions of a ghost ID no document owns:
+      a per-document violation *and* a corpus-level finding.
+
+    Returns ``(dtd, docs)`` with ``docs`` a list of
+    :class:`~repro.datamodel.tree.DataTree`; all randomness flows from
+    ``seed``.
+    """
+    if n_docs < 2:
+        raise ValueError("federated_corpus needs n_docs >= 2")
+    rng = _rng(seed)
+    dtd = registry_schema()
+
+    def pick(fraction: float, lo: int = 1) -> set:
+        n = round((n_docs - lo) * fraction)
+        return set(rng.sample(range(lo, n_docs), n)) if n else set()
+
+    cross_dup = pick(cross_dup_fraction)
+    cross_ref = pick(cross_ref_fraction, lo=0)
+    dangling = pick(dangling_fraction, lo=0)
+    docs: list[DataTree] = []
+    for d in range(n_docs):
+        n_persons = max(2, (doc_vertices - 1) // 2)
+        n_mentions = max(1, doc_vertices - 1 - n_persons)
+        tree = DataTree("registry")
+        for i in range(n_persons):
+            person = tree.create_under(tree.root, "person")
+            person.set_attribute("pid", f"p-{d}-{i}")
+        if d in cross_dup:
+            extra = tree.create_under(tree.root, "person")
+            extra.set_attribute("pid", "p-0-0")
+        mentions = [tree.create_under(tree.root, "mention")
+                    for _j in range(n_mentions)]
+        for mention in mentions:
+            mention.set_attribute(
+                "who", f"p-{d}-{rng.randint(0, n_persons - 1)}")
+        if d in cross_ref:
+            rng.choice(mentions).set_attribute(
+                "who", f"p-{(d + 1) % n_docs}-0")
+        if d in dangling:
+            rng.choice(mentions).set_attribute("who", f"ghost-{d}")
+        docs.append(tree)
+    return dtd, docs
+
+
 def random_update_ops(tree: DataTree, structure: DTDStructure,
                       seed: "int | random.Random" = 0, n_ops: int = 20,
                       value_pool: int = 10):

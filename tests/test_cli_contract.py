@@ -57,9 +57,15 @@ ref.to sub entry.isbn
             obs.counter("fixture_things", help="counted things").add(1)
     obs_json = base / "obs.json"
     obs_json.write_text(obs.to_json())
+    from repro.corpus import ResultCache
+    from repro.dtd.validate import ValidationReport
+
+    cache_dir = base / "result_cache"
+    ResultCache(directory=cache_dir).put("00" + "a" * 62,
+                                         ValidationReport())
     return {"schema": str(schema), "doc": str(doc),
             "corpus": str(corpus), "lib_schema": str(lib_schema),
-            "obs_json": str(obs_json)}
+            "obs_json": str(obs_json), "cache_dir": str(cache_dir)}
 
 
 #: subcommand -> (argv builder, indices of argv that are input files).
@@ -107,6 +113,10 @@ CASES = {
     "obs-export": (
         lambda f: ["obs-export", f["obs_json"]],
         [1]),
+    "cache": (
+        lambda f: ["cache", "prune", f["cache_dir"],
+                   "--max-bytes", "1000000"],
+        [2]),
 }
 
 

@@ -165,12 +165,17 @@ class TestCorpusValidator:
 
     def test_bad_args_raise(self, library):
         dtd, _docs = library
-        with pytest.raises(ValueError):
-            CorpusValidator(dtd, jobs=0)
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            CorpusValidator(dtd, jobs=-1)
         with pytest.raises(ValueError):
             CorpusValidator(dtd, chunk_size=0)
         with pytest.raises(TypeError):
             CorpusValidator("not a dtd")
+
+    def test_jobs_zero_means_auto(self, library):
+        dtd, _docs = library
+        validator = CorpusValidator(dtd, jobs=0)
+        assert validator.jobs == (os.cpu_count() or 1)
 
     def test_empty_corpus(self, library):
         dtd, _docs = library

@@ -44,6 +44,8 @@ EXPECTED_ALL = sorted([
     "engines",
     # the registry pivot + the validation service (v1.2)
     "SchemaHandle", "SchemaRegistry", "ValidationServer",
+    # sharded corpus validation + watch mode (v1.5)
+    "Locality", "ShardReport", "ShardedCorpusValidator", "WatchSession",
     # satisfiability + witness synthesis
     "SatReport", "UnsatCore", "Verdict", "check_satisfiability",
     "synthesize_witness",

@@ -1,0 +1,116 @@
+"""Property-based parity: sharded validation is indistinguishable from
+serial validation, for every shard count and document ordering.
+
+The contract under test is byte-identity: ``verdicts_json()`` of a
+:class:`ShardedCorpusValidator` run must equal a serial
+``CorpusValidator(jobs=1)`` run over the same input — across shard
+counts {1, 2, 3, 7}, random document permutations, and random
+invalid fractions — while the corpus-level ``L_id`` findings (which
+serial runs cannot see at all) stay identical across shard layouts,
+including the cross-shard duplicate-ID case that only the merge phase
+can surface.
+
+Nodes are in-process (:class:`LocalNode`) — hypothesis runs hundreds of
+corpora, and the subprocess transport is covered by
+``tests/test_shard.py`` and ``benchmarks/bench_shard.py``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import CorpusValidator
+from repro.shard import ShardedCorpusValidator
+from repro.workloads import federated_corpus, random_corpus
+from repro.xmlio import serialize
+
+SHARD_COUNTS = (1, 2, 3, 7)
+
+seeds = st.integers(0, 2**31 - 1)
+fractions = st.sampled_from((0.0, 0.25, 0.5, 1.0))
+
+
+def _docs(trees, order):
+    return [(f"doc-{i}", serialize(trees[i])) for i in order]
+
+
+@st.composite
+def corpora(draw):
+    """A random library corpus (all-local Σ) plus a permutation."""
+    seed = draw(seeds)
+    n_docs = draw(st.integers(2, 10))
+    dtd, trees = random_corpus(n_docs=n_docs, doc_vertices=24,
+                               invalid_fraction=draw(fractions),
+                               seed=seed)
+    order = draw(st.permutations(range(n_docs)))
+    return dtd, _docs(trees, order)
+
+
+@st.composite
+def federations(draw):
+    """A random registry corpus (all-merge Σ) plus a permutation —
+    cross-document duplicates, cross-document references and ghost
+    references drawn independently."""
+    seed = draw(seeds)
+    n_docs = draw(st.integers(2, 8))
+    dtd, trees = federated_corpus(
+        n_docs=n_docs, doc_vertices=16,
+        cross_dup_fraction=draw(fractions),
+        cross_ref_fraction=draw(fractions),
+        dangling_fraction=draw(fractions), seed=seed)
+    order = draw(st.permutations(range(n_docs)))
+    return dtd, _docs(trees, order)
+
+
+class TestShardedParity:
+    @given(corpora())
+    @settings(max_examples=25, deadline=None)
+    def test_local_sigma_byte_identical(self, instance):
+        dtd, docs = instance
+        serial = CorpusValidator(dtd, jobs=1).validate(docs).verdicts_json()
+        for shards in SHARD_COUNTS:
+            with ShardedCorpusValidator(dtd, shards=shards) as sv:
+                report = sv.validate(docs)
+            assert report.verdicts_json() == serial, shards
+            assert report.corpus_violations == [], shards
+
+    @given(federations())
+    @settings(max_examples=25, deadline=None)
+    def test_lid_sigma_byte_identical_and_fold_stable(self, instance):
+        dtd, docs = instance
+        serial = CorpusValidator(dtd, jobs=1).validate(docs).verdicts_json()
+        baseline = None
+        for shards in SHARD_COUNTS:
+            with ShardedCorpusValidator(dtd, shards=shards) as sv:
+                report = sv.validate(docs)
+            assert report.verdicts_json() == serial, shards
+            snapshot = ([v.to_dict() for v in report.corpus_violations],
+                        report.merge_stats)
+            if baseline is None:
+                baseline = snapshot
+            else:
+                # the fold is a pure function of (Σ, corpus order) —
+                # the shard layout must be unobservable
+                assert snapshot == baseline, shards
+
+    @given(seeds, st.permutations(range(6)))
+    @settings(max_examples=20, deadline=None)
+    def test_cross_shard_duplicate_surfaces_only_at_merge(self, seed,
+                                                          order):
+        """Documents that are each valid alone but share an ID: every
+        per-document verdict is clean (serial agrees), and the clash
+        appears exactly once in the corpus findings — wherever the
+        shard layout or document order puts the duplicates."""
+        dtd, trees = federated_corpus(n_docs=6, doc_vertices=12,
+                                      cross_dup_fraction=0.5, seed=seed)
+        docs = _docs(trees, order)
+        serial = CorpusValidator(dtd, jobs=1).validate(docs)
+        assert serial.ok
+        for shards in SHARD_COUNTS:
+            with ShardedCorpusValidator(dtd, shards=shards) as sv:
+                report = sv.validate(docs)
+            assert report.verdicts_json() == serial.verdicts_json()
+            assert report.ok and not report.corpus_ok, shards
+            clashes = [v for v in report.corpus_violations
+                       if v.code == "id-clash"]
+            assert len(clashes) == 1, shards
+            assert "p-0-0" in clashes[0].message
